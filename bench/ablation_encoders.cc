@@ -1,0 +1,136 @@
+// Extension ablation (the paper's future-work direction, Section 5):
+// PCA-based collaborative scoping vs *non-linear* neural local
+// encoder-decoders, plus the extra ODA baselines (kNN distance,
+// isolation forest) and the classical string-similarity matcher
+// baseline the paper contrasts signatures against (Section 2.2).
+//
+// Flags: --epochs N (neural training epochs per model, default 40).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "datasets/oc3.h"
+#include "embed/hashed_encoder.h"
+#include "eval/matching_metrics.h"
+#include "eval/sweep.h"
+#include "matching/sim.h"
+#include "matching/string_matcher.h"
+#include "outlier/isolation_forest.h"
+#include "outlier/knn.h"
+#include "scoping/collaborative.h"
+#include "scoping/neural_collaborative.h"
+#include "scoping/signatures.h"
+
+namespace {
+
+using namespace colscope;
+
+void CompareScopers(const datasets::MatchingScenario& scenario,
+                    const scoping::SignatureSet& signatures, int epochs) {
+  const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
+  std::printf("\n--- %s: local encoder-decoder families ---\n",
+              scenario.name.c_str());
+  std::printf("%-34s %10s %10s %10s %8s\n", "model", "precision", "recall",
+              "f1", "kept");
+
+  auto report = [&](const char* name, const std::vector<bool>& keep) {
+    const auto c = eval::Evaluate(labels, keep);
+    size_t kept = 0;
+    for (bool k : keep) kept += k;
+    std::printf("%-34s %10.3f %10.3f %10.3f %8zu\n", name, c.Precision(),
+                c.Recall(), c.F1(), kept);
+  };
+
+  for (double v : {0.9, 0.7, 0.5}) {
+    const auto keep = scoping::CollaborativeScoping(
+        signatures, scenario.set.num_schemas(), v);
+    if (keep.ok()) {
+      report(StrFormat("collaborative PCA (v=%.1f)", v).c_str(), *keep);
+    }
+  }
+  for (size_t bottleneck : {4u, 10u, 32u}) {
+    scoping::NeuralLocalModelOptions options;
+    options.hidden_dims = {100, bottleneck, 100};
+    options.epochs = epochs;
+    const auto keep = scoping::CollaborativeScopingNeural(
+        signatures, scenario.set.num_schemas(), options);
+    if (keep.ok()) {
+      report(StrFormat("collaborative AE (bottleneck=%zu)", bottleneck)
+                 .c_str(),
+             *keep);
+    }
+  }
+}
+
+void CompareOdas(const datasets::MatchingScenario& scenario,
+                 const scoping::SignatureSet& signatures) {
+  const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
+  const auto grid = eval::ParameterGrid(0.02, 0.98);
+  std::printf("\n--- %s: extended ODA baselines (global scoping) ---\n",
+              scenario.name.c_str());
+  std::printf("%-28s %8s %8s %9s %8s\n", "ODA", "AUC-F1", "AUC-ROC",
+              "AUC-ROC'", "AUC-PR");
+  const outlier::KnnDetector knn_mean(10);
+  const outlier::KnnDetector knn_max(10, outlier::KnnDetector::Aggregate::kMax);
+  const outlier::IsolationForestDetector iforest;
+  const std::vector<const outlier::OutlierDetector*> detectors = {
+      &knn_mean, &knn_max, &iforest};
+  for (const auto* detector : detectors) {
+    const auto scores = detector->Scores(signatures.signatures);
+    const auto rep = eval::ReportForScoping(
+        labels, scores, eval::ScopingSweepFromScores(scores, labels, grid));
+    std::printf("%-28s %8.2f %8.2f %9.2f %8.2f\n", detector->name().c_str(),
+                rep.auc_f1, rep.auc_roc, rep.auc_roc_smoothed, rep.auc_pr);
+  }
+}
+
+void CompareStringMatching(const datasets::MatchingScenario& scenario,
+                           const scoping::SignatureSet& signatures) {
+  const size_t cartesian = scenario.set.TableCartesianSize() +
+                           scenario.set.AttributeCartesianSize();
+  const std::vector<bool> all(signatures.size(), true);
+  std::printf("\n--- %s: string-similarity vs signature matching "
+              "(Section 2.2's labeling-conflict argument) ---\n",
+              scenario.name.c_str());
+  std::printf("%-18s %8s %8s %8s\n", "matcher", "PQ", "PC", "F1");
+
+  using Measure = matching::StringSimilarityMatcher::Measure;
+  const matching::StringSimilarityMatcher lev(Measure::kLevenshtein, 0.7);
+  const matching::StringSimilarityMatcher jw(Measure::kJaroWinkler, 0.9);
+  const matching::StringSimilarityMatcher jac(Measure::kTokenJaccard, 0.5);
+  const matching::SimMatcher cosine(0.8);
+  const std::vector<const matching::Matcher*> matchers = {&lev, &jw, &jac,
+                                                          &cosine};
+  for (const auto* matcher : matchers) {
+    const auto q = eval::EvaluateMatching(matcher->Match(signatures, all),
+                                          scenario.truth, cartesian);
+    std::printf("%-18s %8.3f %8.3f %8.3f\n", matcher->name().c_str(),
+                q.PairQuality(), q.PairCompleteness(), q.F1());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int epochs =
+      static_cast<int>(bench::FlagValue(argc, argv, "--epochs", 40));
+  bench::PrintHeader(
+      "Extension ablations: neural collaborative scoping (future work), "
+      "extra ODAs, and\nstring-similarity matching baselines.");
+
+  const embed::HashedLexiconEncoder encoder;
+  datasets::MatchingScenario oc3 = datasets::BuildOc3Scenario();
+  datasets::MatchingScenario fo = datasets::BuildOc3FoScenario();
+  const auto sig_oc3 = scoping::BuildSignatures(oc3.set, encoder);
+  const auto sig_fo = scoping::BuildSignatures(fo.set, encoder);
+
+  CompareScopers(oc3, sig_oc3, epochs);
+  CompareScopers(fo, sig_fo, epochs);
+  CompareOdas(oc3, sig_oc3);
+  CompareOdas(fo, sig_fo);
+  CompareStringMatching(oc3, sig_oc3);
+  CompareStringMatching(fo, sig_fo);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Extension ablation (paper future work, Section 5): collaborative
+// scoping applied to entity resolution. Sweeps the explained variance
+// and reports blocking precision/recall with and without record scoping
+// on a synthetic multi-source duplicate-detection workload.
+//
+// Flags: --entities N (default 40), --noise N per source (default 20).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "embed/hashed_encoder.h"
+#include "er/record_scoping.h"
+#include "er/synthetic_er.h"
+
+int main(int argc, char** argv) {
+  using namespace colscope;
+  bench::PrintHeader(
+      "Extension ablation: collaborative scoping for entity resolution "
+      "(record-level).");
+
+  er::SyntheticErOptions options;
+  options.entities =
+      static_cast<size_t>(bench::FlagValue(argc, argv, "--entities", 40));
+  options.noise_per_source =
+      static_cast<size_t>(bench::FlagValue(argc, argv, "--noise", 20));
+  const er::ErScenario scenario = er::BuildSyntheticErScenario(options);
+
+  const embed::HashedLexiconEncoder encoder;
+  const er::RecordSignatureSet signatures =
+      er::BuildRecordSignatures(scenario.sources, encoder);
+  const std::vector<bool> all(signatures.size(), true);
+
+  auto evaluate = [&](const std::set<er::RecordPair>& candidates,
+                      double& precision, double& recall) {
+    size_t true_pairs = 0;
+    for (const auto& pair : candidates) {
+      true_pairs += scenario.duplicates.count(pair);
+    }
+    precision = candidates.empty() ? 0.0
+                                   : static_cast<double>(true_pairs) /
+                                         static_cast<double>(candidates.size());
+    recall = scenario.duplicates.empty()
+                 ? 0.0
+                 : static_cast<double>(true_pairs) /
+                       static_cast<double>(scenario.duplicates.size());
+  };
+
+  double p0 = 0.0, r0 = 0.0;
+  const auto baseline = er::BlockTopK(signatures, all, 2);
+  evaluate(baseline, p0, r0);
+  std::printf("baseline (no scoping): %zu candidates precision=%.3f "
+              "recall=%.3f\n\n",
+              baseline.size(), p0, r0);
+
+  std::printf("v,kept_records,candidates,precision,recall\n");
+  for (double v : {0.7, 0.6, 0.5, 0.45, 0.4, 0.35, 0.3, 0.2, 0.1}) {
+    const auto keep = er::CollaborativeRecordScoping(
+        signatures, scenario.sources.size(), v);
+    if (!keep.ok()) continue;
+    size_t kept = 0;
+    for (bool k : *keep) kept += k;
+    const auto candidates = er::BlockTopK(signatures, *keep, 2);
+    double precision = 0.0, recall = 0.0;
+    evaluate(candidates, precision, recall);
+    std::printf("%.2f,%zu,%zu,%.3f,%.3f\n", v, kept, candidates.size(),
+                precision, recall);
+  }
+  std::printf(
+      "\nExpected shape: scoped blocking trades a bounded recall loss for "
+      "a large precision\nand candidate-count gain over the unscoped "
+      "baseline — the schema-level Figure 7\nstory transplanted to "
+      "records.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces the Section 2.3 instance-serialization trade-off at
+// evaluation scale: serializing instance samples into the element text
+// moves similarities both ways and, per the paper's prior work [44],
+// yields overall *less effective* matching than metadata-only
+// signatures. Synthetic samples are attached to the OC3/OC3-FO schemas
+// from shared per-concept value pools (datasets/instances.h).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datasets/instances.h"
+#include "datasets/oc3.h"
+#include "embed/hashed_encoder.h"
+#include "eval/matching_metrics.h"
+#include "eval/sweep.h"
+#include "matching/lsh_matcher.h"
+#include "matching/sim.h"
+#include "scoping/signatures.h"
+
+namespace {
+
+using namespace colscope;
+
+void RunScenario(datasets::MatchingScenario scenario) {
+  const embed::HashedLexiconEncoder encoder;
+  const size_t cartesian = scenario.set.TableCartesianSize() +
+                           scenario.set.AttributeCartesianSize();
+  const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
+  const auto grid = eval::ParameterGrid(0.02, 0.98);
+
+  const auto metadata_only =
+      scoping::BuildSignatures(scenario.set, encoder);
+  datasets::AttachSyntheticSamples(scenario.set, /*seed=*/0xabc);
+  schema::SerializeOptions with_samples;
+  with_samples.include_instance_samples = true;
+  const auto instance_enriched =
+      scoping::BuildSignatures(scenario.set, encoder, with_samples);
+
+  std::printf("\n--- %s ---\n", scenario.name.c_str());
+  std::printf("%-22s | %28s | %28s\n", "", "metadata-only (paper default)",
+              "with instance samples");
+  std::printf("%-22s | %8s %8s %8s | %8s %8s %8s\n", "matcher", "PQ", "PC",
+              "F1", "PQ", "PC", "F1");
+
+  const std::vector<bool> all(metadata_only.size(), true);
+  const matching::SimMatcher sim(0.6);
+  const matching::LshMatcher lsh(1);
+  const std::vector<const matching::Matcher*> matchers = {&sim, &lsh};
+  for (const auto* matcher : matchers) {
+    const auto meta = eval::EvaluateMatching(
+        matcher->Match(metadata_only, all), scenario.truth, cartesian);
+    const auto inst = eval::EvaluateMatching(
+        matcher->Match(instance_enriched, all), scenario.truth, cartesian);
+    std::printf("%-22s | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f\n",
+                matcher->name().c_str(), meta.PairQuality(),
+                meta.PairCompleteness(), meta.F1(), inst.PairQuality(),
+                inst.PairCompleteness(), inst.F1());
+  }
+
+  // Collaborative scoping quality under both serializations.
+  const auto meta_sweep = eval::CollaborativeSweep(
+      metadata_only, scenario.set.num_schemas(), labels, grid);
+  const auto inst_sweep = eval::CollaborativeSweep(
+      instance_enriched, scenario.set.num_schemas(), labels, grid);
+  const auto meta_rep = eval::ReportForCollaborative(meta_sweep);
+  const auto inst_rep = eval::ReportForCollaborative(inst_sweep);
+  std::printf("%-22s | AUC-F1 %6.1f  AUC-PR %6.1f | AUC-F1 %6.1f  AUC-PR "
+              "%6.1f\n",
+              "collab scoping", meta_rep.auc_f1, meta_rep.auc_pr,
+              inst_rep.auc_f1, inst_rep.auc_pr);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Section 2.3 ablation: metadata-only vs instance-enriched "
+      "serialization.");
+  RunScenario(datasets::BuildOc3Scenario());
+  RunScenario(datasets::BuildOc3FoScenario());
+  std::printf(
+      "\nPaper reference (Section 2.3): instance samples shift individual "
+      "similarities both\nways (+5%% / -11%% in the footnote example) and "
+      "overall 'result in less effective\nmatching results'.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension ablation: how does the unlinkable overhead — the paper's
+// OC3 (103%) vs OC3-FO (263%) axis — affect scoping quality when swept
+// continuously? Uses the synthetic multi-source generator to scale the
+// private (unlinkable) element count while the linkable core stays
+// fixed, and compares collaborative scoping against the global scoping
+// baselines at every level. Generalizes the paper's two-point robustness
+// comparison to a curve.
+//
+// Flags: --schemas K (default 3), --step S (sweep step, default 0.02).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datasets/synthetic.h"
+#include "embed/hashed_encoder.h"
+#include "eval/sweep.h"
+#include "outlier/lof.h"
+#include "outlier/pca_oda.h"
+#include "outlier/zscore.h"
+#include "scoping/signatures.h"
+
+int main(int argc, char** argv) {
+  using namespace colscope;
+  const size_t num_schemas =
+      static_cast<size_t>(bench::FlagValue(argc, argv, "--schemas", 3));
+  const double step = bench::FlagValue(argc, argv, "--step", 0.02);
+
+  bench::PrintHeader(
+      "Extension ablation: scoping quality vs unlinkable overhead "
+      "(synthetic multi-source scenarios).");
+  std::printf("overhead_pct,n_elements,collab_auc_f1,collab_auc_pr,"
+              "pca05_auc_f1,pca05_auc_pr,lof_auc_f1,lof_auc_pr,"
+              "zscore_auc_f1,zscore_auc_pr\n");
+
+  const embed::HashedLexiconEncoder encoder;
+  const auto grid = eval::ParameterGrid(step, 0.98);
+
+  for (size_t private_count : {0u, 4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
+    datasets::SyntheticOptions options;
+    options.num_schemas = num_schemas;
+    options.shared_concepts = 20;
+    options.private_per_schema = private_count;
+    const auto scenario = datasets::BuildSyntheticScenario(options);
+    const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+    const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
+
+    const auto collab = eval::ReportForCollaborative(eval::CollaborativeSweep(
+        signatures, scenario.set.num_schemas(), labels, grid));
+
+    auto scoping_report = [&](const outlier::OutlierDetector& detector) {
+      const auto scores = detector.Scores(signatures.signatures);
+      return eval::ReportForScoping(
+          labels, scores, eval::ScopingSweepFromScores(scores, labels, grid));
+    };
+    const auto pca = scoping_report(outlier::PcaDetector(0.5));
+    const auto lof = scoping_report(outlier::LofDetector(20));
+    const auto zscore = scoping_report(outlier::ZScoreDetector());
+
+    std::printf("%.0f,%zu,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+                100.0 * scenario.UnlinkableOverhead(),
+                scenario.set.num_elements(), collab.auc_f1, collab.auc_pr,
+                pca.auc_f1, pca.auc_pr, lof.auc_f1, lof.auc_pr,
+                zscore.auc_f1, zscore.auc_pr);
+  }
+  std::printf(
+      "\nExpected shape (paper, Section 4.3): global scoping degrades as "
+      "the unlinkable\noverhead grows; collaborative scoping stays "
+      "comparatively flat.\n");
+  return 0;
+}

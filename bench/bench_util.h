@@ -1,0 +1,37 @@
+#ifndef COLSCOPE_BENCH_BENCH_UTIL_H_
+#define COLSCOPE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace colscope::bench {
+
+/// Tiny argv flag reader: --name value (numeric) with a default.
+inline double FlagValue(int argc, char** argv, const char* name,
+                        double default_value) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return default_value;
+}
+
+/// True if --name appears.
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// Prints a section rule with a title, matching the other benches.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================================\n");
+}
+
+}  // namespace colscope::bench
+
+#endif  // COLSCOPE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,209 @@
+// Microbenchmarks for the Section 3 "Computational Complexity" analysis
+// (google-benchmark). The headline comparison: global scoping's ODA cost
+// grows with the quadratic size of the *union* signature set |S|^2,
+// while collaborative scoping pays the sum of per-schema quadratics
+// (|S_1|^2 + ... + |S_k|^2) plus |S| * |M| reconstruction passes — so it
+// gets relatively cheaper as the number of schemas grows.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/strings.h"
+#include "embed/hashed_encoder.h"
+#include "linalg/pca.h"
+#include "linalg/svd.h"
+#include "linalg/truncated_svd.h"
+#include "matching/lsh_matcher.h"
+#include "matching/sim.h"
+#include "outlier/lof.h"
+#include "outlier/pca_oda.h"
+#include "outlier/zscore.h"
+#include "schema/schema.h"
+#include "schema/schema_set.h"
+#include "scoping/collaborative.h"
+#include "scoping/scoping.h"
+#include "scoping/signatures.h"
+
+namespace {
+
+using namespace colscope;
+
+/// Deterministic synthetic schema: `attrs` attributes spread over
+/// `attrs / 8 + 1` tables, names drawn from composable token pools so
+/// signatures get realistic shared structure.
+schema::Schema SyntheticSchema(int index, size_t attrs) {
+  static const char* kEntities[] = {"customer", "order",   "product",
+                                    "shipment", "invoice", "store",
+                                    "employee", "payment"};
+  static const char* kFields[] = {"id",     "name",   "date",   "status",
+                                  "amount", "city",   "street", "country",
+                                  "email",  "phone",  "price",  "quantity",
+                                  "code",   "number", "type",   "comment"};
+  schema::Schema out(StrFormat("SYN%d", index));
+  const size_t num_tables = attrs / 8 + 1;
+  size_t made = 0;
+  for (size_t t = 0; t < num_tables && made < attrs; ++t) {
+    schema::Table table;
+    table.name = StrFormat("%s_%d_%zu", kEntities[(index + t) % 8], index, t);
+    for (size_t a = 0; a < 8 && made < attrs; ++a, ++made) {
+      schema::Attribute attr;
+      attr.name = StrFormat("%s_%s", kEntities[(index + made) % 8],
+                            kFields[made % 16]);
+      attr.table_name = table.name;
+      attr.raw_type = (made % 3 == 0) ? "INT" : "VARCHAR";
+      attr.type = schema::ParseDataType(attr.raw_type);
+      if (a == 0) attr.constraint = schema::Constraint::kPrimaryKey;
+      table.attributes.push_back(std::move(attr));
+    }
+    out.AddTable(std::move(table)).ok();
+  }
+  return out;
+}
+
+scoping::SignatureSet SyntheticSignatures(size_t num_schemas,
+                                          size_t attrs_per_schema) {
+  std::vector<schema::Schema> schemas;
+  for (size_t s = 0; s < num_schemas; ++s) {
+    schemas.push_back(SyntheticSchema(static_cast<int>(s), attrs_per_schema));
+  }
+  schema::SchemaSet set(std::move(schemas));
+  static const embed::HashedLexiconEncoder* const kEncoder =
+      new embed::HashedLexiconEncoder();
+  return scoping::BuildSignatures(set, *kEncoder);
+}
+
+// --- Encoder -----------------------------------------------------------------
+
+void BM_EncodeSignature(benchmark::State& state) {
+  const embed::HashedLexiconEncoder encoder;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(
+        (i++ % 2) == 0 ? "CUSTOMER_ID ORDERS NUMBER FOREIGN KEY"
+                       : "CUSTOMERS [CUSTOMER_ID, EMAIL_ADDRESS, FULL_NAME]"));
+  }
+}
+BENCHMARK(BM_EncodeSignature);
+
+// --- Linear algebra -------------------------------------------------------------
+
+void BM_ThinSvd(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(1, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::ThinSvd(sig.signatures));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ThinSvd)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oNSquared);
+
+void BM_TruncatedSvd(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(1, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::TruncatedSvd(sig.signatures, 16));
+  }
+}
+BENCHMARK(BM_TruncatedSvd)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FitLocalModel(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(1, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scoping::LocalModel::Fit(sig.signatures, 0.8, 0));
+  }
+}
+BENCHMARK(BM_FitLocalModel)->Arg(40)->Arg(120)->Unit(benchmark::kMillisecond);
+
+// --- ODA baselines (global scoping cost, |S|^2 growth) ----------------------------
+
+void BM_GlobalScoping_Zscore(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(state.range(0), 48);
+  const outlier::ZScoreDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scoping::GlobalScoping(sig, detector, 0.5));
+  }
+}
+BENCHMARK(BM_GlobalScoping_Zscore)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GlobalScoping_Lof(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(state.range(0), 48);
+  const outlier::LofDetector detector(20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scoping::GlobalScoping(sig, detector, 0.5));
+  }
+}
+BENCHMARK(BM_GlobalScoping_Lof)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GlobalScoping_Pca(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(state.range(0), 48);
+  const outlier::PcaDetector detector(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scoping::GlobalScoping(sig, detector, 0.5));
+  }
+}
+BENCHMARK(BM_GlobalScoping_Pca)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Collaborative scoping (sum of per-schema quadratics) --------------------------
+
+void BM_FitLocalModelsParallel(benchmark::State& state) {
+  const size_t num_schemas = state.range(0);
+  const auto sig = SyntheticSignatures(num_schemas, 48);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scoping::FitLocalModelsParallel(sig, num_schemas, 0.8));
+  }
+}
+BENCHMARK(BM_FitLocalModelsParallel)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CollaborativeScoping(benchmark::State& state) {
+  const size_t num_schemas = state.range(0);
+  const auto sig = SyntheticSignatures(num_schemas, 48);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scoping::CollaborativeScoping(sig, num_schemas, 0.8));
+  }
+}
+BENCHMARK(BM_CollaborativeScoping)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Matching search-space costs ------------------------------------------------
+
+void BM_SimMatcher(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(3, state.range(0));
+  const matching::SimMatcher matcher(0.6);
+  const std::vector<bool> all(sig.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(sig, all));
+  }
+}
+BENCHMARK(BM_SimMatcher)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_LshMatcher(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(3, state.range(0));
+  const matching::LshMatcher matcher(5);
+  const std::vector<bool> all(sig.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(sig, all));
+  }
+}
+BENCHMARK(BM_LshMatcher)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_LshMatcher_Approximate(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(3, state.range(0));
+  const matching::LshMatcher matcher(5, /*approximate=*/true);
+  const std::vector<bool> all(sig.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(sig, all));
+  }
+}
+BENCHMARK(BM_LshMatcher_Approximate)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+#include "bench/curve_common.h"
+
+#include <cstdio>
+
+#include "embed/hashed_encoder.h"
+#include "eval/sweep.h"
+#include "outlier/pca_oda.h"
+#include "scoping/signatures.h"
+
+namespace colscope::bench {
+
+namespace {
+
+void PrintSweepPanel(const char* panel, const char* parameter_name,
+                     const std::vector<eval::SweepPoint>& sweep) {
+  std::printf("\npanel,%s\n", panel);
+  std::printf("%s,accuracy,precision,recall,f1\n", parameter_name);
+  for (const auto& point : sweep) {
+    std::printf("%.2f,%.4f,%.4f,%.4f,%.4f\n", point.parameter,
+                point.confusion.Accuracy(), point.confusion.Precision(),
+                point.confusion.Recall(), point.confusion.F1());
+  }
+}
+
+void PrintCurvePanel(const char* panel, const char* x_name,
+                     const char* y_name, const eval::Curve& curve) {
+  std::printf("\npanel,%s\n", panel);
+  std::printf("%s,%s\n", x_name, y_name);
+  for (const auto& point : curve) {
+    std::printf("%.4f,%.4f\n", point.x, point.y);
+  }
+}
+
+}  // namespace
+
+void PrintFigureCurves(const datasets::MatchingScenario& scenario,
+                       double scoping_variance, double step) {
+  const embed::HashedLexiconEncoder encoder;
+  const scoping::SignatureSet signatures =
+      scoping::BuildSignatures(scenario.set, encoder);
+  const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
+  const auto grid = eval::ParameterGrid(step, 0.99);
+
+  // (a) Scoping PCA: metric curves over the keep portion p.
+  const outlier::PcaDetector detector(scoping_variance);
+  const auto scores = detector.Scores(signatures.signatures);
+  auto scoping_grid = grid;
+  scoping_grid.push_back(1.0);  // p = 1 keeps everything (S' == S).
+  const auto scoping_sweep =
+      eval::ScopingSweepFromScores(scores, labels, scoping_grid);
+  std::printf("# series: scoping = global Scoping with PCA(v=%.1f); "
+              "collaborative = Collaborative Scoping (PCA)\n",
+              scoping_variance);
+  PrintSweepPanel("a_scoping_metrics", "p", scoping_sweep);
+
+  // (b) Collaborative: metric curves over the explained variance v.
+  const auto collab_sweep = eval::CollaborativeSweep(
+      signatures, scenario.set.num_schemas(), labels, grid);
+  PrintSweepPanel("b_collaborative_metrics", "v", collab_sweep);
+
+  // (c) Scoping ROC and ROC'.
+  const auto scoping_roc = eval::RocFromScores(labels, scores);
+  PrintCurvePanel("c_scoping_roc", "fpr", "tpr", scoping_roc);
+  PrintCurvePanel("c_scoping_roc_smoothed", "fpr", "tpr",
+                  eval::SmoothRocCurve(scoping_roc));
+
+  // (d) Collaborative ROC and ROC'.
+  const auto collab_roc = eval::RocFromSweep(collab_sweep);
+  PrintCurvePanel("d_collaborative_roc", "fpr", "tpr", collab_roc);
+  PrintCurvePanel("d_collaborative_roc_smoothed", "fpr", "tpr",
+                  eval::SmoothRocCurve(collab_roc));
+
+  // (e) Scoping PR.
+  PrintCurvePanel("e_scoping_pr", "recall", "precision",
+                  eval::PrFromScores(labels, scores));
+
+  // (f) Collaborative PR.
+  PrintCurvePanel("f_collaborative_pr", "recall", "precision",
+                  eval::PrFromSweep(collab_sweep));
+}
+
+}  // namespace colscope::bench

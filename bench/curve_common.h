@@ -1,0 +1,20 @@
+#ifndef COLSCOPE_BENCH_CURVE_COMMON_H_
+#define COLSCOPE_BENCH_CURVE_COMMON_H_
+
+#include "datasets/linkage.h"
+
+namespace colscope::bench {
+
+/// Prints the six panels of Figures 5/6 for one scenario as CSV series:
+/// (a) scoping PCA(best v): accuracy/precision/recall/F1 over p,
+/// (b) collaborative: the same metrics over v,
+/// (c/d) ROC and smoothed ROC' points for both methods,
+/// (e/f) PR points for both methods.
+/// `scoping_variance` selects the baseline's PCA level (the paper plots
+/// its best performer, v=0.5). `step` controls sweep granularity.
+void PrintFigureCurves(const datasets::MatchingScenario& scenario,
+                       double scoping_variance, double step);
+
+}  // namespace colscope::bench
+
+#endif  // COLSCOPE_BENCH_CURVE_COMMON_H_

@@ -1,0 +1,22 @@
+// Regenerates Figure 6: best-performing scoping (PCA v=0.5) and
+// collaborative scoping curves for the OC3-FO schemas — metric sweeps,
+// ROC / ROC', and PR panels, printed as CSV series.
+//
+// Flags: --step S (sweep granularity, default 0.01),
+//        --scoping-v V (baseline PCA variance, default 0.5).
+
+#include "bench/bench_util.h"
+#include "bench/curve_common.h"
+#include "datasets/oc3.h"
+
+int main(int argc, char** argv) {
+  using namespace colscope;
+  const double step = bench::FlagValue(argc, argv, "--step", 0.01);
+  const double scoping_v = bench::FlagValue(argc, argv, "--scoping-v", 0.5);
+  bench::PrintHeader(
+      "Figure 6: Best performing scoping methods in AUC-F1, AUC-ROC, and "
+      "AUC-PR for OC3-FO schemas.");
+  datasets::MatchingScenario scenario = datasets::BuildOc3FoScenario();
+  bench::PrintFigureCurves(scenario, scoping_v, step);
+  return 0;
+}

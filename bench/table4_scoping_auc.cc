@@ -1,0 +1,156 @@
+// Regenerates Table 4: AUC-F1, AUC-ROC, AUC-ROC', and AUC-PR of the
+// scoping baselines (Z-score, LOF, PCA at v in {0.3, 0.5, 0.7}, ensemble
+// autoencoder) versus collaborative scoping (PCA), on OC3 and OC3-FO.
+//
+// Flags:
+//   --step S          sweep granularity for p and v   (default 0.01)
+//   --ae-ensemble N   autoencoder ensemble size        (default 4)
+//   --ae-epochs N     autoencoder epochs per member    (default 20)
+//   --paper           paper configuration: ensemble 100 x 50 epochs
+//                     (slow on a single core; see EXPERIMENTS.md)
+//   --skip-ae         skip the autoencoder row entirely
+//
+// The ensemble default is reduced relative to the paper's Keras setup
+// (100 x 50) to keep the single-core wall clock reasonable; the scores
+// are stable well below that (EXPERIMENTS.md reports both).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datasets/oc3.h"
+#include "embed/hashed_encoder.h"
+#include "eval/sweep.h"
+#include "outlier/autoencoder.h"
+#include "outlier/lof.h"
+#include "outlier/pca_oda.h"
+#include "outlier/zscore.h"
+
+namespace {
+
+using namespace colscope;
+
+struct Row {
+  std::string method;
+  eval::AucReport oc3;
+  eval::AucReport fo;
+};
+
+void PrintRow(const Row& row) {
+  std::printf("%-22s | %7.2f %8.2f %9.2f %8.2f | %7.2f %8.2f %9.2f %8.2f\n",
+              row.method.c_str(), row.oc3.auc_f1, row.oc3.auc_roc,
+              row.oc3.auc_roc_smoothed, row.oc3.auc_pr, row.fo.auc_f1,
+              row.fo.auc_roc, row.fo.auc_roc_smoothed, row.fo.auc_pr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double step = bench::FlagValue(argc, argv, "--step", 0.01);
+  const bool paper = bench::HasFlag(argc, argv, "--paper");
+  const bool skip_ae = bench::HasFlag(argc, argv, "--skip-ae");
+  const int ae_ensemble = paper
+      ? 100
+      : static_cast<int>(bench::FlagValue(argc, argv, "--ae-ensemble", 4));
+  const int ae_epochs = paper
+      ? 50
+      : static_cast<int>(bench::FlagValue(argc, argv, "--ae-epochs", 20));
+
+  bench::PrintHeader(
+      "Table 4: AUC-F1, AUC-ROC, AUC-ROC', and AUC-PR performance of "
+      "scoping methods\nwith OC3 and OC3-FO schemas.");
+
+  const embed::HashedLexiconEncoder encoder;
+  datasets::MatchingScenario oc3 = datasets::BuildOc3Scenario();
+  datasets::MatchingScenario fo = datasets::BuildOc3FoScenario();
+  const scoping::SignatureSet sig_oc3 =
+      scoping::BuildSignatures(oc3.set, encoder);
+  const scoping::SignatureSet sig_fo =
+      scoping::BuildSignatures(fo.set, encoder);
+  const auto labels_oc3 = oc3.truth.LinkabilityLabels(oc3.set);
+  const auto labels_fo = fo.truth.LinkabilityLabels(fo.set);
+  const auto grid = eval::ParameterGrid(step, 0.99);
+
+  std::vector<std::unique_ptr<outlier::OutlierDetector>> detectors;
+  detectors.push_back(std::make_unique<outlier::ZScoreDetector>());
+  detectors.push_back(std::make_unique<outlier::LofDetector>(20));
+  detectors.push_back(std::make_unique<outlier::PcaDetector>(0.3));
+  detectors.push_back(std::make_unique<outlier::PcaDetector>(0.5));
+  detectors.push_back(std::make_unique<outlier::PcaDetector>(0.7));
+  if (!skip_ae) {
+    outlier::AutoencoderOptions ae;
+    ae.ensemble_size = ae_ensemble;
+    ae.epochs = ae_epochs;
+    detectors.push_back(std::make_unique<outlier::AutoencoderDetector>(ae));
+  }
+
+  std::printf("%-22s | %34s | %34s\n", "", "OC3", "OC3-FO");
+  std::printf("%-22s | %7s %8s %9s %8s | %7s %8s %9s %8s\n", "Method",
+              "AUC-F1", "AUC-ROC", "AUC-ROC'", "AUC-PR", "AUC-F1", "AUC-ROC",
+              "AUC-ROC'", "AUC-PR");
+  std::printf("--------------------------------------------------------------"
+              "------------------------------------------------\n");
+
+  Row best_scoping;
+  best_scoping.oc3.auc_pr = -1.0;
+  for (const auto& detector : detectors) {
+    Row row;
+    row.method = "Scoping " + detector->name();
+    {
+      const auto scores = detector->Scores(sig_oc3.signatures);
+      const auto sweep =
+          eval::ScopingSweepFromScores(scores, labels_oc3, grid);
+      row.oc3 = eval::ReportForScoping(labels_oc3, scores, sweep);
+    }
+    {
+      const auto scores = detector->Scores(sig_fo.signatures);
+      const auto sweep = eval::ScopingSweepFromScores(scores, labels_fo, grid);
+      row.fo = eval::ReportForScoping(labels_fo, scores, sweep);
+    }
+    PrintRow(row);
+    if (row.oc3.auc_pr > best_scoping.oc3.auc_pr) best_scoping = row;
+  }
+
+  Row collab;
+  collab.method = "Collaborative PCA";
+  {
+    const auto sweep =
+        eval::CollaborativeSweep(sig_oc3, oc3.set.num_schemas(), labels_oc3,
+                                 grid);
+    collab.oc3 = eval::ReportForCollaborative(sweep);
+  }
+  {
+    const auto sweep =
+        eval::CollaborativeSweep(sig_fo, fo.set.num_schemas(), labels_fo,
+                                 grid);
+    collab.fo = eval::ReportForCollaborative(sweep);
+  }
+  std::printf("--------------------------------------------------------------"
+              "------------------------------------------------\n");
+  PrintRow(collab);
+
+  std::printf("--------------------------------------------------------------"
+              "------------------------------------------------\n");
+  auto pct = [](double ours, double base) {
+    return base == 0.0 ? 0.0 : 100.0 * (ours - base) / base;
+  };
+  std::printf("%-22s | %+6.1f%% %+7.1f%% %+8.1f%% %+7.1f%% | %+6.1f%% %+7.1f%% "
+              "%+8.1f%% %+7.1f%%\n",
+              "Difference vs best",
+              pct(collab.oc3.auc_f1, best_scoping.oc3.auc_f1),
+              pct(collab.oc3.auc_roc, best_scoping.oc3.auc_roc),
+              pct(collab.oc3.auc_roc_smoothed,
+                  best_scoping.oc3.auc_roc_smoothed),
+              pct(collab.oc3.auc_pr, best_scoping.oc3.auc_pr),
+              pct(collab.fo.auc_f1, best_scoping.fo.auc_f1),
+              pct(collab.fo.auc_roc, best_scoping.fo.auc_roc),
+              pct(collab.fo.auc_roc_smoothed, best_scoping.fo.auc_roc_smoothed),
+              pct(collab.fo.auc_pr, best_scoping.fo.auc_pr));
+  std::printf(
+      "\nPaper (Table 4) reference points: collaborative wins AUC-F1 / "
+      "AUC-ROC' / AUC-PR on\nboth scenarios, loses raw AUC-ROC (its sweep "
+      "never reaches FPR=100%%), and the margins\ngrow on OC3-FO "
+      "(paper: +5.2%% F1, +20.4%% ROC', +27.1%% PR).\n");
+  return 0;
+}

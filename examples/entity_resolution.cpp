@@ -1,0 +1,87 @@
+// Entity resolution with collaborative scoping — the paper's second
+// future-work direction (Section 5): apply the distributed
+// encoder-decoder linkability assessment to *records* instead of schema
+// elements, pruning records that have no plausible duplicate in any
+// other source before blocking.
+//
+//   $ ./entity_resolution [v]   (record signatures are idiosyncratic, so
+//                               the useful v range sits lower than for
+//                               schema elements; default 0.4)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "embed/hashed_encoder.h"
+#include "er/record_scoping.h"
+#include "er/synthetic_er.h"
+
+int main(int argc, char** argv) {
+  using namespace colscope;
+  const double v = argc > 1 ? std::atof(argv[1]) : 0.4;
+
+  er::SyntheticErOptions options;
+  options.num_sources = 3;
+  options.entities = 40;
+  options.noise_per_source = 20;
+  const er::ErScenario scenario = er::BuildSyntheticErScenario(options);
+
+  size_t total_records = 0;
+  for (const auto& source : scenario.sources) total_records += source.size();
+  std::printf("%zu sources, %zu records, %zu true cross-source duplicate "
+              "pairs\n",
+              scenario.sources.size(), total_records,
+              scenario.duplicates.size());
+  std::printf("example record: \"%s\"\n\n",
+              er::SerializeRecord(scenario.sources[0].records()[0]).c_str());
+
+  const embed::HashedLexiconEncoder encoder;
+  const er::RecordSignatureSet signatures =
+      er::BuildRecordSignatures(scenario.sources, encoder);
+
+  // Collaborative record scoping: each source self-trains on its own
+  // records; a record is kept iff a *peer's* model recognizes it.
+  const auto keep = er::CollaborativeRecordScoping(
+      signatures, scenario.sources.size(), v);
+  if (!keep.ok()) {
+    std::fprintf(stderr, "%s\n", keep.status().ToString().c_str());
+    return 1;
+  }
+  size_t kept = 0;
+  for (bool k : *keep) kept += k;
+  std::printf("collaborative record scoping at v=%.2f kept %zu / %zu "
+              "records\n\n",
+              v, kept, keep->size());
+
+  // Blocking with and without scoping.
+  auto evaluate = [&](const std::set<er::RecordPair>& candidates,
+                      const char* label) {
+    size_t true_pairs = 0;
+    for (const auto& pair : candidates) {
+      true_pairs += scenario.duplicates.count(pair);
+    }
+    const double precision =
+        candidates.empty() ? 0.0
+                           : static_cast<double>(true_pairs) /
+                                 static_cast<double>(candidates.size());
+    const double recall = scenario.duplicates.empty()
+                              ? 0.0
+                              : static_cast<double>(true_pairs) /
+                                    static_cast<double>(
+                                        scenario.duplicates.size());
+    std::printf("%-28s %5zu candidates  precision=%.3f  recall=%.3f\n",
+                label, candidates.size(), precision, recall);
+  };
+
+  const std::vector<bool> all(signatures.size(), true);
+  evaluate(er::BlockTopK(signatures, all, 2), "top-2 blocking (no scoping)");
+  evaluate(er::BlockTopK(signatures, *keep, 2),
+           "top-2 blocking (scoped)");
+  evaluate(er::BlockTopK(signatures, all, 5), "top-5 blocking (no scoping)");
+  evaluate(er::BlockTopK(signatures, *keep, 5),
+           "top-5 blocking (scoped)");
+
+  std::printf("\nScoping prunes records without plausible duplicates "
+              "(per-source noise),\nshrinking the candidate set while "
+              "keeping nearly all true duplicate pairs.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Heterogeneous pruning: the OC3-FO scenario, where an entirely
+// unrelated Formula One schema (16 tables / 111 attributes, zero
+// linkable elements) joins the matching pool and must be pruned.
+//
+// Contrasts global Scoping (one ODA over the union of signatures) with
+// Collaborative Scoping (distributed per-schema encoder-decoders) — the
+// paper's Section 2.4 failure analysis in executable form.
+//
+//   $ ./heterogeneous_pruning
+
+#include <cstdio>
+
+#include "datasets/oc3.h"
+#include "embed/hashed_encoder.h"
+#include "eval/metrics.h"
+#include "eval/sweep.h"
+#include "outlier/pca_oda.h"
+#include "outlier/zscore.h"
+#include "scoping/collaborative.h"
+#include "scoping/scoping.h"
+#include "scoping/signatures.h"
+
+namespace {
+
+/// Linkability confusion per schema for one keep-mask.
+void PrintPerSchema(const colscope::datasets::MatchingScenario& scenario,
+                    const colscope::scoping::SignatureSet& signatures,
+                    const std::vector<bool>& keep) {
+  const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
+  for (size_t s = 0; s < scenario.set.num_schemas(); ++s) {
+    size_t kept = 0, total = 0, true_kept = 0, linkable = 0;
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (signatures.refs[i].schema != static_cast<int>(s)) continue;
+      ++total;
+      kept += keep[i];
+      linkable += labels[i];
+      true_kept += (keep[i] && labels[i]);
+    }
+    std::printf("    %-12s kept %3zu/%3zu elements (%zu linkable)\n",
+                scenario.set.schema(static_cast<int>(s)).name().c_str(),
+                kept, total, linkable);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace colscope;
+
+  datasets::MatchingScenario scenario = datasets::BuildOc3FoScenario();
+  std::printf("OC3-FO: %zu elements, unlinkable overhead %.0f%% (the "
+              "Formula One schema has 0 linkable elements)\n\n",
+              scenario.set.num_elements(),
+              100.0 * scenario.UnlinkableOverhead());
+
+  embed::HashedLexiconEncoder encoder;
+  const scoping::SignatureSet signatures =
+      scoping::BuildSignatures(scenario.set, encoder);
+  const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
+
+  // --- Global scoping: one ODA over the union -----------------------------
+  // The Formula One schema dominates the global distribution (Figure 3),
+  // so low outlier scores concentrate on *unlinkable* elements.
+  std::printf("Global Scoping with PCA(v=0.5), keep portion p = 0.5:\n");
+  outlier::PcaDetector global_oda(0.5);
+  const auto global_keep = scoping::GlobalScoping(signatures, global_oda, 0.5);
+  const auto global_confusion = eval::Evaluate(labels, global_keep);
+  std::printf("  precision=%.2f recall=%.2f F1=%.2f\n",
+              global_confusion.Precision(), global_confusion.Recall(),
+              global_confusion.F1());
+  PrintPerSchema(scenario, signatures, global_keep);
+
+  // --- Collaborative scoping ----------------------------------------------
+  std::printf("\nCollaborative Scoping, explained variance v = 0.85:\n");
+  const auto keep =
+      scoping::CollaborativeScoping(signatures, scenario.set.num_schemas(),
+                                    0.85);
+  if (!keep.ok()) {
+    std::fprintf(stderr, "%s\n", keep.status().ToString().c_str());
+    return 1;
+  }
+  const auto collab_confusion = eval::Evaluate(labels, *keep);
+  std::printf("  precision=%.2f recall=%.2f F1=%.2f\n",
+              collab_confusion.Precision(), collab_confusion.Recall(),
+              collab_confusion.F1());
+  PrintPerSchema(scenario, signatures, *keep);
+
+  // --- Full-sweep comparison (Table 4 extract) ------------------------------
+  std::printf("\nAUC summary over the full hyperparameter sweeps:\n");
+  const auto grid = eval::ParameterGrid(0.02, 0.98);
+  {
+    const auto scores = global_oda.Scores(signatures.signatures);
+    const auto sweep = eval::ScopingSweepFromScores(scores, labels, grid);
+    const auto report = eval::ReportForScoping(labels, scores, sweep);
+    std::printf("  scoping PCA(0.5):      AUC-F1=%5.1f AUC-ROC'=%5.1f "
+                "AUC-PR=%5.1f\n",
+                report.auc_f1, report.auc_roc_smoothed, report.auc_pr);
+  }
+  {
+    outlier::ZScoreDetector zscore;
+    const auto scores = zscore.Scores(signatures.signatures);
+    const auto sweep = eval::ScopingSweepFromScores(scores, labels, grid);
+    const auto report = eval::ReportForScoping(labels, scores, sweep);
+    std::printf("  scoping z-score:       AUC-F1=%5.1f AUC-ROC'=%5.1f "
+                "AUC-PR=%5.1f\n",
+                report.auc_f1, report.auc_roc_smoothed, report.auc_pr);
+  }
+  {
+    const auto sweep = eval::CollaborativeSweep(
+        signatures, scenario.set.num_schemas(), labels, grid);
+    const auto report = eval::ReportForCollaborative(sweep);
+    std::printf("  collaborative PCA:     AUC-F1=%5.1f AUC-ROC'=%5.1f "
+                "AUC-PR=%5.1f\n",
+                report.auc_f1, report.auc_roc_smoothed, report.auc_pr);
+  }
+  std::printf("\nCollaborative scoping stays robust under the 263%% "
+              "unlinkable overhead, while the global baselines degrade "
+              "(compare with the OC3 run of multi_source_matching).\n");
+  return 0;
+}

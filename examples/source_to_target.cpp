@@ -1,0 +1,113 @@
+// Source-to-target matching on user-provided DDL, with a custom domain
+// lexicon. The paper notes collaborative scoping "also works well for
+// pruning unlinkable elements for source-to-target matching" — this
+// example is that workflow: two schemas only, user DDL in, ranked
+// correspondences out.
+//
+//   $ ./source_to_target
+
+#include <cstdio>
+
+#include "embed/hashed_encoder.h"
+#include "linalg/stats.h"
+#include "matching/lsh_matcher.h"
+#include "schema/ddl_parser.h"
+#include "scoping/collaborative.h"
+#include "scoping/signatures.h"
+#include "text/lexicon.h"
+
+namespace {
+
+constexpr char kSourceDdl[] = R"sql(
+CREATE TABLE patients (
+  patient_id   INT PRIMARY KEY,
+  given_name   VARCHAR(60),
+  family_name  VARCHAR(60),
+  birth_date   DATE,
+  home_city    VARCHAR(60),
+  insurer_code VARCHAR(12)
+);
+CREATE TABLE encounters (
+  encounter_id INT PRIMARY KEY,
+  patient_id   INT REFERENCES patients(patient_id),
+  admitted_at  TIMESTAMP,
+  ward         VARCHAR(20)
+);
+)sql";
+
+constexpr char kTargetDdl[] = R"sql(
+CREATE TABLE person (
+  person_nr    INT PRIMARY KEY,
+  forename     VARCHAR(60),
+  surname      VARCHAR(60),
+  dob          DATE,
+  city         VARCHAR(60)
+);
+CREATE TABLE visits (
+  visit_nr     INT PRIMARY KEY,
+  person_nr    INT REFERENCES person(person_nr),
+  admission    TIMESTAMP,
+  department   VARCHAR(20),
+  billing_code VARCHAR(8)
+);
+)sql";
+
+}  // namespace
+
+int main() {
+  using namespace colscope;
+
+  // Parse both DDL scripts.
+  Result<schema::Schema> source = schema::ParseDdl(kSourceDdl, "clinic");
+  Result<schema::Schema> target = schema::ParseDdl(kTargetDdl, "registry");
+  if (!source.ok() || !target.ok()) {
+    std::fprintf(stderr, "DDL error: %s%s\n",
+                 source.status().ToString().c_str(),
+                 target.status().ToString().c_str());
+    return 1;
+  }
+  schema::SchemaSet set({*source, *target});
+
+  // Extend the built-in lexicon with domain synonyms the default
+  // dictionary does not know. This is the hook a deployment uses to
+  // inject its glossary.
+  text::Lexicon lexicon = text::DefaultSchemaLexicon();
+  lexicon.AddSynonyms("patient", {"patient", "patients", "person"}, "party");
+  lexicon.AddSynonyms("encounter",
+                      {"encounter", "encounters", "visit", "visits",
+                       "admission", "admitted"},
+                      "clinical");
+  lexicon.AddSynonyms("ward", {"ward", "department"}, "clinical");
+
+  embed::HashedLexiconEncoder encoder(embed::HashedEncoderOptions{},
+                                      std::move(lexicon));
+  const scoping::SignatureSet signatures =
+      scoping::BuildSignatures(set, encoder);
+
+  // Collaborative scoping with two participants.
+  const auto keep = scoping::CollaborativeScoping(signatures, 2, 0.6);
+  if (!keep.ok()) {
+    std::fprintf(stderr, "%s\n", keep.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Scoped out as unlinkable:\n");
+  for (size_t i = 0; i < keep->size(); ++i) {
+    if (!(*keep)[i]) {
+      std::printf("  %s\n", set.QualifiedName(signatures.refs[i]).c_str());
+    }
+  }
+
+  // Top-1 nearest-neighbour correspondences on the streamlined schemas,
+  // with cosine scores for review.
+  std::printf("\nProposed correspondences (LSH top-1 on S'):\n");
+  const auto pairs = matching::LshMatcher(1).Match(signatures, *keep);
+  for (const auto& [a, b] : pairs) {
+    const double cosine = linalg::CosineSimilarity(
+        signatures.signatures.Row(set.IndexOf(a)),
+        signatures.signatures.Row(set.IndexOf(b)));
+    std::printf("  %-30s <-> %-28s cos=%.3f\n",
+                set.QualifiedName(a).c_str(), set.QualifiedName(b).c_str(),
+                cosine);
+  }
+  return 0;
+}

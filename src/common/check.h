@@ -1,0 +1,29 @@
+#ifndef COLSCOPE_COMMON_CHECK_H_
+#define COLSCOPE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process when `cond` is false. Used for programmer-error
+/// invariants only (never for data-dependent failures, which return
+/// Status). Active in all build types, like glog's CHECK.
+#define COLSCOPE_CHECK(cond)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                  \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+/// CHECK with an explanatory message.
+#define COLSCOPE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // COLSCOPE_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+#ifndef COLSCOPE_COMMON_JSON_WRITER_H_
+#define COLSCOPE_COMMON_JSON_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+namespace colscope {
+
+/// Minimal streaming JSON writer: produces compact, valid JSON without a
+/// DOM. Call sequence mirrors the document structure; keys are only
+/// legal inside objects. No validation beyond comma placement — misuse
+/// produces malformed output, so keep call sites simple.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Key for the next value (inside an object).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(long long value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string for inclusion in JSON (quotes not added).
+  static std::string Escape(std::string_view value);
+
+ private:
+  void Comma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace colscope
+
+#endif  // COLSCOPE_COMMON_JSON_WRITER_H_

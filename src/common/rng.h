@@ -1,0 +1,39 @@
+#ifndef COLSCOPE_COMMON_RNG_H_
+#define COLSCOPE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace colscope {
+
+/// SplitMix64 step: deterministic 64-bit mix used both for seeding and as
+/// a stateless hash finalizer. Public so hashing code can reuse it.
+uint64_t SplitMix64(uint64_t& state);
+
+/// Small, fast, deterministic PRNG (xoshiro256**). Deterministic across
+/// platforms — required so that signatures, autoencoder inits, and k-Means
+/// seeds reproduce bit-identically between runs and in tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) for bound >= 1.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Standard normal variate (Box-Muller; consumes two uniforms).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace colscope
+
+#endif  // COLSCOPE_COMMON_RNG_H_

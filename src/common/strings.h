@@ -1,0 +1,35 @@
+#ifndef COLSCOPE_COMMON_STRINGS_H_
+#define COLSCOPE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace colscope {
+
+/// Splits `text` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view text,
+                                     std::string_view delims);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// ASCII-lowercases / uppercases a copy of `text`.
+std::string ToLowerAscii(std::string_view text);
+std::string ToUpperAscii(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// True if `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace colscope
+
+#endif  // COLSCOPE_COMMON_STRINGS_H_

@@ -1,0 +1,168 @@
+#include "datasets/csv_loader.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace colscope::datasets {
+
+std::vector<std::string> SplitCsvLine(std::string_view line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');  // Escaped quote.
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+namespace {
+
+bool LooksLikeInteger(std::string_view value) {
+  size_t i = (value[0] == '-' || value[0] == '+') ? 1 : 0;
+  if (i >= value.size()) return false;
+  for (; i < value.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(value[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDecimal(std::string_view value) {
+  size_t i = (value[0] == '-' || value[0] == '+') ? 1 : 0;
+  bool digit = false, dot = false;
+  for (; i < value.size(); ++i) {
+    const char c = value[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digit;
+}
+
+bool LooksLikeDate(std::string_view value) {
+  // YYYY-MM-DD (also accepts / separators).
+  if (value.size() != 10) return false;
+  for (size_t i = 0; i < 10; ++i) {
+    if (i == 4 || i == 7) {
+      if (value[i] != '-' && value[i] != '/') return false;
+    } else if (!std::isdigit(static_cast<unsigned char>(value[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+schema::DataType InferDataType(const std::vector<std::string>& values) {
+  bool any = false;
+  bool all_int = true, all_num = true, all_date = true;
+  for (const std::string& raw : values) {
+    const std::string_view value = StripAsciiWhitespace(raw);
+    if (value.empty()) continue;
+    any = true;
+    all_int = all_int && LooksLikeInteger(value);
+    all_num = all_num && (LooksLikeInteger(value) || LooksLikeDecimal(value));
+    all_date = all_date && LooksLikeDate(value);
+  }
+  if (!any) return schema::DataType::kString;
+  if (all_date) return schema::DataType::kDate;
+  if (all_int) return schema::DataType::kInteger;
+  if (all_num) return schema::DataType::kDecimal;
+  return schema::DataType::kString;
+}
+
+Result<schema::Schema> LoadCsvSchema(std::string_view csv,
+                                     std::string schema_name,
+                                     const CsvLoadOptions& options) {
+  // Split into lines (tolerate trailing newline and CRLF).
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : csv) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  if (lines.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+
+  const std::vector<std::string> header =
+      SplitCsvLine(lines[0], options.delimiter);
+  if (header.empty() || (header.size() == 1 && header[0].empty())) {
+    return Status::InvalidArgument("CSV header row is empty");
+  }
+
+  // Collect sampled values per column for typing + instance samples.
+  std::vector<std::vector<std::string>> columns(header.size());
+  size_t sampled = 0;
+  for (size_t row = 1;
+       row < lines.size() && sampled < std::max<size_t>(
+                                 options.max_sample_rows, 8);
+       ++row) {
+    if (StripAsciiWhitespace(lines[row]).empty()) continue;
+    const std::vector<std::string> fields =
+        SplitCsvLine(lines[row], options.delimiter);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, header has %zu", row,
+                    fields.size(), header.size()));
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      columns[c].push_back(fields[c]);
+    }
+    ++sampled;
+  }
+
+  schema::Schema out(std::move(schema_name));
+  schema::Table table;
+  table.name = options.table_name;
+  for (size_t c = 0; c < header.size(); ++c) {
+    schema::Attribute attr;
+    attr.name = std::string(StripAsciiWhitespace(header[c]));
+    if (attr.name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("column %zu has an empty name", c));
+    }
+    attr.table_name = table.name;
+    attr.type = InferDataType(columns[c]);
+    attr.raw_type = schema::DataTypeToString(attr.type);
+    const size_t keep = std::min(options.max_sample_rows, columns[c].size());
+    attr.samples.assign(columns[c].begin(),
+                        columns[c].begin() + static_cast<long>(keep));
+    table.attributes.push_back(std::move(attr));
+  }
+  COLSCOPE_RETURN_IF_ERROR(out.AddTable(std::move(table)));
+  return out;
+}
+
+}  // namespace colscope::datasets

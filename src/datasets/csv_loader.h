@@ -1,0 +1,44 @@
+#ifndef COLSCOPE_DATASETS_CSV_LOADER_H_
+#define COLSCOPE_DATASETS_CSV_LOADER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "schema/schema.h"
+
+namespace colscope::datasets {
+
+/// Options for CSV schema extraction.
+struct CsvLoadOptions {
+  /// Table name for the loaded CSV (one CSV = one table).
+  std::string table_name = "table";
+  char delimiter = ',';
+  /// How many data rows to attach as instance samples per attribute
+  /// (0 = metadata only).
+  size_t max_sample_rows = 3;
+};
+
+/// Extracts a single-table Schema from CSV text, Valentine-dataset
+/// style: the header row provides the attribute names; data types are
+/// inferred from the sampled data rows (integer / decimal / date /
+/// string); the first `max_sample_rows` values are attached as instance
+/// samples (usable with SerializeOptions::include_instance_samples).
+/// Handles quoted fields with embedded delimiters and "" escapes.
+Result<schema::Schema> LoadCsvSchema(std::string_view csv,
+                                     std::string schema_name,
+                                     const CsvLoadOptions& options = {});
+
+/// Splits one CSV line into fields (exposed for tests).
+std::vector<std::string> SplitCsvLine(std::string_view line,
+                                      char delimiter = ',');
+
+/// Infers the data-type family of a set of value strings: kInteger if
+/// all parse as integers, kDecimal if all parse as numbers, kDate for
+/// YYYY-MM-DD shapes, else kString. Empty values are ignored; all-empty
+/// yields kString.
+schema::DataType InferDataType(const std::vector<std::string>& values);
+
+}  // namespace colscope::datasets
+
+#endif  // COLSCOPE_DATASETS_CSV_LOADER_H_

@@ -1,0 +1,223 @@
+#include "datasets/fabricator.h"
+
+#include <array>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace colscope::datasets {
+
+namespace {
+
+/// Synonym swaps applied during "noisy" renaming — Valentine's
+/// approximate renaming, restricted to meaning-preserving rewrites.
+constexpr std::array<std::pair<const char*, const char*>, 14> kSynonyms = {{
+    {"customer", "client"},
+    {"customers", "clients"},
+    {"name", "title"},
+    {"city", "town"},
+    {"street", "road"},
+    {"phone", "telephone"},
+    {"email", "mail"},
+    {"id", "nr"},
+    {"number", "num"},
+    {"date", "day"},
+    {"price", "cost"},
+    {"amount", "total"},
+    {"status", "state"},
+    {"country", "nation"},
+}};
+
+/// Drops interior vowels: "number" -> "nmbr" (Valentine's abbreviation
+/// noise).
+std::string Abbreviate(const std::string& token) {
+  if (token.size() < 4) return token;
+  std::string out;
+  out.push_back(token.front());
+  for (size_t i = 1; i + 1 < token.size(); ++i) {
+    const char c = token[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') continue;
+    out.push_back(c);
+  }
+  out.push_back(token.back());
+  return out;
+}
+
+/// Noisy rename of a snake_case-ish identifier: synonym-swap each token
+/// where the table has one, abbreviate otherwise (coin flip per token).
+std::string NoisyRename(const std::string& name, Rng& rng) {
+  std::string out;
+  std::string token;
+  auto flush = [&]() {
+    if (token.empty()) return;
+    const std::string lower = ToLowerAscii(token);
+    std::string replacement = token;
+    bool swapped = false;
+    for (const auto& [from, to] : kSynonyms) {
+      if (lower == from) {
+        replacement = to;
+        swapped = true;
+        break;
+      }
+    }
+    if (!swapped && rng.NextDouble() < 0.5) {
+      replacement = Abbreviate(lower);
+    }
+    out += replacement;
+    token.clear();
+  };
+  for (char c : name) {
+    if (c == '_') {
+      flush();
+      out.push_back('_');
+    } else {
+      token.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+/// Index of a key column: the PRIMARY KEY if any, else column 0.
+size_t KeyColumn(const schema::Table& source) {
+  for (size_t i = 0; i < source.attributes.size(); ++i) {
+    if (source.attributes[i].constraint == schema::Constraint::kPrimaryKey) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* FabricationKindToString(FabricationKind kind) {
+  switch (kind) {
+    case FabricationKind::kUnionable:
+      return "unionable";
+    case FabricationKind::kViewUnionable:
+      return "view-unionable";
+    case FabricationKind::kJoinable:
+      return "joinable";
+    case FabricationKind::kSemanticallyJoinable:
+      return "semantically-joinable";
+  }
+  return "unknown";
+}
+
+MatchingScenario FabricatePair(const schema::Table& source,
+                               const FabricatorOptions& options) {
+  COLSCOPE_CHECK_MSG(!source.attributes.empty(),
+                     "source table needs attributes");
+  Rng rng(options.seed);
+  const size_t n = source.attributes.size();
+  const size_t key = KeyColumn(source);
+
+  // Decide which side keeps which source column.
+  std::vector<bool> keep_a(n, true);
+  std::vector<bool> keep_b(n, true);
+  switch (options.kind) {
+    case FabricationKind::kUnionable:
+      break;  // Both keep everything.
+    case FabricationKind::kViewUnionable: {
+      for (size_t i = 0; i < n; ++i) {
+        keep_a[i] = rng.NextDouble() < options.keep_fraction;
+        keep_b[i] = rng.NextDouble() < options.keep_fraction;
+      }
+      // Guarantee a non-empty overlap (the key column).
+      keep_a[key] = true;
+      keep_b[key] = true;
+      break;
+    }
+    case FabricationKind::kJoinable:
+    case FabricationKind::kSemanticallyJoinable: {
+      // Vertical split: A gets the first half, B the second; both keep
+      // the key.
+      for (size_t i = 0; i < n; ++i) {
+        const bool first_half = i < (n + 1) / 2;
+        keep_a[i] = first_half;
+        keep_b[i] = !first_half;
+      }
+      keep_a[key] = true;
+      keep_b[key] = true;
+      break;
+    }
+  }
+
+  // Rename policy on side B: always rename shared attributes for
+  // kSemanticallyJoinable; probabilistic noisy rename otherwise.
+  const bool always_rename =
+      options.kind == FabricationKind::kSemanticallyJoinable;
+
+  schema::Schema schema_a("A");
+  schema::Schema schema_b("B");
+  schema::Table table_a;
+  table_a.name = source.name;
+  schema::Table table_b;
+  table_b.name = always_rename ? NoisyRename(source.name, rng)
+                               : source.name;
+  // Source column -> (position in A, position in B, renamed?); -1 when
+  // a side dropped the column.
+  struct Placement {
+    int pos_a = -1;
+    int pos_b = -1;
+    bool renamed = false;
+  };
+  std::map<size_t, Placement> placements;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (keep_a[i]) {
+      schema::Attribute attr = source.attributes[i];
+      attr.table_name = table_a.name;
+      placements[i].pos_a = static_cast<int>(table_a.attributes.size());
+      table_a.attributes.push_back(std::move(attr));
+    }
+    if (keep_b[i]) {
+      schema::Attribute attr = source.attributes[i];
+      if (always_rename || rng.NextDouble() < options.rename_probability) {
+        std::string renamed = NoisyRename(attr.name, rng);
+        // kSemanticallyJoinable promises NO verbatim shared names; force
+        // a visible change when the noisy rename was a no-op.
+        if (always_rename && renamed == attr.name) {
+          renamed = attr.name + "_alt";
+        }
+        placements[i].renamed = renamed != attr.name;
+        attr.name = renamed;
+      }
+      attr.table_name = table_b.name;
+      placements[i].pos_b = static_cast<int>(table_b.attributes.size());
+      table_b.attributes.push_back(std::move(attr));
+    }
+  }
+  COLSCOPE_CHECK(schema_a.AddTable(std::move(table_a)).ok());
+  COLSCOPE_CHECK(schema_b.AddTable(std::move(table_b)).ok());
+
+  MatchingScenario scenario;
+  scenario.name = StrFormat("Fabricated(%s)",
+                            FabricationKindToString(options.kind));
+  scenario.set = schema::SchemaSet({schema_a, schema_b});
+
+  // Ground truth: table pair + every column kept by both sides.
+  const schema::Schema& sa = scenario.set.schema(0);
+  const schema::Schema& sb = scenario.set.schema(1);
+  const bool table_identical = sa.tables()[0].name == sb.tables()[0].name;
+  COLSCOPE_CHECK(scenario.truth
+                     .Add(table_identical ? LinkType::kInterIdentical
+                                          : LinkType::kInterSubTyped,
+                          schema::TableRef(0, 0), schema::TableRef(1, 0))
+                     .ok());
+  for (const auto& [index, placement] : placements) {
+    if (placement.pos_a < 0 || placement.pos_b < 0) continue;
+    const LinkType type = placement.renamed ? LinkType::kInterSubTyped
+                                            : LinkType::kInterIdentical;
+    COLSCOPE_CHECK(
+        scenario.truth
+            .Add(type, schema::AttributeRef(0, 0, placement.pos_a),
+                 schema::AttributeRef(1, 0, placement.pos_b))
+            .ok());
+  }
+  return scenario;
+}
+
+}  // namespace colscope::datasets

@@ -1,0 +1,51 @@
+#ifndef COLSCOPE_DATASETS_FABRICATOR_H_
+#define COLSCOPE_DATASETS_FABRICATOR_H_
+
+#include <cstdint>
+
+#include "datasets/linkage.h"
+#include "schema/schema.h"
+
+namespace colscope::datasets {
+
+/// Valentine-style dataset-pair fabrication (Koutras et al., ICDE 2021 —
+/// the matching-evaluation framework the paper cites). From one source
+/// table, fabricates a pair of derived tables whose relationship falls
+/// into one of Valentine's four categories, with exact ground truth:
+///
+///   kUnionable            — both sides keep (noisily renamed) copies of
+///                           ALL attributes: horizontal split.
+///   kViewUnionable        — the sides keep overlapping but different
+///                           attribute subsets: vertical + horizontal.
+///   kJoinable             — the sides share a key and a fraction of
+///                           attributes: vertical split with key kept.
+///   kSemanticallyJoinable — like kJoinable, but every shared attribute
+///                           is renamed with synonyms / noise, so only
+///                           semantics (not strings) connect them.
+enum class FabricationKind {
+  kUnionable,
+  kViewUnionable,
+  kJoinable,
+  kSemanticallyJoinable,
+};
+
+const char* FabricationKindToString(FabricationKind kind);
+
+struct FabricatorOptions {
+  FabricationKind kind = FabricationKind::kUnionable;
+  /// Probability a kept attribute is renamed on side B.
+  double rename_probability = 0.5;
+  /// Fraction of attributes each side keeps for the *-unionable splits.
+  double keep_fraction = 0.7;
+  uint64_t seed = 0xfab;
+};
+
+/// Fabricates a matching scenario (two schemas + exact ground truth)
+/// from `source` (its first table is used). The source's instance
+/// samples, types, and constraints are carried into both sides.
+MatchingScenario FabricatePair(const schema::Table& source,
+                               const FabricatorOptions& options);
+
+}  // namespace colscope::datasets
+
+#endif  // COLSCOPE_DATASETS_FABRICATOR_H_

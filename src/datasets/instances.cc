@@ -1,0 +1,147 @@
+#include "datasets/instances.h"
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "text/hashing.h"
+#include "text/lexicon.h"
+#include "text/tokenize.h"
+
+namespace colscope::datasets {
+
+namespace {
+
+struct ValuePool {
+  const char* concept_name;  // Matches text::Lexicon concept names.
+  std::array<const char*, 6> values;
+};
+
+/// Value pools keyed by the lexicon concept of an attribute-name token.
+/// Concepts shared across schemas draw from the same pool, so identical
+/// semantics get overlapping samples (the mechanism behind the paper's
+/// footnote-2 similarity shifts).
+constexpr ValuePool kPools[] = {
+    {"firstname",
+     {"Michael", "Sarah", "James", "Ana", "Wei", "Fatima"}},
+    {"lastname", {"Scott", "Bluth", "Nguyen", "Garcia", "Kim", "Olsen"}},
+    {"name",
+     {"Michael Scott", "Ana Garcia", "Wei Chen", "Sarah Olsen",
+      "James Kim", "Fatima Noor"}},
+    {"city", {"Berlin", "Paris", "Oslo", "Nantes", "Boston", "Kyoto"}},
+    {"street",
+     {"54 Rue Royale", "Erzgebirgsweg 11", "912 Oak St", "Via Monte 3",
+      "Am Ring 7", "Calle Luna 21"}},
+    {"address",
+     {"54 Rue Royale Nantes", "912 Oak St Boston", "Am Ring 7 Berlin",
+      "Via Monte 3 Rome", "Calle Luna 21 Madrid", "Erzgebirgsweg 11 Kln"}},
+    {"country", {"France", "Germany", "Norway", "Japan", "USA", "Spain"}},
+    {"region", {"MA", "NRW", "Viken", "Kansai", "IdF", "Madrid"}},
+    {"postal", {"44000", "02115", "0150", "604-8001", "10117", "28004"}},
+    {"email",
+     {"m.scott@dm.com", "ana@garcia.io", "wei.chen@mail.cn",
+      "s.olsen@nor.no", "jkim@corp.kr", "f.noor@example.org"}},
+    {"phone",
+     {"+33 2 40 41 42", "+49 221 555", "+1 617 555 0101", "+81 75 222",
+      "+47 22 33 44", "+34 91 555"}},
+    {"web",
+     {"www.dm.com", "garcia.io", "chen.example.cn", "olsen.no", "corp.kr",
+      "noor.org"}},
+    {"date",
+     {"2024-01-15", "2023-11-02", "2024-06-30", "2022-03-08", "2024-12-24",
+      "2023-07-19"}},
+    {"datetime",
+     {"2024-01-15 10:22:31", "2023-11-02 08:00:00", "2024-06-30 23:59:01",
+      "2022-03-08 12:30:45", "2024-12-24 18:00:00", "2023-07-19 07:15:00"}},
+    {"year", {"2019", "2020", "2021", "2022", "2023", "2024"}},
+    {"price", {"19.99", "340.00", "7.25", "1299.00", "54.10", "0.99"}},
+    {"amount", {"1034.50", "88.00", "12999.99", "410.75", "5.00", "670.20"}},
+    {"quantity", {"1", "3", "12", "140", "7", "25"}},
+    {"status",
+     {"OPEN", "SHIPPED", "CANCELLED", "COMPLETE", "PENDING", "REFUSED"}},
+    {"id", {"10234", "10911", "20007", "31555", "40018", "57311"}},
+    {"number", {"103", "1748", "292", "8800", "415", "67"}},
+    {"code", {"S10_1678", "S18_2248", "S24_2000", "S12_1099", "S700_2824",
+              "S32_4485"}},
+    {"description",
+     {"durable die-cast model", "limited edition", "hand finished",
+      "classic replica", "premium series", "collector grade"}},
+    {"driver",
+     {"hamilton", "verstappen", "leclerc", "alonso", "norris", "sainz"}},
+    {"constructor",
+     {"ferrari", "mclaren", "red_bull", "mercedes", "williams", "sauber"}},
+    {"circuit",
+     {"monza", "spa", "suzuka", "silverstone", "interlagos", "zandvoort"}},
+    {"nationality",
+     {"British", "Dutch", "Monegasque", "Spanish", "German", "Brazilian"}},
+};
+
+const ValuePool* FindPool(const std::string& concept_name) {
+  for (const ValuePool& pool : kPools) {
+    if (concept_name == pool.concept_name) return &pool;
+  }
+  return nullptr;
+}
+
+/// Type-generic fallbacks when no concept pool applies.
+const char* FallbackValue(schema::DataType type, uint64_t pick) {
+  static constexpr const char* kStrings[] = {"alpha", "bravo", "delta",
+                                             "omega", "sigma", "kappa"};
+  static constexpr const char* kNumbers[] = {"7", "42", "128", "5", "900",
+                                             "13"};
+  static constexpr const char* kDecimals[] = {"1.5", "99.95", "0.25",
+                                              "410.00", "7.77", "3.14"};
+  static constexpr const char* kDates[] = {"2024-05-05", "2023-09-09",
+                                           "2022-12-01", "2024-02-29",
+                                           "2021-06-21", "2020-10-10"};
+  switch (type) {
+    case schema::DataType::kInteger:
+      return kNumbers[pick % 6];
+    case schema::DataType::kDecimal:
+      return kDecimals[pick % 6];
+    case schema::DataType::kDate:
+    case schema::DataType::kDateTime:
+      return kDates[pick % 6];
+    default:
+      return kStrings[pick % 6];
+  }
+}
+
+}  // namespace
+
+void AttachSyntheticSamples(schema::Schema& schema, uint64_t seed,
+                            size_t samples_per_attribute) {
+  const text::Lexicon& lexicon = text::DefaultSchemaLexicon();
+  for (schema::Table& table : schema.mutable_tables()) {
+    for (schema::Attribute& attr : table.attributes) {
+      attr.samples.clear();
+      // Choose the pool of the first attribute-name token that has one;
+      // prefer later (more specific) tokens: "order_date" -> date pool.
+      const ValuePool* pool = nullptr;
+      const auto tokens = text::TokenizeIdentifier(attr.name);
+      for (auto it = tokens.rbegin(); it != tokens.rend() && !pool; ++it) {
+        pool = FindPool(lexicon.Lookup(*it).concept_name);
+      }
+      Rng rng(text::HashCombine(text::Hash64(attr.name + attr.table_name),
+                                seed));
+      for (size_t s = 0; s < samples_per_attribute; ++s) {
+        const uint64_t pick = rng.NextUint64();
+        attr.samples.push_back(pool != nullptr
+                                   ? pool->values[pick % pool->values.size()]
+                                   : FallbackValue(attr.type, pick));
+      }
+    }
+  }
+}
+
+void AttachSyntheticSamples(schema::SchemaSet& set, uint64_t seed,
+                            size_t samples_per_attribute) {
+  // SchemaSet owns its schemas by value; rebuild with samples attached.
+  std::vector<schema::Schema> schemas = set.schemas();
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    AttachSyntheticSamples(schemas[s], seed + s, samples_per_attribute);
+  }
+  set = schema::SchemaSet(std::move(schemas));
+}
+
+}  // namespace colscope::datasets

@@ -1,0 +1,28 @@
+#ifndef COLSCOPE_DATASETS_INSTANCES_H_
+#define COLSCOPE_DATASETS_INSTANCES_H_
+
+#include <cstdint>
+
+#include "schema/schema.h"
+#include "schema/schema_set.h"
+
+namespace colscope::datasets {
+
+/// Attaches synthetic instance-value samples to every attribute of
+/// `schema`, drawn from per-concept value pools (names, cities,
+/// countries, e-mails, dates, prices, ...) selected by the attribute's
+/// tokenized name and falling back to type-generic values. Deterministic
+/// for a fixed seed. This simulates the data-market "sample rows"
+/// setting of Section 2.3 so the instance-serialization trade-off can be
+/// studied without access to the original databases (DESIGN.md,
+/// Substitution 2).
+void AttachSyntheticSamples(schema::Schema& schema, uint64_t seed,
+                            size_t samples_per_attribute = 3);
+
+/// Convenience: attaches samples to every schema of a set.
+void AttachSyntheticSamples(schema::SchemaSet& set, uint64_t seed,
+                            size_t samples_per_attribute = 3);
+
+}  // namespace colscope::datasets
+
+#endif  // COLSCOPE_DATASETS_INSTANCES_H_

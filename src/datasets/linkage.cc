@@ -1,0 +1,132 @@
+#include "datasets/linkage.h"
+
+namespace colscope::datasets {
+
+const char* LinkTypeToString(LinkType type) {
+  switch (type) {
+    case LinkType::kInterIdentical:
+      return "inter-identical";
+    case LinkType::kInterSubTyped:
+      return "inter-sub-typed";
+  }
+  return "unknown";
+}
+
+Linkage Linkage::Make(LinkType type, schema::ElementRef x,
+                      schema::ElementRef y) {
+  Linkage l;
+  l.type = type;
+  if (y < x) std::swap(x, y);
+  l.a = x;
+  l.b = y;
+  return l;
+}
+
+Status GroundTruth::Add(LinkType type, schema::ElementRef a,
+                        schema::ElementRef b) {
+  if (a.schema == b.schema) {
+    return Status::InvalidArgument(
+        "linkages are inter-schema only (Definition of L(S))");
+  }
+  if (a.is_table() != b.is_table()) {
+    return Status::InvalidArgument(
+        "linkages pair tables with tables and attributes with attributes");
+  }
+  Linkage l = Linkage::Make(type, a, b);
+  if (index_.count(l) > 0) {
+    return Status::AlreadyExists("duplicate linkage");
+  }
+  // Also reject the same pair under the other type: a pair has one type.
+  Linkage other = l;
+  other.type = (type == LinkType::kInterIdentical)
+                   ? LinkType::kInterSubTyped
+                   : LinkType::kInterIdentical;
+  if (index_.count(other) > 0) {
+    return Status::AlreadyExists("pair already annotated with another type");
+  }
+  linkages_.push_back(l);
+  index_.insert(l);
+  linkable_.insert(l.a);
+  linkable_.insert(l.b);
+  return Status::Ok();
+}
+
+Status GroundTruth::Add(const schema::SchemaSet& set, LinkType type,
+                        std::string_view schema_a, std::string_view path_a,
+                        std::string_view schema_b, std::string_view path_b) {
+  Result<schema::ElementRef> a = set.Resolve(schema_a, path_a);
+  if (!a.ok()) return a.status();
+  Result<schema::ElementRef> b = set.Resolve(schema_b, path_b);
+  if (!b.ok()) return b.status();
+  return Add(type, *a, *b);
+}
+
+bool GroundTruth::ContainsPair(schema::ElementRef a,
+                               schema::ElementRef b) const {
+  for (LinkType t : {LinkType::kInterIdentical, LinkType::kInterSubTyped}) {
+    if (index_.count(Linkage::Make(t, a, b)) > 0) return true;
+  }
+  return false;
+}
+
+bool GroundTruth::IsLinkable(const schema::ElementRef& ref) const {
+  return linkable_.count(ref) > 0;
+}
+
+std::vector<bool> GroundTruth::LinkabilityLabels(
+    const schema::SchemaSet& set) const {
+  std::vector<bool> labels;
+  labels.reserve(set.num_elements());
+  for (const schema::ElementRef& ref : set.elements()) {
+    labels.push_back(IsLinkable(ref));
+  }
+  return labels;
+}
+
+size_t GroundTruth::NumLinkableInSchema(int schema_index) const {
+  size_t n = 0;
+  for (const schema::ElementRef& ref : linkable_) {
+    if (ref.schema == schema_index) ++n;
+  }
+  return n;
+}
+
+PairLinkageCounts GroundTruth::CountsForSchemaPair(int schema_a,
+                                                   int schema_b) const {
+  PairLinkageCounts counts;
+  for (const Linkage& l : linkages_) {
+    const bool match = (l.a.schema == schema_a && l.b.schema == schema_b) ||
+                       (l.a.schema == schema_b && l.b.schema == schema_a);
+    if (!match) continue;
+    if (l.type == LinkType::kInterIdentical) {
+      ++counts.inter_identical;
+    } else {
+      ++counts.inter_sub_typed;
+    }
+  }
+  return counts;
+}
+
+PairLinkageCounts GroundTruth::TotalCounts() const {
+  PairLinkageCounts counts;
+  for (const Linkage& l : linkages_) {
+    if (l.type == LinkType::kInterIdentical) {
+      ++counts.inter_identical;
+    } else {
+      ++counts.inter_sub_typed;
+    }
+  }
+  return counts;
+}
+
+double MatchingScenario::UnlinkableOverhead() const {
+  size_t linkable = 0;
+  for (const schema::ElementRef& ref : set.elements()) {
+    if (truth.IsLinkable(ref)) ++linkable;
+  }
+  if (linkable == 0) return 0.0;
+  const size_t total = set.num_elements();
+  return static_cast<double>(total - linkable) / static_cast<double>(linkable);
+}
+
+}  // namespace colscope::datasets

@@ -1,0 +1,112 @@
+#ifndef COLSCOPE_DATASETS_LINKAGE_H_
+#define COLSCOPE_DATASETS_LINKAGE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/schema_set.h"
+
+namespace colscope::datasets {
+
+/// Linkage type taxonomy of Section 2.1. Inter-identical covers
+/// one-to-one semantics; inter-sub-typed covers partial information
+/// intersection (attribute splits/merges) and conceptually-similar
+/// tables.
+enum class LinkType {
+  kInterIdentical,
+  kInterSubTyped,
+};
+
+const char* LinkTypeToString(LinkType type);
+
+/// One annotated schema linkage (t_{k_i}, t_{m_l}) or (a_{k_j}, a_{m_n}).
+/// Symmetric: (a, b) and (b, a) denote the same linkage; the canonical
+/// form stores the smaller ElementRef first.
+struct Linkage {
+  LinkType type;
+  schema::ElementRef a;
+  schema::ElementRef b;
+
+  /// Canonicalizes so that a < b.
+  static Linkage Make(LinkType type, schema::ElementRef x,
+                      schema::ElementRef y);
+
+  friend bool operator==(const Linkage& l, const Linkage& r) {
+    return l.type == r.type && l.a == r.a && l.b == r.b;
+  }
+  friend bool operator<(const Linkage& l, const Linkage& r) {
+    if (!(l.a == r.a)) return l.a < r.a;
+    if (!(l.b == r.b)) return l.b < r.b;
+    return static_cast<int>(l.type) < static_cast<int>(r.type);
+  }
+};
+
+/// Per-schema-pair linkage counts (the II / IS columns of Table 3).
+struct PairLinkageCounts {
+  size_t inter_identical = 0;
+  size_t inter_sub_typed = 0;
+  size_t total() const { return inter_identical + inter_sub_typed; }
+};
+
+/// The annotated ground-truth linkage set L(S) for a schema set, plus
+/// the linkability labels it induces (Definition 1: an element is
+/// linkable iff it occurs in at least one linkage pair).
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Adds a linkage; intra-schema pairs and duplicates are rejected.
+  Status Add(LinkType type, schema::ElementRef a, schema::ElementRef b);
+
+  /// Convenience: resolves dotted paths ("TABLE" or "TABLE.ATTR") against
+  /// `set` and adds the linkage.
+  Status Add(const schema::SchemaSet& set, LinkType type,
+             std::string_view schema_a, std::string_view path_a,
+             std::string_view schema_b, std::string_view path_b);
+
+  const std::vector<Linkage>& linkages() const { return linkages_; }
+  size_t size() const { return linkages_.size(); }
+
+  /// True iff the (unordered) element pair occurs in L(S), any type.
+  bool ContainsPair(schema::ElementRef a, schema::ElementRef b) const;
+
+  /// Definition 1: linkable iff the element occurs in some linkage.
+  bool IsLinkable(const schema::ElementRef& ref) const;
+
+  /// Per-element linkability labels in the flattened order of `set`
+  /// (true = linkable). The paper's binary classification target.
+  std::vector<bool> LinkabilityLabels(const schema::SchemaSet& set) const;
+
+  /// Number of linkable elements within one schema.
+  size_t NumLinkableInSchema(int schema_index) const;
+
+  /// II/IS counts for the (unordered) schema pair {schema_a, schema_b}.
+  PairLinkageCounts CountsForSchemaPair(int schema_a, int schema_b) const;
+
+  /// Aggregate II/IS counts over all pairs.
+  PairLinkageCounts TotalCounts() const;
+
+ private:
+  std::vector<Linkage> linkages_;
+  std::set<Linkage> index_;
+  std::set<schema::ElementRef> linkable_;
+};
+
+/// A complete multi-source matching scenario: the schema set S and its
+/// annotated linkage ground truth L(S).
+struct MatchingScenario {
+  std::string name;
+  schema::SchemaSet set;
+  GroundTruth truth;
+
+  /// Unlinkable overhead (|S| - |S'|) / |S'| of Definition 2, in [0, inf).
+  double UnlinkableOverhead() const;
+};
+
+}  // namespace colscope::datasets
+
+#endif  // COLSCOPE_DATASETS_LINKAGE_H_

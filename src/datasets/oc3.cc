@@ -1,0 +1,214 @@
+#include "datasets/oc3.h"
+
+#include "common/check.h"
+#include "schema/ddl_parser.h"
+
+namespace colscope::datasets {
+
+namespace {
+
+schema::Schema MustParse(const char* ddl, const char* name) {
+  Result<schema::Schema> parsed = schema::ParseDdl(ddl, name);
+  COLSCOPE_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+/// Shorthand used by the annotation tables below.
+struct LinkSpec {
+  LinkType type;
+  const char* schema_a;
+  const char* path_a;
+  const char* schema_b;
+  const char* path_b;
+};
+
+constexpr LinkType kII = LinkType::kInterIdentical;
+constexpr LinkType kIS = LinkType::kInterSubTyped;
+
+/// Oracle <-> MySQL: 14 inter-identical + 22 inter-sub-typed (Table 3).
+const LinkSpec kOracleMySql[] = {
+    // Inter-identical tables.
+    {kII, "OC-Oracle", "CUSTOMERS", "OC-MySQL", "customers"},
+    {kII, "OC-Oracle", "ORDERS", "OC-MySQL", "orders"},
+    {kII, "OC-Oracle", "PRODUCTS", "OC-MySQL", "products"},
+    {kII, "OC-Oracle", "ORDER_ITEMS", "OC-MySQL", "orderdetails"},
+    // Inter-identical attributes.
+    {kII, "OC-Oracle", "CUSTOMERS.CUSTOMER_ID", "OC-MySQL",
+     "customers.customerNumber"},
+    {kII, "OC-Oracle", "ORDERS.ORDER_ID", "OC-MySQL", "orders.orderNumber"},
+    {kII, "OC-Oracle", "ORDERS.ORDER_STATUS", "OC-MySQL", "orders.status"},
+    {kII, "OC-Oracle", "ORDERS.CUSTOMER_ID", "OC-MySQL",
+     "orders.customerNumber"},
+    {kII, "OC-Oracle", "ORDER_ITEMS.ORDER_ID", "OC-MySQL",
+     "orderdetails.orderNumber"},
+    {kII, "OC-Oracle", "ORDER_ITEMS.PRODUCT_ID", "OC-MySQL",
+     "orderdetails.productCode"},
+    {kII, "OC-Oracle", "ORDER_ITEMS.QUANTITY", "OC-MySQL",
+     "orderdetails.quantityOrdered"},
+    {kII, "OC-Oracle", "ORDER_ITEMS.UNIT_PRICE", "OC-MySQL",
+     "orderdetails.priceEach"},
+    {kII, "OC-Oracle", "PRODUCTS.PRODUCT_NAME", "OC-MySQL",
+     "products.productName"},
+    {kII, "OC-Oracle", "PRODUCTS.PRODUCT_ID", "OC-MySQL",
+     "products.productCode"},
+    // Inter-sub-typed: partially overlapping semantics.
+    {kIS, "OC-Oracle", "ORDERS.ORDER_DATETIME", "OC-MySQL",
+     "orders.orderDate"},
+    {kIS, "OC-Oracle", "ORDER_ITEMS.LINE_ITEM_ID", "OC-MySQL",
+     "orderdetails.orderLineNumber"},
+    // FULL_NAME splits into contact first/last name and overlaps with the
+    // company-level customerName.
+    {kIS, "OC-Oracle", "CUSTOMERS.FULL_NAME", "OC-MySQL",
+     "customers.contactFirstName"},
+    {kIS, "OC-Oracle", "CUSTOMERS.FULL_NAME", "OC-MySQL",
+     "customers.contactLastName"},
+    {kIS, "OC-Oracle", "CUSTOMERS.FULL_NAME", "OC-MySQL",
+     "customers.customerName"},
+    {kIS, "OC-Oracle", "PRODUCTS.UNIT_PRICE", "OC-MySQL",
+     "products.buyPrice"},
+    // Compound address attributes split into the normalized address parts.
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-MySQL",
+     "customers.addressLine2"},
+    {kIS, "OC-Oracle", "STORES", "OC-MySQL", "offices"},
+    {kIS, "OC-Oracle", "STORES.PHYSICAL_ADDRESS", "OC-MySQL",
+     "offices.addressLine1"},
+    {kIS, "OC-Oracle", "STORES.PHYSICAL_ADDRESS", "OC-MySQL",
+     "offices.city"},
+    {kIS, "OC-Oracle", "STORES.PHYSICAL_ADDRESS", "OC-MySQL",
+     "offices.state"},
+    {kIS, "OC-Oracle", "STORES.PHYSICAL_ADDRESS", "OC-MySQL",
+     "offices.postalCode"},
+    {kIS, "OC-Oracle", "STORES.PHYSICAL_ADDRESS", "OC-MySQL",
+     "offices.country"},
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-MySQL",
+     "customers.addressLine1"},
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-MySQL",
+     "customers.city"},
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-MySQL",
+     "customers.postalCode"},
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-MySQL",
+     "customers.country"},
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-MySQL",
+     "customers.state"},
+    // One-to-many table linkages via shared customer ids and locations
+    // (the CLIENT <-> SHIPMENTS pattern of Figure 1).
+    {kIS, "OC-Oracle", "SHIPMENTS", "OC-MySQL", "customers"},
+    {kIS, "OC-Oracle", "SHIPMENTS", "OC-MySQL", "orders"},
+    {kIS, "OC-Oracle", "SHIPMENTS.CUSTOMER_ID", "OC-MySQL",
+     "customers.customerNumber"},
+    {kIS, "OC-Oracle", "SHIPMENTS.SHIPMENT_STATUS", "OC-MySQL",
+     "orders.status"},
+};
+
+/// Oracle <-> HANA: 10 inter-identical + 8 inter-sub-typed (Table 3).
+const LinkSpec kOracleHana[] = {
+    {kII, "OC-Oracle", "CUSTOMERS", "OC-HANA", "BUSINESSPARTNERS"},
+    {kII, "OC-Oracle", "PRODUCTS", "OC-HANA", "PRODUCTS"},
+    {kII, "OC-Oracle", "ORDERS", "OC-HANA", "SALESORDERS"},
+    {kII, "OC-Oracle", "CUSTOMERS.CUSTOMER_ID", "OC-HANA",
+     "BUSINESSPARTNERS.PARTNER_ID"},
+    {kII, "OC-Oracle", "CUSTOMERS.EMAIL_ADDRESS", "OC-HANA",
+     "BUSINESSPARTNERS.EMAIL_ADDRESS"},
+    {kII, "OC-Oracle", "PRODUCTS.PRODUCT_ID", "OC-HANA",
+     "PRODUCTS.PRODUCT_ID"},
+    {kII, "OC-Oracle", "PRODUCTS.UNIT_PRICE", "OC-HANA", "PRODUCTS.PRICE"},
+    {kII, "OC-Oracle", "PRODUCTS.PRODUCT_DETAILS", "OC-HANA",
+     "PRODUCTS.PRODUCT_DESCRIPTION"},
+    {kII, "OC-Oracle", "ORDERS.ORDER_ID", "OC-HANA",
+     "SALESORDERS.SALESORDER_ID"},
+    {kII, "OC-Oracle", "ORDERS.CUSTOMER_ID", "OC-HANA",
+     "SALESORDERS.PARTNER_ID"},
+    {kIS, "OC-Oracle", "CUSTOMERS.FULL_NAME", "OC-HANA",
+     "BUSINESSPARTNERS.COMPANY_NAME"},
+    {kIS, "OC-Oracle", "STORES.WEB_ADDRESS", "OC-HANA",
+     "BUSINESSPARTNERS.WEB_ADDRESS"},
+    {kIS, "OC-Oracle", "STORES.PHYSICAL_ADDRESS", "OC-HANA",
+     "BUSINESSPARTNERS.STREET"},
+    {kIS, "OC-Oracle", "STORES.PHYSICAL_ADDRESS", "OC-HANA",
+     "BUSINESSPARTNERS.CITY"},
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-HANA",
+     "BUSINESSPARTNERS.CITY"},
+    {kIS, "OC-Oracle", "SHIPMENTS.DELIVERY_ADDRESS", "OC-HANA",
+     "BUSINESSPARTNERS.POSTAL_CODE"},
+    {kIS, "OC-Oracle", "SHIPMENTS", "OC-HANA", "BUSINESSPARTNERS"},
+    {kIS, "OC-Oracle", "STORES", "OC-HANA", "BUSINESSPARTNERS"},
+};
+
+/// MySQL <-> HANA: 15 inter-identical + 1 inter-sub-typed (Table 3).
+const LinkSpec kMySqlHana[] = {
+    {kII, "OC-MySQL", "customers", "OC-HANA", "BUSINESSPARTNERS"},
+    {kII, "OC-MySQL", "products", "OC-HANA", "PRODUCTS"},
+    {kII, "OC-MySQL", "orders", "OC-HANA", "SALESORDERS"},
+    {kII, "OC-MySQL", "customers.customerNumber", "OC-HANA",
+     "BUSINESSPARTNERS.PARTNER_ID"},
+    {kII, "OC-MySQL", "customers.phone", "OC-HANA",
+     "BUSINESSPARTNERS.PHONE_NUMBER"},
+    {kII, "OC-MySQL", "customers.city", "OC-HANA", "BUSINESSPARTNERS.CITY"},
+    {kII, "OC-MySQL", "customers.state", "OC-HANA",
+     "BUSINESSPARTNERS.REGION"},
+    {kII, "OC-MySQL", "customers.postalCode", "OC-HANA",
+     "BUSINESSPARTNERS.POSTAL_CODE"},
+    {kII, "OC-MySQL", "customers.country", "OC-HANA",
+     "BUSINESSPARTNERS.COUNTRY"},
+    {kII, "OC-MySQL", "customers.addressLine1", "OC-HANA",
+     "BUSINESSPARTNERS.STREET"},
+    {kII, "OC-MySQL", "products.productCode", "OC-HANA",
+     "PRODUCTS.PRODUCT_ID"},
+    {kII, "OC-MySQL", "products.buyPrice", "OC-HANA", "PRODUCTS.PRICE"},
+    {kII, "OC-MySQL", "products.productDescription", "OC-HANA",
+     "PRODUCTS.PRODUCT_DESCRIPTION"},
+    {kII, "OC-MySQL", "orders.orderNumber", "OC-HANA",
+     "SALESORDERS.SALESORDER_ID"},
+    {kII, "OC-MySQL", "orders.customerNumber", "OC-HANA",
+     "SALESORDERS.PARTNER_ID"},
+    // classicmodels' customerName is a company name, so it only partially
+    // matches the partner-level COMPANY_NAME.
+    {kIS, "OC-MySQL", "customers.customerName", "OC-HANA",
+     "BUSINESSPARTNERS.COMPANY_NAME"},
+};
+
+void AddAll(MatchingScenario& scenario, const LinkSpec* specs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const LinkSpec& s = specs[i];
+    Status st = scenario.truth.Add(scenario.set, s.type, s.schema_a, s.path_a,
+                                   s.schema_b, s.path_b);
+    COLSCOPE_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+}
+
+MatchingScenario BuildScenario(bool include_formula_one) {
+  MatchingScenario scenario;
+  scenario.name = include_formula_one ? "OC3-FO" : "OC3";
+  std::vector<schema::Schema> schemas;
+  schemas.push_back(LoadOracleSchema());
+  schemas.push_back(LoadMySqlSchema());
+  schemas.push_back(LoadHanaSchema());
+  if (include_formula_one) schemas.push_back(LoadFormulaOneSchema());
+  scenario.set = schema::SchemaSet(std::move(schemas));
+
+  AddAll(scenario, kOracleMySql, std::size(kOracleMySql));
+  AddAll(scenario, kOracleHana, std::size(kOracleHana));
+  AddAll(scenario, kMySqlHana, std::size(kMySqlHana));
+  // The Formula One schema contributes no linkages (Table 2: 0 linkable).
+  return scenario;
+}
+
+}  // namespace
+
+schema::Schema LoadOracleSchema() {
+  return MustParse(OracleDdl(), "OC-Oracle");
+}
+
+schema::Schema LoadMySqlSchema() { return MustParse(MySqlDdl(), "OC-MySQL"); }
+
+schema::Schema LoadHanaSchema() { return MustParse(HanaDdl(), "OC-HANA"); }
+
+schema::Schema LoadFormulaOneSchema() {
+  return MustParse(FormulaOneDdl(), "FormulaOne");
+}
+
+MatchingScenario BuildOc3Scenario() { return BuildScenario(false); }
+
+MatchingScenario BuildOc3FoScenario() { return BuildScenario(true); }
+
+}  // namespace colscope::datasets

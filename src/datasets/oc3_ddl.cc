@@ -1,0 +1,388 @@
+#include "datasets/oc3.h"
+
+namespace colscope::datasets {
+
+// Reconstruction of the Oracle "Customer Orders" sample schema
+// (github.com/oracle-samples/db-sample-schemas): 7 tables, 43 attributes.
+const char* OracleDdl() {
+  return R"sql(
+-- OC-Oracle: Oracle Customer Orders sample schema (CO).
+CREATE TABLE CUSTOMERS (
+  CUSTOMER_ID    NUMBER PRIMARY KEY,
+  EMAIL_ADDRESS  VARCHAR2(255) NOT NULL,
+  FULL_NAME      VARCHAR2(255) NOT NULL
+);
+
+CREATE TABLE STORES (
+  STORE_ID           NUMBER PRIMARY KEY,
+  STORE_NAME         VARCHAR2(255) NOT NULL,
+  WEB_ADDRESS        VARCHAR2(100),
+  PHYSICAL_ADDRESS   VARCHAR2(512),
+  LATITUDE           NUMBER,
+  LONGITUDE          NUMBER,
+  LOGO               BLOB,
+  LOGO_MIME_TYPE     VARCHAR2(512),
+  LOGO_FILENAME      VARCHAR2(512),
+  LOGO_CHARSET       VARCHAR2(512),
+  LOGO_LAST_UPDATED  DATE
+);
+
+CREATE TABLE PRODUCTS (
+  PRODUCT_ID          NUMBER PRIMARY KEY,
+  PRODUCT_NAME        VARCHAR2(255) NOT NULL,
+  UNIT_PRICE          NUMBER(10,2),
+  PRODUCT_DETAILS     BLOB,
+  PRODUCT_IMAGE       BLOB,
+  IMAGE_MIME_TYPE     VARCHAR2(512),
+  IMAGE_FILENAME      VARCHAR2(512),
+  IMAGE_CHARSET       VARCHAR2(512),
+  IMAGE_LAST_UPDATED  DATE
+);
+
+CREATE TABLE ORDERS (
+  ORDER_ID        NUMBER PRIMARY KEY,
+  ORDER_DATETIME  DATE NOT NULL,
+  CUSTOMER_ID     NUMBER NOT NULL REFERENCES CUSTOMERS(CUSTOMER_ID),
+  ORDER_STATUS    VARCHAR2(10) NOT NULL,
+  STORE_ID        NUMBER NOT NULL REFERENCES STORES(STORE_ID)
+);
+
+CREATE TABLE SHIPMENTS (
+  SHIPMENT_ID       NUMBER PRIMARY KEY,
+  STORE_ID          NUMBER NOT NULL REFERENCES STORES(STORE_ID),
+  CUSTOMER_ID       NUMBER NOT NULL REFERENCES CUSTOMERS(CUSTOMER_ID),
+  DELIVERY_ADDRESS  VARCHAR2(512) NOT NULL,
+  SHIPMENT_STATUS   VARCHAR2(100) NOT NULL
+);
+
+CREATE TABLE ORDER_ITEMS (
+  ORDER_ID      NUMBER NOT NULL REFERENCES ORDERS(ORDER_ID),
+  LINE_ITEM_ID  NUMBER NOT NULL,
+  PRODUCT_ID    NUMBER NOT NULL REFERENCES PRODUCTS(PRODUCT_ID),
+  UNIT_PRICE    NUMBER(10,2),
+  QUANTITY      NUMBER,
+  SHIPMENT_ID   NUMBER REFERENCES SHIPMENTS(SHIPMENT_ID)
+);
+
+CREATE TABLE INVENTORY (
+  INVENTORY_ID       NUMBER PRIMARY KEY,
+  STORE_ID           NUMBER NOT NULL REFERENCES STORES(STORE_ID),
+  PRODUCT_ID         NUMBER NOT NULL REFERENCES PRODUCTS(PRODUCT_ID),
+  PRODUCT_INVENTORY  NUMBER NOT NULL
+);
+)sql";
+}
+
+// Reconstruction of the MySQL "classicmodels" sample database
+// (mysqltutorial.org): 8 tables, 59 attributes.
+const char* MySqlDdl() {
+  return R"sql(
+-- OC-MySQL: classicmodels sample database.
+CREATE TABLE customers (
+  customerNumber          INT PRIMARY KEY,
+  customerName            VARCHAR(50) NOT NULL,
+  contactLastName         VARCHAR(50) NOT NULL,
+  contactFirstName        VARCHAR(50) NOT NULL,
+  phone                   VARCHAR(50) NOT NULL,
+  addressLine1            VARCHAR(50) NOT NULL,
+  addressLine2            VARCHAR(50),
+  city                    VARCHAR(50) NOT NULL,
+  state                   VARCHAR(50),
+  postalCode              VARCHAR(15),
+  country                 VARCHAR(50) NOT NULL,
+  salesRepEmployeeNumber  INT REFERENCES employees(employeeNumber),
+  creditLimit             DECIMAL(10,2)
+);
+
+CREATE TABLE employees (
+  employeeNumber  INT PRIMARY KEY,
+  lastName        VARCHAR(50) NOT NULL,
+  firstName       VARCHAR(50) NOT NULL,
+  extension       VARCHAR(10) NOT NULL,
+  email           VARCHAR(100) NOT NULL,
+  officeCode      VARCHAR(10) NOT NULL REFERENCES offices(officeCode),
+  reportsTo       INT REFERENCES employees(employeeNumber),
+  jobTitle        VARCHAR(50) NOT NULL
+);
+
+CREATE TABLE offices (
+  officeCode    VARCHAR(10) PRIMARY KEY,
+  city          VARCHAR(50) NOT NULL,
+  phone         VARCHAR(50) NOT NULL,
+  addressLine1  VARCHAR(50) NOT NULL,
+  addressLine2  VARCHAR(50),
+  state         VARCHAR(50),
+  country       VARCHAR(50) NOT NULL,
+  postalCode    VARCHAR(15) NOT NULL,
+  territory     VARCHAR(10) NOT NULL
+);
+
+CREATE TABLE orders (
+  orderNumber     INT PRIMARY KEY,
+  orderDate       DATE NOT NULL,
+  requiredDate    DATE NOT NULL,
+  shippedDate     DATE,
+  status          VARCHAR(15) NOT NULL,
+  comments        TEXT,
+  customerNumber  INT NOT NULL REFERENCES customers(customerNumber)
+);
+
+CREATE TABLE orderdetails (
+  orderNumber      INT NOT NULL REFERENCES orders(orderNumber),
+  productCode      VARCHAR(15) NOT NULL REFERENCES products(productCode),
+  quantityOrdered  INT NOT NULL,
+  priceEach        DECIMAL(10,2) NOT NULL,
+  orderLineNumber  SMALLINT NOT NULL
+);
+
+CREATE TABLE payments (
+  customerNumber  INT NOT NULL REFERENCES customers(customerNumber),
+  checkNumber     VARCHAR(50) NOT NULL,
+  paymentDate     DATE NOT NULL,
+  amount          DECIMAL(10,2) NOT NULL
+);
+
+CREATE TABLE productlines (
+  productLine      VARCHAR(50) PRIMARY KEY,
+  textDescription  VARCHAR(4000),
+  htmlDescription  MEDIUMTEXT,
+  image            BLOB
+);
+
+CREATE TABLE products (
+  productCode         VARCHAR(15) PRIMARY KEY,
+  productName         VARCHAR(70) NOT NULL,
+  productLine         VARCHAR(50) NOT NULL REFERENCES productlines(productLine),
+  productScale        VARCHAR(10) NOT NULL,
+  productVendor       VARCHAR(50) NOT NULL,
+  productDescription  TEXT NOT NULL,
+  quantityInStock     SMALLINT NOT NULL,
+  buyPrice            DECIMAL(10,2) NOT NULL,
+  MSRP                DECIMAL(10,2) NOT NULL
+);
+)sql";
+}
+
+// SAP-HANA-style order/customer tutorial schema (EPM/SHINE-flavoured):
+// 3 wide, denormalized tables, 40 attributes — the paper's OC-HANA counts.
+const char* HanaDdl() {
+  return R"sql(
+-- OC-HANA: SAP HANA database-fundamentals tutorial schema.
+CREATE TABLE BUSINESSPARTNERS (
+  PARTNER_ID     INTEGER PRIMARY KEY,
+  PARTNER_ROLE   VARCHAR(3),
+  EMAIL_ADDRESS  VARCHAR(108),
+  PHONE_NUMBER   VARCHAR(30),
+  FAX_NUMBER     VARCHAR(30),
+  WEB_ADDRESS    VARCHAR(192),
+  COMPANY_NAME   VARCHAR(80),
+  LEGAL_FORM     VARCHAR(10),
+  CURRENCY       VARCHAR(5),
+  CITY           VARCHAR(40),
+  POSTAL_CODE    VARCHAR(10),
+  STREET         VARCHAR(60),
+  BUILDING       VARCHAR(10),
+  COUNTRY        VARCHAR(3),
+  REGION         VARCHAR(4)
+);
+
+CREATE TABLE PRODUCTS (
+  PRODUCT_ID           VARCHAR(10) PRIMARY KEY,
+  TYPE_CODE            VARCHAR(2),
+  PRODUCT_CATEGORY     VARCHAR(40),
+  SUPPLIER_ID          INTEGER REFERENCES BUSINESSPARTNERS(PARTNER_ID),
+  TAX_TARIF_CODE       SMALLINT,
+  QUANTITY_UNIT        VARCHAR(3),
+  WEIGHT_MEASURE       DECIMAL(13,3),
+  WEIGHT_UNIT          VARCHAR(3),
+  CURRENCY             VARCHAR(5),
+  PRICE                DECIMAL(15,2),
+  WIDTH                DECIMAL(13,3),
+  DEPTH                DECIMAL(13,3),
+  HEIGHT               DECIMAL(13,3),
+  DIMENSION_UNIT       VARCHAR(3),
+  PRODUCT_DESCRIPTION  VARCHAR(255)
+);
+
+CREATE TABLE SALESORDERS (
+  SALESORDER_ID     INTEGER PRIMARY KEY,
+  CREATED_AT        DATE,
+  PARTNER_ID        INTEGER REFERENCES BUSINESSPARTNERS(PARTNER_ID),
+  PRODUCT_ID        VARCHAR(10) REFERENCES PRODUCTS(PRODUCT_ID),
+  CURRENCY          VARCHAR(5),
+  GROSS_AMOUNT      DECIMAL(15,2),
+  NET_AMOUNT        DECIMAL(15,2),
+  TAX_AMOUNT        DECIMAL(15,2),
+  QUANTITY          DECIMAL(13,3),
+  LIFECYCLE_STATUS  VARCHAR(1)
+);
+)sql";
+}
+
+// Formula One schema following jolpica-f1 (the Ergast successor the
+// paper cites): 16 tables, 111 attributes, entirely unrelated domain.
+const char* FormulaOneDdl() {
+  return R"sql(
+-- Formula One: jolpica-f1 relational schema.
+CREATE TABLE circuits (
+  circuit_id   INT PRIMARY KEY,
+  circuit_ref  VARCHAR(255),
+  name         VARCHAR(255),
+  location     VARCHAR(255),
+  country      VARCHAR(255),
+  lat          FLOAT,
+  lng          FLOAT,
+  alt          INT,
+  url          VARCHAR(255)
+);
+
+CREATE TABLE constructors (
+  constructor_id   INT PRIMARY KEY,
+  constructor_ref  VARCHAR(255),
+  name             VARCHAR(255),
+  nationality      VARCHAR(255),
+  url              VARCHAR(255)
+);
+
+CREATE TABLE drivers (
+  driver_id    INT PRIMARY KEY,
+  driver_ref   VARCHAR(255),
+  number       INT,
+  code         VARCHAR(3),
+  forename     VARCHAR(255),
+  surname      VARCHAR(255),
+  dob          DATE,
+  nationality  VARCHAR(255),
+  url          VARCHAR(255)
+);
+
+CREATE TABLE races (
+  race_id     INT PRIMARY KEY,
+  year        INT,
+  round       INT,
+  circuit_id  INT REFERENCES circuits(circuit_id),
+  name        VARCHAR(255),
+  date        DATE,
+  time        VARCHAR(255),
+  url         VARCHAR(255)
+);
+
+CREATE TABLE results (
+  result_id         INT PRIMARY KEY,
+  race_id           INT REFERENCES races(race_id),
+  driver_id         INT REFERENCES drivers(driver_id),
+  constructor_id    INT REFERENCES constructors(constructor_id),
+  number            INT,
+  grid              INT,
+  position          INT,
+  position_text     VARCHAR(255),
+  points            FLOAT,
+  laps              INT,
+  time              VARCHAR(255),
+  milliseconds      INT,
+  fastest_lap       INT,
+  fastest_lap_time  VARCHAR(255),
+  fastest_lap_speed VARCHAR(255),
+  status_id         INT REFERENCES status(status_id)
+);
+
+CREATE TABLE sprint_results (
+  sprint_result_id  INT PRIMARY KEY,
+  race_id           INT REFERENCES races(race_id),
+  driver_id         INT REFERENCES drivers(driver_id),
+  constructor_id    INT REFERENCES constructors(constructor_id),
+  number            INT,
+  grid              INT,
+  position          INT,
+  points            FLOAT,
+  laps              INT,
+  time              VARCHAR(255),
+  milliseconds      INT,
+  status_id         INT REFERENCES status(status_id)
+);
+
+CREATE TABLE qualifying (
+  qualify_id      INT PRIMARY KEY,
+  race_id         INT REFERENCES races(race_id),
+  driver_id       INT REFERENCES drivers(driver_id),
+  constructor_id  INT REFERENCES constructors(constructor_id),
+  number          INT,
+  position        INT,
+  q1              VARCHAR(255),
+  q2              VARCHAR(255),
+  q3              VARCHAR(255)
+);
+
+CREATE TABLE lap_times (
+  race_id       INT REFERENCES races(race_id),
+  driver_id     INT REFERENCES drivers(driver_id),
+  lap           INT,
+  position      INT,
+  time          VARCHAR(255),
+  milliseconds  INT
+);
+
+CREATE TABLE pit_stops (
+  race_id       INT REFERENCES races(race_id),
+  driver_id     INT REFERENCES drivers(driver_id),
+  stop          INT,
+  lap           INT,
+  time          VARCHAR(255),
+  duration      VARCHAR(255),
+  milliseconds  INT
+);
+
+CREATE TABLE driver_standings (
+  driver_standings_id  INT PRIMARY KEY,
+  race_id              INT REFERENCES races(race_id),
+  driver_id            INT REFERENCES drivers(driver_id),
+  points               FLOAT,
+  position             INT,
+  position_text        VARCHAR(255),
+  wins                 INT
+);
+
+CREATE TABLE constructor_standings (
+  constructor_standings_id  INT PRIMARY KEY,
+  race_id                   INT REFERENCES races(race_id),
+  constructor_id            INT REFERENCES constructors(constructor_id),
+  points                    FLOAT,
+  position                  INT,
+  position_text             VARCHAR(255),
+  wins                      INT
+);
+
+CREATE TABLE constructor_results (
+  constructor_results_id  INT PRIMARY KEY,
+  race_id                 INT REFERENCES races(race_id),
+  constructor_id          INT REFERENCES constructors(constructor_id),
+  points                  FLOAT,
+  status                  VARCHAR(255)
+);
+
+CREATE TABLE seasons (
+  year  INT PRIMARY KEY,
+  url   VARCHAR(255)
+);
+
+CREATE TABLE status (
+  status_id  INT PRIMARY KEY,
+  status     VARCHAR(255)
+);
+
+CREATE TABLE sessions (
+  session_id      INT PRIMARY KEY,
+  race_id         INT REFERENCES races(race_id),
+  session_type    VARCHAR(255),
+  scheduled_date  DATE
+);
+
+CREATE TABLE team_drivers (
+  team_driver_id  INT PRIMARY KEY,
+  constructor_id  INT REFERENCES constructors(constructor_id),
+  driver_id       INT REFERENCES drivers(driver_id)
+);
+)sql";
+}
+
+}  // namespace colscope::datasets

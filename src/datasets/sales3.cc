@@ -1,0 +1,210 @@
+#include "datasets/sales3.h"
+
+#include "common/check.h"
+#include "schema/ddl_parser.h"
+
+namespace colscope::datasets {
+
+namespace {
+
+schema::Schema MustParse(const char* ddl, const char* name) {
+  Result<schema::Schema> parsed = schema::ParseDdl(ddl, name);
+  COLSCOPE_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+struct LinkSpec {
+  LinkType type;
+  const char* schema_a;
+  const char* path_a;
+  const char* schema_b;
+  const char* path_b;
+};
+
+constexpr LinkType kII = LinkType::kInterIdentical;
+constexpr LinkType kIS = LinkType::kInterSubTyped;
+
+// TPC-H <-> Northwind.
+const LinkSpec kTpchNorthwind[] = {
+    {kII, "TPCH", "customer", "Northwind", "Customers"},
+    {kII, "TPCH", "orders", "Northwind", "Orders"},
+    {kII, "TPCH", "lineitem", "Northwind", "OrderDetails"},
+    {kII, "TPCH", "part", "Northwind", "Products"},
+    {kII, "TPCH", "supplier", "Northwind", "Suppliers"},
+    {kII, "TPCH", "customer.c_custkey", "Northwind",
+     "Customers.CustomerID"},
+    {kIS, "TPCH", "customer.c_name", "Northwind", "Customers.CompanyName"},
+    {kIS, "TPCH", "customer.c_name", "Northwind", "Customers.ContactName"},
+    {kII, "TPCH", "customer.c_address", "Northwind", "Customers.Address"},
+    {kII, "TPCH", "customer.c_phone", "Northwind", "Customers.Phone"},
+    {kII, "TPCH", "orders.o_orderkey", "Northwind", "Orders.OrderID"},
+    {kII, "TPCH", "orders.o_custkey", "Northwind", "Orders.CustomerID"},
+    {kII, "TPCH", "orders.o_orderdate", "Northwind", "Orders.OrderDate"},
+    {kIS, "TPCH", "orders.o_totalprice", "Northwind", "Orders.Freight"},
+    {kII, "TPCH", "lineitem.l_orderkey", "Northwind",
+     "OrderDetails.OrderID"},
+    {kII, "TPCH", "lineitem.l_partkey", "Northwind",
+     "OrderDetails.ProductID"},
+    {kII, "TPCH", "lineitem.l_quantity", "Northwind",
+     "OrderDetails.Quantity"},
+    {kII, "TPCH", "lineitem.l_extendedprice", "Northwind",
+     "OrderDetails.UnitPrice"},
+    {kII, "TPCH", "lineitem.l_discount", "Northwind",
+     "OrderDetails.Discount"},
+    {kIS, "TPCH", "lineitem.l_shipdate", "Northwind",
+     "Orders.ShippedDate"},
+    {kII, "TPCH", "part.p_partkey", "Northwind", "Products.ProductID"},
+    {kII, "TPCH", "part.p_name", "Northwind", "Products.ProductName"},
+    {kIS, "TPCH", "part.p_retailprice", "Northwind",
+     "Products.UnitPrice"},
+    {kII, "TPCH", "supplier.s_suppkey", "Northwind",
+     "Suppliers.SupplierID"},
+    {kIS, "TPCH", "supplier.s_name", "Northwind",
+     "Suppliers.CompanyName"},
+    {kII, "TPCH", "supplier.s_address", "Northwind", "Suppliers.Address"},
+    {kII, "TPCH", "supplier.s_phone", "Northwind", "Suppliers.Phone"},
+    {kIS, "TPCH", "nation.n_name", "Northwind", "Customers.Country"},
+};
+
+// TPC-H <-> SSB (the star schema is a denormalization of TPC-H).
+const LinkSpec kTpchSsb[] = {
+    {kII, "TPCH", "customer", "SSB", "ssb_customer"},
+    {kII, "TPCH", "supplier", "SSB", "ssb_supplier"},
+    {kII, "TPCH", "part", "SSB", "ssb_part"},
+    {kIS, "TPCH", "lineitem", "SSB", "ssb_lineorder"},
+    {kIS, "TPCH", "orders", "SSB", "ssb_lineorder"},
+    {kII, "TPCH", "customer.c_custkey", "SSB", "ssb_customer.c_custkey"},
+    {kII, "TPCH", "customer.c_name", "SSB", "ssb_customer.c_name"},
+    {kII, "TPCH", "customer.c_address", "SSB", "ssb_customer.c_address"},
+    {kII, "TPCH", "customer.c_phone", "SSB", "ssb_customer.c_phone"},
+    {kII, "TPCH", "customer.c_mktsegment", "SSB",
+     "ssb_customer.c_mktsegment"},
+    {kIS, "TPCH", "nation.n_name", "SSB", "ssb_customer.c_nation"},
+    {kIS, "TPCH", "region.r_name", "SSB", "ssb_customer.c_region"},
+    {kII, "TPCH", "supplier.s_suppkey", "SSB", "ssb_supplier.s_suppkey"},
+    {kII, "TPCH", "supplier.s_name", "SSB", "ssb_supplier.s_name"},
+    {kII, "TPCH", "supplier.s_address", "SSB", "ssb_supplier.s_address"},
+    {kII, "TPCH", "supplier.s_phone", "SSB", "ssb_supplier.s_phone"},
+    {kIS, "TPCH", "nation.n_name", "SSB", "ssb_supplier.s_nation"},
+    {kIS, "TPCH", "region.r_name", "SSB", "ssb_supplier.s_region"},
+    {kII, "TPCH", "part.p_partkey", "SSB", "ssb_part.p_partkey"},
+    {kII, "TPCH", "part.p_name", "SSB", "ssb_part.p_name"},
+    {kII, "TPCH", "part.p_mfgr", "SSB", "ssb_part.p_mfgr"},
+    {kII, "TPCH", "part.p_brand", "SSB", "ssb_part.p_brand"},
+    {kII, "TPCH", "part.p_type", "SSB", "ssb_part.p_type"},
+    {kII, "TPCH", "part.p_size", "SSB", "ssb_part.p_size"},
+    {kII, "TPCH", "part.p_container", "SSB", "ssb_part.p_container"},
+    {kII, "TPCH", "lineitem.l_orderkey", "SSB",
+     "ssb_lineorder.lo_orderkey"},
+    {kII, "TPCH", "lineitem.l_linenumber", "SSB",
+     "ssb_lineorder.lo_linenumber"},
+    {kII, "TPCH", "lineitem.l_partkey", "SSB", "ssb_lineorder.lo_partkey"},
+    {kII, "TPCH", "lineitem.l_suppkey", "SSB", "ssb_lineorder.lo_suppkey"},
+    {kII, "TPCH", "lineitem.l_quantity", "SSB",
+     "ssb_lineorder.lo_quantity"},
+    {kII, "TPCH", "lineitem.l_extendedprice", "SSB",
+     "ssb_lineorder.lo_extendedprice"},
+    {kII, "TPCH", "lineitem.l_discount", "SSB",
+     "ssb_lineorder.lo_discount"},
+    {kII, "TPCH", "lineitem.l_tax", "SSB", "ssb_lineorder.lo_tax"},
+    {kII, "TPCH", "lineitem.l_commitdate", "SSB",
+     "ssb_lineorder.lo_commitdate"},
+    {kII, "TPCH", "lineitem.l_shipmode", "SSB",
+     "ssb_lineorder.lo_shipmode"},
+    {kII, "TPCH", "orders.o_custkey", "SSB", "ssb_lineorder.lo_custkey"},
+    {kII, "TPCH", "orders.o_orderdate", "SSB",
+     "ssb_lineorder.lo_orderdate"},
+    {kII, "TPCH", "orders.o_orderpriority", "SSB",
+     "ssb_lineorder.lo_orderpriority"},
+    {kII, "TPCH", "orders.o_shippriority", "SSB",
+     "ssb_lineorder.lo_shippriority"},
+    {kIS, "TPCH", "orders.o_totalprice", "SSB",
+     "ssb_lineorder.lo_ordtotalprice"},
+    {kIS, "TPCH", "partsupp.ps_supplycost", "SSB",
+     "ssb_lineorder.lo_supplycost"},
+};
+
+// Northwind <-> SSB.
+const LinkSpec kNorthwindSsb[] = {
+    {kII, "Northwind", "Customers", "SSB", "ssb_customer"},
+    {kII, "Northwind", "Suppliers", "SSB", "ssb_supplier"},
+    {kII, "Northwind", "Products", "SSB", "ssb_part"},
+    {kIS, "Northwind", "OrderDetails", "SSB", "ssb_lineorder"},
+    {kIS, "Northwind", "Orders", "SSB", "ssb_lineorder"},
+    {kII, "Northwind", "Customers.CustomerID", "SSB",
+     "ssb_customer.c_custkey"},
+    {kIS, "Northwind", "Customers.CompanyName", "SSB",
+     "ssb_customer.c_name"},
+    {kII, "Northwind", "Customers.Address", "SSB",
+     "ssb_customer.c_address"},
+    {kII, "Northwind", "Customers.City", "SSB", "ssb_customer.c_city"},
+    {kIS, "Northwind", "Customers.Country", "SSB",
+     "ssb_customer.c_nation"},
+    {kIS, "Northwind", "Customers.Region", "SSB", "ssb_customer.c_region"},
+    {kII, "Northwind", "Customers.Phone", "SSB", "ssb_customer.c_phone"},
+    {kII, "Northwind", "Suppliers.SupplierID", "SSB",
+     "ssb_supplier.s_suppkey"},
+    {kIS, "Northwind", "Suppliers.CompanyName", "SSB",
+     "ssb_supplier.s_name"},
+    {kII, "Northwind", "Suppliers.Address", "SSB",
+     "ssb_supplier.s_address"},
+    {kII, "Northwind", "Suppliers.City", "SSB", "ssb_supplier.s_city"},
+    {kIS, "Northwind", "Suppliers.Country", "SSB",
+     "ssb_supplier.s_nation"},
+    {kII, "Northwind", "Suppliers.Phone", "SSB", "ssb_supplier.s_phone"},
+    {kII, "Northwind", "Products.ProductID", "SSB",
+     "ssb_part.p_partkey"},
+    {kII, "Northwind", "Products.ProductName", "SSB", "ssb_part.p_name"},
+    {kIS, "Northwind", "Categories.CategoryName", "SSB",
+     "ssb_part.p_category"},
+    {kII, "Northwind", "OrderDetails.OrderID", "SSB",
+     "ssb_lineorder.lo_orderkey"},
+    {kII, "Northwind", "OrderDetails.ProductID", "SSB",
+     "ssb_lineorder.lo_partkey"},
+    {kII, "Northwind", "OrderDetails.Quantity", "SSB",
+     "ssb_lineorder.lo_quantity"},
+    {kIS, "Northwind", "OrderDetails.UnitPrice", "SSB",
+     "ssb_lineorder.lo_extendedprice"},
+    {kII, "Northwind", "OrderDetails.Discount", "SSB",
+     "ssb_lineorder.lo_discount"},
+    {kII, "Northwind", "Orders.CustomerID", "SSB",
+     "ssb_lineorder.lo_custkey"},
+    {kII, "Northwind", "Orders.OrderDate", "SSB",
+     "ssb_lineorder.lo_orderdate"},
+};
+
+void AddAll(MatchingScenario& scenario, const LinkSpec* specs,
+            size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const LinkSpec& s = specs[i];
+    Status st = scenario.truth.Add(scenario.set, s.type, s.schema_a,
+                                   s.path_a, s.schema_b, s.path_b);
+    COLSCOPE_CHECK_MSG(st.ok(),
+                       (std::string(s.path_a) + " <-> " + s.path_b + ": " +
+                        st.ToString())
+                           .c_str());
+  }
+}
+
+}  // namespace
+
+schema::Schema LoadTpchSchema() { return MustParse(TpchDdl(), "TPCH"); }
+
+schema::Schema LoadNorthwindSchema() {
+  return MustParse(NorthwindDdl(), "Northwind");
+}
+
+schema::Schema LoadSsbSchema() { return MustParse(SsbDdl(), "SSB"); }
+
+MatchingScenario BuildSales3Scenario() {
+  MatchingScenario scenario;
+  scenario.name = "Sales3";
+  scenario.set = schema::SchemaSet(
+      {LoadTpchSchema(), LoadNorthwindSchema(), LoadSsbSchema()});
+  AddAll(scenario, kTpchNorthwind, std::size(kTpchNorthwind));
+  AddAll(scenario, kTpchSsb, std::size(kTpchSsb));
+  AddAll(scenario, kNorthwindSsb, std::size(kNorthwindSsb));
+  return scenario;
+}
+
+}  // namespace colscope::datasets

@@ -1,0 +1,33 @@
+#ifndef COLSCOPE_DATASETS_SALES3_H_
+#define COLSCOPE_DATASETS_SALES3_H_
+
+#include "datasets/linkage.h"
+#include "schema/schema.h"
+
+namespace colscope::datasets {
+
+/// "Sales3": a second, independent multi-source scenario built from
+/// three classic public sales schemas — TPC-H (normalized, 8 tables),
+/// Northwind (application-style, 11 tables), and the Star Schema
+/// Benchmark (denormalized, 5 tables). Not part of the paper's
+/// evaluation; used to check that collaborative scoping's behaviour
+/// generalizes beyond OC3/OC3-FO (bench_ablation_generalization).
+/// Ground-truth linkages are annotated for the obvious correspondences
+/// (customers / orders / line items / parts / suppliers and their key
+/// attributes); warehouse-specific and app-specific elements
+/// (nation/region graph, Northwind HR tables, SSB date dimension) are
+/// unlinkable overhead.
+schema::Schema LoadTpchSchema();
+schema::Schema LoadNorthwindSchema();
+schema::Schema LoadSsbSchema();
+
+const char* TpchDdl();
+const char* NorthwindDdl();
+const char* SsbDdl();
+
+/// The three-schema scenario with annotated ground truth.
+MatchingScenario BuildSales3Scenario();
+
+}  // namespace colscope::datasets
+
+#endif  // COLSCOPE_DATASETS_SALES3_H_

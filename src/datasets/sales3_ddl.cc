@@ -1,0 +1,272 @@
+#include "datasets/sales3.h"
+
+namespace colscope::datasets {
+
+// TPC-H (dbgen) schema: 8 tables, 61 columns.
+const char* TpchDdl() {
+  return R"sql(
+CREATE TABLE region (
+  r_regionkey  INT PRIMARY KEY,
+  r_name       CHAR(25),
+  r_comment    VARCHAR(152)
+);
+
+CREATE TABLE nation (
+  n_nationkey  INT PRIMARY KEY,
+  n_name       CHAR(25),
+  n_regionkey  INT REFERENCES region(r_regionkey),
+  n_comment    VARCHAR(152)
+);
+
+CREATE TABLE supplier (
+  s_suppkey    INT PRIMARY KEY,
+  s_name       CHAR(25),
+  s_address    VARCHAR(40),
+  s_nationkey  INT REFERENCES nation(n_nationkey),
+  s_phone      CHAR(15),
+  s_acctbal    DECIMAL(15,2),
+  s_comment    VARCHAR(101)
+);
+
+CREATE TABLE part (
+  p_partkey      INT PRIMARY KEY,
+  p_name         VARCHAR(55),
+  p_mfgr         CHAR(25),
+  p_brand        CHAR(10),
+  p_type         VARCHAR(25),
+  p_size         INT,
+  p_container    CHAR(10),
+  p_retailprice  DECIMAL(15,2),
+  p_comment      VARCHAR(23)
+);
+
+CREATE TABLE partsupp (
+  ps_partkey     INT REFERENCES part(p_partkey),
+  ps_suppkey     INT REFERENCES supplier(s_suppkey),
+  ps_availqty    INT,
+  ps_supplycost  DECIMAL(15,2),
+  ps_comment     VARCHAR(199)
+);
+
+CREATE TABLE customer (
+  c_custkey     INT PRIMARY KEY,
+  c_name        VARCHAR(25),
+  c_address     VARCHAR(40),
+  c_nationkey   INT REFERENCES nation(n_nationkey),
+  c_phone       CHAR(15),
+  c_acctbal     DECIMAL(15,2),
+  c_mktsegment  CHAR(10),
+  c_comment     VARCHAR(117)
+);
+
+CREATE TABLE orders (
+  o_orderkey       INT PRIMARY KEY,
+  o_custkey        INT REFERENCES customer(c_custkey),
+  o_orderstatus    CHAR(1),
+  o_totalprice     DECIMAL(15,2),
+  o_orderdate      DATE,
+  o_orderpriority  CHAR(15),
+  o_clerk          CHAR(15),
+  o_shippriority   INT,
+  o_comment        VARCHAR(79)
+);
+
+CREATE TABLE lineitem (
+  l_orderkey       INT REFERENCES orders(o_orderkey),
+  l_partkey        INT REFERENCES part(p_partkey),
+  l_suppkey        INT REFERENCES supplier(s_suppkey),
+  l_linenumber     INT,
+  l_quantity       DECIMAL(15,2),
+  l_extendedprice  DECIMAL(15,2),
+  l_discount       DECIMAL(15,2),
+  l_tax            DECIMAL(15,2),
+  l_returnflag     CHAR(1),
+  l_linestatus     CHAR(1),
+  l_shipdate       DATE,
+  l_commitdate     DATE,
+  l_receiptdate    DATE,
+  l_shipinstruct   CHAR(25),
+  l_shipmode       CHAR(10),
+  l_comment        VARCHAR(44)
+);
+)sql";
+}
+
+// Northwind core schema (Microsoft sample): 11 tables.
+const char* NorthwindDdl() {
+  return R"sql(
+CREATE TABLE Customers (
+  CustomerID    CHAR(5) PRIMARY KEY,
+  CompanyName   VARCHAR(40),
+  ContactName   VARCHAR(30),
+  ContactTitle  VARCHAR(30),
+  Address       VARCHAR(60),
+  City          VARCHAR(15),
+  Region        VARCHAR(15),
+  PostalCode    VARCHAR(10),
+  Country       VARCHAR(15),
+  Phone         VARCHAR(24),
+  Fax           VARCHAR(24)
+);
+
+CREATE TABLE Employees (
+  EmployeeID  INT PRIMARY KEY,
+  LastName    VARCHAR(20),
+  FirstName   VARCHAR(10),
+  Title       VARCHAR(30),
+  BirthDate   DATE,
+  HireDate    DATE,
+  City        VARCHAR(15),
+  Country     VARCHAR(15),
+  ReportsTo   INT REFERENCES Employees(EmployeeID)
+);
+
+CREATE TABLE Suppliers (
+  SupplierID    INT PRIMARY KEY,
+  CompanyName   VARCHAR(40),
+  ContactName   VARCHAR(30),
+  Address       VARCHAR(60),
+  City          VARCHAR(15),
+  PostalCode    VARCHAR(10),
+  Country       VARCHAR(15),
+  Phone         VARCHAR(24),
+  HomePage      VARCHAR(200)
+);
+
+CREATE TABLE Categories (
+  CategoryID    INT PRIMARY KEY,
+  CategoryName  VARCHAR(15),
+  Description   TEXT
+);
+
+CREATE TABLE Products (
+  ProductID        INT PRIMARY KEY,
+  ProductName      VARCHAR(40),
+  SupplierID       INT REFERENCES Suppliers(SupplierID),
+  CategoryID       INT REFERENCES Categories(CategoryID),
+  QuantityPerUnit  VARCHAR(20),
+  UnitPrice        DECIMAL(10,2),
+  UnitsInStock     SMALLINT,
+  UnitsOnOrder     SMALLINT,
+  ReorderLevel     SMALLINT,
+  Discontinued     BIT
+);
+
+CREATE TABLE Orders (
+  OrderID         INT PRIMARY KEY,
+  CustomerID      CHAR(5) REFERENCES Customers(CustomerID),
+  EmployeeID      INT REFERENCES Employees(EmployeeID),
+  OrderDate       DATE,
+  RequiredDate    DATE,
+  ShippedDate     DATE,
+  ShipVia         INT REFERENCES Shippers(ShipperID),
+  Freight         DECIMAL(10,2),
+  ShipName        VARCHAR(40),
+  ShipAddress     VARCHAR(60),
+  ShipCity        VARCHAR(15),
+  ShipCountry     VARCHAR(15)
+);
+
+CREATE TABLE OrderDetails (
+  OrderID    INT REFERENCES Orders(OrderID),
+  ProductID  INT REFERENCES Products(ProductID),
+  UnitPrice  DECIMAL(10,2),
+  Quantity   SMALLINT,
+  Discount   REAL
+);
+
+CREATE TABLE Shippers (
+  ShipperID    INT PRIMARY KEY,
+  CompanyName  VARCHAR(40),
+  Phone        VARCHAR(24)
+);
+
+CREATE TABLE Territories (
+  TerritoryID           VARCHAR(20) PRIMARY KEY,
+  TerritoryDescription  VARCHAR(50),
+  RegionID              INT
+);
+
+CREATE TABLE EmployeeTerritories (
+  EmployeeID   INT REFERENCES Employees(EmployeeID),
+  TerritoryID  VARCHAR(20) REFERENCES Territories(TerritoryID)
+);
+
+CREATE TABLE CustomerDemographics (
+  CustomerTypeID  CHAR(10) PRIMARY KEY,
+  CustomerDesc    TEXT
+);
+)sql";
+}
+
+// Star Schema Benchmark (O'Neil et al.): 5 tables, denormalized.
+const char* SsbDdl() {
+  return R"sql(
+CREATE TABLE ssb_customer (
+  c_custkey     INT PRIMARY KEY,
+  c_name        VARCHAR(25),
+  c_address     VARCHAR(25),
+  c_city        CHAR(10),
+  c_nation      CHAR(15),
+  c_region      CHAR(12),
+  c_phone       CHAR(15),
+  c_mktsegment  CHAR(10)
+);
+
+CREATE TABLE ssb_supplier (
+  s_suppkey  INT PRIMARY KEY,
+  s_name     CHAR(25),
+  s_address  VARCHAR(25),
+  s_city     CHAR(10),
+  s_nation   CHAR(15),
+  s_region   CHAR(12),
+  s_phone    CHAR(15)
+);
+
+CREATE TABLE ssb_part (
+  p_partkey    INT PRIMARY KEY,
+  p_name       VARCHAR(22),
+  p_mfgr       CHAR(6),
+  p_category   CHAR(7),
+  p_brand      CHAR(9),
+  p_color      VARCHAR(11),
+  p_type       VARCHAR(25),
+  p_size       INT,
+  p_container  CHAR(10)
+);
+
+CREATE TABLE ssb_date (
+  d_datekey          INT PRIMARY KEY,
+  d_date             CHAR(18),
+  d_dayofweek        CHAR(9),
+  d_month            CHAR(9),
+  d_year             INT,
+  d_yearmonthnum     INT,
+  d_weeknuminyear    INT,
+  d_holidayfl        BIT,
+  d_lastdayinmonthfl BIT
+);
+
+CREATE TABLE ssb_lineorder (
+  lo_orderkey       INT,
+  lo_linenumber     INT,
+  lo_custkey        INT REFERENCES ssb_customer(c_custkey),
+  lo_partkey        INT REFERENCES ssb_part(p_partkey),
+  lo_suppkey        INT REFERENCES ssb_supplier(s_suppkey),
+  lo_orderdate      INT REFERENCES ssb_date(d_datekey),
+  lo_orderpriority  CHAR(15),
+  lo_shippriority   CHAR(1),
+  lo_quantity       INT,
+  lo_extendedprice  DECIMAL(15,2),
+  lo_ordtotalprice  DECIMAL(15,2),
+  lo_discount       INT,
+  lo_revenue        DECIMAL(15,2),
+  lo_supplycost     DECIMAL(15,2),
+  lo_tax            INT,
+  lo_commitdate     INT,
+  lo_shipmode       CHAR(10)
+);
+)sql";
+}
+
+}  // namespace colscope::datasets

@@ -1,0 +1,223 @@
+#include "datasets/synthetic.h"
+
+#include <array>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace colscope::datasets {
+
+namespace {
+
+/// One shared attribute concept: alias spellings (index 0 = canonical),
+/// vendor type, and which entity table it belongs to.
+struct ConceptSpec {
+  std::array<const char*, 3> aliases;
+  const char* type;
+  int entity;  // Index into kEntities.
+};
+
+/// Entity tables with per-schema alias spellings.
+struct EntitySpec {
+  std::array<const char*, 3> aliases;
+};
+
+constexpr EntitySpec kEntities[] = {
+    {{"customers", "clients", "partners"}},
+    {{"orders", "purchases", "salesorders"}},
+    {{"products", "items", "articles"}},
+    {{"shipments", "deliveries", "dispatches"}},
+};
+
+constexpr ConceptSpec kConcepts[] = {
+    {{"customer_id", "client_id", "buyer_id"}, "INT", 0},
+    {{"customer_name", "client_name", "buyer_name"}, "VARCHAR", 0},
+    {{"email", "mail", "email_address"}, "VARCHAR", 0},
+    {{"phone", "telephone", "mobile"}, "VARCHAR", 0},
+    {{"street", "address", "addr"}, "VARCHAR", 0},
+    {{"city", "town", "locality"}, "VARCHAR", 0},
+    {{"country", "nation", "country_name"}, "VARCHAR", 0},
+    {{"postal_code", "zip", "postcode"}, "VARCHAR", 0},
+    {{"order_id", "purchase_id", "salesorder_id"}, "INT", 1},
+    {{"order_date", "purchase_date", "order_datetime"}, "DATE", 1},
+    {{"order_status", "purchase_status", "status"}, "VARCHAR", 1},
+    {{"order_amount", "purchase_total", "gross_amount"}, "DECIMAL", 1},
+    {{"product_id", "item_id", "article_id"}, "INT", 2},
+    {{"product_name", "item_name", "article_name"}, "VARCHAR", 2},
+    {{"price", "cost", "unit_price"}, "DECIMAL", 2},
+    {{"quantity", "qty", "item_count"}, "INT", 2},
+    {{"product_description", "item_description", "article_text"}, "TEXT", 2},
+    {{"shipment_id", "delivery_id", "dispatch_id"}, "INT", 3},
+    {{"delivery_address", "shipment_address", "dispatch_street"}, "VARCHAR",
+     3},
+    {{"delivery_date", "shipment_date", "dispatch_date"}, "DATE", 3},
+};
+
+/// Disjoint out-of-vocabulary word pools for unlinkable attributes; each
+/// schema draws from its own domain so private elements do not
+/// accidentally align across schemas.
+constexpr const char* kPrivatePools[][8] = {
+    {"glacier", "moraine", "crevasse", "serac", "firn", "nunatak", "cirque",
+     "arete"},
+    {"quasar", "pulsar", "nebula", "parallax", "redshift", "magnetar",
+     "blazar", "corona"},
+    {"enzyme", "ribosome", "codon", "plasmid", "chromatin", "ligase",
+     "operon", "intron"},
+    {"gearbox", "camshaft", "flywheel", "manifold", "piston", "crankpin",
+     "tappet", "solenoid"},
+    {"sonata", "cadenza", "arpeggio", "ostinato", "tremolo", "glissando",
+     "rubato", "fermata"},
+    {"basalt", "gneiss", "schist", "rhyolite", "gabbro", "pumice",
+     "obsidian", "breccia"},
+};
+constexpr size_t kNumPrivatePools = std::size(kPrivatePools);
+
+}  // namespace
+
+size_t SyntheticVocabularySize() { return std::size(kConcepts); }
+
+MatchingScenario BuildSyntheticScenario(const SyntheticOptions& options) {
+  COLSCOPE_CHECK(options.num_schemas >= 2);
+  const size_t concepts =
+      std::min(options.shared_concepts, SyntheticVocabularySize());
+  Rng rng(options.seed);
+
+  // For every schema decide, per concept: present? which alias?
+  // alias_of[s][c] = -1 (absent) or alias index in [0, 3).
+  std::vector<std::vector<int>> alias_of(
+      options.num_schemas, std::vector<int>(concepts, -1));
+  for (size_t s = 0; s < options.num_schemas; ++s) {
+    for (size_t c = 0; c < concepts; ++c) {
+      if (rng.NextDouble() < options.dropout_probability) continue;
+      alias_of[s][c] = (rng.NextDouble() < options.alias_probability)
+                           ? 1 + static_cast<int>(rng.NextBounded(2))
+                           : 0;
+    }
+  }
+  // Guarantee every concept appears in at least two schemas, otherwise
+  // dropout could silently remove annotations.
+  for (size_t c = 0; c < concepts; ++c) {
+    size_t present = 0;
+    for (size_t s = 0; s < options.num_schemas; ++s) {
+      present += alias_of[s][c] >= 0;
+    }
+    for (size_t s = 0; present < 2 && s < options.num_schemas; ++s) {
+      if (alias_of[s][c] < 0) {
+        alias_of[s][c] = 0;
+        ++present;
+      }
+    }
+  }
+  // Entity table aliases per schema.
+  std::vector<std::vector<int>> table_alias(
+      options.num_schemas, std::vector<int>(std::size(kEntities), 0));
+  for (size_t s = 0; s < options.num_schemas; ++s) {
+    for (size_t e = 0; e < std::size(kEntities); ++e) {
+      table_alias[s][e] = (rng.NextDouble() < options.alias_probability)
+                              ? 1 + static_cast<int>(rng.NextBounded(2))
+                              : 0;
+    }
+  }
+
+  MatchingScenario scenario;
+  scenario.name = StrFormat("Synthetic(k=%zu,c=%zu,p=%zu)",
+                            options.num_schemas, concepts,
+                            options.private_per_schema);
+
+  std::vector<schema::Schema> schemas;
+  for (size_t s = 0; s < options.num_schemas; ++s) {
+    schema::Schema out(StrFormat("SYN%zu", s));
+    // Entity tables with their present shared concepts.
+    std::vector<schema::Table> tables(std::size(kEntities));
+    for (size_t e = 0; e < std::size(kEntities); ++e) {
+      tables[e].name = kEntities[e].aliases[table_alias[s][e]];
+    }
+    for (size_t c = 0; c < concepts; ++c) {
+      if (alias_of[s][c] < 0) continue;
+      const ConceptSpec& spec = kConcepts[c];
+      schema::Attribute attr;
+      attr.name = spec.aliases[alias_of[s][c]];
+      attr.table_name = tables[spec.entity].name;
+      attr.raw_type = spec.type;
+      attr.type = schema::ParseDataType(spec.type);
+      tables[spec.entity].attributes.push_back(std::move(attr));
+    }
+    // Private (unlinkable) attributes: half appended to entity tables,
+    // half in a private side table.
+    const char* const* pool = kPrivatePools[s % kNumPrivatePools];
+    schema::Table side;
+    side.name = StrFormat("%s_ledger", pool[0]);
+    for (size_t p = 0; p < options.private_per_schema; ++p) {
+      schema::Attribute attr;
+      attr.name = StrFormat("%s_%s", pool[rng.NextBounded(8)],
+                            pool[rng.NextBounded(8)]);
+      attr.raw_type = (p % 2 == 0) ? "VARCHAR" : "DECIMAL";
+      attr.type = schema::ParseDataType(attr.raw_type);
+      schema::Table& target =
+          (p % 2 == 0) ? tables[p % std::size(kEntities)] : side;
+      attr.table_name = target.name;
+      // Avoid accidental duplicate names inside one table.
+      attr.name += StrFormat("_%zu", p);
+      target.attributes.push_back(std::move(attr));
+    }
+    for (auto& table : tables) {
+      if (!table.attributes.empty()) {
+        COLSCOPE_CHECK(out.AddTable(std::move(table)).ok());
+      }
+    }
+    if (!side.attributes.empty()) {
+      COLSCOPE_CHECK(out.AddTable(std::move(side)).ok());
+    }
+    schemas.push_back(std::move(out));
+  }
+  scenario.set = schema::SchemaSet(std::move(schemas));
+
+  // Ground truth: full pairwise closure of co-occurring shared concepts
+  // (II when both schemas use the same alias, IS otherwise), plus entity
+  // table pairs whenever the two tables share >= 1 linked concept.
+  for (size_t a = 0; a < options.num_schemas; ++a) {
+    for (size_t b = a + 1; b < options.num_schemas; ++b) {
+      std::map<int, bool> entity_linked;  // entity -> any attr pair?
+      for (size_t c = 0; c < concepts; ++c) {
+        if (alias_of[a][c] < 0 || alias_of[b][c] < 0) continue;
+        const ConceptSpec& spec = kConcepts[c];
+        const schema::Schema& sa = scenario.set.schema(static_cast<int>(a));
+        const schema::Schema& sb = scenario.set.schema(static_cast<int>(b));
+        auto ra = scenario.set.Resolve(
+            sa.name(),
+            std::string(kEntities[spec.entity].aliases[table_alias[a][spec.entity]]) +
+                "." + spec.aliases[alias_of[a][c]]);
+        auto rb = scenario.set.Resolve(
+            sb.name(),
+            std::string(kEntities[spec.entity].aliases[table_alias[b][spec.entity]]) +
+                "." + spec.aliases[alias_of[b][c]]);
+        COLSCOPE_CHECK(ra.ok() && rb.ok());
+        const LinkType type = (alias_of[a][c] == alias_of[b][c])
+                                  ? LinkType::kInterIdentical
+                                  : LinkType::kInterSubTyped;
+        COLSCOPE_CHECK(scenario.truth.Add(type, *ra, *rb).ok());
+        entity_linked[spec.entity] = true;
+      }
+      for (const auto& [entity, linked] : entity_linked) {
+        if (!linked) continue;
+        auto ta = scenario.set.Resolve(
+            scenario.set.schema(static_cast<int>(a)).name(),
+            kEntities[entity].aliases[table_alias[a][entity]]);
+        auto tb = scenario.set.Resolve(
+            scenario.set.schema(static_cast<int>(b)).name(),
+            kEntities[entity].aliases[table_alias[b][entity]]);
+        COLSCOPE_CHECK(ta.ok() && tb.ok());
+        const LinkType type =
+            (table_alias[a][entity] == table_alias[b][entity])
+                ? LinkType::kInterIdentical
+                : LinkType::kInterSubTyped;
+        COLSCOPE_CHECK(scenario.truth.Add(type, *ta, *tb).ok());
+      }
+    }
+  }
+  return scenario;
+}
+
+}  // namespace colscope::datasets

@@ -1,0 +1,108 @@
+#include "datasets/toy.h"
+
+#include "common/check.h"
+#include "schema/ddl_parser.h"
+
+namespace colscope::datasets {
+
+namespace {
+
+constexpr char kS1Ddl[] = R"sql(
+CREATE TABLE CLIENT (
+  CID      NUMBER PRIMARY KEY,
+  NAME     VARCHAR(80),
+  ADDRESS  VARCHAR(200),
+  PHONE    VARCHAR(30)
+);
+)sql";
+
+constexpr char kS2Ddl[] = R"sql(
+CREATE TABLE CUSTOMER (
+  CID         INT PRIMARY KEY,
+  FIRST_NAME  VARCHAR(40),
+  LAST_NAME   VARCHAR(40),
+  DOB         DATE
+);
+CREATE TABLE SHIPMENTS (
+  SID            INT PRIMARY KEY,
+  CID            INT REFERENCES CUSTOMER(CID),
+  DELIVERY_TIME  DATETIME,
+  ADDRESS        VARCHAR(200)
+);
+)sql";
+
+constexpr char kS3Ddl[] = R"sql(
+CREATE TABLE CONTACTS (
+  CID    INT PRIMARY KEY,
+  CNAME  VARCHAR(80),
+  CITY   VARCHAR(60)
+);
+)sql";
+
+constexpr char kS4Ddl[] = R"sql(
+CREATE TABLE CAR (
+  CID      INT PRIMARY KEY,
+  CNAME    VARCHAR(80),
+  YEAR     INT,
+  COUNTRY  VARCHAR(40)
+);
+)sql";
+
+schema::Schema MustParse(const char* ddl, const char* name) {
+  Result<schema::Schema> parsed = schema::ParseDdl(ddl, name);
+  COLSCOPE_CHECK_MSG(parsed.ok(), parsed.status().ToString().c_str());
+  return std::move(parsed).value();
+}
+
+void MustAdd(MatchingScenario& sc, LinkType type, const char* schema_a,
+             const char* path_a, const char* schema_b, const char* path_b) {
+  Status st = sc.truth.Add(sc.set, type, schema_a, path_a, schema_b, path_b);
+  COLSCOPE_CHECK_MSG(st.ok(), st.ToString().c_str());
+}
+
+}  // namespace
+
+MatchingScenario BuildToyScenario() {
+  MatchingScenario sc;
+  sc.name = "Figure1";
+  std::vector<schema::Schema> schemas;
+  schemas.push_back(MustParse(kS1Ddl, "S1"));
+  schemas.push_back(MustParse(kS2Ddl, "S2"));
+  schemas.push_back(MustParse(kS3Ddl, "S3"));
+  schemas.push_back(MustParse(kS4Ddl, "S4"));
+  sc.set = schema::SchemaSet(std::move(schemas));
+
+  constexpr LinkType kII = LinkType::kInterIdentical;
+  constexpr LinkType kIS = LinkType::kInterSubTyped;
+
+  // Tables.
+  MustAdd(sc, kII, "S1", "CLIENT", "S2", "CUSTOMER");
+  MustAdd(sc, kII, "S1", "CLIENT", "S3", "CONTACTS");
+  MustAdd(sc, kII, "S2", "CUSTOMER", "S3", "CONTACTS");
+  MustAdd(sc, kIS, "S1", "CLIENT", "S2", "SHIPMENTS");
+  MustAdd(sc, kIS, "S2", "SHIPMENTS", "S3", "CONTACTS");
+
+  // Identifiers.
+  MustAdd(sc, kII, "S1", "CLIENT.CID", "S2", "CUSTOMER.CID");
+  MustAdd(sc, kII, "S1", "CLIENT.CID", "S3", "CONTACTS.CID");
+  MustAdd(sc, kII, "S2", "CUSTOMER.CID", "S3", "CONTACTS.CID");
+  MustAdd(sc, kIS, "S1", "CLIENT.CID", "S2", "SHIPMENTS.CID");
+  MustAdd(sc, kIS, "S2", "SHIPMENTS.CID", "S3", "CONTACTS.CID");
+
+  // Names: NAME <-> CNAME is identical after lexical normalization;
+  // FIRST_NAME / LAST_NAME are splits of NAME (Section 2.1).
+  MustAdd(sc, kII, "S1", "CLIENT.NAME", "S3", "CONTACTS.CNAME");
+  MustAdd(sc, kIS, "S1", "CLIENT.NAME", "S2", "CUSTOMER.FIRST_NAME");
+  MustAdd(sc, kIS, "S1", "CLIENT.NAME", "S2", "CUSTOMER.LAST_NAME");
+  MustAdd(sc, kIS, "S2", "CUSTOMER.FIRST_NAME", "S3", "CONTACTS.CNAME");
+  MustAdd(sc, kIS, "S2", "CUSTOMER.LAST_NAME", "S3", "CONTACTS.CNAME");
+
+  // Addresses: ADDRESS <-> CITY is the sub-typed split of Figure 1.
+  MustAdd(sc, kII, "S1", "CLIENT.ADDRESS", "S2", "SHIPMENTS.ADDRESS");
+  MustAdd(sc, kIS, "S1", "CLIENT.ADDRESS", "S3", "CONTACTS.CITY");
+  MustAdd(sc, kIS, "S2", "SHIPMENTS.ADDRESS", "S3", "CONTACTS.CITY");
+
+  return sc;
+}
+
+}  // namespace colscope::datasets

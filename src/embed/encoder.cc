@@ -1,0 +1,14 @@
+#include "embed/encoder.h"
+
+namespace colscope::embed {
+
+linalg::Matrix SentenceEncoder::EncodeAll(
+    const std::vector<std::string>& texts) const {
+  linalg::Matrix out(texts.size(), dims());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    out.SetRow(i, Encode(texts[i]));
+  }
+  return out;
+}
+
+}  // namespace colscope::embed

@@ -1,0 +1,31 @@
+#ifndef COLSCOPE_EMBED_ENCODER_H_
+#define COLSCOPE_EMBED_ENCODER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace colscope::embed {
+
+/// Encoder-based language model E of Section 2.3: transforms a serialized
+/// metadata text sequence into a fixed-size numeric signature. All
+/// implementations must be deterministic.
+class SentenceEncoder {
+ public:
+  virtual ~SentenceEncoder() = default;
+
+  /// Encodes one text sequence into a `dims()`-sized unit vector.
+  virtual linalg::Vector Encode(std::string_view text) const = 0;
+
+  /// Signature dimensionality |v|.
+  virtual size_t dims() const = 0;
+
+  /// Encodes a batch of sequences into a (n x dims) signature matrix.
+  linalg::Matrix EncodeAll(const std::vector<std::string>& texts) const;
+};
+
+}  // namespace colscope::embed
+
+#endif  // COLSCOPE_EMBED_ENCODER_H_

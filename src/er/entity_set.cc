@@ -1,0 +1,38 @@
+#include "er/entity_set.h"
+
+namespace colscope::er {
+
+std::string Record::FieldValue(std::string_view field) const {
+  for (const auto& [name, value] : fields) {
+    if (name == field) return value;
+  }
+  return "";
+}
+
+Status EntitySet::Add(Record record) {
+  if (FindById(record.id) != nullptr) {
+    return Status::AlreadyExists("duplicate record id: " + record.id);
+  }
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+const Record* EntitySet::FindById(std::string_view id) const {
+  for (const Record& r : records_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+std::string SerializeRecord(const Record& record) {
+  std::string out;
+  for (const auto& [field, value] : record.fields) {
+    if (!out.empty()) out += ' ';
+    out += field;
+    out += ' ';
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace colscope::er

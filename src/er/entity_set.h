@@ -1,0 +1,54 @@
+#ifndef COLSCOPE_ER_ENTITY_SET_H_
+#define COLSCOPE_ER_ENTITY_SET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colscope::er {
+
+/// One entity record: a stable id plus ordered (field, value) pairs.
+/// The entity-resolution analogue of a schema element.
+struct Record {
+  std::string id;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Value of `field`, or "" when absent.
+  std::string FieldValue(std::string_view field) const;
+};
+
+/// A named collection of records from one source — the analogue of one
+/// local schema in the paper's future-work direction ("experiment with
+/// the overall applicability in entity resolution", Section 5; the
+/// record-level problem is the authors' earlier Collective Scoping
+/// work [44]).
+class EntitySet {
+ public:
+  EntitySet() = default;
+  explicit EntitySet(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Record>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Appends a record; duplicate ids within one set are rejected.
+  Status Add(Record record);
+
+  const Record* FindById(std::string_view id) const;
+
+ private:
+  std::string name_;
+  std::vector<Record> records_;
+};
+
+/// Serializes a record into the text sequence the sentence encoder
+/// consumes: "field value field value ...". Field names carry the
+/// semantics (like attribute names in T^a); values disambiguate the
+/// entity.
+std::string SerializeRecord(const Record& record);
+
+}  // namespace colscope::er
+
+#endif  // COLSCOPE_ER_ENTITY_SET_H_

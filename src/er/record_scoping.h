@@ -1,0 +1,66 @@
+#ifndef COLSCOPE_ER_RECORD_SCOPING_H_
+#define COLSCOPE_ER_RECORD_SCOPING_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/encoder.h"
+#include "er/entity_set.h"
+#include "linalg/matrix.h"
+
+namespace colscope::er {
+
+/// Identifies one record across sources: (source index, record index).
+struct RecordRef {
+  int source = -1;
+  int record = -1;
+
+  friend bool operator==(const RecordRef& a, const RecordRef& b) {
+    return a.source == b.source && a.record == b.record;
+  }
+  friend bool operator<(const RecordRef& a, const RecordRef& b) {
+    if (a.source != b.source) return a.source < b.source;
+    return a.record < b.record;
+  }
+};
+
+/// Phase-I analogue for records: every record of every source,
+/// serialized and encoded.
+struct RecordSignatureSet {
+  std::vector<RecordRef> refs;
+  std::vector<std::string> texts;
+  linalg::Matrix signatures;
+
+  size_t size() const { return refs.size(); }
+  std::vector<size_t> RowsOfSource(int source) const;
+  linalg::Matrix SourceSignatures(int source) const;
+};
+
+/// Serializes and encodes all records of all sources.
+RecordSignatureSet BuildRecordSignatures(
+    const std::vector<EntitySet>& sources,
+    const embed::SentenceEncoder& encoder);
+
+/// Collaborative scoping transplanted to records: each source
+/// self-trains a PCA encoder-decoder on its own record signatures
+/// (Algorithm 1), and a record is kept iff some *other* source's model
+/// reconstructs it within that model's linkability range (Definition 4)
+/// — i.e. it plausibly has a duplicate elsewhere. Returns the keep-mask
+/// in signature row order.
+Result<std::vector<bool>> CollaborativeRecordScoping(
+    const RecordSignatureSet& signatures, size_t num_sources, double v);
+
+/// A candidate duplicate pair across sources.
+using RecordPair = std::pair<RecordRef, RecordRef>;
+
+/// DeepBlocker-style blocking: for every (ordered) source pair, retrieve
+/// each active record's top-k nearest records in the other source via an
+/// exact flat-L2 index; the union of retrievals is the candidate set.
+std::set<RecordPair> BlockTopK(const RecordSignatureSet& signatures,
+                               const std::vector<bool>& active, size_t top_k);
+
+}  // namespace colscope::er
+
+#endif  // COLSCOPE_ER_RECORD_SCOPING_H_

@@ -1,0 +1,155 @@
+#include "er/synthetic_er.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace colscope::er {
+
+namespace {
+
+constexpr const char* kFirst[] = {"michael", "sarah", "james",  "ana",
+                                  "wei",     "fatima", "lucas",  "ingrid",
+                                  "mateo",   "yuki",   "amara",  "viktor"};
+constexpr const char* kLast[] = {"scott",  "bluth",  "nguyen", "garcia",
+                                 "kim",    "olsen",  "costa",  "meyer",
+                                 "tanaka", "haddad", "novak",  "weber"};
+constexpr const char* kCity[] = {"berlin", "paris",  "oslo",  "nantes",
+                                 "boston", "kyoto",  "porto", "vienna"};
+constexpr const char* kStreet[] = {"oak", "royale", "ring", "luna",
+                                   "monte", "birch", "elm", "cedar"};
+
+/// Per-source field-name dialects (schema heterogeneity at the record
+/// level).
+struct Dialect {
+  const char* name;
+  const char* city;
+  const char* street;
+  const char* phone;
+};
+constexpr Dialect kDialects[] = {
+    {"name", "city", "street", "phone"},
+    {"full_name", "town", "address", "telephone"},
+    {"customer_name", "locality", "road", "mobile"},
+    {"person", "city_name", "street_name", "tel"},
+};
+
+/// Unrelated noise domains per source.
+constexpr const char* kNoiseDomains[][4] = {
+    {"species", "habitat", "diet", "lifespan"},
+    {"mineral", "hardness", "luster", "cleavage"},
+    {"asteroid", "orbit", "albedo", "diameter"},
+    {"verb", "tense", "mood", "conjugation"},
+};
+constexpr const char* kNoiseValues[] = {
+    "xq1", "zr9", "kv3", "wp7", "nj2", "bd8", "fh4", "tm6"};
+
+/// Random small perturbation of a value: drop a char, duplicate a char,
+/// or leave as is — the typo model.
+std::string Perturb(const std::string& value, Rng& rng) {
+  if (value.size() < 3) return value;
+  switch (rng.NextBounded(3)) {
+    case 0: {  // Drop one character.
+      const size_t pos = 1 + rng.NextBounded(value.size() - 2);
+      return value.substr(0, pos) + value.substr(pos + 1);
+    }
+    case 1: {  // Duplicate one character.
+      const size_t pos = rng.NextBounded(value.size());
+      return value.substr(0, pos + 1) + value.substr(pos);
+    }
+    default:
+      return value;
+  }
+}
+
+}  // namespace
+
+std::set<RecordRef> ErScenario::MatchableRecords() const {
+  std::set<RecordRef> out;
+  for (const auto& [a, b] : duplicates) {
+    out.insert(a);
+    out.insert(b);
+  }
+  return out;
+}
+
+ErScenario BuildSyntheticErScenario(const SyntheticErOptions& options) {
+  COLSCOPE_CHECK(options.num_sources >= 2);
+  Rng rng(options.seed);
+  ErScenario scenario;
+  scenario.sources.reserve(options.num_sources);
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    scenario.sources.emplace_back(StrFormat("SRC%zu", s));
+  }
+
+  // Materialize entities.
+  std::vector<std::vector<RecordRef>> placements(options.entities);
+  for (size_t e = 0; e < options.entities; ++e) {
+    const std::string first = kFirst[rng.NextBounded(std::size(kFirst))];
+    const std::string last = kLast[rng.NextBounded(std::size(kLast))];
+    const std::string city = kCity[rng.NextBounded(std::size(kCity))];
+    const std::string street =
+        StrFormat("%zu %s st", 1 + rng.NextBounded(99),
+                  kStreet[rng.NextBounded(std::size(kStreet))]);
+    const std::string phone = StrFormat("+%zu %zu", 1 + rng.NextBounded(99),
+                                        100000 + rng.NextBounded(899999));
+
+    std::vector<size_t> targets;
+    for (size_t s = 0; s < options.num_sources; ++s) {
+      if (rng.NextDouble() < options.coverage) targets.push_back(s);
+    }
+    while (targets.size() < 2) {
+      const size_t s = rng.NextBounded(options.num_sources);
+      if (std::find(targets.begin(), targets.end(), s) == targets.end()) {
+        targets.push_back(s);
+      }
+    }
+    for (size_t s : targets) {
+      const Dialect& d = kDialects[s % std::size(kDialects)];
+      Record record;
+      record.id = StrFormat("e%zu_s%zu", e, s);
+      record.fields = {
+          {d.name, Perturb(first + " " + last, rng)},
+          {d.city, city},
+          {d.street, Perturb(street, rng)},
+          {d.phone, phone},
+      };
+      placements[e].push_back(
+          {static_cast<int>(s),
+           static_cast<int>(scenario.sources[s].size())});
+      COLSCOPE_CHECK(scenario.sources[s].Add(std::move(record)).ok());
+    }
+  }
+
+  // Noise records from per-source unrelated domains.
+  for (size_t s = 0; s < options.num_sources; ++s) {
+    const auto& domain = kNoiseDomains[s % std::size(kNoiseDomains)];
+    for (size_t n = 0; n < options.noise_per_source; ++n) {
+      Record record;
+      record.id = StrFormat("noise%zu_s%zu", n, s);
+      for (size_t f = 0; f < 4; ++f) {
+        record.fields.emplace_back(
+            domain[f], kNoiseValues[rng.NextBounded(std::size(kNoiseValues))]);
+      }
+      COLSCOPE_CHECK(scenario.sources[s].Add(std::move(record)).ok());
+    }
+  }
+
+  // Ground truth: all cross-source pairs of each entity's placements.
+  for (const auto& refs : placements) {
+    for (size_t i = 0; i < refs.size(); ++i) {
+      for (size_t j = i + 1; j < refs.size(); ++j) {
+        RecordRef a = refs[i];
+        RecordRef b = refs[j];
+        if (b < a) std::swap(a, b);
+        scenario.duplicates.insert({a, b});
+      }
+    }
+  }
+  return scenario;
+}
+
+}  // namespace colscope::er

@@ -1,0 +1,41 @@
+#ifndef COLSCOPE_ER_SYNTHETIC_ER_H_
+#define COLSCOPE_ER_SYNTHETIC_ER_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "er/record_scoping.h"
+
+namespace colscope::er {
+
+/// Parameters of the synthetic entity-resolution workload: `entities`
+/// real-world entities, each materialized (with field renamings and
+/// value perturbations) in a random subset of the `num_sources` sources;
+/// plus `noise_per_source` records from per-source unrelated domains
+/// (the unlinkable overhead of the record world).
+struct SyntheticErOptions {
+  size_t num_sources = 3;
+  size_t entities = 30;
+  /// Probability an entity is materialized in a given source (each
+  /// entity is forced into at least two sources).
+  double coverage = 0.7;
+  size_t noise_per_source = 15;
+  uint64_t seed = 0xe2;
+};
+
+/// An ER workload: the sources plus the ground-truth cross-source
+/// duplicate pairs (canonical order).
+struct ErScenario {
+  std::vector<EntitySet> sources;
+  std::set<RecordPair> duplicates;
+
+  /// Refs of records that have at least one cross-source duplicate.
+  std::set<RecordRef> MatchableRecords() const;
+};
+
+ErScenario BuildSyntheticErScenario(const SyntheticErOptions& options);
+
+}  // namespace colscope::er
+
+#endif  // COLSCOPE_ER_SYNTHETIC_ER_H_

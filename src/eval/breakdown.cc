@@ -1,0 +1,39 @@
+#include "eval/breakdown.h"
+
+#include <algorithm>
+
+namespace colscope::eval {
+
+std::map<std::pair<int, int>, MatchingQuality> EvaluateMatchingPerPair(
+    const std::set<matching::ElementPair>& generated,
+    const datasets::GroundTruth& truth, const schema::SchemaSet& set) {
+  std::map<std::pair<int, int>, MatchingQuality> out;
+
+  // Initialize every schema pair with its Cartesian size and its share
+  // of the ground truth.
+  const int k = static_cast<int>(set.num_schemas());
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      MatchingQuality q;
+      q.cartesian = set.schema(a).num_tables() * set.schema(b).num_tables() +
+                    set.schema(a).num_attributes() *
+                        set.schema(b).num_attributes();
+      q.ground_truth = truth.CountsForSchemaPair(a, b).total();
+      out[{a, b}] = q;
+    }
+  }
+
+  for (const matching::ElementPair& pair : generated) {
+    const int a = std::min(pair.first.schema, pair.second.schema);
+    const int b = std::max(pair.first.schema, pair.second.schema);
+    auto it = out.find({a, b});
+    if (it == out.end()) continue;  // Pair outside the schema set.
+    ++it->second.generated;
+    if (truth.ContainsPair(pair.first, pair.second)) {
+      ++it->second.true_linkages;
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::eval

@@ -1,0 +1,24 @@
+#ifndef COLSCOPE_EVAL_BREAKDOWN_H_
+#define COLSCOPE_EVAL_BREAKDOWN_H_
+
+#include <map>
+#include <utility>
+
+#include "eval/matching_metrics.h"
+#include "schema/schema_set.h"
+
+namespace colscope::eval {
+
+/// Per-schema-pair decomposition of a matching result: the multi-source
+/// totals of EvaluateMatching split along the (unordered) schema-pair
+/// axis, so the Oracle-MySQL / Oracle-HANA / MySQL-HANA contributions of
+/// Table 3 can be inspected separately. Keys are (min, max) schema
+/// indices; the Cartesian denominator per pair is tables x tables +
+/// attributes x attributes of the ORIGINAL schemas.
+std::map<std::pair<int, int>, MatchingQuality> EvaluateMatchingPerPair(
+    const std::set<matching::ElementPair>& generated,
+    const datasets::GroundTruth& truth, const schema::SchemaSet& set);
+
+}  // namespace colscope::eval
+
+#endif  // COLSCOPE_EVAL_BREAKDOWN_H_

@@ -1,0 +1,41 @@
+#include "eval/csv_export.h"
+
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace colscope::eval {
+
+std::string CurveToCsv(const Curve& curve, const std::string& x_name,
+                       const std::string& y_name) {
+  std::string out = x_name + "," + y_name + "\n";
+  for (const CurvePoint& p : curve) {
+    out += StrFormat("%.6f,%.6f\n", p.x, p.y);
+  }
+  return out;
+}
+
+std::string SweepToCsv(const std::vector<SweepPoint>& sweep,
+                       const std::string& parameter_name) {
+  std::string out = parameter_name + ",accuracy,precision,recall,f1\n";
+  for (const SweepPoint& p : sweep) {
+    out += StrFormat("%.4f,%.6f,%.6f,%.6f,%.6f\n", p.parameter,
+                     p.confusion.Accuracy(), p.confusion.Precision(),
+                     p.confusion.Recall(), p.confusion.F1());
+  }
+  return out;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out << text;
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace colscope::eval

@@ -1,0 +1,24 @@
+#ifndef COLSCOPE_EVAL_CSV_EXPORT_H_
+#define COLSCOPE_EVAL_CSV_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "eval/curves.h"
+
+namespace colscope::eval {
+
+/// Renders a curve as CSV text with the given column headers.
+std::string CurveToCsv(const Curve& curve, const std::string& x_name,
+                       const std::string& y_name);
+
+/// Renders a hyperparameter sweep as CSV (parameter + the four metrics).
+std::string SweepToCsv(const std::vector<SweepPoint>& sweep,
+                       const std::string& parameter_name);
+
+/// Writes text to `path`, creating/overwriting the file.
+Status WriteTextFile(const std::string& path, const std::string& text);
+
+}  // namespace colscope::eval
+
+#endif  // COLSCOPE_EVAL_CSV_EXPORT_H_

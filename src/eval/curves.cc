@@ -1,0 +1,258 @@
+#include "eval/curves.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace colscope::eval {
+
+namespace {
+
+void SortByX(Curve& curve) {
+  std::stable_sort(curve.begin(), curve.end(),
+                   [](const CurvePoint& a, const CurvePoint& b) {
+                     if (a.x != b.x) return a.x < b.x;
+                     return a.y < b.y;
+                   });
+}
+
+/// Indices of `scores` sorted ascending (lower score = stronger positive
+/// prediction for linkability).
+std::vector<size_t> AscendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+double TrapezoidAuc(Curve curve) {
+  if (curve.size() < 2) return 0.0;
+  SortByX(curve);
+  double auc = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].x - curve[i - 1].x;
+    auc += dx * 0.5 * (curve[i].y + curve[i - 1].y);
+  }
+  return auc;
+}
+
+double MeanOverSweep(Curve curve) {
+  if (curve.empty()) return 0.0;
+  if (curve.size() == 1) return curve[0].y;
+  SortByX(curve);
+  const double span = curve.back().x - curve.front().x;
+  if (span <= 0.0) {
+    double sum = 0.0;
+    for (const CurvePoint& p : curve) sum += p.y;
+    return sum / static_cast<double>(curve.size());
+  }
+  return TrapezoidAuc(curve) / span;
+}
+
+Curve SmoothRocCurve(Curve curve, int smoothing_window) {
+  if (curve.empty()) return curve;
+  SortByX(curve);
+
+  // Monotone upper envelope: TPR may only rise with FPR.
+  double running_max = 0.0;
+  for (CurvePoint& p : curve) {
+    running_max = std::max(running_max, p.y);
+    p.y = running_max;
+  }
+
+  // Centered moving average (light spline-style smoothing); the envelope
+  // is re-applied afterwards so smoothing cannot break monotonicity.
+  if (smoothing_window > 1 && curve.size() > 2) {
+    Curve smoothed = curve;
+    const int half = smoothing_window / 2;
+    for (size_t i = 0; i < curve.size(); ++i) {
+      double sum = 0.0;
+      int count = 0;
+      for (int d = -half; d <= half; ++d) {
+        const long j = static_cast<long>(i) + d;
+        if (j < 0 || j >= static_cast<long>(curve.size())) continue;
+        sum += curve[static_cast<size_t>(j)].y;
+        ++count;
+      }
+      smoothed[i].y = sum / count;
+    }
+    running_max = 0.0;
+    for (CurvePoint& p : smoothed) {
+      running_max = std::max(running_max, p.y);
+      p.y = running_max;
+    }
+    curve = std::move(smoothed);
+  }
+
+  // Anchor at the origin and extend the last TPR to FPR = 1.
+  if (curve.front().x > 0.0) {
+    curve.insert(curve.begin(), CurvePoint{0.0, 0.0});
+  }
+  if (curve.back().x < 1.0) {
+    curve.push_back(CurvePoint{1.0, curve.back().y});
+  }
+  return curve;
+}
+
+Curve RocFromScores(const std::vector<bool>& labels,
+                    const std::vector<double>& scores) {
+  COLSCOPE_CHECK(labels.size() == scores.size());
+  const std::vector<size_t> order = AscendingOrder(scores);
+  size_t positives = 0;
+  for (bool l : labels) positives += l;
+  const size_t negatives = labels.size() - positives;
+
+  Curve curve;
+  curve.push_back({0.0, 0.0});
+  size_t tp = 0, fp = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]]) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    // Emit a point after each distinct score value (threshold).
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    curve.push_back({negatives == 0 ? 0.0
+                                    : static_cast<double>(fp) /
+                                          static_cast<double>(negatives),
+                     positives == 0 ? 0.0
+                                    : static_cast<double>(tp) /
+                                          static_cast<double>(positives)});
+  }
+  return curve;
+}
+
+Curve PrFromScores(const std::vector<bool>& labels,
+                   const std::vector<double>& scores) {
+  COLSCOPE_CHECK(labels.size() == scores.size());
+  const std::vector<size_t> order = AscendingOrder(scores);
+  size_t positives = 0;
+  for (bool l : labels) positives += l;
+
+  Curve curve;
+  size_t tp = 0, predicted = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    ++predicted;
+    if (labels[order[i]]) ++tp;
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    const double recall = positives == 0
+                              ? 0.0
+                              : static_cast<double>(tp) /
+                                    static_cast<double>(positives);
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(predicted);
+    curve.push_back({recall, precision});
+  }
+  return curve;
+}
+
+double AveragePrecisionFromScores(const std::vector<bool>& labels,
+                                  const std::vector<double>& scores) {
+  COLSCOPE_CHECK(labels.size() == scores.size());
+  const std::vector<size_t> order = AscendingOrder(scores);
+  size_t positives = 0;
+  for (bool l : labels) positives += l;
+  if (positives == 0) return 0.0;
+
+  // AP = sum over thresholds of (recall_i - recall_{i-1}) * precision_i.
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  size_t tp = 0, predicted = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    ++predicted;
+    if (labels[order[i]]) ++tp;
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    const double recall =
+        static_cast<double>(tp) / static_cast<double>(positives);
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(predicted);
+    ap += (recall - prev_recall) * precision;
+    prev_recall = recall;
+  }
+  return ap;
+}
+
+namespace {
+Curve ExtractCurve(const std::vector<SweepPoint>& sweep,
+                   double (Confusion::*metric)() const) {
+  Curve curve;
+  curve.reserve(sweep.size());
+  for (const SweepPoint& p : sweep) {
+    curve.push_back({p.parameter, (p.confusion.*metric)()});
+  }
+  return curve;
+}
+}  // namespace
+
+Curve F1Curve(const std::vector<SweepPoint>& sweep) {
+  return ExtractCurve(sweep, &Confusion::F1);
+}
+Curve PrecisionCurve(const std::vector<SweepPoint>& sweep) {
+  return ExtractCurve(sweep, &Confusion::Precision);
+}
+Curve RecallCurve(const std::vector<SweepPoint>& sweep) {
+  return ExtractCurve(sweep, &Confusion::Recall);
+}
+Curve AccuracyCurve(const std::vector<SweepPoint>& sweep) {
+  return ExtractCurve(sweep, &Confusion::Accuracy);
+}
+
+Curve RocFromSweep(const std::vector<SweepPoint>& sweep) {
+  Curve curve;
+  curve.reserve(sweep.size() + 1);
+  curve.push_back({0.0, 0.0});
+  for (const SweepPoint& p : sweep) {
+    curve.push_back({p.confusion.FalsePositiveRate(), p.confusion.Recall()});
+  }
+  std::stable_sort(curve.begin(), curve.end(),
+                   [](const CurvePoint& a, const CurvePoint& b) {
+                     if (a.x != b.x) return a.x < b.x;
+                     return a.y < b.y;
+                   });
+  return curve;
+}
+
+Curve PrFromSweep(const std::vector<SweepPoint>& sweep) {
+  Curve curve;
+  curve.reserve(sweep.size() + 1);
+  for (const SweepPoint& p : sweep) {
+    curve.push_back({p.confusion.Recall(), p.confusion.Precision()});
+  }
+  std::stable_sort(curve.begin(), curve.end(),
+                   [](const CurvePoint& a, const CurvePoint& b) {
+                     if (a.x != b.x) return a.x < b.x;
+                     return a.y > b.y;
+                   });
+  // Anchor at recall = 0 with the precision of the lowest-recall point
+  // (the standard step extension), so AUC-PR integrates over the same
+  // [0, max-recall] domain as the score-based average precision — a
+  // sweep whose recall never drops low would otherwise be penalized for
+  // being uniformly good (the PR analogue of the FPR < 100% ROC artefact
+  // discussed in Section 4.2).
+  if (!curve.empty() && curve.front().x > 0.0) {
+    curve.insert(curve.begin(), CurvePoint{0.0, curve.front().y});
+  }
+  return curve;
+}
+
+double PrAucFromSweep(const std::vector<SweepPoint>& sweep) {
+  return TrapezoidAuc(PrFromSweep(sweep));
+}
+
+}  // namespace colscope::eval

@@ -1,0 +1,74 @@
+#ifndef COLSCOPE_EVAL_CURVES_H_
+#define COLSCOPE_EVAL_CURVES_H_
+
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace colscope::eval {
+
+/// A 2-D curve as ordered points. ROC curves use x = FPR, y = TPR; PR
+/// curves use x = recall, y = precision; parameter-sweep curves use
+/// x = parameter value.
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+using Curve = std::vector<CurvePoint>;
+
+/// Trapezoidal area under the curve after sorting points by x. Does NOT
+/// normalize or extend the domain: a ROC curve whose FPR never reaches 1
+/// integrates to less than the usual [0,1]-domain AUC — exactly the
+/// penalty the paper discusses for collaborative scoping (Section 4.2).
+double TrapezoidAuc(Curve curve);
+
+/// Mean value of y over the x-span (trapezoid integral / span). Used for
+/// AUC-F1 over a hyperparameter sweep, per the outlier-detection practice
+/// the paper follows.
+double MeanOverSweep(Curve curve);
+
+/// The ROC' transformation of Section 4.2: sorts by x, takes the
+/// monotone upper envelope (cumulative max of TPR), smooths it with a
+/// centered moving-average spline approximation (our substitute for
+/// SciPy splrep s=0.2, see DESIGN.md), and extends the final TPR to
+/// x = 1 so families whose FPR never reaches 100% are comparable.
+Curve SmoothRocCurve(Curve curve, int smoothing_window = 3);
+
+/// ROC from continuous outlier scores, where LOWER score = predicted
+/// linkable (positive). Sweeps every distinct threshold; returns points
+/// from (0,0) to (1,1) ordered by FPR.
+Curve RocFromScores(const std::vector<bool>& labels,
+                    const std::vector<double>& scores);
+
+/// Precision-recall curve from continuous outlier scores (lower =
+/// positive), ordered by recall ascending.
+Curve PrFromScores(const std::vector<bool>& labels,
+                   const std::vector<double>& scores);
+
+/// Average precision (AUC-PR) from scores via the step-wise integral
+/// (the sklearn average_precision definition).
+double AveragePrecisionFromScores(const std::vector<bool>& labels,
+                                  const std::vector<double>& scores);
+
+/// A parameter sweep point: the confusion at one hyperparameter value
+/// (p for scoping, v for collaborative scoping).
+struct SweepPoint {
+  double parameter = 0.0;
+  Confusion confusion;
+};
+
+/// Curves extracted from a sweep.
+Curve F1Curve(const std::vector<SweepPoint>& sweep);
+Curve PrecisionCurve(const std::vector<SweepPoint>& sweep);
+Curve RecallCurve(const std::vector<SweepPoint>& sweep);
+Curve AccuracyCurve(const std::vector<SweepPoint>& sweep);
+/// ROC points (FPR, TPR) of each sweep entry, sorted by FPR.
+Curve RocFromSweep(const std::vector<SweepPoint>& sweep);
+/// PR points (recall, precision) of each sweep entry, sorted by recall.
+Curve PrFromSweep(const std::vector<SweepPoint>& sweep);
+/// AUC-PR of a sweep-derived PR curve (trapezoid over recall span).
+double PrAucFromSweep(const std::vector<SweepPoint>& sweep);
+
+}  // namespace colscope::eval
+
+#endif  // COLSCOPE_EVAL_CURVES_H_

@@ -1,0 +1,43 @@
+#include "eval/matching_metrics.h"
+
+namespace colscope::eval {
+
+double MatchingQuality::PairQuality() const {
+  if (generated == 0) return 0.0;
+  return static_cast<double>(true_linkages) / static_cast<double>(generated);
+}
+
+double MatchingQuality::PairCompleteness() const {
+  if (ground_truth == 0) return 0.0;
+  return static_cast<double>(true_linkages) /
+         static_cast<double>(ground_truth);
+}
+
+double MatchingQuality::F1() const {
+  const double pq = PairQuality();
+  const double pc = PairCompleteness();
+  if (pq + pc == 0.0) return 0.0;
+  return 2.0 * pq * pc / (pq + pc);
+}
+
+double MatchingQuality::ReductionRatio() const {
+  if (cartesian == 0) return 0.0;
+  const double ratio =
+      static_cast<double>(generated) / static_cast<double>(cartesian);
+  return 1.0 - ratio;
+}
+
+MatchingQuality EvaluateMatching(
+    const std::set<matching::ElementPair>& generated,
+    const datasets::GroundTruth& truth, size_t cartesian) {
+  MatchingQuality q;
+  q.generated = generated.size();
+  q.ground_truth = truth.size();
+  q.cartesian = cartesian;
+  for (const matching::ElementPair& pair : generated) {
+    if (truth.ContainsPair(pair.first, pair.second)) ++q.true_linkages;
+  }
+  return q;
+}
+
+}  // namespace colscope::eval

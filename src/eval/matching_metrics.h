@@ -1,0 +1,38 @@
+#ifndef COLSCOPE_EVAL_MATCHING_METRICS_H_
+#define COLSCOPE_EVAL_MATCHING_METRICS_H_
+
+#include <set>
+
+#include "datasets/linkage.h"
+#include "matching/matcher.h"
+
+namespace colscope::eval {
+
+/// Matching-quality metrics of Section 4.2:
+///   PQ (pair quality / precision)     = |A(S') ∩ L(S)| / |A(S')|
+///   PC (pair completeness / recall)   = |A(S') ∩ L(S)| / |L(S)|
+///   F1                                 = harmonic mean of PQ and PC
+///   RR (reduction ratio)               = 1 - |A(S')| / Cartesian(S)
+struct MatchingQuality {
+  size_t generated = 0;       ///< |A(S')|.
+  size_t true_linkages = 0;   ///< |A(S') ∩ L(S)|.
+  size_t ground_truth = 0;    ///< |L(S)|.
+  size_t cartesian = 0;       ///< Cartesian product size of the originals.
+
+  double PairQuality() const;
+  double PairCompleteness() const;
+  double F1() const;
+  double ReductionRatio() const;
+};
+
+/// Scores a generated candidate set against the annotated ground truth.
+/// `cartesian` is the element-wise comparison count on the ORIGINAL
+/// schemas (tables x tables + attributes x attributes summed over schema
+/// pairs, i.e. Table 3).
+MatchingQuality EvaluateMatching(
+    const std::set<matching::ElementPair>& generated,
+    const datasets::GroundTruth& truth, size_t cartesian);
+
+}  // namespace colscope::eval
+
+#endif  // COLSCOPE_EVAL_MATCHING_METRICS_H_

@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include "common/check.h"
+
+namespace colscope::eval {
+
+double Confusion::Accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double Confusion::Precision() const {
+  const size_t predicted_positive = true_positive + false_positive;
+  if (predicted_positive == 0) return 0.0;
+  return static_cast<double>(true_positive) /
+         static_cast<double>(predicted_positive);
+}
+
+double Confusion::Recall() const {
+  const size_t positives = true_positive + false_negative;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(true_positive) / static_cast<double>(positives);
+}
+
+double Confusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double Confusion::FalsePositiveRate() const {
+  const size_t negatives = false_positive + true_negative;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(false_positive) /
+         static_cast<double>(negatives);
+}
+
+Confusion Evaluate(const std::vector<bool>& labels,
+                   const std::vector<bool>& predictions) {
+  COLSCOPE_CHECK(labels.size() == predictions.size());
+  Confusion c;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] && predictions[i]) {
+      ++c.true_positive;
+    } else if (!labels[i] && predictions[i]) {
+      ++c.false_positive;
+    } else if (labels[i] && !predictions[i]) {
+      ++c.false_negative;
+    } else {
+      ++c.true_negative;
+    }
+  }
+  return c;
+}
+
+}  // namespace colscope::eval

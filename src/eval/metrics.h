@@ -1,0 +1,32 @@
+#ifndef COLSCOPE_EVAL_METRICS_H_
+#define COLSCOPE_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace colscope::eval {
+
+/// Binary confusion counts: positives are *linkable* elements.
+struct Confusion {
+  size_t true_positive = 0;
+  size_t false_positive = 0;
+  size_t true_negative = 0;
+  size_t false_negative = 0;
+
+  size_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double Accuracy() const;
+  double Precision() const;  ///< 0 when no positive predictions.
+  double Recall() const;     ///< 0 when no positive labels (TPR).
+  double F1() const;
+  double FalsePositiveRate() const;  ///< 0 when no negative labels.
+};
+
+/// Confusion matrix of predictions vs labels (sizes must match).
+Confusion Evaluate(const std::vector<bool>& labels,
+                   const std::vector<bool>& predictions);
+
+}  // namespace colscope::eval
+
+#endif  // COLSCOPE_EVAL_METRICS_H_

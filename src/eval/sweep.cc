@@ -1,0 +1,78 @@
+#include "eval/sweep.h"
+
+#include "common/check.h"
+#include "scoping/collaborative.h"
+#include "scoping/scoping.h"
+
+namespace colscope::eval {
+
+std::vector<double> ParameterGrid(double step, double max) {
+  COLSCOPE_CHECK(step > 0.0 && step < 1.0);
+  std::vector<double> grid;
+  // Multiply rather than accumulate so rounding error cannot push a grid
+  // value past `max` (p/v must stay within [0, 1]).
+  for (int i = 1; i * step <= max + 1e-12; ++i) {
+    grid.push_back(std::min(1.0, i * step));
+  }
+  return grid;
+}
+
+std::vector<SweepPoint> ScopingSweepFromScores(
+    const std::vector<double>& scores, const std::vector<bool>& labels,
+    const std::vector<double>& grid) {
+  COLSCOPE_CHECK(scores.size() == labels.size());
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(grid.size());
+  for (double p : grid) {
+    const std::vector<bool> keep = scoping::ScopeByScores(scores, p);
+    sweep.push_back({p, Evaluate(labels, keep)});
+  }
+  return sweep;
+}
+
+std::vector<SweepPoint> ScopingSweep(const scoping::SignatureSet& signatures,
+                                     const std::vector<bool>& labels,
+                                     const outlier::OutlierDetector& detector,
+                                     const std::vector<double>& grid) {
+  return ScopingSweepFromScores(detector.Scores(signatures.signatures),
+                                labels, grid);
+}
+
+std::vector<SweepPoint> CollaborativeSweep(
+    const scoping::SignatureSet& signatures, size_t num_schemas,
+    const std::vector<bool>& labels, const std::vector<double>& grid) {
+  COLSCOPE_CHECK(signatures.size() == labels.size());
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(grid.size());
+  for (double v : grid) {
+    Result<std::vector<bool>> keep =
+        scoping::CollaborativeScoping(signatures, num_schemas, v);
+    COLSCOPE_CHECK_MSG(keep.ok(), keep.status().ToString().c_str());
+    sweep.push_back({v, Evaluate(labels, *keep)});
+  }
+  return sweep;
+}
+
+AucReport ReportForScoping(const std::vector<bool>& labels,
+                           const std::vector<double>& scores,
+                           const std::vector<SweepPoint>& sweep) {
+  AucReport report;
+  report.auc_f1 = 100.0 * MeanOverSweep(F1Curve(sweep));
+  const Curve roc = RocFromScores(labels, scores);
+  report.auc_roc = 100.0 * TrapezoidAuc(roc);
+  report.auc_roc_smoothed = 100.0 * TrapezoidAuc(SmoothRocCurve(roc));
+  report.auc_pr = 100.0 * AveragePrecisionFromScores(labels, scores);
+  return report;
+}
+
+AucReport ReportForCollaborative(const std::vector<SweepPoint>& sweep) {
+  AucReport report;
+  report.auc_f1 = 100.0 * MeanOverSweep(F1Curve(sweep));
+  const Curve roc = RocFromSweep(sweep);
+  report.auc_roc = 100.0 * TrapezoidAuc(roc);
+  report.auc_roc_smoothed = 100.0 * TrapezoidAuc(SmoothRocCurve(roc));
+  report.auc_pr = 100.0 * PrAucFromSweep(sweep);
+  return report;
+}
+
+}  // namespace colscope::eval

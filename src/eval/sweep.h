@@ -1,0 +1,59 @@
+#ifndef COLSCOPE_EVAL_SWEEP_H_
+#define COLSCOPE_EVAL_SWEEP_H_
+
+#include <vector>
+
+#include "eval/curves.h"
+#include "outlier/oda.h"
+#include "scoping/signatures.h"
+
+namespace colscope::eval {
+
+/// Uniform hyperparameter grid over (0, 1): {step, 2*step, ..., <= max}.
+/// The paper sweeps p in (0..1) for scoping and v in (1..0) for
+/// collaborative scoping; both use this grid (default 0.01 .. 0.99 plus
+/// optionally 1.0 for p).
+std::vector<double> ParameterGrid(double step = 0.01, double max = 0.99);
+
+/// Scoping sweep: computes ODA scores once on the unified signature set
+/// and evaluates the keep-p-portion rule at every grid value.
+std::vector<SweepPoint> ScopingSweep(const scoping::SignatureSet& signatures,
+                                     const std::vector<bool>& labels,
+                                     const outlier::OutlierDetector& detector,
+                                     const std::vector<double>& grid);
+
+/// Same, but from precomputed outlier scores (lets callers reuse one
+/// expensive scoring run, e.g. the autoencoder ensemble).
+std::vector<SweepPoint> ScopingSweepFromScores(
+    const std::vector<double>& scores, const std::vector<bool>& labels,
+    const std::vector<double>& grid);
+
+/// Collaborative-scoping sweep: refits the local models and reruns the
+/// distributed assessment at every explained-variance value v in `grid`.
+std::vector<SweepPoint> CollaborativeSweep(
+    const scoping::SignatureSet& signatures, size_t num_schemas,
+    const std::vector<bool>& labels, const std::vector<double>& grid);
+
+/// The four AUC summary scores of Table 4 (reported in percent).
+struct AucReport {
+  double auc_f1 = 0.0;
+  double auc_roc = 0.0;
+  double auc_roc_smoothed = 0.0;  ///< AUC-ROC' (monotone smoothed).
+  double auc_pr = 0.0;
+};
+
+/// Report for a *scoping* method: AUC-F1 is the sweep-mean F1; ROC and
+/// PR integrate the continuous outlier-score ranking (lower score =
+/// linkable), as in the paper's use of sklearn-style estimators.
+AucReport ReportForScoping(const std::vector<bool>& labels,
+                           const std::vector<double>& scores,
+                           const std::vector<SweepPoint>& sweep);
+
+/// Report for *collaborative* scoping: every curve derives from the
+/// per-v sweep points (there is no global score ranking); the ROC may
+/// end below FPR = 100%, which AUC-ROC' compensates (Section 4.2).
+AucReport ReportForCollaborative(const std::vector<SweepPoint>& sweep);
+
+}  // namespace colscope::eval
+
+#endif  // COLSCOPE_EVAL_SWEEP_H_

@@ -1,0 +1,26 @@
+#ifndef COLSCOPE_LINALG_EIGEN_H_
+#define COLSCOPE_LINALG_EIGEN_H_
+
+#include "linalg/matrix.h"
+
+namespace colscope::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(values) V^T.
+/// Eigenvalues are sorted in descending order; `vectors` stores the
+/// corresponding eigenvectors as ROWS (row i pairs with values[i]).
+struct EigenDecomposition {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi
+/// rotation method. Deterministic, O(n^3) per sweep; converges in a
+/// handful of sweeps for the matrix sizes this library handles
+/// (n <= a few hundred). `a` must be square and symmetric.
+EigenDecomposition JacobiEigenSymmetric(const Matrix& a,
+                                        double tolerance = 1e-12,
+                                        int max_sweeps = 64);
+
+}  // namespace colscope::linalg
+
+#endif  // COLSCOPE_LINALG_EIGEN_H_

@@ -1,0 +1,66 @@
+#include "linalg/matrix.h"
+
+namespace colscope::linalg {
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    COLSCOPE_CHECK(rows[r].size() == m.cols());
+    m.SetRow(r, rows[r]);
+  }
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  COLSCOPE_CHECK(r < rows_);
+  return Vector(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  COLSCOPE_CHECK(r < rows_);
+  COLSCOPE_CHECK(v.size() == cols_);
+  std::copy(v.begin(), v.end(), RowPtr(r));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = row[c];
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  COLSCOPE_CHECK(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  // i-k-j loop order: streams through `other` rows, cache friendly.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols(); ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVector(const Vector& v) const {
+  COLSCOPE_CHECK(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double sum = 0.0;
+    for (size_t k = 0; k < cols_; ++k) sum += row[k] * v[k];
+    out[i] = sum;
+  }
+  return out;
+}
+
+}  // namespace colscope::linalg

@@ -1,0 +1,68 @@
+#ifndef COLSCOPE_LINALG_MATRIX_H_
+#define COLSCOPE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace colscope::linalg {
+
+/// A vector of doubles; signatures and rows are plain Vectors.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Rows are data points (signatures),
+/// columns are dimensions — the orientation every algorithm in this
+/// library uses. Copyable and movable; sized at construction.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix whose rows are the given equally-sized vectors.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(size_t r, size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row `r` (contiguous `cols()` doubles).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row `r` out into a Vector.
+  Vector Row(size_t r) const;
+
+  /// Overwrites row `r` with `v` (sizes must match).
+  void SetRow(size_t r, const Vector& v);
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// this (m x k) * other (k x n) -> (m x n).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// this (m x k) * v (k) -> (m).
+  Vector MultiplyVector(const Vector& v) const;
+
+  /// Raw storage (row-major), for tight loops.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace colscope::linalg
+
+#endif  // COLSCOPE_LINALG_MATRIX_H_

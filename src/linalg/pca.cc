@@ -1,0 +1,101 @@
+#include "linalg/pca.h"
+
+#include <algorithm>
+
+#include "linalg/stats.h"
+#include "linalg/svd.h"
+
+namespace colscope::linalg {
+
+Result<PcaModel> PcaModel::FitWithVariance(const Matrix& x,
+                                           double variance_target) {
+  if (variance_target <= 0.0 || variance_target > 1.0) {
+    return Status::InvalidArgument("variance target must be in (0, 1]");
+  }
+  return Fit(x, variance_target, 0);
+}
+
+Result<PcaModel> PcaModel::FitWithComponents(const Matrix& x,
+                                             size_t n_components) {
+  if (n_components == 0) {
+    return Status::InvalidArgument("n_components must be >= 1");
+  }
+  return Fit(x, -1.0, n_components);
+}
+
+Result<PcaModel> PcaModel::FromParts(Vector mean, Matrix components) {
+  if (mean.empty() || components.rows() == 0) {
+    return Status::InvalidArgument("mean and components must be non-empty");
+  }
+  if (components.cols() != mean.size()) {
+    return Status::InvalidArgument(
+        "component length must equal the mean dimensionality");
+  }
+  PcaModel model;
+  model.mean_ = std::move(mean);
+  model.components_ = std::move(components);
+  return model;
+}
+
+Result<PcaModel> PcaModel::Fit(const Matrix& x, double variance_target,
+                               size_t fixed_components) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("PCA requires a non-empty matrix");
+  }
+  PcaModel model;
+  model.mean_ = ColumnMean(x);
+  const Matrix centered = CenterRows(x, model.mean_);
+  SvdResult svd = ThinSvd(centered);
+  const Vector ev = ExplainedVarianceRatios(svd.singular_values);
+
+  size_t keep = 0;
+  if (fixed_components > 0) {
+    keep = std::min(fixed_components, svd.singular_values.size());
+  } else {
+    keep = ComponentsForVariance(ev, variance_target);
+  }
+  COLSCOPE_CHECK(keep >= 1);
+
+  model.components_ = Matrix(keep, x.cols());
+  for (size_t k = 0; k < keep; ++k) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      model.components_(k, c) = svd.vt(k, c);
+    }
+  }
+  model.explained_variance_.assign(ev.begin(), ev.begin() + keep);
+  return model;
+}
+
+Matrix PcaModel::Encode(const Matrix& x) const {
+  COLSCOPE_CHECK(x.cols() == dims());
+  const Matrix centered = CenterRows(x, mean_);
+  return centered.Multiply(components_.Transposed());
+}
+
+Matrix PcaModel::Decode(const Matrix& z) const {
+  COLSCOPE_CHECK(z.cols() == n_components());
+  const Matrix expanded = z.Multiply(components_);
+  return UncenterRows(expanded, mean_);
+}
+
+Matrix PcaModel::Reconstruct(const Matrix& x) const {
+  return Decode(Encode(x));
+}
+
+Vector PcaModel::ReconstructionErrors(const Matrix& x) const {
+  return RowwiseMse(x, Reconstruct(x));
+}
+
+double PcaModel::ReconstructionError(const Vector& v) const {
+  Matrix one(1, v.size());
+  one.SetRow(0, v);
+  return ReconstructionErrors(one)[0];
+}
+
+double PcaModel::total_explained_variance() const {
+  double sum = 0.0;
+  for (double v : explained_variance_) sum += v;
+  return sum;
+}
+
+}  // namespace colscope::linalg

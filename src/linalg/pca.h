@@ -1,0 +1,69 @@
+#ifndef COLSCOPE_LINALG_PCA_H_
+#define COLSCOPE_LINALG_PCA_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace colscope::linalg {
+
+/// A fitted PCA encoder-decoder: the local mean, the selected principal
+/// components (rows of `components`, each of length d), and bookkeeping
+/// about how much variance they explain. This is the reusable
+/// encoder-decoder of Algorithm 1 lines 3-13.
+class PcaModel {
+ public:
+  /// Fits PCA on the rows of `x`, keeping the smallest number of leading
+  /// components whose cumulative explained variance reaches
+  /// `variance_target` in (0, 1]. Requires at least one row.
+  static Result<PcaModel> FitWithVariance(const Matrix& x,
+                                          double variance_target);
+
+  /// Fits PCA keeping exactly `n_components` components (clamped to the
+  /// rank of the centered data).
+  static Result<PcaModel> FitWithComponents(const Matrix& x,
+                                            size_t n_components);
+
+  /// Reassembles a model from its parts (e.g. after deserialization).
+  /// `components` rows must have length mean.size(); the explained-
+  /// variance bookkeeping is not recoverable and is left empty.
+  static Result<PcaModel> FromParts(Vector mean, Matrix components);
+
+  /// Projects rows of `x` into the component space: (x - mean) * PC^T.
+  Matrix Encode(const Matrix& x) const;
+
+  /// Reconstructs encoded rows back to the input space: z * PC + mean.
+  Matrix Decode(const Matrix& z) const;
+
+  /// Encode followed by Decode — the full reconstruction of Alg. 1/2.
+  Matrix Reconstruct(const Matrix& x) const;
+
+  /// Per-row reconstruction MSE of `x` (the outlier score s_{k_i}).
+  Vector ReconstructionErrors(const Matrix& x) const;
+
+  /// Reconstruction MSE of a single signature.
+  double ReconstructionError(const Vector& v) const;
+
+  const Vector& mean() const { return mean_; }
+  const Matrix& components() const { return components_; }
+  size_t n_components() const { return components_.rows(); }
+  size_t dims() const { return mean_.size(); }
+
+  /// Explained-variance ratio of each *kept* component.
+  const Vector& explained_variance() const { return explained_variance_; }
+
+  /// Cumulative explained variance of the kept components.
+  double total_explained_variance() const;
+
+ private:
+  PcaModel() = default;
+  static Result<PcaModel> Fit(const Matrix& x, double variance_target,
+                              size_t fixed_components);
+
+  Vector mean_;
+  Matrix components_;  // n_components x d, orthonormal rows.
+  Vector explained_variance_;
+};
+
+}  // namespace colscope::linalg
+
+#endif  // COLSCOPE_LINALG_PCA_H_

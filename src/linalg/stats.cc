@@ -1,0 +1,114 @@
+#include "linalg/stats.h"
+
+#include <cmath>
+
+namespace colscope::linalg {
+
+Vector ColumnMean(const Matrix& m) {
+  Vector mean(m.cols(), 0.0);
+  if (m.rows() == 0) return mean;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) mean[c] += row[c];
+  }
+  const double inv = 1.0 / static_cast<double>(m.rows());
+  for (double& v : mean) v *= inv;
+  return mean;
+}
+
+Vector ColumnStdDev(const Matrix& m, const Vector& mean) {
+  COLSCOPE_CHECK(mean.size() == m.cols());
+  Vector var(m.cols(), 0.0);
+  if (m.rows() == 0) return var;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      const double d = row[c] - mean[c];
+      var[c] += d * d;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(m.rows());
+  for (double& v : var) v = std::sqrt(v * inv);
+  return var;
+}
+
+Matrix CenterRows(const Matrix& m, const Vector& mean) {
+  COLSCOPE_CHECK(mean.size() == m.cols());
+  Matrix out = m;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] -= mean[c];
+  }
+  return out;
+}
+
+Matrix UncenterRows(const Matrix& m, const Vector& mean) {
+  COLSCOPE_CHECK(mean.size() == m.cols());
+  Matrix out = m;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += mean[c];
+  }
+  return out;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  COLSCOPE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double SquaredL2Distance(const Vector& a, const Vector& b) {
+  COLSCOPE_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double L2Distance(const Vector& a, const Vector& b) {
+  return std::sqrt(SquaredL2Distance(a, b));
+}
+
+double CosineSimilarity(const Vector& a, const Vector& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+double MeanSquaredError(const Vector& a, const Vector& b) {
+  COLSCOPE_CHECK(!a.empty());
+  return SquaredL2Distance(a, b) / static_cast<double>(a.size());
+}
+
+Vector RowwiseMse(const Matrix& a, const Matrix& b) {
+  COLSCOPE_CHECK(a.rows() == b.rows());
+  COLSCOPE_CHECK(a.cols() == b.cols());
+  Vector out(a.rows(), 0.0);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* ra = a.RowPtr(r);
+    const double* rb = b.RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      const double d = ra[c] - rb[c];
+      sum += d * d;
+    }
+    out[r] = sum / static_cast<double>(a.cols());
+  }
+  return out;
+}
+
+void NormalizeInPlace(Vector& v) {
+  const double n = Norm(v);
+  if (n == 0.0) return;
+  const double inv = 1.0 / n;
+  for (double& x : v) x *= inv;
+}
+
+}  // namespace colscope::linalg

@@ -1,0 +1,41 @@
+#ifndef COLSCOPE_LINALG_STATS_H_
+#define COLSCOPE_LINALG_STATS_H_
+
+#include "linalg/matrix.h"
+
+namespace colscope::linalg {
+
+/// Column-wise mean of the rows of `m` (the signature mean of Alg. 1).
+Vector ColumnMean(const Matrix& m);
+
+/// Column-wise (population) standard deviation of the rows of `m`.
+Vector ColumnStdDev(const Matrix& m, const Vector& mean);
+
+/// Returns `m` with `mean` subtracted from every row.
+Matrix CenterRows(const Matrix& m, const Vector& mean);
+
+/// Returns `m` with `mean` added to every row (reverse of CenterRows).
+Matrix UncenterRows(const Matrix& m, const Vector& mean);
+
+/// Dot product, Euclidean norm, and L2 distance.
+double Dot(const Vector& a, const Vector& b);
+double Norm(const Vector& a);
+double L2Distance(const Vector& a, const Vector& b);
+double SquaredL2Distance(const Vector& a, const Vector& b);
+
+/// Cosine similarity in [-1, 1]; zero vectors yield 0.
+double CosineSimilarity(const Vector& a, const Vector& b);
+
+/// Mean squared error between two equally-sized vectors — the
+/// reconstruction score used throughout the paper (Alg. 1 line 14).
+double MeanSquaredError(const Vector& a, const Vector& b);
+
+/// Per-row MSE between two equally-shaped matrices.
+Vector RowwiseMse(const Matrix& a, const Matrix& b);
+
+/// Normalizes `v` to unit L2 norm in place; zero vectors are untouched.
+void NormalizeInPlace(Vector& v);
+
+}  // namespace colscope::linalg
+
+#endif  // COLSCOPE_LINALG_STATS_H_

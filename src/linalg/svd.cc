@@ -1,0 +1,117 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace colscope::linalg {
+
+SvdResult ThinSvd(const Matrix& x, double rank_tolerance) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  SvdResult out;
+  if (n == 0 || d == 0) return out;
+
+  const bool rows_smaller = n <= d;
+  // Gram matrix of the smaller side: G = X X^T (n x n) or X^T X (d x d).
+  const size_t g = rows_smaller ? n : d;
+  Matrix gram(g, g);
+  if (rows_smaller) {
+    for (size_t i = 0; i < n; ++i) {
+      const double* ri = x.RowPtr(i);
+      for (size_t j = i; j < n; ++j) {
+        const double* rj = x.RowPtr(j);
+        double sum = 0.0;
+        for (size_t k = 0; k < d; ++k) sum += ri[k] * rj[k];
+        gram(i, j) = sum;
+        gram(j, i) = sum;
+      }
+    }
+  } else {
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = x.RowPtr(r);
+      for (size_t i = 0; i < d; ++i) {
+        const double xi = row[i];
+        if (xi == 0.0) continue;
+        for (size_t j = i; j < d; ++j) gram(i, j) += xi * row[j];
+      }
+    }
+    for (size_t i = 0; i < d; ++i)
+      for (size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+
+  EigenDecomposition eig = JacobiEigenSymmetric(gram);
+
+  // Singular values; clamp small negative eigenvalues from roundoff.
+  Vector sv(g, 0.0);
+  for (size_t i = 0; i < g; ++i) sv[i] = std::sqrt(std::max(0.0, eig.values[i]));
+  const double s_max = sv.empty() ? 0.0 : sv[0];
+  size_t rank = 0;
+  while (rank < g && sv[rank] > rank_tolerance * std::max(1.0, s_max)) ++rank;
+  // Keep at least one triplet even for (near-)zero matrices so callers
+  // always have a defined subspace.
+  if (rank == 0) rank = 1;
+
+  out.singular_values.assign(sv.begin(), sv.begin() + rank);
+  out.u = Matrix(n, rank);
+  out.vt = Matrix(rank, d);
+
+  if (rows_smaller) {
+    // Eigenvectors of X X^T are the left singular vectors.
+    for (size_t i = 0; i < n; ++i)
+      for (size_t k = 0; k < rank; ++k) out.u(i, k) = eig.vectors(k, i);
+    // v_k = X^T u_k / s_k.
+    for (size_t k = 0; k < rank; ++k) {
+      const double s = out.singular_values[k];
+      if (s <= 0.0) continue;
+      double* v_row = out.vt.RowPtr(k);
+      for (size_t r = 0; r < n; ++r) {
+        const double w = out.u(r, k) / s;
+        if (w == 0.0) continue;
+        const double* x_row = x.RowPtr(r);
+        for (size_t c = 0; c < d; ++c) v_row[c] += w * x_row[c];
+      }
+    }
+  } else {
+    // Eigenvectors of X^T X are the right singular vectors.
+    for (size_t k = 0; k < rank; ++k)
+      for (size_t c = 0; c < d; ++c) out.vt(k, c) = eig.vectors(k, c);
+    // u_k = X v_k / s_k.
+    for (size_t k = 0; k < rank; ++k) {
+      const double s = out.singular_values[k];
+      if (s <= 0.0) continue;
+      const double* v_row = out.vt.RowPtr(k);
+      for (size_t r = 0; r < n; ++r) {
+        const double* x_row = x.RowPtr(r);
+        double sum = 0.0;
+        for (size_t c = 0; c < d; ++c) sum += x_row[c] * v_row[c];
+        out.u(r, k) = sum / s;
+      }
+    }
+  }
+  return out;
+}
+
+Vector ExplainedVarianceRatios(const Vector& singular_values) {
+  double total = 0.0;
+  for (double s : singular_values) total += s * s;
+  Vector out(singular_values.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (size_t i = 0; i < singular_values.size(); ++i) {
+    out[i] = singular_values[i] * singular_values[i] / total;
+  }
+  return out;
+}
+
+size_t ComponentsForVariance(const Vector& explained_variance_ratios,
+                             double target) {
+  if (explained_variance_ratios.empty()) return 1;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < explained_variance_ratios.size(); ++i) {
+    cumulative += explained_variance_ratios[i];
+    if (cumulative >= target) return i + 1;
+  }
+  return explained_variance_ratios.size();
+}
+
+}  // namespace colscope::linalg

@@ -1,0 +1,37 @@
+#ifndef COLSCOPE_LINALG_SVD_H_
+#define COLSCOPE_LINALG_SVD_H_
+
+#include "linalg/matrix.h"
+
+namespace colscope::linalg {
+
+/// Thin singular value decomposition X = U diag(S) V^T of an n x d
+/// matrix, keeping r = min(n, d) triplets. `u` is n x r, `vt` is r x d
+/// (right singular vectors as rows — the principal components when X is
+/// mean-centered). Singular values are sorted descending.
+struct SvdResult {
+  Vector singular_values;  ///< r values, descending, >= 0.
+  Matrix u;                ///< n x r left singular vectors (columns).
+  Matrix vt;               ///< r x d right singular vectors (rows).
+};
+
+/// Computes the thin SVD via a symmetric eigendecomposition of the
+/// smaller Gram matrix (X X^T if n <= d, else X^T X). Exact for the
+/// matrix sizes this library targets (hundreds of rows, ~768 columns);
+/// singular values below `rank_tolerance` * s_max are dropped to avoid
+/// amplifying noise when recovering the paired singular vectors.
+SvdResult ThinSvd(const Matrix& x, double rank_tolerance = 1e-10);
+
+/// Explained-variance ratios ev_i = s_i^2 / sum_j s_j^2 (Alg. 1 lines
+/// 6-7). Returns an empty vector when all singular values are zero.
+Vector ExplainedVarianceRatios(const Vector& singular_values);
+
+/// Number of leading components needed so that the cumulative explained
+/// variance strictly exceeds `target` (Alg. 1 lines 8-9: GetIndex + 1).
+/// Always returns at least 1 and at most the number of components.
+size_t ComponentsForVariance(const Vector& explained_variance_ratios,
+                             double target);
+
+}  // namespace colscope::linalg
+
+#endif  // COLSCOPE_LINALG_SVD_H_

@@ -1,0 +1,93 @@
+#include "linalg/truncated_svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/stats.h"
+
+namespace colscope::linalg {
+
+namespace {
+
+/// In-place modified Gram-Schmidt on the COLUMNS of m (n x k). Columns
+/// that collapse to (near) zero are re-randomized from `rng` and
+/// re-orthogonalized so the basis stays full rank.
+void OrthonormalizeColumns(Matrix& m, Rng& rng) {
+  const size_t n = m.rows();
+  const size_t k = m.cols();
+  for (size_t c = 0; c < k; ++c) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      // Project out earlier columns.
+      for (size_t p = 0; p < c; ++p) {
+        double dot = 0.0;
+        for (size_t r = 0; r < n; ++r) dot += m(r, c) * m(r, p);
+        for (size_t r = 0; r < n; ++r) m(r, c) -= dot * m(r, p);
+      }
+      double norm = 0.0;
+      for (size_t r = 0; r < n; ++r) norm += m(r, c) * m(r, c);
+      norm = std::sqrt(norm);
+      if (norm > 1e-10) {
+        const double inv = 1.0 / norm;
+        for (size_t r = 0; r < n; ++r) m(r, c) *= inv;
+        break;
+      }
+      // Degenerate direction: replace with fresh randomness and retry.
+      for (size_t r = 0; r < n; ++r) m(r, c) = rng.NextGaussian();
+    }
+  }
+}
+
+}  // namespace
+
+SvdResult TruncatedSvd(const Matrix& x, size_t rank, int power_iterations,
+                       uint64_t seed) {
+  SvdResult out;
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n == 0 || d == 0) return out;
+  rank = std::max<size_t>(1, std::min({rank, n, d}));
+
+  Rng rng(seed);
+
+  // Range finder: Y = X * G with a Gaussian test matrix G (d x rank).
+  Matrix g(d, rank);
+  for (double& v : g.data()) v = rng.NextGaussian();
+  Matrix y = x.Multiply(g);  // n x rank.
+  OrthonormalizeColumns(y, rng);
+
+  // Subspace (power) iteration: Y <- X Xᵀ Y, re-orthonormalized.
+  const Matrix xt = x.Transposed();
+  for (int it = 0; it < power_iterations; ++it) {
+    Matrix z = xt.Multiply(y);  // d x rank.
+    OrthonormalizeColumns(z, rng);
+    y = x.Multiply(z);  // n x rank.
+    OrthonormalizeColumns(y, rng);
+  }
+
+  // Project: B = Yᵀ X (rank x d), then exact small SVD of B.
+  const Matrix b = y.Transposed().Multiply(x);
+  SvdResult small = ThinSvd(b);
+  const size_t keep = std::min(rank, small.singular_values.size());
+
+  out.singular_values.assign(small.singular_values.begin(),
+                             small.singular_values.begin() + keep);
+  out.vt = Matrix(keep, d);
+  for (size_t k = 0; k < keep; ++k) {
+    for (size_t c = 0; c < d; ++c) out.vt(k, c) = small.vt(k, c);
+  }
+  // u = Y * u_B.
+  out.u = Matrix(n, keep);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t k = 0; k < keep; ++k) {
+      double sum = 0.0;
+      for (size_t c = 0; c < y.cols(); ++c) {
+        sum += y(r, c) * small.u(c, k);
+      }
+      out.u(r, k) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::linalg

@@ -1,0 +1,24 @@
+#ifndef COLSCOPE_LINALG_TRUNCATED_SVD_H_
+#define COLSCOPE_LINALG_TRUNCATED_SVD_H_
+
+#include <cstdint>
+
+#include "linalg/svd.h"
+
+namespace colscope::linalg {
+
+/// Randomized truncated SVD (Halko/Martinsson/Tropp-style subspace
+/// iteration): returns the top-`rank` singular triplets of `x` without
+/// the full eigendecomposition the exact ThinSvd performs. Intended for
+/// the record-scale inputs of the entity-resolution extension, where the
+/// exact Gram eigensolver's cubic cost in min(n, d) dominates.
+///
+/// `power_iterations` sharpens the spectrum separation (5-8 is plenty
+/// for PCA-quality subspaces); `seed` fixes the random test matrix so
+/// results are deterministic. rank is clamped to min(n, d).
+SvdResult TruncatedSvd(const Matrix& x, size_t rank,
+                       int power_iterations = 6, uint64_t seed = 0x54d);
+
+}  // namespace colscope::linalg
+
+#endif  // COLSCOPE_LINALG_TRUNCATED_SVD_H_

@@ -1,0 +1,105 @@
+#include "matching/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace colscope::matching {
+
+double BestF1Threshold(
+    const std::vector<ThresholdCalibrator::LabeledPair>& labeled) {
+  if (labeled.empty()) return 0.5;
+  std::vector<ThresholdCalibrator::LabeledPair> sorted = labeled;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.score < b.score; });
+
+  size_t total_matches = 0;
+  for (const auto& l : sorted) total_matches += l.is_match;
+  if (total_matches == 0) {
+    // No positives seen: predict nothing (threshold above every score).
+    return sorted.back().score + 1.0;
+  }
+
+  // Evaluate the cut "predict match iff score >= sorted[i].score" for
+  // every i, plus the predict-everything cut.
+  double best_f1 = -1.0;
+  double best_threshold = sorted.front().score;
+  size_t matches_below = 0;  // Matches strictly below the cut.
+  for (size_t i = 0; i <= sorted.size(); ++i) {
+    const size_t predicted = sorted.size() - i;
+    const size_t true_pos = total_matches - matches_below;
+    const double precision =
+        predicted == 0 ? 0.0
+                       : static_cast<double>(true_pos) /
+                             static_cast<double>(predicted);
+    const double recall = static_cast<double>(true_pos) /
+                          static_cast<double>(total_matches);
+    const double f1 = (precision + recall) == 0.0
+                          ? 0.0
+                          : 2.0 * precision * recall / (precision + recall);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      if (i == 0) {
+        best_threshold = sorted.front().score - 1e-9;
+      } else if (i == sorted.size()) {
+        best_threshold = sorted.back().score + 1e-9;
+      } else {
+        best_threshold = 0.5 * (sorted[i - 1].score + sorted[i].score);
+      }
+    }
+    if (i < sorted.size() && sorted[i].is_match) ++matches_below;
+  }
+  return best_threshold;
+}
+
+ThresholdCalibrator::Calibration ThresholdCalibrator::Calibrate(
+    const SimilarityMatrix& matrix, const Oracle& oracle) const {
+  Calibration out;
+  out.threshold = options_.initial_threshold;
+  if (matrix.size() == 0 || options_.budget == 0) return out;
+
+  std::vector<std::pair<ElementPair, double>> pool(matrix.scores().begin(),
+                                                   matrix.scores().end());
+  std::vector<bool> used(pool.size(), false);
+  Rng rng(options_.seed);
+
+  const size_t budget = std::min(options_.budget, pool.size());
+  for (size_t query = 0; query < budget; ++query) {
+    size_t pick = pool.size();
+    if (options_.strategy == Strategy::kRandom) {
+      // Uniform over unused pairs.
+      std::vector<size_t> unused;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!used[i]) unused.push_back(i);
+      }
+      if (!unused.empty()) {
+        pick = unused[rng.NextBounded(unused.size())];
+      }
+    } else {
+      // Uncertainty: closest unused score to the current threshold.
+      double best_distance = std::numeric_limits<double>::max();
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (used[i]) continue;
+        const double distance =
+            std::fabs(pool[i].second - out.threshold);
+        if (distance < best_distance) {
+          best_distance = distance;
+          pick = i;
+        }
+      }
+    }
+    if (pick >= pool.size()) break;
+    used[pick] = true;
+    LabeledPair labeled;
+    labeled.pair = pool[pick].first;
+    labeled.score = pool[pick].second;
+    labeled.is_match = oracle(labeled.pair);
+    out.queried.push_back(labeled);
+    out.threshold = BestF1Threshold(out.queried);
+  }
+  return out;
+}
+
+}  // namespace colscope::matching

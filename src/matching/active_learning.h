@@ -1,0 +1,70 @@
+#ifndef COLSCOPE_MATCHING_ACTIVE_LEARNING_H_
+#define COLSCOPE_MATCHING_ACTIVE_LEARNING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "matching/similarity_matrix.h"
+
+namespace colscope::matching {
+
+/// Active-learning calibration of a global decision threshold over a
+/// similarity matrix — the workflow of the Alfa / PoWareMatch line of
+/// related work (Section 2.2): a human oracle labels a small number of
+/// candidate pairs and the matcher calibrates its decision boundary from
+/// those labels, instead of a user guessing the threshold.
+///
+/// Query strategies:
+///   kUncertainty — label the pair whose score is closest to the current
+///                  decision boundary (the classic uncertainty sampler);
+///   kRandom      — label uniformly random pairs (the baseline).
+class ThresholdCalibrator {
+ public:
+  enum class Strategy { kUncertainty, kRandom };
+
+  /// The oracle answers "is this pair a true linkage?".
+  using Oracle = std::function<bool(const ElementPair&)>;
+
+  struct Options {
+    Strategy strategy = Strategy::kUncertainty;
+    size_t budget = 20;       ///< Number of oracle queries.
+    double initial_threshold = 0.5;
+    uint64_t seed = 0xac7;    ///< For kRandom.
+  };
+
+  /// One labeled pair collected during calibration.
+  struct LabeledPair {
+    ElementPair pair;
+    double score = 0.0;
+    bool is_match = false;
+  };
+
+  /// Calibration output: the fitted threshold plus the audit trail.
+  struct Calibration {
+    double threshold = 0.5;
+    std::vector<LabeledPair> queried;
+  };
+
+  ThresholdCalibrator() = default;
+  explicit ThresholdCalibrator(Options options) : options_(options) {}
+
+  /// Spends the query budget against `oracle` and returns the threshold
+  /// that maximizes F1 over the labeled sample (midpoint between the
+  /// optimal cut's neighbours, so it generalizes between scores).
+  Calibration Calibrate(const SimilarityMatrix& matrix,
+                        const Oracle& oracle) const;
+
+ private:
+  Options options_{};
+};
+
+/// F1-optimal threshold over fully labeled (score, is_match) pairs;
+/// exposed for tests and for callers with complete labels. Returns the
+/// midpoint between the best cut's boundary scores.
+double BestF1Threshold(
+    const std::vector<ThresholdCalibrator::LabeledPair>& labeled);
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_ACTIVE_LEARNING_H_

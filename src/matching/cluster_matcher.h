@@ -1,0 +1,33 @@
+#ifndef COLSCOPE_MATCHING_CLUSTER_MATCHER_H_
+#define COLSCOPE_MATCHING_CLUSTER_MATCHER_H_
+
+#include "matching/kmeans.h"
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// CLUSTER "semantic blocking" (Meduri et al. / Sahay et al.): for every
+/// schema pair, k-Means co-clusters both schemas' signatures and emits
+/// every cross-schema same-kind pair that falls into the same cluster.
+/// The paper evaluates k in {2, 5, 20}. Passing k = 0 self-tunes the
+/// cardinality per schema pair via the silhouette coefficient — the
+/// ALITE strategy (Khatiwada et al.) the paper's related work describes.
+class ClusterMatcher : public Matcher {
+ public:
+  explicit ClusterMatcher(size_t k, uint64_t seed = 0x5eed)
+      : k_(k), seed_(seed) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  uint64_t seed_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_CLUSTER_MATCHER_H_

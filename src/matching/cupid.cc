@@ -1,0 +1,96 @@
+#include "matching/cupid.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "text/string_similarity.h"
+
+namespace colscope::matching {
+
+namespace {
+
+std::string LeadingName(const std::string& serialized) {
+  const size_t space = serialized.find(' ');
+  return ToLowerAscii(space == std::string::npos
+                          ? serialized
+                          : serialized.substr(0, space));
+}
+
+/// Second token of an attribute serialization = owning table name.
+std::string ParentTableName(const std::string& serialized) {
+  const auto parts = SplitString(serialized, " ");
+  return parts.size() >= 2 ? ToLowerAscii(parts[1]) : "";
+}
+
+double Lsim(const std::string& a, const std::string& b) {
+  return text::JaroWinklerSimilarity(a, b);
+}
+
+}  // namespace
+
+std::string CupidMatcher::name() const {
+  return StrFormat("CUPID(%.1f,w=%.1f)", options_.threshold,
+                   options_.structural_weight);
+}
+
+double CupidMatcher::WeightedSimilarity(
+    const scoping::SignatureSet& signatures, const std::vector<bool>& active,
+    size_t i, size_t j) const {
+  const auto& ref_a = signatures.refs[i];
+  const auto& ref_b = signatures.refs[j];
+  const double lsim = Lsim(LeadingName(signatures.texts[i]),
+                           LeadingName(signatures.texts[j]));
+
+  double ssim = 0.0;
+  if (!ref_a.is_table()) {
+    // Attributes: structural similarity = parents' name similarity.
+    ssim = Lsim(ParentTableName(signatures.texts[i]),
+                ParentTableName(signatures.texts[j]));
+  } else {
+    // Tables: mean over a-side attributes of their best linguistic match
+    // among b-side attributes (leaf-up propagation).
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t p = 0; p < signatures.size(); ++p) {
+      const auto& rp = signatures.refs[p];
+      if (!active[p] || rp.is_table() || rp.schema != ref_a.schema ||
+          rp.table != ref_a.table) {
+        continue;
+      }
+      double best = 0.0;
+      for (size_t q = 0; q < signatures.size(); ++q) {
+        const auto& rq = signatures.refs[q];
+        if (!active[q] || rq.is_table() || rq.schema != ref_b.schema ||
+            rq.table != ref_b.table) {
+          continue;
+        }
+        best = std::max(best, Lsim(LeadingName(signatures.texts[p]),
+                                   LeadingName(signatures.texts[q])));
+      }
+      sum += best;
+      ++count;
+    }
+    ssim = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  return options_.structural_weight * ssim +
+         (1.0 - options_.structural_weight) * lsim;
+}
+
+std::set<ElementPair> CupidMatcher::Match(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) const {
+  std::set<ElementPair> out;
+  const size_t n = signatures.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!IsCandidate(signatures, active, i, j)) continue;
+      if (WeightedSimilarity(signatures, active, i, j) >=
+          options_.threshold) {
+        out.insert(MakePair(signatures.refs[i], signatures.refs[j]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::matching

@@ -1,0 +1,46 @@
+#ifndef COLSCOPE_MATCHING_CUPID_H_
+#define COLSCOPE_MATCHING_CUPID_H_
+
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// CUPID-style matcher (Madhavan, Bernstein, Rahm — VLDB 2001; cited in
+/// Section 2.2): element similarity combines a *linguistic* component
+/// (name similarity, here Jaro-Winkler over the element's own name) and
+/// a *structural* component (for attributes: the linguistic similarity
+/// of their parent tables; for tables: the average of the best
+/// attribute-level linguistic similarities between the two tables —
+/// CUPID's leaf-up structural propagation, flattened to the two-level
+/// relational hierarchy).
+///
+///   wsim(a, b) = w_struct * ssim(a, b) + (1 - w_struct) * lsim(a, b)
+///
+/// Pairs with wsim >= threshold are emitted.
+class CupidMatcher : public Matcher {
+ public:
+  struct Options {
+    double threshold = 0.7;
+    double structural_weight = 0.5;  ///< CUPID's wstruct.
+  };
+
+  CupidMatcher() = default;
+  explicit CupidMatcher(Options options) : options_(options) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  /// Weighted similarity of rows i, j (caller guarantees IsCandidate);
+  /// exposed for inspection and tests.
+  double WeightedSimilarity(const scoping::SignatureSet& signatures,
+                            const std::vector<bool>& active, size_t i,
+                            size_t j) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_CUPID_H_

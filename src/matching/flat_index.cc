@@ -1,0 +1,104 @@
+#include "matching/flat_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "linalg/stats.h"
+
+namespace colscope::matching {
+
+FlatL2Index::FlatL2Index(linalg::Matrix vectors)
+    : vectors_(std::move(vectors)) {}
+
+std::vector<size_t> FlatL2Index::Search(const linalg::Vector& query,
+                                        size_t k) const {
+  const size_t n = vectors_.rows();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    dist[i] = linalg::SquaredL2Distance(vectors_.Row(i), query);
+  }
+  const size_t keep = std::min(k, n);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](size_t a, size_t b) {
+                      if (dist[a] != dist[b]) return dist[a] < dist[b];
+                      return a < b;
+                    });
+  order.resize(keep);
+  return order;
+}
+
+RandomHyperplaneLsh::RandomHyperplaneLsh(linalg::Matrix vectors,
+                                         Options options)
+    : vectors_(std::move(vectors)), options_(options) {
+  Rng rng(options_.seed);
+  const size_t d = vectors_.cols();
+  hyperplanes_.reserve(options_.num_tables);
+  buckets_.resize(options_.num_tables);
+  for (size_t t = 0; t < options_.num_tables; ++t) {
+    linalg::Matrix planes(options_.num_bits, d);
+    for (double& v : planes.data()) v = rng.NextGaussian();
+    hyperplanes_.push_back(std::move(planes));
+  }
+  for (size_t t = 0; t < options_.num_tables; ++t) {
+    auto& bucket = buckets_[t];
+    bucket.reserve(vectors_.rows());
+    for (size_t i = 0; i < vectors_.rows(); ++i) {
+      bucket.emplace_back(HashVector(vectors_.Row(i), t), i);
+    }
+    std::sort(bucket.begin(), bucket.end());
+  }
+}
+
+uint64_t RandomHyperplaneLsh::HashVector(const linalg::Vector& v,
+                                         size_t table) const {
+  const linalg::Matrix& planes = hyperplanes_[table];
+  uint64_t hash = 0;
+  for (size_t b = 0; b < planes.rows(); ++b) {
+    double dot = 0.0;
+    const double* row = planes.RowPtr(b);
+    for (size_t c = 0; c < v.size(); ++c) dot += row[c] * v[c];
+    hash = (hash << 1) | (dot >= 0.0 ? 1u : 0u);
+  }
+  return hash;
+}
+
+std::vector<size_t> RandomHyperplaneLsh::Search(const linalg::Vector& query,
+                                                size_t k) const {
+  std::set<size_t> candidates;
+  for (size_t t = 0; t < options_.num_tables; ++t) {
+    const uint64_t hash = HashVector(query, t);
+    const auto& bucket = buckets_[t];
+    auto it = std::lower_bound(bucket.begin(), bucket.end(),
+                               std::make_pair(hash, size_t{0}));
+    for (; it != bucket.end() && it->first == hash; ++it) {
+      candidates.insert(it->second);
+    }
+  }
+  if (candidates.size() < k) {
+    // Too few collisions: degrade to exact search for stable recall.
+    for (size_t i = 0; i < vectors_.rows(); ++i) candidates.insert(i);
+  }
+  std::vector<size_t> ids(candidates.begin(), candidates.end());
+  std::vector<double> dist(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    dist[i] = linalg::SquaredL2Distance(vectors_.Row(ids[i]), query);
+  }
+  std::vector<size_t> order(ids.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t keep = std::min(k, ids.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                    order.end(), [&](size_t a, size_t b) {
+                      if (dist[a] != dist[b]) return dist[a] < dist[b];
+                      return ids[a] < ids[b];
+                    });
+  std::vector<size_t> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(ids[order[i]]);
+  return out;
+}
+
+}  // namespace colscope::matching

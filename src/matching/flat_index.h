@@ -1,0 +1,64 @@
+#ifndef COLSCOPE_MATCHING_FLAT_INDEX_H_
+#define COLSCOPE_MATCHING_FLAT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace colscope::matching {
+
+/// Exact L2 nearest-neighbour index over a fixed set of vectors — the
+/// equivalent of FAISS IndexFlatL2 that the paper's "LSH" matcher builds
+/// per schema (Section 4.1). Brute-force search; exact by construction.
+class FlatL2Index {
+ public:
+  /// Indexes the rows of `vectors` (copied).
+  explicit FlatL2Index(linalg::Matrix vectors);
+
+  /// Ids (row indices) of the `k` nearest vectors to `query`, closest
+  /// first; fewer if the index holds fewer than k vectors.
+  std::vector<size_t> Search(const linalg::Vector& query, size_t k) const;
+
+  size_t size() const { return vectors_.rows(); }
+
+ private:
+  linalg::Matrix vectors_;
+};
+
+/// A genuine locality-sensitive-hashing index using random-hyperplane
+/// signatures (SimHash) with multi-probe verification: candidates are
+/// collected from hash buckets across `num_tables` tables and re-ranked
+/// by exact L2 distance. Approximate — recall depends on the
+/// bits/tables configuration. Provided as the extension the library
+/// offers beyond the paper's exact flat search.
+class RandomHyperplaneLsh {
+ public:
+  struct Options {
+    size_t num_bits = 12;
+    size_t num_tables = 8;
+    uint64_t seed = 0x15a5eed;
+  };
+
+  RandomHyperplaneLsh(linalg::Matrix vectors, Options options);
+
+  /// Approximate top-k by L2 among hash-bucket candidates; falls back to
+  /// scanning everything when the buckets yield fewer than k candidates.
+  std::vector<size_t> Search(const linalg::Vector& query, size_t k) const;
+
+  size_t size() const { return vectors_.rows(); }
+
+ private:
+  uint64_t HashVector(const linalg::Vector& v, size_t table) const;
+
+  linalg::Matrix vectors_;
+  Options options_;
+  // hyperplanes_[table] is a (num_bits x dims) matrix.
+  std::vector<linalg::Matrix> hyperplanes_;
+  // buckets_[table]: hash -> row ids.
+  std::vector<std::vector<std::pair<uint64_t, size_t>>> buckets_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_FLAT_INDEX_H_

@@ -1,0 +1,89 @@
+#include "matching/kmeans.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/stats.h"
+
+namespace colscope::matching {
+
+std::vector<size_t> KMeansCluster(const linalg::Matrix& points,
+                                  const KMeansOptions& options) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  COLSCOPE_CHECK(options.k >= 1);
+  if (n == 0) return {};
+  const size_t k = std::min(options.k, n);
+
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  std::vector<linalg::Vector> centroids;
+  centroids.push_back(points.Row(rng.NextBounded(n)));
+  linalg::Vector min_dist(n, std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double dist =
+          linalg::SquaredL2Distance(points.Row(i), centroids.back());
+      min_dist[i] = std::min(min_dist[i], dist);
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.NextBounded(n);  // All points identical.
+    }
+    centroids.push_back(points.Row(chosen));
+  }
+
+  // Lloyd iterations.
+  std::vector<size_t> assignment(n, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const double dist =
+            linalg::SquaredL2Distance(points.Row(i), centroids[c]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute centroids; empty clusters keep their previous position.
+    std::vector<linalg::Vector> sums(k, linalg::Vector(d, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = points.RowPtr(i);
+      linalg::Vector& sum = sums[assignment[i]];
+      for (size_t c = 0; c < d; ++c) sum[c] += row[c];
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < d; ++j) centroids[c][j] = sums[c][j] * inv;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace colscope::matching

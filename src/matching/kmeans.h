@@ -1,0 +1,24 @@
+#ifndef COLSCOPE_MATCHING_KMEANS_H_
+#define COLSCOPE_MATCHING_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace colscope::matching {
+
+/// Lloyd's k-Means with k-means++ seeding. Deterministic for a fixed
+/// seed. Returns per-row cluster assignments in [0, k).
+struct KMeansOptions {
+  size_t k = 5;
+  int max_iterations = 100;
+  uint64_t seed = 0x5eed;
+};
+
+std::vector<size_t> KMeansCluster(const linalg::Matrix& points,
+                                  const KMeansOptions& options);
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_KMEANS_H_

@@ -1,0 +1,34 @@
+#ifndef COLSCOPE_MATCHING_LSH_MATCHER_H_
+#define COLSCOPE_MATCHING_LSH_MATCHER_H_
+
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// LSH "semantic blocking" (Meduri et al.): builds a FlatL2 index per
+/// schema (as the paper does with FAISS IndexFlatL2) and, for every
+/// directed schema pair, retrieves the top-k nearest signatures of each
+/// element in the other schema. The union over directions forms the
+/// candidate set. The paper evaluates top-k in {1, 5, 20}.
+///
+/// Set `approximate` to true to use the genuine random-hyperplane LSH
+/// index instead of the exact flat search (library extension).
+class LshMatcher : public Matcher {
+ public:
+  explicit LshMatcher(size_t top_k, bool approximate = false)
+      : top_k_(top_k), approximate_(approximate) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  size_t top_k() const { return top_k_; }
+
+ private:
+  size_t top_k_;
+  bool approximate_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_LSH_MATCHER_H_

@@ -1,0 +1,18 @@
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+ElementPair MakePair(schema::ElementRef a, schema::ElementRef b) {
+  if (b < a) std::swap(a, b);
+  return {a, b};
+}
+
+bool IsCandidate(const scoping::SignatureSet& signatures,
+                 const std::vector<bool>& active, size_t i, size_t j) {
+  if (!active[i] || !active[j]) return false;
+  const schema::ElementRef& a = signatures.refs[i];
+  const schema::ElementRef& b = signatures.refs[j];
+  return a.schema != b.schema && a.is_table() == b.is_table();
+}
+
+}  // namespace colscope::matching

@@ -1,0 +1,44 @@
+#ifndef COLSCOPE_MATCHING_MATCHER_H_
+#define COLSCOPE_MATCHING_MATCHER_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scoping/signatures.h"
+
+namespace colscope::matching {
+
+/// An unordered candidate linkage between two schema elements,
+/// canonicalized so first < second.
+using ElementPair = std::pair<schema::ElementRef, schema::ElementRef>;
+
+/// Canonicalizes an element pair (smaller ref first).
+ElementPair MakePair(schema::ElementRef a, schema::ElementRef b);
+
+/// A matching algorithm A of Section 4.1: given the signature set and an
+/// active-element mask (true = element participates, i.e. survived
+/// scoping; pass all-true for the unscoped SOTA baseline), generates
+/// candidate linkages. Implementations only pair elements of the same
+/// kind (table-table / attribute-attribute) across different schemas,
+/// mirroring the ground-truth structure of Section 2.1.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual std::set<ElementPair> Match(
+      const scoping::SignatureSet& signatures,
+      const std::vector<bool>& active) const = 0;
+};
+
+/// True if rows i and j may form a candidate: both active, different
+/// schemas, same element kind.
+bool IsCandidate(const scoping::SignatureSet& signatures,
+                 const std::vector<bool>& active, size_t i, size_t j);
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_MATCHER_H_

@@ -1,0 +1,27 @@
+#ifndef COLSCOPE_MATCHING_SILHOUETTE_H_
+#define COLSCOPE_MATCHING_SILHOUETTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace colscope::matching {
+
+/// Mean silhouette coefficient of a clustering in [-1, 1]: for each
+/// point, (b - a) / max(a, b) where a is the mean intra-cluster distance
+/// and b the smallest mean distance to another cluster. Points in
+/// singleton clusters contribute 0 (sklearn convention). O(n^2 d).
+double MeanSilhouette(const linalg::Matrix& points,
+                      const std::vector<size_t>& assignment);
+
+/// ALITE-style self-tuned cluster cardinality (Khatiwada et al. 2022,
+/// cited in Section 2.2): runs k-Means for k in [min_k, max_k] and
+/// returns the k with the highest mean silhouette. Returns min_k when
+/// the data has fewer than 3 points.
+size_t SilhouetteBestK(const linalg::Matrix& points, size_t min_k,
+                       size_t max_k, uint64_t seed = 0x5eed);
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_SILHOUETTE_H_

@@ -1,0 +1,42 @@
+#include "matching/sim.h"
+
+#include "common/strings.h"
+#include "linalg/stats.h"
+
+namespace colscope::matching {
+
+std::string SimMatcher::name() const {
+  return StrFormat("SIM(%.1f)", threshold_);
+}
+
+std::set<ElementPair> SimMatcher::Match(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) const {
+  std::set<ElementPair> out;
+  const size_t n = signatures.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!IsCandidate(signatures, active, i, j)) continue;
+      const double sim = linalg::CosineSimilarity(signatures.signatures.Row(i),
+                                                  signatures.signatures.Row(j));
+      if (sim >= threshold_) {
+        out.insert(MakePair(signatures.refs[i], signatures.refs[j]));
+      }
+    }
+  }
+  return out;
+}
+
+size_t SimMatcher::ComparisonCount(const scoping::SignatureSet& signatures,
+                                   const std::vector<bool>& active) {
+  size_t count = 0;
+  const size_t n = signatures.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      count += IsCandidate(signatures, active, i, j);
+    }
+  }
+  return count;
+}
+
+}  // namespace colscope::matching

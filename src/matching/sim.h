@@ -1,0 +1,36 @@
+#ifndef COLSCOPE_MATCHING_SIM_H_
+#define COLSCOPE_MATCHING_SIM_H_
+
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// SIM "semantic blocking" (Meduri et al.): enumerates the full
+/// cross-schema Cartesian product and keeps pairs whose cosine
+/// similarity reaches the global threshold t_SIM. The paper evaluates
+/// t_SIM in {0.4, 0.6, 0.8}.
+class SimMatcher : public Matcher {
+ public:
+  explicit SimMatcher(double threshold) : threshold_(threshold) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  double threshold() const { return threshold_; }
+
+  /// Number of element-wise comparisons the last Match call would
+  /// perform for the given mask (the |A(S')| search-space size used by
+  /// the Reduction Ratio). Exposed separately because SIM's comparison
+  /// count equals the full (masked) Cartesian product regardless of the
+  /// threshold.
+  static size_t ComparisonCount(const scoping::SignatureSet& signatures,
+                                const std::vector<bool>& active);
+
+ private:
+  double threshold_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_SIM_H_

@@ -1,0 +1,223 @@
+#include "matching/similarity_flooding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/strings.h"
+#include "text/string_similarity.h"
+
+namespace colscope::matching {
+
+namespace {
+
+/// Node of one schema's model graph: the schema's elements (tables and
+/// attributes) plus synthetic type nodes shared by same-typed columns.
+struct GraphNode {
+  int row = -1;          ///< SignatureSet row, or -1 for a type node.
+  std::string label;     ///< Name used for the initial similarity.
+  bool is_table = false;
+  bool is_type = false;
+};
+
+/// Labeled edge kinds of the model graph.
+enum class EdgeLabel { kColumn, kType };
+
+struct Graph {
+  std::vector<GraphNode> nodes;
+  // Edges as (from, to, label); the flooding treats them bidirectionally.
+  std::vector<std::tuple<size_t, size_t, EdgeLabel>> edges;
+};
+
+/// The element's own name: leading token of its serialized text.
+std::string LeadingName(const std::string& serialized) {
+  const size_t space = serialized.find(' ');
+  return space == std::string::npos ? serialized
+                                    : serialized.substr(0, space);
+}
+
+/// Third whitespace token of an attribute serialization = its type name.
+std::string TypeName(const std::string& serialized) {
+  const auto parts = SplitString(serialized, " ");
+  return parts.size() >= 3 ? ToLowerAscii(parts[2]) : "unknown";
+}
+
+/// Builds one schema's model graph from the signature rows of `schema`.
+Graph BuildGraph(const scoping::SignatureSet& signatures,
+                 const std::vector<bool>& active, int schema) {
+  Graph graph;
+  std::map<std::pair<int, int>, size_t> table_nodes;  // (schema, table).
+  std::map<std::string, size_t> type_nodes;
+
+  // Table nodes first.
+  for (size_t i = 0; i < signatures.size(); ++i) {
+    const auto& ref = signatures.refs[i];
+    if (ref.schema != schema || !ref.is_table() || !active[i]) continue;
+    GraphNode node;
+    node.row = static_cast<int>(i);
+    node.label = LeadingName(signatures.texts[i]);
+    node.is_table = true;
+    table_nodes[{ref.schema, ref.table}] = graph.nodes.size();
+    graph.nodes.push_back(std::move(node));
+  }
+  // Attribute nodes with column and type edges.
+  for (size_t i = 0; i < signatures.size(); ++i) {
+    const auto& ref = signatures.refs[i];
+    if (ref.schema != schema || ref.is_table() || !active[i]) continue;
+    GraphNode node;
+    node.row = static_cast<int>(i);
+    node.label = LeadingName(signatures.texts[i]);
+    const size_t attr_index = graph.nodes.size();
+    graph.nodes.push_back(std::move(node));
+
+    auto table_it = table_nodes.find({ref.schema, ref.table});
+    if (table_it != table_nodes.end()) {
+      graph.edges.emplace_back(table_it->second, attr_index,
+                               EdgeLabel::kColumn);
+    }
+    const std::string type = TypeName(signatures.texts[i]);
+    auto [type_it, inserted] = type_nodes.try_emplace(type, 0);
+    if (inserted) {
+      GraphNode type_node;
+      type_node.label = type;
+      type_node.is_type = true;
+      type_it->second = graph.nodes.size();
+      graph.nodes.push_back(std::move(type_node));
+    }
+    graph.edges.emplace_back(attr_index, type_it->second, EdgeLabel::kType);
+  }
+  return graph;
+}
+
+}  // namespace
+
+std::string SimilarityFloodingMatcher::name() const {
+  return StrFormat("SF(%.1f)", options_.threshold);
+}
+
+std::map<ElementPair, double> SimilarityFloodingMatcher::FloodScores(
+    const scoping::SignatureSet& signatures, const std::vector<bool>& active,
+    int schema_a, int schema_b) const {
+  const Graph ga = BuildGraph(signatures, active, schema_a);
+  const Graph gb = BuildGraph(signatures, active, schema_b);
+  std::map<ElementPair, double> out;
+  if (ga.nodes.empty() || gb.nodes.empty()) return out;
+
+  // Pair-graph node (i, j) <-> flat index i * |gb| + j.
+  const size_t nb = gb.nodes.size();
+  const size_t num_pairs = ga.nodes.size() * nb;
+  auto pair_index = [&](size_t i, size_t j) { return i * nb + j; };
+
+  // Initial similarity sigma^0: lexical similarity of labels for
+  // same-kind node pairs (tables with tables, attributes with
+  // attributes, identical type nodes).
+  std::vector<double> sigma0(num_pairs, 0.0);
+  for (size_t i = 0; i < ga.nodes.size(); ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      const GraphNode& a = ga.nodes[i];
+      const GraphNode& b = gb.nodes[j];
+      if (a.is_type != b.is_type || a.is_table != b.is_table) continue;
+      if (a.is_type) {
+        sigma0[pair_index(i, j)] = a.label == b.label ? 1.0 : 0.0;
+      } else {
+        sigma0[pair_index(i, j)] = text::LevenshteinSimilarity(
+            ToLowerAscii(a.label), ToLowerAscii(b.label));
+      }
+    }
+  }
+
+  // Pairwise connectivity graph: pair (i, j) -- pair (i', j') whenever
+  // both model graphs have a same-labeled edge (i, i') and (j, j').
+  // Propagation coefficients: 1 / out-degree per (node pair, label).
+  struct PairEdge {
+    size_t from;
+    size_t to;
+    double weight;
+  };
+  std::vector<PairEdge> pair_edges;
+  for (const auto& [a_from, a_to, a_label] : ga.edges) {
+    for (const auto& [b_from, b_to, b_label] : gb.edges) {
+      if (a_label != b_label) continue;
+      pair_edges.push_back({pair_index(a_from, b_from),
+                            pair_index(a_to, b_to), 1.0});
+      pair_edges.push_back({pair_index(a_to, b_to),
+                            pair_index(a_from, b_from), 1.0});
+    }
+  }
+  // Normalize outgoing weights per source pair.
+  std::vector<double> out_degree(num_pairs, 0.0);
+  for (const PairEdge& e : pair_edges) out_degree[e.from] += 1.0;
+  for (PairEdge& e : pair_edges) {
+    e.weight = 1.0 / out_degree[e.from];
+  }
+
+  // Fixpoint iteration: sigma^{k+1} = normalize(sigma^0 + sigma^k +
+  // flooded increments) — the "basic" SF variant.
+  std::vector<double> sigma = sigma0;
+  std::vector<double> next(num_pairs, 0.0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const PairEdge& e : pair_edges) {
+      next[e.to] += sigma[e.from] * e.weight;
+    }
+    double max_value = 0.0;
+    for (size_t p = 0; p < num_pairs; ++p) {
+      next[p] += sigma0[p] + sigma[p];
+      max_value = std::max(max_value, next[p]);
+    }
+    if (max_value <= 0.0) break;
+    double delta = 0.0;
+    for (size_t p = 0; p < num_pairs; ++p) {
+      next[p] /= max_value;
+      delta += std::fabs(next[p] - sigma[p]);
+    }
+    sigma.swap(next);
+    if (delta < options_.convergence_epsilon) break;
+  }
+
+  // Extract element pairs (skip type nodes), max-normalized.
+  double max_element_score = 0.0;
+  for (size_t i = 0; i < ga.nodes.size(); ++i) {
+    if (ga.nodes[i].is_type) continue;
+    for (size_t j = 0; j < nb; ++j) {
+      if (gb.nodes[j].is_type) continue;
+      if (ga.nodes[i].is_table != gb.nodes[j].is_table) continue;
+      max_element_score =
+          std::max(max_element_score, sigma[pair_index(i, j)]);
+    }
+  }
+  if (max_element_score <= 0.0) return out;
+  for (size_t i = 0; i < ga.nodes.size(); ++i) {
+    if (ga.nodes[i].is_type) continue;
+    for (size_t j = 0; j < nb; ++j) {
+      if (gb.nodes[j].is_type) continue;
+      if (ga.nodes[i].is_table != gb.nodes[j].is_table) continue;
+      const auto& ref_a = signatures.refs[ga.nodes[i].row];
+      const auto& ref_b = signatures.refs[gb.nodes[j].row];
+      out[MakePair(ref_a, ref_b)] =
+          sigma[pair_index(i, j)] / max_element_score;
+    }
+  }
+  return out;
+}
+
+std::set<ElementPair> SimilarityFloodingMatcher::Match(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) const {
+  std::set<ElementPair> out;
+  int max_schema = -1;
+  for (const auto& ref : signatures.refs) {
+    max_schema = std::max(max_schema, ref.schema);
+  }
+  for (int a = 0; a <= max_schema; ++a) {
+    for (int b = a + 1; b <= max_schema; ++b) {
+      const auto scores = FloodScores(signatures, active, a, b);
+      for (const auto& [pair, score] : scores) {
+        if (score >= options_.threshold) out.insert(pair);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::matching

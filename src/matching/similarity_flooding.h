@@ -1,0 +1,52 @@
+#ifndef COLSCOPE_MATCHING_SIMILARITY_FLOODING_H_
+#define COLSCOPE_MATCHING_SIMILARITY_FLOODING_H_
+
+#include <map>
+
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// Similarity Flooding (Melnik, Garcia-Molina, Rahm — ICDE 2002), one of
+/// the classic structural schema matchers the paper's related work
+/// surveys (Section 2.2). Schemas become labeled graphs (table ->
+/// attribute "column" edges, attribute -> type "type" edges); an initial
+/// string-similarity map over same-kind node pairs is then iteratively
+/// "flooded" along the pairwise connectivity graph until fixpoint, so
+/// similarity propagates between neighbourhoods: tables with similar
+/// columns reinforce each other and vice versa.
+///
+/// Runs per schema pair; emits element pairs whose converged similarity
+/// reaches `threshold` (relative to the per-pair-graph maximum). Purely
+/// structural + lexical: it does not use signatures, making it the
+/// traditional contrast to the embedding-based SIM/CLUSTER/LSH family.
+class SimilarityFloodingMatcher : public Matcher {
+ public:
+  struct Options {
+    /// Relative selection threshold in (0, 1]: keep pairs whose final
+    /// similarity >= threshold * max similarity in their pair graph.
+    double threshold = 0.6;
+    int max_iterations = 50;
+    double convergence_epsilon = 1e-4;
+  };
+
+  SimilarityFloodingMatcher() = default;
+  explicit SimilarityFloodingMatcher(Options options) : options_(options) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  /// Converged, max-normalized similarity scores for one schema pair
+  /// (active elements only); exposed for inspection and tests.
+  std::map<ElementPair, double> FloodScores(
+      const scoping::SignatureSet& signatures,
+      const std::vector<bool>& active, int schema_a, int schema_b) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_SIMILARITY_FLOODING_H_

@@ -1,0 +1,260 @@
+#include "matching/similarity_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "linalg/stats.h"
+#include "text/string_similarity.h"
+#include "text/tokenize.h"
+
+namespace colscope::matching {
+
+void SimilarityMatrix::Set(const ElementPair& pair, double score) {
+  scores_[pair] = score;
+}
+
+double SimilarityMatrix::Get(const ElementPair& pair) const {
+  const auto it = scores_.find(pair);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+bool SimilarityMatrix::Contains(const ElementPair& pair) const {
+  return scores_.count(pair) > 0;
+}
+
+std::set<ElementPair> SimilarityMatrix::SelectThreshold(
+    double threshold) const {
+  std::set<ElementPair> out;
+  for (const auto& [pair, score] : scores_) {
+    if (score >= threshold) out.insert(pair);
+  }
+  return out;
+}
+
+namespace {
+/// Best score seen per (element, partner-schema) slot.
+using BestMap =
+    std::map<std::pair<schema::ElementRef, int>, std::vector<double>>;
+}  // namespace
+
+std::set<ElementPair> SimilarityMatrix::SelectTopK(size_t k) const {
+  // Collect each element's scores per partner schema, keep the k-th
+  // largest as that slot's cut, then emit pairs meeting their cut.
+  BestMap slots;
+  for (const auto& [pair, score] : scores_) {
+    slots[{pair.first, pair.second.schema}].push_back(score);
+    slots[{pair.second, pair.first.schema}].push_back(score);
+  }
+  std::map<std::pair<schema::ElementRef, int>, double> cut;
+  for (auto& [slot, values] : slots) {
+    std::sort(values.begin(), values.end(), std::greater<double>());
+    const size_t idx = std::min(k, values.size()) - 1;
+    cut[slot] = values[idx];
+  }
+  std::set<ElementPair> out;
+  for (const auto& [pair, score] : scores_) {
+    if (score >= cut[{pair.first, pair.second.schema}] ||
+        score >= cut[{pair.second, pair.first.schema}]) {
+      out.insert(pair);
+    }
+  }
+  return out;
+}
+
+std::set<ElementPair> SimilarityMatrix::SelectReciprocalBest() const {
+  std::map<std::pair<schema::ElementRef, int>, double> best;
+  for (const auto& [pair, score] : scores_) {
+    auto& a = best[{pair.first, pair.second.schema}];
+    a = std::max(a, score);
+    auto& b = best[{pair.second, pair.first.schema}];
+    b = std::max(b, score);
+  }
+  std::set<ElementPair> out;
+  for (const auto& [pair, score] : scores_) {
+    if (score <= 0.0) continue;
+    if (score >= best[{pair.first, pair.second.schema}] &&
+        score >= best[{pair.second, pair.first.schema}]) {
+      out.insert(pair);
+    }
+  }
+  return out;
+}
+
+std::set<ElementPair> SimilarityMatrix::SelectGreedyOneToOne(
+    double min_score) const {
+  std::vector<std::pair<double, ElementPair>> ranked;
+  ranked.reserve(scores_.size());
+  for (const auto& [pair, score] : scores_) {
+    if (score >= min_score) ranked.push_back({score, pair});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // Deterministic tie-break.
+  });
+  std::set<schema::ElementRef> used;
+  std::set<ElementPair> out;
+  for (const auto& [score, pair] : ranked) {
+    if (used.count(pair.first) || used.count(pair.second)) continue;
+    used.insert(pair.first);
+    used.insert(pair.second);
+    out.insert(pair);
+  }
+  return out;
+}
+
+double CosineScorer::Score(const scoping::SignatureSet& signatures, size_t i,
+                           size_t j) const {
+  const double cosine = linalg::CosineSimilarity(
+      signatures.signatures.Row(i), signatures.signatures.Row(j));
+  return std::clamp(cosine, 0.0, 1.0);
+}
+
+namespace {
+std::string LeadingName(const std::string& serialized) {
+  const size_t space = serialized.find(' ');
+  return space == std::string::npos ? serialized
+                                    : serialized.substr(0, space);
+}
+
+/// Sample values from the parenthesized suffix of a serialized element:
+/// "CITY CLIENT VARCHAR (Berlin, Paris)" -> {"berlin", "paris"}.
+std::set<std::string> SampleSet(const std::string& serialized) {
+  std::set<std::string> out;
+  const size_t open = serialized.find(" (");
+  if (open == std::string::npos || serialized.back() != ')') return out;
+  const std::string inner =
+      serialized.substr(open + 2, serialized.size() - open - 3);
+  for (const std::string& piece : SplitString(inner, ",")) {
+    const std::string_view stripped = StripAsciiWhitespace(piece);
+    if (!stripped.empty()) out.insert(ToLowerAscii(stripped));
+  }
+  return out;
+}
+}  // namespace
+
+double NameScorer::Score(const scoping::SignatureSet& signatures, size_t i,
+                         size_t j) const {
+  return text::LevenshteinSimilarity(
+      ToLowerAscii(LeadingName(signatures.texts[i])),
+      ToLowerAscii(LeadingName(signatures.texts[j])));
+}
+
+double InstanceScorer::Score(const scoping::SignatureSet& signatures,
+                             size_t i, size_t j) const {
+  const std::set<std::string> a = SampleSet(signatures.texts[i]);
+  const std::set<std::string> b = SampleSet(signatures.texts[j]);
+  if (a.empty() || b.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const std::string& value : a) intersection += b.count(value);
+  const size_t uni = a.size() + b.size() - intersection;
+  return uni == 0 ? 0.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+SimilarityMatrix BuildSimilarityMatrix(
+    const scoping::SignatureSet& signatures, const std::vector<bool>& active,
+    const PairScorer& scorer) {
+  SimilarityMatrix out;
+  const size_t n = signatures.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!IsCandidate(signatures, active, i, j)) continue;
+      out.Set(MakePair(signatures.refs[i], signatures.refs[j]),
+              scorer.Score(signatures, i, j));
+    }
+  }
+  return out;
+}
+
+SimilarityMatrix AggregateMatrices(
+    const std::vector<const SimilarityMatrix*>& matrices,
+    Aggregation aggregation, const std::vector<double>& weights) {
+  COLSCOPE_CHECK(!matrices.empty());
+  if (aggregation == Aggregation::kWeighted) {
+    COLSCOPE_CHECK_MSG(weights.size() == matrices.size(),
+                       "kWeighted needs one weight per matrix");
+  }
+  // Union of pairs.
+  std::set<ElementPair> pairs;
+  for (const SimilarityMatrix* m : matrices) {
+    for (const auto& [pair, score] : m->scores()) pairs.insert(pair);
+  }
+  SimilarityMatrix out;
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  for (const ElementPair& pair : pairs) {
+    double value = 0.0;
+    switch (aggregation) {
+      case Aggregation::kMax:
+        for (const SimilarityMatrix* m : matrices) {
+          value = std::max(value, m->Get(pair));
+        }
+        break;
+      case Aggregation::kAverage: {
+        for (const SimilarityMatrix* m : matrices) value += m->Get(pair);
+        value /= static_cast<double>(matrices.size());
+        break;
+      }
+      case Aggregation::kWeighted: {
+        for (size_t k = 0; k < matrices.size(); ++k) {
+          value += weights[k] * matrices[k]->Get(pair);
+        }
+        if (weight_sum > 0.0) value /= weight_sum;
+        break;
+      }
+    }
+    out.Set(pair, value);
+  }
+  return out;
+}
+
+CompositeMatcher::CompositeMatcher(std::vector<const PairScorer*> scorers,
+                                   Options options)
+    : scorers_(std::move(scorers)), options_(options) {
+  COLSCOPE_CHECK(!scorers_.empty());
+}
+
+std::string CompositeMatcher::name() const {
+  std::string out = "COMPOSITE(";
+  for (size_t i = 0; i < scorers_.size(); ++i) {
+    if (i > 0) out += '+';
+    out += scorers_[i]->name();
+  }
+  out += ')';
+  return out;
+}
+
+SimilarityMatrix CompositeMatcher::BuildMatrix(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) const {
+  std::vector<SimilarityMatrix> matrices;
+  matrices.reserve(scorers_.size());
+  for (const PairScorer* scorer : scorers_) {
+    matrices.push_back(BuildSimilarityMatrix(signatures, active, *scorer));
+  }
+  std::vector<const SimilarityMatrix*> pointers;
+  pointers.reserve(matrices.size());
+  for (const SimilarityMatrix& m : matrices) pointers.push_back(&m);
+  return AggregateMatrices(pointers, options_.aggregation, options_.weights);
+}
+
+std::set<ElementPair> CompositeMatcher::Match(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) const {
+  const SimilarityMatrix matrix = BuildMatrix(signatures, active);
+  switch (options_.selection) {
+    case Selection::kThreshold:
+      return matrix.SelectThreshold(options_.threshold);
+    case Selection::kTopK:
+      return matrix.SelectTopK(options_.top_k);
+    case Selection::kReciprocalBest:
+      return matrix.SelectReciprocalBest();
+    case Selection::kOneToOne:
+      return matrix.SelectGreedyOneToOne(options_.threshold);
+  }
+  return {};
+}
+
+}  // namespace colscope::matching

@@ -1,0 +1,147 @@
+#ifndef COLSCOPE_MATCHING_SIMILARITY_MATRIX_H_
+#define COLSCOPE_MATCHING_SIMILARITY_MATRIX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// Sparse cross-schema similarity matrix: candidate element pairs with
+/// scores in [0, 1]. The common currency of composite (COMA-style)
+/// matching — element-wise matchers *score* pairs, aggregation combines
+/// several matrices, and a selection strategy turns the result into
+/// linkages. Pairs are canonical (first < second) and same-kind
+/// cross-schema only.
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+
+  /// Sets the score of a pair (overwrites).
+  void Set(const ElementPair& pair, double score);
+
+  /// Score of a pair; 0 when absent.
+  double Get(const ElementPair& pair) const;
+
+  bool Contains(const ElementPair& pair) const;
+  size_t size() const { return scores_.size(); }
+  const std::map<ElementPair, double>& scores() const { return scores_; }
+
+  /// Pairs with score >= threshold.
+  std::set<ElementPair> SelectThreshold(double threshold) const;
+
+  /// For every element, its top-k best-scoring partners per other
+  /// schema side; the union over elements (the ANN-style selection).
+  std::set<ElementPair> SelectTopK(size_t k) const;
+
+  /// Pairs (a, b) where b is a's best partner AND a is b's best — the
+  /// reciprocal-best-hit post-pruning used by classic pipelines.
+  std::set<ElementPair> SelectReciprocalBest() const;
+
+  /// Greedy one-to-one assignment by descending score (stable-marriage
+  /// flavoured selection): each element appears in at most one pair;
+  /// pairs below `min_score` are never selected.
+  std::set<ElementPair> SelectGreedyOneToOne(double min_score = 0.0) const;
+
+ private:
+  std::map<ElementPair, double> scores_;
+};
+
+/// Element-wise scorer: assigns a similarity in [0, 1] to one candidate
+/// pair, given the signature context. Scorers are the building blocks a
+/// CompositeMatcher aggregates.
+class PairScorer {
+ public:
+  virtual ~PairScorer() = default;
+  virtual std::string name() const = 0;
+  /// Scores rows i, j of `signatures` (caller guarantees IsCandidate).
+  virtual double Score(const scoping::SignatureSet& signatures, size_t i,
+                       size_t j) const = 0;
+};
+
+/// Cosine similarity of the element signatures, clamped to [0, 1].
+class CosineScorer : public PairScorer {
+ public:
+  std::string name() const override { return "cosine"; }
+  double Score(const scoping::SignatureSet& signatures, size_t i,
+               size_t j) const override;
+};
+
+/// Levenshtein similarity of the element names (leading serialized
+/// token), lowercased.
+class NameScorer : public PairScorer {
+ public:
+  std::string name() const override { return "name"; }
+  double Score(const scoping::SignatureSet& signatures, size_t i,
+               size_t j) const override;
+};
+
+/// Instance-based similarity (Section 2.2's "instance-based matching"
+/// family): Jaccard overlap of the serialized sample values embedded in
+/// the element text (the parenthesized suffix produced by
+/// SerializeOptions::include_instance_samples). Elements without
+/// samples score 0.
+class InstanceScorer : public PairScorer {
+ public:
+  std::string name() const override { return "instance"; }
+  double Score(const scoping::SignatureSet& signatures, size_t i,
+               size_t j) const override;
+};
+
+/// How a composite combines its scorers' matrices (COMA's aggregation
+/// operators).
+enum class Aggregation {
+  kMax,
+  kAverage,
+  kWeighted,  ///< Weighted mean with per-scorer weights.
+};
+
+/// Builds the full candidate similarity matrix for `signatures` under
+/// the active mask, scoring every same-kind cross-schema pair.
+SimilarityMatrix BuildSimilarityMatrix(
+    const scoping::SignatureSet& signatures, const std::vector<bool>& active,
+    const PairScorer& scorer);
+
+/// Aggregates several matrices over the union of their pairs.
+/// `weights` is required (and must match matrices.size()) only for
+/// kWeighted; missing entries count as score 0.
+SimilarityMatrix AggregateMatrices(
+    const std::vector<const SimilarityMatrix*>& matrices,
+    Aggregation aggregation, const std::vector<double>& weights = {});
+
+/// COMA-style composite matcher: several scorers, one aggregation, one
+/// selection strategy.
+class CompositeMatcher : public Matcher {
+ public:
+  enum class Selection { kThreshold, kTopK, kReciprocalBest, kOneToOne };
+
+  struct Options {
+    Aggregation aggregation = Aggregation::kAverage;
+    std::vector<double> weights;  ///< For kWeighted.
+    Selection selection = Selection::kThreshold;
+    double threshold = 0.6;  ///< For kThreshold / kOneToOne min score.
+    size_t top_k = 1;        ///< For kTopK.
+  };
+
+  /// `scorers` are borrowed and must outlive the matcher.
+  CompositeMatcher(std::vector<const PairScorer*> scorers, Options options);
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  /// The aggregated matrix (exposed for inspection / custom selection).
+  SimilarityMatrix BuildMatrix(const scoping::SignatureSet& signatures,
+                               const std::vector<bool>& active) const;
+
+ private:
+  std::vector<const PairScorer*> scorers_;
+  Options options_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_SIMILARITY_MATRIX_H_

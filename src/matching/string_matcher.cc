@@ -1,0 +1,68 @@
+#include "matching/string_matcher.h"
+
+#include "common/strings.h"
+#include "text/string_similarity.h"
+
+namespace colscope::matching {
+
+namespace {
+/// The element's own name: first whitespace-delimited token of its
+/// serialization ("CID CLIENT NUMBER PRIMARY KEY" -> "CID",
+/// "CLIENT [CID, ...]" -> "CLIENT").
+std::string_view LeadingName(std::string_view serialized) {
+  const size_t space = serialized.find(' ');
+  return space == std::string_view::npos ? serialized
+                                         : serialized.substr(0, space);
+}
+}  // namespace
+
+std::string StringSimilarityMatcher::name() const {
+  const char* measure = "?";
+  switch (measure_) {
+    case Measure::kLevenshtein:
+      measure = "LEV";
+      break;
+    case Measure::kJaroWinkler:
+      measure = "JW";
+      break;
+    case Measure::kTokenJaccard:
+      measure = "JAC";
+      break;
+  }
+  return StrFormat("STR-%s(%.1f)", measure, threshold_);
+}
+
+double StringSimilarityMatcher::Similarity(std::string_view a,
+                                           std::string_view b) const {
+  const std::string la = ToLowerAscii(a);
+  const std::string lb = ToLowerAscii(b);
+  switch (measure_) {
+    case Measure::kLevenshtein:
+      return text::LevenshteinSimilarity(la, lb);
+    case Measure::kJaroWinkler:
+      return text::JaroWinklerSimilarity(la, lb);
+    case Measure::kTokenJaccard:
+      return text::TokenJaccardSimilarity(la, lb);
+  }
+  return 0.0;
+}
+
+std::set<ElementPair> StringSimilarityMatcher::Match(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) const {
+  std::set<ElementPair> out;
+  const size_t n = signatures.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!IsCandidate(signatures, active, i, j)) continue;
+      const double sim = Similarity(LeadingName(signatures.texts[i]),
+                                    LeadingName(signatures.texts[j]));
+      if (sim >= threshold_) {
+        out.insert(MakePair(signatures.refs[i], signatures.refs[j]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::matching

@@ -1,0 +1,37 @@
+#ifndef COLSCOPE_MATCHING_STRING_MATCHER_H_
+#define COLSCOPE_MATCHING_STRING_MATCHER_H_
+
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// The classical schema-based alternative (Section 2.2): match element
+/// *names* by string similarity instead of signatures. Provided as the
+/// Valentine-style baseline the paper contrasts against ("exclusively
+/// relying on string similarity ... suffers from labeling conflicts").
+/// Compares the serialized element texts' leading identifiers.
+class StringSimilarityMatcher : public Matcher {
+ public:
+  enum class Measure {
+    kLevenshtein,
+    kJaroWinkler,
+    kTokenJaccard,
+  };
+
+  StringSimilarityMatcher(Measure measure, double threshold)
+      : measure_(measure), threshold_(threshold) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+ private:
+  double Similarity(std::string_view a, std::string_view b) const;
+
+  Measure measure_;
+  double threshold_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_STRING_MATCHER_H_

@@ -1,0 +1,73 @@
+#include "matching/token_blocking.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "linalg/stats.h"
+#include "text/tokenize.h"
+
+namespace colscope::matching {
+
+namespace {
+
+std::string LeadingName(const std::string& serialized) {
+  const size_t space = serialized.find(' ');
+  return space == std::string::npos ? serialized
+                                    : serialized.substr(0, space);
+}
+
+/// Inverted index token -> active rows whose NAME contains it, and the
+/// deduplicated candidate pair set it induces.
+std::set<std::pair<size_t, size_t>> BuildCandidates(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) {
+  std::map<std::string, std::vector<size_t>> index;
+  for (size_t i = 0; i < signatures.size(); ++i) {
+    if (!active[i]) continue;
+    for (const std::string& token :
+         text::TokenizeIdentifier(LeadingName(signatures.texts[i]))) {
+      index[token].push_back(i);
+    }
+  }
+  std::set<std::pair<size_t, size_t>> candidates;
+  for (const auto& [token, rows] : index) {
+    for (size_t a = 0; a < rows.size(); ++a) {
+      for (size_t b = a + 1; b < rows.size(); ++b) {
+        if (!IsCandidate(signatures, active, rows[a], rows[b])) continue;
+        candidates.insert({std::min(rows[a], rows[b]),
+                           std::max(rows[a], rows[b])});
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+std::string TokenBlockedSimMatcher::name() const {
+  return StrFormat("TBSIM(%.1f)", threshold_);
+}
+
+std::set<ElementPair> TokenBlockedSimMatcher::Match(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) const {
+  std::set<ElementPair> out;
+  for (const auto& [i, j] : BuildCandidates(signatures, active)) {
+    const double sim = linalg::CosineSimilarity(
+        signatures.signatures.Row(i), signatures.signatures.Row(j));
+    if (sim >= threshold_) {
+      out.insert(MakePair(signatures.refs[i], signatures.refs[j]));
+    }
+  }
+  return out;
+}
+
+size_t TokenBlockedSimMatcher::CandidateCount(
+    const scoping::SignatureSet& signatures,
+    const std::vector<bool>& active) {
+  return BuildCandidates(signatures, active).size();
+}
+
+}  // namespace colscope::matching

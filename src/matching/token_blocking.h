@@ -1,0 +1,35 @@
+#ifndef COLSCOPE_MATCHING_TOKEN_BLOCKING_H_
+#define COLSCOPE_MATCHING_TOKEN_BLOCKING_H_
+
+#include "matching/matcher.h"
+
+namespace colscope::matching {
+
+/// Token blocking (Papadakis et al., the ER blocking family of
+/// Section 2.2): candidate pairs are element pairs whose names share at
+/// least one token, collected through an inverted index — avoiding the
+/// full Cartesian enumeration SIM performs. The shared-token candidates
+/// are then verified with the cosine threshold, so the result is a
+/// subset of SIM(threshold) restricted to lexically overlapping pairs.
+class TokenBlockedSimMatcher : public Matcher {
+ public:
+  explicit TokenBlockedSimMatcher(double threshold)
+      : threshold_(threshold) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  /// Number of candidate pairs the inverted index produced for the mask
+  /// (the comparisons actually made — the efficiency story vs the full
+  /// Cartesian count of SimMatcher::ComparisonCount).
+  static size_t CandidateCount(const scoping::SignatureSet& signatures,
+                               const std::vector<bool>& active);
+
+ private:
+  double threshold_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_TOKEN_BLOCKING_H_

@@ -1,0 +1,43 @@
+#include "outlier/autoencoder.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "linalg/stats.h"
+#include "nn/network.h"
+
+namespace colscope::outlier {
+
+std::string AutoencoderDetector::name() const {
+  return StrFormat("autoencoder(x%d,e%d)", options_.ensemble_size,
+                   options_.epochs);
+}
+
+linalg::Vector AutoencoderDetector::Scores(
+    const linalg::Matrix& signatures) const {
+  linalg::Vector scores(signatures.rows(), 0.0);
+  if (signatures.rows() == 0) return scores;
+
+  std::vector<size_t> dims;
+  dims.push_back(signatures.cols());
+  dims.insert(dims.end(), options_.hidden_dims.begin(),
+              options_.hidden_dims.end());
+  dims.push_back(signatures.cols());
+
+  nn::TrainOptions train;
+  train.epochs = options_.epochs;
+  train.learning_rate = options_.learning_rate;
+  train.batch_size = options_.batch_size;
+
+  Rng seed_rng(options_.seed);
+  for (int e = 0; e < options_.ensemble_size; ++e) {
+    nn::Mlp net(dims, seed_rng.NextUint64());
+    net.Fit(signatures, signatures, train);
+    const linalg::Matrix reconstructed = net.Predict(signatures);
+    const linalg::Vector errors =
+        linalg::RowwiseMse(signatures, reconstructed);
+    for (size_t i = 0; i < scores.size(); ++i) scores[i] += errors[i];
+  }
+  return scores;
+}
+
+}  // namespace colscope::outlier

@@ -1,0 +1,45 @@
+#ifndef COLSCOPE_OUTLIER_AUTOENCODER_H_
+#define COLSCOPE_OUTLIER_AUTOENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "outlier/oda.h"
+
+namespace colscope::outlier {
+
+/// Configuration of the ensemble autoencoder baseline (Section 4.1):
+/// a dense network input|100|10|100|input with ReLU hidden layers,
+/// trained with Adam on the MSE reconstruction loss; `ensemble_size`
+/// independently initialized networks are trained for `epochs` epochs
+/// each and their per-row reconstruction errors are summed. The paper
+/// uses ensemble_size=100, epochs=50; the benches default to a smaller
+/// ensemble for single-core wall-clock (EXPERIMENTS.md documents both).
+struct AutoencoderOptions {
+  std::vector<size_t> hidden_dims = {100, 10, 100};
+  int ensemble_size = 100;
+  int epochs = 50;
+  double learning_rate = 1e-3;
+  size_t batch_size = 32;
+  uint64_t seed = 0xae5eed;
+};
+
+/// Neural autoencoder ODA: outlier score = summed reconstruction MSE
+/// across the ensemble.
+class AutoencoderDetector : public OutlierDetector {
+ public:
+  explicit AutoencoderDetector(AutoencoderOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override;
+  linalg::Vector Scores(const linalg::Matrix& signatures) const override;
+
+  const AutoencoderOptions& options() const { return options_; }
+
+ private:
+  AutoencoderOptions options_;
+};
+
+}  // namespace colscope::outlier
+
+#endif  // COLSCOPE_OUTLIER_AUTOENCODER_H_

@@ -1,0 +1,138 @@
+#include "outlier/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace colscope::outlier {
+
+namespace {
+
+/// Average unsuccessful-search path length of a BST with n nodes — the
+/// normalizer c(n) of the isolation-forest score.
+double AveragePathLength(size_t n) {
+  if (n <= 1) return 0.0;
+  const double h = std::log(static_cast<double>(n - 1)) + 0.5772156649;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+/// One random isolation tree, built on a subsample, then used to compute
+/// path lengths for all points. Nodes are stored in a flat vector.
+class IsolationTree {
+ public:
+  IsolationTree(const linalg::Matrix& data,
+                const std::vector<size_t>& sample, size_t max_depth,
+                Rng& rng)
+      : data_(data) {
+    root_ = Build(sample, 0, max_depth, rng);
+  }
+
+  double PathLength(size_t row) const {
+    int node = root_;
+    double depth = 0.0;
+    while (node >= 0 && nodes_[node].feature >= 0) {
+      const Node& n = nodes_[node];
+      node = data_(row, static_cast<size_t>(n.feature)) < n.split
+                 ? n.left
+                 : n.right;
+      depth += 1.0;
+    }
+    if (node >= 0) depth += AveragePathLength(nodes_[node].count);
+    return depth;
+  }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1: leaf.
+    double split = 0.0;
+    int left = -1;
+    int right = -1;
+    size_t count = 0;  // Leaf population (external-node adjustment).
+  };
+
+  int Build(const std::vector<size_t>& sample, size_t depth,
+            size_t max_depth, Rng& rng) {
+    Node node;
+    if (sample.size() <= 1 || depth >= max_depth) {
+      node.count = sample.size();
+      nodes_.push_back(node);
+      return static_cast<int>(nodes_.size() - 1);
+    }
+    // Pick a feature with spread; give up after a few attempts (all
+    // candidate features constant -> leaf).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const size_t f = rng.NextBounded(data_.cols());
+      double lo = data_(sample[0], f), hi = lo;
+      for (size_t row : sample) {
+        lo = std::min(lo, data_(row, f));
+        hi = std::max(hi, data_(row, f));
+      }
+      if (hi <= lo) continue;
+      const double split = lo + rng.NextDouble() * (hi - lo);
+      std::vector<size_t> left, right;
+      for (size_t row : sample) {
+        (data_(row, f) < split ? left : right).push_back(row);
+      }
+      if (left.empty() || right.empty()) continue;
+      node.feature = static_cast<int>(f);
+      node.split = split;
+      const int self = static_cast<int>(nodes_.size());
+      nodes_.push_back(node);
+      const int l = Build(left, depth + 1, max_depth, rng);
+      const int r = Build(right, depth + 1, max_depth, rng);
+      nodes_[self].left = l;
+      nodes_[self].right = r;
+      return self;
+    }
+    node.count = sample.size();
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  const linalg::Matrix& data_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace
+
+std::string IsolationForestDetector::name() const {
+  return StrFormat("iforest(t=%zu,psi=%zu)", options_.num_trees,
+                   options_.subsample_size);
+}
+
+linalg::Vector IsolationForestDetector::Scores(
+    const linalg::Matrix& signatures) const {
+  const size_t n = signatures.rows();
+  linalg::Vector scores(n, 0.0);
+  if (n == 0) return scores;
+  const size_t psi = std::max<size_t>(2, std::min(options_.subsample_size, n));
+  const size_t max_depth =
+      static_cast<size_t>(std::ceil(std::log2(static_cast<double>(psi)))) + 1;
+
+  Rng rng(options_.seed);
+  linalg::Vector path_sum(n, 0.0);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    // Subsample without replacement (partial Fisher-Yates).
+    std::vector<size_t> ids(n);
+    for (size_t i = 0; i < n; ++i) ids[i] = i;
+    for (size_t i = 0; i < psi; ++i) {
+      std::swap(ids[i], ids[i + rng.NextBounded(n - i)]);
+    }
+    ids.resize(psi);
+    IsolationTree tree(signatures, ids, max_depth, rng);
+    for (size_t i = 0; i < n; ++i) path_sum[i] += tree.PathLength(i);
+  }
+  const double c = AveragePathLength(psi);
+  for (size_t i = 0; i < n; ++i) {
+    const double mean_path =
+        path_sum[i] / static_cast<double>(options_.num_trees);
+    scores[i] = c > 0.0 ? std::pow(2.0, -mean_path / c) : 0.5;
+  }
+  return scores;
+}
+
+}  // namespace colscope::outlier

@@ -1,0 +1,35 @@
+#ifndef COLSCOPE_OUTLIER_ISOLATION_FOREST_H_
+#define COLSCOPE_OUTLIER_ISOLATION_FOREST_H_
+
+#include <cstdint>
+
+#include "outlier/oda.h"
+
+namespace colscope::outlier {
+
+/// Isolation Forest (Liu et al. 2008): ensemble of random isolation
+/// trees; anomalous points isolate in fewer random splits. Scores are
+/// the standard s(x, psi) = 2^(-E[h(x)] / c(psi)) in (0, 1), higher =
+/// more anomalous. Deterministic for a fixed seed. Included as a
+/// widely-used ODA the scoping baseline family can swap in.
+struct IsolationForestOptions {
+  size_t num_trees = 100;
+  size_t subsample_size = 64;  ///< psi; clamped to the data size.
+  uint64_t seed = 0x150f;
+};
+
+class IsolationForestDetector : public OutlierDetector {
+ public:
+  explicit IsolationForestDetector(IsolationForestOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override;
+  linalg::Vector Scores(const linalg::Matrix& signatures) const override;
+
+ private:
+  IsolationForestOptions options_;
+};
+
+}  // namespace colscope::outlier
+
+#endif  // COLSCOPE_OUTLIER_ISOLATION_FOREST_H_

@@ -1,0 +1,43 @@
+#include "outlier/knn.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "linalg/stats.h"
+
+namespace colscope::outlier {
+
+std::string KnnDetector::name() const {
+  return StrFormat("knn(k=%zu,%s)", k_,
+                   aggregate_ == Aggregate::kMean ? "mean" : "max");
+}
+
+linalg::Vector KnnDetector::Scores(const linalg::Matrix& signatures) const {
+  const size_t n = signatures.rows();
+  linalg::Vector scores(n, 0.0);
+  if (n <= 1) return scores;
+  const size_t k = std::min(k_, n - 1);
+
+  for (size_t i = 0; i < n; ++i) {
+    linalg::Vector dist;
+    dist.reserve(n - 1);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dist.push_back(
+          linalg::L2Distance(signatures.Row(i), signatures.Row(j)));
+    }
+    std::nth_element(dist.begin(), dist.begin() + static_cast<long>(k - 1),
+                     dist.end());
+    if (aggregate_ == Aggregate::kMax) {
+      scores[i] = *std::max_element(dist.begin(),
+                                    dist.begin() + static_cast<long>(k));
+    } else {
+      double sum = 0.0;
+      for (size_t m = 0; m < k; ++m) sum += dist[m];
+      scores[i] = sum / static_cast<double>(k);
+    }
+  }
+  return scores;
+}
+
+}  // namespace colscope::outlier

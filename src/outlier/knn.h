@@ -1,0 +1,29 @@
+#ifndef COLSCOPE_OUTLIER_KNN_H_
+#define COLSCOPE_OUTLIER_KNN_H_
+
+#include "outlier/oda.h"
+
+namespace colscope::outlier {
+
+/// k-nearest-neighbour distance ODA: an element's outlier score is its
+/// (mean or max) distance to its k nearest neighbours in the unified
+/// signature set — the classic distance-based detector family the
+/// paper's related work builds on. O(|S|^2 |v|).
+class KnnDetector : public OutlierDetector {
+ public:
+  enum class Aggregate { kMean, kMax };
+
+  explicit KnnDetector(size_t k = 10, Aggregate aggregate = Aggregate::kMean)
+      : k_(k), aggregate_(aggregate) {}
+
+  std::string name() const override;
+  linalg::Vector Scores(const linalg::Matrix& signatures) const override;
+
+ private:
+  size_t k_;
+  Aggregate aggregate_;
+};
+
+}  // namespace colscope::outlier
+
+#endif  // COLSCOPE_OUTLIER_KNN_H_

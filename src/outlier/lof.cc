@@ -1,0 +1,77 @@
+#include "outlier/lof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+#include "linalg/stats.h"
+
+namespace colscope::outlier {
+
+std::string LofDetector::name() const {
+  return StrFormat("lof(n=%zu)", num_neighbors_);
+}
+
+linalg::Vector LofDetector::Scores(const linalg::Matrix& signatures) const {
+  const size_t n = signatures.rows();
+  linalg::Vector scores(n, 1.0);
+  if (n <= 1) return scores;
+  const size_t k = std::min(num_neighbors_, n - 1);
+
+  // Pairwise distances.
+  linalg::Matrix dist(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = linalg::L2Distance(signatures.Row(i),
+                                          signatures.Row(j));
+      dist(i, j) = d;
+      dist(j, i) = d;
+    }
+  }
+
+  // k nearest neighbors and k-distance for every point.
+  std::vector<std::vector<size_t>> neighbors(n);
+  linalg::Vector k_distance(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    order.erase(order.begin() + static_cast<long>(i));
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return dist(i, a) < dist(i, b);
+    });
+    order.resize(k);
+    neighbors[i] = order;
+    k_distance[i] = dist(i, order.back());
+  }
+
+  // Local reachability density.
+  linalg::Vector lrd(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (size_t j : neighbors[i]) {
+      reach_sum += std::max(k_distance[j], dist(i, j));
+    }
+    lrd[i] = reach_sum > 0.0 ? static_cast<double>(k) / reach_sum
+                             : std::numeric_limits<double>::infinity();
+  }
+
+  // LOF = mean neighbor lrd / own lrd.
+  for (size_t i = 0; i < n; ++i) {
+    double ratio_sum = 0.0;
+    for (size_t j : neighbors[i]) {
+      if (std::isinf(lrd[i]) && std::isinf(lrd[j])) {
+        ratio_sum += 1.0;  // Duplicate cluster: inlier by convention.
+      } else if (std::isinf(lrd[i])) {
+        ratio_sum += 0.0;
+      } else {
+        ratio_sum += lrd[j] / lrd[i];
+      }
+    }
+    scores[i] = ratio_sum / static_cast<double>(k);
+  }
+  return scores;
+}
+
+}  // namespace colscope::outlier

@@ -1,0 +1,28 @@
+#ifndef COLSCOPE_OUTLIER_LOF_H_
+#define COLSCOPE_OUTLIER_LOF_H_
+
+#include "outlier/oda.h"
+
+namespace colscope::outlier {
+
+/// Local Outlier Factor (Breunig et al., SIGMOD 2000) with the paper's
+/// default neighborhood size n = 20 (sklearn's default). Scores are the
+/// LOF values: ~1 for inliers, > 1 for local outliers. Complexity
+/// O(|S|^2 |v|) for the pairwise distances.
+class LofDetector : public OutlierDetector {
+ public:
+  explicit LofDetector(size_t num_neighbors = 20)
+      : num_neighbors_(num_neighbors) {}
+
+  std::string name() const override;
+  linalg::Vector Scores(const linalg::Matrix& signatures) const override;
+
+  size_t num_neighbors() const { return num_neighbors_; }
+
+ private:
+  size_t num_neighbors_;
+};
+
+}  // namespace colscope::outlier
+
+#endif  // COLSCOPE_OUTLIER_LOF_H_

@@ -1,0 +1,26 @@
+#ifndef COLSCOPE_OUTLIER_ODA_H_
+#define COLSCOPE_OUTLIER_ODA_H_
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace colscope::outlier {
+
+/// Outlier detection algorithm (Section 2.4): assigns every row of a
+/// signature matrix an outlier score. Higher score = more anomalous =
+/// more likely unlinkable. Scores are comparable within one call only.
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  /// Name used in reports ("z-score", "lof", "pca(v=0.5)", ...).
+  virtual std::string name() const = 0;
+
+  /// Scores every row of `signatures`.
+  virtual linalg::Vector Scores(const linalg::Matrix& signatures) const = 0;
+};
+
+}  // namespace colscope::outlier
+
+#endif  // COLSCOPE_OUTLIER_ODA_H_

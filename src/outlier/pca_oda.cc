@@ -1,0 +1,20 @@
+#include "outlier/pca_oda.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "linalg/pca.h"
+
+namespace colscope::outlier {
+
+std::string PcaDetector::name() const {
+  return StrFormat("pca(v=%.2f)", explained_variance_);
+}
+
+linalg::Vector PcaDetector::Scores(const linalg::Matrix& signatures) const {
+  Result<linalg::PcaModel> model =
+      linalg::PcaModel::FitWithVariance(signatures, explained_variance_);
+  COLSCOPE_CHECK_MSG(model.ok(), model.status().ToString().c_str());
+  return model->ReconstructionErrors(signatures);
+}
+
+}  // namespace colscope::outlier

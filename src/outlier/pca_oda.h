@@ -1,0 +1,28 @@
+#ifndef COLSCOPE_OUTLIER_PCA_ODA_H_
+#define COLSCOPE_OUTLIER_PCA_ODA_H_
+
+#include "outlier/oda.h"
+
+namespace colscope::outlier {
+
+/// PCA reconstruction-error ODA (Section 2.4): fits PCA on the full
+/// signature set at an explained-variance level v and scores each row by
+/// its reconstruction MSE. The paper evaluates v in {0.3, 0.5, 0.7} as
+/// the global-scoping baseline.
+class PcaDetector : public OutlierDetector {
+ public:
+  explicit PcaDetector(double explained_variance)
+      : explained_variance_(explained_variance) {}
+
+  std::string name() const override;
+  linalg::Vector Scores(const linalg::Matrix& signatures) const override;
+
+  double explained_variance() const { return explained_variance_; }
+
+ private:
+  double explained_variance_;
+};
+
+}  // namespace colscope::outlier
+
+#endif  // COLSCOPE_OUTLIER_PCA_ODA_H_

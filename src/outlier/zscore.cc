@@ -1,0 +1,26 @@
+#include "outlier/zscore.h"
+
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace colscope::outlier {
+
+linalg::Vector ZScoreDetector::Scores(
+    const linalg::Matrix& signatures) const {
+  const linalg::Vector mean = linalg::ColumnMean(signatures);
+  const linalg::Vector sd = linalg::ColumnStdDev(signatures, mean);
+  linalg::Vector scores(signatures.rows(), 0.0);
+  if (signatures.cols() == 0) return scores;
+  for (size_t r = 0; r < signatures.rows(); ++r) {
+    const double* row = signatures.RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < signatures.cols(); ++c) {
+      if (sd[c] > 0.0) sum += std::fabs(row[c] - mean[c]) / sd[c];
+    }
+    scores[r] = sum / static_cast<double>(signatures.cols());
+  }
+  return scores;
+}
+
+}  // namespace colscope::outlier

@@ -1,0 +1,19 @@
+#ifndef COLSCOPE_OUTLIER_ZSCORE_H_
+#define COLSCOPE_OUTLIER_ZSCORE_H_
+
+#include "outlier/oda.h"
+
+namespace colscope::outlier {
+
+/// Z-score ODA: per-dimension standardized deviation from the column
+/// mean, aggregated over dimensions by mean absolute z-value (the
+/// SciPy-zscore-based baseline of Section 4.1). Complexity O(|S| |v|).
+class ZScoreDetector : public OutlierDetector {
+ public:
+  std::string name() const override { return "z-score"; }
+  linalg::Vector Scores(const linalg::Matrix& signatures) const override;
+};
+
+}  // namespace colscope::outlier
+
+#endif  // COLSCOPE_OUTLIER_ZSCORE_H_

@@ -1,0 +1,74 @@
+#include "pipeline/pipeline.h"
+
+#include "common/check.h"
+#include "scoping/collaborative.h"
+#include "scoping/scoping.h"
+#include "scoping/streamline.h"
+
+namespace colscope::pipeline {
+
+size_t PipelineRun::num_kept() const {
+  size_t n = 0;
+  for (bool k : keep) n += k;
+  return n;
+}
+
+Pipeline::Pipeline(const embed::SentenceEncoder* encoder,
+                   PipelineOptions options)
+    : encoder_(encoder), options_(options) {
+  COLSCOPE_CHECK(encoder_ != nullptr);
+}
+
+Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
+                                  const matching::Matcher& matcher,
+                                  const datasets::GroundTruth* truth) const {
+  if (set.num_schemas() < 2) {
+    return Status::InvalidArgument("matching needs at least two schemas");
+  }
+  PipelineRun run;
+  run.signatures = scoping::BuildSignatures(set, *encoder_);
+
+  switch (options_.scoper) {
+    case ScoperKind::kNone:
+      run.keep.assign(run.signatures.size(), true);
+      break;
+    case ScoperKind::kCollaborativePca: {
+      Result<std::vector<bool>> keep = scoping::CollaborativeScoping(
+          run.signatures, set.num_schemas(), options_.explained_variance);
+      if (!keep.ok()) return keep.status();
+      run.keep = std::move(keep).value();
+      break;
+    }
+    case ScoperKind::kCollaborativeNeural: {
+      Result<std::vector<bool>> keep = scoping::CollaborativeScopingNeural(
+          run.signatures, set.num_schemas(), options_.neural);
+      if (!keep.ok()) return keep.status();
+      run.keep = std::move(keep).value();
+      break;
+    }
+    case ScoperKind::kGlobalScoping: {
+      if (options_.detector == nullptr) {
+        return Status::InvalidArgument(
+            "global scoping requires PipelineOptions::detector");
+      }
+      if (options_.keep_portion < 0.0 || options_.keep_portion > 1.0) {
+        return Status::InvalidArgument("keep portion must be in [0, 1]");
+      }
+      run.keep = scoping::GlobalScoping(run.signatures, *options_.detector,
+                                        options_.keep_portion);
+      break;
+    }
+  }
+
+  run.streamlined =
+      scoping::BuildStreamlinedSchemas(set, run.signatures, run.keep);
+  run.linkages = matcher.Match(run.signatures, run.keep);
+  if (truth != nullptr) {
+    run.quality = eval::EvaluateMatching(
+        run.linkages, *truth,
+        set.TableCartesianSize() + set.AttributeCartesianSize());
+  }
+  return run;
+}
+
+}  // namespace colscope::pipeline

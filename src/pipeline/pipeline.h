@@ -1,0 +1,77 @@
+#ifndef COLSCOPE_PIPELINE_PIPELINE_H_
+#define COLSCOPE_PIPELINE_PIPELINE_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "datasets/linkage.h"
+#include "embed/encoder.h"
+#include "eval/matching_metrics.h"
+#include "matching/matcher.h"
+#include "outlier/oda.h"
+#include "scoping/neural_collaborative.h"
+#include "scoping/signatures.h"
+
+namespace colscope::pipeline {
+
+/// Which pre-processing scoper the pipeline applies before matching.
+enum class ScoperKind {
+  kNone,                  ///< Traditional pipeline (Figure 2): no pruning.
+  kCollaborativePca,      ///< The paper's method (Algorithms 1 + 2).
+  kCollaborativeNeural,   ///< Future-work variant: neural encoder-decoders.
+  kGlobalScoping,         ///< Prior-work baseline: one ODA + threshold p.
+};
+
+/// End-to-end configuration: extract -> serialize -> encode -> scope ->
+/// match. The encoder and (for kGlobalScoping) the ODA are borrowed
+/// pointers and must outlive the pipeline.
+struct PipelineOptions {
+  ScoperKind scoper = ScoperKind::kCollaborativePca;
+  /// Explained-variance target v for kCollaborativePca.
+  double explained_variance = 0.8;
+  /// Keep portion p and detector for kGlobalScoping.
+  double keep_portion = 0.5;
+  const outlier::OutlierDetector* detector = nullptr;
+  /// Options for kCollaborativeNeural.
+  scoping::NeuralLocalModelOptions neural;
+};
+
+/// Everything one pipeline run produces; intermediate artifacts are kept
+/// so callers can inspect or reuse them.
+struct PipelineRun {
+  scoping::SignatureSet signatures;
+  std::vector<bool> keep;               ///< Linkability mask (phase III).
+  schema::SchemaSet streamlined;        ///< The S' schemas.
+  std::set<matching::ElementPair> linkages;
+  /// Filled when ground truth was supplied to Run().
+  std::optional<eval::MatchingQuality> quality;
+
+  size_t num_kept() const;
+  size_t num_pruned() const { return keep.size() - num_kept(); }
+};
+
+/// The full workflow of Figure 4 glued together. Stateless between runs;
+/// thread-compatible (each Run call is independent).
+class Pipeline {
+ public:
+  /// `encoder` is borrowed and must outlive the pipeline.
+  Pipeline(const embed::SentenceEncoder* encoder, PipelineOptions options);
+
+  /// Runs scope + match over `set` with `matcher`. When `truth` is
+  /// non-null, PQ/PC/F1/RR are computed against it.
+  Result<PipelineRun> Run(const schema::SchemaSet& set,
+                          const matching::Matcher& matcher,
+                          const datasets::GroundTruth* truth = nullptr) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  const embed::SentenceEncoder* encoder_;
+  PipelineOptions options_;
+};
+
+}  // namespace colscope::pipeline
+
+#endif  // COLSCOPE_PIPELINE_PIPELINE_H_

@@ -1,0 +1,55 @@
+#include "pipeline/report.h"
+
+#include "common/json_writer.h"
+
+namespace colscope::pipeline {
+
+std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
+  JsonWriter json;
+  json.BeginObject();
+
+  json.Key("num_elements").Int(static_cast<long long>(run.keep.size()));
+  json.Key("num_kept").Int(static_cast<long long>(run.num_kept()));
+  json.Key("num_pruned").Int(static_cast<long long>(run.num_pruned()));
+
+  json.Key("elements").BeginArray();
+  for (size_t i = 0; i < run.keep.size(); ++i) {
+    json.BeginObject();
+    json.Key("name").String(set.QualifiedName(run.signatures.refs[i]));
+    json.Key("kind").String(run.signatures.refs[i].is_table() ? "table"
+                                                              : "attribute");
+    json.Key("linkable").Bool(run.keep[i]);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("linkages").BeginArray();
+  for (const auto& [a, b] : run.linkages) {
+    json.BeginObject();
+    json.Key("a").String(set.QualifiedName(a));
+    json.Key("b").String(set.QualifiedName(b));
+    json.EndObject();
+  }
+  json.EndArray();
+
+  if (run.quality.has_value()) {
+    json.Key("quality").BeginObject();
+    json.Key("generated").Int(static_cast<long long>(run.quality->generated));
+    json.Key("true_linkages")
+        .Int(static_cast<long long>(run.quality->true_linkages));
+    json.Key("ground_truth")
+        .Int(static_cast<long long>(run.quality->ground_truth));
+    json.Key("pair_quality").Number(run.quality->PairQuality());
+    json.Key("pair_completeness").Number(run.quality->PairCompleteness());
+    json.Key("f1").Number(run.quality->F1());
+    json.Key("reduction_ratio").Number(run.quality->ReductionRatio());
+    json.EndObject();
+  } else {
+    json.Key("quality").Null();
+  }
+
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace colscope::pipeline

@@ -1,0 +1,18 @@
+#ifndef COLSCOPE_PIPELINE_REPORT_H_
+#define COLSCOPE_PIPELINE_REPORT_H_
+
+#include <string>
+
+#include "pipeline/pipeline.h"
+
+namespace colscope::pipeline {
+
+/// Serializes a pipeline run to a machine-readable JSON report:
+/// per-element linkability, generated linkages, and (when ground truth
+/// was supplied) the PQ/PC/F1/RR quality block. Intended for driving
+/// dashboards / downstream tooling from the CLI (`--json`).
+std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set);
+
+}  // namespace colscope::pipeline
+
+#endif  // COLSCOPE_PIPELINE_REPORT_H_

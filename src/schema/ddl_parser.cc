@@ -1,0 +1,367 @@
+#include "schema/ddl_parser.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace colscope::schema {
+
+namespace {
+
+/// Token kinds produced by the lexer.
+enum class TokKind { kIdent, kNumber, kPunct, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // Identifier text is unquoted but case-preserved.
+};
+
+/// Minimal SQL lexer: identifiers (possibly quoted), numbers, and
+/// single-character punctuation. Comments and whitespace are skipped.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Token Next() {
+    SkipSpaceAndComments();
+    if (pos_ >= input_.size()) return {TokKind::kEnd, ""};
+    const char c = input_[pos_];
+    if (c == '"' || c == '`' || c == '[') {
+      return LexQuoted(c == '[' ? ']' : c);
+    }
+    if (IsIdentStart(c)) return LexIdent();
+    if (IsDigit(c) || (c == '-' && pos_ + 1 < input_.size() &&
+                       IsDigit(input_[pos_ + 1]))) {
+      return LexNumber();
+    }
+    ++pos_;
+    return {TokKind::kPunct, std::string(1, c)};
+  }
+
+ private:
+  static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+  static bool IsIdentStart(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  }
+  static bool IsIdentChar(char c) {
+    return IsIdentStart(c) || IsDigit(c) || c == '$' || c == '#';
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '-') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < input_.size() &&
+               !(input_[pos_] == '*' && input_[pos_ + 1] == '/')) {
+          ++pos_;
+        }
+        pos_ = (pos_ + 2 <= input_.size()) ? pos_ + 2 : input_.size();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token LexQuoted(char closer) {
+    ++pos_;  // Skip the opening quote.
+    std::string text;
+    while (pos_ < input_.size() && input_[pos_] != closer) {
+      text.push_back(input_[pos_++]);
+    }
+    if (pos_ < input_.size()) ++pos_;  // Skip the closing quote.
+    return {TokKind::kIdent, text};
+  }
+
+  Token LexIdent() {
+    std::string text;
+    while (pos_ < input_.size() && IsIdentChar(input_[pos_])) {
+      text.push_back(input_[pos_++]);
+    }
+    return {TokKind::kIdent, text};
+  }
+
+  Token LexNumber() {
+    std::string text;
+    if (input_[pos_] == '-') text.push_back(input_[pos_++]);
+    while (pos_ < input_.size() &&
+           (IsDigit(input_[pos_]) || input_[pos_] == '.')) {
+      text.push_back(input_[pos_++]);
+    }
+    return {TokKind::kNumber, text};
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+/// Token stream with lookahead and keyword matching (case-insensitive).
+class TokenStream {
+ public:
+  explicit TokenStream(std::string_view input) {
+    Lexer lexer(input);
+    for (;;) {
+      Token t = lexer.Next();
+      const bool end = t.kind == TokKind::kEnd;
+      tokens_.push_back(std::move(t));
+      if (end) break;
+    }
+  }
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Consume() {
+    Token t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  /// True (and consumes) if the next token is the given keyword.
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (IsKeyword(Peek(), keyword)) {
+      Consume();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumePunct(char punct) {
+    if (Peek().kind == TokKind::kPunct && Peek().text[0] == punct) {
+      Consume();
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsKeyword(const Token& t, std::string_view keyword) {
+    return t.kind == TokKind::kIdent &&
+           ToLowerAscii(t.text) == ToLowerAscii(keyword);
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Skips a balanced parenthesized group; assumes '(' already consumed.
+void SkipBalancedParens(TokenStream& ts) {
+  int depth = 1;
+  while (!ts.AtEnd() && depth > 0) {
+    if (ts.ConsumePunct('(')) {
+      ++depth;
+    } else if (ts.ConsumePunct(')')) {
+      --depth;
+    } else {
+      ts.Consume();
+    }
+  }
+}
+
+/// Marks the named columns of `table` with `constraint` (PK wins over FK).
+void MarkColumns(Table& table, const std::vector<std::string>& columns,
+                 Constraint constraint) {
+  for (Attribute& attr : table.attributes) {
+    for (const std::string& col : columns) {
+      if (ToLowerAscii(attr.name) == ToLowerAscii(col)) {
+        if (attr.constraint == Constraint::kPrimaryKey) continue;
+        attr.constraint = constraint;
+      }
+    }
+  }
+}
+
+/// Parses "(col, col, ...)" into names; returns false on malformed input.
+bool ParseColumnList(TokenStream& ts, std::vector<std::string>& out) {
+  if (!ts.ConsumePunct('(')) return false;
+  for (;;) {
+    if (ts.Peek().kind != TokKind::kIdent) return false;
+    out.push_back(ts.Consume().text);
+    if (ts.ConsumePunct(',')) continue;
+    return ts.ConsumePunct(')');
+  }
+}
+
+/// Parses one table-level constraint clause starting at PRIMARY/FOREIGN/
+/// UNIQUE/CHECK/CONSTRAINT. Returns false if the clause is malformed.
+bool ParseTableConstraint(TokenStream& ts, Table& table) {
+  if (ts.ConsumeKeyword("constraint")) {
+    if (ts.Peek().kind == TokKind::kIdent &&
+        !TokenStream::IsKeyword(ts.Peek(), "primary") &&
+        !TokenStream::IsKeyword(ts.Peek(), "foreign") &&
+        !TokenStream::IsKeyword(ts.Peek(), "unique") &&
+        !TokenStream::IsKeyword(ts.Peek(), "check")) {
+      ts.Consume();  // The constraint's name.
+    }
+  }
+  if (ts.ConsumeKeyword("primary")) {
+    if (!ts.ConsumeKeyword("key")) return false;
+    std::vector<std::string> cols;
+    if (!ParseColumnList(ts, cols)) return false;
+    MarkColumns(table, cols, Constraint::kPrimaryKey);
+    return true;
+  }
+  if (ts.ConsumeKeyword("foreign")) {
+    if (!ts.ConsumeKeyword("key")) return false;
+    std::vector<std::string> cols;
+    if (!ParseColumnList(ts, cols)) return false;
+    MarkColumns(table, cols, Constraint::kForeignKey);
+    // Optional REFERENCES target (+ cascade clauses) — skip to the end of
+    // this clause (next top-level ',' or ')').
+    return true;
+  }
+  if (ts.ConsumeKeyword("unique") || ts.ConsumeKeyword("check") ||
+      ts.ConsumeKeyword("index") || ts.ConsumeKeyword("key")) {
+    return true;  // Trailing tokens are skipped by the caller.
+  }
+  return false;
+}
+
+/// Parses one column definition: NAME TYPE[(p[,s])] [modifiers...].
+Status ParseColumn(TokenStream& ts, Table& table) {
+  if (ts.Peek().kind != TokKind::kIdent) {
+    return Status::InvalidArgument("expected column name in table " +
+                                   table.name);
+  }
+  Attribute attr;
+  attr.name = ts.Consume().text;
+  attr.table_name = table.name;
+  if (ts.Peek().kind != TokKind::kIdent) {
+    return Status::InvalidArgument("expected type for column " + attr.name);
+  }
+  attr.raw_type = ts.Consume().text;
+  // Multi-word types: DOUBLE PRECISION, TIMESTAMP WITH TIME ZONE (the
+  // WITH... part is consumed by the modifier loop below).
+  if (TokenStream::IsKeyword({TokKind::kIdent, attr.raw_type}, "double") &&
+      ts.ConsumeKeyword("precision")) {
+    // Keep raw type as written.
+  }
+  if (ts.ConsumePunct('(')) SkipBalancedParens(ts);
+  attr.type = ParseDataType(attr.raw_type);
+
+  // Modifiers until the next top-level ',' or ')'.
+  while (!ts.AtEnd()) {
+    const Token& t = ts.Peek();
+    if (t.kind == TokKind::kPunct && (t.text[0] == ',' || t.text[0] == ')')) {
+      break;
+    }
+    if (ts.ConsumeKeyword("primary")) {
+      if (ts.ConsumeKeyword("key")) attr.constraint = Constraint::kPrimaryKey;
+      continue;
+    }
+    if (ts.ConsumeKeyword("references")) {
+      if (attr.constraint != Constraint::kPrimaryKey) {
+        attr.constraint = Constraint::kForeignKey;
+      }
+      if (ts.Peek().kind == TokKind::kIdent) ts.Consume();  // Target table.
+      if (ts.ConsumePunct('(')) SkipBalancedParens(ts);
+      continue;
+    }
+    if (ts.ConsumePunct('(')) {
+      SkipBalancedParens(ts);
+      continue;
+    }
+    ts.Consume();  // NOT NULL / DEFAULT x / UNIQUE / AUTO_INCREMENT / ...
+  }
+  table.attributes.push_back(std::move(attr));
+  return Status::Ok();
+}
+
+/// Skips forward past the current statement's terminating ';'.
+void SkipStatement(TokenStream& ts) {
+  while (!ts.AtEnd()) {
+    if (ts.ConsumePunct(';')) return;
+    if (ts.ConsumePunct('(')) {
+      SkipBalancedParens(ts);
+      continue;
+    }
+    ts.Consume();
+  }
+}
+
+}  // namespace
+
+Result<Schema> ParseDdl(std::string_view ddl, std::string schema_name) {
+  Schema out(std::move(schema_name));
+  TokenStream ts(ddl);
+
+  while (!ts.AtEnd()) {
+    if (!ts.ConsumeKeyword("create")) {
+      SkipStatement(ts);
+      continue;
+    }
+    if (!ts.ConsumeKeyword("table")) {
+      SkipStatement(ts);  // CREATE INDEX / VIEW / ... — skipped.
+      continue;
+    }
+    if (ts.ConsumeKeyword("if")) {  // IF NOT EXISTS
+      ts.ConsumeKeyword("not");
+      ts.ConsumeKeyword("exists");
+    }
+    if (ts.Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected table name after CREATE TABLE");
+    }
+    Table table;
+    table.name = ts.Consume().text;
+    // Qualified name schema.table: keep the last component.
+    while (ts.ConsumePunct('.')) {
+      if (ts.Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("malformed qualified table name");
+      }
+      table.name = ts.Consume().text;
+    }
+    if (!ts.ConsumePunct('(')) {
+      return Status::InvalidArgument("expected '(' after table name " +
+                                     table.name);
+    }
+
+    // Column and table-constraint entries.
+    for (;;) {
+      const Token& next = ts.Peek();
+      if (TokenStream::IsKeyword(next, "primary") ||
+          TokenStream::IsKeyword(next, "foreign") ||
+          TokenStream::IsKeyword(next, "unique") ||
+          TokenStream::IsKeyword(next, "check") ||
+          TokenStream::IsKeyword(next, "constraint") ||
+          TokenStream::IsKeyword(next, "index") ||
+          (TokenStream::IsKeyword(next, "key") &&
+           ts.Peek(1).kind == TokKind::kPunct)) {
+        if (!ParseTableConstraint(ts, table)) {
+          return Status::InvalidArgument("malformed constraint in table " +
+                                         table.name);
+        }
+        // Skip clause remainder (REFERENCES targets, cascade rules, ...).
+        while (!ts.AtEnd()) {
+          const Token& t = ts.Peek();
+          if (t.kind == TokKind::kPunct &&
+              (t.text[0] == ',' || t.text[0] == ')')) {
+            break;
+          }
+          if (ts.ConsumePunct('(')) {
+            SkipBalancedParens(ts);
+            continue;
+          }
+          ts.Consume();
+        }
+      } else {
+        COLSCOPE_RETURN_IF_ERROR(ParseColumn(ts, table));
+      }
+      if (ts.ConsumePunct(',')) continue;
+      if (ts.ConsumePunct(')')) break;
+      return Status::InvalidArgument("expected ',' or ')' in table " +
+                                     table.name);
+    }
+    SkipStatement(ts);  // Trailing table options + ';'.
+    COLSCOPE_RETURN_IF_ERROR(out.AddTable(std::move(table)));
+  }
+  return out;
+}
+
+}  // namespace colscope::schema

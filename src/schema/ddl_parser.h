@@ -1,0 +1,29 @@
+#ifndef COLSCOPE_SCHEMA_DDL_PARSER_H_
+#define COLSCOPE_SCHEMA_DDL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "schema/schema.h"
+
+namespace colscope::schema {
+
+/// Parses a SQL DDL script consisting of CREATE TABLE statements into a
+/// Schema named `schema_name`. Supports the subset of DDL that schema
+/// metadata extraction needs:
+///   * column definitions: NAME TYPE[(precision)] with optional
+///     PRIMARY KEY, REFERENCES t(c), NOT NULL, DEFAULT <literal>,
+///     UNIQUE, AUTO_INCREMENT / IDENTITY / GENERATED ... clauses;
+///   * table-level PRIMARY KEY (...), FOREIGN KEY (...) REFERENCES ...,
+///     UNIQUE (...), and CONSTRAINT <name> <clause> forms;
+///   * `--` line comments and `/* */` block comments;
+///   * quoted identifiers: "x", `x`, [x];
+///   * statements other than CREATE TABLE are skipped.
+/// Per Section 2.3, constraints are normalized to PRIMARY KEY /
+/// FOREIGN KEY only (FK reference targets are dropped).
+Result<Schema> ParseDdl(std::string_view ddl, std::string schema_name);
+
+}  // namespace colscope::schema
+
+#endif  // COLSCOPE_SCHEMA_DDL_PARSER_H_

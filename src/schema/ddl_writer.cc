@@ -1,0 +1,36 @@
+#include "schema/ddl_writer.h"
+
+namespace colscope::schema {
+
+std::string WriteTableDdl(const Table& table) {
+  std::string out = "CREATE TABLE " + table.name + " (\n";
+  for (size_t i = 0; i < table.attributes.size(); ++i) {
+    const Attribute& attr = table.attributes[i];
+    out += "  " + attr.name + " ";
+    out += attr.raw_type.empty() ? DataTypeToString(attr.type)
+                                 : attr.raw_type;
+    if (attr.constraint == Constraint::kPrimaryKey) {
+      out += " PRIMARY KEY";
+    } else if (attr.constraint == Constraint::kForeignKey) {
+      // The reference target is not retained (Section 2.3 drops it), so
+      // a placeholder keeps the FOREIGN KEY marker round-trippable.
+      out += " REFERENCES UNSPECIFIED";
+    }
+    if (i + 1 < table.attributes.size()) out += ",";
+    out += "\n";
+  }
+  out += ");\n";
+  return out;
+}
+
+std::string WriteDdl(const Schema& schema) {
+  std::string out;
+  out += "-- Schema: " + schema.name() + "\n";
+  for (const Table& table : schema.tables()) {
+    out += WriteTableDdl(table);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace colscope::schema

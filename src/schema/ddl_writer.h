@@ -1,0 +1,24 @@
+#ifndef COLSCOPE_SCHEMA_DDL_WRITER_H_
+#define COLSCOPE_SCHEMA_DDL_WRITER_H_
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace colscope::schema {
+
+/// Renders a schema back to a SQL DDL script (CREATE TABLE statements).
+/// Inverse of ParseDdl for the metadata this library retains: column
+/// order, vendor type names (raw_type, falling back to the normalized
+/// family), and PRIMARY KEY / FOREIGN KEY markers (FOREIGN KEY columns
+/// get a `REFERENCES UNSPECIFIED` placeholder because the target is not
+/// retained — Section 2.3 drops it).
+/// `ParseDdl(WriteDdl(s), s.name())` reproduces `s` element-for-element.
+std::string WriteDdl(const Schema& schema);
+
+/// Renders one table.
+std::string WriteTableDdl(const Table& table);
+
+}  // namespace colscope::schema
+
+#endif  // COLSCOPE_SCHEMA_DDL_WRITER_H_

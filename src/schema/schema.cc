@@ -1,0 +1,103 @@
+#include "schema/schema.h"
+
+#include "common/strings.h"
+
+namespace colscope::schema {
+
+DataType ParseDataType(std::string_view raw_type) {
+  std::string t = ToLowerAscii(raw_type);
+  // Strip a precision suffix: varchar2(40) -> varchar2.
+  const size_t paren = t.find('(');
+  if (paren != std::string::npos) t.resize(paren);
+
+  if (t == "varchar" || t == "varchar2" || t == "nvarchar" || t == "char" ||
+      t == "nchar" || t == "text" || t == "mediumtext" || t == "longtext" ||
+      t == "clob" || t == "string") {
+    return DataType::kString;
+  }
+  if (t == "int" || t == "integer" || t == "bigint" || t == "smallint" ||
+      t == "tinyint" || t == "serial") {
+    return DataType::kInteger;
+  }
+  if (t == "number" || t == "numeric" || t == "decimal" || t == "float" ||
+      t == "double" || t == "real") {
+    return DataType::kDecimal;
+  }
+  if (t == "date") return DataType::kDate;
+  if (t == "datetime" || t == "timestamp" || t == "seconddate") {
+    return DataType::kDateTime;
+  }
+  if (t == "boolean" || t == "bool" || t == "bit") return DataType::kBoolean;
+  if (t == "blob" || t == "bytea" || t == "binary" || t == "varbinary" ||
+      t == "image") {
+    return DataType::kBlob;
+  }
+  return DataType::kUnknown;
+}
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kUnknown:
+      return "UNKNOWN";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kDecimal:
+      return "DECIMAL";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kDateTime:
+      return "DATETIME";
+    case DataType::kBoolean:
+      return "BOOLEAN";
+    case DataType::kBlob:
+      return "BLOB";
+  }
+  return "UNKNOWN";
+}
+
+const char* ConstraintToString(Constraint c) {
+  switch (c) {
+    case Constraint::kNone:
+      return "";
+    case Constraint::kPrimaryKey:
+      return "PRIMARY KEY";
+    case Constraint::kForeignKey:
+      return "FOREIGN KEY";
+  }
+  return "";
+}
+
+Status Schema::AddTable(Table table) {
+  if (FindTable(table.name) != nullptr) {
+    return Status::AlreadyExists("table already in schema: " + table.name);
+  }
+  tables_.push_back(std::move(table));
+  return Status::Ok();
+}
+
+const Table* Schema::FindTable(std::string_view table_name) const {
+  for (const Table& t : tables_) {
+    if (t.name == table_name) return &t;
+  }
+  return nullptr;
+}
+
+const Attribute* Schema::FindAttribute(std::string_view table_name,
+                                       std::string_view attribute_name) const {
+  const Table* t = FindTable(table_name);
+  if (t == nullptr) return nullptr;
+  for (const Attribute& a : t->attributes) {
+    if (a.name == attribute_name) return &a;
+  }
+  return nullptr;
+}
+
+size_t Schema::num_attributes() const {
+  size_t n = 0;
+  for (const Table& t : tables_) n += t.attributes.size();
+  return n;
+}
+
+}  // namespace colscope::schema

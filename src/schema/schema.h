@@ -1,0 +1,127 @@
+#ifndef COLSCOPE_SCHEMA_SCHEMA_H_
+#define COLSCOPE_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace colscope::schema {
+
+/// Normalized SQL data-type family. Vendor type names (VARCHAR2, NUMBER,
+/// NVARCHAR, ...) are kept verbatim in Attribute::raw_type; this enum is
+/// the cross-vendor normalization used by tooling.
+enum class DataType {
+  kUnknown = 0,
+  kString,
+  kInteger,
+  kDecimal,
+  kDate,
+  kDateTime,
+  kBoolean,
+  kBlob,
+};
+
+/// Best-effort mapping from a vendor type name to a DataType family.
+DataType ParseDataType(std::string_view raw_type);
+
+/// Printable name of a DataType family.
+const char* DataTypeToString(DataType type);
+
+/// Column constraint retained for serialization. Per Section 2.3 the
+/// paper restricts constraints to PRIMARY KEY and FOREIGN KEY (without
+/// the reference target).
+enum class Constraint {
+  kNone = 0,
+  kPrimaryKey,
+  kForeignKey,
+};
+
+const char* ConstraintToString(Constraint c);
+
+/// Attribute metadata a_{k_j} = (an, tn, d, c), optionally carrying a
+/// few instance value samples. Samples are empty in the metadata-only
+/// setting the paper targets (privacy-preserving organizations / data
+/// markets, Section 2.2) but can be attached where data access exists
+/// (Section 2.3 discusses the trade-off).
+struct Attribute {
+  std::string name;        ///< Attribute name an_{k_j}.
+  std::string table_name;  ///< Owning table name tn_{k_i}.
+  std::string raw_type;    ///< Vendor type as written in the DDL.
+  DataType type = DataType::kUnknown;
+  Constraint constraint = Constraint::kNone;
+  std::vector<std::string> samples;  ///< Optional instance samples.
+};
+
+/// Table t_{k_i}: a name plus an ordered attribute list.
+struct Table {
+  std::string name;
+  std::vector<Attribute> attributes;
+};
+
+/// Relational schema S_k: a named, ordered set of tables.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<Table>& tables() const { return tables_; }
+  std::vector<Table>& mutable_tables() { return tables_; }
+
+  /// Appends `table`; fails if a table of that name already exists.
+  Status AddTable(Table table);
+
+  /// Table lookup by exact name; nullptr when absent.
+  const Table* FindTable(std::string_view table_name) const;
+
+  /// Attribute lookup by table + attribute name; nullptr when absent.
+  const Attribute* FindAttribute(std::string_view table_name,
+                                 std::string_view attribute_name) const;
+
+  /// Number of tables / attributes / schema elements (tables + attrs).
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_attributes() const;
+  size_t num_elements() const { return num_tables() + num_attributes(); }
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+};
+
+/// Identifies one element (table or attribute) inside one schema of a
+/// multi-source set: (schema index, table index, attribute index or -1
+/// for the table itself). Ordering is lexicographic so ElementRef can key
+/// ordered containers.
+struct ElementRef {
+  int schema = -1;
+  int table = -1;
+  int attribute = -1;  ///< -1 when the element is the table itself.
+
+  bool is_table() const { return attribute < 0; }
+
+  friend bool operator==(const ElementRef& a, const ElementRef& b) {
+    return a.schema == b.schema && a.table == b.table &&
+           a.attribute == b.attribute;
+  }
+  friend bool operator<(const ElementRef& a, const ElementRef& b) {
+    if (a.schema != b.schema) return a.schema < b.schema;
+    if (a.table != b.table) return a.table < b.table;
+    return a.attribute < b.attribute;
+  }
+};
+
+/// Makes a table reference / an attribute reference.
+inline ElementRef TableRef(int schema, int table) {
+  return ElementRef{schema, table, -1};
+}
+inline ElementRef AttributeRef(int schema, int table, int attribute) {
+  return ElementRef{schema, table, attribute};
+}
+
+}  // namespace colscope::schema
+
+#endif  // COLSCOPE_SCHEMA_SCHEMA_H_

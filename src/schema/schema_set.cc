@@ -1,0 +1,122 @@
+#include "schema/schema_set.h"
+
+#include "common/strings.h"
+
+namespace colscope::schema {
+
+SchemaSet::SchemaSet(std::vector<Schema> schemas)
+    : schemas_(std::move(schemas)) {
+  for (size_t s = 0; s < schemas_.size(); ++s) {
+    const Schema& schema = schemas_[s];
+    for (size_t t = 0; t < schema.tables().size(); ++t) {
+      elements_.push_back(TableRef(static_cast<int>(s), static_cast<int>(t)));
+    }
+    for (size_t t = 0; t < schema.tables().size(); ++t) {
+      const Table& table = schema.tables()[t];
+      for (size_t a = 0; a < table.attributes.size(); ++a) {
+        elements_.push_back(AttributeRef(static_cast<int>(s),
+                                         static_cast<int>(t),
+                                         static_cast<int>(a)));
+      }
+    }
+  }
+}
+
+std::vector<ElementRef> SchemaSet::ElementsOfSchema(int schema_index) const {
+  std::vector<ElementRef> out;
+  for (const ElementRef& ref : elements_) {
+    if (ref.schema == schema_index) out.push_back(ref);
+  }
+  return out;
+}
+
+int SchemaSet::IndexOf(const ElementRef& ref) const {
+  // Flattened order is deterministic; compute the offset directly.
+  size_t offset = 0;
+  for (int s = 0; s < ref.schema; ++s) offset += schemas_[s].num_elements();
+  const Schema& schema = schemas_[ref.schema];
+  if (ref.is_table()) {
+    if (ref.table < 0 ||
+        static_cast<size_t>(ref.table) >= schema.num_tables()) {
+      return -1;
+    }
+    return static_cast<int>(offset) + ref.table;
+  }
+  offset += schema.num_tables();
+  for (int t = 0; t < ref.table; ++t) {
+    offset += schema.tables()[t].attributes.size();
+  }
+  if (ref.attribute < 0 ||
+      static_cast<size_t>(ref.attribute) >=
+          schema.tables()[ref.table].attributes.size()) {
+    return -1;
+  }
+  return static_cast<int>(offset) + ref.attribute;
+}
+
+std::string SchemaSet::QualifiedName(const ElementRef& ref) const {
+  const Schema& schema = schemas_[ref.schema];
+  const Table& table = schema.tables()[ref.table];
+  std::string out = schema.name() + "." + table.name;
+  if (!ref.is_table()) {
+    out += "." + table.attributes[ref.attribute].name;
+  }
+  return out;
+}
+
+Result<ElementRef> SchemaSet::Resolve(std::string_view schema_name,
+                                      std::string_view dotted_path) const {
+  int schema_index = -1;
+  for (size_t s = 0; s < schemas_.size(); ++s) {
+    if (schemas_[s].name() == schema_name) {
+      schema_index = static_cast<int>(s);
+      break;
+    }
+  }
+  if (schema_index < 0) {
+    return Status::NotFound("schema not found: " + std::string(schema_name));
+  }
+  const Schema& schema = schemas_[schema_index];
+  const std::vector<std::string> parts = SplitString(dotted_path, ".");
+  if (parts.empty() || parts.size() > 2) {
+    return Status::InvalidArgument("path must be TABLE or TABLE.ATTRIBUTE: " +
+                                   std::string(dotted_path));
+  }
+  for (size_t t = 0; t < schema.tables().size(); ++t) {
+    const Table& table = schema.tables()[t];
+    if (table.name != parts[0]) continue;
+    if (parts.size() == 1) {
+      return TableRef(schema_index, static_cast<int>(t));
+    }
+    for (size_t a = 0; a < table.attributes.size(); ++a) {
+      if (table.attributes[a].name == parts[1]) {
+        return AttributeRef(schema_index, static_cast<int>(t),
+                            static_cast<int>(a));
+      }
+    }
+    return Status::NotFound("attribute not found: " + std::string(dotted_path));
+  }
+  return Status::NotFound("table not found: " + std::string(dotted_path));
+}
+
+size_t SchemaSet::TableCartesianSize() const {
+  size_t sum = 0;
+  for (size_t a = 0; a < schemas_.size(); ++a) {
+    for (size_t b = a + 1; b < schemas_.size(); ++b) {
+      sum += schemas_[a].num_tables() * schemas_[b].num_tables();
+    }
+  }
+  return sum;
+}
+
+size_t SchemaSet::AttributeCartesianSize() const {
+  size_t sum = 0;
+  for (size_t a = 0; a < schemas_.size(); ++a) {
+    for (size_t b = a + 1; b < schemas_.size(); ++b) {
+      sum += schemas_[a].num_attributes() * schemas_[b].num_attributes();
+    }
+  }
+  return sum;
+}
+
+}  // namespace colscope::schema

@@ -1,0 +1,60 @@
+#ifndef COLSCOPE_SCHEMA_SCHEMA_SET_H_
+#define COLSCOPE_SCHEMA_SCHEMA_SET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/schema.h"
+
+namespace colscope::schema {
+
+/// The multi-source schema set S = {S_1, ..., S_k} plus a flattened,
+/// stable enumeration of every element (table or attribute) across all
+/// schemas. The flattened order is: schema 0's tables, schema 0's
+/// attributes, schema 1's tables, ... — matching SerializeSchema, so a
+/// signature matrix row i always corresponds to element(i).
+class SchemaSet {
+ public:
+  SchemaSet() = default;
+  explicit SchemaSet(std::vector<Schema> schemas);
+
+  const std::vector<Schema>& schemas() const { return schemas_; }
+  const Schema& schema(int index) const { return schemas_[index]; }
+  size_t num_schemas() const { return schemas_.size(); }
+
+  /// All elements across all schemas in flattened order.
+  const std::vector<ElementRef>& elements() const { return elements_; }
+  size_t num_elements() const { return elements_.size(); }
+
+  /// Elements of one schema, in flattened order.
+  std::vector<ElementRef> ElementsOfSchema(int schema_index) const;
+
+  /// Flattened index of `ref` (inverse of elements()[i]); -1 if absent.
+  int IndexOf(const ElementRef& ref) const;
+
+  /// Human-readable qualified name: "SCHEMA.TABLE" or
+  /// "SCHEMA.TABLE.ATTRIBUTE".
+  std::string QualifiedName(const ElementRef& ref) const;
+
+  /// Resolves "TABLE" or "TABLE.ATTRIBUTE" inside the named schema.
+  Result<ElementRef> Resolve(std::string_view schema_name,
+                             std::string_view dotted_path) const;
+
+  /// Sum over schema pairs of |tables_k| x |tables_m| — the table-pair
+  /// Cartesian product size of Table 3.
+  size_t TableCartesianSize() const;
+
+  /// Sum over schema pairs of |attrs_k| x |attrs_m| — the attribute-pair
+  /// Cartesian product size of Table 3.
+  size_t AttributeCartesianSize() const;
+
+ private:
+  std::vector<Schema> schemas_;
+  std::vector<ElementRef> elements_;
+};
+
+}  // namespace colscope::schema
+
+#endif  // COLSCOPE_SCHEMA_SCHEMA_SET_H_

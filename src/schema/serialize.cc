@@ -1,0 +1,62 @@
+#include "schema/serialize.h"
+
+#include <algorithm>
+
+namespace colscope::schema {
+
+std::string SerializeAttribute(const Attribute& attribute,
+                               const SerializeOptions& options) {
+  std::string out = attribute.name;
+  out += ' ';
+  out += attribute.table_name;
+  out += ' ';
+  out += attribute.raw_type.empty() ? DataTypeToString(attribute.type)
+                                    : attribute.raw_type;
+  if (attribute.constraint != Constraint::kNone) {
+    out += ' ';
+    out += ConstraintToString(attribute.constraint);
+  }
+  if (options.include_instance_samples && !attribute.samples.empty()) {
+    out += " (";
+    const size_t count = std::min(options.max_samples,
+                                  attribute.samples.size());
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) out += ", ";
+      out += attribute.samples[i];
+    }
+    out += ')';
+  }
+  return out;
+}
+
+std::string SerializeTable(const Table& table) {
+  std::string out = table.name;
+  out += " [";
+  for (size_t i = 0; i < table.attributes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += table.attributes[i].name;
+  }
+  out += ']';
+  return out;
+}
+
+std::vector<SerializedElement> SerializeSchema(
+    const Schema& schema, int schema_index, const SerializeOptions& options) {
+  std::vector<SerializedElement> out;
+  out.reserve(schema.num_elements());
+  const auto& tables = schema.tables();
+  for (size_t t = 0; t < tables.size(); ++t) {
+    out.push_back({TableRef(schema_index, static_cast<int>(t)),
+                   SerializeTable(tables[t])});
+  }
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (size_t a = 0; a < tables[t].attributes.size(); ++a) {
+      out.push_back({AttributeRef(schema_index, static_cast<int>(t),
+                                  static_cast<int>(a)),
+                     SerializeAttribute(tables[t].attributes[a], options)});
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::schema

@@ -1,0 +1,47 @@
+#ifndef COLSCOPE_SCHEMA_SERIALIZE_H_
+#define COLSCOPE_SCHEMA_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace colscope::schema {
+
+/// Serialization options. The paper's default is metadata-only;
+/// Section 2.3 shows that appending instance samples ("NAME CLIENT
+/// (Michael Scott)") shifts similarities both ways and reduced overall
+/// matching quality in its prior work, so it stays opt-in.
+struct SerializeOptions {
+  bool include_instance_samples = false;
+  size_t max_samples = 3;
+};
+
+/// T^a of Section 2.3: serializes attribute metadata into the text
+/// sequence "NAME TABLE TYPE [PRIMARY KEY|FOREIGN KEY]", e.g.
+/// "CID CLIENT NUMBER PRIMARY KEY"; with instance samples enabled,
+/// "NAME CLIENT VARCHAR (Michael Scott)".
+std::string SerializeAttribute(const Attribute& attribute,
+                               const SerializeOptions& options = {});
+
+/// T^t of Section 2.3: serializes table metadata into
+/// "TABLE [ATTR1, ATTR2, ...]", e.g. "CLIENT [CID, NAME, ADDRESS, PHONE]".
+std::string SerializeTable(const Table& table);
+
+/// One serialized schema element paired with its identity; order within a
+/// schema is: all tables first (schema order), then all attributes
+/// (table order, then column order).
+struct SerializedElement {
+  ElementRef ref;
+  std::string text;
+};
+
+/// Serializes every table and attribute of `schema` (Alg. 1 line 1),
+/// using `schema_index` to stamp the ElementRefs.
+std::vector<SerializedElement> SerializeSchema(
+    const Schema& schema, int schema_index,
+    const SerializeOptions& options = {});
+
+}  // namespace colscope::schema
+
+#endif  // COLSCOPE_SCHEMA_SERIALIZE_H_

@@ -1,0 +1,64 @@
+#include "scoping/calibration.h"
+
+#include <algorithm>
+
+#include "scoping/collaborative.h"
+
+namespace colscope::scoping {
+
+namespace {
+
+double JaccardAgreement(const std::vector<bool>& a,
+                        const std::vector<bool>& b) {
+  size_t intersection = 0, uni = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    intersection += (a[i] && b[i]);
+    uni += (a[i] || b[i]);
+  }
+  // Two empty masks agree perfectly.
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+}  // namespace
+
+Result<CalibrationResult> CalibrateVariance(const SignatureSet& signatures,
+                                            size_t num_schemas,
+                                            const std::vector<double>& grid) {
+  if (grid.size() < 3) {
+    return Status::InvalidArgument("calibration grid needs >= 3 values");
+  }
+  if (!std::is_sorted(grid.begin(), grid.end())) {
+    return Status::InvalidArgument("calibration grid must be ascending");
+  }
+
+  std::vector<std::vector<bool>> masks;
+  masks.reserve(grid.size());
+  for (double v : grid) {
+    Result<std::vector<bool>> keep =
+        CollaborativeScoping(signatures, num_schemas, v);
+    if (!keep.ok()) return keep.status();
+    masks.push_back(std::move(keep).value());
+  }
+
+  CalibrationResult out;
+  out.grid = grid;
+  out.stabilities.assign(grid.size(), 0.0);
+  double best = -1.0;
+  for (size_t i = 1; i + 1 < grid.size(); ++i) {
+    const double stability =
+        0.5 * (JaccardAgreement(masks[i], masks[i - 1]) +
+               JaccardAgreement(masks[i], masks[i + 1]));
+    out.stabilities[i] = stability;
+    // Prefer the higher v on ties: stricter pruning at equal stability.
+    if (stability >= best) {
+      best = stability;
+      out.v = grid[i];
+      out.stability = stability;
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::scoping

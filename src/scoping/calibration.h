@@ -1,0 +1,37 @@
+#ifndef COLSCOPE_SCOPING_CALIBRATION_H_
+#define COLSCOPE_SCOPING_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+
+/// Unsupervised selection of the global explained variance v — the
+/// knob Section 4.4 discusses ("the ideal value for v is unknown and
+/// varies between the matching scenarios"; experiments put the sweet
+/// spot in [0.6, 0.95]). The heuristic: sweep v over `grid` and pick
+/// the value whose keep-mask is most *stable* under perturbation of v
+/// (highest mean Jaccard agreement with its grid neighbours). Plateaus
+/// of the kept-set indicate a scale at which the linkable core is
+/// insensitive to the generalization level — fluctuation zones (Figures
+/// 5b/6b) are avoided.
+struct CalibrationResult {
+  double v = 0.8;
+  double stability = 0.0;  ///< Mean neighbour Jaccard at the chosen v.
+  std::vector<double> grid;
+  std::vector<double> stabilities;  ///< Aligned with grid (ends = 0-pad).
+};
+
+/// Runs the sweep and returns the most stable v. `grid` must be sorted
+/// ascending with at least 3 values; the default covers the paper's
+/// recommended band.
+Result<CalibrationResult> CalibrateVariance(
+    const SignatureSet& signatures, size_t num_schemas,
+    const std::vector<double>& grid = {0.5, 0.55, 0.6, 0.65, 0.7, 0.75,
+                                       0.8, 0.85, 0.9, 0.95});
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_CALIBRATION_H_

@@ -1,0 +1,128 @@
+#include "scoping/collaborative.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/thread_pool.h"
+#include "linalg/stats.h"
+
+namespace colscope::scoping {
+
+Result<LocalModel> LocalModel::Fit(const linalg::Matrix& local_signatures,
+                                   double v, int schema_index) {
+  if (local_signatures.rows() == 0) {
+    return Status::InvalidArgument("schema has no signatures");
+  }
+  Result<linalg::PcaModel> pca =
+      linalg::PcaModel::FitWithVariance(local_signatures, v);
+  if (!pca.ok()) return pca.status();
+
+  // Definition 3: l_k = max training reconstruction error.
+  const linalg::Vector errors = pca->ReconstructionErrors(local_signatures);
+  const double range = *std::max_element(errors.begin(), errors.end());
+  return LocalModel(std::move(pca).value(), range, schema_index);
+}
+
+Result<LocalModel> LocalModel::FromParts(linalg::PcaModel pca,
+                                         double linkability_range,
+                                         int schema_index) {
+  if (linkability_range < 0.0) {
+    return Status::InvalidArgument("linkability range must be >= 0");
+  }
+  return LocalModel(std::move(pca), linkability_range, schema_index);
+}
+
+double LocalModel::ReconstructionError(
+    const linalg::Vector& signature) const {
+  return pca_.ReconstructionError(signature);
+}
+
+linalg::Vector LocalModel::ReconstructionErrors(
+    const linalg::Matrix& signatures) const {
+  return pca_.ReconstructionErrors(signatures);
+}
+
+bool LocalModel::Recognizes(const linalg::Vector& signature) const {
+  return ReconstructionError(signature) <= linkability_range_;
+}
+
+std::vector<bool> AssessLinkability(const linalg::Matrix& local_signatures,
+                                    int own_schema_index,
+                                    const std::vector<LocalModel>& models) {
+  std::vector<bool> linkable(local_signatures.rows(), false);
+  for (const LocalModel& model : models) {
+    if (model.schema_index() == own_schema_index) continue;
+    const linalg::Vector errors =
+        model.ReconstructionErrors(local_signatures);
+    for (size_t i = 0; i < errors.size(); ++i) {
+      if (errors[i] <= model.linkability_range()) linkable[i] = true;
+    }
+  }
+  return linkable;
+}
+
+Result<std::vector<LocalModel>> FitLocalModels(const SignatureSet& signatures,
+                                               size_t num_schemas, double v) {
+  std::vector<LocalModel> models;
+  models.reserve(num_schemas);
+  for (size_t s = 0; s < num_schemas; ++s) {
+    Result<LocalModel> model = LocalModel::Fit(
+        signatures.SchemaSignatures(static_cast<int>(s)), v,
+        static_cast<int>(s));
+    if (!model.ok()) return model.status();
+    models.push_back(std::move(model).value());
+  }
+  return models;
+}
+
+Result<std::vector<LocalModel>> FitLocalModelsParallel(
+    const SignatureSet& signatures, size_t num_schemas, double v,
+    size_t num_threads) {
+  std::vector<std::optional<LocalModel>> slots(num_schemas);
+  std::vector<Status> statuses(num_schemas);
+  {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(num_schemas, [&](size_t s) {
+      Result<LocalModel> model = LocalModel::Fit(
+          signatures.SchemaSignatures(static_cast<int>(s)), v,
+          static_cast<int>(s));
+      if (model.ok()) {
+        slots[s] = std::move(model).value();
+      } else {
+        statuses[s] = model.status();
+      }
+    });
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  std::vector<LocalModel> models;
+  models.reserve(num_schemas);
+  for (auto& slot : slots) models.push_back(std::move(*slot));
+  return models;
+}
+
+std::vector<bool> AssessAll(const SignatureSet& signatures,
+                            size_t num_schemas,
+                            const std::vector<LocalModel>& models) {
+  std::vector<bool> keep(signatures.size(), false);
+  for (size_t s = 0; s < num_schemas; ++s) {
+    const int schema = static_cast<int>(s);
+    const std::vector<size_t> rows = signatures.RowsOfSchema(schema);
+    const linalg::Matrix local = signatures.SchemaSignatures(schema);
+    const std::vector<bool> linkable =
+        AssessLinkability(local, schema, models);
+    for (size_t i = 0; i < rows.size(); ++i) keep[rows[i]] = linkable[i];
+  }
+  return keep;
+}
+
+Result<std::vector<bool>> CollaborativeScoping(const SignatureSet& signatures,
+                                               size_t num_schemas, double v) {
+  Result<std::vector<LocalModel>> models =
+      FitLocalModels(signatures, num_schemas, v);
+  if (!models.ok()) return models.status();
+  return AssessAll(signatures, num_schemas, *models);
+}
+
+}  // namespace colscope::scoping

@@ -1,0 +1,93 @@
+#ifndef COLSCOPE_SCOPING_COLLABORATIVE_H_
+#define COLSCOPE_SCOPING_COLLABORATIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/pca.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+
+/// The distributed local model M_k = {mu_k, PC_k, l_k} of Algorithm 1:
+/// a PCA encoder-decoder fitted on one schema's own signatures at the
+/// globally agreed explained-variance level v, plus the local
+/// linkability range l_k (Definition 3 — the maximum training
+/// reconstruction error). Only this model is exchanged between schemas,
+/// never the signatures themselves.
+class LocalModel {
+ public:
+  /// Algorithm 1: fits the encoder-decoder on `local_signatures` (the
+  /// signatures of schema `schema_index`) with explained-variance target
+  /// `v` in (0, 1].
+  static Result<LocalModel> Fit(const linalg::Matrix& local_signatures,
+                                double v, int schema_index);
+
+  /// Reassembles a model from exchanged parts (see scoping/model_io.h).
+  static Result<LocalModel> FromParts(linalg::PcaModel pca,
+                                      double linkability_range,
+                                      int schema_index);
+
+  /// Reconstruction MSE of a foreign signature through this model
+  /// (the M_m(e) score of Definition 4).
+  double ReconstructionError(const linalg::Vector& signature) const;
+
+  /// Per-row reconstruction MSE for a batch of foreign signatures.
+  linalg::Vector ReconstructionErrors(const linalg::Matrix& signatures) const;
+
+  /// Definition 4: true iff `signature` reconstructs within the local
+  /// linkability range [0, l_k].
+  bool Recognizes(const linalg::Vector& signature) const;
+
+  int schema_index() const { return schema_index_; }
+  double linkability_range() const { return linkability_range_; }
+  const linalg::PcaModel& pca() const { return pca_; }
+
+ private:
+  LocalModel(linalg::PcaModel pca, double range, int schema_index)
+      : pca_(std::move(pca)),
+        linkability_range_(range),
+        schema_index_(schema_index) {}
+
+  linalg::PcaModel pca_;
+  double linkability_range_;
+  int schema_index_;
+};
+
+/// Algorithm 2 for one schema: assesses every row of `local_signatures`
+/// against the models of the *other* schemas; a row is linkable if at
+/// least one foreign model reconstructs it within its linkability range.
+/// Models whose schema_index equals `own_schema_index` are skipped.
+std::vector<bool> AssessLinkability(const linalg::Matrix& local_signatures,
+                                    int own_schema_index,
+                                    const std::vector<LocalModel>& models);
+
+/// Full collaborative scoping (phases II + III) over a signature set:
+/// fits one local model per schema at explained variance `v` and runs the
+/// distributed linkability assessment. Returns the keep-mask in signature
+/// row order (true = linkable, i.e. kept in the streamlined schemas S').
+Result<std::vector<bool>> CollaborativeScoping(const SignatureSet& signatures,
+                                               size_t num_schemas, double v);
+
+/// The fitted models of phase II, exposed for callers that sweep v or
+/// inspect n_comp / l_k per schema.
+Result<std::vector<LocalModel>> FitLocalModels(const SignatureSet& signatures,
+                                               size_t num_schemas, double v);
+
+/// Phase II in parallel: one task per schema, mirroring the paper's
+/// observation that "the computation of the self-supervised
+/// encoder-decoder ... takes place in parallel at each local schema"
+/// (Section 3). `num_threads` 0 uses the hardware concurrency. Result
+/// order and content are identical to FitLocalModels.
+Result<std::vector<LocalModel>> FitLocalModelsParallel(
+    const SignatureSet& signatures, size_t num_schemas, double v,
+    size_t num_threads = 0);
+
+/// Phase III given prefitted models.
+std::vector<bool> AssessAll(const SignatureSet& signatures,
+                            size_t num_schemas,
+                            const std::vector<LocalModel>& models);
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_COLLABORATIVE_H_

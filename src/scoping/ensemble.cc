@@ -1,0 +1,41 @@
+#include "scoping/ensemble.h"
+
+#include "scoping/collaborative.h"
+
+namespace colscope::scoping {
+
+Result<std::vector<size_t>> CollaborativeVotes(
+    const SignatureSet& signatures, size_t num_schemas,
+    const std::vector<double>& variance_levels) {
+  if (variance_levels.empty()) {
+    return Status::InvalidArgument("ensemble needs >= 1 variance level");
+  }
+  std::vector<size_t> votes(signatures.size(), 0);
+  for (double v : variance_levels) {
+    Result<std::vector<bool>> keep =
+        CollaborativeScoping(signatures, num_schemas, v);
+    if (!keep.ok()) return keep.status();
+    for (size_t i = 0; i < votes.size(); ++i) votes[i] += (*keep)[i];
+  }
+  return votes;
+}
+
+Result<std::vector<bool>> EnsembleCollaborativeScoping(
+    const SignatureSet& signatures, size_t num_schemas,
+    const EnsembleOptions& options) {
+  if (options.min_votes == 0 ||
+      options.min_votes > options.variance_levels.size()) {
+    return Status::InvalidArgument(
+        "min_votes must be in [1, |variance_levels|]");
+  }
+  Result<std::vector<size_t>> votes =
+      CollaborativeVotes(signatures, num_schemas, options.variance_levels);
+  if (!votes.ok()) return votes.status();
+  std::vector<bool> keep(votes->size(), false);
+  for (size_t i = 0; i < votes->size(); ++i) {
+    keep[i] = (*votes)[i] >= options.min_votes;
+  }
+  return keep;
+}
+
+}  // namespace colscope::scoping

@@ -1,0 +1,37 @@
+#ifndef COLSCOPE_SCOPING_ENSEMBLE_H_
+#define COLSCOPE_SCOPING_ENSEMBLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+
+/// Ensemble collaborative scoping over several explained-variance
+/// levels. Section 4.1 notes that "several encoder-decoders can be
+/// constructed with different explained variance values v" — this
+/// utility operationalizes that: the assessment runs once per v and an
+/// element is kept when at least `min_votes` of the runs accept it.
+///   min_votes = 1          -> union (recall-oriented)
+///   min_votes = |levels|   -> intersection (precision-oriented)
+///   majority               -> balanced
+struct EnsembleOptions {
+  std::vector<double> variance_levels = {0.9, 0.8, 0.7, 0.6, 0.5};
+  size_t min_votes = 3;
+};
+
+/// Runs the ensemble; returns the voted keep-mask in row order.
+Result<std::vector<bool>> EnsembleCollaborativeScoping(
+    const SignatureSet& signatures, size_t num_schemas,
+    const EnsembleOptions& options = {});
+
+/// Per-element vote counts (how many variance levels accepted each
+/// element); exposed so callers can derive score-like rankings.
+Result<std::vector<size_t>> CollaborativeVotes(
+    const SignatureSet& signatures, size_t num_schemas,
+    const std::vector<double>& variance_levels);
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_ENSEMBLE_H_

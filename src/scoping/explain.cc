@@ -1,0 +1,57 @@
+#include "scoping/explain.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace colscope::scoping {
+
+const ModelVerdict* ElementExplanation::BestVerdict() const {
+  const ModelVerdict* best = nullptr;
+  for (const ModelVerdict& v : verdicts) {
+    if (best == nullptr || v.margin() < best->margin()) best = &v;
+  }
+  return best;
+}
+
+std::vector<ElementExplanation> ExplainLinkability(
+    const SignatureSet& signatures, const std::vector<LocalModel>& models) {
+  std::vector<ElementExplanation> out(signatures.size());
+  for (size_t i = 0; i < signatures.size(); ++i) {
+    out[i].ref = signatures.refs[i];
+    out[i].text = signatures.texts[i];
+  }
+  for (const LocalModel& model : models) {
+    const linalg::Vector errors =
+        model.ReconstructionErrors(signatures.signatures);
+    for (size_t i = 0; i < signatures.size(); ++i) {
+      if (signatures.refs[i].schema == model.schema_index()) continue;
+      ModelVerdict verdict;
+      verdict.schema_index = model.schema_index();
+      verdict.reconstruction_error = errors[i];
+      verdict.linkability_range = model.linkability_range();
+      verdict.accepted = errors[i] <= model.linkability_range();
+      out[i].kept = out[i].kept || verdict.accepted;
+      out[i].verdicts.push_back(verdict);
+    }
+  }
+  return out;
+}
+
+std::string FormatExplanation(const ElementExplanation& explanation,
+                              const schema::SchemaSet& set) {
+  std::string out = explanation.kept ? "linkable " : "pruned   ";
+  out += set.QualifiedName(explanation.ref);
+  const ModelVerdict* best = explanation.BestVerdict();
+  if (best != nullptr) {
+    out += StrFormat("  best: M[%s] err=%.2e range=%.2e margin=%.2f",
+                     set.schema(best->schema_index).name().c_str(),
+                     best->reconstruction_error, best->linkability_range,
+                     best->margin());
+  } else {
+    out += "  (no foreign models)";
+  }
+  return out;
+}
+
+}  // namespace colscope::scoping

@@ -1,0 +1,56 @@
+#ifndef COLSCOPE_SCOPING_EXPLAIN_H_
+#define COLSCOPE_SCOPING_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "scoping/collaborative.h"
+
+namespace colscope::scoping {
+
+/// One foreign model's verdict on one element.
+struct ModelVerdict {
+  int schema_index = -1;          ///< Whose model judged.
+  double reconstruction_error = 0.0;
+  double linkability_range = 0.0;  ///< That model's l_k.
+  bool accepted = false;           ///< error <= range (Definition 4).
+
+  /// error / range: < 1 accepted; how close a rejection was to passing.
+  double margin() const {
+    return linkability_range > 0.0
+               ? reconstruction_error / linkability_range
+               : (reconstruction_error == 0.0 ? 0.0 : 1e12);
+  }
+};
+
+/// Full audit record for one schema element: every foreign model's
+/// verdict plus the overall keep decision. Addresses the paper's stated
+/// limitation that "elements classified as unlinkable need to be
+/// carefully evaluated" — this is the evaluation surface.
+struct ElementExplanation {
+  schema::ElementRef ref;
+  std::string text;               ///< Serialized element.
+  bool kept = false;
+  std::vector<ModelVerdict> verdicts;
+
+  /// The most favourable verdict (smallest margin); nullptr when the
+  /// element's schema had no foreign models.
+  const ModelVerdict* BestVerdict() const;
+};
+
+/// Runs Algorithm 2 with full bookkeeping: one explanation per element,
+/// in signature row order. `models` are the fitted local models of all
+/// schemas (each element is judged by every model of a different
+/// schema).
+std::vector<ElementExplanation> ExplainLinkability(
+    const SignatureSet& signatures, const std::vector<LocalModel>& models);
+
+/// Human-readable one-element report, e.g.
+///   "pruned  OC-MySQL.payments.amount  best: M[OC-HANA] err=1.3e-03
+///    range=8.2e-04 margin=1.59".
+std::string FormatExplanation(const ElementExplanation& explanation,
+                              const schema::SchemaSet& set);
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_EXPLAIN_H_

@@ -1,0 +1,139 @@
+#include "scoping/model_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace colscope::scoping {
+
+namespace {
+
+constexpr char kHeader[] = "colscope-local-model v1";
+
+/// Parses one double strictly; false on trailing garbage or range error.
+bool ParseDouble(const std::string& token, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0' &&
+         end != token.c_str();
+}
+
+/// Parses a line of `count` doubles into `out`.
+Status ParseVectorLine(const std::string& line, size_t count,
+                       linalg::Vector& out) {
+  const std::vector<std::string> tokens = SplitString(line, " \t");
+  if (tokens.size() != count) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu values, found %zu", count, tokens.size()));
+  }
+  out.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!ParseDouble(tokens[i], out[i])) {
+      return Status::InvalidArgument("malformed number: " + tokens[i]);
+    }
+  }
+  return Status::Ok();
+}
+
+void AppendVector(std::string& out, const linalg::Vector& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += StrFormat("%.17g", v[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string SerializeLocalModel(const LocalModel& model) {
+  const linalg::PcaModel& pca = model.pca();
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  out += StrFormat("schema %d\n", model.schema_index());
+  out += StrFormat("dims %zu\n", pca.dims());
+  out += StrFormat("components %zu\n", pca.n_components());
+  out += StrFormat("range %.17g\n", model.linkability_range());
+  out += "mean ";
+  AppendVector(out, pca.mean());
+  for (size_t k = 0; k < pca.n_components(); ++k) {
+    out += "pc ";
+    AppendVector(out, pca.components().Row(k));
+  }
+  return out;
+}
+
+Result<LocalModel> DeserializeLocalModel(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  if (!std::getline(in, line) || StripAsciiWhitespace(line) != kHeader) {
+    return Status::InvalidArgument("missing or unsupported model header");
+  }
+
+  int schema_index = -1;
+  size_t dims = 0, components = 0;
+  double range = -1.0;
+  linalg::Vector mean;
+  linalg::Matrix pcs;
+  size_t pcs_read = 0;
+
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty()) continue;
+    const size_t space = stripped.find(' ');
+    const std::string key(stripped.substr(0, space));
+    const std::string value(
+        space == std::string_view::npos ? "" : stripped.substr(space + 1));
+
+    if (key == "schema") {
+      schema_index = std::atoi(value.c_str());
+    } else if (key == "dims") {
+      dims = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (key == "components") {
+      components = static_cast<size_t>(std::atoll(value.c_str()));
+      if (dims == 0) {
+        return Status::InvalidArgument("dims must precede components");
+      }
+      pcs = linalg::Matrix(components, dims);
+    } else if (key == "range") {
+      if (!ParseDouble(value, range)) {
+        return Status::InvalidArgument("malformed range: " + value);
+      }
+    } else if (key == "mean") {
+      if (dims == 0) {
+        return Status::InvalidArgument("dims must precede mean");
+      }
+      COLSCOPE_RETURN_IF_ERROR(ParseVectorLine(value, dims, mean));
+    } else if (key == "pc") {
+      if (pcs_read >= components) {
+        return Status::InvalidArgument("more pc lines than components");
+      }
+      linalg::Vector row;
+      COLSCOPE_RETURN_IF_ERROR(ParseVectorLine(value, dims, row));
+      pcs.SetRow(pcs_read++, row);
+    } else {
+      return Status::InvalidArgument("unknown key: " + key);
+    }
+  }
+
+  if (mean.size() != dims || dims == 0) {
+    return Status::InvalidArgument("missing or malformed mean");
+  }
+  if (pcs_read != components || components == 0) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu pc lines, found %zu", components, pcs_read));
+  }
+  if (range < 0.0) {
+    return Status::InvalidArgument("missing linkability range");
+  }
+  Result<linalg::PcaModel> pca =
+      linalg::PcaModel::FromParts(std::move(mean), std::move(pcs));
+  if (!pca.ok()) return pca.status();
+  return LocalModel::FromParts(std::move(pca).value(), range, schema_index);
+}
+
+}  // namespace colscope::scoping

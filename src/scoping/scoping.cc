@@ -1,0 +1,34 @@
+#include "scoping/scoping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace colscope::scoping {
+
+std::vector<bool> ScopeByScores(const linalg::Vector& scores, double p) {
+  COLSCOPE_CHECK(p >= 0.0 && p <= 1.0);
+  const size_t n = scores.size();
+  const size_t keep_count = static_cast<size_t>(
+      std::llround(p * static_cast<double>(n)));
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  std::vector<bool> keep(n, false);
+  for (size_t i = 0; i < std::min(keep_count, n); ++i) keep[order[i]] = true;
+  return keep;
+}
+
+std::vector<bool> GlobalScoping(const SignatureSet& signatures,
+                                const outlier::OutlierDetector& detector,
+                                double p) {
+  return ScopeByScores(detector.Scores(signatures.signatures), p);
+}
+
+}  // namespace colscope::scoping

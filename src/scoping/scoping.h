@@ -1,0 +1,31 @@
+#ifndef COLSCOPE_SCOPING_SCOPING_H_
+#define COLSCOPE_SCOPING_SCOPING_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "outlier/oda.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+
+/// Global *Scoping* baseline (Section 2.4, Traeger et al. 2025):
+/// (1) rank all signatures with one ODA over the unified set,
+/// (2) sort ascending by outlier score,
+/// (3) keep the p-portion with the lowest scores as linkable.
+///
+/// Returns a keep-mask aligned with `scores`: keep[i] == true means
+/// element i is predicted linkable. p = 1 keeps everything (S' == S);
+/// p = 0 keeps nothing (S' empty). Ties broken by original index
+/// (stable), matching a stable sort over (score, index).
+std::vector<bool> ScopeByScores(const linalg::Vector& scores, double p);
+
+/// Convenience: runs `detector` on the unified signature matrix and
+/// scopes with threshold p.
+std::vector<bool> GlobalScoping(const SignatureSet& signatures,
+                                const outlier::OutlierDetector& detector,
+                                double p);
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_SCOPING_H_

@@ -1,0 +1,42 @@
+#include "scoping/signatures.h"
+
+#include "schema/serialize.h"
+
+namespace colscope::scoping {
+
+std::vector<size_t> SignatureSet::RowsOfSchema(int schema_index) const {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (refs[i].schema == schema_index) rows.push_back(i);
+  }
+  return rows;
+}
+
+linalg::Matrix SignatureSet::SchemaSignatures(int schema_index) const {
+  const std::vector<size_t> rows = RowsOfSchema(schema_index);
+  linalg::Matrix out(rows.size(), signatures.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out.SetRow(i, signatures.Row(rows[i]));
+  }
+  return out;
+}
+
+SignatureSet BuildSignatures(const schema::SchemaSet& set,
+                             const embed::SentenceEncoder& encoder,
+                             const schema::SerializeOptions&
+                                 serialize_options) {
+  SignatureSet out;
+  for (size_t s = 0; s < set.num_schemas(); ++s) {
+    const auto serialized =
+        schema::SerializeSchema(set.schema(static_cast<int>(s)),
+                                static_cast<int>(s), serialize_options);
+    for (const auto& element : serialized) {
+      out.refs.push_back(element.ref);
+      out.texts.push_back(element.text);
+    }
+  }
+  out.signatures = encoder.EncodeAll(out.texts);
+  return out;
+}
+
+}  // namespace colscope::scoping

@@ -1,0 +1,45 @@
+#ifndef COLSCOPE_SCOPING_SIGNATURES_H_
+#define COLSCOPE_SCOPING_SIGNATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/encoder.h"
+#include "linalg/matrix.h"
+#include "schema/schema_set.h"
+#include "schema/serialize.h"
+
+namespace colscope::scoping {
+
+/// Phase (I) output — the serialized and encoded schema elements of a
+/// multi-source schema set. Row i of `signatures` is the signature of
+/// `refs[i]`, whose serialized text is `texts[i]`; rows follow the
+/// SchemaSet flattened order, so masks/labels/scores indexed by row align
+/// with SchemaSet::elements().
+struct SignatureSet {
+  std::vector<schema::ElementRef> refs;
+  std::vector<std::string> texts;
+  linalg::Matrix signatures;
+
+  size_t size() const { return refs.size(); }
+
+  /// Row indices belonging to one schema.
+  std::vector<size_t> RowsOfSchema(int schema_index) const;
+
+  /// Signature submatrix of one schema (rows in flattened order).
+  linalg::Matrix SchemaSignatures(int schema_index) const;
+};
+
+/// Serializes (T^a, T^t) and encodes (E) every element of `set` — the
+/// "Local Signatures" phase applied to all schemas with the globally
+/// agreed serialization and encoder (Section 3, phase I).
+/// `serialize_options` controls instance-sample inclusion (off by
+/// default, per the paper's metadata-only setting).
+SignatureSet BuildSignatures(const schema::SchemaSet& set,
+                             const embed::SentenceEncoder& encoder,
+                             const schema::SerializeOptions&
+                                 serialize_options = {});
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_SIGNATURES_H_

@@ -1,0 +1,54 @@
+#include "scoping/streamline.h"
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace colscope::scoping {
+
+size_t CountKept(const std::vector<bool>& keep) {
+  size_t n = 0;
+  for (bool k : keep) n += k;
+  return n;
+}
+
+schema::SchemaSet BuildStreamlinedSchemas(const schema::SchemaSet& original,
+                                          const SignatureSet& signatures,
+                                          const std::vector<bool>& keep) {
+  COLSCOPE_CHECK(signatures.size() == keep.size());
+
+  // Collect kept element refs per schema.
+  std::set<schema::ElementRef> kept_refs;
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) kept_refs.insert(signatures.refs[i]);
+  }
+
+  std::vector<schema::Schema> streamlined;
+  for (size_t s = 0; s < original.num_schemas(); ++s) {
+    const schema::Schema& source = original.schema(static_cast<int>(s));
+    schema::Schema out(source.name());
+    for (size_t t = 0; t < source.tables().size(); ++t) {
+      const schema::Table& table = source.tables()[t];
+      schema::Table kept_table;
+      kept_table.name = table.name;
+      for (size_t a = 0; a < table.attributes.size(); ++a) {
+        if (kept_refs.count(schema::AttributeRef(
+                static_cast<int>(s), static_cast<int>(t),
+                static_cast<int>(a))) > 0) {
+          kept_table.attributes.push_back(table.attributes[a]);
+        }
+      }
+      const bool table_kept =
+          kept_refs.count(schema::TableRef(static_cast<int>(s),
+                                           static_cast<int>(t))) > 0;
+      if (table_kept || !kept_table.attributes.empty()) {
+        COLSCOPE_CHECK(out.AddTable(std::move(kept_table)).ok());
+      }
+    }
+    streamlined.push_back(std::move(out));
+  }
+  return schema::SchemaSet(std::move(streamlined));
+}
+
+}  // namespace colscope::scoping

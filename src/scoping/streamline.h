@@ -1,0 +1,25 @@
+#ifndef COLSCOPE_SCOPING_STREAMLINE_H_
+#define COLSCOPE_SCOPING_STREAMLINE_H_
+
+#include <vector>
+
+#include "schema/schema_set.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+
+/// Materializes the streamlined schemas S' = {S'_1, ..., S'_k}
+/// (Definition 2) from a keep-mask in signature row order. An attribute
+/// survives iff its element is kept; a table survives iff its table
+/// element is kept OR it still contains surviving attributes (the table
+/// shell is needed as a container — pruning it would orphan them).
+schema::SchemaSet BuildStreamlinedSchemas(const schema::SchemaSet& original,
+                                          const SignatureSet& signatures,
+                                          const std::vector<bool>& keep);
+
+/// Number of kept elements in the mask.
+size_t CountKept(const std::vector<bool>& keep);
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_STREAMLINE_H_

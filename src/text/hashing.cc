@@ -1,0 +1,22 @@
+#include "text/hashing.h"
+
+#include "common/rng.h"
+
+namespace colscope::text {
+
+uint64_t Hash64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime.
+  }
+  uint64_t state = h;
+  return colscope::SplitMix64(state);
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return colscope::SplitMix64(state);
+}
+
+}  // namespace colscope::text

@@ -1,0 +1,19 @@
+#ifndef COLSCOPE_TEXT_HASHING_H_
+#define COLSCOPE_TEXT_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace colscope::text {
+
+/// 64-bit FNV-1a hash of `data`, strengthened with a SplitMix64
+/// finalizer. Deterministic across platforms and runs — signature
+/// generation depends on that.
+uint64_t Hash64(std::string_view data);
+
+/// Combines two hashes (order-dependent).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace colscope::text
+
+#endif  // COLSCOPE_TEXT_HASHING_H_

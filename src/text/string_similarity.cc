@@ -1,0 +1,99 @@
+#include "text/string_similarity.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/strings.h"
+#include "text/tokenize.h"
+
+namespace colscope::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Two-row dynamic program.
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> curr(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t substitution =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t match_window =
+      std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > match_window ? i - match_window : 0;
+    const size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions / 2)) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double TokenJaccardSimilarity(std::string_view a, std::string_view b) {
+  const auto ta = TokenizeIdentifier(a);
+  const auto tb = TokenizeIdentifier(b);
+  const std::set<std::string> sa(ta.begin(), ta.end());
+  const std::set<std::string> sb(tb.begin(), tb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const auto& t : sa) intersection += sb.count(t);
+  const size_t uni = sa.size() + sb.size() - intersection;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(intersection) /
+                        static_cast<double>(uni);
+}
+
+}  // namespace colscope::text

@@ -1,0 +1,29 @@
+#ifndef COLSCOPE_TEXT_STRING_SIMILARITY_H_
+#define COLSCOPE_TEXT_STRING_SIMILARITY_H_
+
+#include <string_view>
+
+namespace colscope::text {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalized Levenshtein similarity in [0, 1]:
+/// 1 - distance / max(|a|, |b|); two empty strings are identical (1).
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by a shared prefix of up to 4
+/// characters with scaling factor `prefix_scale` (standard 0.1).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+/// Jaccard similarity of the token sets produced by TokenizeIdentifier
+/// (e.g. "ORDER_DATE" vs "orderDate" -> 1.0). Empty-vs-empty is 1.
+double TokenJaccardSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace colscope::text
+
+#endif  // COLSCOPE_TEXT_STRING_SIMILARITY_H_

@@ -1,0 +1,65 @@
+#include "text/tokenize.h"
+
+namespace colscope::text {
+
+namespace {
+
+bool IsLower(char c) { return c >= 'a' && c <= 'z'; }
+bool IsUpper(char c) { return c >= 'A' && c <= 'Z'; }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+bool IsAlnum(char c) { return IsLower(c) || IsUpper(c) || IsDigit(c); }
+char ToLower(char c) {
+  return IsUpper(c) ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeIdentifier(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!IsAlnum(c)) {
+      flush();  // '_', ' ', ',', '[', ']', '.' all separate tokens.
+      continue;
+    }
+    if (!current.empty()) {
+      const char prev = text[i - 1];
+      const bool lower_to_upper = IsLower(prev) && IsUpper(c);
+      const bool digit_boundary = IsDigit(prev) != IsDigit(c);
+      // "MSRPPrice" -> MSRP + Price: upper run followed by Upper+lower.
+      const bool upper_run_to_camel =
+          IsUpper(prev) && IsUpper(c) && i + 1 < text.size() &&
+          IsLower(text[i + 1]);
+      if (lower_to_upper || digit_boundary || upper_run_to_camel) flush();
+    }
+    current.push_back(ToLower(c));
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> CharacterTrigrams(std::string_view token) {
+  std::vector<std::string> grams;
+  if (token.empty()) return grams;
+  std::string padded;
+  padded.reserve(token.size() + 2);
+  padded.push_back('^');
+  for (char c : token) padded.push_back(ToLower(c));
+  padded.push_back('$');
+  if (padded.size() < 3) return grams;
+  grams.reserve(padded.size() - 2);
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, 3));
+  }
+  return grams;
+}
+
+}  // namespace colscope::text

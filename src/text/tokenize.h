@@ -1,0 +1,25 @@
+#ifndef COLSCOPE_TEXT_TOKENIZE_H_
+#define COLSCOPE_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace colscope::text {
+
+/// Splits a schema identifier or serialized metadata sequence into
+/// lowercase word tokens. Handles the naming conventions that appear in
+/// real DDL: snake_case (ORDER_DATETIME), camelCase (orderLineNumber),
+/// ALLCAPS runs followed by camel (MSRPPrice), digit boundaries
+/// (ADDRESS2), and punctuation/brackets from the T^t serialization
+/// ("CLIENT [CID, NAME]").
+std::vector<std::string> TokenizeIdentifier(std::string_view text);
+
+/// Character trigrams of a token padded with '^' and '$' sentinels
+/// ("city" -> ^ci, cit, ity, ty$). Used for graded lexical similarity
+/// between near-identical names (ORDERDATE vs ORDER_DATETIME).
+std::vector<std::string> CharacterTrigrams(std::string_view token);
+
+}  // namespace colscope::text
+
+#endif  // COLSCOPE_TEXT_TOKENIZE_H_

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "eval/matching_metrics.h"
+#include "matching/active_learning.h"
+#include "scoping/signatures.h"
+
+namespace colscope::matching {
+namespace {
+
+using LabeledPair = ThresholdCalibrator::LabeledPair;
+
+schema::ElementRef Ref(int s, int i) { return schema::ElementRef{s, 0, i}; }
+
+LabeledPair Make(double score, bool match) {
+  LabeledPair l;
+  l.score = score;
+  l.is_match = match;
+  return l;
+}
+
+// --- BestF1Threshold -----------------------------------------------------------
+
+TEST(BestF1ThresholdTest, SeparableLabels) {
+  // Matches at {0.8, 0.9}, non-matches at {0.1, 0.2}: any threshold in
+  // (0.2, 0.8) is perfect; the midpoint 0.5 is returned.
+  const std::vector<LabeledPair> labeled = {
+      Make(0.1, false), Make(0.2, false), Make(0.8, true), Make(0.9, true)};
+  EXPECT_DOUBLE_EQ(BestF1Threshold(labeled), 0.5);
+}
+
+TEST(BestF1ThresholdTest, OverlappingLabels) {
+  // One low-score match forces a trade-off; the F1-optimal cut keeps the
+  // two high matches and drops the stray (threshold between 0.3 and 0.6).
+  const std::vector<LabeledPair> labeled = {
+      Make(0.3, true),  Make(0.35, false), Make(0.4, false),
+      Make(0.45, false), Make(0.6, true),  Make(0.7, true)};
+  const double threshold = BestF1Threshold(labeled);
+  EXPECT_GT(threshold, 0.45);
+  EXPECT_LT(threshold, 0.6);
+}
+
+TEST(BestF1ThresholdTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(BestF1Threshold({}), 0.5);
+  // All negatives: threshold above every score (predict nothing).
+  EXPECT_GT(BestF1Threshold({Make(0.4, false), Make(0.6, false)}), 0.6);
+  // All positives: threshold at/below the lowest score.
+  EXPECT_LE(BestF1Threshold({Make(0.4, true), Make(0.6, true)}), 0.4);
+}
+
+// --- Calibration over a synthetic matrix ------------------------------------------
+
+class CalibratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 60 pairs: scores of true matches ~ U(0.55, 0.95), non-matches ~
+    // U(0.05, 0.45) with a handful of overlapping distractors.
+    int id = 0;
+    for (int i = 0; i < 24; ++i) {
+      const double score = 0.55 + 0.4 * (i / 24.0);
+      const auto pair = MakePair(Ref(0, id), Ref(1, id));
+      ++id;
+      matrix_.Set(pair, score);
+      truth_.insert(pair);
+    }
+    for (int i = 0; i < 30; ++i) {
+      const double score = 0.05 + 0.4 * (i / 30.0);
+      matrix_.Set(MakePair(Ref(0, id), Ref(1, id)), score);
+      ++id;
+    }
+    for (int i = 0; i < 3; ++i) {  // Distractors on the wrong side.
+      const auto pair = MakePair(Ref(0, id), Ref(1, id));
+      ++id;
+      matrix_.Set(pair, 0.48 + 0.01 * i);
+      truth_.insert(pair);
+    }
+    for (int i = 0; i < 3; ++i) {
+      matrix_.Set(MakePair(Ref(0, id), Ref(1, id)), 0.52 + 0.01 * i);
+      ++id;
+    }
+    oracle_ = [this](const ElementPair& pair) {
+      return truth_.count(pair) > 0;
+    };
+  }
+
+  double F1At(double threshold) const {
+    size_t predicted = 0, true_pos = 0;
+    for (const auto& [pair, score] : matrix_.scores()) {
+      if (score >= threshold) {
+        ++predicted;
+        true_pos += truth_.count(pair);
+      }
+    }
+    if (predicted == 0 || truth_.empty()) return 0.0;
+    const double p = static_cast<double>(true_pos) / predicted;
+    const double r = static_cast<double>(true_pos) / truth_.size();
+    return (p + r) == 0.0 ? 0.0 : 2 * p * r / (p + r);
+  }
+
+  SimilarityMatrix matrix_;
+  std::set<ElementPair> truth_;
+  ThresholdCalibrator::Oracle oracle_;
+};
+
+TEST_F(CalibratorTest, UncertaintySamplingFindsGoodThreshold) {
+  ThresholdCalibrator::Options options;
+  options.budget = 15;
+  const auto calibration =
+      ThresholdCalibrator(options).Calibrate(matrix_, oracle_);
+  EXPECT_EQ(calibration.queried.size(), 15u);
+  // Within 95% of the best achievable F1 on the full matrix.
+  double best_f1 = 0.0;
+  for (const auto& [pair, score] : matrix_.scores()) {
+    best_f1 = std::max(best_f1, F1At(score));
+  }
+  EXPECT_GE(F1At(calibration.threshold), 0.95 * best_f1);
+}
+
+TEST_F(CalibratorTest, UncertaintyQueriesConcentrateNearBoundary) {
+  ThresholdCalibrator::Options options;
+  options.budget = 12;
+  const auto calibration =
+      ThresholdCalibrator(options).Calibrate(matrix_, oracle_);
+  // Most queried pairs sit in the ambiguous band, not the extremes.
+  size_t near_boundary = 0;
+  for (const auto& labeled : calibration.queried) {
+    near_boundary += (labeled.score > 0.3 && labeled.score < 0.7);
+  }
+  EXPECT_GE(near_boundary * 10, calibration.queried.size() * 7);
+}
+
+TEST_F(CalibratorTest, UncertaintyBeatsRandomOnAverage) {
+  ThresholdCalibrator::Options uncertainty;
+  uncertainty.budget = 10;
+  const double f1_uncertainty = F1At(
+      ThresholdCalibrator(uncertainty).Calibrate(matrix_, oracle_).threshold);
+
+  double f1_random_sum = 0.0;
+  const int trials = 7;
+  for (int t = 0; t < trials; ++t) {
+    ThresholdCalibrator::Options random;
+    random.strategy = ThresholdCalibrator::Strategy::kRandom;
+    random.budget = 10;
+    random.seed = 1000 + t;
+    f1_random_sum += F1At(
+        ThresholdCalibrator(random).Calibrate(matrix_, oracle_).threshold);
+  }
+  EXPECT_GE(f1_uncertainty, f1_random_sum / trials - 1e-9);
+}
+
+TEST_F(CalibratorTest, ZeroBudgetKeepsInitialThreshold) {
+  ThresholdCalibrator::Options options;
+  options.budget = 0;
+  options.initial_threshold = 0.42;
+  const auto calibration =
+      ThresholdCalibrator(options).Calibrate(matrix_, oracle_);
+  EXPECT_DOUBLE_EQ(calibration.threshold, 0.42);
+  EXPECT_TRUE(calibration.queried.empty());
+}
+
+TEST_F(CalibratorTest, BudgetClampsToPoolSize) {
+  ThresholdCalibrator::Options options;
+  options.budget = 10000;
+  const auto calibration =
+      ThresholdCalibrator(options).Calibrate(matrix_, oracle_);
+  EXPECT_EQ(calibration.queried.size(), matrix_.size());
+}
+
+// --- End to end on the toy scenario -----------------------------------------------
+
+TEST(CalibratorEndToEndTest, CalibratedSimBeatsDefaultGuess) {
+  auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  const std::vector<bool> all(signatures.size(), true);
+  const CosineScorer cosine;
+  const auto matrix = BuildSimilarityMatrix(signatures, all, cosine);
+
+  ThresholdCalibrator::Options options;
+  options.budget = 25;
+  const auto calibration = ThresholdCalibrator(options).Calibrate(
+      matrix, [&](const ElementPair& pair) {
+        return scenario.truth.ContainsPair(pair.first, pair.second);
+      });
+
+  const size_t cartesian = scenario.set.TableCartesianSize() +
+                           scenario.set.AttributeCartesianSize();
+  const auto calibrated = eval::EvaluateMatching(
+      matrix.SelectThreshold(calibration.threshold), scenario.truth,
+      cartesian);
+  const auto guessed = eval::EvaluateMatching(
+      matrix.SelectThreshold(0.9), scenario.truth, cartesian);  // Too strict.
+  EXPECT_GE(calibrated.F1(), guessed.F1());
+  EXPECT_GT(calibrated.F1(), 0.3);
+}
+
+}  // namespace
+}  // namespace colscope::matching

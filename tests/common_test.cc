@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace colscope {
+namespace {
+
+// --- Status / Result ------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "not_found: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- Strings ---------------------------------------------------------------
+
+TEST(StringsTest, SplitStringBasic) {
+  EXPECT_EQ(SplitString("a,b,,c", ","),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", ","), std::vector<std::string>{});
+  EXPECT_EQ(SplitString("one", ","), std::vector<std::string>{"one"});
+}
+
+TEST(StringsTest, SplitStringMultipleDelims) {
+  EXPECT_EQ(SplitString("a b\tc", " \t"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"one"}, ","), "one");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLowerAscii("MiXeD_09"), "mixed_09");
+  EXPECT_EQ(ToUpperAscii("MiXeD_09"), "MIXED_09");
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, AffixChecks) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("fo", "foo"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All buckets hit in 1000 draws.
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  // Advancing the state changes the output.
+  EXPECT_NE(SplitMix64(s1), SplitMix64(s1));
+}
+
+}  // namespace
+}  // namespace colscope

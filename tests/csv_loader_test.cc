@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "datasets/csv_loader.h"
+
+namespace colscope::datasets {
+namespace {
+
+// --- SplitCsvLine -----------------------------------------------------------
+
+TEST(SplitCsvLineTest, PlainFields) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitCsvLine(""), std::vector<std::string>{""});
+  EXPECT_EQ(SplitCsvLine("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(SplitCsvLineTest, QuotedFieldsAndEscapes) {
+  EXPECT_EQ(SplitCsvLine(R"("a,b",c)"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(SplitCsvLine(R"("say ""hi""",x)"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(SplitCsvLineTest, CustomDelimiterAndCr) {
+  EXPECT_EQ(SplitCsvLine("a;b;c\r", ';'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// --- Type inference ------------------------------------------------------------
+
+TEST(InferDataTypeTest, Families) {
+  EXPECT_EQ(InferDataType({"1", "42", "-7"}), schema::DataType::kInteger);
+  EXPECT_EQ(InferDataType({"1.5", "2", "-0.25"}),
+            schema::DataType::kDecimal);
+  EXPECT_EQ(InferDataType({"2024-01-05", "1999/12/31"}),
+            schema::DataType::kDate);
+  EXPECT_EQ(InferDataType({"abc", "1"}), schema::DataType::kString);
+  EXPECT_EQ(InferDataType({"", ""}), schema::DataType::kString);
+  EXPECT_EQ(InferDataType({"", "7"}), schema::DataType::kInteger);
+  EXPECT_EQ(InferDataType({"1.2.3"}), schema::DataType::kString);
+}
+
+// --- LoadCsvSchema ----------------------------------------------------------------
+
+constexpr char kCsv[] =
+    "customer_id,name,city,signup_date,balance\n"
+    "1,\"Scott, Michael\",Berlin,2024-01-05,10.50\n"
+    "2,Ana Garcia,Paris,2023-11-12,0\n"
+    "3,Wei Chen,Oslo,2024-06-30,-3.25\n";
+
+TEST(LoadCsvSchemaTest, HeaderBecomesAttributes) {
+  CsvLoadOptions options;
+  options.table_name = "customers";
+  auto schema = LoadCsvSchema(kCsv, "CRM", options);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->name(), "CRM");
+  EXPECT_EQ(schema->num_tables(), 1u);
+  EXPECT_EQ(schema->num_attributes(), 5u);
+  const auto* id = schema->FindAttribute("customers", "customer_id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->type, schema::DataType::kInteger);
+  EXPECT_EQ(schema->FindAttribute("customers", "signup_date")->type,
+            schema::DataType::kDate);
+  EXPECT_EQ(schema->FindAttribute("customers", "balance")->type,
+            schema::DataType::kDecimal);
+  EXPECT_EQ(schema->FindAttribute("customers", "name")->type,
+            schema::DataType::kString);
+}
+
+TEST(LoadCsvSchemaTest, SamplesAttachedAndCapped) {
+  CsvLoadOptions options;
+  options.table_name = "customers";
+  options.max_sample_rows = 2;
+  auto schema = LoadCsvSchema(kCsv, "CRM", options);
+  ASSERT_TRUE(schema.ok());
+  const auto* name = schema->FindAttribute("customers", "name");
+  ASSERT_NE(name, nullptr);
+  ASSERT_EQ(name->samples.size(), 2u);
+  EXPECT_EQ(name->samples[0], "Scott, Michael");  // Quoted comma intact.
+  EXPECT_EQ(name->samples[1], "Ana Garcia");
+}
+
+TEST(LoadCsvSchemaTest, MetadataOnlyMode) {
+  CsvLoadOptions options;
+  options.max_sample_rows = 0;
+  auto schema = LoadCsvSchema(kCsv, "CRM", options);
+  ASSERT_TRUE(schema.ok());
+  for (const auto& attr : schema->tables()[0].attributes) {
+    EXPECT_TRUE(attr.samples.empty());
+  }
+  // Types are still inferred from a small internal probe.
+  EXPECT_EQ(schema->FindAttribute("table", "customer_id")->type,
+            schema::DataType::kInteger);
+}
+
+TEST(LoadCsvSchemaTest, HeaderOnlyCsv) {
+  auto schema = LoadCsvSchema("a,b,c\n", "S");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 3u);
+  for (const auto& attr : schema->tables()[0].attributes) {
+    EXPECT_EQ(attr.type, schema::DataType::kString);
+    EXPECT_TRUE(attr.samples.empty());
+  }
+}
+
+TEST(LoadCsvSchemaTest, MalformedInputs) {
+  EXPECT_FALSE(LoadCsvSchema("", "S").ok());
+  EXPECT_FALSE(LoadCsvSchema("\n", "S").ok());
+  // Ragged row.
+  EXPECT_FALSE(LoadCsvSchema("a,b\n1,2,3\n", "S").ok());
+  // Empty column name.
+  EXPECT_FALSE(LoadCsvSchema("a,,c\n", "S").ok());
+}
+
+TEST(LoadCsvSchemaTest, SemicolonDelimiter) {
+  CsvLoadOptions options;
+  options.delimiter = ';';
+  auto schema = LoadCsvSchema("x;y\n1;hello\n", "S", options);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attributes(), 2u);
+  EXPECT_EQ(schema->FindAttribute("table", "x")->type,
+            schema::DataType::kInteger);
+}
+
+}  // namespace
+}  // namespace colscope::datasets

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "datasets/linkage.h"
+#include "datasets/oc3.h"
+#include "datasets/toy.h"
+
+namespace colscope::datasets {
+namespace {
+
+// ===========================================================================
+// These tests pin the datasets to the exact counts the paper reports in
+// Table 2 (elements and linkability labels) and Table 3 (Cartesian sizes
+// and annotated linkages). They are the reproduction contract.
+// ===========================================================================
+
+// --- Table 2: per-schema element counts -----------------------------------
+
+TEST(Table2Test, OracleCounts) {
+  auto s = LoadOracleSchema();
+  EXPECT_EQ(s.num_tables(), 7u);
+  EXPECT_EQ(s.num_attributes(), 43u);
+}
+
+TEST(Table2Test, MySqlCounts) {
+  auto s = LoadMySqlSchema();
+  EXPECT_EQ(s.num_tables(), 8u);
+  EXPECT_EQ(s.num_attributes(), 59u);
+}
+
+TEST(Table2Test, HanaCounts) {
+  auto s = LoadHanaSchema();
+  EXPECT_EQ(s.num_tables(), 3u);
+  EXPECT_EQ(s.num_attributes(), 40u);
+}
+
+TEST(Table2Test, FormulaOneCounts) {
+  auto s = LoadFormulaOneSchema();
+  EXPECT_EQ(s.num_tables(), 16u);
+  EXPECT_EQ(s.num_attributes(), 111u);
+}
+
+TEST(Table2Test, Oc3Totals) {
+  auto sc = BuildOc3Scenario();
+  size_t tables = 0, attrs = 0;
+  for (const auto& s : sc.set.schemas()) {
+    tables += s.num_tables();
+    attrs += s.num_attributes();
+  }
+  EXPECT_EQ(tables, 18u);
+  EXPECT_EQ(attrs, 142u);
+}
+
+TEST(Table2Test, Oc3FoTotals) {
+  auto sc = BuildOc3FoScenario();
+  size_t tables = 0, attrs = 0;
+  for (const auto& s : sc.set.schemas()) {
+    tables += s.num_tables();
+    attrs += s.num_attributes();
+  }
+  EXPECT_EQ(tables, 34u);
+  EXPECT_EQ(attrs, 253u);
+}
+
+TEST(Table2Test, Oc3LinkabilitySplit) {
+  auto sc = BuildOc3Scenario();
+  const auto labels = sc.truth.LinkabilityLabels(sc.set);
+  size_t linkable = 0;
+  for (bool l : labels) linkable += l;
+  EXPECT_EQ(linkable, 79u);
+  EXPECT_EQ(labels.size() - linkable, 81u);
+}
+
+TEST(Table2Test, PerSchemaLinkableCounts) {
+  auto sc = BuildOc3FoScenario();
+  EXPECT_EQ(sc.truth.NumLinkableInSchema(0), 27u);  // OC-Oracle.
+  EXPECT_EQ(sc.truth.NumLinkableInSchema(1), 34u);  // OC-MySQL.
+  EXPECT_EQ(sc.truth.NumLinkableInSchema(2), 18u);  // OC-HANA.
+  EXPECT_EQ(sc.truth.NumLinkableInSchema(3), 0u);   // Formula One.
+}
+
+TEST(Table2Test, Oc3FoLinkabilitySplit) {
+  auto sc = BuildOc3FoScenario();
+  const auto labels = sc.truth.LinkabilityLabels(sc.set);
+  size_t linkable = 0;
+  for (bool l : labels) linkable += l;
+  EXPECT_EQ(linkable, 79u);
+  EXPECT_EQ(labels.size() - linkable, 208u);
+}
+
+TEST(Table2Test, UnlinkableOverheads) {
+  // Section 4.1: OC3 103%, OC3-FO 263%.
+  EXPECT_NEAR(BuildOc3Scenario().UnlinkableOverhead(), 1.03, 0.005);
+  EXPECT_NEAR(BuildOc3FoScenario().UnlinkableOverhead(), 2.63, 0.005);
+}
+
+// --- Table 3: Cartesian product sizes and linkage counts --------------------
+
+TEST(Table3Test, Oc3CartesianSizes) {
+  auto sc = BuildOc3Scenario();
+  EXPECT_EQ(sc.set.TableCartesianSize(), 101u);
+  EXPECT_EQ(sc.set.AttributeCartesianSize(), 6617u);
+}
+
+TEST(Table3Test, Oc3FoCartesianSizes) {
+  auto sc = BuildOc3FoScenario();
+  EXPECT_EQ(sc.set.TableCartesianSize(), 389u);
+  EXPECT_EQ(sc.set.AttributeCartesianSize(), 22379u);
+}
+
+TEST(Table3Test, PairwiseCartesianSizes) {
+  auto sc = BuildOc3Scenario();
+  const auto& s = sc.set.schemas();
+  EXPECT_EQ(s[0].num_tables() * s[1].num_tables(), 56u);      // Oracle-MySQL.
+  EXPECT_EQ(s[0].num_attributes() * s[1].num_attributes(), 2537u);
+  EXPECT_EQ(s[0].num_tables() * s[2].num_tables(), 21u);      // Oracle-HANA.
+  EXPECT_EQ(s[0].num_attributes() * s[2].num_attributes(), 1720u);
+  EXPECT_EQ(s[1].num_tables() * s[2].num_tables(), 24u);      // MySQL-HANA.
+  EXPECT_EQ(s[1].num_attributes() * s[2].num_attributes(), 2360u);
+}
+
+TEST(Table3Test, PairwiseLinkageCounts) {
+  auto sc = BuildOc3Scenario();
+  auto om = sc.truth.CountsForSchemaPair(0, 1);
+  EXPECT_EQ(om.inter_identical, 14u);
+  EXPECT_EQ(om.inter_sub_typed, 22u);
+  auto oh = sc.truth.CountsForSchemaPair(0, 2);
+  EXPECT_EQ(oh.inter_identical, 10u);
+  EXPECT_EQ(oh.inter_sub_typed, 8u);
+  auto mh = sc.truth.CountsForSchemaPair(1, 2);
+  EXPECT_EQ(mh.inter_identical, 15u);
+  EXPECT_EQ(mh.inter_sub_typed, 1u);
+}
+
+TEST(Table3Test, AggregateInterIdenticalMatchesPaper) {
+  // The paper's aggregate row: 39 II. (Its IS aggregate of 36 does not
+  // equal the sum of its per-pair rows, 31 — see DESIGN.md.)
+  auto sc = BuildOc3Scenario();
+  auto total = sc.truth.TotalCounts();
+  EXPECT_EQ(total.inter_identical, 39u);
+  EXPECT_EQ(total.inter_sub_typed, 31u);
+}
+
+TEST(Table3Test, Oc3FoAddsNoLinkages) {
+  auto oc3 = BuildOc3Scenario();
+  auto fo = BuildOc3FoScenario();
+  EXPECT_EQ(oc3.truth.size(), fo.truth.size());
+}
+
+// --- Ground-truth invariants --------------------------------------------------
+
+TEST(GroundTruthTest, AllLinkagesAreInterSchema) {
+  auto sc = BuildOc3FoScenario();
+  for (const Linkage& l : sc.truth.linkages()) {
+    EXPECT_NE(l.a.schema, l.b.schema);
+    EXPECT_EQ(l.a.is_table(), l.b.is_table());
+  }
+}
+
+TEST(GroundTruthTest, CanonicalOrderAndSymmetry) {
+  auto sc = BuildOc3Scenario();
+  for (const Linkage& l : sc.truth.linkages()) {
+    EXPECT_TRUE(l.a < l.b);
+    EXPECT_TRUE(sc.truth.ContainsPair(l.a, l.b));
+    EXPECT_TRUE(sc.truth.ContainsPair(l.b, l.a));
+  }
+}
+
+TEST(GroundTruthTest, RejectsIntraSchemaAndDuplicates) {
+  auto sc = BuildOc3Scenario();
+  GroundTruth& truth = sc.truth;
+  const Status intra =
+      truth.Add(LinkType::kInterIdentical, schema::TableRef(0, 0),
+                schema::TableRef(0, 1));
+  EXPECT_EQ(intra.code(), StatusCode::kInvalidArgument);
+  const Linkage first = truth.linkages()[0];
+  EXPECT_EQ(truth.Add(first.type, first.a, first.b).code(),
+            StatusCode::kAlreadyExists);
+  // Same pair under the other type is also rejected.
+  const LinkType other = first.type == LinkType::kInterIdentical
+                             ? LinkType::kInterSubTyped
+                             : LinkType::kInterIdentical;
+  EXPECT_EQ(truth.Add(other, first.a, first.b).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(GroundTruthTest, RejectsTableToAttributePairs) {
+  auto sc = BuildOc3Scenario();
+  const Status st =
+      sc.truth.Add(LinkType::kInterIdentical, schema::TableRef(0, 0),
+                   schema::AttributeRef(1, 0, 0));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GroundTruthTest, PaperHighlightedLinkagesPresent) {
+  auto sc = BuildOc3Scenario();
+  // Section 4.3: ORDER_DATETIME <-> orderDate is an annotated
+  // inter-sub-typed linkage.
+  auto a = sc.set.Resolve("OC-Oracle", "ORDERS.ORDER_DATETIME");
+  auto b = sc.set.Resolve("OC-MySQL", "orders.orderDate");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(sc.truth.ContainsPair(*a, *b));
+}
+
+// --- Figure 1 toy scenario -----------------------------------------------------
+
+TEST(ToyScenarioTest, ElementAndLinkabilityCounts) {
+  auto sc = BuildToyScenario();
+  EXPECT_EQ(sc.set.num_schemas(), 4u);
+  EXPECT_EQ(sc.set.num_elements(), 24u);
+  const auto labels = sc.truth.LinkabilityLabels(sc.set);
+  size_t linkable = 0;
+  for (bool l : labels) linkable += l;
+  EXPECT_EQ(linkable, 15u);
+  // Section 2.1: unlinkable overhead (24-15)/15 = 60%.
+  EXPECT_NEAR(sc.UnlinkableOverhead(), 0.60, 1e-9);
+}
+
+TEST(ToyScenarioTest, S4EntirelyUnlinkable) {
+  auto sc = BuildToyScenario();
+  EXPECT_EQ(sc.truth.NumLinkableInSchema(3), 0u);
+}
+
+TEST(ToyScenarioTest, UnlinkableAttributesMatchFigure) {
+  auto sc = BuildToyScenario();
+  for (const char* path : {"CUSTOMER.DOB", "SHIPMENTS.SID",
+                           "SHIPMENTS.DELIVERY_TIME"}) {
+    auto ref = sc.set.Resolve("S2", path);
+    ASSERT_TRUE(ref.ok()) << path;
+    EXPECT_FALSE(sc.truth.IsLinkable(*ref)) << path;
+  }
+  auto phone = sc.set.Resolve("S1", "CLIENT.PHONE");
+  ASSERT_TRUE(phone.ok());
+  EXPECT_FALSE(sc.truth.IsLinkable(*phone));
+}
+
+}  // namespace
+}  // namespace colscope::datasets

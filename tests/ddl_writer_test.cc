@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "datasets/oc3.h"
+#include "schema/ddl_parser.h"
+#include "schema/ddl_writer.h"
+
+namespace colscope::schema {
+namespace {
+
+/// Structural equality of two schemas (names, order, types, constraints).
+void ExpectSchemaEqual(const Schema& a, const Schema& b) {
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (size_t t = 0; t < a.tables().size(); ++t) {
+    const Table& ta = a.tables()[t];
+    const Table& tb = b.tables()[t];
+    EXPECT_EQ(ta.name, tb.name);
+    ASSERT_EQ(ta.attributes.size(), tb.attributes.size()) << ta.name;
+    for (size_t i = 0; i < ta.attributes.size(); ++i) {
+      EXPECT_EQ(ta.attributes[i].name, tb.attributes[i].name);
+      EXPECT_EQ(ta.attributes[i].raw_type, tb.attributes[i].raw_type);
+      EXPECT_EQ(ta.attributes[i].constraint, tb.attributes[i].constraint)
+          << ta.name << "." << ta.attributes[i].name;
+      EXPECT_EQ(ta.attributes[i].table_name, tb.attributes[i].table_name);
+    }
+  }
+}
+
+TEST(DdlWriterTest, SimpleTableRendering) {
+  Table t;
+  t.name = "CLIENT";
+  t.attributes.push_back({"CID", "CLIENT", "NUMBER", DataType::kDecimal,
+                          Constraint::kPrimaryKey});
+  t.attributes.push_back({"NAME", "CLIENT", "VARCHAR(80)", DataType::kString,
+                          Constraint::kNone});
+  const std::string ddl = WriteTableDdl(t);
+  EXPECT_NE(ddl.find("CREATE TABLE CLIENT"), std::string::npos);
+  EXPECT_NE(ddl.find("CID NUMBER PRIMARY KEY,"), std::string::npos);
+  EXPECT_NE(ddl.find("NAME VARCHAR(80)"), std::string::npos);
+}
+
+TEST(DdlWriterTest, RoundTripSimpleSchema) {
+  const char* ddl = R"(
+    CREATE TABLE A (X INT PRIMARY KEY, Y VARCHAR(10));
+    CREATE TABLE B (Z INT REFERENCES A(X), W DATE);
+  )";
+  auto original = ParseDdl(ddl, "S");
+  ASSERT_TRUE(original.ok());
+  auto round_tripped = ParseDdl(WriteDdl(*original), "S");
+  ASSERT_TRUE(round_tripped.ok()) << round_tripped.status().ToString();
+  ExpectSchemaEqual(*original, *round_tripped);
+}
+
+TEST(DdlWriterTest, RoundTripAllOc3Schemas) {
+  for (const Schema& schema :
+       {datasets::LoadOracleSchema(), datasets::LoadMySqlSchema(),
+        datasets::LoadHanaSchema(), datasets::LoadFormulaOneSchema()}) {
+    auto round_tripped = ParseDdl(WriteDdl(schema), schema.name());
+    ASSERT_TRUE(round_tripped.ok())
+        << schema.name() << ": " << round_tripped.status().ToString();
+    ExpectSchemaEqual(schema, *round_tripped);
+  }
+}
+
+TEST(DdlWriterTest, FallsBackToNormalizedTypeName) {
+  Table t;
+  t.name = "T";
+  Attribute a;
+  a.name = "X";
+  a.table_name = "T";
+  a.type = DataType::kInteger;  // No raw_type recorded.
+  t.attributes.push_back(a);
+  EXPECT_NE(WriteTableDdl(t).find("X INTEGER"), std::string::npos);
+}
+
+TEST(DdlWriterTest, EmptySchemaRendersHeaderOnly) {
+  Schema s("EMPTY");
+  const std::string ddl = WriteDdl(s);
+  EXPECT_NE(ddl.find("-- Schema: EMPTY"), std::string::npos);
+  EXPECT_EQ(ddl.find("CREATE TABLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace colscope::schema

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "embed/hashed_encoder.h"
+#include "linalg/stats.h"
+
+namespace colscope::embed {
+namespace {
+
+using linalg::CosineSimilarity;
+using linalg::Norm;
+using linalg::Vector;
+
+class EncoderTest : public ::testing::Test {
+ protected:
+  HashedLexiconEncoder encoder_;
+};
+
+TEST_F(EncoderTest, DimsDefaultTo768LikeSbert) {
+  EXPECT_EQ(encoder_.dims(), 768u);
+  EXPECT_EQ(encoder_.Encode("CID CLIENT NUMBER").size(), 768u);
+}
+
+TEST_F(EncoderTest, DeterministicAcrossInstances) {
+  HashedLexiconEncoder other;
+  const Vector a = encoder_.Encode("NAME CLIENT VARCHAR");
+  const Vector b = other.Encode("NAME CLIENT VARCHAR");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(EncoderTest, UnitNorm) {
+  const Vector v = encoder_.Encode("ADDRESS CLIENT VARCHAR");
+  EXPECT_NEAR(Norm(v), 1.0, 1e-12);
+}
+
+TEST_F(EncoderTest, EmptyTextYieldsZeroVector) {
+  const Vector v = encoder_.Encode("");
+  EXPECT_NEAR(Norm(v), 0.0, 1e-12);
+}
+
+TEST_F(EncoderTest, SynonymsAreMoreSimilarThanUnrelated) {
+  const Vector client = encoder_.Encode("CLIENT");
+  const Vector customer = encoder_.Encode("CUSTOMER");
+  const Vector circuit = encoder_.Encode("CIRCUIT");
+  EXPECT_GT(CosineSimilarity(client, customer), 0.9);
+  EXPECT_LT(CosineSimilarity(client, circuit),
+            CosineSimilarity(client, customer));
+}
+
+TEST_F(EncoderTest, SubTypedPairsLandBetweenIdenticalAndUnrelated) {
+  // ADDRESS ~ CITY share only the geo category -> weaker than synonyms,
+  // stronger than a cross-domain pair.
+  const Vector address = encoder_.Encode("ADDRESS");
+  const Vector city = encoder_.Encode("CITY");
+  const Vector lap = encoder_.Encode("LAP");
+  const double sub_typed = CosineSimilarity(address, city);
+  const double identical = CosineSimilarity(address, encoder_.Encode("ADDR"));
+  const double unrelated = CosineSimilarity(address, lap);
+  EXPECT_GT(identical, sub_typed);
+  EXPECT_GT(sub_typed, unrelated + 0.1);
+}
+
+TEST_F(EncoderTest, FullSerializationsOfTrueLinkagesAreSimilar) {
+  // The Figure 1 linkage CLIENT.NAME ~ CONTACTS.CNAME.
+  const Vector a = encoder_.Encode("NAME CLIENT VARCHAR");
+  const Vector b = encoder_.Encode("CNAME CONTACTS VARCHAR");
+  // An unrelated Formula One attribute.
+  const Vector c = encoder_.Encode("LAP RACES INT");
+  EXPECT_GT(CosineSimilarity(a, b), 0.6);
+  EXPECT_GT(CosineSimilarity(a, b), CosineSimilarity(a, c) + 0.3);
+}
+
+TEST_F(EncoderTest, LexicalTrigramSimilarityForNearIdenticalNames) {
+  // ORDERDATE (one token, OOV concept) vs ORDER_DATETIME: related mostly
+  // through trigrams — the paper's false-negative nuance (Section 4.3).
+  const Vector a = encoder_.Encode("orderDate orders DATE");
+  const Vector b = encoder_.Encode("ORDER_DATETIME ORDERS DATE");
+  const Vector c = encoder_.Encode("FORENAME DRIVERS VARCHAR");
+  EXPECT_GT(CosineSimilarity(a, b), CosineSimilarity(a, c) + 0.2);
+}
+
+TEST_F(EncoderTest, EncodeAllStacksRows) {
+  const auto m = encoder_.EncodeAll({"CLIENT", "CUSTOMER", "CAR"});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 768u);
+  EXPECT_EQ(m.Row(0), encoder_.Encode("CLIENT"));
+}
+
+TEST_F(EncoderTest, SeedChangesSignatures) {
+  HashedEncoderOptions options;
+  options.seed = 12345;
+  HashedLexiconEncoder other(options);
+  const Vector a = encoder_.Encode("CLIENT");
+  const Vector b = other.Encode("CLIENT");
+  EXPECT_LT(CosineSimilarity(a, b), 0.5);
+}
+
+TEST_F(EncoderTest, CustomDimsRespected) {
+  HashedEncoderOptions options;
+  options.dims = 64;
+  HashedLexiconEncoder small(options);
+  EXPECT_EQ(small.Encode("CLIENT").size(), 64u);
+}
+
+TEST_F(EncoderTest, ZeroTrigramWeightStillSeparatesConcepts) {
+  HashedEncoderOptions options;
+  options.trigram_weight = 0.0;
+  HashedLexiconEncoder enc(options);
+  EXPECT_GT(CosineSimilarity(enc.Encode("CLIENT"), enc.Encode("CUSTOMER")),
+            0.99);
+}
+
+}  // namespace
+}  // namespace colscope::embed

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "datasets/oc3.h"
+#include "embed/hashed_encoder.h"
+#include "eval/csv_export.h"
+#include "eval/metrics.h"
+#include "scoping/collaborative.h"
+#include "scoping/ensemble.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+namespace {
+
+class EnsembleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new datasets::MatchingScenario(datasets::BuildOc3Scenario());
+    encoder_ = new embed::HashedLexiconEncoder();
+    signatures_ = new SignatureSet(
+        BuildSignatures(scenario_->set, *encoder_));
+  }
+  static void TearDownTestSuite() {
+    delete signatures_;
+    delete encoder_;
+    delete scenario_;
+    signatures_ = nullptr;
+    encoder_ = nullptr;
+    scenario_ = nullptr;
+  }
+  static datasets::MatchingScenario* scenario_;
+  static embed::HashedLexiconEncoder* encoder_;
+  static SignatureSet* signatures_;
+};
+
+datasets::MatchingScenario* EnsembleTest::scenario_ = nullptr;
+embed::HashedLexiconEncoder* EnsembleTest::encoder_ = nullptr;
+SignatureSet* EnsembleTest::signatures_ = nullptr;
+
+TEST_F(EnsembleTest, VotesBoundedByLevels) {
+  const std::vector<double> levels = {0.9, 0.7, 0.5};
+  const auto votes = CollaborativeVotes(*signatures_, 3, levels);
+  ASSERT_TRUE(votes.ok());
+  for (size_t v : *votes) EXPECT_LE(v, levels.size());
+}
+
+TEST_F(EnsembleTest, UnionAndIntersectionNest) {
+  EnsembleOptions loose;
+  loose.min_votes = 1;
+  EnsembleOptions strict;
+  strict.min_votes = strict.variance_levels.size();
+  const auto union_mask = EnsembleCollaborativeScoping(*signatures_, 3, loose);
+  const auto inter_mask =
+      EnsembleCollaborativeScoping(*signatures_, 3, strict);
+  ASSERT_TRUE(union_mask.ok());
+  ASSERT_TRUE(inter_mask.ok());
+  size_t union_kept = 0, inter_kept = 0;
+  for (size_t i = 0; i < union_mask->size(); ++i) {
+    union_kept += (*union_mask)[i];
+    inter_kept += (*inter_mask)[i];
+    if ((*inter_mask)[i]) {
+      EXPECT_TRUE((*union_mask)[i]);  // Nesting.
+    }
+  }
+  EXPECT_GE(union_kept, inter_kept);
+}
+
+TEST_F(EnsembleTest, StrictVotingIsMorePrecise) {
+  const auto labels = scenario_->truth.LinkabilityLabels(scenario_->set);
+  EnsembleOptions loose;
+  loose.min_votes = 1;
+  EnsembleOptions strict;
+  strict.min_votes = strict.variance_levels.size();
+  const auto loose_mask =
+      EnsembleCollaborativeScoping(*signatures_, 3, loose);
+  const auto strict_mask =
+      EnsembleCollaborativeScoping(*signatures_, 3, strict);
+  ASSERT_TRUE(loose_mask.ok());
+  ASSERT_TRUE(strict_mask.ok());
+  const auto loose_c = eval::Evaluate(labels, *loose_mask);
+  const auto strict_c = eval::Evaluate(labels, *strict_mask);
+  EXPECT_GE(strict_c.Precision(), loose_c.Precision());
+  EXPECT_GE(loose_c.Recall(), strict_c.Recall());
+}
+
+TEST_F(EnsembleTest, SingleLevelEqualsPlainCollaborative) {
+  EnsembleOptions options;
+  options.variance_levels = {0.8};
+  options.min_votes = 1;
+  const auto ensemble =
+      EnsembleCollaborativeScoping(*signatures_, 3, options);
+  const auto plain = CollaborativeScoping(*signatures_, 3, 0.8);
+  ASSERT_TRUE(ensemble.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*ensemble, *plain);
+}
+
+TEST_F(EnsembleTest, InvalidConfigurationsRejected) {
+  EnsembleOptions zero_votes;
+  zero_votes.min_votes = 0;
+  EXPECT_FALSE(EnsembleCollaborativeScoping(*signatures_, 3, zero_votes).ok());
+  EnsembleOptions too_many;
+  too_many.min_votes = too_many.variance_levels.size() + 1;
+  EXPECT_FALSE(EnsembleCollaborativeScoping(*signatures_, 3, too_many).ok());
+  EXPECT_FALSE(CollaborativeVotes(*signatures_, 3, {}).ok());
+}
+
+// --- CSV export ------------------------------------------------------------
+
+TEST(CsvExportTest, CurveToCsv) {
+  const eval::Curve curve{{0.0, 0.5}, {1.0, 0.75}};
+  const std::string csv = eval::CurveToCsv(curve, "fpr", "tpr");
+  EXPECT_EQ(csv, "fpr,tpr\n0.000000,0.500000\n1.000000,0.750000\n");
+}
+
+TEST(CsvExportTest, SweepToCsvHeaders) {
+  std::vector<eval::SweepPoint> sweep(1);
+  sweep[0].parameter = 0.5;
+  sweep[0].confusion = eval::Evaluate({true, false}, {true, false});
+  const std::string csv = eval::SweepToCsv(sweep, "v");
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "v,accuracy,precision,recall,f1");
+  EXPECT_NE(csv.find("0.5000,1.000000,1.000000,1.000000,1.000000"),
+            std::string::npos);
+}
+
+TEST(CsvExportTest, WriteTextFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/colscope_csv_test.csv";
+  ASSERT_TRUE(eval::WriteTextFile(path, "a,b\n1,2\n").ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,2\n");
+  EXPECT_FALSE(eval::WriteTextFile("/nonexistent-dir/x.csv", "x").ok());
+}
+
+}  // namespace
+}  // namespace colscope::scoping

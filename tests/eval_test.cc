@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "eval/curves.h"
+#include "eval/matching_metrics.h"
+#include "eval/metrics.h"
+#include "eval/sweep.h"
+#include "outlier/pca_oda.h"
+
+namespace colscope::eval {
+namespace {
+
+// --- Confusion ------------------------------------------------------------
+
+TEST(ConfusionTest, BasicMetrics) {
+  // labels:      1 1 1 0 0
+  // predictions: 1 1 0 1 0
+  Confusion c = Evaluate({true, true, true, false, false},
+                         {true, true, false, true, false});
+  EXPECT_EQ(c.true_positive, 2u);
+  EXPECT_EQ(c.false_negative, 1u);
+  EXPECT_EQ(c.false_positive, 1u);
+  EXPECT_EQ(c.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(c.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.FalsePositiveRate(), 0.5);
+}
+
+TEST(ConfusionTest, DegenerateCasesAreZeroNotNan) {
+  Confusion none = Evaluate({}, {});
+  EXPECT_DOUBLE_EQ(none.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(none.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(none.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(none.F1(), 0.0);
+  Confusion no_pred = Evaluate({true, false}, {false, false});
+  EXPECT_DOUBLE_EQ(no_pred.Precision(), 0.0);
+  Confusion no_pos = Evaluate({false, false}, {true, false});
+  EXPECT_DOUBLE_EQ(no_pos.Recall(), 0.0);
+}
+
+// --- AUC / curves ------------------------------------------------------------
+
+TEST(AucTest, UnitSquareDiagonalIsHalf) {
+  EXPECT_DOUBLE_EQ(TrapezoidAuc({{0, 0}, {1, 1}}), 0.5);
+}
+
+TEST(AucTest, UnsortedPointsAreSorted) {
+  EXPECT_DOUBLE_EQ(TrapezoidAuc({{1, 1}, {0, 0}, {0.5, 0.5}}), 0.5);
+}
+
+TEST(AucTest, MeanOverSweepIsAverageHeight) {
+  EXPECT_DOUBLE_EQ(MeanOverSweep({{0, 0.2}, {1, 0.8}}), 0.5);
+  // Zero span degrades to the plain mean.
+  EXPECT_DOUBLE_EQ(MeanOverSweep({{0.5, 0.2}, {0.5, 0.8}}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanOverSweep({}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanOverSweep({{0.3, 0.7}}), 0.7);
+}
+
+TEST(RocTest, PerfectScoresGiveUnitAuc) {
+  // Linkable (positive) elements have the LOWEST scores.
+  const std::vector<bool> labels{true, true, false, false};
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  Curve roc = RocFromScores(labels, scores);
+  EXPECT_NEAR(TrapezoidAuc(roc), 1.0, 1e-12);
+}
+
+TEST(RocTest, ReversedScoresGiveZeroAuc) {
+  const std::vector<bool> labels{false, false, true, true};
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  EXPECT_NEAR(TrapezoidAuc(RocFromScores(labels, scores)), 0.0, 1e-12);
+}
+
+TEST(RocTest, RandomScoresNearHalf) {
+  std::vector<bool> labels;
+  std::vector<double> scores;
+  for (int i = 0; i < 2000; ++i) {
+    labels.push_back(i % 2 == 0);
+    scores.push_back(static_cast<double>((i * 2654435761u) % 1000));
+  }
+  EXPECT_NEAR(TrapezoidAuc(RocFromScores(labels, scores)), 0.5, 0.05);
+}
+
+TEST(RocTest, TiedScoresCollapseToOnePoint) {
+  const std::vector<bool> labels{true, false, true, false};
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  Curve roc = RocFromScores(labels, scores);
+  // (0,0) then a single point at (1,1).
+  ASSERT_EQ(roc.size(), 2u);
+  EXPECT_DOUBLE_EQ(roc[1].x, 1.0);
+  EXPECT_DOUBLE_EQ(roc[1].y, 1.0);
+}
+
+TEST(SmoothRocTest, EnforcesMonotonicityAndFullDomain) {
+  // A fluctuating sweep-style ROC that stops at FPR = 0.6.
+  Curve roc{{0.0, 0.0}, {0.1, 0.5}, {0.2, 0.4}, {0.4, 0.7}, {0.6, 0.6}};
+  Curve smoothed = SmoothRocCurve(roc);
+  double prev = -1.0;
+  for (const CurvePoint& p : smoothed) {
+    EXPECT_GE(p.y, prev - 1e-12);
+    prev = p.y;
+  }
+  EXPECT_DOUBLE_EQ(smoothed.back().x, 1.0);
+  // The extension credits the final TPR across the missing FPR range, so
+  // AUC-ROC' exceeds the raw truncated AUC (the paper's motivation).
+  EXPECT_GT(TrapezoidAuc(smoothed), TrapezoidAuc(roc));
+}
+
+TEST(PrTest, AveragePrecisionPerfectAndWorst) {
+  const std::vector<bool> labels{true, true, false, false};
+  EXPECT_NEAR(AveragePrecisionFromScores(labels, {0.1, 0.2, 0.8, 0.9}), 1.0,
+              1e-12);
+  // Worst case: positives ranked last. AP = (0.5)*(1/3)+(0.5)*(2/4).
+  const double worst =
+      AveragePrecisionFromScores(labels, {0.9, 0.8, 0.2, 0.1});
+  EXPECT_NEAR(worst, 0.5 * (1.0 / 3.0) + 0.5 * 0.5, 1e-12);
+}
+
+TEST(PrTest, NoPositivesYieldZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecisionFromScores({false, false}, {0.1, 0.2}),
+                   0.0);
+}
+
+TEST(SweepCurveTest, ExtractorsAlignWithParameters) {
+  std::vector<SweepPoint> sweep(2);
+  sweep[0].parameter = 0.2;
+  sweep[0].confusion = Evaluate({true, false}, {true, true});
+  sweep[1].parameter = 0.8;
+  sweep[1].confusion = Evaluate({true, false}, {true, false});
+  Curve f1 = F1Curve(sweep);
+  ASSERT_EQ(f1.size(), 2u);
+  EXPECT_DOUBLE_EQ(f1[0].x, 0.2);
+  EXPECT_DOUBLE_EQ(f1[1].y, 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionCurve(sweep)[0].y, 0.5);
+  EXPECT_DOUBLE_EQ(RecallCurve(sweep)[0].y, 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyCurve(sweep)[1].y, 1.0);
+  // ROC points sorted by FPR: (0,1) from point 2 and (1,1) from point 1,
+  // plus the (0,0) anchor.
+  Curve roc = RocFromSweep(sweep);
+  ASSERT_EQ(roc.size(), 3u);
+  EXPECT_DOUBLE_EQ(roc.back().x, 1.0);
+}
+
+// --- Parameter grid / sweeps ------------------------------------------------------
+
+TEST(ParameterGridTest, CoversOpenUnitInterval) {
+  const auto grid = ParameterGrid(0.01, 0.99);
+  ASSERT_EQ(grid.size(), 99u);
+  EXPECT_NEAR(grid.front(), 0.01, 1e-12);
+  EXPECT_NEAR(grid.back(), 0.99, 1e-12);
+}
+
+class SweepFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = scoping::BuildSignatures(scenario_.set, encoder_);
+    labels_ = scenario_.truth.LinkabilityLabels(scenario_.set);
+  }
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  scoping::SignatureSet signatures_;
+  std::vector<bool> labels_;
+};
+
+TEST_F(SweepFixture, ScopingSweepRecallMonotone) {
+  outlier::PcaDetector detector(0.5);
+  const auto sweep =
+      ScopingSweep(signatures_, labels_, detector, ParameterGrid(0.1, 1.0));
+  double prev = 0.0;
+  for (const auto& point : sweep) {
+    EXPECT_GE(point.confusion.Recall(), prev - 1e-12);
+    prev = point.confusion.Recall();
+  }
+  // p = 1 keeps everything -> recall 1.
+  EXPECT_DOUBLE_EQ(sweep.back().confusion.Recall(), 1.0);
+}
+
+TEST_F(SweepFixture, CollaborativeSweepProducesReport) {
+  const auto sweep =
+      CollaborativeSweep(signatures_, 4, labels_, ParameterGrid(0.1, 0.9));
+  ASSERT_EQ(sweep.size(), 9u);
+  const AucReport report = ReportForCollaborative(sweep);
+  EXPECT_GT(report.auc_f1, 0.0);
+  EXPECT_LE(report.auc_f1, 100.0);
+  EXPECT_GE(report.auc_roc_smoothed, report.auc_roc - 1e-9);
+}
+
+TEST_F(SweepFixture, ScopingReportInRange) {
+  outlier::PcaDetector detector(0.5);
+  const auto scores = detector.Scores(signatures_.signatures);
+  const auto sweep =
+      ScopingSweepFromScores(scores, labels_, ParameterGrid(0.05, 1.0));
+  const AucReport report = ReportForScoping(labels_, scores, sweep);
+  EXPECT_GT(report.auc_roc, 0.0);
+  EXPECT_LE(report.auc_roc, 100.0);
+  EXPECT_GT(report.auc_pr, 0.0);
+  EXPECT_LE(report.auc_pr, 100.0);
+}
+
+// --- Matching metrics -----------------------------------------------------------------
+
+TEST(MatchingMetricsTest, HandComputedExample) {
+  datasets::MatchingScenario sc = datasets::BuildToyScenario();
+  std::set<matching::ElementPair> generated;
+  // One true pair and one false pair.
+  auto a = sc.set.Resolve("S1", "CLIENT.CID");
+  auto b = sc.set.Resolve("S2", "CUSTOMER.CID");
+  auto c = sc.set.Resolve("S4", "CAR.YEAR");
+  auto d = sc.set.Resolve("S2", "CUSTOMER.DOB");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  generated.insert(matching::MakePair(*a, *b));
+  generated.insert(matching::MakePair(*c, *d));
+
+  const MatchingQuality q = EvaluateMatching(generated, sc.truth, 137);
+  EXPECT_EQ(q.generated, 2u);
+  EXPECT_EQ(q.true_linkages, 1u);
+  EXPECT_DOUBLE_EQ(q.PairQuality(), 0.5);
+  EXPECT_DOUBLE_EQ(q.PairCompleteness(), 1.0 / 18.0);
+  EXPECT_NEAR(q.ReductionRatio(), 1.0 - 2.0 / 137.0, 1e-12);
+  EXPECT_GT(q.F1(), 0.0);
+}
+
+TEST(MatchingMetricsTest, EmptyGeneratedSet) {
+  datasets::MatchingScenario sc = datasets::BuildToyScenario();
+  const MatchingQuality q = EvaluateMatching({}, sc.truth, 100);
+  EXPECT_DOUBLE_EQ(q.PairQuality(), 0.0);
+  EXPECT_DOUBLE_EQ(q.PairCompleteness(), 0.0);
+  EXPECT_DOUBLE_EQ(q.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(q.ReductionRatio(), 1.0);
+}
+
+}  // namespace
+}  // namespace colscope::eval

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "scoping/explain.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = BuildSignatures(scenario_.set, encoder_);
+    auto models = FitLocalModels(signatures_, 4, 0.5);
+    ASSERT_TRUE(models.ok());
+    models_ = std::move(models).value();
+    explanations_ = ExplainLinkability(signatures_, models_);
+  }
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  SignatureSet signatures_;
+  std::vector<LocalModel> models_;
+  std::vector<ElementExplanation> explanations_;
+};
+
+TEST_F(ExplainTest, OneExplanationPerElementWithForeignVerdicts) {
+  ASSERT_EQ(explanations_.size(), signatures_.size());
+  for (const auto& e : explanations_) {
+    // 4 schemas -> 3 foreign verdicts each.
+    EXPECT_EQ(e.verdicts.size(), 3u);
+    for (const auto& v : e.verdicts) {
+      EXPECT_NE(v.schema_index, e.ref.schema);
+      EXPECT_GE(v.reconstruction_error, 0.0);
+      EXPECT_GE(v.linkability_range, 0.0);
+      EXPECT_EQ(v.accepted,
+                v.reconstruction_error <= v.linkability_range);
+    }
+  }
+}
+
+TEST_F(ExplainTest, KeptMatchesCollaborativeScoping) {
+  const auto keep = AssessAll(signatures_, 4, models_);
+  for (size_t i = 0; i < explanations_.size(); ++i) {
+    EXPECT_EQ(explanations_[i].kept, keep[i]) << explanations_[i].text;
+  }
+}
+
+TEST_F(ExplainTest, BestVerdictHasSmallestMargin) {
+  for (const auto& e : explanations_) {
+    const ModelVerdict* best = e.BestVerdict();
+    ASSERT_NE(best, nullptr);
+    for (const auto& v : e.verdicts) {
+      EXPECT_LE(best->margin(), v.margin() + 1e-15);
+    }
+    // A kept element's best margin is <= 1; a pruned one's is > 1.
+    if (e.kept) {
+      EXPECT_LE(best->margin(), 1.0 + 1e-12);
+    } else {
+      EXPECT_GT(best->margin(), 1.0);
+    }
+  }
+}
+
+TEST_F(ExplainTest, FormatIsHumanReadable) {
+  const std::string line =
+      FormatExplanation(explanations_[0], scenario_.set);
+  EXPECT_NE(line.find("S1.CLIENT"), std::string::npos);
+  EXPECT_NE(line.find("best: M["), std::string::npos);
+  EXPECT_NE(line.find("margin="), std::string::npos);
+  EXPECT_TRUE(line.rfind("linkable ", 0) == 0 ||
+              line.rfind("pruned", 0) == 0);
+}
+
+TEST_F(ExplainTest, NoForeignModelsCase) {
+  // Only the element's own schema's model available: no verdicts.
+  std::vector<LocalModel> own_only = {models_[0]};
+  const auto explanations = ExplainLinkability(signatures_, own_only);
+  const auto rows = signatures_.RowsOfSchema(0);
+  for (size_t row : rows) {
+    EXPECT_TRUE(explanations[row].verdicts.empty());
+    EXPECT_FALSE(explanations[row].kept);
+    EXPECT_EQ(explanations[row].BestVerdict(), nullptr);
+    const std::string line =
+        FormatExplanation(explanations[row], scenario_.set);
+    EXPECT_NE(line.find("(no foreign models)"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace colscope::scoping

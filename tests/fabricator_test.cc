@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "datasets/fabricator.h"
+#include "datasets/oc3.h"
+#include "embed/hashed_encoder.h"
+#include "eval/matching_metrics.h"
+#include "matching/lsh_matcher.h"
+#include "scoping/signatures.h"
+
+namespace colscope::datasets {
+namespace {
+
+const schema::Table& SourceTable() {
+  static const schema::Schema* const kSchema =
+      new schema::Schema(LoadMySqlSchema());
+  return *kSchema->FindTable("customers");  // 13 attributes, has a PK.
+}
+
+class FabricatorParamTest
+    : public ::testing::TestWithParam<FabricationKind> {};
+
+TEST_P(FabricatorParamTest, ProducesConsistentScenario) {
+  FabricatorOptions options;
+  options.kind = GetParam();
+  const MatchingScenario scenario = FabricatePair(SourceTable(), options);
+  ASSERT_EQ(scenario.set.num_schemas(), 2u);
+  EXPECT_EQ(scenario.set.schema(0).num_tables(), 1u);
+  EXPECT_EQ(scenario.set.schema(1).num_tables(), 1u);
+  // At least the table pair plus the key-column pair.
+  EXPECT_GE(scenario.truth.size(), 2u);
+  for (const Linkage& l : scenario.truth.linkages()) {
+    EXPECT_NE(l.a.schema, l.b.schema);
+  }
+}
+
+TEST_P(FabricatorParamTest, DeterministicForSeed) {
+  FabricatorOptions options;
+  options.kind = GetParam();
+  const auto a = FabricatePair(SourceTable(), options);
+  const auto b = FabricatePair(SourceTable(), options);
+  EXPECT_EQ(a.truth.size(), b.truth.size());
+  EXPECT_EQ(a.set.schema(1).num_attributes(),
+            b.set.schema(1).num_attributes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, FabricatorParamTest,
+    ::testing::Values(FabricationKind::kUnionable,
+                      FabricationKind::kViewUnionable,
+                      FabricationKind::kJoinable,
+                      FabricationKind::kSemanticallyJoinable));
+
+TEST(FabricatorTest, UnionableKeepsEverythingOnBothSides) {
+  FabricatorOptions options;
+  options.kind = FabricationKind::kUnionable;
+  const auto scenario = FabricatePair(SourceTable(), options);
+  const size_t n = SourceTable().attributes.size();
+  EXPECT_EQ(scenario.set.schema(0).num_attributes(), n);
+  EXPECT_EQ(scenario.set.schema(1).num_attributes(), n);
+  // Every column is annotated (plus the table pair).
+  EXPECT_EQ(scenario.truth.size(), n + 1);
+}
+
+TEST(FabricatorTest, JoinableSharesOnlyTheKey) {
+  FabricatorOptions options;
+  options.kind = FabricationKind::kJoinable;
+  options.rename_probability = 0.0;
+  const auto scenario = FabricatePair(SourceTable(), options);
+  // Table pair + exactly one shared (key) column.
+  EXPECT_EQ(scenario.truth.size(), 2u);
+  const size_t n = SourceTable().attributes.size();
+  EXPECT_EQ(scenario.set.schema(0).num_attributes() +
+                scenario.set.schema(1).num_attributes(),
+            n + 1);  // Key counted on both sides.
+}
+
+TEST(FabricatorTest, SemanticallyJoinableHasNoVerbatimNames) {
+  FabricatorOptions options;
+  options.kind = FabricationKind::kSemanticallyJoinable;
+  const auto scenario = FabricatePair(SourceTable(), options);
+  // Every annotated attribute pair is sub-typed (renamed), never
+  // inter-identical.
+  for (const Linkage& l : scenario.truth.linkages()) {
+    if (l.a.is_table()) continue;
+    EXPECT_EQ(l.type, LinkType::kInterSubTyped);
+  }
+}
+
+TEST(FabricatorTest, ZeroRenameProbabilityKeepsNamesVerbatim) {
+  FabricatorOptions options;
+  options.kind = FabricationKind::kUnionable;
+  options.rename_probability = 0.0;
+  const auto scenario = FabricatePair(SourceTable(), options);
+  for (const Linkage& l : scenario.truth.linkages()) {
+    EXPECT_EQ(l.type, LinkType::kInterIdentical);
+  }
+}
+
+TEST(FabricatorTest, MatcherRecoversFabricatedGroundTruth) {
+  // End-to-end sanity: on an unrenamed unionable pair, top-1 LSH
+  // recovers essentially the whole ground truth.
+  FabricatorOptions options;
+  options.kind = FabricationKind::kUnionable;
+  options.rename_probability = 0.0;
+  const auto scenario = FabricatePair(SourceTable(), options);
+  const embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  const std::vector<bool> all(signatures.size(), true);
+  const auto pairs = matching::LshMatcher(1).Match(signatures, all);
+  const auto quality = eval::EvaluateMatching(
+      pairs, scenario.truth,
+      scenario.set.TableCartesianSize() +
+          scenario.set.AttributeCartesianSize());
+  EXPECT_GT(quality.PairCompleteness(), 0.9);
+}
+
+TEST(FabricatorTest, SemanticJoinHarderThanVerbatimJoin) {
+  // The Valentine difficulty ordering: semantically-joinable (synonyms
+  // only) yields no better completeness than plain joinable for a
+  // signature matcher.
+  const embed::HashedLexiconEncoder encoder;
+  auto run = [&](FabricationKind kind) {
+    FabricatorOptions options;
+    options.kind = kind;
+    options.rename_probability = 0.0;
+    const auto scenario = FabricatePair(SourceTable(), options);
+    const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+    const std::vector<bool> all(signatures.size(), true);
+    const auto pairs = matching::LshMatcher(1).Match(signatures, all);
+    return eval::EvaluateMatching(pairs, scenario.truth,
+                                  scenario.set.TableCartesianSize() +
+                                      scenario.set.AttributeCartesianSize())
+        .PairCompleteness();
+  };
+  EXPECT_GE(run(FabricationKind::kJoinable),
+            run(FabricationKind::kSemanticallyJoinable));
+}
+
+}  // namespace
+}  // namespace colscope::datasets

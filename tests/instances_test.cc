@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "datasets/instances.h"
+#include "datasets/oc3.h"
+
+namespace colscope::datasets {
+namespace {
+
+TEST(InstancesTest, AttachesRequestedSampleCount) {
+  schema::Schema s = LoadOracleSchema();
+  AttachSyntheticSamples(s, 1, 3);
+  for (const auto& table : s.tables()) {
+    for (const auto& attr : table.attributes) {
+      EXPECT_EQ(attr.samples.size(), 3u) << table.name << "." << attr.name;
+    }
+  }
+}
+
+TEST(InstancesTest, DeterministicForSeed) {
+  schema::Schema a = LoadMySqlSchema();
+  schema::Schema b = LoadMySqlSchema();
+  AttachSyntheticSamples(a, 7);
+  AttachSyntheticSamples(b, 7);
+  for (size_t t = 0; t < a.tables().size(); ++t) {
+    for (size_t i = 0; i < a.tables()[t].attributes.size(); ++i) {
+      EXPECT_EQ(a.tables()[t].attributes[i].samples,
+                b.tables()[t].attributes[i].samples);
+    }
+  }
+}
+
+TEST(InstancesTest, SeedChangesSamples) {
+  schema::Schema a = LoadMySqlSchema();
+  schema::Schema b = LoadMySqlSchema();
+  AttachSyntheticSamples(a, 7);
+  AttachSyntheticSamples(b, 8);
+  bool any_diff = false;
+  for (size_t t = 0; t < a.tables().size() && !any_diff; ++t) {
+    for (size_t i = 0; i < a.tables()[t].attributes.size(); ++i) {
+      if (a.tables()[t].attributes[i].samples !=
+          b.tables()[t].attributes[i].samples) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(InstancesTest, ConceptPoolsSelectedByName) {
+  schema::Schema s = LoadMySqlSchema();
+  AttachSyntheticSamples(s, 3);
+  // city columns draw from the city pool.
+  const auto* city = s.FindAttribute("customers", "city");
+  ASSERT_NE(city, nullptr);
+  const std::vector<std::string> cities = {"Berlin", "Paris",  "Oslo",
+                                           "Nantes", "Boston", "Kyoto"};
+  for (const auto& sample : city->samples) {
+    EXPECT_NE(std::find(cities.begin(), cities.end(), sample),
+              cities.end())
+        << sample;
+  }
+  // Cross-schema shared concepts draw from the same pool: HANA CITY too.
+  schema::Schema hana = LoadHanaSchema();
+  AttachSyntheticSamples(hana, 99);
+  const auto* hana_city = hana.FindAttribute("BUSINESSPARTNERS", "CITY");
+  ASSERT_NE(hana_city, nullptr);
+  for (const auto& sample : hana_city->samples) {
+    EXPECT_NE(std::find(cities.begin(), cities.end(), sample),
+              cities.end())
+        << sample;
+  }
+}
+
+TEST(InstancesTest, TypeFallbackForUnknownConcepts) {
+  schema::Schema s("S");
+  schema::Table t;
+  t.name = "T";
+  schema::Attribute attr;
+  attr.name = "zzyzx_widget";  // No concept pool.
+  attr.table_name = "T";
+  attr.raw_type = "INT";
+  attr.type = schema::DataType::kInteger;
+  t.attributes.push_back(attr);
+  ASSERT_TRUE(s.AddTable(t).ok());
+  AttachSyntheticSamples(s, 5);
+  for (const auto& sample : s.tables()[0].attributes[0].samples) {
+    // Integer fallback pool: numeric strings.
+    EXPECT_NE(sample.find_first_of("0123456789"), std::string::npos);
+  }
+}
+
+TEST(InstancesTest, SchemaSetOverloadRebuildsEnumeration) {
+  auto scenario = BuildOc3Scenario();
+  const size_t before = scenario.set.num_elements();
+  AttachSyntheticSamples(scenario.set, 11);
+  EXPECT_EQ(scenario.set.num_elements(), before);
+  // Samples present on some attribute.
+  const auto* attr =
+      scenario.set.schema(0).FindAttribute("CUSTOMERS", "EMAIL_ADDRESS");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_FALSE(attr->samples.empty());
+}
+
+}  // namespace
+}  // namespace colscope::datasets

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json_writer.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "matching/sim.h"
+#include "pipeline/report.h"
+
+namespace colscope {
+namespace {
+
+// --- JsonWriter -----------------------------------------------------------
+
+TEST(JsonWriterTest, ObjectsArraysAndValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("s").String("x");
+  json.Key("n").Number(1.5);
+  json.Key("i").Int(-7);
+  json.Key("b").Bool(true);
+  json.Key("z").Null();
+  json.Key("a").BeginArray().Int(1).Int(2).EndArray();
+  json.Key("o").BeginObject().Key("k").String("v").EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            R"({"s":"x","n":1.5,"i":-7,"b":true,"z":null,"a":[1,2],)"
+            R"("o":{"k":"v"}})");
+}
+
+TEST(JsonWriterTest, EscapesSpecials) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray().Number(std::nan("")).Number(1.0).EndArray();
+  EXPECT_EQ(json.str(), "[null,1]");
+}
+
+// --- RunToJson -----------------------------------------------------------------
+
+TEST(RunToJsonTest, FullRunSerializes) {
+  auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  pipeline::PipelineOptions options;
+  options.explained_variance = 0.5;
+  pipeline::Pipeline pipe(&encoder, options);
+  matching::SimMatcher matcher(0.6);
+  auto run = pipe.Run(scenario.set, matcher, &scenario.truth);
+  ASSERT_TRUE(run.ok());
+
+  const std::string json = pipeline::RunToJson(*run, scenario.set);
+  // Structural spot checks (kept cheap; a JSON parser is out of scope).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"num_elements\":24"), std::string::npos);
+  EXPECT_NE(json.find("\"S1.CLIENT\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"table\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"attribute\""), std::string::npos);
+  EXPECT_NE(json.find("\"quality\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"reduction_ratio\":"), std::string::npos);
+  // Balanced braces/brackets.
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RunToJsonTest, NoTruthYieldsNullQuality) {
+  auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  pipeline::Pipeline pipe(&encoder, pipeline::PipelineOptions{});
+  matching::SimMatcher matcher(0.8);
+  auto run = pipe.Run(scenario.set, matcher);
+  ASSERT_TRUE(run.ok());
+  EXPECT_NE(pipeline::RunToJson(*run, scenario.set).find("\"quality\":null"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace colscope

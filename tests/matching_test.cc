@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "matching/cluster_matcher.h"
+#include "matching/flat_index.h"
+#include "matching/kmeans.h"
+#include "matching/lsh_matcher.h"
+#include "matching/sim.h"
+
+namespace colscope::matching {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class MatchingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = scoping::BuildSignatures(scenario_.set, encoder_);
+    all_active_.assign(signatures_.size(), true);
+  }
+
+  bool Contains(const std::set<ElementPair>& pairs, const char* schema_a,
+                const char* path_a, const char* schema_b,
+                const char* path_b) {
+    auto a = scenario_.set.Resolve(schema_a, path_a);
+    auto b = scenario_.set.Resolve(schema_b, path_b);
+    EXPECT_TRUE(a.ok() && b.ok());
+    return pairs.count(MakePair(*a, *b)) > 0;
+  }
+
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  scoping::SignatureSet signatures_;
+  std::vector<bool> all_active_;
+};
+
+// --- k-Means ------------------------------------------------------------------
+
+TEST(KMeansTest, SeparatesTwoClusters) {
+  Matrix points(8, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    points(i, 0) = 0.0 + 0.01 * static_cast<double>(i);
+    points(i, 1) = 0.0;
+    points(i + 4, 0) = 10.0 + 0.01 * static_cast<double>(i);
+    points(i + 4, 1) = 10.0;
+  }
+  KMeansOptions options;
+  options.k = 2;
+  const auto assign = KMeansCluster(points, options);
+  ASSERT_EQ(assign.size(), 8u);
+  for (size_t i = 1; i < 4; ++i) EXPECT_EQ(assign[i], assign[0]);
+  for (size_t i = 5; i < 8; ++i) EXPECT_EQ(assign[i], assign[4]);
+  EXPECT_NE(assign[0], assign[4]);
+}
+
+TEST(KMeansTest, KLargerThanNClamps) {
+  Matrix points(3, 2);
+  points(1, 0) = 1.0;
+  points(2, 0) = 2.0;
+  KMeansOptions options;
+  options.k = 10;
+  const auto assign = KMeansCluster(points, options);
+  for (size_t a : assign) EXPECT_LT(a, 3u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(3);
+  Matrix points(30, 4);
+  for (double& v : points.data()) v = rng.NextGaussian();
+  KMeansOptions options;
+  options.k = 4;
+  EXPECT_EQ(KMeansCluster(points, options), KMeansCluster(points, options));
+}
+
+TEST(KMeansTest, IdenticalPointsAreSafe) {
+  Matrix points(6, 3, 1.0);
+  KMeansOptions options;
+  options.k = 3;
+  const auto assign = KMeansCluster(points, options);
+  EXPECT_EQ(assign.size(), 6u);
+}
+
+// --- FlatL2Index ------------------------------------------------------------------
+
+TEST(FlatIndexTest, ExactNearestNeighbours) {
+  Matrix vectors(4, 2);
+  vectors(0, 0) = 0.0;
+  vectors(1, 0) = 1.0;
+  vectors(2, 0) = 2.0;
+  vectors(3, 0) = 3.0;
+  FlatL2Index index(vectors);
+  const auto hits = index.Search({1.1, 0.0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_EQ(hits[1], 2u);
+}
+
+TEST(FlatIndexTest, KLargerThanIndexSize) {
+  Matrix vectors(2, 2);
+  vectors(1, 0) = 1.0;
+  FlatL2Index index(vectors);
+  EXPECT_EQ(index.Search({0.0, 0.0}, 10).size(), 2u);
+}
+
+TEST(LshIndexTest, ApproximateSearchFindsNearNeighbours) {
+  Rng rng(5);
+  Matrix vectors(200, 16);
+  for (double& v : vectors.data()) v = rng.NextGaussian();
+  RandomHyperplaneLsh lsh(vectors, {});
+  FlatL2Index flat(vectors);
+  // Query with an indexed vector: its own id must be the top hit.
+  for (size_t q : {0u, 50u, 199u}) {
+    const auto hits = lsh.Search(vectors.Row(q), 3);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0], q);
+  }
+}
+
+// --- SIM ----------------------------------------------------------------------------
+
+TEST_F(MatchingFixture, SimFindsObviousLinkages) {
+  SimMatcher sim(0.6);
+  const auto pairs = sim.Match(signatures_, all_active_);
+  EXPECT_TRUE(Contains(pairs, "S1", "CLIENT.CID", "S2", "CUSTOMER.CID"));
+  EXPECT_TRUE(Contains(pairs, "S1", "CLIENT.NAME", "S3", "CONTACTS.CNAME"));
+}
+
+TEST_F(MatchingFixture, SimThresholdMonotone) {
+  const auto loose = SimMatcher(0.4).Match(signatures_, all_active_);
+  const auto strict = SimMatcher(0.8).Match(signatures_, all_active_);
+  EXPECT_LE(strict.size(), loose.size());
+  for (const auto& pair : strict) EXPECT_TRUE(loose.count(pair));
+}
+
+TEST_F(MatchingFixture, SimRespectsMask) {
+  std::vector<bool> mask(signatures_.size(), false);
+  const auto pairs = SimMatcher(0.0).Match(signatures_, mask);
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST_F(MatchingFixture, SimOnlySameKindCrossSchemaPairs) {
+  const auto pairs = SimMatcher(0.0).Match(signatures_, all_active_);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a.schema, b.schema);
+    EXPECT_EQ(a.is_table(), b.is_table());
+  }
+}
+
+TEST_F(MatchingFixture, SimComparisonCountMatchesCartesianSameKind) {
+  // Tables: S1 x S2 (1*2) + S1 x S3 + S1 x S4 + S2 x S3 (2) + S2 x S4 (2)
+  // + S3 x S4 = 1*2+1+1+2+2+1 = 9.
+  // Attributes: 4*8 + 4*3 + 4*4 + 8*3 + 8*4 + 3*4 = 32+12+16+24+32+12=128.
+  EXPECT_EQ(SimMatcher::ComparisonCount(signatures_, all_active_),
+            9u + 128u);
+}
+
+// --- CLUSTER ---------------------------------------------------------------------------
+
+TEST_F(MatchingFixture, ClusterMatcherProducesValidPairs) {
+  ClusterMatcher cluster(2);
+  const auto pairs = cluster.Match(signatures_, all_active_);
+  EXPECT_FALSE(pairs.empty());
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a.schema, b.schema);
+    EXPECT_EQ(a.is_table(), b.is_table());
+  }
+}
+
+TEST_F(MatchingFixture, MoreClustersFewerPairs) {
+  const auto few = ClusterMatcher(2).Match(signatures_, all_active_);
+  const auto many = ClusterMatcher(20).Match(signatures_, all_active_);
+  EXPECT_LE(many.size(), few.size());
+}
+
+// --- LSH ------------------------------------------------------------------------------
+
+TEST_F(MatchingFixture, LshTopOneFindsIdenticalCounterpart) {
+  LshMatcher lsh(1);
+  const auto pairs = lsh.Match(signatures_, all_active_);
+  EXPECT_TRUE(Contains(pairs, "S1", "CLIENT.CID", "S2", "CUSTOMER.CID") ||
+              Contains(pairs, "S1", "CLIENT.CID", "S3", "CONTACTS.CID"));
+}
+
+TEST_F(MatchingFixture, LshLargerKMorePairs) {
+  const auto k1 = LshMatcher(1).Match(signatures_, all_active_);
+  const auto k5 = LshMatcher(5).Match(signatures_, all_active_);
+  EXPECT_GE(k5.size(), k1.size());
+}
+
+TEST_F(MatchingFixture, LshRespectsMask) {
+  // Deactivate all of S4: no pair may involve schema 3.
+  std::vector<bool> mask = all_active_;
+  for (size_t i = 0; i < signatures_.size(); ++i) {
+    if (signatures_.refs[i].schema == 3) mask[i] = false;
+  }
+  const auto pairs = LshMatcher(5).Match(signatures_, mask);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a.schema, 3);
+    EXPECT_NE(b.schema, 3);
+  }
+}
+
+TEST_F(MatchingFixture, ApproximateLshIsReasonableSubstitute) {
+  const auto exact = LshMatcher(3, /*approximate=*/false)
+                         .Match(signatures_, all_active_);
+  const auto approx = LshMatcher(3, /*approximate=*/true)
+                          .Match(signatures_, all_active_);
+  // Approximate retrieval agrees on a majority of the pairs.
+  size_t common = 0;
+  for (const auto& pair : approx) common += exact.count(pair);
+  EXPECT_GE(common * 2, exact.size());
+}
+
+TEST_F(MatchingFixture, MatcherNames) {
+  EXPECT_EQ(SimMatcher(0.6).name(), "SIM(0.6)");
+  EXPECT_EQ(ClusterMatcher(5).name(), "CLUSTER(5)");
+  EXPECT_EQ(LshMatcher(20).name(), "LSH(20)");
+  EXPECT_EQ(LshMatcher(2, true).name(), "LSH(2)~");
+}
+
+}  // namespace
+}  // namespace colscope::matching

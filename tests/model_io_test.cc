@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "scoping/model_io.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = BuildSignatures(scenario_.set, encoder_);
+  }
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  SignatureSet signatures_;
+};
+
+TEST_F(ModelIoTest, RoundTripPreservesBehaviour) {
+  const linalg::Matrix local = signatures_.SchemaSignatures(1);
+  auto model = LocalModel::Fit(local, 0.7, 1);
+  ASSERT_TRUE(model.ok());
+
+  const std::string serialized = SerializeLocalModel(*model);
+  auto restored = DeserializeLocalModel(serialized);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->schema_index(), 1);
+  EXPECT_DOUBLE_EQ(restored->linkability_range(),
+                   model->linkability_range());
+  // Reconstruction errors — the model's observable behaviour — match
+  // bit-for-bit on both local and foreign signatures (%.17g round-trips
+  // doubles exactly).
+  const auto foreign = signatures_.SchemaSignatures(0);
+  EXPECT_EQ(restored->ReconstructionErrors(local),
+            model->ReconstructionErrors(local));
+  EXPECT_EQ(restored->ReconstructionErrors(foreign),
+            model->ReconstructionErrors(foreign));
+}
+
+TEST_F(ModelIoTest, DistributedAssessmentViaSerializedModels) {
+  // The full federation story: each schema publishes only its serialized
+  // model; a peer deserializes them and assesses its own elements.
+  std::vector<std::string> published;
+  for (int s = 1; s < 4; ++s) {
+    auto model =
+        LocalModel::Fit(signatures_.SchemaSignatures(s), 0.6, s);
+    ASSERT_TRUE(model.ok());
+    published.push_back(SerializeLocalModel(*model));
+  }
+  std::vector<LocalModel> foreign;
+  for (const std::string& text : published) {
+    auto restored = DeserializeLocalModel(text);
+    ASSERT_TRUE(restored.ok());
+    foreign.push_back(std::move(restored).value());
+  }
+  const auto direct_models = FitLocalModels(signatures_, 4, 0.6);
+  ASSERT_TRUE(direct_models.ok());
+
+  const linalg::Matrix local = signatures_.SchemaSignatures(0);
+  const auto via_serialized = AssessLinkability(local, 0, foreign);
+  const auto direct = AssessLinkability(local, 0, *direct_models);
+  EXPECT_EQ(via_serialized, direct);
+}
+
+TEST_F(ModelIoTest, HeaderAndShapeValidation) {
+  EXPECT_FALSE(DeserializeLocalModel("").ok());
+  EXPECT_FALSE(DeserializeLocalModel("not a model\n").ok());
+
+  const linalg::Matrix local = signatures_.SchemaSignatures(2);
+  auto model = LocalModel::Fit(local, 0.5, 2);
+  ASSERT_TRUE(model.ok());
+  std::string text = SerializeLocalModel(*model);
+
+  // Truncated pc lines.
+  const size_t last_pc = text.rfind("pc ");
+  ASSERT_NE(last_pc, std::string::npos);
+  EXPECT_FALSE(DeserializeLocalModel(text.substr(0, last_pc)).ok());
+
+  // Corrupted number.
+  std::string corrupted = text;
+  const size_t range_pos = corrupted.find("range ");
+  corrupted.replace(range_pos, 7, "range x");
+  EXPECT_FALSE(DeserializeLocalModel(corrupted).ok());
+
+  // Unknown key.
+  EXPECT_FALSE(DeserializeLocalModel(
+                   "colscope-local-model v1\nbogus 1\n")
+                   .ok());
+}
+
+TEST_F(ModelIoTest, FromPartsValidation) {
+  EXPECT_FALSE(linalg::PcaModel::FromParts({}, linalg::Matrix(1, 3)).ok());
+  EXPECT_FALSE(
+      linalg::PcaModel::FromParts({1.0, 2.0}, linalg::Matrix(1, 3)).ok());
+  auto pca = linalg::PcaModel::FromParts({1.0, 2.0, 3.0},
+                                         linalg::Matrix(1, 3, 0.5));
+  ASSERT_TRUE(pca.ok());
+  EXPECT_FALSE(LocalModel::FromParts(*pca, -1.0, 0).ok());
+  EXPECT_TRUE(LocalModel::FromParts(*pca, 0.5, 0).ok());
+}
+
+}  // namespace
+}  // namespace colscope::scoping

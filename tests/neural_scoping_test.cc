@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "scoping/neural_collaborative.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+namespace {
+
+class NeuralScopingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = BuildSignatures(scenario_.set, encoder_);
+    options_.hidden_dims = {16, 4, 16};  // Small for test speed.
+    options_.epochs = 20;
+  }
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  SignatureSet signatures_;
+  NeuralLocalModelOptions options_;
+};
+
+TEST_F(NeuralScopingTest, TrainingElementsPassOwnRange) {
+  // Definition 3 carries over: l_k is the max training error, so every
+  // training element reconstructs within range.
+  const linalg::Matrix local = signatures_.SchemaSignatures(1);
+  auto model = NeuralLocalModel::Fit(local, options_, 1);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const auto errors = model->ReconstructionErrors(local);
+  for (double e : errors) {
+    EXPECT_LE(e, model->linkability_range() + 1e-12);
+  }
+  EXPECT_EQ(model->schema_index(), 1);
+}
+
+TEST_F(NeuralScopingTest, RejectsEmptyAndBadConfig) {
+  EXPECT_FALSE(NeuralLocalModel::Fit(linalg::Matrix(), options_, 0).ok());
+  NeuralLocalModelOptions no_hidden;
+  no_hidden.hidden_dims = {};
+  EXPECT_FALSE(
+      NeuralLocalModel::Fit(signatures_.SchemaSignatures(0), no_hidden, 0)
+          .ok());
+}
+
+TEST_F(NeuralScopingTest, DeterministicForSeed) {
+  const linalg::Matrix local = signatures_.SchemaSignatures(0);
+  auto a = NeuralLocalModel::Fit(local, options_, 0);
+  auto b = NeuralLocalModel::Fit(local, options_, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->linkability_range(), b->linkability_range());
+  EXPECT_EQ(a->ReconstructionErrors(local), b->ReconstructionErrors(local));
+}
+
+TEST_F(NeuralScopingTest, SchemasGetIndependentInitializations) {
+  const linalg::Matrix local = signatures_.SchemaSignatures(0);
+  auto m0 = NeuralLocalModel::Fit(local, options_, 0);
+  auto m1 = NeuralLocalModel::Fit(local, options_, 1);
+  ASSERT_TRUE(m0.ok());
+  ASSERT_TRUE(m1.ok());
+  // Same data, different schema index -> different seed -> different net.
+  EXPECT_NE(m0->ReconstructionErrors(local), m1->ReconstructionErrors(local));
+}
+
+TEST_F(NeuralScopingTest, EndToEndProducesMask) {
+  auto keep = CollaborativeScopingNeural(signatures_, 4, options_);
+  ASSERT_TRUE(keep.ok()) << keep.status().ToString();
+  EXPECT_EQ(keep->size(), signatures_.size());
+}
+
+TEST_F(NeuralScopingTest, MoreEpochsTightenTheRange) {
+  const linalg::Matrix local = signatures_.SchemaSignatures(1);
+  NeuralLocalModelOptions few = options_;
+  few.epochs = 2;
+  NeuralLocalModelOptions many = options_;
+  many.epochs = 120;
+  auto loose = NeuralLocalModel::Fit(local, few, 1);
+  auto tight = NeuralLocalModel::Fit(local, many, 1);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  // Longer training fits the local distribution better -> smaller max
+  // reconstruction error (the autoencoder analogue of raising v).
+  EXPECT_LT(tight->linkability_range(), loose->linkability_range());
+}
+
+}  // namespace
+}  // namespace colscope::scoping

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/stats.h"
+#include "nn/network.h"
+
+namespace colscope::nn {
+namespace {
+
+using linalg::Matrix;
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.NextGaussian();
+  return m;
+}
+
+TEST(DenseLayerTest, ForwardShapesAndLinearity) {
+  Rng rng(1);
+  DenseLayer layer(3, 2, /*relu=*/false, rng);
+  Matrix x = RandomMatrix(5, 3, 2);
+  Matrix y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 2u);
+  // Linearity: f(2x) - f(x) == f(x) - f(0) for a linear layer.
+  Matrix x2 = x;
+  for (double& v : x2.data()) v *= 2.0;
+  Matrix y2 = layer.Forward(x2);
+  Matrix zero(5, 3, 0.0);
+  Matrix y0 = layer.Forward(zero);
+  for (size_t i = 0; i < y.data().size(); ++i) {
+    EXPECT_NEAR(y2.data()[i] - y.data()[i], y.data()[i] - y0.data()[i], 1e-9);
+  }
+}
+
+TEST(DenseLayerTest, ReluClampsNegatives) {
+  Rng rng(3);
+  DenseLayer layer(4, 8, /*relu=*/true, rng);
+  Matrix x = RandomMatrix(10, 4, 4);
+  Matrix y = layer.Forward(x);
+  for (double v : y.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(DenseLayerTest, BackwardGradientMatchesFiniteDifference) {
+  // Check dL/dx for L = sum(y) via finite differences.
+  Rng rng(5);
+  DenseLayer layer(3, 2, /*relu=*/false, rng);
+  Matrix x = RandomMatrix(1, 3, 6);
+  Matrix y = layer.Forward(x);
+  Matrix grad_out(1, 2, 1.0);  // dL/dy = 1.
+  Matrix grad_in = layer.Backward(grad_out);
+
+  const double eps = 1e-6;
+  for (size_t c = 0; c < 3; ++c) {
+    Matrix xp = x;
+    xp(0, c) += eps;
+    Matrix xm = x;
+    xm(0, c) -= eps;
+    double lp = 0.0, lm = 0.0;
+    Matrix yp = layer.Forward(xp);
+    for (double v : yp.data()) lp += v;
+    Matrix ym = layer.Forward(xm);
+    for (double v : ym.data()) lm += v;
+    EXPECT_NEAR(grad_in(0, c), (lp - lm) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(MlpTest, DeterministicForSeed) {
+  Matrix x = RandomMatrix(8, 6, 7);
+  Mlp a({6, 4, 6}, 42);
+  Mlp b({6, 4, 6}, 42);
+  Matrix ya = a.Predict(x);
+  Matrix yb = b.Predict(x);
+  EXPECT_EQ(ya.data(), yb.data());
+}
+
+TEST(MlpTest, TrainingReducesAutoencoderLoss) {
+  // Low-rank data: 20 samples in an essentially 2-D subspace of R^8.
+  Rng rng(9);
+  Matrix basis = RandomMatrix(2, 8, 10);
+  Matrix coeffs = RandomMatrix(20, 2, 11);
+  Matrix x = coeffs.Multiply(basis);
+
+  // The bottleneck has 4 ReLU units: representing the two signed latent
+  // coefficients needs ~2 units per sign.
+  Mlp net({8, 6, 4, 6, 8}, 13);
+  TrainOptions options;
+  options.learning_rate = 3e-3;
+  options.batch_size = 5;  // Several Adam steps per epoch.
+  options.epochs = 1;
+  const double first = net.TrainEpoch(x, x, options);
+  options.epochs = 400;
+  const double last = net.Fit(x, x, options);
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(MlpTest, FitsSimpleRegression) {
+  // y = x1 + x2 learned by a small network.
+  Rng rng(15);
+  Matrix x = RandomMatrix(64, 2, 16);
+  Matrix y(64, 1);
+  for (size_t r = 0; r < 64; ++r) y(r, 0) = x(r, 0) + x(r, 1);
+  Mlp net({2, 8, 1}, 17);
+  TrainOptions options;
+  options.epochs = 500;
+  options.batch_size = 16;
+  const double loss = net.Fit(x, y, options);
+  EXPECT_LT(loss, 0.05);
+}
+
+TEST(MlpTest, InputOutputDims) {
+  Mlp net({768, 100, 10, 100, 768}, 1);
+  EXPECT_EQ(net.input_dim(), 768u);
+  EXPECT_EQ(net.output_dim(), 768u);
+}
+
+}  // namespace
+}  // namespace colscope::nn

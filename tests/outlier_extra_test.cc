@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "outlier/isolation_forest.h"
+#include "outlier/knn.h"
+
+namespace colscope::outlier {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix ClusterWithOutlier(size_t n, size_t d, double outlier_distance,
+                          uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t r = 0; r + 1 < n; ++r) {
+    for (size_t c = 0; c < d; ++c) m(r, c) = 0.1 * rng.NextGaussian();
+  }
+  for (size_t c = 0; c < d; ++c) m(n - 1, c) = outlier_distance;
+  return m;
+}
+
+size_t ArgMax(const Vector& scores) {
+  return static_cast<size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+// --- kNN distance ODA ----------------------------------------------------
+
+TEST(KnnDetectorTest, FlagsFarPointMeanAndMax) {
+  Matrix m = ClusterWithOutlier(40, 6, 5.0, 21);
+  EXPECT_EQ(ArgMax(KnnDetector(10, KnnDetector::Aggregate::kMean).Scores(m)),
+            39u);
+  EXPECT_EQ(ArgMax(KnnDetector(10, KnnDetector::Aggregate::kMax).Scores(m)),
+            39u);
+}
+
+TEST(KnnDetectorTest, MaxAggregateDominatesMean) {
+  Matrix m = ClusterWithOutlier(30, 5, 3.0, 22);
+  const Vector mean_scores =
+      KnnDetector(5, KnnDetector::Aggregate::kMean).Scores(m);
+  const Vector max_scores =
+      KnnDetector(5, KnnDetector::Aggregate::kMax).Scores(m);
+  for (size_t i = 0; i < mean_scores.size(); ++i) {
+    EXPECT_LE(mean_scores[i], max_scores[i] + 1e-12);
+  }
+}
+
+TEST(KnnDetectorTest, SmallInputs) {
+  KnnDetector detector(10);
+  EXPECT_TRUE(detector.Scores(Matrix()).empty());
+  EXPECT_EQ(detector.Scores(Matrix(1, 3, 0.0)), Vector{0.0});
+  // k clamps to n-1.
+  Matrix two(2, 2);
+  two(1, 0) = 3.0;
+  two(1, 1) = 4.0;
+  const Vector scores = detector.Scores(two);
+  EXPECT_DOUBLE_EQ(scores[0], 5.0);
+  EXPECT_DOUBLE_EQ(scores[1], 5.0);
+}
+
+TEST(KnnDetectorTest, NameEncodesConfig) {
+  EXPECT_EQ(KnnDetector(10).name(), "knn(k=10,mean)");
+  EXPECT_EQ(KnnDetector(3, KnnDetector::Aggregate::kMax).name(),
+            "knn(k=3,max)");
+}
+
+// --- Isolation Forest ------------------------------------------------------
+
+TEST(IsolationForestTest, FlagsFarPoint) {
+  Matrix m = ClusterWithOutlier(60, 4, 6.0, 23);
+  IsolationForestDetector detector;
+  const Vector scores = detector.Scores(m);
+  EXPECT_EQ(ArgMax(scores), 59u);
+  // Standard score semantics: anomaly well above 0.5, inliers below.
+  EXPECT_GT(scores[59], 0.55);
+  double inlier_mean = 0.0;
+  for (size_t i = 0; i + 1 < 60; ++i) inlier_mean += scores[i];
+  inlier_mean /= 59.0;
+  EXPECT_LT(inlier_mean, scores[59]);
+}
+
+TEST(IsolationForestTest, ScoresWithinUnitInterval) {
+  Rng rng(24);
+  Matrix m(50, 8);
+  for (double& v : m.data()) v = rng.NextGaussian();
+  const Vector scores = IsolationForestDetector().Scores(m);
+  for (double s : scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, DeterministicForSeed) {
+  Matrix m = ClusterWithOutlier(30, 5, 3.0, 25);
+  IsolationForestDetector a, b;
+  EXPECT_EQ(a.Scores(m), b.Scores(m));
+}
+
+TEST(IsolationForestTest, SeedChangesScores) {
+  Matrix m = ClusterWithOutlier(30, 5, 3.0, 26);
+  IsolationForestOptions other;
+  other.seed = 777;
+  EXPECT_NE(IsolationForestDetector().Scores(m),
+            IsolationForestDetector(other).Scores(m));
+}
+
+TEST(IsolationForestTest, ConstantDataIsSafe) {
+  Matrix m(20, 4, 1.0);  // No split possible anywhere.
+  const Vector scores = IsolationForestDetector().Scores(m);
+  ASSERT_EQ(scores.size(), 20u);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(IsolationForestTest, SubsampleClampAndName) {
+  IsolationForestOptions options;
+  options.subsample_size = 1000;  // > data size.
+  options.num_trees = 10;
+  Matrix m = ClusterWithOutlier(15, 3, 4.0, 27);
+  const Vector scores = IsolationForestDetector(options).Scores(m);
+  EXPECT_EQ(scores.size(), 15u);
+  EXPECT_EQ(IsolationForestDetector().name(), "iforest(t=100,psi=64)");
+}
+
+}  // namespace
+}  // namespace colscope::outlier

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "outlier/autoencoder.h"
+#include "outlier/lof.h"
+#include "outlier/pca_oda.h"
+#include "outlier/zscore.h"
+
+namespace colscope::outlier {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Dense Gaussian cluster around the origin plus one far-away outlier as
+/// the last row.
+Matrix ClusterWithOutlier(size_t n, size_t d, double outlier_distance,
+                          uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t r = 0; r + 1 < n; ++r) {
+    for (size_t c = 0; c < d; ++c) m(r, c) = 0.1 * rng.NextGaussian();
+  }
+  for (size_t c = 0; c < d; ++c) m(n - 1, c) = outlier_distance;
+  return m;
+}
+
+/// Index of the maximum score.
+size_t ArgMax(const Vector& scores) {
+  return static_cast<size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+TEST(ZScoreTest, FlagsFarPoint) {
+  Matrix m = ClusterWithOutlier(30, 8, 5.0, 1);
+  ZScoreDetector detector;
+  Vector scores = detector.Scores(m);
+  ASSERT_EQ(scores.size(), 30u);
+  EXPECT_EQ(ArgMax(scores), 29u);
+}
+
+TEST(ZScoreTest, ConstantColumnsAreHarmless) {
+  Matrix m(5, 3, 1.0);  // Zero variance everywhere.
+  ZScoreDetector detector;
+  Vector scores = detector.Scores(m);
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(ZScoreTest, NameIsStable) {
+  EXPECT_EQ(ZScoreDetector().name(), "z-score");
+}
+
+TEST(LofTest, FlagsDensityOutlier) {
+  Matrix m = ClusterWithOutlier(40, 6, 4.0, 2);
+  LofDetector detector(10);
+  Vector scores = detector.Scores(m);
+  EXPECT_EQ(ArgMax(scores), 39u);
+  // Cluster members are near 1.
+  for (size_t i = 0; i + 1 < 40; ++i) EXPECT_LT(scores[i], 2.0);
+  EXPECT_GT(scores[39], 2.0);
+}
+
+TEST(LofTest, SmallInputsAreSafe) {
+  LofDetector detector(20);
+  EXPECT_EQ(detector.Scores(Matrix(1, 4, 0.0)).size(), 1u);
+  EXPECT_EQ(detector.Scores(Matrix(0, 4, 0.0)).size(), 0u);
+  // n-1 < k clamps the neighborhood; all scores stay finite. (With the
+  // neighborhood covering the whole set, LOF's ranking is not meaningful
+  // for such tiny inputs, so only well-formedness is asserted.)
+  Matrix m = ClusterWithOutlier(5, 4, 3.0, 3);
+  Vector scores = detector.Scores(m);
+  EXPECT_EQ(scores.size(), 5u);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(LofTest, DuplicatePointsDoNotExplode) {
+  Matrix m(10, 3, 0.5);  // All identical -> zero distances.
+  LofDetector detector(3);
+  Vector scores = detector.Scores(m);
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(LofTest, NameIncludesNeighborCount) {
+  EXPECT_EQ(LofDetector(20).name(), "lof(n=20)");
+}
+
+TEST(PcaOdaTest, FlagsOffSubspacePoint) {
+  // Points on a line in R^5 plus one point off the line.
+  Rng rng(4);
+  Matrix m(21, 5);
+  for (size_t r = 0; r < 20; ++r) {
+    const double t = rng.NextGaussian();
+    for (size_t c = 0; c < 5; ++c) m(r, c) = t * (1.0 + 0.1 * c);
+  }
+  m(20, 0) = 0.0;
+  m(20, 1) = 3.0;
+  m(20, 2) = -3.0;
+  m(20, 3) = 3.0;
+  m(20, 4) = -3.0;
+  PcaDetector detector(0.5);
+  Vector scores = detector.Scores(m);
+  EXPECT_EQ(ArgMax(scores), 20u);
+}
+
+TEST(PcaOdaTest, HigherVarianceLowersScores) {
+  // Isotropic Gaussian data spreads the explained variance over all
+  // components, so different variance targets select different ranks.
+  Rng rng(55);
+  Matrix m(30, 10);
+  for (double& v : m.data()) v = rng.NextGaussian();
+  const Vector low = PcaDetector(0.2).Scores(m);
+  const Vector high = PcaDetector(0.95).Scores(m);
+  double low_sum = 0.0, high_sum = 0.0;
+  for (size_t i = 0; i < low.size(); ++i) {
+    low_sum += low[i];
+    high_sum += high[i];
+  }
+  EXPECT_LT(high_sum, low_sum);
+}
+
+TEST(PcaOdaTest, NameEncodesVariance) {
+  EXPECT_EQ(PcaDetector(0.5).name(), "pca(v=0.50)");
+}
+
+TEST(AutoencoderTest, FlagsOutlierWithTinyEnsemble) {
+  Matrix m = ClusterWithOutlier(25, 8, 4.0, 6);
+  AutoencoderOptions options;
+  options.hidden_dims = {6, 3, 6};
+  options.ensemble_size = 2;
+  options.epochs = 60;
+  AutoencoderDetector detector(options);
+  Vector scores = detector.Scores(m);
+  EXPECT_EQ(ArgMax(scores), 24u);
+}
+
+TEST(AutoencoderTest, DeterministicForSeed) {
+  Matrix m = ClusterWithOutlier(10, 6, 3.0, 7);
+  AutoencoderOptions options;
+  options.hidden_dims = {4};
+  options.ensemble_size = 1;
+  options.epochs = 5;
+  AutoencoderDetector a(options), b(options);
+  EXPECT_EQ(a.Scores(m), b.Scores(m));
+}
+
+TEST(AutoencoderTest, EmptyInput) {
+  AutoencoderDetector detector;
+  EXPECT_TRUE(detector.Scores(Matrix()).empty());
+}
+
+}  // namespace
+}  // namespace colscope::outlier

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "matching/sim.h"
+#include "outlier/pca_oda.h"
+#include "pipeline/pipeline.h"
+
+namespace colscope::pipeline {
+namespace {
+
+class PipelineApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override { scenario_ = datasets::BuildToyScenario(); }
+
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  matching::SimMatcher matcher_{0.6};
+};
+
+TEST_F(PipelineApiTest, CollaborativeEndToEnd) {
+  PipelineOptions options;
+  options.scoper = ScoperKind::kCollaborativePca;
+  options.explained_variance = 0.5;
+  Pipeline pipeline(&encoder_, options);
+
+  auto run = pipeline.Run(scenario_.set, matcher_, &scenario_.truth);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->keep.size(), scenario_.set.num_elements());
+  EXPECT_GT(run->num_kept(), 0u);
+  EXPECT_GT(run->num_pruned(), 0u);
+  EXPECT_EQ(run->streamlined.num_schemas(), 4u);
+  ASSERT_TRUE(run->quality.has_value());
+  EXPECT_EQ(run->quality->cartesian,
+            scenario_.set.TableCartesianSize() +
+                scenario_.set.AttributeCartesianSize());
+}
+
+TEST_F(PipelineApiTest, NoScopingKeepsEverything) {
+  PipelineOptions options;
+  options.scoper = ScoperKind::kNone;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_kept(), scenario_.set.num_elements());
+  EXPECT_FALSE(run->quality.has_value());
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(run->streamlined.schema(s).num_elements(),
+              scenario_.set.schema(s).num_elements());
+  }
+}
+
+TEST_F(PipelineApiTest, GlobalScopingPath) {
+  outlier::PcaDetector detector(0.5);
+  PipelineOptions options;
+  options.scoper = ScoperKind::kGlobalScoping;
+  options.keep_portion = 0.5;
+  options.detector = &detector;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_, &scenario_.truth);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->num_kept(), 12u);  // Half of 24.
+}
+
+TEST_F(PipelineApiTest, GlobalScopingRequiresDetector) {
+  PipelineOptions options;
+  options.scoper = ScoperKind::kGlobalScoping;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineApiTest, NeuralScopingPath) {
+  PipelineOptions options;
+  options.scoper = ScoperKind::kCollaborativeNeural;
+  options.neural.hidden_dims = {16, 4, 16};
+  options.neural.epochs = 10;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_, &scenario_.truth);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->keep.size(), 24u);
+}
+
+TEST_F(PipelineApiTest, RejectsSingleSchemaSet) {
+  schema::SchemaSet single({scenario_.set.schema(0)});
+  Pipeline pipeline(&encoder_, PipelineOptions{});
+  auto run = pipeline.Run(single, matcher_);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineApiTest, ScopingImprovesOrMaintainsReductionRatio) {
+  PipelineOptions with;
+  with.scoper = ScoperKind::kCollaborativePca;
+  with.explained_variance = 0.5;
+  PipelineOptions without;
+  without.scoper = ScoperKind::kNone;
+
+  auto scoped = Pipeline(&encoder_, with)
+                    .Run(scenario_.set, matcher_, &scenario_.truth);
+  auto raw = Pipeline(&encoder_, without)
+                 .Run(scenario_.set, matcher_, &scenario_.truth);
+  ASSERT_TRUE(scoped.ok());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_GE(scoped->quality->ReductionRatio(),
+            raw->quality->ReductionRatio());
+}
+
+}  // namespace
+}  // namespace colscope::pipeline

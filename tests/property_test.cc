@@ -1,0 +1,274 @@
+// Property-based (parameterized) test sweeps over hyperparameter grids
+// and random instances: invariants that must hold for every value, not
+// just hand-picked examples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datasets/synthetic.h"
+#include "embed/hashed_encoder.h"
+#include "eval/curves.h"
+#include "linalg/pca.h"
+#include "linalg/stats.h"
+#include "matching/sim.h"
+#include "matching/string_matcher.h"
+#include "scoping/collaborative.h"
+#include "scoping/scoping.h"
+#include "scoping/signatures.h"
+
+namespace colscope {
+namespace {
+
+// --- ScopeByScores over the p grid ------------------------------------------
+
+class ScopePortionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScopePortionProperty, KeepCountIsRoundedPortion) {
+  const double p = GetParam();
+  Rng rng(1234);
+  linalg::Vector scores(97);
+  for (double& s : scores) s = rng.NextDouble();
+  const auto keep = scoping::ScopeByScores(scores, p);
+  size_t kept = 0;
+  for (bool k : keep) kept += k;
+  EXPECT_EQ(kept, static_cast<size_t>(std::llround(p * 97.0)));
+}
+
+TEST_P(ScopePortionProperty, KeptElementsHaveLowestScores) {
+  const double p = GetParam();
+  Rng rng(99);
+  linalg::Vector scores(50);
+  for (double& s : scores) s = rng.NextDouble();
+  const auto keep = scoping::ScopeByScores(scores, p);
+  double max_kept = -1.0, min_dropped = 2.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (keep[i]) {
+      max_kept = std::max(max_kept, scores[i]);
+    } else {
+      min_dropped = std::min(min_dropped, scores[i]);
+    }
+  }
+  if (max_kept >= 0.0 && min_dropped <= 1.0) {
+    EXPECT_LE(max_kept, min_dropped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PortionGrid, ScopePortionProperty,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 0.99, 1.0));
+
+// --- PCA over variance targets -----------------------------------------------
+
+class PcaVarianceProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PcaVarianceProperty, ComponentsOrthonormalAndVarianceReached) {
+  const double v = GetParam();
+  Rng rng(7);
+  linalg::Matrix x(40, 24);
+  for (double& value : x.data()) value = rng.NextGaussian();
+  auto model = linalg::PcaModel::FitWithVariance(x, v);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->total_explained_variance(), v - 1e-9);
+  const auto& pc = model->components();
+  for (size_t i = 0; i < pc.rows(); ++i) {
+    for (size_t j = 0; j < pc.rows(); ++j) {
+      EXPECT_NEAR(linalg::Dot(pc.Row(i), pc.Row(j)), i == j ? 1.0 : 0.0,
+                  1e-8);
+    }
+  }
+}
+
+TEST_P(PcaVarianceProperty, ReconstructionErrorBoundedByResidualVariance) {
+  const double v = GetParam();
+  Rng rng(8);
+  linalg::Matrix x(30, 16);
+  for (double& value : x.data()) value = rng.NextGaussian();
+  auto model = linalg::PcaModel::FitWithVariance(x, v);
+  ASSERT_TRUE(model.ok());
+  // Total reconstruction MSE mass equals the unexplained variance.
+  const auto errors = model->ReconstructionErrors(x);
+  double total_error = 0.0;
+  for (double e : errors) total_error += e * 16.0;  // Undo per-dim mean.
+  const auto mean = linalg::ColumnMean(x);
+  const auto centered = linalg::CenterRows(x, mean);
+  double total_variance = 0.0;
+  for (double value : centered.data()) total_variance += value * value;
+  const double unexplained = 1.0 - model->total_explained_variance();
+  EXPECT_NEAR(total_error, unexplained * total_variance,
+              1e-6 * total_variance + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(VarianceGrid, PcaVarianceProperty,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 0.99,
+                                           1.0));
+
+// --- Collaborative scoping over the v grid ------------------------------------
+
+class CollaborativeVarianceProperty : public ::testing::TestWithParam<double> {
+ protected:
+  static void SetUpTestSuite() {
+    datasets::SyntheticOptions options;
+    options.num_schemas = 3;
+    options.private_per_schema = 6;
+    scenario_ = new datasets::MatchingScenario(
+        datasets::BuildSyntheticScenario(options));
+    encoder_ = new embed::HashedLexiconEncoder();
+    signatures_ = new scoping::SignatureSet(
+        scoping::BuildSignatures(scenario_->set, *encoder_));
+  }
+  static void TearDownTestSuite() {
+    delete signatures_;
+    delete encoder_;
+    delete scenario_;
+    signatures_ = nullptr;
+    encoder_ = nullptr;
+    scenario_ = nullptr;
+  }
+  static datasets::MatchingScenario* scenario_;
+  static embed::HashedLexiconEncoder* encoder_;
+  static scoping::SignatureSet* signatures_;
+};
+
+datasets::MatchingScenario* CollaborativeVarianceProperty::scenario_ = nullptr;
+embed::HashedLexiconEncoder* CollaborativeVarianceProperty::encoder_ = nullptr;
+scoping::SignatureSet* CollaborativeVarianceProperty::signatures_ = nullptr;
+
+TEST_P(CollaborativeVarianceProperty, MaskMatchesDefinitionFour) {
+  const double v = GetParam();
+  auto models = scoping::FitLocalModels(*signatures_, 3, v);
+  ASSERT_TRUE(models.ok());
+  const auto keep = scoping::AssessAll(*signatures_, 3, *models);
+  // Recompute Definition 4 for every element independently.
+  for (size_t i = 0; i < signatures_->size(); ++i) {
+    const auto& ref = signatures_->refs[i];
+    bool expected = false;
+    for (const auto& model : *models) {
+      if (model.schema_index() == ref.schema) continue;
+      if (model.ReconstructionError(signatures_->signatures.Row(i)) <=
+          model.linkability_range()) {
+        expected = true;
+        break;
+      }
+    }
+    EXPECT_EQ(keep[i], expected) << signatures_->texts[i] << " at v=" << v;
+  }
+}
+
+TEST_P(CollaborativeVarianceProperty, LocalRangeIsMaxTrainingError) {
+  const double v = GetParam();
+  auto models = scoping::FitLocalModels(*signatures_, 3, v);
+  ASSERT_TRUE(models.ok());
+  for (const auto& model : *models) {
+    const auto local =
+        signatures_->SchemaSignatures(model.schema_index());
+    const auto errors = model.ReconstructionErrors(local);
+    double max_error = 0.0;
+    for (double e : errors) max_error = std::max(max_error, e);
+    EXPECT_NEAR(model.linkability_range(), max_error, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VGrid, CollaborativeVarianceProperty,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6, 0.8, 0.95));
+
+// --- SIM matcher threshold monotonicity -----------------------------------------
+
+class SimThresholdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimThresholdProperty, StricterThresholdIsSubset) {
+  const double t = GetParam();
+  datasets::SyntheticOptions options;
+  options.num_schemas = 2;
+  auto scenario = datasets::BuildSyntheticScenario(options);
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  const std::vector<bool> all(signatures.size(), true);
+  const auto loose = matching::SimMatcher(t).Match(signatures, all);
+  const auto strict = matching::SimMatcher(t + 0.1).Match(signatures, all);
+  EXPECT_LE(strict.size(), loose.size());
+  for (const auto& pair : strict) EXPECT_TRUE(loose.count(pair));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdGrid, SimThresholdProperty,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));
+
+// --- Encoder determinism over seeds and dims -------------------------------------
+
+class EncoderSeedProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(EncoderSeedProperty, UnitNormAndDeterminism) {
+  embed::HashedEncoderOptions options;
+  options.seed = std::get<0>(GetParam());
+  options.dims = std::get<1>(GetParam());
+  embed::HashedLexiconEncoder a(options), b(options);
+  for (const char* text :
+       {"CID CLIENT NUMBER PRIMARY KEY", "CLIENT [CID, NAME]",
+        "lap_times [race_id, driver_id, lap]"}) {
+    const auto va = a.Encode(text);
+    EXPECT_EQ(va, b.Encode(text));
+    EXPECT_EQ(va.size(), options.dims);
+    EXPECT_NEAR(linalg::Norm(va), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDims, EncoderSeedProperty,
+    ::testing::Combine(::testing::Values(1u, 42u, 0xdeadbeefu),
+                       ::testing::Values(size_t{64}, size_t{256},
+                                         size_t{768})));
+
+// --- ROC/PR construction over random label/score draws -----------------------------
+
+class CurveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CurveProperty, RocIsMonotoneWithinUnitBox) {
+  Rng rng(GetParam());
+  std::vector<bool> labels(120);
+  std::vector<double> scores(120);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.NextDouble() < 0.4;
+    scores[i] = rng.NextDouble();
+  }
+  const auto roc = eval::RocFromScores(labels, scores);
+  double prev_x = -1.0, prev_y = -1.0;
+  for (const auto& p : roc) {
+    EXPECT_GE(p.x, prev_x - 1e-12);
+    EXPECT_GE(p.y, prev_y - 1e-12);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0 + 1e-12);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0 + 1e-12);
+    prev_x = p.x;
+    prev_y = p.y;
+  }
+  EXPECT_DOUBLE_EQ(roc.back().x, 1.0);
+  EXPECT_DOUBLE_EQ(roc.back().y, 1.0);
+  const double auc = eval::TrapezoidAuc(roc);
+  EXPECT_GE(auc, 0.0);
+  EXPECT_LE(auc, 1.0 + 1e-12);
+}
+
+TEST_P(CurveProperty, AveragePrecisionAtLeastBaseRateForPerfectScores) {
+  Rng rng(GetParam() ^ 0xabc);
+  std::vector<bool> labels(80);
+  std::vector<double> scores(80);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = rng.NextDouble() < 0.3;
+    scores[i] = labels[i] ? 0.0 : 1.0;  // Perfect separation.
+  }
+  size_t positives = 0;
+  for (bool l : labels) positives += l;
+  if (positives > 0) {
+    EXPECT_NEAR(eval::AveragePrecisionFromScores(labels, scores), 1.0,
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurveProperty,
+                         ::testing::Values(3u, 17u, 255u, 9001u));
+
+}  // namespace
+}  // namespace colscope

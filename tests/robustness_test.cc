@@ -1,0 +1,239 @@
+// Failure-injection and robustness tests: malformed inputs, degenerate
+// shapes, and adversarial edge cases across the public API surface.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "embed/hashed_encoder.h"
+#include "eval/curves.h"
+#include "eval/sweep.h"
+#include "linalg/stats.h"
+#include "linalg/svd.h"
+#include "matching/sim.h"
+#include "schema/ddl_parser.h"
+#include "scoping/collaborative.h"
+#include "scoping/signatures.h"
+#include "scoping/streamline.h"
+
+namespace colscope {
+namespace {
+
+// --- DDL parser under malformed / hostile input ------------------------------
+
+TEST(DdlRobustnessTest, GarbageInputsNeverCrash) {
+  const char* inputs[] = {
+      "", ";;;", "CREATE", "CREATE TABLE", "CREATE TABLE T", "(((((",
+      ")))))", "CREATE TABLE T (", "CREATE TABLE T (A", "--only a comment",
+      "/* unterminated block", "CREATE TABLE T (A INT,,B INT);",
+      "create table t (a int); drop all; CREATE TABLE", "\"\"\"\"\"",
+      "CREATE TABLE T (A INT DEFAULT (1 + (2 * 3)));",
+      "CREATE TABLE \xff\xfe (A INT);",
+  };
+  for (const char* input : inputs) {
+    // Must return (possibly an error), never crash or hang.
+    auto result = schema::ParseDdl(input, "S");
+    if (result.ok()) {
+      EXPECT_GE(result->num_tables(), 0u);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(DdlRobustnessTest, DeeplyNestedParensTerminate) {
+  std::string ddl = "CREATE TABLE T (A INT DEFAULT ";
+  for (int i = 0; i < 200; ++i) ddl += "(";
+  ddl += "1";
+  for (int i = 0; i < 200; ++i) ddl += ")";
+  ddl += ");";
+  auto result = schema::ParseDdl(ddl, "S");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_attributes(), 1u);
+}
+
+TEST(DdlRobustnessTest, VeryLongIdentifier) {
+  const std::string long_name(5000, 'x');
+  const std::string ddl = "CREATE TABLE " + long_name + " (A INT);";
+  auto result = schema::ParseDdl(ddl, "S");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tables()[0].name.size(), 5000u);
+}
+
+TEST(DdlRobustnessTest, ManyTables) {
+  std::string ddl;
+  for (int i = 0; i < 300; ++i) {
+    ddl += "CREATE TABLE T" + std::to_string(i) + " (A INT, B VARCHAR(5));";
+  }
+  auto result = schema::ParseDdl(ddl, "S");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_tables(), 300u);
+  EXPECT_EQ(result->num_attributes(), 600u);
+}
+
+// --- Encoder on unusual text ----------------------------------------------------
+
+TEST(EncoderRobustnessTest, HandlesUnusualSequences) {
+  embed::HashedLexiconEncoder encoder;
+  for (const char* text :
+       {"", " ", "___", "123 456", "[,,,]",
+        "a b c d e f g h i j k l m n o p q r s t u v w x y z",
+        "\xc3\xa9\xc3\xbc"}) {  // Non-ASCII bytes.
+    const auto v = encoder.Encode(text);
+    EXPECT_EQ(v.size(), encoder.dims());
+    for (double x : v) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(EncoderRobustnessTest, VeryLongSequence) {
+  embed::HashedLexiconEncoder encoder;
+  std::string text;
+  for (int i = 0; i < 2000; ++i) text += "token" + std::to_string(i) + " ";
+  const auto v = encoder.Encode(text);
+  EXPECT_NEAR(linalg::Norm(v), 1.0, 1e-9);
+}
+
+// --- SVD / PCA degenerate shapes ---------------------------------------------------
+
+TEST(SvdRobustnessTest, DegenerateShapes) {
+  // Single row.
+  linalg::Matrix one_row(1, 5);
+  one_row(0, 2) = 3.0;
+  auto svd = linalg::ThinSvd(one_row);
+  EXPECT_EQ(svd.singular_values.size(), 1u);
+  // Single column.
+  linalg::Matrix one_col(5, 1);
+  for (size_t r = 0; r < 5; ++r) one_col(r, 0) = static_cast<double>(r);
+  svd = linalg::ThinSvd(one_col);
+  EXPECT_EQ(svd.singular_values.size(), 1u);
+  // All zeros: keeps one (defined) triplet.
+  svd = linalg::ThinSvd(linalg::Matrix(4, 4, 0.0));
+  EXPECT_EQ(svd.singular_values.size(), 1u);
+  EXPECT_DOUBLE_EQ(svd.singular_values[0], 0.0);
+  // Empty.
+  svd = linalg::ThinSvd(linalg::Matrix());
+  EXPECT_TRUE(svd.singular_values.empty());
+}
+
+// --- Collaborative scoping with degenerate schemas ----------------------------------
+
+TEST(ScopingRobustnessTest, SingleElementSchema) {
+  // A schema with exactly one element still fits a (trivial) model.
+  auto s1 = schema::ParseDdl("CREATE TABLE only (x INT);", "S1");
+  auto s2 = schema::ParseDdl("CREATE TABLE a (x INT, y INT);", "S2");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  schema::SchemaSet set({*s1, *s2});
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(set, encoder);
+  const auto keep = scoping::CollaborativeScoping(signatures, 2, 0.5);
+  ASSERT_TRUE(keep.ok()) << keep.status().ToString();
+  EXPECT_EQ(keep->size(), 5u);
+}
+
+TEST(ScopingRobustnessTest, IdenticalSchemasEverythingLinkable) {
+  // Two byte-identical schemas: every element reconstructs exactly under
+  // the other's model, so everything must be kept at any v.
+  const char* ddl =
+      "CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR(10), "
+      "city VARCHAR(10));";
+  auto s1 = schema::ParseDdl(ddl, "S1");
+  auto s2 = schema::ParseDdl(ddl, "S2");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  schema::SchemaSet set({*s1, *s2});
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(set, encoder);
+  for (double v : {0.1, 0.5, 0.9}) {
+    const auto keep = scoping::CollaborativeScoping(signatures, 2, v);
+    ASSERT_TRUE(keep.ok());
+    for (size_t i = 0; i < keep->size(); ++i) {
+      EXPECT_TRUE((*keep)[i]) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST(ScopingRobustnessTest, CompletelyDisjointDomains) {
+  // Two schemas with zero token overlap: at strict v nearly everything
+  // should be pruned.
+  auto s1 = schema::ParseDdl(
+      "CREATE TABLE glacier (moraine INT, crevasse INT, serac INT, firn "
+      "INT);",
+      "ICE");
+  auto s2 = schema::ParseDdl(
+      "CREATE TABLE quasar (pulsar INT, blazar INT, magnetar INT, corona "
+      "INT);",
+      "SKY");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  schema::SchemaSet set({*s1, *s2});
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(set, encoder);
+  const auto keep = scoping::CollaborativeScoping(signatures, 2, 0.9);
+  ASSERT_TRUE(keep.ok());
+  size_t kept = 0;
+  for (bool k : *keep) kept += k;
+  EXPECT_LE(kept, 2u);
+}
+
+// --- Streamline with mismatched mask fails loudly -------------------------------------
+
+TEST(StreamlineRobustnessTest, EmptyMaskYieldsEmptySchemas) {
+  auto s1 = schema::ParseDdl("CREATE TABLE a (x INT);", "S1");
+  auto s2 = schema::ParseDdl("CREATE TABLE b (y INT);", "S2");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  schema::SchemaSet set({*s1, *s2});
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(set, encoder);
+  const std::vector<bool> none(signatures.size(), false);
+  const auto streamlined =
+      scoping::BuildStreamlinedSchemas(set, signatures, none);
+  EXPECT_EQ(streamlined.schema(0).num_elements(), 0u);
+  EXPECT_EQ(streamlined.schema(1).num_elements(), 0u);
+}
+
+// --- Matcher with masks that deactivate whole schemas ---------------------------------
+
+TEST(MatcherRobustnessTest, WholeSchemaMaskedOut) {
+  auto s1 = schema::ParseDdl("CREATE TABLE a (x INT, y INT);", "S1");
+  auto s2 = schema::ParseDdl("CREATE TABLE b (z INT);", "S2");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  schema::SchemaSet set({*s1, *s2});
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(set, encoder);
+  std::vector<bool> mask(signatures.size(), true);
+  for (size_t i = 0; i < signatures.size(); ++i) {
+    if (signatures.refs[i].schema == 1) mask[i] = false;
+  }
+  EXPECT_TRUE(matching::SimMatcher(0.0).Match(signatures, mask).empty());
+}
+
+// --- Curve construction on pathological inputs ------------------------------------------
+
+TEST(CurveRobustnessTest, AllSameLabel) {
+  const std::vector<bool> all_positive(10, true);
+  const std::vector<bool> all_negative(10, false);
+  std::vector<double> scores(10);
+  Rng rng(5);
+  for (double& s : scores) s = rng.NextDouble();
+  // No negatives: FPR undefined -> reported as 0; curve stays in box.
+  for (const auto& labels : {all_positive, all_negative}) {
+    const auto roc = eval::RocFromScores(labels, scores);
+    for (const auto& p : roc) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1.0);
+    }
+    EXPECT_GE(eval::AveragePrecisionFromScores(labels, scores), 0.0);
+  }
+}
+
+TEST(CurveRobustnessTest, SmoothingEmptyAndSingleton) {
+  EXPECT_TRUE(eval::SmoothRocCurve({}).empty());
+  const auto one = eval::SmoothRocCurve({{0.5, 0.5}});
+  // Anchored at (0,0) and extended to (1, y).
+  EXPECT_DOUBLE_EQ(one.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(one.back().x, 1.0);
+}
+
+}  // namespace
+}  // namespace colscope

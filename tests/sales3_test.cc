@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "datasets/sales3.h"
+
+namespace colscope::datasets {
+namespace {
+
+TEST(Sales3Test, SchemaShapes) {
+  const auto tpch = LoadTpchSchema();
+  EXPECT_EQ(tpch.num_tables(), 8u);
+  EXPECT_EQ(tpch.num_attributes(), 61u);  // dbgen's column count.
+  const auto northwind = LoadNorthwindSchema();
+  EXPECT_EQ(northwind.num_tables(), 11u);
+  const auto ssb = LoadSsbSchema();
+  EXPECT_EQ(ssb.num_tables(), 5u);
+  // SSB lineorder has its canonical 17 columns.
+  EXPECT_EQ(ssb.FindTable("ssb_lineorder")->attributes.size(), 17u);
+}
+
+TEST(Sales3Test, ScenarioConsistency) {
+  const auto scenario = BuildSales3Scenario();
+  EXPECT_EQ(scenario.set.num_schemas(), 3u);
+  EXPECT_GT(scenario.truth.size(), 90u);
+  for (const Linkage& l : scenario.truth.linkages()) {
+    EXPECT_NE(l.a.schema, l.b.schema);
+    EXPECT_EQ(l.a.is_table(), l.b.is_table());
+  }
+  // Every pair of schemas carries annotations.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = a + 1; b < 3; ++b) {
+      EXPECT_GT(scenario.truth.CountsForSchemaPair(a, b).total(), 20u)
+          << a << "-" << b;
+    }
+  }
+}
+
+TEST(Sales3Test, KnownUnlinkablesStayUnlinkable) {
+  const auto scenario = BuildSales3Scenario();
+  // HR / warehouse-specific elements have no counterpart anywhere.
+  for (const char* path :
+       {"Employees.HireDate", "Territories.TerritoryDescription",
+        "CustomerDemographics.CustomerDesc"}) {
+    auto ref = scenario.set.Resolve("Northwind", path);
+    ASSERT_TRUE(ref.ok()) << path;
+    EXPECT_FALSE(scenario.truth.IsLinkable(*ref)) << path;
+  }
+  for (const char* path : {"ssb_date.d_holidayfl", "ssb_date"}) {
+    auto ref = scenario.set.Resolve("SSB", path);
+    ASSERT_TRUE(ref.ok()) << path;
+    EXPECT_FALSE(scenario.truth.IsLinkable(*ref)) << path;
+  }
+}
+
+TEST(Sales3Test, DenormalizationLinkagesPresent) {
+  const auto scenario = BuildSales3Scenario();
+  // The SSB lineorder is the denormalized join of TPC-H orders+lineitem:
+  // both table pairs must be annotated (one-to-many table linkages).
+  auto lineitem = scenario.set.Resolve("TPCH", "lineitem");
+  auto orders = scenario.set.Resolve("TPCH", "orders");
+  auto lineorder = scenario.set.Resolve("SSB", "ssb_lineorder");
+  ASSERT_TRUE(lineitem.ok() && orders.ok() && lineorder.ok());
+  EXPECT_TRUE(scenario.truth.ContainsPair(*lineitem, *lineorder));
+  EXPECT_TRUE(scenario.truth.ContainsPair(*orders, *lineorder));
+}
+
+TEST(Sales3Test, ModerateUnlinkableOverhead) {
+  const auto scenario = BuildSales3Scenario();
+  const double overhead = scenario.UnlinkableOverhead();
+  // Homogeneous sales universe: overhead sits well below OC3's 103%.
+  EXPECT_GT(overhead, 0.3);
+  EXPECT_LT(overhead, 1.0);
+}
+
+}  // namespace
+}  // namespace colscope::datasets

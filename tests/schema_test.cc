@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "schema/ddl_parser.h"
+#include "schema/schema.h"
+#include "schema/schema_set.h"
+#include "schema/serialize.h"
+
+namespace colscope::schema {
+namespace {
+
+// --- Model ------------------------------------------------------------------
+
+TEST(SchemaModelTest, AddAndFind) {
+  Schema s("S");
+  Table t;
+  t.name = "CLIENT";
+  t.attributes.push_back({"CID", "CLIENT", "NUMBER", DataType::kDecimal,
+                          Constraint::kPrimaryKey});
+  ASSERT_TRUE(s.AddTable(t).ok());
+  EXPECT_NE(s.FindTable("CLIENT"), nullptr);
+  EXPECT_EQ(s.FindTable("NOPE"), nullptr);
+  EXPECT_NE(s.FindAttribute("CLIENT", "CID"), nullptr);
+  EXPECT_EQ(s.FindAttribute("CLIENT", "NOPE"), nullptr);
+  EXPECT_EQ(s.num_tables(), 1u);
+  EXPECT_EQ(s.num_attributes(), 1u);
+  EXPECT_EQ(s.num_elements(), 2u);
+}
+
+TEST(SchemaModelTest, DuplicateTableRejected) {
+  Schema s("S");
+  Table t;
+  t.name = "X";
+  ASSERT_TRUE(s.AddTable(t).ok());
+  EXPECT_EQ(s.AddTable(t).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DataTypeTest, VendorNamesNormalize) {
+  EXPECT_EQ(ParseDataType("VARCHAR2(255)"), DataType::kString);
+  EXPECT_EQ(ParseDataType("NUMBER(10,2)"), DataType::kDecimal);
+  EXPECT_EQ(ParseDataType("INT"), DataType::kInteger);
+  EXPECT_EQ(ParseDataType("MEDIUMTEXT"), DataType::kString);
+  EXPECT_EQ(ParseDataType("DATE"), DataType::kDate);
+  EXPECT_EQ(ParseDataType("TIMESTAMP"), DataType::kDateTime);
+  EXPECT_EQ(ParseDataType("BLOB"), DataType::kBlob);
+  EXPECT_EQ(ParseDataType("GEOMETRY"), DataType::kUnknown);
+}
+
+// --- Serialization (T^a / T^t) --------------------------------------------
+
+TEST(SerializeTest, AttributeMatchesPaperExample) {
+  // Section 2.3: T^a(a_11) -> "CID CLIENT NUMBER PRIMARY KEY".
+  Attribute a{"CID", "CLIENT", "NUMBER", DataType::kDecimal,
+              Constraint::kPrimaryKey};
+  EXPECT_EQ(SerializeAttribute(a), "CID CLIENT NUMBER PRIMARY KEY");
+}
+
+TEST(SerializeTest, TableMatchesPaperExample) {
+  // Section 2.3: T^t(t_11) -> "CLIENT [CID, NAME, ADDRESS, PHONE]".
+  Table t;
+  t.name = "CLIENT";
+  for (const char* name : {"CID", "NAME", "ADDRESS", "PHONE"}) {
+    t.attributes.push_back({name, "CLIENT", "VARCHAR", DataType::kString,
+                            Constraint::kNone});
+  }
+  EXPECT_EQ(SerializeTable(t), "CLIENT [CID, NAME, ADDRESS, PHONE]");
+}
+
+TEST(SerializeTest, AttributeWithoutConstraintOmitsSuffix) {
+  Attribute a{"NAME", "CLIENT", "VARCHAR", DataType::kString,
+              Constraint::kNone};
+  EXPECT_EQ(SerializeAttribute(a), "NAME CLIENT VARCHAR");
+}
+
+TEST(SerializeTest, SchemaOrderIsTablesThenAttributes) {
+  Schema s("S");
+  Table t;
+  t.name = "T";
+  t.attributes.push_back({"A", "T", "INT", DataType::kInteger,
+                          Constraint::kNone});
+  ASSERT_TRUE(s.AddTable(t).ok());
+  auto elems = SerializeSchema(s, 3);
+  ASSERT_EQ(elems.size(), 2u);
+  EXPECT_TRUE(elems[0].ref.is_table());
+  EXPECT_EQ(elems[0].ref.schema, 3);
+  EXPECT_EQ(elems[0].text, "T [A]");
+  EXPECT_FALSE(elems[1].ref.is_table());
+  EXPECT_EQ(elems[1].text, "A T INT");
+}
+
+// --- DDL parser ----------------------------------------------------------------
+
+TEST(DdlParserTest, ParsesBasicCreateTable) {
+  auto r = ParseDdl(R"(
+    CREATE TABLE CLIENT (
+      CID NUMBER PRIMARY KEY,
+      NAME VARCHAR(80) NOT NULL,
+      ADDRESS VARCHAR(200)
+    );)",
+                    "S1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Schema& s = *r;
+  EXPECT_EQ(s.num_tables(), 1u);
+  EXPECT_EQ(s.num_attributes(), 3u);
+  const Attribute* cid = s.FindAttribute("CLIENT", "CID");
+  ASSERT_NE(cid, nullptr);
+  EXPECT_EQ(cid->constraint, Constraint::kPrimaryKey);
+  EXPECT_EQ(cid->raw_type, "NUMBER");
+  EXPECT_EQ(s.FindAttribute("CLIENT", "NAME")->constraint, Constraint::kNone);
+}
+
+TEST(DdlParserTest, InlineReferencesBecomesForeignKey) {
+  auto r = ParseDdl(
+      "CREATE TABLE A (X INT PRIMARY KEY);"
+      "CREATE TABLE B (Y INT REFERENCES A(X));",
+      "S");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->FindAttribute("B", "Y")->constraint, Constraint::kForeignKey);
+}
+
+TEST(DdlParserTest, TableLevelPrimaryAndForeignKeys) {
+  auto r = ParseDdl(R"(
+    CREATE TABLE T (
+      A INT,
+      B INT,
+      C INT,
+      PRIMARY KEY (A, B),
+      FOREIGN KEY (C) REFERENCES OTHER(X) ON DELETE CASCADE
+    );)",
+                    "S");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->FindAttribute("T", "A")->constraint, Constraint::kPrimaryKey);
+  EXPECT_EQ(r->FindAttribute("T", "B")->constraint, Constraint::kPrimaryKey);
+  EXPECT_EQ(r->FindAttribute("T", "C")->constraint, Constraint::kForeignKey);
+}
+
+TEST(DdlParserTest, ConstraintNameForm) {
+  auto r = ParseDdl(R"(
+    CREATE TABLE T (
+      A INT,
+      CONSTRAINT t_pk PRIMARY KEY (A)
+    );)",
+                    "S");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->FindAttribute("T", "A")->constraint, Constraint::kPrimaryKey);
+}
+
+TEST(DdlParserTest, CommentsAndQuotedIdentifiers) {
+  auto r = ParseDdl(R"(
+    -- line comment
+    /* block
+       comment */
+    CREATE TABLE "Quoted" (
+      `col` INT,  -- trailing comment
+      [mscol] VARCHAR(5)
+    );)",
+                    "S");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->FindTable("Quoted"), nullptr);
+  EXPECT_NE(r->FindAttribute("Quoted", "col"), nullptr);
+  EXPECT_NE(r->FindAttribute("Quoted", "mscol"), nullptr);
+}
+
+TEST(DdlParserTest, SkipsNonTableStatements) {
+  auto r = ParseDdl(
+      "DROP TABLE X; CREATE INDEX idx ON T(A);"
+      "CREATE TABLE T (A INT); INSERT INTO T VALUES (1);",
+      "S");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_tables(), 1u);
+}
+
+TEST(DdlParserTest, QualifiedTableNameKeepsLastComponent) {
+  auto r = ParseDdl("CREATE TABLE CO.ORDERS (A INT);", "S");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->FindTable("ORDERS"), nullptr);
+}
+
+TEST(DdlParserTest, PrecisionAndDefaults) {
+  auto r = ParseDdl(
+      "CREATE TABLE T (A DECIMAL(10,2) DEFAULT 0.0 NOT NULL, "
+      "B VARCHAR(15) DEFAULT 'x');",
+      "S");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->FindAttribute("T", "A")->type, DataType::kDecimal);
+}
+
+TEST(DdlParserTest, MalformedInputReturnsError) {
+  EXPECT_FALSE(ParseDdl("CREATE TABLE (A INT);", "S").ok());
+  EXPECT_FALSE(ParseDdl("CREATE TABLE T A INT;", "S").ok());
+}
+
+TEST(DdlParserTest, DuplicateTableIsError) {
+  EXPECT_FALSE(
+      ParseDdl("CREATE TABLE T (A INT); CREATE TABLE T (B INT);", "S").ok());
+}
+
+// --- SchemaSet -----------------------------------------------------------------
+
+class SchemaSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s1 = ParseDdl("CREATE TABLE A (X INT, Y INT); CREATE TABLE B (Z INT);",
+                       "S1");
+    auto s2 = ParseDdl("CREATE TABLE C (W INT);", "S2");
+    ASSERT_TRUE(s1.ok());
+    ASSERT_TRUE(s2.ok());
+    set_ = SchemaSet({*s1, *s2});
+  }
+  SchemaSet set_;
+};
+
+TEST_F(SchemaSetTest, FlattenedEnumeration) {
+  // S1: tables A,B then attrs X,Y,Z; S2: table C then attr W.
+  ASSERT_EQ(set_.num_elements(), 7u);
+  EXPECT_EQ(set_.elements()[0], TableRef(0, 0));
+  EXPECT_EQ(set_.elements()[1], TableRef(0, 1));
+  EXPECT_EQ(set_.elements()[2], AttributeRef(0, 0, 0));
+  EXPECT_EQ(set_.elements()[4], AttributeRef(0, 1, 0));
+  EXPECT_EQ(set_.elements()[5], TableRef(1, 0));
+  EXPECT_EQ(set_.elements()[6], AttributeRef(1, 0, 0));
+}
+
+TEST_F(SchemaSetTest, IndexOfInvertsEnumeration) {
+  for (size_t i = 0; i < set_.num_elements(); ++i) {
+    EXPECT_EQ(set_.IndexOf(set_.elements()[i]), static_cast<int>(i));
+  }
+}
+
+TEST_F(SchemaSetTest, QualifiedNames) {
+  EXPECT_EQ(set_.QualifiedName(TableRef(0, 1)), "S1.B");
+  EXPECT_EQ(set_.QualifiedName(AttributeRef(0, 0, 1)), "S1.A.Y");
+}
+
+TEST_F(SchemaSetTest, ResolvePaths) {
+  auto t = set_.Resolve("S1", "B");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, TableRef(0, 1));
+  auto a = set_.Resolve("S2", "C.W");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, AttributeRef(1, 0, 0));
+  EXPECT_FALSE(set_.Resolve("S3", "A").ok());
+  EXPECT_FALSE(set_.Resolve("S1", "A.NOPE").ok());
+  EXPECT_FALSE(set_.Resolve("S1", "NOPE").ok());
+  EXPECT_FALSE(set_.Resolve("S1", "A.X.Y").ok());
+}
+
+TEST_F(SchemaSetTest, CartesianSizes) {
+  // Tables: 2*1 = 2; attributes: 3*1 = 3.
+  EXPECT_EQ(set_.TableCartesianSize(), 2u);
+  EXPECT_EQ(set_.AttributeCartesianSize(), 3u);
+}
+
+TEST_F(SchemaSetTest, ElementsOfSchema) {
+  EXPECT_EQ(set_.ElementsOfSchema(0).size(), 5u);
+  EXPECT_EQ(set_.ElementsOfSchema(1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace colscope::schema

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "outlier/pca_oda.h"
+#include "scoping/collaborative.h"
+#include "scoping/scoping.h"
+#include "scoping/signatures.h"
+#include "scoping/streamline.h"
+
+namespace colscope::scoping {
+namespace {
+
+class ScopingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = BuildSignatures(scenario_.set, encoder_);
+  }
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  SignatureSet signatures_;
+};
+
+// --- Signature pipeline -----------------------------------------------------
+
+TEST_F(ScopingFixture, SignatureRowsAlignWithSchemaSetElements) {
+  ASSERT_EQ(signatures_.size(), scenario_.set.num_elements());
+  for (size_t i = 0; i < signatures_.size(); ++i) {
+    EXPECT_EQ(signatures_.refs[i], scenario_.set.elements()[i]);
+  }
+  EXPECT_EQ(signatures_.signatures.rows(), signatures_.size());
+  EXPECT_EQ(signatures_.signatures.cols(), encoder_.dims());
+}
+
+TEST_F(ScopingFixture, SerializedTextsMatchPaperFormat) {
+  // First element of S1 is the CLIENT table.
+  EXPECT_EQ(signatures_.texts[0], "CLIENT [CID, NAME, ADDRESS, PHONE]");
+  // Its first attribute: "CID CLIENT NUMBER PRIMARY KEY".
+  EXPECT_EQ(signatures_.texts[1], "CID CLIENT NUMBER PRIMARY KEY");
+}
+
+TEST_F(ScopingFixture, RowsOfSchemaPartitionTheSet) {
+  size_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    const auto rows = signatures_.RowsOfSchema(s);
+    total += rows.size();
+    for (size_t r : rows) EXPECT_EQ(signatures_.refs[r].schema, s);
+  }
+  EXPECT_EQ(total, signatures_.size());
+  EXPECT_EQ(signatures_.SchemaSignatures(0).rows(), 5u);
+}
+
+// --- Global scoping (rank / sort / filter) -----------------------------------
+
+TEST(ScopeByScoresTest, BoundaryPortions) {
+  const linalg::Vector scores{3.0, 1.0, 2.0, 0.5};
+  EXPECT_EQ(ScopeByScores(scores, 1.0),
+            (std::vector<bool>{true, true, true, true}));
+  EXPECT_EQ(ScopeByScores(scores, 0.0),
+            (std::vector<bool>{false, false, false, false}));
+}
+
+TEST(ScopeByScoresTest, KeepsLowestScores) {
+  const linalg::Vector scores{3.0, 1.0, 2.0, 0.5};
+  // p = 0.5 keeps the two lowest: indices 3 and 1.
+  EXPECT_EQ(ScopeByScores(scores, 0.5),
+            (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(ScopeByScoresTest, TieBreakIsStable) {
+  const linalg::Vector scores{1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(ScopeByScores(scores, 0.5),
+            (std::vector<bool>{true, true, false, false}));
+}
+
+TEST(ScopeByScoresTest, MonotoneInP) {
+  const linalg::Vector scores{5, 1, 4, 2, 3, 0, 6, 9, 8, 7};
+  std::vector<bool> prev(scores.size(), false);
+  for (double p = 0.1; p <= 1.0; p += 0.1) {
+    const auto keep = ScopeByScores(scores, p);
+    for (size_t i = 0; i < keep.size(); ++i) {
+      if (prev[i]) EXPECT_TRUE(keep[i]);  // Kept sets only grow with p.
+    }
+    prev = keep;
+  }
+}
+
+TEST_F(ScopingFixture, GlobalScopingRunsEndToEnd) {
+  outlier::PcaDetector detector(0.5);
+  const auto keep = GlobalScoping(signatures_, detector, 0.6);
+  EXPECT_EQ(keep.size(), signatures_.size());
+  size_t kept = CountKept(keep);
+  EXPECT_EQ(kept, static_cast<size_t>(0.6 * 24 + 0.5));
+}
+
+// --- Collaborative scoping (Algorithms 1 and 2) -----------------------------------
+
+TEST_F(ScopingFixture, LocalModelTrainingElementsAllPassOwnRange) {
+  // By Definition 3, l_k is the max training error, so every training
+  // element reconstructs within [0, l_k].
+  const linalg::Matrix local = signatures_.SchemaSignatures(1);
+  auto model = LocalModel::Fit(local, 0.7, 1);
+  ASSERT_TRUE(model.ok());
+  for (size_t r = 0; r < local.rows(); ++r) {
+    EXPECT_TRUE(model->Recognizes(local.Row(r)));
+  }
+  EXPECT_EQ(model->schema_index(), 1);
+  EXPECT_GE(model->linkability_range(), 0.0);
+}
+
+TEST_F(ScopingFixture, HigherVarianceShrinksLinkabilityRange) {
+  const linalg::Matrix local = signatures_.SchemaSignatures(1);
+  auto low = LocalModel::Fit(local, 0.3, 1);
+  auto high = LocalModel::Fit(local, 0.95, 1);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_LE(high->linkability_range(), low->linkability_range() + 1e-15);
+}
+
+TEST_F(ScopingFixture, FitRejectsEmptySchemaAndBadVariance) {
+  EXPECT_FALSE(LocalModel::Fit(linalg::Matrix(), 0.5, 0).ok());
+  const linalg::Matrix local = signatures_.SchemaSignatures(0);
+  EXPECT_FALSE(LocalModel::Fit(local, 0.0, 0).ok());
+  EXPECT_FALSE(LocalModel::Fit(local, 1.5, 0).ok());
+}
+
+TEST_F(ScopingFixture, AssessmentSkipsOwnModel) {
+  auto models = FitLocalModels(signatures_, 4, 0.6);
+  ASSERT_TRUE(models.ok());
+  const linalg::Matrix local = signatures_.SchemaSignatures(0);
+  // With only its own model available, nothing is linkable.
+  std::vector<LocalModel> own_only{(*models)[0]};
+  const auto linkable = AssessLinkability(local, 0, own_only);
+  for (bool l : linkable) EXPECT_FALSE(l);
+}
+
+TEST_F(ScopingFixture, CollaborativeScopingPrunesCarSchema) {
+  // The Formula One style CAR schema (S4) must be (nearly) fully pruned
+  // while the kept set stays precise. The toy schemas are extremely small
+  // (3-10 elements), so collaborative scoping is conservative here: it
+  // keeps a small, high-precision subset (precision well above the 62%
+  // linkable base rate) rather than a high-recall one.
+  auto keep = CollaborativeScoping(signatures_, 4, 0.5);
+  ASSERT_TRUE(keep.ok());
+  const auto labels = scenario_.truth.LinkabilityLabels(scenario_.set);
+
+  size_t s4_kept = 0;
+  for (size_t i = 0; i < keep->size(); ++i) {
+    if (signatures_.refs[i].schema == 3 && (*keep)[i]) ++s4_kept;
+  }
+  EXPECT_LE(s4_kept, 1u);  // At most one CAR element survives.
+
+  size_t kept_total = 0, kept_true = 0;
+  for (size_t i = 0; i < keep->size(); ++i) {
+    if ((*keep)[i]) {
+      ++kept_total;
+      kept_true += labels[i];
+    }
+  }
+  ASSERT_GT(kept_total, 2u);                     // Keeps something...
+  EXPECT_GE(kept_true * 100, kept_total * 70u);  // ...at >= 70% precision.
+}
+
+TEST_F(ScopingFixture, CollaborativeKeptSetPurerThanBaseRate) {
+  // Precision of the kept set must beat the 15/24 linkable base rate —
+  // keeping elements at random would match it in expectation.
+  auto keep = CollaborativeScoping(signatures_, 4, 0.5);
+  ASSERT_TRUE(keep.ok());
+  const auto labels = scenario_.truth.LinkabilityLabels(scenario_.set);
+  size_t kept_total = 0, kept_true = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if ((*keep)[i]) {
+      ++kept_total;
+      kept_true += labels[i];
+    }
+  }
+  ASSERT_GT(kept_total, 0u);
+  EXPECT_GT(kept_true * 24, kept_total * 15);
+}
+
+// --- Streamlined schema construction ---------------------------------------------
+
+TEST_F(ScopingFixture, StreamlineDropsPrunedElements) {
+  std::vector<bool> keep(signatures_.size(), false);
+  // Keep only S1.CLIENT (table) and S1.CLIENT.CID.
+  keep[0] = true;  // CLIENT table element.
+  keep[1] = true;  // CID.
+  const auto streamlined =
+      BuildStreamlinedSchemas(scenario_.set, signatures_, keep);
+  EXPECT_EQ(streamlined.schema(0).num_tables(), 1u);
+  EXPECT_EQ(streamlined.schema(0).num_attributes(), 1u);
+  EXPECT_EQ(streamlined.schema(1).num_elements(), 0u);
+  EXPECT_EQ(streamlined.schema(3).num_elements(), 0u);
+}
+
+TEST_F(ScopingFixture, StreamlineKeepsTableShellForOrphanAttributes) {
+  std::vector<bool> keep(signatures_.size(), false);
+  keep[1] = true;  // S1.CLIENT.CID kept, table element pruned.
+  const auto streamlined =
+      BuildStreamlinedSchemas(scenario_.set, signatures_, keep);
+  // The CLIENT table shell survives as container.
+  EXPECT_EQ(streamlined.schema(0).num_tables(), 1u);
+  EXPECT_EQ(streamlined.schema(0).num_attributes(), 1u);
+}
+
+TEST_F(ScopingFixture, FullMaskIsIdentity) {
+  std::vector<bool> keep(signatures_.size(), true);
+  const auto streamlined =
+      BuildStreamlinedSchemas(scenario_.set, signatures_, keep);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(streamlined.schema(s).num_elements(),
+              scenario_.set.schema(s).num_elements());
+  }
+}
+
+}  // namespace
+}  // namespace colscope::scoping

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "datasets/instances.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "matching/similarity_matrix.h"
+#include "schema/ddl_parser.h"
+#include "scoping/signatures.h"
+
+namespace colscope::matching {
+namespace {
+
+schema::ElementRef Ref(int s, int t, int a = -1) {
+  return schema::ElementRef{s, t, a};
+}
+
+// --- SimilarityMatrix container + selection strategies ----------------------
+
+class MatrixFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two schemas: schema 0 elements A0, A1; schema 1 elements B0, B1.
+    a0_ = Ref(0, 0, 0);
+    a1_ = Ref(0, 0, 1);
+    b0_ = Ref(1, 0, 0);
+    b1_ = Ref(1, 0, 1);
+    matrix_.Set(MakePair(a0_, b0_), 0.9);
+    matrix_.Set(MakePair(a0_, b1_), 0.4);
+    matrix_.Set(MakePair(a1_, b0_), 0.7);
+    matrix_.Set(MakePair(a1_, b1_), 0.6);
+  }
+  schema::ElementRef a0_, a1_, b0_, b1_;
+  SimilarityMatrix matrix_;
+};
+
+TEST_F(MatrixFixture, GetAndContains) {
+  EXPECT_DOUBLE_EQ(matrix_.Get(MakePair(a0_, b0_)), 0.9);
+  EXPECT_DOUBLE_EQ(matrix_.Get(MakePair(a0_, Ref(1, 5, 5))), 0.0);
+  EXPECT_TRUE(matrix_.Contains(MakePair(b0_, a0_)));  // Order-insensitive.
+  EXPECT_EQ(matrix_.size(), 4u);
+}
+
+TEST_F(MatrixFixture, SelectThreshold) {
+  const auto selected = matrix_.SelectThreshold(0.65);
+  EXPECT_EQ(selected.size(), 2u);
+  EXPECT_TRUE(selected.count(MakePair(a0_, b0_)));
+  EXPECT_TRUE(selected.count(MakePair(a1_, b0_)));
+}
+
+TEST_F(MatrixFixture, SelectTopOne) {
+  // Per-element best partners: a0->b0 (.9), a1->b0 (.7), b0->a0 (.9),
+  // b1->a1 (.6). Union: {a0b0, a1b0, a1b1}.
+  const auto selected = matrix_.SelectTopK(1);
+  EXPECT_TRUE(selected.count(MakePair(a0_, b0_)));
+  EXPECT_TRUE(selected.count(MakePair(a1_, b0_)));
+  EXPECT_TRUE(selected.count(MakePair(a1_, b1_)));
+  EXPECT_FALSE(selected.count(MakePair(a0_, b1_)));
+}
+
+TEST_F(MatrixFixture, SelectReciprocalBest) {
+  // Only a0<->b0 is mutually best; a1's best b0 prefers a0, b1's best a1
+  // prefers b0.
+  const auto selected = matrix_.SelectReciprocalBest();
+  EXPECT_EQ(selected.size(), 1u);
+  EXPECT_TRUE(selected.count(MakePair(a0_, b0_)));
+}
+
+TEST_F(MatrixFixture, SelectGreedyOneToOne) {
+  // Greedy: a0-b0 (.9) first, then a1-b1 (.6) since b0/a0 are taken.
+  const auto selected = matrix_.SelectGreedyOneToOne();
+  EXPECT_EQ(selected.size(), 2u);
+  EXPECT_TRUE(selected.count(MakePair(a0_, b0_)));
+  EXPECT_TRUE(selected.count(MakePair(a1_, b1_)));
+  // With a floor above 0.6 the second pair disappears.
+  EXPECT_EQ(matrix_.SelectGreedyOneToOne(0.65).size(), 1u);
+}
+
+// --- Aggregation -------------------------------------------------------------
+
+TEST(AggregationTest, MaxAverageWeighted) {
+  const auto p = MakePair(Ref(0, 0, 0), Ref(1, 0, 0));
+  const auto q = MakePair(Ref(0, 0, 1), Ref(1, 0, 1));
+  SimilarityMatrix m1, m2;
+  m1.Set(p, 0.8);
+  m2.Set(p, 0.4);
+  m2.Set(q, 0.6);  // Missing from m1 -> counts as 0 there.
+
+  const auto max =
+      AggregateMatrices({&m1, &m2}, Aggregation::kMax);
+  EXPECT_DOUBLE_EQ(max.Get(p), 0.8);
+  EXPECT_DOUBLE_EQ(max.Get(q), 0.6);
+
+  const auto avg = AggregateMatrices({&m1, &m2}, Aggregation::kAverage);
+  EXPECT_DOUBLE_EQ(avg.Get(p), 0.6);
+  EXPECT_DOUBLE_EQ(avg.Get(q), 0.3);
+
+  const auto weighted = AggregateMatrices({&m1, &m2},
+                                          Aggregation::kWeighted, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(weighted.Get(p), (3.0 * 0.8 + 0.4) / 4.0);
+}
+
+// --- Scorers over real signatures ------------------------------------------------
+
+class ScorerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    datasets::AttachSyntheticSamples(scenario_.set, 1);
+    schema::SerializeOptions options;
+    options.include_instance_samples = true;
+    signatures_ =
+        scoping::BuildSignatures(scenario_.set, encoder_, options);
+    all_.assign(signatures_.size(), true);
+  }
+
+  int RowOf(const char* schema, const char* path) {
+    auto ref = scenario_.set.Resolve(schema, path);
+    EXPECT_TRUE(ref.ok());
+    return scenario_.set.IndexOf(*ref);
+  }
+
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  scoping::SignatureSet signatures_;
+  std::vector<bool> all_;
+};
+
+TEST_F(ScorerFixture, CosineScorerInUnitRange) {
+  CosineScorer scorer;
+  const double s = scorer.Score(signatures_, RowOf("S1", "CLIENT.CID"),
+                                RowOf("S2", "CUSTOMER.CID"));
+  EXPECT_GT(s, 0.5);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST_F(ScorerFixture, NameScorerIdenticalNamesScoreOne) {
+  NameScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.Score(signatures_, RowOf("S1", "CLIENT.CID"),
+                                RowOf("S2", "CUSTOMER.CID")),
+                   1.0);
+  EXPECT_LT(scorer.Score(signatures_, RowOf("S1", "CLIENT.NAME"),
+                         RowOf("S2", "CUSTOMER.DOB")),
+            0.5);
+}
+
+TEST_F(ScorerFixture, InstanceScorerSharedPoolsOverlap) {
+  InstanceScorer scorer;
+  // CID columns draw from the shared id pool in both schemas; DOB draws
+  // from dates.
+  const double id_pair = scorer.Score(signatures_, RowOf("S1", "CLIENT.CID"),
+                                      RowOf("S2", "CUSTOMER.CID"));
+  const double mixed = scorer.Score(signatures_, RowOf("S1", "CLIENT.CID"),
+                                    RowOf("S2", "CUSTOMER.DOB"));
+  EXPECT_GE(id_pair, mixed);
+}
+
+TEST_F(ScorerFixture, InstanceScorerZeroWithoutSamples) {
+  const auto metadata_only =
+      scoping::BuildSignatures(scenario_.set, encoder_);
+  InstanceScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.Score(metadata_only, RowOf("S1", "CLIENT.CID"),
+                                RowOf("S2", "CUSTOMER.CID")),
+                   0.0);
+}
+
+// --- CompositeMatcher end to end ----------------------------------------------------
+
+TEST_F(ScorerFixture, CompositeMatcherFindsTruePairs) {
+  CosineScorer cosine;
+  NameScorer name;
+  CompositeMatcher::Options options;
+  options.aggregation = Aggregation::kAverage;
+  options.selection = CompositeMatcher::Selection::kThreshold;
+  options.threshold = 0.7;
+  CompositeMatcher composite({&cosine, &name}, options);
+  EXPECT_EQ(composite.name(), "COMPOSITE(cosine+name)");
+  const auto pairs = composite.Match(signatures_, all_);
+  size_t true_pairs = 0;
+  for (const auto& [a, b] : pairs) {
+    true_pairs += scenario_.truth.ContainsPair(a, b);
+  }
+  EXPECT_GT(true_pairs, 3u);
+}
+
+TEST_F(ScorerFixture, OneToOneSelectionIsInjective) {
+  CosineScorer cosine;
+  CompositeMatcher::Options options;
+  options.selection = CompositeMatcher::Selection::kOneToOne;
+  options.threshold = 0.3;
+  CompositeMatcher composite({&cosine}, options);
+  const auto pairs = composite.Match(signatures_, all_);
+  std::set<schema::ElementRef> seen;
+  for (const auto& [a, b] : pairs) {
+    EXPECT_TRUE(seen.insert(a).second);
+    EXPECT_TRUE(seen.insert(b).second);
+  }
+}
+
+TEST_F(ScorerFixture, ReciprocalBestIsSubsetOfTopOne) {
+  CosineScorer cosine;
+  const auto matrix = BuildSimilarityMatrix(signatures_, all_, cosine);
+  const auto reciprocal = matrix.SelectReciprocalBest();
+  const auto top1 = matrix.SelectTopK(1);
+  for (const auto& pair : reciprocal) {
+    EXPECT_TRUE(top1.count(pair));
+  }
+  EXPECT_LE(reciprocal.size(), top1.size());
+}
+
+TEST_F(ScorerFixture, MatrixRespectsMask) {
+  CosineScorer cosine;
+  std::vector<bool> none(signatures_.size(), false);
+  EXPECT_EQ(BuildSimilarityMatrix(signatures_, none, cosine).size(), 0u);
+}
+
+}  // namespace
+}  // namespace colscope::matching

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "text/string_similarity.h"
+
+namespace colscope::text {
+namespace {
+
+// --- Levenshtein -----------------------------------------------------------
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(LevenshteinTest, SymmetricAndTriangle) {
+  const char* words[] = {"order", "orders", "ordered", "odor"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+      for (const char* c : words) {
+        EXPECT_LE(LevenshteinDistance(a, c),
+                  LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+      }
+    }
+  }
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+}
+
+// --- Jaro / Jaro-Winkler ------------------------------------------------------
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  // Winkler never decreases Jaro.
+  const char* pairs[][2] = {{"order_id", "order_nr"},
+                            {"customer", "costumer"},
+                            {"city", "code"}};
+  for (const auto& p : pairs) {
+    EXPECT_GE(JaroWinklerSimilarity(p[0], p[1]),
+              JaroSimilarity(p[0], p[1]) - 1e-12);
+  }
+  // Bounded by 1.
+  EXPECT_LE(JaroWinklerSimilarity("aaaa", "aaaa"), 1.0);
+}
+
+// --- Token Jaccard -----------------------------------------------------------
+
+TEST(TokenJaccardTest, CaseAndConventionInsensitive) {
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("ORDER_DATE", "orderDate"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("order_date", "order_status"),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("x", "y"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("", ""), 1.0);
+}
+
+TEST(TokenJaccardTest, LabelingConflictMotivation) {
+  // The paper's criticism of string matching: lexically similar names
+  // with different semantics score high (CNAME of a car vs a client),
+  // while true synonyms score zero (CLIENT vs CUSTOMER).
+  EXPECT_GT(TokenJaccardSimilarity("CNAME", "CNAME"), 0.99);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("CLIENT", "CUSTOMER"), 0.0);
+}
+
+}  // namespace
+}  // namespace colscope::text

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.h"
+
+namespace colscope::datasets {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticOptions options;
+  auto a = BuildSyntheticScenario(options);
+  auto b = BuildSyntheticScenario(options);
+  EXPECT_EQ(a.set.num_elements(), b.set.num_elements());
+  EXPECT_EQ(a.truth.size(), b.truth.size());
+  for (size_t i = 0; i < a.set.num_elements(); ++i) {
+    EXPECT_EQ(a.set.QualifiedName(a.set.elements()[i]),
+              b.set.QualifiedName(b.set.elements()[i]));
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticOptions a_options;
+  SyntheticOptions b_options;
+  b_options.seed = 999;
+  auto a = BuildSyntheticScenario(a_options);
+  auto b = BuildSyntheticScenario(b_options);
+  // Same vocabulary, but alias/dropout decisions differ.
+  bool any_diff = a.set.num_elements() != b.set.num_elements() ||
+                  a.truth.size() != b.truth.size();
+  if (!any_diff) {
+    for (size_t i = 0; i < a.set.num_elements(); ++i) {
+      if (a.set.QualifiedName(a.set.elements()[i]) !=
+          b.set.QualifiedName(b.set.elements()[i])) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, RequestedShape) {
+  SyntheticOptions options;
+  options.num_schemas = 4;
+  options.private_per_schema = 10;
+  options.dropout_probability = 0.0;
+  auto sc = BuildSyntheticScenario(options);
+  EXPECT_EQ(sc.set.num_schemas(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    // shared concepts + private attrs.
+    EXPECT_EQ(sc.set.schema(static_cast<int>(s)).num_attributes(),
+              options.shared_concepts + options.private_per_schema);
+  }
+}
+
+TEST(SyntheticTest, PrivateElementsAreUnlinkable) {
+  SyntheticOptions options;
+  options.private_per_schema = 6;
+  auto sc = BuildSyntheticScenario(options);
+  const auto labels = sc.truth.LinkabilityLabels(sc.set);
+  // Every linkage references shared-concept attributes only, so the
+  // number of linkable elements is bounded by shared concepts + entity
+  // tables per schema.
+  for (size_t s = 0; s < sc.set.num_schemas(); ++s) {
+    EXPECT_LE(sc.truth.NumLinkableInSchema(static_cast<int>(s)),
+              options.shared_concepts + 4);
+  }
+  // And private side tables are never linkable.
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const auto& ref = sc.set.elements()[i];
+    const std::string name = sc.set.QualifiedName(ref);
+    if (name.find("_ledger") != std::string::npos) {
+      EXPECT_FALSE(labels[i]) << name;
+    }
+  }
+}
+
+TEST(SyntheticTest, OverheadGrowsWithPrivateElements) {
+  SyntheticOptions low;
+  low.private_per_schema = 2;
+  SyntheticOptions high = low;
+  high.private_per_schema = 30;
+  EXPECT_LT(BuildSyntheticScenario(low).UnlinkableOverhead(),
+            BuildSyntheticScenario(high).UnlinkableOverhead());
+}
+
+TEST(SyntheticTest, EveryConceptAnnotatedSomewhere) {
+  SyntheticOptions options;
+  options.dropout_probability = 0.4;  // Aggressive dropout.
+  auto sc = BuildSyntheticScenario(options);
+  EXPECT_GT(sc.truth.size(), 0u);
+  // Ground-truth invariants hold under dropout.
+  for (const Linkage& l : sc.truth.linkages()) {
+    EXPECT_NE(l.a.schema, l.b.schema);
+    EXPECT_EQ(l.a.is_table(), l.b.is_table());
+  }
+}
+
+TEST(SyntheticTest, ScalesToManySchemas) {
+  SyntheticOptions options;
+  options.num_schemas = 8;
+  auto sc = BuildSyntheticScenario(options);
+  EXPECT_EQ(sc.set.num_schemas(), 8u);
+  // All 8C2 = 28 schema pairs can carry annotations; at least some do.
+  size_t annotated_pairs = 0;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      annotated_pairs += sc.truth.CountsForSchemaPair(a, b).total() > 0;
+    }
+  }
+  EXPECT_GT(annotated_pairs, 20u);
+}
+
+TEST(SyntheticTest, VocabularyCapRespected) {
+  SyntheticOptions options;
+  options.shared_concepts = 10000;  // Way past the vocabulary.
+  auto sc = BuildSyntheticScenario(options);
+  for (size_t s = 0; s < sc.set.num_schemas(); ++s) {
+    EXPECT_LE(sc.set.schema(static_cast<int>(s)).num_attributes(),
+              SyntheticVocabularySize() + options.private_per_schema);
+  }
+}
+
+}  // namespace
+}  // namespace colscope::datasets

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "text/hashing.h"
+#include "text/lexicon.h"
+#include "text/tokenize.h"
+
+namespace colscope::text {
+namespace {
+
+// --- Tokenizer -----------------------------------------------------------
+
+TEST(TokenizeTest, SnakeCase) {
+  EXPECT_EQ(TokenizeIdentifier("ORDER_DATETIME"),
+            (std::vector<std::string>{"order", "datetime"}));
+}
+
+TEST(TokenizeTest, CamelCase) {
+  EXPECT_EQ(TokenizeIdentifier("orderLineNumber"),
+            (std::vector<std::string>{"order", "line", "number"}));
+}
+
+TEST(TokenizeTest, UpperRunFollowedByCamel) {
+  EXPECT_EQ(TokenizeIdentifier("MSRPPrice"),
+            (std::vector<std::string>{"msrp", "price"}));
+}
+
+TEST(TokenizeTest, AllCapsStaysOneToken) {
+  EXPECT_EQ(TokenizeIdentifier("ORDERDATE"),
+            (std::vector<std::string>{"orderdate"}));
+}
+
+TEST(TokenizeTest, DigitBoundaries) {
+  EXPECT_EQ(TokenizeIdentifier("addressLine1"),
+            (std::vector<std::string>{"address", "line", "1"}));
+  EXPECT_EQ(TokenizeIdentifier("q3"), (std::vector<std::string>{"q", "3"}));
+}
+
+TEST(TokenizeTest, SerializedTableSequence) {
+  EXPECT_EQ(TokenizeIdentifier("CLIENT [CID, NAME, ADDRESS, PHONE]"),
+            (std::vector<std::string>{"client", "cid", "name", "address",
+                                      "phone"}));
+}
+
+TEST(TokenizeTest, SerializedAttributeSequence) {
+  EXPECT_EQ(TokenizeIdentifier("CID CLIENT NUMBER PRIMARY KEY"),
+            (std::vector<std::string>{"cid", "client", "number", "primary",
+                                      "key"}));
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeIdentifier("").empty());
+  EXPECT_TRUE(TokenizeIdentifier("_-[]().,").empty());
+}
+
+// --- Trigrams --------------------------------------------------------------
+
+TEST(TrigramTest, PadsWithSentinels) {
+  EXPECT_EQ(CharacterTrigrams("city"),
+            (std::vector<std::string>{"^ci", "cit", "ity", "ty$"}));
+}
+
+TEST(TrigramTest, ShortTokens) {
+  EXPECT_EQ(CharacterTrigrams("a"), (std::vector<std::string>{"^a$"}));
+  EXPECT_EQ(CharacterTrigrams("ab"),
+            (std::vector<std::string>{"^ab", "ab$"}));
+  EXPECT_TRUE(CharacterTrigrams("").empty());
+}
+
+TEST(TrigramTest, SharedGramsForSimilarNames) {
+  auto a = CharacterTrigrams("orderdate");
+  auto b = CharacterTrigrams("orderdatetime");
+  int shared = 0;
+  for (const auto& g : a) {
+    for (const auto& h : b) shared += (g == h);
+  }
+  EXPECT_GE(shared, 6);  // Substantial lexical overlap.
+}
+
+// --- Hashing ------------------------------------------------------------------
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(Hash64("customer"), Hash64("customer"));
+  EXPECT_NE(Hash64("customer"), Hash64("customers"));
+  EXPECT_NE(Hash64(""), Hash64(" "));
+}
+
+TEST(HashTest, CombineOrderDependent) {
+  const uint64_t a = Hash64("a");
+  const uint64_t b = Hash64("b");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+// --- Lexicon ----------------------------------------------------------------------
+
+TEST(LexiconTest, SynonymsShareConcept) {
+  const Lexicon& lex = DefaultSchemaLexicon();
+  EXPECT_EQ(lex.Lookup("client").concept_name,
+            lex.Lookup("customer").concept_name);
+  EXPECT_EQ(lex.Lookup("businesspartner").concept_name,
+            lex.Lookup("customer").concept_name);
+}
+
+TEST(LexiconTest, CategoriesGroupRelatedConcepts) {
+  const Lexicon& lex = DefaultSchemaLexicon();
+  EXPECT_EQ(lex.Lookup("address").category, "geo");
+  EXPECT_EQ(lex.Lookup("city").category, "geo");
+  EXPECT_NE(lex.Lookup("address").concept_name,
+            lex.Lookup("city").concept_name);
+}
+
+TEST(LexiconTest, UnknownTokenIdentity) {
+  const Lexicon& lex = DefaultSchemaLexicon();
+  TokenSense sense = lex.Lookup("zzyzx");
+  EXPECT_EQ(sense.concept_name, "zzyzx");
+  EXPECT_TRUE(sense.category.empty());
+  EXPECT_FALSE(lex.Contains("zzyzx"));
+}
+
+TEST(LexiconTest, LookupIsCaseInsensitive) {
+  const Lexicon& lex = DefaultSchemaLexicon();
+  EXPECT_EQ(lex.Lookup("CLIENT").concept_name, "customer");
+}
+
+TEST(LexiconTest, FormulaOneDomainIsSeparate) {
+  const Lexicon& lex = DefaultSchemaLexicon();
+  EXPECT_EQ(lex.Lookup("driver").category, "motorsport");
+  EXPECT_EQ(lex.Lookup("circuit").category, "motorsport");
+  EXPECT_NE(lex.Lookup("driver").concept_name,
+            lex.Lookup("customer").concept_name);
+}
+
+TEST(LexiconTest, CustomLexiconOverrides) {
+  Lexicon lex;
+  lex.AddSynonyms("thing", {"gadget", "widget"}, "stuff");
+  EXPECT_EQ(lex.Lookup("widget").concept_name, "thing");
+  EXPECT_EQ(lex.Lookup("widget").category, "stuff");
+  lex.SetCategory("other", {"widget"});
+  EXPECT_EQ(lex.Lookup("widget").category, "other");
+  EXPECT_EQ(lex.Lookup("widget").concept_name, "thing");
+}
+
+TEST(LexiconTest, SetCategoryOnUnknownTokenKeepsIdentityConcept) {
+  Lexicon lex;
+  lex.SetCategory("geo", {"fjord"});
+  EXPECT_EQ(lex.Lookup("fjord").concept_name, "fjord");
+  EXPECT_EQ(lex.Lookup("fjord").category, "geo");
+}
+
+}  // namespace
+}  // namespace colscope::text

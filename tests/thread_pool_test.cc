@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "scoping/collaborative.h"
+#include "scoping/signatures.h"
+
+namespace colscope {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+    // No explicit Wait: the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelFitTest, MatchesSequentialFit) {
+  auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures =
+      scoping::BuildSignatures(scenario.set, encoder);
+  const auto sequential = scoping::FitLocalModels(signatures, 4, 0.7);
+  const auto parallel =
+      scoping::FitLocalModelsParallel(signatures, 4, 0.7, 3);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(sequential->size(), parallel->size());
+  for (size_t s = 0; s < sequential->size(); ++s) {
+    EXPECT_EQ((*sequential)[s].schema_index(),
+              (*parallel)[s].schema_index());
+    EXPECT_DOUBLE_EQ((*sequential)[s].linkability_range(),
+                     (*parallel)[s].linkability_range());
+    // Behavioural equality: identical reconstruction errors.
+    const auto local = signatures.SchemaSignatures(static_cast<int>(s));
+    EXPECT_EQ((*sequential)[s].ReconstructionErrors(local),
+              (*parallel)[s].ReconstructionErrors(local));
+  }
+}
+
+TEST(ParallelFitTest, PropagatesFitErrors) {
+  // An empty schema must surface as an error, not a crash.
+  scoping::SignatureSet empty;
+  const auto result = scoping::FitLocalModelsParallel(empty, 1, 0.5, 2);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace colscope

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/stats.h"
+#include "linalg/truncated_svd.h"
+
+namespace colscope::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.NextGaussian();
+  return m;
+}
+
+/// Low-rank-plus-noise matrix: rank `r` dominant structure.
+Matrix LowRankMatrix(size_t rows, size_t cols, size_t r, double noise,
+                     uint64_t seed) {
+  Rng rng(seed);
+  Matrix a = RandomMatrix(rows, r, seed + 1);
+  Matrix b = RandomMatrix(r, cols, seed + 2);
+  Matrix m = a.Multiply(b);
+  for (double& v : m.data()) v += noise * rng.NextGaussian();
+  return m;
+}
+
+TEST(TruncatedSvdTest, MatchesExactTopSingularValues) {
+  const Matrix x = LowRankMatrix(60, 40, 5, 0.01, 3);
+  const SvdResult exact = ThinSvd(x);
+  const SvdResult approx = TruncatedSvd(x, 5);
+  ASSERT_EQ(approx.singular_values.size(), 5u);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(approx.singular_values[k], exact.singular_values[k],
+                1e-3 * exact.singular_values[0]);
+  }
+}
+
+TEST(TruncatedSvdTest, SubspaceMatchesExact) {
+  const Matrix x = LowRankMatrix(50, 30, 3, 0.0, 7);
+  const SvdResult exact = ThinSvd(x);
+  const SvdResult approx = TruncatedSvd(x, 3);
+  // Right singular vectors agree up to sign.
+  for (size_t k = 0; k < 3; ++k) {
+    const double dot =
+        std::fabs(Dot(approx.vt.Row(k), exact.vt.Row(k)));
+    EXPECT_NEAR(dot, 1.0, 1e-6) << "component " << k;
+  }
+}
+
+TEST(TruncatedSvdTest, ReconstructionErrorNearOptimal) {
+  const Matrix x = LowRankMatrix(40, 60, 4, 0.05, 11);
+  const SvdResult approx = TruncatedSvd(x, 4);
+  // Rebuild rank-4 approximation and compare residual against the exact
+  // rank-4 optimum (within 5%).
+  auto residual = [&](const SvdResult& svd, size_t rank) {
+    double err = 0.0;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      for (size_t c = 0; c < x.cols(); ++c) {
+        double value = 0.0;
+        for (size_t k = 0; k < rank; ++k) {
+          value += svd.u(r, k) * svd.singular_values[k] * svd.vt(k, c);
+        }
+        const double diff = x(r, c) - value;
+        err += diff * diff;
+      }
+    }
+    return err;
+  };
+  const SvdResult exact = ThinSvd(x);
+  EXPECT_LE(residual(approx, 4), 1.05 * residual(exact, 4) + 1e-12);
+}
+
+TEST(TruncatedSvdTest, OrthonormalFactors) {
+  const Matrix x = RandomMatrix(30, 50, 13);
+  const SvdResult svd = TruncatedSvd(x, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(Dot(svd.vt.Row(i), svd.vt.Row(j)), i == j ? 1.0 : 0.0,
+                  1e-6);
+    }
+  }
+}
+
+TEST(TruncatedSvdTest, DeterministicForSeed) {
+  const Matrix x = RandomMatrix(25, 25, 17);
+  const SvdResult a = TruncatedSvd(x, 4, 6, 99);
+  const SvdResult b = TruncatedSvd(x, 4, 6, 99);
+  EXPECT_EQ(a.singular_values, b.singular_values);
+  EXPECT_EQ(a.vt.data(), b.vt.data());
+}
+
+TEST(TruncatedSvdTest, RankClampsToMatrixShape) {
+  const Matrix x = RandomMatrix(5, 8, 19);
+  const SvdResult svd = TruncatedSvd(x, 100);
+  EXPECT_LE(svd.singular_values.size(), 5u);
+  EXPECT_TRUE(TruncatedSvd(Matrix(), 3).singular_values.empty());
+}
+
+TEST(TruncatedSvdTest, HandlesZeroMatrix) {
+  const SvdResult svd = TruncatedSvd(Matrix(6, 6, 0.0), 2);
+  for (double s : svd.singular_values) EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace colscope::linalg

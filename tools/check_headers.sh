@@ -1,0 +1,15 @@
+#!/bin/sh
+# Verifies every public header compiles standalone (self-contained
+# headers, per the Google style guide). Usage: check_headers.sh SRC_DIR CXX
+set -e
+src="$1"
+cxx="${2:-c++}"
+status=0
+for header in $(find "$src" -name '*.h' | sort); do
+  if ! "$cxx" -std=c++20 -fsyntax-only -I "$src" -x c++ "$header" 2>/tmp/hdr_err; then
+    echo "NOT SELF-CONTAINED: $header"
+    cat /tmp/hdr_err
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,390 @@
+// colscope — command-line front end for the library.
+//
+// Usage:
+//   colscope scope  --ddl a.sql --ddl b.sql [...] [--v 0.8]
+//       [--scoper pca|neural|global|none] [--keep-portion 0.5]
+//       Prints the per-element linkability assessment and a summary.
+//
+//   colscope match  --ddl a.sql --ddl b.sql [...] [--v 0.8]
+//       [--matcher sim|cluster|lsh|str] [--param X]
+//       Runs the full pipeline and prints the generated correspondences
+//       with cosine scores.
+//
+//   colscope export --ddl a.sql --ddl b.sql [...] [--v 0.8]
+//       Prints the streamlined schemas as SQL DDL.
+//
+//   colscope fit --ddl a.sql [--v 0.8] [--out model.txt]
+//       Self-trains this schema's local encoder-decoder (Algorithm 1)
+//       and prints/writes the serialized model — the only artifact a
+//       participant publishes in the federated workflow.
+//
+//   colscope assess --ddl mine.sql --model peer1.txt [--model peer2.txt]
+//       Assesses this schema's elements against peers' published models
+//       (Algorithm 2) without ever seeing their schemas.
+//
+// Schema names default to the DDL file's basename.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "embed/hashed_encoder.h"
+#include "linalg/stats.h"
+#include "matching/cluster_matcher.h"
+#include "matching/lsh_matcher.h"
+#include "matching/sim.h"
+#include "matching/string_matcher.h"
+#include "outlier/pca_oda.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
+#include "datasets/csv_loader.h"
+#include "schema/ddl_parser.h"
+#include "schema/ddl_writer.h"
+#include "scoping/explain.h"
+#include "scoping/model_io.h"
+
+namespace {
+
+using namespace colscope;
+
+struct CliArgs {
+  std::string command;
+  std::vector<std::string> ddl_paths;   // *.sql -> ParseDdl.
+  std::vector<std::string> csv_paths;   // *.csv -> LoadCsvSchema.
+  std::vector<std::string> model_paths;
+  std::string out_path;
+  double v = 0.8;
+  double keep_portion = 0.5;
+  double param = -1.0;
+  std::string scoper = "pca";
+  std::string matcher = "sim";
+  bool explain = false;
+  bool json = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: colscope <scope|match|export> --ddl FILE [--ddl FILE "
+               "...]\n"
+               "  [--v 0.8] [--scoper pca|neural|global|none]\n"
+               "  [--keep-portion 0.5] [--matcher sim|cluster|lsh|str] "
+               "[--param X]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, CliArgs& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--ddl") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.ddl_paths.push_back(value);
+    } else if (flag == "--csv") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.csv_paths.push_back(value);
+    } else if (flag == "--model") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.model_paths.push_back(value);
+    } else if (flag == "--out") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.out_path = value;
+    } else if (flag == "--v") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.v = std::atof(value);
+    } else if (flag == "--keep-portion") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.keep_portion = std::atof(value);
+    } else if (flag == "--param") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.param = std::atof(value);
+    } else if (flag == "--scoper") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.scoper = value;
+    } else if (flag == "--matcher") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.matcher = value;
+    } else if (flag == "--explain") {
+      args.explain = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args.ddl_paths.empty() || !args.csv_paths.empty();
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name.resize(dot);
+  return name;
+}
+
+Result<schema::SchemaSet> LoadSchemas(const CliArgs& args) {
+  std::vector<schema::Schema> schemas;
+  for (const std::string& path : args.ddl_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::NotFound("cannot open DDL file: " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<schema::Schema> parsed =
+        schema::ParseDdl(text.str(), Basename(path));
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(path + ": " +
+                                     parsed.status().message());
+    }
+    schemas.push_back(std::move(parsed).value());
+  }
+  for (const std::string& path : args.csv_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::NotFound("cannot open CSV file: " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    datasets::CsvLoadOptions options;
+    options.table_name = Basename(path);
+    Result<schema::Schema> loaded =
+        datasets::LoadCsvSchema(text.str(), Basename(path), options);
+    if (!loaded.ok()) {
+      return Status::InvalidArgument(path + ": " +
+                                     loaded.status().message());
+    }
+    schemas.push_back(std::move(loaded).value());
+  }
+  return schema::SchemaSet(std::move(schemas));
+}
+
+std::unique_ptr<matching::Matcher> MakeMatcher(const CliArgs& args) {
+  if (args.matcher == "sim") {
+    return std::make_unique<matching::SimMatcher>(
+        args.param >= 0 ? args.param : 0.6);
+  }
+  if (args.matcher == "cluster") {
+    return std::make_unique<matching::ClusterMatcher>(
+        args.param >= 0 ? static_cast<size_t>(args.param) : 5);
+  }
+  if (args.matcher == "lsh") {
+    return std::make_unique<matching::LshMatcher>(
+        args.param >= 0 ? static_cast<size_t>(args.param) : 1);
+  }
+  if (args.matcher == "str") {
+    return std::make_unique<matching::StringSimilarityMatcher>(
+        matching::StringSimilarityMatcher::Measure::kJaroWinkler,
+        args.param >= 0 ? args.param : 0.9);
+  }
+  return nullptr;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// `colscope fit`: train + publish this schema's local model.
+int RunFit(const CliArgs& args) {
+  Result<schema::SchemaSet> set = LoadSchemas(args);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  const embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(*set, encoder);
+  auto model = scoping::LocalModel::Fit(signatures.SchemaSignatures(0),
+                                        args.v, /*schema_index=*/0);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const std::string serialized = scoping::SerializeLocalModel(*model);
+  if (args.out_path.empty()) {
+    std::fputs(serialized.c_str(), stdout);
+  } else {
+    std::ofstream out(args.out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.out_path.c_str());
+      return 1;
+    }
+    out << serialized;
+    std::fprintf(stderr, "model (%zu components, l=%.3g) -> %s\n",
+                 model->pca().n_components(), model->linkability_range(),
+                 args.out_path.c_str());
+  }
+  return 0;
+}
+
+/// `colscope assess`: judge local elements against peers' models.
+int RunAssess(const CliArgs& args) {
+  if (args.model_paths.empty()) {
+    std::fprintf(stderr, "assess requires at least one --model\n");
+    return 2;
+  }
+  Result<schema::SchemaSet> set = LoadSchemas(args);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<scoping::LocalModel> models;
+  for (const std::string& path : args.model_paths) {
+    Result<std::string> text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<scoping::LocalModel> model =
+        scoping::DeserializeLocalModel(*text);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    models.push_back(std::move(model).value());
+  }
+  const embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(*set, encoder);
+  const auto local = signatures.SchemaSignatures(0);
+  // own_schema_index = -1: every loaded model is a foreign peer.
+  const auto linkable = scoping::AssessLinkability(local, -1, models);
+  size_t kept = 0;
+  const auto rows = signatures.RowsOfSchema(0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-9s %s\n", linkable[i] ? "linkable" : "pruned",
+                set->QualifiedName(signatures.refs[rows[i]]).c_str());
+    kept += linkable[i];
+  }
+  std::printf("# kept %zu / %zu elements against %zu peer model(s)\n", kept,
+              rows.size(), models.size());
+  return 0;
+}
+
+int RunPipeline(const CliArgs& args) {
+  Result<schema::SchemaSet> set = LoadSchemas(args);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+
+  const embed::HashedLexiconEncoder encoder;
+  const outlier::PcaDetector detector(0.5);
+  pipeline::PipelineOptions options;
+  options.explained_variance = args.v;
+  options.keep_portion = args.keep_portion;
+  if (args.scoper == "pca") {
+    options.scoper = pipeline::ScoperKind::kCollaborativePca;
+  } else if (args.scoper == "neural") {
+    options.scoper = pipeline::ScoperKind::kCollaborativeNeural;
+  } else if (args.scoper == "global") {
+    options.scoper = pipeline::ScoperKind::kGlobalScoping;
+    options.detector = &detector;
+  } else if (args.scoper == "none") {
+    options.scoper = pipeline::ScoperKind::kNone;
+  } else {
+    std::fprintf(stderr, "unknown scoper: %s\n", args.scoper.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<matching::Matcher> matcher = MakeMatcher(args);
+  if (matcher == nullptr) {
+    std::fprintf(stderr, "unknown matcher: %s\n", args.matcher.c_str());
+    return 2;
+  }
+
+  pipeline::Pipeline pipe(&encoder, options);
+  Result<pipeline::PipelineRun> run = pipe.Run(*set, *matcher);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.command == "scope") {
+    std::printf("# linkability assessment (%s, v=%.2f)\n",
+                args.scoper.c_str(), args.v);
+    if (args.explain && args.scoper == "pca") {
+      // Full audit: every foreign model's verdict per element.
+      auto models = scoping::FitLocalModels(run->signatures,
+                                            set->num_schemas(), args.v);
+      if (!models.ok()) {
+        std::fprintf(stderr, "%s\n", models.status().ToString().c_str());
+        return 1;
+      }
+      const auto explanations =
+          scoping::ExplainLinkability(run->signatures, *models);
+      for (const auto& explanation : explanations) {
+        std::printf("%s\n",
+                    scoping::FormatExplanation(explanation, *set).c_str());
+      }
+    } else {
+      for (size_t i = 0; i < run->keep.size(); ++i) {
+        std::printf("%-9s %s\n", run->keep[i] ? "linkable" : "pruned",
+                    set->QualifiedName(run->signatures.refs[i]).c_str());
+      }
+    }
+    std::printf("# kept %zu / %zu elements\n", run->num_kept(),
+                run->keep.size());
+    return 0;
+  }
+  if (args.command == "match") {
+    if (args.json) {
+      std::printf("%s\n", pipeline::RunToJson(*run, *set).c_str());
+      return 0;
+    }
+    std::printf("# %zu correspondences from %s on streamlined schemas\n",
+                run->linkages.size(), matcher->name().c_str());
+    for (const auto& [a, b] : run->linkages) {
+      const double cosine = linalg::CosineSimilarity(
+          run->signatures.signatures.Row(set->IndexOf(a)),
+          run->signatures.signatures.Row(set->IndexOf(b)));
+      std::printf("%.3f  %s <-> %s\n", cosine,
+                  set->QualifiedName(a).c_str(),
+                  set->QualifiedName(b).c_str());
+    }
+    return 0;
+  }
+  if (args.command == "export") {
+    for (const schema::Schema& s : run->streamlined.schemas()) {
+      std::printf("%s\n", schema::WriteDdl(s).c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, args)) return Usage();
+  if (args.command == "fit") return RunFit(args);
+  if (args.command == "assess") return RunAssess(args);
+  if (args.command != "scope" && args.command != "match" &&
+      args.command != "export") {
+    return Usage();
+  }
+  return RunPipeline(args);
+}

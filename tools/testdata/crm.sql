@@ -1,0 +1,7 @@
+-- test schema: CRM
+CREATE TABLE clients (
+  client_id INT PRIMARY KEY,
+  name VARCHAR(40),
+  city VARCHAR(40),
+  fax VARCHAR(20)
+);

@@ -1,0 +1,7 @@
+-- test schema: ERP
+CREATE TABLE customers (
+  customer_id INT PRIMARY KEY,
+  customer_name VARCHAR(40),
+  town VARCHAR(40),
+  loyalty_tier INT
+);
