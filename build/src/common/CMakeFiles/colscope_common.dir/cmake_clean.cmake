@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_common.dir/json_writer.cc.o"
+  "CMakeFiles/colscope_common.dir/json_writer.cc.o.d"
+  "CMakeFiles/colscope_common.dir/rng.cc.o"
+  "CMakeFiles/colscope_common.dir/rng.cc.o.d"
+  "CMakeFiles/colscope_common.dir/status.cc.o"
+  "CMakeFiles/colscope_common.dir/status.cc.o.d"
+  "CMakeFiles/colscope_common.dir/strings.cc.o"
+  "CMakeFiles/colscope_common.dir/strings.cc.o.d"
+  "CMakeFiles/colscope_common.dir/thread_pool.cc.o"
+  "CMakeFiles/colscope_common.dir/thread_pool.cc.o.d"
+  "libcolscope_common.a"
+  "libcolscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
