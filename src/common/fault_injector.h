@@ -1,0 +1,96 @@
+#ifndef COLSCOPE_COMMON_FAULT_INJECTOR_H_
+#define COLSCOPE_COMMON_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace colscope {
+
+/// The failure modes a simulated model-exchange transport can inject.
+/// kNone means the payload is delivered intact at the base latency.
+enum class FaultKind {
+  kNone = 0,
+  kDrop,       ///< Payload never arrives (transport returns Unavailable).
+  kDelay,      ///< Payload arrives, but only after an extra delay.
+  kTruncate,   ///< A strict prefix of the payload arrives.
+  kCorrupt,    ///< One byte of the payload is bit-flipped.
+  kStale,      ///< The oldest published version arrives, not the newest.
+};
+
+/// Number of distinct FaultKind values (including kNone).
+inline constexpr size_t kNumFaultKinds = 6;
+
+/// Canonical lower-snake name of `kind` ("none", "drop", ...). Stable;
+/// used in reports and JSON, so safe to test against.
+const char* FaultKindToString(FaultKind kind);
+
+/// Independent per-fetch fault probabilities plus latency parameters for
+/// the simulated transport clock. Probabilities are evaluated as one
+/// draw over cumulative thresholds, so at most one fault fires per
+/// fetch; their sum is clamped to 1.
+struct FaultProfile {
+  double drop_probability = 0.0;
+  double delay_probability = 0.0;
+  double truncate_probability = 0.0;
+  double corrupt_probability = 0.0;
+  double stale_probability = 0.0;
+  /// Simulated time one healthy fetch costs.
+  double base_latency_ms = 1.0;
+  /// Extra simulated time added by a kDelay fault.
+  double delay_latency_ms = 250.0;
+  /// Seed of the deterministic fault stream; identical seeds reproduce
+  /// identical fault sequences regardless of fetch interleaving.
+  uint64_t seed = 0;
+
+  /// True when any fault probability is positive.
+  bool any() const {
+    return drop_probability > 0.0 || delay_probability > 0.0 ||
+           truncate_probability > 0.0 || corrupt_probability > 0.0 ||
+           stale_probability > 0.0;
+  }
+};
+
+/// Parses a CLI-style fault spec: comma-separated key=value pairs with
+/// keys drop, delay, truncate, corrupt, stale (probabilities in [0, 1]),
+/// seed (uint64), base-latency and delay-latency (milliseconds).
+/// Example: "drop=0.3,corrupt=0.1,seed=42".
+Result<FaultProfile> ParseFaultSpec(const std::string& spec);
+
+/// Deterministic, seeded fault source for the simulated exchange
+/// transport. Decisions are a pure function of (profile.seed, publisher,
+/// consumer, attempt), so concurrent or reordered fetches see the same
+/// faults as serial ones — the property the byte-identical
+/// DegradationReport guarantee rests on.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultProfile profile) : profile_(profile) {}
+
+  /// What happens to one fetch attempt and how it mutates the payload.
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    /// Simulated latency of this attempt (includes delay faults).
+    double latency_ms = 0.0;
+    /// For kTruncate: keep only payload[0, truncate_at).
+    size_t truncate_at = 0;
+    /// For kCorrupt: payload[corrupt_pos] ^= corrupt_mask.
+    size_t corrupt_pos = 0;
+    uint8_t corrupt_mask = 0;
+  };
+
+  /// Decides the fate of attempt `attempt` of `consumer` fetching
+  /// `publisher`'s model of `payload_size` bytes.
+  Decision Decide(uint64_t publisher, uint64_t consumer, uint64_t attempt,
+                  size_t payload_size) const;
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  FaultProfile profile_;
+};
+
+}  // namespace colscope
+
+#endif  // COLSCOPE_COMMON_FAULT_INJECTOR_H_

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lower-snake name of `code` ("ok",
@@ -57,6 +59,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,184 @@
+#include "exchange/exchange.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "scoping/model_io.h"
+
+namespace colscope::exchange {
+
+namespace {
+
+/// Deterministic backoff jitter factor in [1 - jitter, 1 + jitter] for
+/// one (publisher, consumer, attempt) triple.
+double JitterFactor(uint64_t seed, int publisher, int consumer, int attempt,
+                    double jitter) {
+  if (jitter <= 0.0) return 1.0;
+  uint64_t state = seed;
+  state += 0xd6e8feb86659fd93ULL * (static_cast<uint64_t>(publisher) + 1);
+  SplitMix64(state);
+  state += 0xa0761d6478bd642fULL * (static_cast<uint64_t>(consumer) + 1);
+  SplitMix64(state);
+  state += 0xe7037ed1a0b428dbULL * (static_cast<uint64_t>(attempt) + 1);
+  Rng rng(SplitMix64(state));
+  return 1.0 - jitter + 2.0 * jitter * rng.NextDouble();
+}
+
+}  // namespace
+
+FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
+                                 int publisher, int consumer,
+                                 const RetryPolicy& policy,
+                                 uint64_t backoff_seed) {
+  FetchOutcome outcome;
+  Status last_error = Status::Unavailable("fetch never attempted");
+  const int max_attempts = std::max(policy.max_attempts, 1);
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const FetchResponse response =
+        transport.Fetch(publisher, consumer, attempt);
+    ++outcome.attempts;
+    outcome.faults.push_back(response.fault);
+
+    // The attempt consumes simulated time whether or not it succeeds; a
+    // response that lands past the deadline is a timeout even if the
+    // payload was intact (this is how kDelay faults kill fetches).
+    if (outcome.elapsed_ms + response.latency_ms > policy.deadline_ms) {
+      outcome.elapsed_ms = policy.deadline_ms;
+      outcome.status = Status::DeadlineExceeded(StrFormat(
+          "fetch of schema %d model exceeded %.0fms deadline on attempt %d",
+          publisher, policy.deadline_ms, attempt + 1));
+      return outcome;
+    }
+    outcome.elapsed_ms += response.latency_ms;
+
+    if (response.status.ok()) {
+      Result<scoping::LocalModel> model =
+          scoping::DeserializeLocalModel(response.payload);
+      if (model.ok()) {
+        outcome.model = std::move(model).value();
+        outcome.status = Status::Ok();
+        return outcome;
+      }
+      // Truncated / corrupted payload: worth retrying, the next attempt
+      // may arrive intact.
+      last_error = model.status();
+    } else {
+      if (response.status.code() == StatusCode::kNotFound) {
+        // Permanent: the peer never published. Retrying cannot help.
+        outcome.status = response.status;
+        return outcome;
+      }
+      last_error = response.status;
+    }
+
+    if (attempt + 1 < max_attempts) {
+      double backoff = policy.initial_backoff_ms;
+      for (int i = 0; i < attempt; ++i) backoff *= policy.backoff_multiplier;
+      backoff = std::min(backoff, policy.max_backoff_ms);
+      backoff *= JitterFactor(backoff_seed, publisher, consumer, attempt,
+                              policy.jitter);
+      if (outcome.elapsed_ms + backoff > policy.deadline_ms) {
+        outcome.elapsed_ms = policy.deadline_ms;
+        outcome.status = Status::DeadlineExceeded(StrFormat(
+            "backoff after attempt %d would exceed the %.0fms deadline",
+            attempt + 1, policy.deadline_ms));
+        return outcome;
+      }
+      outcome.elapsed_ms += backoff;
+    }
+  }
+  outcome.status = last_error;
+  return outcome;
+}
+
+Result<ExchangeResult> ExchangeLocalModels(
+    const std::vector<scoping::LocalModel>& models, ModelTransport& transport,
+    const RetryPolicy& policy, uint64_t backoff_seed) {
+  for (const scoping::LocalModel& model : models) {
+    COLSCOPE_RETURN_IF_ERROR(
+        transport.Publish(model.schema_index(), SerializeLocalModel(model)));
+  }
+
+  ExchangeResult result;
+  result.arrived.resize(models.size());
+  for (size_t c = 0; c < models.size(); ++c) {
+    const int consumer = models[c].schema_index();
+    for (size_t p = 0; p < models.size(); ++p) {
+      if (p == c) continue;
+      const int publisher = models[p].schema_index();
+      FetchOutcome outcome = FetchModelWithRetry(transport, publisher,
+                                                 consumer, policy,
+                                                 backoff_seed);
+      PeerFetchRecord record;
+      record.publisher = publisher;
+      record.consumer = consumer;
+      record.attempts = outcome.attempts;
+      record.elapsed_ms = outcome.elapsed_ms;
+      record.ok = outcome.status.ok();
+      record.faults = std::move(outcome.faults);
+      if (record.ok) {
+        result.arrived[c].push_back(std::move(*outcome.model));
+      } else {
+        record.error = outcome.status.ToString();
+      }
+      result.fetches.push_back(std::move(record));
+    }
+  }
+  return result;
+}
+
+DegradationReport BuildDegradationReport(const ExchangeResult& result,
+                                         std::string policy_name,
+                                         size_t num_schemas) {
+  DegradationReport report;
+  report.policy = std::move(policy_name);
+  report.num_schemas = num_schemas;
+  report.total_fetches = result.fetches.size();
+  for (const PeerFetchRecord& fetch : result.fetches) {
+    report.total_attempts += static_cast<size_t>(fetch.attempts);
+    if (fetch.attempts > 1) {
+      report.total_retries += static_cast<size_t>(fetch.attempts - 1);
+    }
+    report.simulated_ms += fetch.elapsed_ms;
+    for (FaultKind fault : fetch.faults) {
+      report.fault_counts[static_cast<size_t>(fault)] += 1;
+    }
+    if (!fetch.ok) {
+      ++report.failed_fetches;
+      report.peers_lost.emplace_back(fetch.consumer, fetch.publisher);
+    }
+  }
+  report.arrived_per_schema.reserve(result.arrived.size());
+  for (const auto& models : result.arrived) {
+    report.arrived_per_schema.push_back(models.size());
+  }
+  return report;
+}
+
+std::string FormatDegradationReport(const DegradationReport& report) {
+  std::string out = StrFormat(
+      "policy=%s schemas=%zu fetches=%zu failed=%zu attempts=%zu "
+      "retries=%zu simulated_ms=%.3f faults[drop=%zu delay=%zu "
+      "truncate=%zu corrupt=%zu stale=%zu]",
+      report.policy.c_str(), report.num_schemas, report.total_fetches,
+      report.failed_fetches, report.total_attempts, report.total_retries,
+      report.simulated_ms,
+      report.fault_counts[static_cast<size_t>(FaultKind::kDrop)],
+      report.fault_counts[static_cast<size_t>(FaultKind::kDelay)],
+      report.fault_counts[static_cast<size_t>(FaultKind::kTruncate)],
+      report.fault_counts[static_cast<size_t>(FaultKind::kCorrupt)],
+      report.fault_counts[static_cast<size_t>(FaultKind::kStale)]);
+  if (!report.peers_lost.empty()) {
+    out += " lost=";
+    for (size_t i = 0; i < report.peers_lost.size(); ++i) {
+      if (i > 0) out += ',';
+      out += StrFormat("%d<-%d", report.peers_lost[i].first,
+                       report.peers_lost[i].second);
+    }
+  }
+  return out;
+}
+
+}  // namespace colscope::exchange

@@ -1,0 +1,113 @@
+#ifndef COLSCOPE_EXCHANGE_EXCHANGE_H_
+#define COLSCOPE_EXCHANGE_EXCHANGE_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "exchange/transport.h"
+#include "scoping/collaborative.h"
+
+namespace colscope::exchange {
+
+/// Retry discipline of one model fetch: exponential backoff with
+/// deterministic jitter and a per-fetch deadline on the simulated
+/// transport clock. A fetch fails when the deadline is exhausted or
+/// `max_attempts` attempts have all failed, whichever comes first.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Backoff jitter as a fraction: each wait is scaled by a
+  /// deterministic factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.2;
+  /// Total simulated time budget of one fetch (attempts + backoffs).
+  double deadline_ms = 5000.0;
+};
+
+/// Everything one fetch produced: the deserialized model when it
+/// succeeded, plus attempt/latency/fault accounting either way.
+struct FetchOutcome {
+  Status status;
+  std::optional<scoping::LocalModel> model;
+  int attempts = 0;
+  /// Simulated elapsed time: attempt latencies plus backoff waits.
+  double elapsed_ms = 0.0;
+  /// Fault observed on each attempt (kNone for healthy attempts).
+  std::vector<FaultKind> faults;
+};
+
+/// Fetches `publisher`'s model on behalf of `consumer`, retrying on
+/// drops, timeouts, and payloads that fail to deserialize (truncation /
+/// corruption). `backoff_seed` drives the jitter deterministically.
+FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
+                                 int publisher, int consumer,
+                                 const RetryPolicy& policy,
+                                 uint64_t backoff_seed);
+
+/// Accounting record of one (consumer <- publisher) fetch.
+struct PeerFetchRecord {
+  int publisher = 0;
+  int consumer = 0;
+  int attempts = 0;
+  double elapsed_ms = 0.0;
+  bool ok = false;
+  std::string error;  ///< Final status string when !ok.
+  std::vector<FaultKind> faults;
+};
+
+/// Result of a full all-pairs model exchange. `arrived[k]` holds the
+/// foreign models consumer schema k managed to obtain — possibly fewer
+/// than num_schemas - 1 under faults; degraded-mode scoping
+/// (scoping::AssessAllSparse) decides what to do with the gaps.
+struct ExchangeResult {
+  std::vector<std::vector<scoping::LocalModel>> arrived;
+  std::vector<PeerFetchRecord> fetches;  ///< Deterministic order.
+};
+
+/// Phase III over a faulty medium: publishes every model in `models` to
+/// `transport`, then each schema fetches every other schema's model with
+/// retry/backoff. Fetch failures are recorded, never fatal — the caller
+/// applies its degradation policy to the (possibly sparse) arrivals.
+Result<ExchangeResult> ExchangeLocalModels(
+    const std::vector<scoping::LocalModel>& models, ModelTransport& transport,
+    const RetryPolicy& policy, uint64_t backoff_seed = 0);
+
+/// Observability record of one degraded run: what the exchange lost,
+/// how hard it retried, which faults it survived, and which policy
+/// decided the outcome. Threaded into PipelineRun and the JSON report.
+struct DegradationReport {
+  std::string policy;
+  size_t num_schemas = 0;
+  size_t total_fetches = 0;
+  size_t failed_fetches = 0;
+  size_t total_attempts = 0;
+  size_t total_retries = 0;
+  /// Total simulated transport time across all fetches.
+  double simulated_ms = 0.0;
+  /// Faults observed across all attempts, indexed by FaultKind.
+  std::array<size_t, kNumFaultKinds> fault_counts{};
+  /// (consumer, publisher) pairs whose fetch ultimately failed.
+  std::vector<std::pair<int, int>> peers_lost;
+  /// Foreign models that arrived per consumer schema.
+  std::vector<size_t> arrived_per_schema;
+};
+
+/// Summarizes an exchange under `policy_name` into a report.
+DegradationReport BuildDegradationReport(const ExchangeResult& result,
+                                         std::string policy_name,
+                                         size_t num_schemas);
+
+/// One-line human-readable summary ("policy=keep_all fetches=12 ...").
+/// Byte-stable for identical reports.
+std::string FormatDegradationReport(const DegradationReport& report);
+
+}  // namespace colscope::exchange
+
+#endif  // COLSCOPE_EXCHANGE_EXCHANGE_H_

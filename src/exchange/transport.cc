@@ -1,0 +1,67 @@
+#include "exchange/transport.h"
+
+#include "common/strings.h"
+
+namespace colscope::exchange {
+
+Status InMemoryTransport::Publish(int publisher, std::string payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("refusing to publish an empty model");
+  }
+  versions_[publisher].push_back(std::move(payload));
+  return Status::Ok();
+}
+
+FetchResponse InMemoryTransport::Fetch(int publisher, int consumer,
+                                       int attempt) const {
+  FetchResponse response;
+  const auto it = versions_.find(publisher);
+  if (it == versions_.end() || it->second.empty()) {
+    response.status = Status::NotFound(
+        StrFormat("no model published for schema %d", publisher));
+    return response;
+  }
+  response.payload = it->second.back();
+
+  if (!injector_.has_value()) {
+    response.latency_ms = 0.0;
+    return response;
+  }
+
+  const FaultInjector::Decision decision = injector_->Decide(
+      static_cast<uint64_t>(publisher), static_cast<uint64_t>(consumer),
+      static_cast<uint64_t>(attempt), response.payload.size());
+  response.latency_ms = decision.latency_ms;
+  response.fault = decision.kind;
+  switch (decision.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kDelay:  // Latency already charged by the decision.
+      break;
+    case FaultKind::kDrop:
+      response.payload.clear();
+      response.status = Status::Unavailable(
+          StrFormat("model of schema %d dropped in transit", publisher));
+      break;
+    case FaultKind::kTruncate:
+      response.payload.resize(decision.truncate_at);
+      break;
+    case FaultKind::kCorrupt:
+      if (!response.payload.empty()) {
+        response.payload[decision.corrupt_pos] =
+            static_cast<char>(response.payload[decision.corrupt_pos] ^
+                              decision.corrupt_mask);
+      }
+      break;
+    case FaultKind::kStale:
+      response.payload = it->second.front();
+      break;
+  }
+  return response;
+}
+
+size_t InMemoryTransport::NumVersions(int publisher) const {
+  const auto it = versions_.find(publisher);
+  return it == versions_.end() ? 0 : it->second.size();
+}
+
+}  // namespace colscope::exchange

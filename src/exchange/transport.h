@@ -1,0 +1,68 @@
+#ifndef COLSCOPE_EXCHANGE_TRANSPORT_H_
+#define COLSCOPE_EXCHANGE_TRANSPORT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+
+namespace colscope::exchange {
+
+/// Outcome of one transport-level fetch attempt. `status` is Ok when a
+/// payload arrived (possibly truncated, corrupted, or stale — the
+/// payload-mutating faults deliberately do not fail at the transport
+/// layer, exactly like a real network: the receiver must detect them by
+/// parsing). `latency_ms` is simulated wall time and is charged against
+/// the caller's deadline even for failed attempts.
+struct FetchResponse {
+  Status status;
+  std::string payload;
+  double latency_ms = 0.0;
+  FaultKind fault = FaultKind::kNone;
+};
+
+/// The peer-to-peer medium over which schemas exchange serialized local
+/// models (Section 3, phase III): each participant publishes its own
+/// model and fetches the others'. Implementations must be deterministic
+/// for identical call arguments so degraded runs reproduce exactly.
+class ModelTransport {
+ public:
+  virtual ~ModelTransport() = default;
+
+  /// Publishes a new version of `publisher`'s serialized model.
+  virtual Status Publish(int publisher, std::string payload) = 0;
+
+  /// Fetch attempt `attempt` (0-based) of `consumer` requesting
+  /// `publisher`'s latest model.
+  virtual FetchResponse Fetch(int publisher, int consumer,
+                              int attempt) const = 0;
+};
+
+/// In-process transport: a versioned blackboard of published models with
+/// an optional deterministic FaultInjector between publisher and
+/// consumer. Keeps every published version so kStale faults can serve
+/// the oldest one.
+class InMemoryTransport : public ModelTransport {
+ public:
+  InMemoryTransport() = default;
+  explicit InMemoryTransport(FaultInjector injector)
+      : injector_(std::move(injector)) {}
+
+  Status Publish(int publisher, std::string payload) override;
+  FetchResponse Fetch(int publisher, int consumer,
+                      int attempt) const override;
+
+  /// Number of versions `publisher` has published.
+  size_t NumVersions(int publisher) const;
+
+ private:
+  std::map<int, std::vector<std::string>> versions_;
+  std::optional<FaultInjector> injector_;
+};
+
+}  // namespace colscope::exchange
+
+#endif  // COLSCOPE_EXCHANGE_TRANSPORT_H_

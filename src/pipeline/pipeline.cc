@@ -1,11 +1,42 @@
 #include "pipeline/pipeline.h"
 
 #include "common/check.h"
+#include "exchange/transport.h"
 #include "scoping/collaborative.h"
 #include "scoping/scoping.h"
 #include "scoping/streamline.h"
 
 namespace colscope::pipeline {
+
+namespace {
+
+/// Phase III over the simulated faulty transport: publish every fitted
+/// model, fetch peers' models with retry, then apply the degradation
+/// policy to whatever arrived. Fills `run.degradation` even when the
+/// policy ultimately rejects the run's arrivals.
+Result<std::vector<bool>> ScopeViaExchange(const scoping::SignatureSet& sigs,
+                                           size_t num_schemas,
+                                           const PipelineOptions& options,
+                                           PipelineRun& run) {
+  Result<std::vector<scoping::LocalModel>> models = scoping::FitLocalModels(
+      sigs, num_schemas, options.explained_variance);
+  if (!models.ok()) return models.status();
+
+  exchange::InMemoryTransport transport{FaultInjector(options.exchange.faults)};
+  Result<exchange::ExchangeResult> exchanged = exchange::ExchangeLocalModels(
+      *models, transport, options.exchange.retry,
+      options.exchange.faults.seed);
+  if (!exchanged.ok()) return exchanged.status();
+
+  run.degradation = exchange::BuildDegradationReport(
+      *exchanged,
+      scoping::DegradedPolicyToString(options.exchange.degraded.policy),
+      num_schemas);
+  return scoping::AssessAllSparse(sigs, num_schemas, exchanged->arrived,
+                                  options.exchange.degraded);
+}
+
+}  // namespace
 
 size_t PipelineRun::num_kept() const {
   size_t n = 0;
@@ -25,6 +56,11 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
   if (set.num_schemas() < 2) {
     return Status::InvalidArgument("matching needs at least two schemas");
   }
+  if (options_.exchange.enabled &&
+      options_.scoper != ScoperKind::kCollaborativePca) {
+    return Status::InvalidArgument(
+        "model-exchange simulation requires the collaborative pca scoper");
+  }
   PipelineRun run;
   run.signatures = scoping::BuildSignatures(set, *encoder_);
 
@@ -33,8 +69,13 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
       run.keep.assign(run.signatures.size(), true);
       break;
     case ScoperKind::kCollaborativePca: {
-      Result<std::vector<bool>> keep = scoping::CollaborativeScoping(
-          run.signatures, set.num_schemas(), options_.explained_variance);
+      Result<std::vector<bool>> keep =
+          options_.exchange.enabled
+              ? ScopeViaExchange(run.signatures, set.num_schemas(), options_,
+                                 run)
+              : scoping::CollaborativeScoping(run.signatures,
+                                              set.num_schemas(),
+                                              options_.explained_variance);
       if (!keep.ok()) return keep.status();
       run.keep = std::move(keep).value();
       break;

@@ -5,12 +5,15 @@
 #include <set>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/status.h"
 #include "datasets/linkage.h"
 #include "embed/encoder.h"
 #include "eval/matching_metrics.h"
+#include "exchange/exchange.h"
 #include "matching/matcher.h"
 #include "outlier/oda.h"
+#include "scoping/collaborative.h"
 #include "scoping/neural_collaborative.h"
 #include "scoping/signatures.h"
 
@@ -22,6 +25,17 @@ enum class ScoperKind {
   kCollaborativePca,      ///< The paper's method (Algorithms 1 + 2).
   kCollaborativeNeural,   ///< Future-work variant: neural encoder-decoders.
   kGlobalScoping,         ///< Prior-work baseline: one ODA + threshold p.
+};
+
+/// Simulated model-exchange settings for kCollaborativePca: when
+/// enabled, phase III runs over an in-memory transport with the given
+/// fault profile, retrying per `retry` and degrading per `degraded`
+/// instead of assuming every peer model arrives intact.
+struct ExchangeSimOptions {
+  bool enabled = false;
+  FaultProfile faults;
+  exchange::RetryPolicy retry;
+  scoping::DegradedOptions degraded;
 };
 
 /// End-to-end configuration: extract -> serialize -> encode -> scope ->
@@ -36,6 +50,8 @@ struct PipelineOptions {
   const outlier::OutlierDetector* detector = nullptr;
   /// Options for kCollaborativeNeural.
   scoping::NeuralLocalModelOptions neural;
+  /// Fault-tolerant model exchange for kCollaborativePca.
+  ExchangeSimOptions exchange;
 };
 
 /// Everything one pipeline run produces; intermediate artifacts are kept
@@ -47,6 +63,9 @@ struct PipelineRun {
   std::set<matching::ElementPair> linkages;
   /// Filled when ground truth was supplied to Run().
   std::optional<eval::MatchingQuality> quality;
+  /// Filled when the run went through the simulated model exchange:
+  /// peers lost, retries, faults survived, and the policy applied.
+  std::optional<exchange::DegradationReport> degradation;
 
   size_t num_kept() const;
   size_t num_pruned() const { return keep.size() - num_kept(); }

@@ -32,6 +32,42 @@ std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
   }
   json.EndArray();
 
+  if (run.degradation.has_value()) {
+    const exchange::DegradationReport& deg = *run.degradation;
+    json.Key("degradation").BeginObject();
+    json.Key("policy").String(deg.policy);
+    json.Key("num_schemas").Int(static_cast<long long>(deg.num_schemas));
+    json.Key("total_fetches").Int(static_cast<long long>(deg.total_fetches));
+    json.Key("failed_fetches")
+        .Int(static_cast<long long>(deg.failed_fetches));
+    json.Key("total_attempts")
+        .Int(static_cast<long long>(deg.total_attempts));
+    json.Key("total_retries").Int(static_cast<long long>(deg.total_retries));
+    json.Key("simulated_ms").Number(deg.simulated_ms);
+    json.Key("faults").BeginObject();
+    for (size_t kind = 1; kind < kNumFaultKinds; ++kind) {
+      json.Key(FaultKindToString(static_cast<FaultKind>(kind)))
+          .Int(static_cast<long long>(deg.fault_counts[kind]));
+    }
+    json.EndObject();
+    json.Key("peers_lost").BeginArray();
+    for (const auto& [consumer, publisher] : deg.peers_lost) {
+      json.BeginObject();
+      json.Key("consumer").Int(consumer);
+      json.Key("publisher").Int(publisher);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("arrived_per_schema").BeginArray();
+    for (size_t arrived : deg.arrived_per_schema) {
+      json.Int(static_cast<long long>(arrived));
+    }
+    json.EndArray();
+    json.EndObject();
+  } else {
+    json.Key("degradation").Null();
+  }
+
   if (run.quality.has_value()) {
     json.Key("quality").BeginObject();
     json.Key("generated").Int(static_cast<long long>(run.quality->generated));

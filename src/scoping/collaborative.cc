@@ -1,8 +1,10 @@
 #include "scoping/collaborative.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <optional>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "linalg/stats.h"
 
@@ -61,6 +63,87 @@ std::vector<bool> AssessLinkability(const linalg::Matrix& local_signatures,
   return linkable;
 }
 
+const char* DegradedPolicyToString(DegradedPolicy policy) {
+  switch (policy) {
+    case DegradedPolicy::kFailClosed:
+      return "fail_closed";
+    case DegradedPolicy::kKeepAll:
+      return "keep_all";
+    case DegradedPolicy::kQuorum:
+      return "quorum";
+  }
+  return "unknown";
+}
+
+Result<DegradedOptions> ParseDegradedPolicy(const std::string& spec) {
+  DegradedOptions options;
+  if (spec == "fail-closed" || spec == "fail_closed") {
+    options.policy = DegradedPolicy::kFailClosed;
+    return options;
+  }
+  if (spec == "keep-all" || spec == "keep_all") {
+    options.policy = DegradedPolicy::kKeepAll;
+    return options;
+  }
+  const std::string quorum_prefix = "quorum";
+  if (spec.rfind(quorum_prefix, 0) == 0) {
+    options.policy = DegradedPolicy::kQuorum;
+    options.quorum = 1;
+    if (spec.size() > quorum_prefix.size()) {
+      if (spec[quorum_prefix.size()] != ':') {
+        return Status::InvalidArgument("malformed quorum spec: " + spec);
+      }
+      const std::string count = spec.substr(quorum_prefix.size() + 1);
+      char* end = nullptr;
+      const long long q = std::strtoll(count.c_str(), &end, 10);
+      if (end == count.c_str() || *end != '\0' || q < 1) {
+        return Status::InvalidArgument("quorum must be a positive integer: " +
+                                       spec);
+      }
+      options.quorum = static_cast<size_t>(q);
+    }
+    return options;
+  }
+  return Status::InvalidArgument(
+      "unknown exchange policy (want fail-closed|keep-all|quorum[:N]): " +
+      spec);
+}
+
+Result<std::vector<bool>> AssessLinkabilityDegraded(
+    const linalg::Matrix& local_signatures, int own_schema_index,
+    const std::vector<LocalModel>& arrived, size_t expected_peers,
+    const DegradedOptions& options) {
+  size_t foreign = 0;
+  for (const LocalModel& model : arrived) {
+    if (model.schema_index() != own_schema_index) ++foreign;
+  }
+  switch (options.policy) {
+    case DegradedPolicy::kFailClosed:
+      if (foreign < expected_peers) {
+        return Status::Unavailable(StrFormat(
+            "schema %d reached only %zu of %zu peer models "
+            "(policy fail_closed)",
+            own_schema_index, foreign, expected_peers));
+      }
+      break;
+    case DegradedPolicy::kKeepAll:
+      if (foreign == 0) {
+        // All peers unreachable: fall back to the traditional pipeline
+        // for this schema — keep every element (Figure 2, no pruning).
+        return std::vector<bool>(local_signatures.rows(), true);
+      }
+      break;
+    case DegradedPolicy::kQuorum:
+      if (foreign < options.quorum) {
+        return Status::Unavailable(StrFormat(
+            "schema %d reached only %zu peer models, quorum is %zu",
+            own_schema_index, foreign, options.quorum));
+      }
+      break;
+  }
+  return AssessLinkability(local_signatures, own_schema_index, arrived);
+}
+
 Result<std::vector<LocalModel>> FitLocalModels(const SignatureSet& signatures,
                                                size_t num_schemas, double v) {
   std::vector<LocalModel> models;
@@ -113,6 +196,29 @@ std::vector<bool> AssessAll(const SignatureSet& signatures,
     const std::vector<bool> linkable =
         AssessLinkability(local, schema, models);
     for (size_t i = 0; i < rows.size(); ++i) keep[rows[i]] = linkable[i];
+  }
+  return keep;
+}
+
+Result<std::vector<bool>> AssessAllSparse(
+    const SignatureSet& signatures, size_t num_schemas,
+    const std::vector<std::vector<LocalModel>>& arrived_per_schema,
+    const DegradedOptions& options) {
+  if (arrived_per_schema.size() != num_schemas) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu per-schema model sets, got %zu", num_schemas,
+                  arrived_per_schema.size()));
+  }
+  std::vector<bool> keep(signatures.size(), false);
+  const size_t expected_peers = num_schemas > 0 ? num_schemas - 1 : 0;
+  for (size_t s = 0; s < num_schemas; ++s) {
+    const int schema = static_cast<int>(s);
+    const std::vector<size_t> rows = signatures.RowsOfSchema(schema);
+    const linalg::Matrix local = signatures.SchemaSignatures(schema);
+    Result<std::vector<bool>> linkable = AssessLinkabilityDegraded(
+        local, schema, arrived_per_schema[s], expected_peers, options);
+    if (!linkable.ok()) return linkable.status();
+    for (size_t i = 0; i < rows.size(); ++i) keep[rows[i]] = (*linkable)[i];
   }
   return keep;
 }

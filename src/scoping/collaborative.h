@@ -1,6 +1,7 @@
 #ifndef COLSCOPE_SCOPING_COLLABORATIVE_H_
 #define COLSCOPE_SCOPING_COLLABORATIVE_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -62,6 +63,45 @@ std::vector<bool> AssessLinkability(const linalg::Matrix& local_signatures,
                                     int own_schema_index,
                                     const std::vector<LocalModel>& models);
 
+/// What collaborative scoping does when peer models are missing — e.g.
+/// lost on the exchange transport (see exchange/) or withheld by a
+/// participant.
+enum class DegradedPolicy {
+  /// Error out unless every expected foreign model is present (the
+  /// pre-fault-tolerance behavior).
+  kFailClosed,
+  /// Schemas with *no* reachable peers fall back to the traditional
+  /// Figure-2 pipeline (keep everything); schemas with partial arrivals
+  /// assess against the models that did arrive.
+  kKeepAll,
+  /// Proceed for a schema only when at least `quorum` foreign models
+  /// arrived; error otherwise.
+  kQuorum,
+};
+
+/// Canonical lower-snake name of `policy` ("fail_closed", ...).
+const char* DegradedPolicyToString(DegradedPolicy policy);
+
+struct DegradedOptions {
+  DegradedPolicy policy = DegradedPolicy::kFailClosed;
+  /// Minimum arrived foreign models per schema under kQuorum.
+  size_t quorum = 1;
+};
+
+/// Parses a CLI-style policy spec: "fail-closed", "keep-all", or
+/// "quorum[:N]" (N defaults to 1).
+Result<DegradedOptions> ParseDegradedPolicy(const std::string& spec);
+
+/// Algorithm 2 for one schema over a possibly-incomplete model set.
+/// `arrived` holds the foreign models that reached this schema (own
+/// models are skipped as in AssessLinkability); `expected_peers` is how
+/// many foreign models a fault-free exchange would have delivered. The
+/// policy decides between assessing, keeping everything, and erroring.
+Result<std::vector<bool>> AssessLinkabilityDegraded(
+    const linalg::Matrix& local_signatures, int own_schema_index,
+    const std::vector<LocalModel>& arrived, size_t expected_peers,
+    const DegradedOptions& options);
+
 /// Full collaborative scoping (phases II + III) over a signature set:
 /// fits one local model per schema at explained variance `v` and runs the
 /// distributed linkability assessment. Returns the keep-mask in signature
@@ -87,6 +127,15 @@ Result<std::vector<LocalModel>> FitLocalModelsParallel(
 std::vector<bool> AssessAll(const SignatureSet& signatures,
                             size_t num_schemas,
                             const std::vector<LocalModel>& models);
+
+/// Phase III over a sparse model set: `arrived_per_schema[k]` holds the
+/// foreign models consumer schema k obtained (each consumer may have a
+/// different subset after a faulty exchange). The degradation policy in
+/// `options` decides how schemas with missing peers are handled.
+Result<std::vector<bool>> AssessAllSparse(
+    const SignatureSet& signatures, size_t num_schemas,
+    const std::vector<std::vector<LocalModel>>& arrived_per_schema,
+    const DegradedOptions& options);
 
 }  // namespace colscope::scoping
 

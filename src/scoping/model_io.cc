@@ -1,6 +1,8 @@
 #include "scoping/model_io.h"
 
 #include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -12,13 +14,48 @@ namespace {
 
 constexpr char kHeader[] = "colscope-local-model v1";
 
-/// Parses one double strictly; false on trailing garbage or range error.
+// A deserialized model is exchanged over an untrusted transport, so its
+// declared shape bounds what we are willing to allocate: dims and
+// components are capped individually and jointly (the pc matrix is
+// dims * components doubles) before any allocation happens.
+constexpr size_t kMaxDims = size_t{1} << 20;
+constexpr size_t kMaxComponents = size_t{1} << 16;
+constexpr size_t kMaxTotalValues = size_t{1} << 24;
+
+/// Parses one double strictly; false on trailing garbage, range error,
+/// or non-finite value (NaN/Inf never appear in a valid model and would
+/// poison every downstream reconstruction error).
 bool ParseDouble(const std::string& token, double& out) {
   errno = 0;
   char* end = nullptr;
   out = std::strtod(token.c_str(), &end);
   return errno == 0 && end != nullptr && *end == '\0' &&
-         end != token.c_str();
+         end != token.c_str() && std::isfinite(out);
+}
+
+/// Parses a strictly non-negative decimal integer; false on sign,
+/// trailing garbage, or overflow.
+bool ParseSize(const std::string& token, size_t& out) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') return false;
+  out = static_cast<size_t>(value);
+  return static_cast<unsigned long long>(out) == value;
+}
+
+/// Parses a decimal int in [-1, INT_MAX] (−1 is the "anonymous peer"
+/// schema index); false on garbage or out-of-range values.
+bool ParseSchemaIndex(const std::string& token, int& out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') return false;
+  if (value < -1 || value > INT_MAX) return false;
+  out = static_cast<int>(value);
+  return true;
 }
 
 /// Parses a line of `count` doubles into `out`.
@@ -77,6 +114,8 @@ Result<LocalModel> DeserializeLocalModel(const std::string& text) {
   int schema_index = -1;
   size_t dims = 0, components = 0;
   double range = -1.0;
+  bool seen_schema = false, seen_dims = false, seen_components = false,
+       seen_range = false, seen_mean = false;
   linalg::Vector mean;
   linalg::Matrix pcs;
   size_t pcs_read = 0;
@@ -90,26 +129,52 @@ Result<LocalModel> DeserializeLocalModel(const std::string& text) {
         space == std::string_view::npos ? "" : stripped.substr(space + 1));
 
     if (key == "schema") {
-      schema_index = std::atoi(value.c_str());
+      if (seen_schema) {
+        return Status::InvalidArgument("duplicate schema line");
+      }
+      if (!ParseSchemaIndex(value, schema_index)) {
+        return Status::InvalidArgument("malformed schema index: " + value);
+      }
+      seen_schema = true;
     } else if (key == "dims") {
-      dims = static_cast<size_t>(std::atoll(value.c_str()));
+      if (seen_dims) return Status::InvalidArgument("duplicate dims line");
+      if (!ParseSize(value, dims) || dims == 0 || dims > kMaxDims) {
+        return Status::InvalidArgument(
+            StrFormat("dims must be in [1, %zu], got: %s", kMaxDims,
+                      value.c_str()));
+      }
+      seen_dims = true;
     } else if (key == "components") {
-      components = static_cast<size_t>(std::atoll(value.c_str()));
-      if (dims == 0) {
+      if (seen_components) {
+        return Status::InvalidArgument("duplicate components line");
+      }
+      if (!seen_dims) {
         return Status::InvalidArgument("dims must precede components");
       }
+      if (!ParseSize(value, components) || components == 0 ||
+          components > kMaxComponents ||
+          components > kMaxTotalValues / dims) {
+        return Status::InvalidArgument(
+            StrFormat("components out of range for dims %zu: %s", dims,
+                      value.c_str()));
+      }
+      seen_components = true;
       pcs = linalg::Matrix(components, dims);
     } else if (key == "range") {
-      if (!ParseDouble(value, range)) {
+      if (seen_range) return Status::InvalidArgument("duplicate range line");
+      if (!ParseDouble(value, range) || range < 0.0) {
         return Status::InvalidArgument("malformed range: " + value);
       }
+      seen_range = true;
     } else if (key == "mean") {
-      if (dims == 0) {
+      if (seen_mean) return Status::InvalidArgument("duplicate mean line");
+      if (!seen_dims) {
         return Status::InvalidArgument("dims must precede mean");
       }
       COLSCOPE_RETURN_IF_ERROR(ParseVectorLine(value, dims, mean));
+      seen_mean = true;
     } else if (key == "pc") {
-      if (pcs_read >= components) {
+      if (!seen_components || pcs_read >= components) {
         return Status::InvalidArgument("more pc lines than components");
       }
       linalg::Vector row;
@@ -120,14 +185,14 @@ Result<LocalModel> DeserializeLocalModel(const std::string& text) {
     }
   }
 
-  if (mean.size() != dims || dims == 0) {
+  if (!seen_mean) {
     return Status::InvalidArgument("missing or malformed mean");
   }
-  if (pcs_read != components || components == 0) {
+  if (!seen_components || pcs_read != components) {
     return Status::InvalidArgument(
         StrFormat("expected %zu pc lines, found %zu", components, pcs_read));
   }
-  if (range < 0.0) {
+  if (!seen_range) {
     return Status::InvalidArgument("missing linkability range");
   }
   Result<linalg::PcaModel> pca =

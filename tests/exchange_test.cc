@@ -1,0 +1,394 @@
+// Tests of the fault-tolerant model-exchange layer: deterministic fault
+// injection, transport semantics, retry/backoff/deadline accounting, and
+// degraded-mode collaborative scoping end to end through the pipeline.
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injector.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "exchange/exchange.h"
+#include "exchange/transport.h"
+#include "matching/sim.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
+#include "scoping/collaborative.h"
+#include "scoping/model_io.h"
+#include "scoping/signatures.h"
+
+namespace colscope {
+namespace {
+
+using exchange::FetchModelWithRetry;
+using exchange::InMemoryTransport;
+using exchange::RetryPolicy;
+using scoping::DegradedOptions;
+using scoping::DegradedPolicy;
+using scoping::LocalModel;
+
+// --- FaultInjector -----------------------------------------------------------
+
+TEST(FaultInjectorTest, DeterministicAcrossInstancesAndCallOrder) {
+  FaultProfile profile;
+  profile.drop_probability = 0.3;
+  profile.corrupt_probability = 0.3;
+  profile.delay_probability = 0.2;
+  profile.seed = 1234;
+  const FaultInjector a(profile);
+  const FaultInjector b(profile);
+
+  // Same (publisher, consumer, attempt) -> same decision, and querying b
+  // in reverse order must not change anything.
+  std::vector<FaultInjector::Decision> forward, backward;
+  for (int i = 0; i < 50; ++i) {
+    forward.push_back(a.Decide(i % 5, i % 3, i, 100));
+  }
+  for (int i = 49; i >= 0; --i) {
+    backward.push_back(b.Decide(i % 5, i % 3, i, 100));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto& f = forward[i];
+    const auto& r = backward[49 - i];
+    EXPECT_EQ(f.kind, r.kind);
+    EXPECT_EQ(f.latency_ms, r.latency_ms);
+    EXPECT_EQ(f.truncate_at, r.truncate_at);
+    EXPECT_EQ(f.corrupt_pos, r.corrupt_pos);
+    EXPECT_EQ(f.corrupt_mask, r.corrupt_mask);
+  }
+}
+
+TEST(FaultInjectorTest, ProbabilitiesRoughlyRespected) {
+  FaultProfile profile;
+  profile.drop_probability = 0.5;
+  profile.seed = 7;
+  const FaultInjector injector(profile);
+  int drops = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (injector.Decide(0, 1, i, 64).kind == FaultKind::kDrop) ++drops;
+  }
+  EXPECT_GT(drops, 400);
+  EXPECT_LT(drops, 600);
+}
+
+TEST(FaultInjectorTest, ParseFaultSpec) {
+  auto profile =
+      ParseFaultSpec("drop=0.25,corrupt=0.5,seed=99,delay-latency=10");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_DOUBLE_EQ(profile->drop_probability, 0.25);
+  EXPECT_DOUBLE_EQ(profile->corrupt_probability, 0.5);
+  EXPECT_EQ(profile->seed, 99u);
+  EXPECT_DOUBLE_EQ(profile->delay_latency_ms, 10.0);
+
+  EXPECT_FALSE(ParseFaultSpec("drop=1.5").ok());
+  EXPECT_FALSE(ParseFaultSpec("drop=nan").ok());
+  EXPECT_FALSE(ParseFaultSpec("bogus=0.1").ok());
+  EXPECT_FALSE(ParseFaultSpec("drop").ok());
+  EXPECT_FALSE(ParseFaultSpec("seed=-3").ok());
+}
+
+TEST(DegradedPolicyTest, ParseDegradedPolicy) {
+  auto keep = scoping::ParseDegradedPolicy("keep-all");
+  ASSERT_TRUE(keep.ok());
+  EXPECT_EQ(keep->policy, DegradedPolicy::kKeepAll);
+
+  auto quorum = scoping::ParseDegradedPolicy("quorum:2");
+  ASSERT_TRUE(quorum.ok());
+  EXPECT_EQ(quorum->policy, DegradedPolicy::kQuorum);
+  EXPECT_EQ(quorum->quorum, 2u);
+
+  auto bare_quorum = scoping::ParseDegradedPolicy("quorum");
+  ASSERT_TRUE(bare_quorum.ok());
+  EXPECT_EQ(bare_quorum->quorum, 1u);
+
+  EXPECT_FALSE(scoping::ParseDegradedPolicy("quorum:0").ok());
+  EXPECT_FALSE(scoping::ParseDegradedPolicy("quorum:x").ok());
+  EXPECT_FALSE(scoping::ParseDegradedPolicy("open").ok());
+}
+
+// --- Transport + retry -------------------------------------------------------
+
+class ExchangeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = scoping::BuildSignatures(scenario_.set, encoder_);
+    auto models = scoping::FitLocalModels(
+        signatures_, scenario_.set.num_schemas(), 0.8);
+    ASSERT_TRUE(models.ok());
+    models_ = std::move(models).value();
+  }
+
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  scoping::SignatureSet signatures_;
+  std::vector<LocalModel> models_;
+};
+
+TEST_F(ExchangeTest, HealthyTransportDeliversVerbatim) {
+  InMemoryTransport transport;
+  ASSERT_TRUE(
+      transport.Publish(0, scoping::SerializeLocalModel(models_[0])).ok());
+
+  const auto response = transport.Fetch(0, 1, 0);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.payload, scoping::SerializeLocalModel(models_[0]));
+  EXPECT_EQ(response.fault, FaultKind::kNone);
+
+  EXPECT_EQ(transport.Fetch(42, 1, 0).status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(transport.Publish(3, "").ok());
+}
+
+TEST_F(ExchangeTest, StaleFaultServesOldestVersion) {
+  FaultProfile profile;
+  profile.stale_probability = 1.0;
+  InMemoryTransport transport{FaultInjector(profile)};
+  ASSERT_TRUE(transport.Publish(0, "colscope-local-model v0-old").ok());
+  ASSERT_TRUE(
+      transport.Publish(0, scoping::SerializeLocalModel(models_[0])).ok());
+  EXPECT_EQ(transport.NumVersions(0), 2u);
+
+  const auto response = transport.Fetch(0, 1, 0);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.fault, FaultKind::kStale);
+  EXPECT_EQ(response.payload, "colscope-local-model v0-old");
+}
+
+TEST_F(ExchangeTest, AllDropsExhaustRetries) {
+  FaultProfile profile;
+  profile.drop_probability = 1.0;
+  InMemoryTransport transport{FaultInjector(profile)};
+  ASSERT_TRUE(
+      transport.Publish(0, scoping::SerializeLocalModel(models_[0])).ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  const auto outcome = FetchModelWithRetry(transport, 0, 1, policy, 7);
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_EQ(outcome.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(outcome.attempts, 5);
+  EXPECT_EQ(outcome.faults.size(), 5u);
+  for (FaultKind fault : outcome.faults) {
+    EXPECT_EQ(fault, FaultKind::kDrop);
+  }
+  EXPECT_GT(outcome.elapsed_ms, 0.0);
+}
+
+TEST_F(ExchangeTest, DelayBeyondDeadlineTimesOut) {
+  FaultProfile profile;
+  profile.delay_probability = 1.0;
+  profile.delay_latency_ms = 1000.0;
+  InMemoryTransport transport{FaultInjector(profile)};
+  ASSERT_TRUE(
+      transport.Publish(0, scoping::SerializeLocalModel(models_[0])).ok());
+
+  RetryPolicy policy;
+  policy.deadline_ms = 100.0;
+  const auto outcome = FetchModelWithRetry(transport, 0, 1, policy, 7);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(outcome.elapsed_ms, policy.deadline_ms);
+}
+
+TEST_F(ExchangeTest, RetryRecoversFromTransientCorruption) {
+  // 60% corruption: with 6 attempts the overwhelming majority of fetches
+  // eventually land an intact payload.
+  FaultProfile profile;
+  profile.corrupt_probability = 0.6;
+  profile.seed = 11;
+  InMemoryTransport transport{FaultInjector(profile)};
+  for (const LocalModel& model : models_) {
+    ASSERT_TRUE(transport
+                    .Publish(model.schema_index(),
+                             scoping::SerializeLocalModel(model))
+                    .ok());
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  auto result = exchange::ExchangeLocalModels(models_, transport, policy, 11);
+  ASSERT_TRUE(result.ok());
+  size_t retried = 0, arrived = 0;
+  for (const auto& fetch : result->fetches) {
+    if (fetch.attempts > 1) ++retried;
+  }
+  for (const auto& per_schema : result->arrived) arrived += per_schema.size();
+  EXPECT_GT(retried, 0u);   // Some fetches needed retries...
+  EXPECT_GT(arrived, 6u);   // ...and most models still made it through.
+}
+
+TEST_F(ExchangeTest, MissingPublisherFailsWithoutRetry) {
+  InMemoryTransport transport;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  const auto outcome = FetchModelWithRetry(transport, 9, 0, policy, 0);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(outcome.attempts, 1);  // Permanent errors are not retried.
+}
+
+// --- Degraded-mode scoping ---------------------------------------------------
+
+TEST_F(ExchangeTest, FailClosedRejectsSparseModelSets) {
+  const size_t n = scenario_.set.num_schemas();
+  std::vector<std::vector<LocalModel>> arrived(n);  // Nothing arrived.
+  DegradedOptions options;
+  options.policy = DegradedPolicy::kFailClosed;
+  const auto keep =
+      scoping::AssessAllSparse(signatures_, n, arrived, options);
+  EXPECT_FALSE(keep.ok());
+  EXPECT_EQ(keep.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ExchangeTest, FullArrivalsMatchClassicAssessment) {
+  const size_t n = scenario_.set.num_schemas();
+  std::vector<std::vector<LocalModel>> arrived(n);
+  for (size_t c = 0; c < n; ++c) {
+    for (const LocalModel& model : models_) {
+      if (model.schema_index() != static_cast<int>(c)) {
+        arrived[c].push_back(model);
+      }
+    }
+  }
+  for (DegradedPolicy policy : {DegradedPolicy::kFailClosed,
+                                DegradedPolicy::kKeepAll,
+                                DegradedPolicy::kQuorum}) {
+    DegradedOptions options;
+    options.policy = policy;
+    const auto keep =
+        scoping::AssessAllSparse(signatures_, n, arrived, options);
+    ASSERT_TRUE(keep.ok()) << keep.status().ToString();
+    EXPECT_EQ(*keep, scoping::AssessAll(signatures_, n, models_));
+  }
+}
+
+TEST_F(ExchangeTest, QuorumBelowThresholdErrors) {
+  const size_t n = scenario_.set.num_schemas();
+  std::vector<std::vector<LocalModel>> arrived(n);
+  // Every consumer reaches exactly one peer (schema 0's model, except
+  // consumer 0, which reaches schema 1's).
+  for (size_t c = 0; c < n; ++c) {
+    arrived[c].push_back(models_[c == 0 ? 1 : 0]);
+  }
+  DegradedOptions options;
+  options.policy = DegradedPolicy::kQuorum;
+  options.quorum = 1;
+  EXPECT_TRUE(scoping::AssessAllSparse(signatures_, n, arrived, options).ok());
+  options.quorum = 2;
+  const auto keep = scoping::AssessAllSparse(signatures_, n, arrived, options);
+  EXPECT_FALSE(keep.ok());
+  EXPECT_EQ(keep.status().code(), StatusCode::kUnavailable);
+}
+
+// --- Pipeline under faults ---------------------------------------------------
+
+matching::SimMatcher Matcher() { return matching::SimMatcher(0.6); }
+
+TEST_F(ExchangeTest, KeepAllWithAllPeersDownEqualsTraditionalPipeline) {
+  // Acceptance criterion: 100% drop + kKeepAll completes and reproduces
+  // the ScoperKind::kNone run exactly.
+  pipeline::PipelineOptions faulty;
+  faulty.scoper = pipeline::ScoperKind::kCollaborativePca;
+  faulty.exchange.enabled = true;
+  faulty.exchange.faults.drop_probability = 1.0;
+  faulty.exchange.faults.seed = 3;
+  faulty.exchange.retry.max_attempts = 2;
+  faulty.exchange.degraded.policy = DegradedPolicy::kKeepAll;
+
+  pipeline::PipelineOptions none;
+  none.scoper = pipeline::ScoperKind::kNone;
+
+  const auto matcher = Matcher();
+  const pipeline::Pipeline faulty_pipe(&encoder_, faulty);
+  const pipeline::Pipeline none_pipe(&encoder_, none);
+  const auto degraded = faulty_pipe.Run(scenario_.set, matcher);
+  const auto baseline = none_pipe.Run(scenario_.set, matcher);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_TRUE(baseline.ok());
+
+  EXPECT_EQ(degraded->keep, baseline->keep);
+  EXPECT_EQ(degraded->linkages, baseline->linkages);
+  EXPECT_EQ(degraded->num_kept(), degraded->keep.size());
+
+  ASSERT_TRUE(degraded->degradation.has_value());
+  const auto& report = *degraded->degradation;
+  EXPECT_EQ(report.policy, "keep_all");
+  EXPECT_EQ(report.total_fetches, report.failed_fetches);
+  const size_t n = scenario_.set.num_schemas();
+  EXPECT_EQ(report.peers_lost.size(), n * (n - 1));
+  for (size_t arrived : report.arrived_per_schema) EXPECT_EQ(arrived, 0u);
+}
+
+TEST_F(ExchangeTest, FaultFreeExchangeMatchesDirectScoping) {
+  pipeline::PipelineOptions exchanged;
+  exchanged.exchange.enabled = true;  // No faults configured.
+  exchanged.exchange.degraded.policy = DegradedPolicy::kFailClosed;
+
+  pipeline::PipelineOptions direct;
+  direct.scoper = pipeline::ScoperKind::kCollaborativePca;
+
+  const auto matcher = Matcher();
+  const auto via_exchange =
+      pipeline::Pipeline(&encoder_, exchanged).Run(scenario_.set, matcher);
+  const auto classic =
+      pipeline::Pipeline(&encoder_, direct).Run(scenario_.set, matcher);
+  ASSERT_TRUE(via_exchange.ok()) << via_exchange.status().ToString();
+  ASSERT_TRUE(classic.ok());
+  EXPECT_EQ(via_exchange->keep, classic->keep);
+  EXPECT_EQ(via_exchange->linkages, classic->linkages);
+  ASSERT_TRUE(via_exchange->degradation.has_value());
+  EXPECT_EQ(via_exchange->degradation->failed_fetches, 0u);
+  EXPECT_EQ(via_exchange->degradation->total_retries, 0u);
+}
+
+TEST_F(ExchangeTest, FailClosedUnderTotalLossErrors) {
+  pipeline::PipelineOptions options;
+  options.exchange.enabled = true;
+  options.exchange.faults.drop_probability = 1.0;
+  options.exchange.retry.max_attempts = 2;
+  options.exchange.degraded.policy = DegradedPolicy::kFailClosed;
+  const auto matcher = Matcher();
+  const auto run =
+      pipeline::Pipeline(&encoder_, options).Run(scenario_.set, matcher);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ExchangeTest, DegradationReportIsByteIdenticalAcrossRuns) {
+  // Acceptance criterion: fixed seed + nonzero fault rates -> two
+  // identical runs produce byte-identical reports.
+  pipeline::PipelineOptions options;
+  options.exchange.enabled = true;
+  options.exchange.faults.drop_probability = 0.3;
+  options.exchange.faults.corrupt_probability = 0.2;
+  options.exchange.faults.truncate_probability = 0.1;
+  options.exchange.faults.seed = 42;
+  options.exchange.degraded.policy = DegradedPolicy::kKeepAll;
+
+  const auto matcher = Matcher();
+  const pipeline::Pipeline pipe(&encoder_, options);
+  const auto first = pipe.Run(scenario_.set, matcher);
+  const auto second = pipe.Run(scenario_.set, matcher);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(first->degradation.has_value());
+  ASSERT_TRUE(second->degradation.has_value());
+
+  EXPECT_EQ(exchange::FormatDegradationReport(*first->degradation),
+            exchange::FormatDegradationReport(*second->degradation));
+  EXPECT_EQ(pipeline::RunToJson(*first, scenario_.set),
+            pipeline::RunToJson(*second, scenario_.set));
+  // And the JSON actually carries the degradation block.
+  EXPECT_NE(pipeline::RunToJson(*first, scenario_.set).find("\"degradation\""),
+            std::string::npos);
+}
+
+TEST_F(ExchangeTest, ExchangeRequiresPcaScoper) {
+  pipeline::PipelineOptions options;
+  options.scoper = pipeline::ScoperKind::kNone;
+  options.exchange.enabled = true;
+  const auto matcher = Matcher();
+  const auto run =
+      pipeline::Pipeline(&encoder_, options).Run(scenario_.set, matcher);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace colscope

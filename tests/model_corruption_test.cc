@@ -1,0 +1,171 @@
+// Corruption matrix for the exchanged model format: every mutilation of
+// a serialized LocalModel — truncation at any byte, single-byte flips,
+// line reordering, hostile shapes, non-finite numbers — must come back
+// as a clean Status (ok or error), never a crash, hang, or huge
+// allocation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "scoping/model_io.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+namespace {
+
+class ModelCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = BuildSignatures(scenario_.set, encoder_);
+    auto model = LocalModel::Fit(signatures_.SchemaSignatures(1), 0.7, 1);
+    ASSERT_TRUE(model.ok());
+    serialized_ = SerializeLocalModel(*model);
+  }
+
+  /// Deserializes `text` and asserts the result is a clean Status: an ok
+  /// model that can actually be used, or InvalidArgument with a message.
+  void ExpectCleanOutcome(const std::string& text) {
+    auto restored = DeserializeLocalModel(text);
+    if (restored.ok()) {
+      // A model that parsed must be usable end to end.
+      const linalg::Vector probe(restored->pca().dims(), 0.25);
+      EXPECT_TRUE(std::isfinite(restored->ReconstructionError(probe)));
+    } else {
+      EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_FALSE(restored.status().message().empty());
+    }
+  }
+
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  SignatureSet signatures_;
+  std::string serialized_;
+};
+
+TEST_F(ModelCorruptionTest, TruncationMatrixIsClean) {
+  // The serialized model is tens of KB, so the full O(n^2) matrix is too
+  // slow for CI; cover every line boundary (the structurally interesting
+  // cuts) plus a fixed stride through the interior.
+  std::vector<size_t> cuts = {0, 1, serialized_.size() - 1};
+  for (size_t pos = 0; pos < serialized_.size(); ++pos) {
+    if (serialized_[pos] == '\n') {
+      cuts.push_back(pos);
+      cuts.push_back(pos + 1);
+    }
+  }
+  for (size_t len = 0; len <= serialized_.size(); len += 97) cuts.push_back(len);
+  for (size_t len : cuts) {
+    ExpectCleanOutcome(serialized_.substr(0, len));
+  }
+  // The only prefix guaranteed to round-trip is the full document.
+  EXPECT_TRUE(DeserializeLocalModel(serialized_).ok());
+  EXPECT_FALSE(DeserializeLocalModel(
+                   serialized_.substr(0, serialized_.size() / 2))
+                   .ok());
+}
+
+TEST_F(ModelCorruptionTest, SingleByteFlipMatrixIsClean) {
+  // Dense coverage of the structured prefix (header + shape lines, where
+  // flips are most dangerous), strided coverage of the numeric body.
+  const size_t prefix = std::min<size_t>(serialized_.size(), 256);
+  for (size_t pos = 0; pos < prefix; ++pos) {
+    for (int bit : {0, 2, 5, 7}) {
+      std::string mutated = serialized_;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+      ExpectCleanOutcome(mutated);
+    }
+  }
+  for (size_t pos = prefix; pos < serialized_.size(); pos += 53) {
+    std::string mutated = serialized_;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << (pos % 8)));
+    ExpectCleanOutcome(mutated);
+  }
+}
+
+TEST_F(ModelCorruptionTest, LineReorderingsAreClean) {
+  std::vector<std::string> lines = SplitString(serialized_, "\n");
+  // Reversal, rotation, and every adjacent-pair swap.
+  std::vector<std::string> reversed(lines.rbegin(), lines.rend());
+  ExpectCleanOutcome(JoinStrings(reversed, "\n"));
+  for (size_t rot = 1; rot < lines.size(); ++rot) {
+    std::vector<std::string> rotated(lines.begin() + rot, lines.end());
+    rotated.insert(rotated.end(), lines.begin(), lines.begin() + rot);
+    ExpectCleanOutcome(JoinStrings(rotated, "\n"));
+  }
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    std::vector<std::string> swapped = lines;
+    std::swap(swapped[i], swapped[i + 1]);
+    ExpectCleanOutcome(JoinStrings(swapped, "\n"));
+  }
+}
+
+TEST_F(ModelCorruptionTest, NonFiniteNumbersRejected) {
+  for (const char* bad : {"nan", "inf", "-inf", "NAN", "INF"}) {
+    std::string mutated = serialized_;
+    const size_t range_pos = mutated.find("range ");
+    ASSERT_NE(range_pos, std::string::npos);
+    const size_t eol = mutated.find('\n', range_pos);
+    mutated.replace(range_pos, eol - range_pos,
+                    std::string("range ") + bad);
+    EXPECT_FALSE(DeserializeLocalModel(mutated).ok()) << bad;
+  }
+  // NaN inside the mean vector.
+  std::string mutated = serialized_;
+  const size_t mean_pos = mutated.find("mean ");
+  ASSERT_NE(mean_pos, std::string::npos);
+  mutated.replace(mean_pos + 5, 0, "nan ");
+  EXPECT_FALSE(DeserializeLocalModel(mutated).ok());
+}
+
+TEST_F(ModelCorruptionTest, HostileShapesRejectedBeforeAllocation) {
+  const char* hostile[] = {
+      // Overflowing and absurd dims.
+      "colscope-local-model v1\nschema 0\ndims 99999999999999999999\n",
+      "colscope-local-model v1\nschema 0\ndims 1048577\n",
+      "colscope-local-model v1\nschema 0\ndims -5\n",
+      "colscope-local-model v1\nschema 0\ndims 12abc\n",
+      "colscope-local-model v1\nschema 0\ndims 0\n",
+      // components overflowing the total-allocation cap (2^20 * 2^16).
+      "colscope-local-model v1\nschema 0\ndims 1048576\ncomponents 65536\n",
+      "colscope-local-model v1\nschema 0\ndims 4\ncomponents -1\n",
+      "colscope-local-model v1\nschema 0\ndims 4\ncomponents 0\n",
+      // Malformed schema index.
+      "colscope-local-model v1\nschema 4294967296999\n",
+      "colscope-local-model v1\nschema two\n",
+  };
+  for (const char* text : hostile) {
+    auto restored = DeserializeLocalModel(text);
+    EXPECT_FALSE(restored.ok()) << text;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ModelCorruptionTest, DuplicateAndTrailingGarbageRejected) {
+  EXPECT_FALSE(DeserializeLocalModel(serialized_ + "range 1.0\n").ok());
+  EXPECT_FALSE(DeserializeLocalModel(serialized_ + "dims 4\n").ok());
+  EXPECT_FALSE(DeserializeLocalModel(serialized_ + "schema 1\n").ok());
+  EXPECT_FALSE(
+      DeserializeLocalModel(serialized_ + "mean 0 0 0 0 0 0\n").ok());
+  EXPECT_FALSE(DeserializeLocalModel(serialized_ + "garbage\n").ok());
+  EXPECT_FALSE(DeserializeLocalModel(serialized_ + "pc 1 2\n").ok());
+  // Blank trailing lines remain fine.
+  EXPECT_TRUE(DeserializeLocalModel(serialized_ + "\n\n").ok());
+}
+
+TEST_F(ModelCorruptionTest, ValidModelStillRoundTrips) {
+  auto restored = DeserializeLocalModel(serialized_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->schema_index(), 1);
+  EXPECT_EQ(SerializeLocalModel(*restored), serialized_);
+}
+
+}  // namespace
+}  // namespace colscope::scoping

@@ -32,8 +32,10 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/strings.h"
 #include "embed/hashed_encoder.h"
+#include "exchange/exchange.h"
 #include "linalg/stats.h"
 #include "matching/cluster_matcher.h"
 #include "matching/lsh_matcher.h"
@@ -63,6 +65,8 @@ struct CliArgs {
   double param = -1.0;
   std::string scoper = "pca";
   std::string matcher = "sim";
+  std::string faults;           // --faults drop=0.3,corrupt=0.1,seed=42
+  std::string exchange_policy;  // --exchange-policy keep-all|quorum:2|...
   bool explain = false;
   bool json = false;
 };
@@ -73,7 +77,10 @@ int Usage() {
                "...]\n"
                "  [--v 0.8] [--scoper pca|neural|global|none]\n"
                "  [--keep-portion 0.5] [--matcher sim|cluster|lsh|str] "
-               "[--param X]\n");
+               "[--param X]\n"
+               "  [--faults drop=P,delay=P,truncate=P,corrupt=P,stale=P,"
+               "seed=N]\n"
+               "  [--exchange-policy fail-closed|keep-all|quorum[:N]]\n");
   return 2;
 }
 
@@ -121,6 +128,14 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       const char* value = next();
       if (value == nullptr) return false;
       args.matcher = value;
+    } else if (flag == "--faults") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.faults = value;
+    } else if (flag == "--exchange-policy") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.exchange_policy = value;
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -309,6 +324,29 @@ int RunPipeline(const CliArgs& args) {
     return 2;
   }
 
+  if (!args.faults.empty() || !args.exchange_policy.empty()) {
+    options.exchange.enabled = true;
+    if (!args.faults.empty()) {
+      Result<FaultProfile> profile = ParseFaultSpec(args.faults);
+      if (!profile.ok()) {
+        std::fprintf(stderr, "--faults: %s\n",
+                     profile.status().ToString().c_str());
+        return 2;
+      }
+      options.exchange.faults = *profile;
+    }
+    if (!args.exchange_policy.empty()) {
+      Result<scoping::DegradedOptions> degraded =
+          scoping::ParseDegradedPolicy(args.exchange_policy);
+      if (!degraded.ok()) {
+        std::fprintf(stderr, "--exchange-policy: %s\n",
+                     degraded.status().ToString().c_str());
+        return 2;
+      }
+      options.exchange.degraded = *degraded;
+    }
+  }
+
   std::unique_ptr<matching::Matcher> matcher = MakeMatcher(args);
   if (matcher == nullptr) {
     std::fprintf(stderr, "unknown matcher: %s\n", args.matcher.c_str());
@@ -320,6 +358,10 @@ int RunPipeline(const CliArgs& args) {
   if (!run.ok()) {
     std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
     return 1;
+  }
+  if (run->degradation.has_value() && !args.json) {
+    std::printf("# exchange: %s\n",
+                exchange::FormatDegradationReport(*run->degradation).c_str());
   }
 
   if (args.command == "scope") {

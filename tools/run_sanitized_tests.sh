@@ -1,0 +1,15 @@
+#!/bin/sh
+# Builds the robustness-focused tests under ASan and UBSan and runs them.
+# Usage: run_sanitized_tests.sh [BUILD_DIR]   (default: <repo>/build-sanitized)
+set -e
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build-sanitized}"
+tests='exchange_test|model_corruption_test|model_io_test|robustness_test'
+
+cmake -B "$build" -S "$root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
+cmake --build "$build" -j \
+  --target exchange_test model_corruption_test model_io_test robustness_test
+cd "$build"
+ctest --output-on-failure -R "^($tests)\$"
