@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_er.dir/ablation_er.cc.o"
+  "CMakeFiles/ablation_er.dir/ablation_er.cc.o.d"
+  "ablation_er"
+  "ablation_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generalization.dir/ablation_generalization.cc.o"
+  "CMakeFiles/ablation_generalization.dir/ablation_generalization.cc.o.d"
+  "ablation_generalization"
+  "ablation_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

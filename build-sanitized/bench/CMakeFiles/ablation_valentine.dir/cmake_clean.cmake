@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_valentine.dir/ablation_valentine.cc.o"
+  "CMakeFiles/ablation_valentine.dir/ablation_valentine.cc.o.d"
+  "ablation_valentine"
+  "ablation_valentine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_valentine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_bench_common.dir/curve_common.cc.o"
+  "CMakeFiles/colscope_bench_common.dir/curve_common.cc.o.d"
+  "libcolscope_bench_common.a"
+  "libcolscope_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_bench.dir/complexity_bench.cc.o"
+  "CMakeFiles/complexity_bench.dir/complexity_bench.cc.o.d"
+  "complexity_bench"
+  "complexity_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

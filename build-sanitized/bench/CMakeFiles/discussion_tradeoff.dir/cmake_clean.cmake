@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_tradeoff.dir/discussion_tradeoff.cc.o"
+  "CMakeFiles/discussion_tradeoff.dir/discussion_tradeoff.cc.o.d"
+  "discussion_tradeoff"
+  "discussion_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for discussion_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_oc3_curves.dir/fig5_oc3_curves.cc.o"
+  "CMakeFiles/fig5_oc3_curves.dir/fig5_oc3_curves.cc.o.d"
+  "fig5_oc3_curves"
+  "fig5_oc3_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_oc3_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_oc3fo_curves.dir/fig6_oc3fo_curves.cc.o"
+  "CMakeFiles/fig6_oc3fo_curves.dir/fig6_oc3fo_curves.cc.o.d"
+  "fig6_oc3fo_curves"
+  "fig6_oc3fo_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_oc3fo_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

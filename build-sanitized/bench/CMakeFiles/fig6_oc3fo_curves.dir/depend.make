@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_oc3fo_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ablation.dir/fig7_ablation.cc.o"
+  "CMakeFiles/fig7_ablation.dir/fig7_ablation.cc.o.d"
+  "fig7_ablation"
+  "fig7_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

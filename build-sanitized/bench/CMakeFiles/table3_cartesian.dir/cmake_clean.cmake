@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cartesian.dir/table3_cartesian.cc.o"
+  "CMakeFiles/table3_cartesian.dir/table3_cartesian.cc.o.d"
+  "table3_cartesian"
+  "table3_cartesian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cartesian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

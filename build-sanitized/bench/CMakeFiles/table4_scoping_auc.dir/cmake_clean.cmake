@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_scoping_auc.dir/table4_scoping_auc.cc.o"
+  "CMakeFiles/table4_scoping_auc.dir/table4_scoping_auc.cc.o.d"
+  "table4_scoping_auc"
+  "table4_scoping_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_scoping_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_matching.dir/composite_matching.cpp.o"
+  "CMakeFiles/composite_matching.dir/composite_matching.cpp.o.d"
+  "composite_matching"
+  "composite_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

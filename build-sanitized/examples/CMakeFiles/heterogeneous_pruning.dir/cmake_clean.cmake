@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_pruning.dir/heterogeneous_pruning.cpp.o"
+  "CMakeFiles/heterogeneous_pruning.dir/heterogeneous_pruning.cpp.o.d"
+  "heterogeneous_pruning"
+  "heterogeneous_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_source_matching.dir/multi_source_matching.cpp.o"
+  "CMakeFiles/multi_source_matching.dir/multi_source_matching.cpp.o.d"
+  "multi_source_matching"
+  "multi_source_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_source_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

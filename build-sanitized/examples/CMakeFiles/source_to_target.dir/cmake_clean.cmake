@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_to_target.dir/source_to_target.cpp.o"
+  "CMakeFiles/source_to_target.dir/source_to_target.cpp.o.d"
+  "source_to_target"
+  "source_to_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_to_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

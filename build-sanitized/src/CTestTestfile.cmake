@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitized/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("text")
+subdirs("embed")
+subdirs("schema")
+subdirs("datasets")
+subdirs("nn")
+subdirs("outlier")
+subdirs("scoping")
+subdirs("exchange")
+subdirs("matching")
+subdirs("eval")
+subdirs("pipeline")
+subdirs("er")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/csv_loader.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/csv_loader.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/csv_loader.cc.o.d"
+  "/root/repo/src/datasets/fabricator.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/fabricator.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/fabricator.cc.o.d"
+  "/root/repo/src/datasets/instances.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/instances.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/instances.cc.o.d"
+  "/root/repo/src/datasets/linkage.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/linkage.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/linkage.cc.o.d"
+  "/root/repo/src/datasets/oc3.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/oc3.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/oc3.cc.o.d"
+  "/root/repo/src/datasets/oc3_ddl.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/oc3_ddl.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/oc3_ddl.cc.o.d"
+  "/root/repo/src/datasets/sales3.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/sales3.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/sales3.cc.o.d"
+  "/root/repo/src/datasets/sales3_ddl.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/sales3_ddl.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/sales3_ddl.cc.o.d"
+  "/root/repo/src/datasets/synthetic.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/synthetic.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/synthetic.cc.o.d"
+  "/root/repo/src/datasets/toy.cc" "src/datasets/CMakeFiles/colscope_datasets.dir/toy.cc.o" "gcc" "src/datasets/CMakeFiles/colscope_datasets.dir/toy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/schema/CMakeFiles/colscope_schema.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/text/CMakeFiles/colscope_text.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

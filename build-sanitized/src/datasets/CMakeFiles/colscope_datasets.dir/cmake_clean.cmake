@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_datasets.dir/csv_loader.cc.o"
+  "CMakeFiles/colscope_datasets.dir/csv_loader.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/fabricator.cc.o"
+  "CMakeFiles/colscope_datasets.dir/fabricator.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/instances.cc.o"
+  "CMakeFiles/colscope_datasets.dir/instances.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/linkage.cc.o"
+  "CMakeFiles/colscope_datasets.dir/linkage.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/oc3.cc.o"
+  "CMakeFiles/colscope_datasets.dir/oc3.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/oc3_ddl.cc.o"
+  "CMakeFiles/colscope_datasets.dir/oc3_ddl.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/sales3.cc.o"
+  "CMakeFiles/colscope_datasets.dir/sales3.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/sales3_ddl.cc.o"
+  "CMakeFiles/colscope_datasets.dir/sales3_ddl.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/colscope_datasets.dir/synthetic.cc.o.d"
+  "CMakeFiles/colscope_datasets.dir/toy.cc.o"
+  "CMakeFiles/colscope_datasets.dir/toy.cc.o.d"
+  "libcolscope_datasets.a"
+  "libcolscope_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

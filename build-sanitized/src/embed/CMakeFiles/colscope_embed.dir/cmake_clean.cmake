@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_embed.dir/encoder.cc.o"
+  "CMakeFiles/colscope_embed.dir/encoder.cc.o.d"
+  "CMakeFiles/colscope_embed.dir/hashed_encoder.cc.o"
+  "CMakeFiles/colscope_embed.dir/hashed_encoder.cc.o.d"
+  "libcolscope_embed.a"
+  "libcolscope_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_er.dir/entity_set.cc.o"
+  "CMakeFiles/colscope_er.dir/entity_set.cc.o.d"
+  "CMakeFiles/colscope_er.dir/record_scoping.cc.o"
+  "CMakeFiles/colscope_er.dir/record_scoping.cc.o.d"
+  "CMakeFiles/colscope_er.dir/synthetic_er.cc.o"
+  "CMakeFiles/colscope_er.dir/synthetic_er.cc.o.d"
+  "libcolscope_er.a"
+  "libcolscope_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/breakdown.cc" "src/eval/CMakeFiles/colscope_eval.dir/breakdown.cc.o" "gcc" "src/eval/CMakeFiles/colscope_eval.dir/breakdown.cc.o.d"
+  "/root/repo/src/eval/csv_export.cc" "src/eval/CMakeFiles/colscope_eval.dir/csv_export.cc.o" "gcc" "src/eval/CMakeFiles/colscope_eval.dir/csv_export.cc.o.d"
+  "/root/repo/src/eval/curves.cc" "src/eval/CMakeFiles/colscope_eval.dir/curves.cc.o" "gcc" "src/eval/CMakeFiles/colscope_eval.dir/curves.cc.o.d"
+  "/root/repo/src/eval/matching_metrics.cc" "src/eval/CMakeFiles/colscope_eval.dir/matching_metrics.cc.o" "gcc" "src/eval/CMakeFiles/colscope_eval.dir/matching_metrics.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/colscope_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/colscope_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/sweep.cc" "src/eval/CMakeFiles/colscope_eval.dir/sweep.cc.o" "gcc" "src/eval/CMakeFiles/colscope_eval.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/datasets/CMakeFiles/colscope_datasets.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/matching/CMakeFiles/colscope_matching.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/scoping/CMakeFiles/colscope_scoping.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/outlier/CMakeFiles/colscope_outlier.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/schema/CMakeFiles/colscope_schema.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/embed/CMakeFiles/colscope_embed.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/nn/CMakeFiles/colscope_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/text/CMakeFiles/colscope_text.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/linalg/CMakeFiles/colscope_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

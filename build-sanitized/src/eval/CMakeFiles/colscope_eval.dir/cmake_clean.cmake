@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_eval.dir/breakdown.cc.o"
+  "CMakeFiles/colscope_eval.dir/breakdown.cc.o.d"
+  "CMakeFiles/colscope_eval.dir/csv_export.cc.o"
+  "CMakeFiles/colscope_eval.dir/csv_export.cc.o.d"
+  "CMakeFiles/colscope_eval.dir/curves.cc.o"
+  "CMakeFiles/colscope_eval.dir/curves.cc.o.d"
+  "CMakeFiles/colscope_eval.dir/matching_metrics.cc.o"
+  "CMakeFiles/colscope_eval.dir/matching_metrics.cc.o.d"
+  "CMakeFiles/colscope_eval.dir/metrics.cc.o"
+  "CMakeFiles/colscope_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/colscope_eval.dir/sweep.cc.o"
+  "CMakeFiles/colscope_eval.dir/sweep.cc.o.d"
+  "libcolscope_eval.a"
+  "libcolscope_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_exchange.dir/exchange.cc.o"
+  "CMakeFiles/colscope_exchange.dir/exchange.cc.o.d"
+  "CMakeFiles/colscope_exchange.dir/transport.cc.o"
+  "CMakeFiles/colscope_exchange.dir/transport.cc.o.d"
+  "libcolscope_exchange.a"
+  "libcolscope_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

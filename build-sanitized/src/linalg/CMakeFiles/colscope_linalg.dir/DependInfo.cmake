@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen.cc" "src/linalg/CMakeFiles/colscope_linalg.dir/eigen.cc.o" "gcc" "src/linalg/CMakeFiles/colscope_linalg.dir/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/colscope_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/colscope_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "src/linalg/CMakeFiles/colscope_linalg.dir/pca.cc.o" "gcc" "src/linalg/CMakeFiles/colscope_linalg.dir/pca.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "src/linalg/CMakeFiles/colscope_linalg.dir/stats.cc.o" "gcc" "src/linalg/CMakeFiles/colscope_linalg.dir/stats.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/linalg/CMakeFiles/colscope_linalg.dir/svd.cc.o" "gcc" "src/linalg/CMakeFiles/colscope_linalg.dir/svd.cc.o.d"
+  "/root/repo/src/linalg/truncated_svd.cc" "src/linalg/CMakeFiles/colscope_linalg.dir/truncated_svd.cc.o" "gcc" "src/linalg/CMakeFiles/colscope_linalg.dir/truncated_svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_linalg.dir/eigen.cc.o"
+  "CMakeFiles/colscope_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/colscope_linalg.dir/matrix.cc.o"
+  "CMakeFiles/colscope_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/colscope_linalg.dir/pca.cc.o"
+  "CMakeFiles/colscope_linalg.dir/pca.cc.o.d"
+  "CMakeFiles/colscope_linalg.dir/stats.cc.o"
+  "CMakeFiles/colscope_linalg.dir/stats.cc.o.d"
+  "CMakeFiles/colscope_linalg.dir/svd.cc.o"
+  "CMakeFiles/colscope_linalg.dir/svd.cc.o.d"
+  "CMakeFiles/colscope_linalg.dir/truncated_svd.cc.o"
+  "CMakeFiles/colscope_linalg.dir/truncated_svd.cc.o.d"
+  "libcolscope_linalg.a"
+  "libcolscope_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/active_learning.cc" "src/matching/CMakeFiles/colscope_matching.dir/active_learning.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/active_learning.cc.o.d"
+  "/root/repo/src/matching/cluster_matcher.cc" "src/matching/CMakeFiles/colscope_matching.dir/cluster_matcher.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/cluster_matcher.cc.o.d"
+  "/root/repo/src/matching/cupid.cc" "src/matching/CMakeFiles/colscope_matching.dir/cupid.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/cupid.cc.o.d"
+  "/root/repo/src/matching/flat_index.cc" "src/matching/CMakeFiles/colscope_matching.dir/flat_index.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/flat_index.cc.o.d"
+  "/root/repo/src/matching/kmeans.cc" "src/matching/CMakeFiles/colscope_matching.dir/kmeans.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/kmeans.cc.o.d"
+  "/root/repo/src/matching/lsh_matcher.cc" "src/matching/CMakeFiles/colscope_matching.dir/lsh_matcher.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/lsh_matcher.cc.o.d"
+  "/root/repo/src/matching/matcher.cc" "src/matching/CMakeFiles/colscope_matching.dir/matcher.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/matcher.cc.o.d"
+  "/root/repo/src/matching/silhouette.cc" "src/matching/CMakeFiles/colscope_matching.dir/silhouette.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/silhouette.cc.o.d"
+  "/root/repo/src/matching/sim.cc" "src/matching/CMakeFiles/colscope_matching.dir/sim.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/sim.cc.o.d"
+  "/root/repo/src/matching/similarity_flooding.cc" "src/matching/CMakeFiles/colscope_matching.dir/similarity_flooding.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/similarity_flooding.cc.o.d"
+  "/root/repo/src/matching/similarity_matrix.cc" "src/matching/CMakeFiles/colscope_matching.dir/similarity_matrix.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/similarity_matrix.cc.o.d"
+  "/root/repo/src/matching/string_matcher.cc" "src/matching/CMakeFiles/colscope_matching.dir/string_matcher.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/string_matcher.cc.o.d"
+  "/root/repo/src/matching/token_blocking.cc" "src/matching/CMakeFiles/colscope_matching.dir/token_blocking.cc.o" "gcc" "src/matching/CMakeFiles/colscope_matching.dir/token_blocking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/scoping/CMakeFiles/colscope_scoping.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/text/CMakeFiles/colscope_text.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/linalg/CMakeFiles/colscope_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/embed/CMakeFiles/colscope_embed.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/schema/CMakeFiles/colscope_schema.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/outlier/CMakeFiles/colscope_outlier.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/nn/CMakeFiles/colscope_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_matching.dir/active_learning.cc.o"
+  "CMakeFiles/colscope_matching.dir/active_learning.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/cluster_matcher.cc.o"
+  "CMakeFiles/colscope_matching.dir/cluster_matcher.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/cupid.cc.o"
+  "CMakeFiles/colscope_matching.dir/cupid.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/flat_index.cc.o"
+  "CMakeFiles/colscope_matching.dir/flat_index.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/kmeans.cc.o"
+  "CMakeFiles/colscope_matching.dir/kmeans.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/lsh_matcher.cc.o"
+  "CMakeFiles/colscope_matching.dir/lsh_matcher.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/matcher.cc.o"
+  "CMakeFiles/colscope_matching.dir/matcher.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/silhouette.cc.o"
+  "CMakeFiles/colscope_matching.dir/silhouette.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/sim.cc.o"
+  "CMakeFiles/colscope_matching.dir/sim.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/similarity_flooding.cc.o"
+  "CMakeFiles/colscope_matching.dir/similarity_flooding.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/similarity_matrix.cc.o"
+  "CMakeFiles/colscope_matching.dir/similarity_matrix.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/string_matcher.cc.o"
+  "CMakeFiles/colscope_matching.dir/string_matcher.cc.o.d"
+  "CMakeFiles/colscope_matching.dir/token_blocking.cc.o"
+  "CMakeFiles/colscope_matching.dir/token_blocking.cc.o.d"
+  "libcolscope_matching.a"
+  "libcolscope_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

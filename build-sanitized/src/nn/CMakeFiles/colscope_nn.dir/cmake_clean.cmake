@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_nn.dir/network.cc.o"
+  "CMakeFiles/colscope_nn.dir/network.cc.o.d"
+  "libcolscope_nn.a"
+  "libcolscope_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/outlier/autoencoder.cc" "src/outlier/CMakeFiles/colscope_outlier.dir/autoencoder.cc.o" "gcc" "src/outlier/CMakeFiles/colscope_outlier.dir/autoencoder.cc.o.d"
+  "/root/repo/src/outlier/isolation_forest.cc" "src/outlier/CMakeFiles/colscope_outlier.dir/isolation_forest.cc.o" "gcc" "src/outlier/CMakeFiles/colscope_outlier.dir/isolation_forest.cc.o.d"
+  "/root/repo/src/outlier/knn.cc" "src/outlier/CMakeFiles/colscope_outlier.dir/knn.cc.o" "gcc" "src/outlier/CMakeFiles/colscope_outlier.dir/knn.cc.o.d"
+  "/root/repo/src/outlier/lof.cc" "src/outlier/CMakeFiles/colscope_outlier.dir/lof.cc.o" "gcc" "src/outlier/CMakeFiles/colscope_outlier.dir/lof.cc.o.d"
+  "/root/repo/src/outlier/pca_oda.cc" "src/outlier/CMakeFiles/colscope_outlier.dir/pca_oda.cc.o" "gcc" "src/outlier/CMakeFiles/colscope_outlier.dir/pca_oda.cc.o.d"
+  "/root/repo/src/outlier/zscore.cc" "src/outlier/CMakeFiles/colscope_outlier.dir/zscore.cc.o" "gcc" "src/outlier/CMakeFiles/colscope_outlier.dir/zscore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/linalg/CMakeFiles/colscope_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/nn/CMakeFiles/colscope_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_outlier.dir/autoencoder.cc.o"
+  "CMakeFiles/colscope_outlier.dir/autoencoder.cc.o.d"
+  "CMakeFiles/colscope_outlier.dir/isolation_forest.cc.o"
+  "CMakeFiles/colscope_outlier.dir/isolation_forest.cc.o.d"
+  "CMakeFiles/colscope_outlier.dir/knn.cc.o"
+  "CMakeFiles/colscope_outlier.dir/knn.cc.o.d"
+  "CMakeFiles/colscope_outlier.dir/lof.cc.o"
+  "CMakeFiles/colscope_outlier.dir/lof.cc.o.d"
+  "CMakeFiles/colscope_outlier.dir/pca_oda.cc.o"
+  "CMakeFiles/colscope_outlier.dir/pca_oda.cc.o.d"
+  "CMakeFiles/colscope_outlier.dir/zscore.cc.o"
+  "CMakeFiles/colscope_outlier.dir/zscore.cc.o.d"
+  "libcolscope_outlier.a"
+  "libcolscope_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

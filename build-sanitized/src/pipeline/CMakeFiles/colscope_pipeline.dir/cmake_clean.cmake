@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/colscope_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/colscope_pipeline.dir/report.cc.o"
+  "CMakeFiles/colscope_pipeline.dir/report.cc.o.d"
+  "libcolscope_pipeline.a"
+  "libcolscope_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/ddl_parser.cc" "src/schema/CMakeFiles/colscope_schema.dir/ddl_parser.cc.o" "gcc" "src/schema/CMakeFiles/colscope_schema.dir/ddl_parser.cc.o.d"
+  "/root/repo/src/schema/ddl_writer.cc" "src/schema/CMakeFiles/colscope_schema.dir/ddl_writer.cc.o" "gcc" "src/schema/CMakeFiles/colscope_schema.dir/ddl_writer.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/schema/CMakeFiles/colscope_schema.dir/schema.cc.o" "gcc" "src/schema/CMakeFiles/colscope_schema.dir/schema.cc.o.d"
+  "/root/repo/src/schema/schema_set.cc" "src/schema/CMakeFiles/colscope_schema.dir/schema_set.cc.o" "gcc" "src/schema/CMakeFiles/colscope_schema.dir/schema_set.cc.o.d"
+  "/root/repo/src/schema/serialize.cc" "src/schema/CMakeFiles/colscope_schema.dir/serialize.cc.o" "gcc" "src/schema/CMakeFiles/colscope_schema.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

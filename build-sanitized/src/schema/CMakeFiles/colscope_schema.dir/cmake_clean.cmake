@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_schema.dir/ddl_parser.cc.o"
+  "CMakeFiles/colscope_schema.dir/ddl_parser.cc.o.d"
+  "CMakeFiles/colscope_schema.dir/ddl_writer.cc.o"
+  "CMakeFiles/colscope_schema.dir/ddl_writer.cc.o.d"
+  "CMakeFiles/colscope_schema.dir/schema.cc.o"
+  "CMakeFiles/colscope_schema.dir/schema.cc.o.d"
+  "CMakeFiles/colscope_schema.dir/schema_set.cc.o"
+  "CMakeFiles/colscope_schema.dir/schema_set.cc.o.d"
+  "CMakeFiles/colscope_schema.dir/serialize.cc.o"
+  "CMakeFiles/colscope_schema.dir/serialize.cc.o.d"
+  "libcolscope_schema.a"
+  "libcolscope_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

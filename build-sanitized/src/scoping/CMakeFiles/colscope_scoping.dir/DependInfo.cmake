@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scoping/calibration.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/calibration.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/calibration.cc.o.d"
+  "/root/repo/src/scoping/collaborative.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/collaborative.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/collaborative.cc.o.d"
+  "/root/repo/src/scoping/ensemble.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/ensemble.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/ensemble.cc.o.d"
+  "/root/repo/src/scoping/explain.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/explain.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/explain.cc.o.d"
+  "/root/repo/src/scoping/model_io.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/model_io.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/model_io.cc.o.d"
+  "/root/repo/src/scoping/neural_collaborative.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/neural_collaborative.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/neural_collaborative.cc.o.d"
+  "/root/repo/src/scoping/scoping.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/scoping.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/scoping.cc.o.d"
+  "/root/repo/src/scoping/signatures.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/signatures.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/signatures.cc.o.d"
+  "/root/repo/src/scoping/streamline.cc" "src/scoping/CMakeFiles/colscope_scoping.dir/streamline.cc.o" "gcc" "src/scoping/CMakeFiles/colscope_scoping.dir/streamline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/embed/CMakeFiles/colscope_embed.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/schema/CMakeFiles/colscope_schema.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/outlier/CMakeFiles/colscope_outlier.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/nn/CMakeFiles/colscope_nn.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/linalg/CMakeFiles/colscope_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/text/CMakeFiles/colscope_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

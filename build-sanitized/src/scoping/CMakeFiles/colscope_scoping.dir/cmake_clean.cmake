@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_scoping.dir/calibration.cc.o"
+  "CMakeFiles/colscope_scoping.dir/calibration.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/collaborative.cc.o"
+  "CMakeFiles/colscope_scoping.dir/collaborative.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/ensemble.cc.o"
+  "CMakeFiles/colscope_scoping.dir/ensemble.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/explain.cc.o"
+  "CMakeFiles/colscope_scoping.dir/explain.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/model_io.cc.o"
+  "CMakeFiles/colscope_scoping.dir/model_io.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/neural_collaborative.cc.o"
+  "CMakeFiles/colscope_scoping.dir/neural_collaborative.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/scoping.cc.o"
+  "CMakeFiles/colscope_scoping.dir/scoping.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/signatures.cc.o"
+  "CMakeFiles/colscope_scoping.dir/signatures.cc.o.d"
+  "CMakeFiles/colscope_scoping.dir/streamline.cc.o"
+  "CMakeFiles/colscope_scoping.dir/streamline.cc.o.d"
+  "libcolscope_scoping.a"
+  "libcolscope_scoping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_scoping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/hashing.cc" "src/text/CMakeFiles/colscope_text.dir/hashing.cc.o" "gcc" "src/text/CMakeFiles/colscope_text.dir/hashing.cc.o.d"
+  "/root/repo/src/text/lexicon.cc" "src/text/CMakeFiles/colscope_text.dir/lexicon.cc.o" "gcc" "src/text/CMakeFiles/colscope_text.dir/lexicon.cc.o.d"
+  "/root/repo/src/text/string_similarity.cc" "src/text/CMakeFiles/colscope_text.dir/string_similarity.cc.o" "gcc" "src/text/CMakeFiles/colscope_text.dir/string_similarity.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/text/CMakeFiles/colscope_text.dir/tokenize.cc.o" "gcc" "src/text/CMakeFiles/colscope_text.dir/tokenize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

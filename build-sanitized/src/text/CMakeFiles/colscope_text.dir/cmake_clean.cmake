@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_text.dir/hashing.cc.o"
+  "CMakeFiles/colscope_text.dir/hashing.cc.o.d"
+  "CMakeFiles/colscope_text.dir/lexicon.cc.o"
+  "CMakeFiles/colscope_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/colscope_text.dir/string_similarity.cc.o"
+  "CMakeFiles/colscope_text.dir/string_similarity.cc.o.d"
+  "CMakeFiles/colscope_text.dir/tokenize.cc.o"
+  "CMakeFiles/colscope_text.dir/tokenize.cc.o.d"
+  "libcolscope_text.a"
+  "libcolscope_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_learning_test.dir/active_learning_test.cc.o"
+  "CMakeFiles/active_learning_test.dir/active_learning_test.cc.o.d"
+  "active_learning_test"
+  "active_learning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_learning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_matching_test.dir/advanced_matching_test.cc.o"
+  "CMakeFiles/advanced_matching_test.dir/advanced_matching_test.cc.o.d"
+  "advanced_matching_test"
+  "advanced_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_calibration_test.dir/blocking_calibration_test.cc.o"
+  "CMakeFiles/blocking_calibration_test.dir/blocking_calibration_test.cc.o.d"
+  "blocking_calibration_test"
+  "blocking_calibration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupid_breakdown_test.dir/cupid_breakdown_test.cc.o"
+  "CMakeFiles/cupid_breakdown_test.dir/cupid_breakdown_test.cc.o.d"
+  "cupid_breakdown_test"
+  "cupid_breakdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupid_breakdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

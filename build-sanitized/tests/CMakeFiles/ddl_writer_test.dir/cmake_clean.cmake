@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_writer_test.dir/ddl_writer_test.cc.o"
+  "CMakeFiles/ddl_writer_test.dir/ddl_writer_test.cc.o.d"
+  "ddl_writer_test"
+  "ddl_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

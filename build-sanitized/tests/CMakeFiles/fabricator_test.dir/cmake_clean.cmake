@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabricator_test.dir/fabricator_test.cc.o"
+  "CMakeFiles/fabricator_test.dir/fabricator_test.cc.o.d"
+  "fabricator_test"
+  "fabricator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabricator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_serialization_test.dir/instance_serialization_test.cc.o"
+  "CMakeFiles/instance_serialization_test.dir/instance_serialization_test.cc.o.d"
+  "instance_serialization_test"
+  "instance_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

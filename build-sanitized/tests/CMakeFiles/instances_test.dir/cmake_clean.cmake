@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instances_test.dir/instances_test.cc.o"
+  "CMakeFiles/instances_test.dir/instances_test.cc.o.d"
+  "instances_test"
+  "instances_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_report_test.dir/json_report_test.cc.o"
+  "CMakeFiles/json_report_test.dir/json_report_test.cc.o.d"
+  "json_report_test"
+  "json_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_corruption_test.dir/model_corruption_test.cc.o"
+  "CMakeFiles/model_corruption_test.dir/model_corruption_test.cc.o.d"
+  "model_corruption_test"
+  "model_corruption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

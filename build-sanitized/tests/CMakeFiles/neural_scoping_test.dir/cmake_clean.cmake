@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_scoping_test.dir/neural_scoping_test.cc.o"
+  "CMakeFiles/neural_scoping_test.dir/neural_scoping_test.cc.o.d"
+  "neural_scoping_test"
+  "neural_scoping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_scoping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

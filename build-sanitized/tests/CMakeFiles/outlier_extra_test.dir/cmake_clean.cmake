@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_extra_test.dir/outlier_extra_test.cc.o"
+  "CMakeFiles/outlier_extra_test.dir/outlier_extra_test.cc.o.d"
+  "outlier_extra_test"
+  "outlier_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

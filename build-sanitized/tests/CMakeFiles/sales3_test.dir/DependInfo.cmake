@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sales3_test.cc" "tests/CMakeFiles/sales3_test.dir/sales3_test.cc.o" "gcc" "tests/CMakeFiles/sales3_test.dir/sales3_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitized/src/datasets/CMakeFiles/colscope_datasets.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/schema/CMakeFiles/colscope_schema.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/text/CMakeFiles/colscope_text.dir/DependInfo.cmake"
+  "/root/repo/build-sanitized/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

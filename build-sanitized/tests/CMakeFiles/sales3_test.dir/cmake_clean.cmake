@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales3_test.dir/sales3_test.cc.o"
+  "CMakeFiles/sales3_test.dir/sales3_test.cc.o.d"
+  "sales3_test"
+  "sales3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoping_test.dir/scoping_test.cc.o"
+  "CMakeFiles/scoping_test.dir/scoping_test.cc.o.d"
+  "scoping_test"
+  "scoping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

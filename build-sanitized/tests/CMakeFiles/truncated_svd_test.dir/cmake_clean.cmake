@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truncated_svd_test.dir/truncated_svd_test.cc.o"
+  "CMakeFiles/truncated_svd_test.dir/truncated_svd_test.cc.o.d"
+  "truncated_svd_test"
+  "truncated_svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truncated_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

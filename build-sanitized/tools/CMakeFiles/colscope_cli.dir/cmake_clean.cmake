@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colscope_cli.dir/colscope_cli.cc.o"
+  "CMakeFiles/colscope_cli.dir/colscope_cli.cc.o.d"
+  "colscope"
+  "colscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

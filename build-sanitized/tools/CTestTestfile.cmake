@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-sanitized/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_scope "/root/repo/build-sanitized/tools/colscope" "scope" "--ddl" "/root/repo/tools/testdata/crm.sql" "--ddl" "/root/repo/tools/testdata/erp.sql" "--v" "0.6")
+set_tests_properties(cli_scope PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_match "/root/repo/build-sanitized/tools/colscope" "match" "--ddl" "/root/repo/tools/testdata/crm.sql" "--ddl" "/root/repo/tools/testdata/erp.sql" "--matcher" "lsh" "--param" "1")
+set_tests_properties(cli_match PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_export "/root/repo/build-sanitized/tools/colscope" "export" "--ddl" "/root/repo/tools/testdata/crm.sql" "--ddl" "/root/repo/tools/testdata/erp.sql")
+set_tests_properties(cli_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build-sanitized/tools/colscope" "frobnicate")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_file "/root/repo/build-sanitized/tools/colscope" "scope" "--ddl" "/nonexistent.sql")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fit_assess "sh" "-c" "/root/repo/build-sanitized/tools/colscope fit --ddl /root/repo/tools/testdata/erp.sql --v 0.6 --out /root/repo/build-sanitized/tools/erp.model && /root/repo/build-sanitized/tools/colscope assess --ddl /root/repo/tools/testdata/crm.sql --model /root/repo/build-sanitized/tools/erp.model")
+set_tests_properties(cli_fit_assess PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(header_self_containment "/root/repo/tools/check_headers.sh" "/root/repo/src" "/usr/bin/c++")
+set_tests_properties(header_self_containment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")

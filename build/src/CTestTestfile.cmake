@@ -13,6 +13,7 @@ subdirs("datasets")
 subdirs("nn")
 subdirs("outlier")
 subdirs("scoping")
+subdirs("exchange")
 subdirs("matching")
 subdirs("eval")
 subdirs("pipeline")

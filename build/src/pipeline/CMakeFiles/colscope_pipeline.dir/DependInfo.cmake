@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/eval/CMakeFiles/colscope_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/matching/CMakeFiles/colscope_matching.dir/DependInfo.cmake"
   "/root/repo/build/src/scoping/CMakeFiles/colscope_scoping.dir/DependInfo.cmake"
+  "/root/repo/build/src/exchange/CMakeFiles/colscope_exchange.dir/DependInfo.cmake"
   "/root/repo/build/src/datasets/CMakeFiles/colscope_datasets.dir/DependInfo.cmake"
   "/root/repo/build/src/embed/CMakeFiles/colscope_embed.dir/DependInfo.cmake"
   "/root/repo/build/src/outlier/CMakeFiles/colscope_outlier.dir/DependInfo.cmake"

@@ -326,6 +326,10 @@ tests/CMakeFiles/json_report_test.dir/json_report_test.cc.o: \
  /root/repo/src/matching/matcher.h /root/repo/src/scoping/signatures.h \
  /root/repo/src/schema/serialize.h /root/repo/src/pipeline/report.h \
  /root/repo/src/pipeline/pipeline.h \
- /root/repo/src/eval/matching_metrics.h /root/repo/src/outlier/oda.h \
+ /root/repo/src/common/fault_injector.h \
+ /root/repo/src/eval/matching_metrics.h \
+ /root/repo/src/exchange/exchange.h /root/repo/src/exchange/transport.h \
+ /root/repo/src/scoping/collaborative.h /root/repo/src/linalg/pca.h \
+ /root/repo/src/outlier/oda.h \
  /root/repo/src/scoping/neural_collaborative.h \
  /root/repo/src/nn/network.h /root/repo/src/common/rng.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model_corruption_test.cc" "tests/CMakeFiles/model_corruption_test.dir/model_corruption_test.cc.o" "gcc" "tests/CMakeFiles/model_corruption_test.dir/model_corruption_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scoping/CMakeFiles/colscope_scoping.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/colscope_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/colscope_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/outlier/CMakeFiles/colscope_outlier.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/colscope_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/colscope_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/colscope_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/colscope_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

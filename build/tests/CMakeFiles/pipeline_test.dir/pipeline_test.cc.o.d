@@ -304,6 +304,9 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o: \
  /root/repo/src/scoping/signatures.h /root/repo/src/schema/serialize.h \
  /root/repo/src/outlier/pca_oda.h /root/repo/src/outlier/oda.h \
  /root/repo/src/pipeline/pipeline.h \
+ /root/repo/src/common/fault_injector.h \
  /root/repo/src/eval/matching_metrics.h \
+ /root/repo/src/exchange/exchange.h /root/repo/src/exchange/transport.h \
+ /root/repo/src/scoping/collaborative.h /root/repo/src/linalg/pca.h \
  /root/repo/src/scoping/neural_collaborative.h \
  /root/repo/src/nn/network.h /root/repo/src/common/rng.h

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/pipeline/CMakeFiles/colscope_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/exchange/CMakeFiles/colscope_exchange.dir/DependInfo.cmake"
   "/root/repo/build/src/datasets/CMakeFiles/colscope_datasets.dir/DependInfo.cmake"
   "/root/repo/build/src/matching/CMakeFiles/colscope_matching.dir/DependInfo.cmake"
   "/root/repo/build/src/scoping/CMakeFiles/colscope_scoping.dir/DependInfo.cmake"

@@ -203,40 +203,41 @@ tools/CMakeFiles/colscope_cli.dir/colscope_cli.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/strings.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/common/fault_injector.h /usr/include/c++/12/cstddef \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/strings.h \
  /root/repo/src/embed/hashed_encoder.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/embed/encoder.h \
- /root/repo/src/linalg/matrix.h /usr/include/c++/12/cstddef \
- /root/repo/src/common/check.h /root/repo/src/text/lexicon.h \
- /usr/include/c++/12/optional /root/repo/src/linalg/stats.h \
- /root/repo/src/matching/cluster_matcher.h \
- /root/repo/src/matching/kmeans.h /root/repo/src/matching/matcher.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/common/check.h \
+ /root/repo/src/text/lexicon.h /usr/include/c++/12/optional \
+ /root/repo/src/exchange/exchange.h /usr/include/c++/12/array \
+ /root/repo/src/exchange/transport.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/scoping/collaborative.h /root/repo/src/linalg/pca.h \
  /root/repo/src/scoping/signatures.h /root/repo/src/schema/schema_set.h \
- /root/repo/src/common/status.h /usr/include/c++/12/variant \
  /root/repo/src/schema/schema.h /root/repo/src/schema/serialize.h \
+ /root/repo/src/linalg/stats.h /root/repo/src/matching/cluster_matcher.h \
+ /root/repo/src/matching/kmeans.h /root/repo/src/matching/matcher.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/matching/lsh_matcher.h /root/repo/src/matching/sim.h \
  /root/repo/src/matching/string_matcher.h \
  /root/repo/src/outlier/pca_oda.h /root/repo/src/outlier/oda.h \
  /root/repo/src/pipeline/pipeline.h /root/repo/src/datasets/linkage.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/eval/matching_metrics.h \
  /root/repo/src/scoping/neural_collaborative.h \
  /root/repo/src/nn/network.h /root/repo/src/common/rng.h \
  /root/repo/src/pipeline/report.h /root/repo/src/datasets/csv_loader.h \
  /root/repo/src/schema/ddl_parser.h /root/repo/src/schema/ddl_writer.h \
- /root/repo/src/scoping/explain.h /root/repo/src/scoping/collaborative.h \
- /root/repo/src/linalg/pca.h /root/repo/src/scoping/model_io.h
+ /root/repo/src/scoping/explain.h /root/repo/src/scoping/model_io.h

@@ -5,16 +5,16 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(cli_scope "/root/repo/build/tools/colscope" "scope" "--ddl" "/root/repo/tools/testdata/crm.sql" "--ddl" "/root/repo/tools/testdata/erp.sql" "--v" "0.6")
-set_tests_properties(cli_scope PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_scope PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_match "/root/repo/build/tools/colscope" "match" "--ddl" "/root/repo/tools/testdata/crm.sql" "--ddl" "/root/repo/tools/testdata/erp.sql" "--matcher" "lsh" "--param" "1")
-set_tests_properties(cli_match PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_match PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_export "/root/repo/build/tools/colscope" "export" "--ddl" "/root/repo/tools/testdata/crm.sql" "--ddl" "/root/repo/tools/testdata/erp.sql")
-set_tests_properties(cli_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_bad_usage "/root/repo/build/tools/colscope" "frobnicate")
-set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_missing_file "/root/repo/build/tools/colscope" "scope" "--ddl" "/nonexistent.sql")
-set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_fit_assess "sh" "-c" "/root/repo/build/tools/colscope fit --ddl /root/repo/tools/testdata/erp.sql --v 0.6 --out /root/repo/build/tools/erp.model && /root/repo/build/tools/colscope assess --ddl /root/repo/tools/testdata/crm.sql --model /root/repo/build/tools/erp.model")
-set_tests_properties(cli_fit_assess PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_fit_assess PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(header_self_containment "/root/repo/tools/check_headers.sh" "/root/repo/src" "/usr/bin/c++")
-set_tests_properties(header_self_containment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(header_self_containment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
