@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "datasets/oc3.h"
@@ -28,7 +29,8 @@ namespace {
 using namespace colscope;
 
 void CompareScopers(const datasets::MatchingScenario& scenario,
-                    const scoping::SignatureSet& signatures, int epochs) {
+                    const scoping::SignatureSet& signatures, int epochs,
+                    bench::BenchReport& out) {
   const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
   std::printf("\n--- %s: local encoder-decoder families ---\n",
               scenario.name.c_str());
@@ -41,6 +43,11 @@ void CompareScopers(const datasets::MatchingScenario& scenario,
     for (bool k : keep) kept += k;
     std::printf("%-34s %10.3f %10.3f %10.3f %8zu\n", name, c.Precision(),
                 c.Recall(), c.F1(), kept);
+    out.AddRow(scenario.name + ":scopers", name,
+               {{"precision", c.Precision()},
+                {"recall", c.Recall()},
+                {"f1", c.F1()},
+                {"kept", static_cast<double>(kept)}});
   };
 
   for (double v : {0.9, 0.7, 0.5}) {
@@ -65,7 +72,8 @@ void CompareScopers(const datasets::MatchingScenario& scenario,
 }
 
 void CompareOdas(const datasets::MatchingScenario& scenario,
-                 const scoping::SignatureSet& signatures) {
+                 const scoping::SignatureSet& signatures,
+                 bench::BenchReport& out) {
   const auto labels = scenario.truth.LinkabilityLabels(scenario.set);
   const auto grid = eval::ParameterGrid(0.02, 0.98);
   std::printf("\n--- %s: extended ODA baselines (global scoping) ---\n",
@@ -83,11 +91,17 @@ void CompareOdas(const datasets::MatchingScenario& scenario,
         labels, scores, eval::ScopingSweepFromScores(scores, labels, grid));
     std::printf("%-28s %8.2f %8.2f %9.2f %8.2f\n", detector->name().c_str(),
                 rep.auc_f1, rep.auc_roc, rep.auc_roc_smoothed, rep.auc_pr);
+    out.AddRow(scenario.name + ":odas", detector->name(),
+               {{"auc_f1", rep.auc_f1},
+                {"auc_roc", rep.auc_roc},
+                {"auc_roc_smoothed", rep.auc_roc_smoothed},
+                {"auc_pr", rep.auc_pr}});
   }
 }
 
 void CompareStringMatching(const datasets::MatchingScenario& scenario,
-                           const scoping::SignatureSet& signatures) {
+                           const scoping::SignatureSet& signatures,
+                           bench::BenchReport& out) {
   const size_t cartesian = scenario.set.TableCartesianSize() +
                            scenario.set.AttributeCartesianSize();
   const std::vector<bool> all(signatures.size(), true);
@@ -108,6 +122,10 @@ void CompareStringMatching(const datasets::MatchingScenario& scenario,
                                           scenario.truth, cartesian);
     std::printf("%-18s %8.3f %8.3f %8.3f\n", matcher->name().c_str(),
                 q.PairQuality(), q.PairCompleteness(), q.F1());
+    out.AddRow(scenario.name + ":string_matching", matcher->name(),
+               {{"pq", q.PairQuality()},
+                {"pc", q.PairCompleteness()},
+                {"f1", q.F1()}});
   }
 }
 
@@ -126,11 +144,19 @@ int main(int argc, char** argv) {
   const auto sig_oc3 = scoping::BuildSignatures(oc3.set, encoder);
   const auto sig_fo = scoping::BuildSignatures(fo.set, encoder);
 
-  CompareScopers(oc3, sig_oc3, epochs);
-  CompareScopers(fo, sig_fo, epochs);
-  CompareOdas(oc3, sig_oc3);
-  CompareOdas(fo, sig_fo);
-  CompareStringMatching(oc3, sig_oc3);
-  CompareStringMatching(fo, sig_fo);
+  bench::BenchReport report("encoders");
+  report.metrics().GetGauge("bench.epochs")
+      .Set(static_cast<double>(epochs));
+  report.metrics().GetGauge("bench.elements.oc3")
+      .Set(static_cast<double>(sig_oc3.size()));
+  report.metrics().GetGauge("bench.elements.oc3_fo")
+      .Set(static_cast<double>(sig_fo.size()));
+  CompareScopers(oc3, sig_oc3, epochs, report);
+  CompareScopers(fo, sig_fo, epochs, report);
+  CompareOdas(oc3, sig_oc3, report);
+  CompareOdas(fo, sig_fo, report);
+  CompareStringMatching(oc3, sig_oc3, report);
+  CompareStringMatching(fo, sig_fo, report);
+  report.Write();
   return 0;
 }

@@ -10,7 +10,9 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "common/strings.h"
 #include "datasets/synthetic.h"
 #include "embed/hashed_encoder.h"
 #include "eval/sweep.h"
@@ -34,6 +36,9 @@ int main(int argc, char** argv) {
 
   const embed::HashedLexiconEncoder encoder;
   const auto grid = eval::ParameterGrid(step, 0.98);
+  bench::BenchReport report("overhead");
+  report.metrics().GetGauge("bench.schemas")
+      .Set(static_cast<double>(num_schemas));
 
   for (size_t private_count : {0u, 4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
     datasets::SyntheticOptions options;
@@ -61,7 +66,23 @@ int main(int argc, char** argv) {
                 scenario.set.num_elements(), collab.auc_f1, collab.auc_pr,
                 pca.auc_f1, pca.auc_pr, lof.auc_f1, lof.auc_pr,
                 zscore.auc_f1, zscore.auc_pr);
+    report.metrics().GetCounter("bench.elements_evaluated")
+        .Increment(scenario.set.num_elements());
+    report.AddRow(
+        "overhead_curve",
+        StrFormat("overhead_%.0f", 100.0 * scenario.UnlinkableOverhead()),
+        {{"overhead_pct", 100.0 * scenario.UnlinkableOverhead()},
+         {"n_elements", static_cast<double>(scenario.set.num_elements())},
+         {"collab_auc_f1", collab.auc_f1},
+         {"collab_auc_pr", collab.auc_pr},
+         {"pca05_auc_f1", pca.auc_f1},
+         {"pca05_auc_pr", pca.auc_pr},
+         {"lof_auc_f1", lof.auc_f1},
+         {"lof_auc_pr", lof.auc_pr},
+         {"zscore_auc_f1", zscore.auc_f1},
+         {"zscore_auc_pr", zscore.auc_pr}});
   }
+  report.Write();
   std::printf(
       "\nExpected shape (paper, Section 4.3): global scoping degrades as "
       "the unlinkable\noverhead grows; collaborative scoping stays "

@@ -1,0 +1,86 @@
+#ifndef COLSCOPE_BENCH_BENCH_JSON_H_
+#define COLSCOPE_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "obs/metrics.h"
+
+namespace colscope::bench {
+
+/// Machine-readable sibling of a bench's stdout tables. Collects named
+/// rows plus an obs::MetricsRegistry snapshot and writes them as
+/// `BENCH_<name>.json` next to where the bench ran, so result files can
+/// be diffed or plotted without re-parsing the human tables.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Registry the bench can hang counters/gauges/histograms on; its
+  /// snapshot is embedded under "metrics" in the output file.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// One result row: `table` groups rows (one stdout table each),
+  /// `label` names the row, `cells` are its numeric columns in order.
+  void AddRow(std::string table, std::string label,
+              std::vector<std::pair<std::string, double>> cells) {
+    rows_.push_back({std::move(table), std::move(label), std::move(cells)});
+    metrics_.GetCounter("bench.rows").Increment();
+  }
+
+  std::string ToJson() const {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("bench").String(name_);
+    json.Key("rows").BeginArray();
+    for (const Row& row : rows_) {
+      json.BeginObject();
+      json.Key("table").String(row.table);
+      json.Key("label").String(row.label);
+      json.Key("cells").BeginObject();
+      for (const auto& [key, value] : row.cells) {
+        json.Key(key).Number(value);
+      }
+      json.EndObject();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("metrics");
+    obs::SnapshotToJson(metrics_.Snapshot(), json);
+    json.EndObject();
+    return json.str();
+  }
+
+  /// Writes BENCH_<name>.json into `dir` and notes the path on stderr.
+  bool Write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson() << '\n';
+    std::fprintf(stderr, "# wrote %s (%zu rows)\n", path.c_str(),
+                 rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string table;
+    std::string label;
+    std::vector<std::pair<std::string, double>> cells;
+  };
+
+  std::string name_;
+  obs::MetricsRegistry metrics_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace colscope::bench
+
+#endif  // COLSCOPE_BENCH_BENCH_JSON_H_

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "datasets/oc3.h"
 #include "embed/hashed_encoder.h"
@@ -42,6 +43,18 @@ void PrintRow(const Row& row) {
               row.method.c_str(), row.oc3.auc_f1, row.oc3.auc_roc,
               row.oc3.auc_roc_smoothed, row.oc3.auc_pr, row.fo.auc_f1,
               row.fo.auc_roc, row.fo.auc_roc_smoothed, row.fo.auc_pr);
+}
+
+void ReportRow(bench::BenchReport& out, const Row& row) {
+  out.AddRow("table4", row.method,
+             {{"oc3_auc_f1", row.oc3.auc_f1},
+              {"oc3_auc_roc", row.oc3.auc_roc},
+              {"oc3_auc_roc_smoothed", row.oc3.auc_roc_smoothed},
+              {"oc3_auc_pr", row.oc3.auc_pr},
+              {"fo_auc_f1", row.fo.auc_f1},
+              {"fo_auc_roc", row.fo.auc_roc},
+              {"fo_auc_roc_smoothed", row.fo.auc_roc_smoothed},
+              {"fo_auc_pr", row.fo.auc_pr}});
 }
 
 }  // namespace
@@ -92,6 +105,13 @@ int main(int argc, char** argv) {
   std::printf("--------------------------------------------------------------"
               "------------------------------------------------\n");
 
+  bench::BenchReport bench_report("scoping_auc");
+  bench_report.metrics().GetGauge("bench.step").Set(step);
+  bench_report.metrics().GetGauge("bench.elements.oc3")
+      .Set(static_cast<double>(sig_oc3.size()));
+  bench_report.metrics().GetGauge("bench.elements.oc3_fo")
+      .Set(static_cast<double>(sig_fo.size()));
+
   Row best_scoping;
   best_scoping.oc3.auc_pr = -1.0;
   for (const auto& detector : detectors) {
@@ -109,6 +129,7 @@ int main(int argc, char** argv) {
       row.fo = eval::ReportForScoping(labels_fo, scores, sweep);
     }
     PrintRow(row);
+    ReportRow(bench_report, row);
     if (row.oc3.auc_pr > best_scoping.oc3.auc_pr) best_scoping = row;
   }
 
@@ -129,6 +150,8 @@ int main(int argc, char** argv) {
   std::printf("--------------------------------------------------------------"
               "------------------------------------------------\n");
   PrintRow(collab);
+  ReportRow(bench_report, collab);
+  bench_report.Write();
 
   std::printf("--------------------------------------------------------------"
               "------------------------------------------------\n");

@@ -4,11 +4,46 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "scoping/model_io.h"
 
 namespace colscope::exchange {
 
 namespace {
+
+/// Simulated-ms buckets for exchange.fetch_ms: base latency (~1ms)
+/// through deadline-sized waits.
+std::vector<double> FetchMsBuckets() {
+  return obs::ExponentialBuckets(1.0, 4.0, 8);
+}
+
+/// Folds one finished fetch into the exchange.* instruments. All values
+/// are simulated-clock derived, so identical runs produce identical
+/// metrics bytes.
+void EmitFetchMetrics(const FetchOutcome& outcome,
+                      obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("exchange.fetches").Increment();
+  metrics->GetCounter("exchange.attempts")
+      .Increment(static_cast<uint64_t>(outcome.attempts));
+  if (outcome.attempts > 1) {
+    metrics->GetCounter("exchange.retries")
+        .Increment(static_cast<uint64_t>(outcome.attempts - 1));
+  }
+  if (!outcome.status.ok()) {
+    metrics->GetCounter("exchange.fetch_failures").Increment();
+  }
+  for (FaultKind fault : outcome.faults) {
+    if (fault == FaultKind::kNone) continue;
+    metrics
+        ->GetCounter(std::string("exchange.faults.") +
+                     FaultKindToString(fault))
+        .Increment();
+  }
+  metrics->GetHistogram("exchange.fetch_ms", FetchMsBuckets())
+      .Observe(outcome.elapsed_ms);
+}
 
 /// Deterministic backoff jitter factor in [1 - jitter, 1 + jitter] for
 /// one (publisher, consumer, attempt) triple.
@@ -30,10 +65,17 @@ double JitterFactor(uint64_t seed, int publisher, int consumer, int attempt,
 FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
                                  int publisher, int consumer,
                                  const RetryPolicy& policy,
-                                 uint64_t backoff_seed) {
+                                 uint64_t backoff_seed,
+                                 obs::MetricsRegistry* metrics) {
   FetchOutcome outcome;
   Status last_error = Status::Unavailable("fetch never attempted");
   const int max_attempts = std::max(policy.max_attempts, 1);
+  // Single exit point for the accounting so every return path hits the
+  // exchange.* instruments exactly once.
+  auto finish = [&]() -> FetchOutcome {
+    EmitFetchMetrics(outcome, metrics);
+    return std::move(outcome);
+  };
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     const FetchResponse response =
@@ -49,7 +91,7 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
       outcome.status = Status::DeadlineExceeded(StrFormat(
           "fetch of schema %d model exceeded %.0fms deadline on attempt %d",
           publisher, policy.deadline_ms, attempt + 1));
-      return outcome;
+      return finish();
     }
     outcome.elapsed_ms += response.latency_ms;
 
@@ -59,7 +101,7 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
       if (model.ok()) {
         outcome.model = std::move(model).value();
         outcome.status = Status::Ok();
-        return outcome;
+        return finish();
       }
       // Truncated / corrupted payload: worth retrying, the next attempt
       // may arrive intact.
@@ -68,7 +110,7 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
       if (response.status.code() == StatusCode::kNotFound) {
         // Permanent: the peer never published. Retrying cannot help.
         outcome.status = response.status;
-        return outcome;
+        return finish();
       }
       last_error = response.status;
     }
@@ -84,18 +126,36 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
         outcome.status = Status::DeadlineExceeded(StrFormat(
             "backoff after attempt %d would exceed the %.0fms deadline",
             attempt + 1, policy.deadline_ms));
-        return outcome;
+        return finish();
       }
       outcome.elapsed_ms += backoff;
+      COLSCOPE_LOG(Debug) << "exchange retry: consumer=" << consumer
+                          << " publisher=" << publisher << " attempt="
+                          << attempt + 1 << "/" << max_attempts
+                          << " backoff_ms=" << backoff << " fault="
+                          << FaultKindToString(response.fault) << " error=\""
+                          << last_error.ToString() << "\"";
     }
   }
   outcome.status = last_error;
-  return outcome;
+  COLSCOPE_LOG(Debug) << "exchange fetch failed: consumer=" << consumer
+                      << " publisher=" << publisher << " attempts="
+                      << outcome.attempts << " error=\""
+                      << last_error.ToString() << "\"";
+  return finish();
 }
 
 Result<ExchangeResult> ExchangeLocalModels(
     const std::vector<scoping::LocalModel>& models, ModelTransport& transport,
-    const RetryPolicy& policy, uint64_t backoff_seed) {
+    const RetryPolicy& policy, uint64_t backoff_seed,
+    obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    // Pre-register the headline counters so a healthy run still exports
+    // them (as zeroes) instead of omitting the keys.
+    metrics->GetCounter("exchange.fetches");
+    metrics->GetCounter("exchange.retries");
+    metrics->GetCounter("exchange.fetch_failures");
+  }
   for (const scoping::LocalModel& model : models) {
     COLSCOPE_RETURN_IF_ERROR(
         transport.Publish(model.schema_index(), SerializeLocalModel(model)));
@@ -110,7 +170,7 @@ Result<ExchangeResult> ExchangeLocalModels(
       const int publisher = models[p].schema_index();
       FetchOutcome outcome = FetchModelWithRetry(transport, publisher,
                                                  consumer, policy,
-                                                 backoff_seed);
+                                                 backoff_seed, metrics);
       PeerFetchRecord record;
       record.publisher = publisher;
       record.consumer = consumer;

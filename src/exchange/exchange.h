@@ -13,6 +13,10 @@
 #include "exchange/transport.h"
 #include "scoping/collaborative.h"
 
+namespace colscope::obs {
+class MetricsRegistry;
+}  // namespace colscope::obs
+
 namespace colscope::exchange {
 
 /// Retry discipline of one model fetch: exponential backoff with
@@ -46,10 +50,15 @@ struct FetchOutcome {
 /// Fetches `publisher`'s model on behalf of `consumer`, retrying on
 /// drops, timeouts, and payloads that fail to deserialize (truncation /
 /// corruption). `backoff_seed` drives the jitter deterministically.
+/// When `metrics` is non-null the fetch emits exchange.* counters
+/// (fetches, attempts, retries, failures, per-fault counts) plus the
+/// exchange.fetch_ms histogram of simulated elapsed time; each retry is
+/// additionally logged at Debug level (attempt #, backoff delay, fault).
 FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
                                  int publisher, int consumer,
                                  const RetryPolicy& policy,
-                                 uint64_t backoff_seed);
+                                 uint64_t backoff_seed,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
 /// Accounting record of one (consumer <- publisher) fetch.
 struct PeerFetchRecord {
@@ -77,7 +86,8 @@ struct ExchangeResult {
 /// applies its degradation policy to the (possibly sparse) arrivals.
 Result<ExchangeResult> ExchangeLocalModels(
     const std::vector<scoping::LocalModel>& models, ModelTransport& transport,
-    const RetryPolicy& policy, uint64_t backoff_seed = 0);
+    const RetryPolicy& policy, uint64_t backoff_seed = 0,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Observability record of one degraded run: what the exchange lost,
 /// how hard it retried, which faults it survived, and which policy

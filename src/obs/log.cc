@@ -1,0 +1,137 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace colscope::obs {
+
+namespace {
+
+/// Basename of a __FILE__ path without allocating.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+const char* LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Result<LogLevel> ParseLogLevel(const std::string& spec) {
+  if (spec == "debug") return LogLevel::kDebug;
+  if (spec == "info") return LogLevel::kInfo;
+  if (spec == "warn" || spec == "warning") return LogLevel::kWarn;
+  if (spec == "error") return LogLevel::kError;
+  if (spec == "off") return LogLevel::kOff;
+  return Status::InvalidArgument(
+      "unknown log level (want debug|info|warn|error|off): " + spec);
+}
+
+std::string FormatLogEntry(const LogEntry& entry) {
+  std::string out = "[";
+  out += LogLevelToString(entry.level);
+  out += ' ';
+  out += entry.file;
+  out += ':';
+  out += std::to_string(entry.line);
+  out += "] ";
+  out += entry.message;
+  return out;
+}
+
+void StderrSink::Write(const LogEntry& entry) {
+  const std::string line = FormatLogEntry(entry);
+  std::fprintf(stream_, "%s\n", line.c_str());
+}
+
+FileSink::FileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::Write(const LogEntry& entry) {
+  if (file_ == nullptr) return;
+  const std::string line = FormatLogEntry(entry);
+  std::fprintf(file_, "%s\n", line.c_str());
+  std::fflush(file_);
+}
+
+void InMemorySink::Write(const LogEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(FormatLogEntry(entry));
+}
+
+std::vector<std::string> InMemorySink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+size_t InMemorySink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+void InMemorySink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();  // Leaked: outlives static dtors.
+  return *logger;
+}
+
+void Logger::AddSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(sink);
+}
+
+void Logger::RemoveSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+               sinks_.end());
+}
+
+void Logger::set_stderr_fallback(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stderr_fallback_ = enabled;
+}
+
+void Logger::Log(const LogEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sinks_.empty()) {
+    if (stderr_fallback_) fallback_sink_.Write(entry);
+    return;
+  }
+  for (LogSink* sink : sinks_) sink->Write(entry);
+}
+
+LogMessage::LogMessage(const char* file, int line, LogLevel level)
+    : file_(Basename(file)), line_(line), level_(level) {}
+
+LogMessage::~LogMessage() {
+  LogEntry entry;
+  entry.level = level_;
+  entry.file = file_;
+  entry.line = line_;
+  entry.message = stream_.str();
+  Logger::Global().Log(entry);
+}
+
+}  // namespace colscope::obs

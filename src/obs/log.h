@@ -1,0 +1,182 @@
+#ifndef COLSCOPE_OBS_LOG_H_
+#define COLSCOPE_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// Compile-time log floor: statements below this level are dead-stripped
+/// (the whole `COLSCOPE_LOG(...)` expression folds to `(void)0`, message
+/// construction included). 0=Debug, 1=Info, 2=Warn, 3=Error, 4=Off.
+/// Override with -DCOLSCOPE_MIN_LOG_LEVEL=N.
+#ifndef COLSCOPE_MIN_LOG_LEVEL
+#define COLSCOPE_MIN_LOG_LEVEL 0
+#endif
+
+namespace colscope::obs {
+
+/// Severity of one log statement, ordered from chattiest to most severe.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,  ///< Threshold-only: nothing logs at kOff.
+};
+
+/// Canonical lower-case name of `level` ("debug", "info", ...). Stable;
+/// used in formatted log lines, so safe to test against.
+const char* LogLevelToString(LogLevel level);
+
+/// Parses a CLI-style level name: debug|info|warn|warning|error|off.
+Result<LogLevel> ParseLogLevel(const std::string& spec);
+
+/// One structured log record as handed to sinks. `file` is the basename
+/// of the emitting source file and stays valid for the duration of the
+/// Write call only.
+struct LogEntry {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  std::string message;
+};
+
+/// "[LEVEL file:line] message" — the one canonical text rendering, shared
+/// by every bundled sink so tests can assert against stable bytes.
+std::string FormatLogEntry(const LogEntry& entry);
+
+/// Destination of log records. Write calls are serialized by the Logger,
+/// so implementations need no locking of their own unless they expose
+/// concurrent readers (InMemorySink does).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogEntry& entry) = 0;
+};
+
+/// Appends formatted lines to a FILE* it does not own (stderr by default).
+class StderrSink : public LogSink {
+ public:
+  explicit StderrSink(std::FILE* stream = stderr) : stream_(stream) {}
+  void Write(const LogEntry& entry) override;
+
+ private:
+  std::FILE* stream_;
+};
+
+/// Appends formatted lines to a file, flushed per entry. `ok()` is false
+/// when the file could not be opened; Write is then a no-op.
+class FileSink : public LogSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  bool ok() const { return file_ != nullptr; }
+  void Write(const LogEntry& entry) override;
+
+ private:
+  std::FILE* file_;
+};
+
+/// Captures formatted lines in memory — the test sink. Thread-safe for
+/// concurrent Write/lines calls.
+class InMemorySink : public LogSink {
+ public:
+  void Write(const LogEntry& entry) override;
+  std::vector<std::string> lines() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// Process-wide logging front end: a runtime level threshold plus a list
+/// of borrowed sinks (callers keep ownership and must RemoveSink before
+/// destroying a sink). With no sinks attached, entries fall back to
+/// stderr so early errors are never swallowed.
+class Logger {
+ public:
+  static Logger& Global();
+
+  /// Runtime threshold; statements below it are dropped before message
+  /// formatting (one relaxed atomic load — safe in hot paths).
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool ShouldLog(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void AddSink(LogSink* sink);
+  void RemoveSink(LogSink* sink);
+
+  /// Silences the no-sink stderr fallback (tests that want capture-only).
+  void set_stderr_fallback(bool enabled);
+
+  /// Dispatches `entry` to every attached sink under the logger mutex.
+  void Log(const LogEntry& entry);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::mutex mu_;
+  std::vector<LogSink*> sinks_;
+  bool stderr_fallback_ = true;
+  StderrSink fallback_sink_;
+};
+
+/// One in-flight log statement; streams into an ostringstream and
+/// dispatches to Logger::Global() on destruction. Only ever constructed
+/// by COLSCOPE_LOG after the level checks passed.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the ostream expression so COLSCOPE_LOG can live in a ternary
+/// whose both arms are void.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace colscope::obs
+
+/// True when a statement at `severity` (Debug|Info|Warn|Error) would be
+/// emitted: compile-time floor first (constant-folds the whole statement
+/// away below COLSCOPE_MIN_LOG_LEVEL), then the runtime threshold.
+#define COLSCOPE_LOG_ENABLED(severity)                                     \
+  (static_cast<int>(::colscope::obs::LogLevel::k##severity) >=             \
+       COLSCOPE_MIN_LOG_LEVEL &&                                           \
+   ::colscope::obs::Logger::Global().ShouldLog(                            \
+       ::colscope::obs::LogLevel::k##severity))
+
+/// Stream-style structured logging: COLSCOPE_LOG(Info) << "x=" << x;
+/// The message expression is not evaluated when the statement is
+/// filtered, so logging in hot paths costs one predictable branch.
+#define COLSCOPE_LOG(severity)                                             \
+  !COLSCOPE_LOG_ENABLED(severity)                                          \
+      ? (void)0                                                            \
+      : ::colscope::obs::LogVoidify() &                                    \
+            ::colscope::obs::LogMessage(                                   \
+                __FILE__, __LINE__,                                        \
+                ::colscope::obs::LogLevel::k##severity)                    \
+                .stream()
+
+#endif  // COLSCOPE_OBS_LOG_H_

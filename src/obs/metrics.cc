@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace colscope::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  COLSCOPE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // Overflow bucket by default.
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& count : counts_) {
+    snap.counts.push_back(count.load(std::memory_order_relaxed));
+  }
+  snap.total_count = total_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (total_count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total_count) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    if (i >= upper_bounds.size()) {
+      // Overflow bucket: no upper edge, report the lower one.
+      return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+    const double upper = upper_bounds[i];
+    const double within =
+        static_cast<double>(rank - seen) / static_cast<double>(counts[i]);
+    return lower + within * (upper - lower);
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  COLSCOPE_CHECK(start > 0.0 && factor > 1.0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked.
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->TakeSnapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void SnapshotToJson(const MetricsSnapshot& snapshot, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.Key(name).Int(static_cast<long long>(value));
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.Key(name).Number(value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    json.Key(name).BeginObject();
+    json.Key("upper_bounds").BeginArray();
+    for (double bound : hist.upper_bounds) json.Number(bound);
+    json.EndArray();
+    json.Key("counts").BeginArray();
+    for (uint64_t count : hist.counts) {
+      json.Int(static_cast<long long>(count));
+    }
+    json.EndArray();
+    json.Key("total_count").Int(static_cast<long long>(hist.total_count));
+    json.Key("sum").Number(hist.sum);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string SnapshotToJsonString(const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  SnapshotToJson(snapshot, json);
+  return json.str();
+}
+
+}  // namespace colscope::obs

@@ -1,0 +1,135 @@
+#ifndef COLSCOPE_OBS_METRICS_H_
+#define COLSCOPE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace colscope::obs {
+
+/// Monotonic event count. Increments are lock-free relaxed atomics —
+/// safe to call from ThreadPool workers and cheap enough for hot paths.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (element counts, queue depths). Add() is a CAS
+/// loop so concurrent adders never lose updates.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges
+/// of the finite buckets (ascending); one implicit +inf overflow bucket
+/// follows. Observe() is lock-free: one bucket scan plus relaxed atomics,
+/// sized for latency distributions with a handful of buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  /// Point-in-time copy; Quantile() interpolates linearly inside the
+  /// containing bucket (the overflow bucket reports its lower edge).
+  struct Snapshot {
+    std::vector<double> upper_bounds;
+    std::vector<uint64_t> counts;  ///< upper_bounds.size() + 1 entries.
+    uint64_t total_count = 0;
+    double sum = 0.0;
+
+    double Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+  void Reset();
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` bucket edges starting at `start`, each `factor` times the
+/// previous — the usual latency-bucket shape.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// Everything a registry held at one instant, sorted by name so two
+/// snapshots of identical state serialize to identical bytes.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+/// Named instrument registry. Registration (Get*) takes a mutex once per
+/// name; the returned references are stable for the registry's lifetime,
+/// so hot paths hold onto them and update lock-free. Instantiable for
+/// tests and per-run scoping; Global() is the process-wide instance.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `upper_bounds` applies on first registration; later calls with the
+  /// same name return the existing histogram unchanged.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument's value; names stay registered.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Writes `snapshot` as one JSON object value into `json` (callers place
+/// it after a Key or inside an array): {"counters":{...},"gauges":{...},
+/// "histograms":{name:{bounds,counts,sum,count}}}.
+void SnapshotToJson(const MetricsSnapshot& snapshot, JsonWriter& json);
+
+/// Standalone document form of SnapshotToJson.
+std::string SnapshotToJsonString(const MetricsSnapshot& snapshot);
+
+}  // namespace colscope::obs
+
+#endif  // COLSCOPE_OBS_METRICS_H_

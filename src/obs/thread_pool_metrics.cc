@@ -1,0 +1,35 @@
+#include "obs/thread_pool_metrics.h"
+
+namespace colscope::obs {
+
+namespace {
+
+/// 1us .. ~4s in 12 powers of 4 — wide enough for both queue waits and
+/// model-fitting tasks.
+std::vector<double> LatencyBuckets() {
+  return ExponentialBuckets(1.0, 4.0, 12);
+}
+
+}  // namespace
+
+ThreadPoolMetrics::ThreadPoolMetrics(MetricsRegistry* registry,
+                                     const std::string& prefix)
+    : scheduled_(registry->GetCounter(prefix + ".scheduled")),
+      queue_depth_(registry->GetGauge(prefix + ".queue_depth")),
+      queue_wait_us_(
+          registry->GetHistogram(prefix + ".queue_wait_us",
+                                 LatencyBuckets())),
+      task_us_(registry->GetHistogram(prefix + ".task_us",
+                                      LatencyBuckets())) {}
+
+void ThreadPoolMetrics::OnScheduled(size_t queue_depth) {
+  scheduled_.Increment();
+  queue_depth_.Set(static_cast<double>(queue_depth));
+}
+
+void ThreadPoolMetrics::OnTaskDone(double queue_wait_us, double run_us) {
+  queue_wait_us_.Observe(queue_wait_us);
+  task_us_.Observe(run_us);
+}
+
+}  // namespace colscope::obs

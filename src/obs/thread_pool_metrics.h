@@ -1,0 +1,34 @@
+#ifndef COLSCOPE_OBS_THREAD_POOL_METRICS_H_
+#define COLSCOPE_OBS_THREAD_POOL_METRICS_H_
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace colscope::obs {
+
+/// Adapts ThreadPool's observer hooks onto a MetricsRegistry:
+///   <prefix>.scheduled        counter   tasks enqueued
+///   <prefix>.queue_depth      gauge     queue size after last enqueue
+///   <prefix>.queue_wait_us    histogram time tasks sat in the queue
+///   <prefix>.task_us          histogram task run time
+/// All updates are lock-free (atomics), so workers never contend here.
+class ThreadPoolMetrics : public ThreadPoolObserver {
+ public:
+  explicit ThreadPoolMetrics(MetricsRegistry* registry,
+                             const std::string& prefix = "thread_pool");
+
+  void OnScheduled(size_t queue_depth) override;
+  void OnTaskDone(double queue_wait_us, double run_us) override;
+
+ private:
+  Counter& scheduled_;
+  Gauge& queue_depth_;
+  Histogram& queue_wait_us_;
+  Histogram& task_us_;
+};
+
+}  // namespace colscope::obs
+
+#endif  // COLSCOPE_OBS_THREAD_POOL_METRICS_H_

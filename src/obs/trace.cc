@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <unordered_map>
+
+#include "common/json_writer.h"
+
+namespace colscope::obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<uint64_t> next_tracer_id{1};
+
+/// Per-thread buffer cache keyed by tracer id. Ids are never reused, so
+/// entries for destroyed tracers simply go stale and are skipped.
+thread_local std::unordered_map<uint64_t, void*> tls_buffers;
+
+}  // namespace
+
+SystemTraceClock::SystemTraceClock() : epoch_ns_(SteadyNowNs()) {}
+
+double SystemTraceClock::NowUs() {
+  return static_cast<double>(SteadyNowNs() - epoch_ns_) / 1000.0;
+}
+
+double SimulatedTraceClock::NowUs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now = now_us_;
+  now_us_ += tick_us_;
+  return now;
+}
+
+void SimulatedTraceClock::Advance(double us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_us_ += us;
+}
+
+Tracer::Tracer(TraceClock* clock)
+    : clock_(clock), id_(next_tracer_id.fetch_add(1)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
+  auto it = tls_buffers.find(id_);
+  if (it != tls_buffers.end()) {
+    return *static_cast<ThreadBuffer*>(it->second);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<int>(buffers_.size());
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  tls_buffers[id_] = raw;
+  return *raw;
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers_) {
+    events.insert(events.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  return events;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : events) {
+    json.BeginObject();
+    json.Key("name").String(event.name);
+    json.Key("cat").String("colscope");
+    json.Key("ph").String("X");
+    json.Key("ts").Number(event.ts_us);
+    json.Key("dur").Number(event.dur_us);
+    json.Key("pid").Int(0);
+    json.Key("tid").Int(event.tid);
+    if (!event.args.empty()) {
+      json.Key("args").BeginObject();
+      for (const auto& [key, value] : event.args) {
+        json.Key(key).Int(value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").String("ms");
+  json.EndObject();
+  return json.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) buffer->events.clear();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  event_.name = name;
+  event_.ts_us = tracer_->clock().NowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  event_.dur_us = tracer_->clock().NowUs() - event_.ts_us;
+  tracer_->Record(std::move(event_));
+}
+
+void ScopedSpan::AddArg(std::string_view key, long long value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(std::string(key), value);
+}
+
+}  // namespace colscope::obs

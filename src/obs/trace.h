@@ -1,0 +1,125 @@
+#ifndef COLSCOPE_OBS_TRACE_H_
+#define COLSCOPE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace colscope::obs {
+
+/// Time source of a Tracer. Injectable so tests (and the CLI's
+/// --trace-clock sim) get byte-reproducible traces — the same pattern as
+/// the simulated transport clock in exchange/.
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  /// Monotonic microseconds. May advance internal state (SimulatedClock
+  /// ticks per call), so not const.
+  virtual double NowUs() = 0;
+};
+
+/// Wall time from std::chrono::steady_clock, zeroed at construction.
+class SystemTraceClock : public TraceClock {
+ public:
+  SystemTraceClock();
+  double NowUs() override;
+
+ private:
+  int64_t epoch_ns_;
+};
+
+/// Deterministic clock: every NowUs() returns the current simulated time
+/// and then advances it by `tick_us`, so consecutive reads are strictly
+/// increasing and identical call sequences yield identical timestamps.
+class SimulatedTraceClock : public TraceClock {
+ public:
+  explicit SimulatedTraceClock(double tick_us = 1.0) : tick_us_(tick_us) {}
+  double NowUs() override;
+  void Advance(double us);
+
+ private:
+  std::mutex mu_;
+  double now_us_ = 0.0;
+  double tick_us_;
+};
+
+/// One completed span, Chrome-trace "X" (complete) event shaped.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  std::vector<std::pair<std::string, long long>> args;
+};
+
+/// Collects completed spans into per-thread buffers: each OS thread
+/// registers a buffer on first use (one mutex acquisition), then appends
+/// without synchronization. Merge order is buffer registration order, so
+/// single-threaded traces are byte-deterministic. The tracer must
+/// outlive every thread that records into it.
+class Tracer {
+ public:
+  /// `clock` is borrowed and must outlive the tracer.
+  explicit Tracer(TraceClock* clock);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  TraceClock& clock() { return *clock_; }
+
+  /// Appends a finished event to the calling thread's buffer.
+  void Record(TraceEvent event);
+
+  /// All recorded events, buffers concatenated in registration order.
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome trace event format (chrome://tracing, Perfetto):
+  /// {"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid",
+  /// "args"}...]}. Byte-stable for identical event sequences.
+  std::string ToChromeJson() const;
+
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& BufferForThisThread();
+
+  TraceClock* clock_;
+  /// Distinguishes this tracer in thread-local lookups even if another
+  /// tracer is later allocated at the same address.
+  const uint64_t id_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: reads the clock at construction and records a TraceEvent
+/// on destruction. A null tracer makes every member a no-op — the
+/// branch-predicted guard that keeps uninstrumented runs free.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a named integer (element counts and the like) to the span.
+  void AddArg(std::string_view key, long long value);
+
+ private:
+  Tracer* tracer_;
+  TraceEvent event_;
+};
+
+}  // namespace colscope::obs
+
+#endif  // COLSCOPE_OBS_TRACE_H_

@@ -18,22 +18,33 @@ Result<std::vector<bool>> ScopeViaExchange(const scoping::SignatureSet& sigs,
                                            size_t num_schemas,
                                            const PipelineOptions& options,
                                            PipelineRun& run) {
-  Result<std::vector<scoping::LocalModel>> models = scoping::FitLocalModels(
-      sigs, num_schemas, options.explained_variance);
+  Result<std::vector<scoping::LocalModel>> models = [&] {
+    obs::ScopedSpan span(options.tracer, "pipeline.fit_local_models");
+    span.AddArg("schemas", static_cast<long long>(num_schemas));
+    return scoping::FitLocalModels(sigs, num_schemas,
+                                   options.explained_variance);
+  }();
   if (!models.ok()) return models.status();
 
   exchange::InMemoryTransport transport{FaultInjector(options.exchange.faults)};
-  Result<exchange::ExchangeResult> exchanged = exchange::ExchangeLocalModels(
-      *models, transport, options.exchange.retry,
-      options.exchange.faults.seed);
+  Result<exchange::ExchangeResult> exchanged = [&] {
+    obs::ScopedSpan span(options.tracer, "pipeline.exchange");
+    span.AddArg("models", static_cast<long long>(models->size()));
+    return exchange::ExchangeLocalModels(*models, transport,
+                                         options.exchange.retry,
+                                         options.exchange.faults.seed,
+                                         options.metrics);
+  }();
   if (!exchanged.ok()) return exchanged.status();
 
   run.degradation = exchange::BuildDegradationReport(
       *exchanged,
       scoping::DegradedPolicyToString(options.exchange.degraded.policy),
       num_schemas);
+  obs::ScopedSpan span(options.tracer, "pipeline.assess");
   return scoping::AssessAllSparse(sigs, num_schemas, exchanged->arrived,
-                                  options.exchange.degraded);
+                                  options.exchange.degraded,
+                                  options.metrics);
 }
 
 }  // namespace
@@ -62,25 +73,40 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
         "model-exchange simulation requires the collaborative pca scoper");
   }
   PipelineRun run;
-  run.signatures = scoping::BuildSignatures(set, *encoder_);
+  obs::ScopedSpan run_span(options_.tracer, "pipeline.run");
+  run_span.AddArg("schemas", static_cast<long long>(set.num_schemas()));
+  run.signatures =
+      scoping::BuildSignatures(set, *encoder_, {}, options_.tracer);
 
   switch (options_.scoper) {
     case ScoperKind::kNone:
       run.keep.assign(run.signatures.size(), true);
       break;
     case ScoperKind::kCollaborativePca: {
-      Result<std::vector<bool>> keep =
-          options_.exchange.enabled
-              ? ScopeViaExchange(run.signatures, set.num_schemas(), options_,
-                                 run)
-              : scoping::CollaborativeScoping(run.signatures,
-                                              set.num_schemas(),
-                                              options_.explained_variance);
+      Result<std::vector<bool>> keep = [&]() -> Result<std::vector<bool>> {
+        if (options_.exchange.enabled) {
+          return ScopeViaExchange(run.signatures, set.num_schemas(),
+                                  options_, run);
+        }
+        // Fault-free phases II + III, each under its own span.
+        Result<std::vector<scoping::LocalModel>> models = [&] {
+          obs::ScopedSpan span(options_.tracer, "pipeline.fit_local_models");
+          span.AddArg("schemas",
+                      static_cast<long long>(set.num_schemas()));
+          return scoping::FitLocalModels(run.signatures, set.num_schemas(),
+                                         options_.explained_variance);
+        }();
+        if (!models.ok()) return models.status();
+        obs::ScopedSpan span(options_.tracer, "pipeline.assess");
+        return scoping::AssessAll(run.signatures, set.num_schemas(),
+                                  *models);
+      }();
       if (!keep.ok()) return keep.status();
       run.keep = std::move(keep).value();
       break;
     }
     case ScoperKind::kCollaborativeNeural: {
+      obs::ScopedSpan span(options_.tracer, "pipeline.assess");
       Result<std::vector<bool>> keep = scoping::CollaborativeScopingNeural(
           run.signatures, set.num_schemas(), options_.neural);
       if (!keep.ok()) return keep.status();
@@ -95,19 +121,46 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
       if (options_.keep_portion < 0.0 || options_.keep_portion > 1.0) {
         return Status::InvalidArgument("keep portion must be in [0, 1]");
       }
+      obs::ScopedSpan span(options_.tracer, "pipeline.assess");
       run.keep = scoping::GlobalScoping(run.signatures, *options_.detector,
                                         options_.keep_portion);
       break;
     }
   }
 
-  run.streamlined =
-      scoping::BuildStreamlinedSchemas(set, run.signatures, run.keep);
-  run.linkages = matcher.Match(run.signatures, run.keep);
+  {
+    obs::ScopedSpan span(options_.tracer, "pipeline.streamline");
+    run.streamlined =
+        scoping::BuildStreamlinedSchemas(set, run.signatures, run.keep);
+    span.AddArg("kept", static_cast<long long>(run.num_kept()));
+  }
+  {
+    obs::ScopedSpan span(options_.tracer, "pipeline.match");
+    run.linkages = matcher.Match(run.signatures, run.keep);
+    span.AddArg("linkages", static_cast<long long>(run.linkages.size()));
+  }
   if (truth != nullptr) {
+    obs::ScopedSpan span(options_.tracer, "pipeline.evaluate");
     run.quality = eval::EvaluateMatching(
         run.linkages, *truth,
         set.TableCartesianSize() + set.AttributeCartesianSize());
+  }
+
+  run_span.AddArg("elements", static_cast<long long>(run.keep.size()));
+  run_span.AddArg("kept", static_cast<long long>(run.num_kept()));
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options_.metrics;
+    metrics.GetGauge("pipeline.schemas")
+        .Set(static_cast<double>(set.num_schemas()));
+    metrics.GetGauge("pipeline.elements")
+        .Set(static_cast<double>(run.keep.size()));
+    metrics.GetGauge("pipeline.kept")
+        .Set(static_cast<double>(run.num_kept()));
+    metrics.GetGauge("pipeline.pruned")
+        .Set(static_cast<double>(run.num_pruned()));
+    metrics.GetGauge("pipeline.linkages")
+        .Set(static_cast<double>(run.linkages.size()));
+    run.metrics = metrics.Snapshot();
   }
   return run;
 }

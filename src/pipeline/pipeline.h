@@ -12,6 +12,8 @@
 #include "eval/matching_metrics.h"
 #include "exchange/exchange.h"
 #include "matching/matcher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "outlier/oda.h"
 #include "scoping/collaborative.h"
 #include "scoping/neural_collaborative.h"
@@ -52,6 +54,15 @@ struct PipelineOptions {
   scoping::NeuralLocalModelOptions neural;
   /// Fault-tolerant model exchange for kCollaborativePca.
   ExchangeSimOptions exchange;
+  /// Optional observability hooks, both borrowed and both off (null) by
+  /// default so uninstrumented runs pay only predicted branches. A
+  /// non-null tracer records one span per phase (pipeline.serialize,
+  /// .embed, .fit_local_models, .exchange, .assess, .streamline, .match,
+  /// .evaluate under a pipeline.run root); a non-null registry collects
+  /// element-count gauges plus the exchange.* / scoping.* counters and
+  /// is snapshotted into PipelineRun::metrics.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything one pipeline run produces; intermediate artifacts are kept
@@ -66,6 +77,9 @@ struct PipelineRun {
   /// Filled when the run went through the simulated model exchange:
   /// peers lost, retries, faults survived, and the policy applied.
   std::optional<exchange::DegradationReport> degradation;
+  /// Snapshot of PipelineOptions::metrics taken at the end of Run(), so
+  /// every report doubles as a profile. Absent for uninstrumented runs.
+  std::optional<obs::MetricsSnapshot> metrics;
 
   size_t num_kept() const;
   size_t num_pruned() const { return keep.size() - num_kept(); }

@@ -1,6 +1,7 @@
 #include "pipeline/report.h"
 
 #include "common/json_writer.h"
+#include "obs/metrics.h"
 
 namespace colscope::pipeline {
 
@@ -66,6 +67,13 @@ std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
     json.EndObject();
   } else {
     json.Key("degradation").Null();
+  }
+
+  if (run.metrics.has_value()) {
+    json.Key("metrics");
+    obs::SnapshotToJson(*run.metrics, json);
+  } else {
+    json.Key("metrics").Null();
   }
 
   if (run.quality.has_value()) {

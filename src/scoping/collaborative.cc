@@ -7,6 +7,8 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "linalg/stats.h"
+#include "obs/metrics.h"
+#include "obs/thread_pool_metrics.h"
 
 namespace colscope::scoping {
 
@@ -160,11 +162,14 @@ Result<std::vector<LocalModel>> FitLocalModels(const SignatureSet& signatures,
 
 Result<std::vector<LocalModel>> FitLocalModelsParallel(
     const SignatureSet& signatures, size_t num_schemas, double v,
-    size_t num_threads) {
+    size_t num_threads, obs::MetricsRegistry* metrics) {
   std::vector<std::optional<LocalModel>> slots(num_schemas);
   std::vector<Status> statuses(num_schemas);
   {
-    ThreadPool pool(num_threads);
+    std::optional<obs::ThreadPoolMetrics> pool_metrics;
+    if (metrics != nullptr) pool_metrics.emplace(metrics, "scoping.fit_pool");
+    ThreadPool pool(num_threads,
+                    pool_metrics ? &*pool_metrics : nullptr);
     pool.ParallelFor(num_schemas, [&](size_t s) {
       Result<LocalModel> model = LocalModel::Fit(
           signatures.SchemaSignatures(static_cast<int>(s)), v,
@@ -203,7 +208,7 @@ std::vector<bool> AssessAll(const SignatureSet& signatures,
 Result<std::vector<bool>> AssessAllSparse(
     const SignatureSet& signatures, size_t num_schemas,
     const std::vector<std::vector<LocalModel>>& arrived_per_schema,
-    const DegradedOptions& options) {
+    const DegradedOptions& options, obs::MetricsRegistry* metrics) {
   if (arrived_per_schema.size() != num_schemas) {
     return Status::InvalidArgument(
         StrFormat("expected %zu per-schema model sets, got %zu", num_schemas,
@@ -219,6 +224,15 @@ Result<std::vector<bool>> AssessAllSparse(
         local, schema, arrived_per_schema[s], expected_peers, options);
     if (!linkable.ok()) return linkable.status();
     for (size_t i = 0; i < rows.size(); ++i) keep[rows[i]] = (*linkable)[i];
+  }
+  if (metrics != nullptr) {
+    const char* policy = DegradedPolicyToString(options.policy);
+    size_t kept = 0;
+    for (bool k : keep) kept += k;
+    metrics->GetCounter(StrFormat("scoping.kept.%s", policy))
+        .Increment(kept);
+    metrics->GetCounter(StrFormat("scoping.pruned.%s", policy))
+        .Increment(keep.size() - kept);
   }
   return keep;
 }

@@ -8,6 +8,10 @@
 #include "linalg/pca.h"
 #include "scoping/signatures.h"
 
+namespace colscope::obs {
+class MetricsRegistry;
+}  // namespace colscope::obs
+
 namespace colscope::scoping {
 
 /// The distributed local model M_k = {mu_k, PC_k, l_k} of Algorithm 1:
@@ -119,9 +123,11 @@ Result<std::vector<LocalModel>> FitLocalModels(const SignatureSet& signatures,
 /// encoder-decoder ... takes place in parallel at each local schema"
 /// (Section 3). `num_threads` 0 uses the hardware concurrency. Result
 /// order and content are identical to FitLocalModels.
+/// When `metrics` is non-null the worker pool reports queue-depth and
+/// task-latency under "scoping.fit_pool.*" (see obs::ThreadPoolMetrics).
 Result<std::vector<LocalModel>> FitLocalModelsParallel(
     const SignatureSet& signatures, size_t num_schemas, double v,
-    size_t num_threads = 0);
+    size_t num_threads = 0, obs::MetricsRegistry* metrics = nullptr);
 
 /// Phase III given prefitted models.
 std::vector<bool> AssessAll(const SignatureSet& signatures,
@@ -132,10 +138,12 @@ std::vector<bool> AssessAll(const SignatureSet& signatures,
 /// foreign models consumer schema k obtained (each consumer may have a
 /// different subset after a faulty exchange). The degradation policy in
 /// `options` decides how schemas with missing peers are handled.
+/// When `metrics` is non-null the assessment emits per-policy pruning
+/// counters: "scoping.kept.<policy>" and "scoping.pruned.<policy>".
 Result<std::vector<bool>> AssessAllSparse(
     const SignatureSet& signatures, size_t num_schemas,
     const std::vector<std::vector<LocalModel>>& arrived_per_schema,
-    const DegradedOptions& options);
+    const DegradedOptions& options, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace colscope::scoping
 

@@ -1,5 +1,6 @@
 #include "scoping/signatures.h"
 
+#include "obs/trace.h"
 #include "schema/serialize.h"
 
 namespace colscope::scoping {
@@ -24,18 +25,28 @@ linalg::Matrix SignatureSet::SchemaSignatures(int schema_index) const {
 SignatureSet BuildSignatures(const schema::SchemaSet& set,
                              const embed::SentenceEncoder& encoder,
                              const schema::SerializeOptions&
-                                 serialize_options) {
+                                 serialize_options,
+                             obs::Tracer* tracer) {
   SignatureSet out;
-  for (size_t s = 0; s < set.num_schemas(); ++s) {
-    const auto serialized =
-        schema::SerializeSchema(set.schema(static_cast<int>(s)),
-                                static_cast<int>(s), serialize_options);
-    for (const auto& element : serialized) {
-      out.refs.push_back(element.ref);
-      out.texts.push_back(element.text);
+  {
+    obs::ScopedSpan span(tracer, "pipeline.serialize");
+    for (size_t s = 0; s < set.num_schemas(); ++s) {
+      const auto serialized =
+          schema::SerializeSchema(set.schema(static_cast<int>(s)),
+                                  static_cast<int>(s), serialize_options);
+      for (const auto& element : serialized) {
+        out.refs.push_back(element.ref);
+        out.texts.push_back(element.text);
+      }
     }
+    span.AddArg("elements", static_cast<long long>(out.refs.size()));
   }
-  out.signatures = encoder.EncodeAll(out.texts);
+  {
+    obs::ScopedSpan span(tracer, "pipeline.embed");
+    out.signatures = encoder.EncodeAll(out.texts);
+    span.AddArg("elements", static_cast<long long>(out.refs.size()));
+    span.AddArg("dims", static_cast<long long>(out.signatures.cols()));
+  }
   return out;
 }
 

@@ -9,6 +9,10 @@
 #include "schema/schema_set.h"
 #include "schema/serialize.h"
 
+namespace colscope::obs {
+class Tracer;
+}  // namespace colscope::obs
+
 namespace colscope::scoping {
 
 /// Phase (I) output — the serialized and encoded schema elements of a
@@ -34,11 +38,14 @@ struct SignatureSet {
 /// "Local Signatures" phase applied to all schemas with the globally
 /// agreed serialization and encoder (Section 3, phase I).
 /// `serialize_options` controls instance-sample inclusion (off by
-/// default, per the paper's metadata-only setting).
+/// default, per the paper's metadata-only setting). A non-null `tracer`
+/// wraps the two sub-stages in "pipeline.serialize" / "pipeline.embed"
+/// spans annotated with element counts.
 SignatureSet BuildSignatures(const schema::SchemaSet& set,
                              const embed::SentenceEncoder& encoder,
                              const schema::SerializeOptions&
-                                 serialize_options = {});
+                                 serialize_options = {},
+                             obs::Tracer* tracer = nullptr);
 
 }  // namespace colscope::scoping
 

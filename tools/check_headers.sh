@@ -1,15 +1,22 @@
 #!/bin/sh
 # Verifies every public header compiles standalone (self-contained
-# headers, per the Google style guide). Usage: check_headers.sh SRC_DIR CXX
+# headers, per the Google style guide).
+# Usage: check_headers.sh SRC_DIR [CXX] [EXTRA_DIR...]
+# SRC_DIR is both scanned and used as the include root; any EXTRA_DIRs
+# are scanned too (each added to the include path for its own headers).
 set -e
 src="$1"
 cxx="${2:-c++}"
+if [ "$#" -ge 2 ]; then shift 2; else shift 1; fi
 status=0
-for header in $(find "$src" -name '*.h' | sort); do
-  if ! "$cxx" -std=c++20 -fsyntax-only -I "$src" -x c++ "$header" 2>/tmp/hdr_err; then
-    echo "NOT SELF-CONTAINED: $header"
-    cat /tmp/hdr_err
-    status=1
-  fi
+for dir in "$src" "$@"; do
+  for header in $(find "$dir" -name '*.h' | sort); do
+    if ! "$cxx" -std=c++20 -fsyntax-only -I "$src" -I "$dir" -x c++ \
+        "$header" 2>/tmp/hdr_err; then
+      echo "NOT SELF-CONTAINED: $header"
+      cat /tmp/hdr_err
+      status=1
+    fi
+  done
 done
 exit $status

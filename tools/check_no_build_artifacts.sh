@@ -1,0 +1,21 @@
+#!/bin/sh
+# Fails when build artifacts (build trees, object files, CMake caches)
+# are tracked by git. Usage: check_no_build_artifacts.sh [REPO_DIR]
+repo="${1:-.}"
+cd "$repo"
+if ! git -C . rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "not a git checkout; skipping build-artifact check"
+  exit 0
+fi
+bad=$(git ls-files |
+  grep -E '(^|/)build[^/]*/|\.(o|a|so)$|(^|/)CMakeCache\.txt$|(^|/)CMakeFiles/' \
+  || true)
+if [ -n "$bad" ]; then
+  count=$(echo "$bad" | wc -l)
+  echo "FOUND $count tracked build artifact(s), e.g.:"
+  echo "$bad" | head -10
+  echo "fix: git rm -r --cached <paths>  (and keep .gitignore covering them)"
+  exit 1
+fi
+echo "no tracked build artifacts"
+exit 0

@@ -35,6 +35,9 @@
 #include "common/fault_injector.h"
 #include "common/strings.h"
 #include "embed/hashed_encoder.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "exchange/exchange.h"
 #include "linalg/stats.h"
 #include "matching/cluster_matcher.h"
@@ -67,6 +70,10 @@ struct CliArgs {
   std::string matcher = "sim";
   std::string faults;           // --faults drop=0.3,corrupt=0.1,seed=42
   std::string exchange_policy;  // --exchange-policy keep-all|quorum:2|...
+  std::string log_level;        // --log-level debug|info|warn|error|off
+  std::string metrics_out;      // --metrics-out metrics.json
+  std::string trace_out;        // --trace-out trace.json (Chrome format)
+  std::string trace_clock = "real";  // --trace-clock real|sim
   bool explain = false;
   bool json = false;
 };
@@ -80,7 +87,10 @@ int Usage() {
                "[--param X]\n"
                "  [--faults drop=P,delay=P,truncate=P,corrupt=P,stale=P,"
                "seed=N]\n"
-               "  [--exchange-policy fail-closed|keep-all|quorum[:N]]\n");
+               "  [--exchange-policy fail-closed|keep-all|quorum[:N]]\n"
+               "  [--log-level debug|info|warn|error|off]\n"
+               "  [--metrics-out FILE.json] [--trace-out FILE.json]\n"
+               "  [--trace-clock real|sim]\n");
   return 2;
 }
 
@@ -88,8 +98,18 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    // Both "--flag value" and "--flag=value" are accepted.
+    std::string inline_value;
+    bool has_inline = false;
+    const size_t eq = flag.find('=');
+    if (flag.rfind("--", 0) == 0 && eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.resize(eq);
+      has_inline = true;
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return (i + 1 < argc) ? argv[++i] : nullptr;
     };
     if (flag == "--ddl") {
@@ -136,6 +156,22 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       const char* value = next();
       if (value == nullptr) return false;
       args.exchange_policy = value;
+    } else if (flag == "--log-level") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.log_level = value;
+    } else if (flag == "--metrics-out") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.metrics_out = value;
+    } else if (flag == "--trace-out") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.trace_out = value;
+    } else if (flag == "--trace-clock") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.trace_clock = value;
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -222,6 +258,16 @@ Result<std::string> ReadFile(const std::string& path) {
   return text.str();
 }
 
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text << '\n';
+  return true;
+}
+
 /// `colscope fit`: train + publish this schema's local model.
 int RunFit(const CliArgs& args) {
   Result<schema::SchemaSet> set = LoadSchemas(args);
@@ -305,9 +351,29 @@ int RunPipeline(const CliArgs& args) {
     return 1;
   }
 
+  // Observability: a per-run registry plus a tracer over the chosen
+  // clock. The simulated clock makes trace/metrics files byte-identical
+  // across identical runs (profiling uses the real clock).
+  const bool observe = !args.metrics_out.empty() || !args.trace_out.empty();
+  obs::MetricsRegistry registry;
+  obs::SystemTraceClock real_clock;
+  obs::SimulatedTraceClock sim_clock;
+  if (args.trace_clock != "real" && args.trace_clock != "sim") {
+    std::fprintf(stderr, "unknown trace clock (want real|sim): %s\n",
+                 args.trace_clock.c_str());
+    return 2;
+  }
+  obs::Tracer tracer(args.trace_clock == "sim"
+                         ? static_cast<obs::TraceClock*>(&sim_clock)
+                         : &real_clock);
+
   const embed::HashedLexiconEncoder encoder;
   const outlier::PcaDetector detector(0.5);
   pipeline::PipelineOptions options;
+  if (observe) {
+    options.metrics = &registry;
+    options.tracer = &tracer;
+  }
   options.explained_variance = args.v;
   options.keep_portion = args.keep_portion;
   if (args.scoper == "pca") {
@@ -362,6 +428,16 @@ int RunPipeline(const CliArgs& args) {
   if (run->degradation.has_value() && !args.json) {
     std::printf("# exchange: %s\n",
                 exchange::FormatDegradationReport(*run->degradation).c_str());
+  }
+
+  if (!args.metrics_out.empty() &&
+      !WriteTextFile(args.metrics_out,
+                     obs::SnapshotToJsonString(registry.Snapshot()))) {
+    return 1;
+  }
+  if (!args.trace_out.empty() &&
+      !WriteTextFile(args.trace_out, tracer.ToChromeJson())) {
+    return 1;
   }
 
   if (args.command == "scope") {
@@ -422,6 +498,15 @@ int RunPipeline(const CliArgs& args) {
 int main(int argc, char** argv) {
   CliArgs args;
   if (!ParseArgs(argc, argv, args)) return Usage();
+  if (!args.log_level.empty()) {
+    Result<obs::LogLevel> level = obs::ParseLogLevel(args.log_level);
+    if (!level.ok()) {
+      std::fprintf(stderr, "--log-level: %s\n",
+                   level.status().ToString().c_str());
+      return 2;
+    }
+    obs::Logger::Global().set_level(*level);
+  }
   if (args.command == "fit") return RunFit(args);
   if (args.command == "assess") return RunAssess(args);
   if (args.command != "scope" && args.command != "match" &&
