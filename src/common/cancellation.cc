@@ -1,0 +1,44 @@
+#include "common/cancellation.h"
+
+#include <chrono>
+#include <limits>
+
+namespace colscope {
+
+SystemRunClock::SystemRunClock()
+    : epoch_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()) {}
+
+double SystemRunClock::NowMs() {
+  const long long now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now_ns - epoch_ns_) * 1e-6;
+}
+
+double SimulatedRunClock::NowMs() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const double now = now_ms_;
+  now_ms_ += tick_ms_;
+  return now;
+}
+
+void SimulatedRunClock::Advance(double ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  now_ms_ += ms;
+}
+
+Deadline Deadline::After(RunClock* clock, double budget_ms) {
+  if (clock == nullptr) return Infinite();
+  return Deadline(clock, clock->NowMs() + budget_ms);
+}
+
+double Deadline::remaining_ms() const {
+  if (infinite()) return std::numeric_limits<double>::infinity();
+  const double remaining = expires_at_ms_ - clock_->NowMs();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+}  // namespace colscope

@@ -1,0 +1,114 @@
+#ifndef COLSCOPE_COMMON_CANCELLATION_H_
+#define COLSCOPE_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <mutex>
+
+namespace colscope {
+
+/// Cooperative cancellation flag shared between a run's phases and
+/// whatever triggers the stop (a signal handler, a supervisor thread, a
+/// test). Checking is one relaxed atomic load per level, so hot loops can
+/// poll it per iteration; cancellation is level-triggered and permanent —
+/// once tripped the token never resets.
+///
+/// Tokens are hierarchical: a child constructed with a parent pointer
+/// reports cancelled when either it or any ancestor is cancelled, so a
+/// run-level token fans out to per-phase tokens that can also be tripped
+/// individually (e.g. one phase's watchdog) without stopping the rest.
+/// The parent is borrowed and must outlive the child.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  explicit CancellationToken(const CancellationToken* parent)
+      : parent_(parent) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Trips this token (and therefore every descendant). Thread-safe and
+  /// idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once this token or any ancestor has been cancelled.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const CancellationToken* parent_ = nullptr;
+};
+
+/// Time source for run-level deadlines. Injectable for the same reason as
+/// obs::TraceClock and the simulated transport clock in exchange/: tests
+/// (and the CLI's --run-clock sim) must be able to exhaust a deadline
+/// deterministically, byte-for-byte reproducibly.
+class RunClock {
+ public:
+  virtual ~RunClock() = default;
+  /// Monotonic milliseconds since an arbitrary epoch. Must be safe to
+  /// call from multiple threads.
+  virtual double NowMs() = 0;
+};
+
+/// Wall time from std::chrono::steady_clock, zeroed at construction.
+class SystemRunClock : public RunClock {
+ public:
+  SystemRunClock();
+  double NowMs() override;
+
+ private:
+  long long epoch_ns_;
+};
+
+/// Deterministic clock: NowMs() returns the current simulated time and
+/// advances it by `tick_ms` (default 0: time only moves via Advance()).
+/// Thread-safe; identical call sequences yield identical timestamps.
+class SimulatedRunClock : public RunClock {
+ public:
+  explicit SimulatedRunClock(double tick_ms = 0.0) : tick_ms_(tick_ms) {}
+  double NowMs() override;
+  void Advance(double ms);
+
+ private:
+  std::mutex mu_;
+  double now_ms_ = 0.0;
+  double tick_ms_;
+};
+
+/// A point on a RunClock by which work must finish. Value type (copyable)
+/// so it can be derived and passed down the stack; the clock is borrowed
+/// and must outlive every copy. The default-constructed deadline is
+/// infinite — it never expires and needs no clock — so call sites can
+/// thread one Deadline through unconditionally.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `budget_ms` after the clock's current time. A non-positive
+  /// budget is already expired.
+  static Deadline After(RunClock* clock, double budget_ms);
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return clock_ == nullptr; }
+
+  /// Milliseconds left; +inf when infinite, clamped at 0 once expired.
+  double remaining_ms() const;
+
+  bool expired() const { return remaining_ms() <= 0.0; }
+
+ private:
+  Deadline(RunClock* clock, double expires_at_ms)
+      : clock_(clock), expires_at_ms_(expires_at_ms) {}
+
+  RunClock* clock_ = nullptr;
+  double expires_at_ms_ = 0.0;
+};
+
+}  // namespace colscope
+
+#endif  // COLSCOPE_COMMON_CANCELLATION_H_

@@ -1,0 +1,20 @@
+#include "common/checksum.h"
+
+#include "common/strings.h"
+
+namespace colscope {
+
+uint64_t Fnv1a64(std::string_view data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string Fnv1a64Hex(uint64_t value) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(value));
+}
+
+}  // namespace colscope

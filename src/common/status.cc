@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kUnavailable,
   kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns the canonical lower-snake name of `code` ("ok",
@@ -65,6 +66,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

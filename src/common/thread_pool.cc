@@ -64,12 +64,46 @@ void ThreadPool::Wait() {
   work_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t)>& task) {
+Status ThreadPool::ParallelFor(size_t count,
+                               const std::function<void(size_t)>& task,
+                               const CancellationToken* cancel) {
+  // Child of the caller's token: a throwing task trips it pool-wide
+  // without cancelling anything beyond this ParallelFor call.
+  CancellationToken aborted(cancel);
+  std::mutex error_mu;
+  Status first_error;
   for (size_t i = 0; i < count; ++i) {
-    Schedule([&task, i] { task(i); });
+    if (aborted.cancelled()) break;  // Stop scheduling new indices.
+    Schedule([&, i] {
+      if (aborted.cancelled()) return;  // Skip queued-but-unstarted work.
+      try {
+        task(i);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = Status::Internal(
+              std::string("parallel task threw: ") + e.what());
+        }
+        aborted.Cancel();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error = Status::Internal("parallel task threw a non-std "
+                                         "exception");
+        }
+        aborted.Cancel();
+      }
+    });
   }
   Wait();
+  {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!first_error.ok()) return first_error;
+  }
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("parallel_for cancelled before completion");
+  }
+  return Status::Ok();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/status.h"
+
 namespace colscope {
 
 /// Instrumentation hooks of a ThreadPool. Implementations must be
@@ -51,8 +54,16 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs `task(i)` for i in [0, count) across the pool and waits.
-  /// Exceptions must not escape tasks (the library is exception-free).
-  void ParallelFor(size_t count, const std::function<void(size_t)>& task);
+  /// Returns Ok when every index ran. A throwing task no longer
+  /// std::terminates the process mid-run: the first exception is
+  /// recorded, the remaining unscheduled/unstarted indices are skipped
+  /// (pool-wide cancellation), and the returned status is Internal with
+  /// the exception's message. When the optional `cancel` token trips
+  /// mid-run, no new indices are scheduled, queued ones are skipped, and
+  /// the status is Cancelled; tasks already running finish either way,
+  /// so the pool is quiescent for these indices when this returns.
+  Status ParallelFor(size_t count, const std::function<void(size_t)>& task,
+                     const CancellationToken* cancel = nullptr);
 
  private:
   void WorkerLoop();

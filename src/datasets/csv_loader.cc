@@ -7,7 +7,8 @@
 namespace colscope::datasets {
 
 std::vector<std::string> SplitCsvLine(std::string_view line,
-                                      char delimiter) {
+                                      char delimiter,
+                                      bool* unterminated_quote) {
   std::vector<std::string> fields;
   std::string current;
   bool quoted = false;
@@ -34,6 +35,7 @@ std::vector<std::string> SplitCsvLine(std::string_view line,
     }
   }
   fields.push_back(current);
+  if (unterminated_quote != nullptr) *unterminated_quote = quoted;
   return fields;
 }
 
@@ -116,10 +118,15 @@ Result<schema::Schema> LoadCsvSchema(std::string_view csv,
     return Status::InvalidArgument("CSV has no header row");
   }
 
+  bool unterminated = false;
   const std::vector<std::string> header =
-      SplitCsvLine(lines[0], options.delimiter);
+      SplitCsvLine(lines[0], options.delimiter, &unterminated);
+  if (unterminated) {
+    return Status::InvalidArgument(
+        "line 1: unterminated quoted field in header");
+  }
   if (header.empty() || (header.size() == 1 && header[0].empty())) {
-    return Status::InvalidArgument("CSV header row is empty");
+    return Status::InvalidArgument("CSV header row (line 1) is empty");
   }
 
   // Collect sampled values per column for typing + instance samples.
@@ -131,11 +138,17 @@ Result<schema::Schema> LoadCsvSchema(std::string_view csv,
        ++row) {
     if (StripAsciiWhitespace(lines[row]).empty()) continue;
     const std::vector<std::string> fields =
-        SplitCsvLine(lines[row], options.delimiter);
+        SplitCsvLine(lines[row], options.delimiter, &unterminated);
+    // Error positions are 1-based physical line numbers (the header is
+    // line 1), matching what an editor or `sed -n Np` shows.
+    if (unterminated) {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu: unterminated quoted field", row + 1));
+    }
     if (fields.size() != header.size()) {
       return Status::InvalidArgument(
-          StrFormat("row %zu has %zu fields, header has %zu", row,
-                    fields.size(), header.size()));
+          StrFormat("line %zu has %zu columns, header has %zu columns",
+                    row + 1, fields.size(), header.size()));
     }
     for (size_t c = 0; c < header.size(); ++c) {
       columns[c].push_back(fields[c]);
@@ -151,7 +164,7 @@ Result<schema::Schema> LoadCsvSchema(std::string_view csv,
     attr.name = std::string(StripAsciiWhitespace(header[c]));
     if (attr.name.empty()) {
       return Status::InvalidArgument(
-          StrFormat("column %zu has an empty name", c));
+          StrFormat("line 1: column %zu has an empty name", c + 1));
     }
     attr.table_name = table.name;
     attr.type = InferDataType(columns[c]);

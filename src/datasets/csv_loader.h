@@ -25,13 +25,23 @@ struct CsvLoadOptions {
 /// string); the first `max_sample_rows` values are attached as instance
 /// samples (usable with SerializeOptions::include_instance_samples).
 /// Handles quoted fields with embedded delimiters and "" escapes.
+///
+/// Malformed CSV is an InvalidArgument whose message pinpoints the
+/// problem with a 1-based line number (the header is line 1) and the
+/// column counts involved: ragged rows report "line N has X columns,
+/// header has Y"; a quote left open at end of line reports "line N:
+/// unterminated quoted field". CRLF line endings are accepted.
 Result<schema::Schema> LoadCsvSchema(std::string_view csv,
                                      std::string schema_name,
                                      const CsvLoadOptions& options = {});
 
-/// Splits one CSV line into fields (exposed for tests).
+/// Splits one CSV line into fields (exposed for tests). When
+/// `unterminated_quote` is non-null it is set to whether the line ended
+/// inside an open quoted field (the fields parsed so far are still
+/// returned).
 std::vector<std::string> SplitCsvLine(std::string_view line,
-                                      char delimiter = ',');
+                                      char delimiter = ',',
+                                      bool* unterminated_quote = nullptr);
 
 /// Infers the data-type family of a set of value strings: kInteger if
 /// all parse as integers, kDecimal if all parse as numbers, kDate for

@@ -66,7 +66,8 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
                                  int publisher, int consumer,
                                  const RetryPolicy& policy,
                                  uint64_t backoff_seed,
-                                 obs::MetricsRegistry* metrics) {
+                                 obs::MetricsRegistry* metrics,
+                                 const CancellationToken* cancel) {
   FetchOutcome outcome;
   Status last_error = Status::Unavailable("fetch never attempted");
   const int max_attempts = std::max(policy.max_attempts, 1);
@@ -78,6 +79,12 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
   };
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      outcome.status = Status::Cancelled(StrFormat(
+          "fetch of schema %d model cancelled before attempt %d", publisher,
+          attempt + 1));
+      return finish();
+    }
     const FetchResponse response =
         transport.Fetch(publisher, consumer, attempt);
     ++outcome.attempts;
@@ -116,6 +123,12 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
     }
 
     if (attempt + 1 < max_attempts) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        outcome.status = Status::Cancelled(StrFormat(
+            "fetch of schema %d model cancelled after attempt %d", publisher,
+            attempt + 1));
+        return finish();
+      }
       double backoff = policy.initial_backoff_ms;
       for (int i = 0; i < attempt; ++i) backoff *= policy.backoff_multiplier;
       backoff = std::min(backoff, policy.max_backoff_ms);
@@ -148,7 +161,8 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
 Result<ExchangeResult> ExchangeLocalModels(
     const std::vector<scoping::LocalModel>& models, ModelTransport& transport,
     const RetryPolicy& policy, uint64_t backoff_seed,
-    obs::MetricsRegistry* metrics) {
+    obs::MetricsRegistry* metrics, const CancellationToken* cancel,
+    Deadline run_deadline) {
   if (metrics != nullptr) {
     // Pre-register the headline counters so a healthy run still exports
     // them (as zeroes) instead of omitting the keys.
@@ -163,17 +177,49 @@ Result<ExchangeResult> ExchangeLocalModels(
 
   ExchangeResult result;
   result.arrived.resize(models.size());
+  // Simulated transport time already spent this exchange, charged against
+  // the run deadline: the transport clock is simulated, so the run clock
+  // does not see it advance on its own.
+  double sim_elapsed_ms = 0.0;
   for (size_t c = 0; c < models.size(); ++c) {
     const int consumer = models[c].schema_index();
     for (size_t p = 0; p < models.size(); ++p) {
       if (p == c) continue;
       const int publisher = models[p].schema_index();
-      FetchOutcome outcome = FetchModelWithRetry(transport, publisher,
-                                                 consumer, policy,
-                                                 backoff_seed, metrics);
       PeerFetchRecord record;
       record.publisher = publisher;
       record.consumer = consumer;
+
+      Status skip_reason;
+      if (cancel != nullptr && cancel->cancelled()) {
+        result.aborted = "cancelled";
+        skip_reason = Status::Cancelled("run cancelled before this fetch");
+      } else if (!run_deadline.infinite() &&
+                 run_deadline.remaining_ms() - sim_elapsed_ms <= 0.0) {
+        result.aborted = "run_deadline_exceeded";
+        skip_reason = Status::DeadlineExceeded(
+            "run deadline exhausted before this fetch");
+      }
+      if (!skip_reason.ok()) {
+        record.skipped = true;
+        record.error = skip_reason.ToString();
+        if (metrics != nullptr) {
+          metrics->GetCounter("exchange.fetches_skipped").Increment();
+        }
+        result.fetches.push_back(std::move(record));
+        continue;
+      }
+
+      // Derive this fetch's deadline from whatever run budget is left.
+      RetryPolicy effective = policy;
+      if (!run_deadline.infinite()) {
+        effective.deadline_ms = std::min(
+            policy.deadline_ms, run_deadline.remaining_ms() - sim_elapsed_ms);
+      }
+      FetchOutcome outcome =
+          FetchModelWithRetry(transport, publisher, consumer, effective,
+                              backoff_seed, metrics, cancel);
+      sim_elapsed_ms += outcome.elapsed_ms;
       record.attempts = outcome.attempts;
       record.elapsed_ms = outcome.elapsed_ms;
       record.ok = outcome.status.ok();
@@ -196,7 +242,9 @@ DegradationReport BuildDegradationReport(const ExchangeResult& result,
   report.policy = std::move(policy_name);
   report.num_schemas = num_schemas;
   report.total_fetches = result.fetches.size();
+  report.aborted = result.aborted;
   for (const PeerFetchRecord& fetch : result.fetches) {
+    if (fetch.skipped) ++report.skipped_fetches;
     report.total_attempts += static_cast<size_t>(fetch.attempts);
     if (fetch.attempts > 1) {
       report.total_retries += static_cast<size_t>(fetch.attempts - 1);
@@ -230,6 +278,12 @@ std::string FormatDegradationReport(const DegradationReport& report) {
       report.fault_counts[static_cast<size_t>(FaultKind::kTruncate)],
       report.fault_counts[static_cast<size_t>(FaultKind::kCorrupt)],
       report.fault_counts[static_cast<size_t>(FaultKind::kStale)]);
+  if (report.skipped_fetches > 0) {
+    out += StrFormat(" skipped=%zu", report.skipped_fetches);
+  }
+  if (!report.aborted.empty()) {
+    out += StrFormat(" aborted=%s", report.aborted.c_str());
+  }
   if (!report.peers_lost.empty()) {
     out += " lost=";
     for (size_t i = 0; i < report.peers_lost.size(); ++i) {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/fault_injector.h"
 #include "common/status.h"
 #include "exchange/transport.h"
@@ -54,11 +55,16 @@ struct FetchOutcome {
 /// (fetches, attempts, retries, failures, per-fault counts) plus the
 /// exchange.fetch_ms histogram of simulated elapsed time; each retry is
 /// additionally logged at Debug level (attempt #, backoff delay, fault).
+/// A non-null `cancel` token aborts the retry loop cooperatively: it is
+/// checked before each attempt and before each backoff wait, and a
+/// tripped token ends the fetch with a Cancelled status instead of
+/// burning the remaining attempts.
 FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
                                  int publisher, int consumer,
                                  const RetryPolicy& policy,
                                  uint64_t backoff_seed,
-                                 obs::MetricsRegistry* metrics = nullptr);
+                                 obs::MetricsRegistry* metrics = nullptr,
+                                 const CancellationToken* cancel = nullptr);
 
 /// Accounting record of one (consumer <- publisher) fetch.
 struct PeerFetchRecord {
@@ -67,6 +73,9 @@ struct PeerFetchRecord {
   int attempts = 0;
   double elapsed_ms = 0.0;
   bool ok = false;
+  /// True when the fetch was never issued because the run was cancelled
+  /// or its deadline budget ran out before this pair's turn.
+  bool skipped = false;
   std::string error;  ///< Final status string when !ok.
   std::vector<FaultKind> faults;
 };
@@ -78,16 +87,29 @@ struct PeerFetchRecord {
 struct ExchangeResult {
   std::vector<std::vector<scoping::LocalModel>> arrived;
   std::vector<PeerFetchRecord> fetches;  ///< Deterministic order.
+  /// Why the exchange stopped early: "" (ran to completion),
+  /// "cancelled", or "run_deadline_exceeded".
+  std::string aborted;
 };
 
 /// Phase III over a faulty medium: publishes every model in `models` to
 /// `transport`, then each schema fetches every other schema's model with
 /// retry/backoff. Fetch failures are recorded, never fatal — the caller
 /// applies its degradation policy to the (possibly sparse) arrivals.
+///
+/// `run_deadline` is the enclosing run's time budget: each fetch's
+/// effective deadline is the smaller of the policy's per-fetch deadline
+/// and the run budget remaining after the simulated transport time
+/// already spent, so a run-level deadline bounds the whole phase, not
+/// just one fetch. A non-null `cancel` token stops issuing new fetches
+/// (and aborts in-flight retry loops) once tripped. Either way the
+/// un-issued fetches are recorded as skipped, never fatal.
 Result<ExchangeResult> ExchangeLocalModels(
     const std::vector<scoping::LocalModel>& models, ModelTransport& transport,
     const RetryPolicy& policy, uint64_t backoff_seed = 0,
-    obs::MetricsRegistry* metrics = nullptr);
+    obs::MetricsRegistry* metrics = nullptr,
+    const CancellationToken* cancel = nullptr,
+    Deadline run_deadline = Deadline());
 
 /// Observability record of one degraded run: what the exchange lost,
 /// how hard it retried, which faults it survived, and which policy
@@ -97,8 +119,14 @@ struct DegradationReport {
   size_t num_schemas = 0;
   size_t total_fetches = 0;
   size_t failed_fetches = 0;
+  /// Fetches never issued because the run was cancelled or out of
+  /// deadline budget (subset of failed_fetches).
+  size_t skipped_fetches = 0;
   size_t total_attempts = 0;
   size_t total_retries = 0;
+  /// Early-termination cause copied from ExchangeResult::aborted; empty
+  /// when the exchange ran to completion.
+  std::string aborted;
   /// Total simulated transport time across all fetches.
   double simulated_ms = 0.0;
   /// Faults observed across all attempts, indexed by FaultKind.

@@ -1,0 +1,256 @@
+#include "pipeline/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "common/checksum.h"
+#include "common/strings.h"
+#include "pipeline/pipeline.h"
+#include "schema/serialize.h"
+#include "scoping/io_util.h"
+
+namespace colscope::pipeline {
+
+namespace {
+
+constexpr char kEnvelopeHeader[] = "colscope-checkpoint v1";
+// An envelope is five short header lines plus the payload; payloads
+// larger than this are certainly not ours (a signature checkpoint for
+// kMaxTotalValues doubles stays well under it).
+constexpr size_t kMaxPayloadBytes = size_t{1} << 31;
+
+void Count(obs::MetricsRegistry* metrics, const char* name) {
+  if (metrics != nullptr) metrics->GetCounter(name).Increment();
+}
+
+/// Parses "<key> <value>" returning the value, or an error naming the
+/// expected key. The payload follows the last header line verbatim, so
+/// header values themselves never contain spaces.
+Result<std::string> ExpectKeyLine(std::istream& in, std::string_view key) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint truncated before %s line",
+                  std::string(key).c_str()));
+  }
+  const std::vector<std::string> tokens =
+      SplitString(StripAsciiWhitespace(line), " \t");
+  if (tokens.size() != 2 || tokens[0] != key) {
+    return Status::InvalidArgument(
+        StrFormat("malformed checkpoint %s line: %s",
+                  std::string(key).c_str(), line.c_str()));
+  }
+  return tokens[1];
+}
+
+/// Parses exactly 16 lowercase hex digits into a uint64.
+bool ParseHex64(const std::string& token, uint64_t& out) {
+  if (token.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+const char* CheckpointPhaseToString(CheckpointPhase phase) {
+  switch (phase) {
+    case CheckpointPhase::kSignatures:
+      return "signatures";
+    case CheckpointPhase::kLocalModels:
+      return "local_models";
+    case CheckpointPhase::kKeepMask:
+      return "keep_mask";
+  }
+  return "unknown";
+}
+
+uint64_t ComputeRunFingerprint(const schema::SchemaSet& set,
+                               const PipelineOptions& options) {
+  // Chain FNV-1a over every serialized element text (the exact strings
+  // the encoder sees) plus a canonical rendering of each option that
+  // changes a checkpointed artifact. Observability hooks and the
+  // detector pointer are deliberately excluded: they alter what gets
+  // recorded, never what gets computed.
+  uint64_t h = Fnv1a64("colscope-run-fingerprint v1");
+  for (size_t i = 0; i < set.num_schemas(); ++i) {
+    const std::vector<schema::SerializedElement> elements =
+        schema::SerializeSchema(set.schema(static_cast<int>(i)),
+                                static_cast<int>(i));
+    for (const schema::SerializedElement& element : elements) {
+      h = Fnv1a64(element.text, h);
+    }
+  }
+  std::string opts = StrFormat(
+      "scoper=%d ev=%.17g keep=%.17g exchange=%d", static_cast<int>(options.scoper),
+      options.explained_variance, options.keep_portion,
+      options.exchange.enabled ? 1 : 0);
+  if (options.exchange.enabled) {
+    const FaultProfile& f = options.exchange.faults;
+    const exchange::RetryPolicy& r = options.exchange.retry;
+    opts += StrFormat(
+        " seed=%llu drop=%.17g corrupt=%.17g truncate=%.17g delay=%.17g"
+        " stale=%.17g base_lat=%.17g delay_lat=%.17g"
+        " attempts=%d backoff=%.17g mult=%.17g max_backoff=%.17g"
+        " jitter=%.17g deadline=%.17g policy=%d quorum=%zu",
+        static_cast<unsigned long long>(f.seed), f.drop_probability,
+        f.corrupt_probability, f.truncate_probability, f.delay_probability,
+        f.stale_probability, f.base_latency_ms, f.delay_latency_ms,
+        r.max_attempts, r.initial_backoff_ms, r.backoff_multiplier,
+        r.max_backoff_ms, r.jitter, r.deadline_ms,
+        static_cast<int>(options.exchange.degraded.policy),
+        options.exchange.degraded.quorum);
+  }
+  return Fnv1a64(opts, h);
+}
+
+CheckpointStore::CheckpointStore(std::string dir, uint64_t fingerprint,
+                                 obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)), fingerprint_(fingerprint), metrics_(metrics) {}
+
+std::string CheckpointStore::PathFor(CheckpointPhase phase) const {
+  return dir_ + "/" + CheckpointPhaseToString(phase) + ".ckpt";
+}
+
+Status CheckpointStore::Write(CheckpointPhase phase,
+                              const std::string& payload) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal(
+        StrFormat("cannot create checkpoint dir %s: %s", dir_.c_str(),
+                  ec.message().c_str()));
+  }
+  const std::string final_path = PathFor(phase);
+  const std::string tmp_path = final_path + ".tmp";
+
+  std::string envelope;
+  envelope.reserve(payload.size() + 128);
+  envelope += kEnvelopeHeader;
+  envelope += '\n';
+  envelope += StrFormat("phase %s\n", CheckpointPhaseToString(phase));
+  envelope += StrFormat("fingerprint %s\n",
+                        Fnv1a64Hex(fingerprint_).c_str());
+  envelope += StrFormat("bytes %zu\n", payload.size());
+  envelope += StrFormat("checksum %s\n",
+                        Fnv1a64Hex(Fnv1a64(payload)).c_str());
+  envelope += payload;
+
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open checkpoint temp file: " +
+                              tmp_path);
+    }
+    out.write(envelope.data(),
+              static_cast<std::streamsize>(envelope.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("short write to checkpoint temp file: " +
+                              tmp_path);
+    }
+  }
+  // rename(2) within one directory is atomic: readers see either the old
+  // complete checkpoint or the new complete one, never a torn file.
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal(
+        StrFormat("cannot publish checkpoint %s: %s", final_path.c_str(),
+                  ec.message().c_str()));
+  }
+  Count(metrics_, "checkpoint.write");
+  return Status::Ok();
+}
+
+Result<std::string> CheckpointStore::Load(CheckpointPhase phase) const {
+  const std::string path = PathFor(phase);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Count(metrics_, "checkpoint.miss");
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string contents = buffer.str();
+
+  const auto corrupt = [&](const std::string& why) -> Status {
+    Count(metrics_, "checkpoint.corrupt");
+    return Status::InvalidArgument(
+        StrFormat("corrupt checkpoint %s: %s", path.c_str(), why.c_str()));
+  };
+
+  std::istringstream stream(contents);
+  std::string line;
+  if (!std::getline(stream, line) ||
+      StripAsciiWhitespace(line) != kEnvelopeHeader) {
+    return corrupt("missing or unsupported envelope header");
+  }
+  Result<std::string> phase_name = ExpectKeyLine(stream, "phase");
+  if (!phase_name.ok()) return corrupt(phase_name.status().message());
+  if (*phase_name != CheckpointPhaseToString(phase)) {
+    return corrupt(StrFormat("phase mismatch: expected %s, found %s",
+                             CheckpointPhaseToString(phase),
+                             phase_name->c_str()));
+  }
+  Result<std::string> fp_text = ExpectKeyLine(stream, "fingerprint");
+  if (!fp_text.ok()) return corrupt(fp_text.status().message());
+  uint64_t fp = 0;
+  if (!ParseHex64(*fp_text, fp)) {
+    return corrupt("malformed fingerprint: " + *fp_text);
+  }
+  Result<std::string> bytes_text = ExpectKeyLine(stream, "bytes");
+  if (!bytes_text.ok()) return corrupt(bytes_text.status().message());
+  size_t declared_bytes = 0;
+  if (!scoping::io::ParseSize(*bytes_text, declared_bytes) ||
+      declared_bytes > kMaxPayloadBytes) {
+    return corrupt("malformed byte count: " + *bytes_text);
+  }
+  Result<std::string> sum_text = ExpectKeyLine(stream, "checksum");
+  if (!sum_text.ok()) return corrupt(sum_text.status().message());
+  uint64_t declared_sum = 0;
+  if (!ParseHex64(*sum_text, declared_sum)) {
+    return corrupt("malformed checksum: " + *sum_text);
+  }
+
+  // The payload is everything after the checksum line, verbatim.
+  const std::streampos pos = stream.tellg();
+  if (pos < 0) return corrupt("truncated before payload");
+  const std::string payload =
+      contents.substr(static_cast<size_t>(pos));
+  if (payload.size() != declared_bytes) {
+    return corrupt(StrFormat("payload is %zu bytes, envelope declares %zu",
+                             payload.size(), declared_bytes));
+  }
+  if (Fnv1a64(payload) != declared_sum) {
+    return corrupt("payload checksum mismatch");
+  }
+  // Fingerprint is validated after integrity: a stale-but-intact
+  // checkpoint from another run/config is a precondition failure, not
+  // corruption.
+  if (fp != fingerprint_) {
+    return Status::FailedPrecondition(
+        StrFormat("checkpoint %s was written for a different run "
+                  "(fingerprint %s, expected %s)",
+                  path.c_str(), fp_text->c_str(),
+                  Fnv1a64Hex(fingerprint_).c_str()));
+  }
+  Count(metrics_, "checkpoint.load");
+  return payload;
+}
+
+}  // namespace colscope::pipeline

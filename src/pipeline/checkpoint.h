@@ -1,0 +1,84 @@
+#ifndef COLSCOPE_PIPELINE_CHECKPOINT_H_
+#define COLSCOPE_PIPELINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "schema/schema_set.h"
+
+namespace colscope::pipeline {
+
+struct PipelineOptions;
+
+/// The phase artifacts a run persists as it progresses. Later phases are
+/// cheap to recompute (streamline/match/evaluate), so only the expensive
+/// prefix is checkpointed.
+enum class CheckpointPhase {
+  kSignatures,   ///< Phase I: serialized + encoded SignatureSet.
+  kLocalModels,  ///< Phase II: the fitted per-schema model set.
+  kKeepMask,     ///< Phase III: the linkability keep mask.
+};
+
+/// Stable lower-snake name of `phase` ("signatures", "local_models",
+/// "keep_mask") — used as the on-disk filename and in CLI flags/tests.
+const char* CheckpointPhaseToString(CheckpointPhase phase);
+
+/// Fingerprints a run's identity: the serialized schema-set content plus
+/// every option that changes a phase artifact (scoper, explained
+/// variance, keep portion, exchange settings). A checkpoint written
+/// under a different fingerprint is never trusted — resuming a run over
+/// different data or config silently mixing artifacts would be worse
+/// than recomputing.
+uint64_t ComputeRunFingerprint(const schema::SchemaSet& set,
+                               const PipelineOptions& options);
+
+/// Crash-safe on-disk store of one run's phase artifacts. Each artifact
+/// is a single file `<dir>/<phase>.ckpt` in a versioned, checksummed
+/// envelope:
+///   colscope-checkpoint v1
+///   phase <name>
+///   fingerprint <16 hex digits>
+///   bytes <payload byte count>
+///   checksum <16 hex digits, FNV-1a 64 of the payload>
+///   <payload>
+/// Writes go to a temp file in the same directory followed by an atomic
+/// rename, so a crash mid-write can never leave a torn checkpoint under
+/// the final name — at worst a stale temp file that is ignored.
+///
+/// When `metrics` is non-null the store emits checkpoint.write /
+/// checkpoint.load / checkpoint.corrupt / checkpoint.miss counters.
+class CheckpointStore {
+ public:
+  /// `dir` is created on first Write if absent. `metrics` is borrowed
+  /// and may be null.
+  CheckpointStore(std::string dir, uint64_t fingerprint,
+                  obs::MetricsRegistry* metrics = nullptr);
+
+  /// Atomically persists `payload` as the artifact of `phase`,
+  /// overwriting any previous version.
+  Status Write(CheckpointPhase phase, const std::string& payload) const;
+
+  /// Loads and validates the artifact of `phase`. NotFound when the file
+  /// does not exist; FailedPrecondition when it exists but was written
+  /// under a different fingerprint; InvalidArgument when the envelope is
+  /// malformed, truncated, or fails its checksum (counted as
+  /// checkpoint.corrupt). Callers treat every failure the same way: the
+  /// phase is recomputed from scratch.
+  Result<std::string> Load(CheckpointPhase phase) const;
+
+  const std::string& dir() const { return dir_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  std::string PathFor(CheckpointPhase phase) const;
+
+  std::string dir_;
+  uint64_t fingerprint_;
+  obs::MetricsRegistry* metrics_;
+};
+
+}  // namespace colscope::pipeline
+
+#endif  // COLSCOPE_PIPELINE_CHECKPOINT_H_

@@ -1,9 +1,17 @@
 #include "pipeline/pipeline.h"
 
+#include <optional>
+#include <utility>
+
 #include "common/check.h"
+#include "common/strings.h"
 #include "exchange/transport.h"
+#include "obs/log.h"
+#include "pipeline/checkpoint.h"
 #include "scoping/collaborative.h"
+#include "scoping/model_io.h"
 #include "scoping/scoping.h"
+#include "scoping/signature_io.h"
 #include "scoping/streamline.h"
 
 namespace colscope::pipeline {
@@ -11,29 +19,24 @@ namespace colscope::pipeline {
 namespace {
 
 /// Phase III over the simulated faulty transport: publish every fitted
-/// model, fetch peers' models with retry, then apply the degradation
-/// policy to whatever arrived. Fills `run.degradation` even when the
-/// policy ultimately rejects the run's arrivals.
-Result<std::vector<bool>> ScopeViaExchange(const scoping::SignatureSet& sigs,
-                                           size_t num_schemas,
-                                           const PipelineOptions& options,
-                                           PipelineRun& run) {
-  Result<std::vector<scoping::LocalModel>> models = [&] {
-    obs::ScopedSpan span(options.tracer, "pipeline.fit_local_models");
-    span.AddArg("schemas", static_cast<long long>(num_schemas));
-    return scoping::FitLocalModels(sigs, num_schemas,
-                                   options.explained_variance);
-  }();
-  if (!models.ok()) return models.status();
-
+/// model, fetch peers' models with retry under the run's deadline and
+/// cancellation token, then apply the degradation policy to whatever
+/// arrived. Fills `run.degradation` even when the policy ultimately
+/// rejects the run's arrivals or the exchange aborted early.
+Result<std::vector<bool>> ScopeViaExchange(
+    const scoping::SignatureSet& sigs, size_t num_schemas,
+    const std::vector<scoping::LocalModel>& models,
+    const PipelineOptions& options, const CancellationToken* cancel,
+    Deadline run_deadline, PipelineRun& run) {
   exchange::InMemoryTransport transport{FaultInjector(options.exchange.faults)};
   Result<exchange::ExchangeResult> exchanged = [&] {
     obs::ScopedSpan span(options.tracer, "pipeline.exchange");
-    span.AddArg("models", static_cast<long long>(models->size()));
-    return exchange::ExchangeLocalModels(*models, transport,
+    span.AddArg("models", static_cast<long long>(models.size()));
+    return exchange::ExchangeLocalModels(models, transport,
                                          options.exchange.retry,
                                          options.exchange.faults.seed,
-                                         options.metrics);
+                                         options.metrics, cancel,
+                                         run_deadline);
   }();
   if (!exchanged.ok()) return exchanged.status();
 
@@ -75,34 +78,218 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
   PipelineRun run;
   obs::ScopedSpan run_span(options_.tracer, "pipeline.run");
   run_span.AddArg("schemas", static_cast<long long>(set.num_schemas()));
-  run.signatures =
-      scoping::BuildSignatures(set, *encoder_, {}, options_.tracer);
+
+  // Deadline and cancellation plumbing. The fallback clock lives on this
+  // stack frame, so the derived Deadline (which borrows it) must not
+  // outlive Run — it doesn't; copies only flow down the call stack.
+  SystemRunClock fallback_clock;
+  Deadline deadline;
+  if (options_.deadline_ms > 0.0) {
+    RunClock* clock =
+        options_.clock != nullptr ? options_.clock : &fallback_clock;
+    deadline = Deadline::After(clock, options_.deadline_ms);
+  }
+
+  std::optional<CheckpointStore> store;
+  if (!options_.checkpoint_dir.empty()) {
+    store.emplace(options_.checkpoint_dir,
+                  ComputeRunFingerprint(set, options_), options_.metrics);
+  }
+
+  /// Non-OK when the run should stop at this phase boundary.
+  const auto interrupted = [&]() -> Status {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("pipeline.cancelled").Increment();
+      }
+      return Status::Cancelled("pipeline run cancelled");
+    }
+    if (deadline.expired()) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->GetCounter("pipeline.deadline_exceeded")
+            .Increment();
+      }
+      return Status::DeadlineExceeded(StrFormat(
+          "pipeline run exceeded its %.17g ms deadline",
+          options_.deadline_ms));
+    }
+    return Status::Ok();
+  };
+
+  /// Ends the run early but cleanly: completed phases' artifacts stay in
+  /// `run`, the stop reason lands in run.status, and the metrics
+  /// snapshot still happens so the partial report doubles as a profile.
+  const auto finish_partial = [&](Status why) -> PipelineRun {
+    COLSCOPE_LOG(Warn) << "pipeline run stopped early: " << why.ToString()
+                       << " (completed " << run.phases_completed.size()
+                       << " phases)";
+    run.status = std::move(why);
+    if (options_.metrics != nullptr) {
+      run.metrics = options_.metrics->Snapshot();
+    }
+    return std::move(run);
+  };
+
+  /// Loads the payload of `phase` when resuming; nullopt (and a warning
+  /// for anything but a clean miss) means recompute.
+  const auto try_load = [&](CheckpointPhase phase)
+      -> std::optional<std::string> {
+    if (!options_.resume || !store.has_value()) return std::nullopt;
+    Result<std::string> payload = store->Load(phase);
+    if (!payload.ok()) {
+      if (payload.status().code() != StatusCode::kNotFound) {
+        COLSCOPE_LOG(Warn)
+            << "cannot resume phase " << CheckpointPhaseToString(phase)
+            << ": " << payload.status().ToString() << "; recomputing";
+      }
+      return std::nullopt;
+    }
+    return std::move(payload).value();
+  };
+
+  const auto mark_resumed = [&](CheckpointPhase phase) {
+    ++run.phases_resumed;
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("pipeline.phases_resumed").Increment();
+    }
+    COLSCOPE_LOG(Info) << "resumed phase " << CheckpointPhaseToString(phase)
+                       << " from checkpoint in " << store->dir();
+  };
+
+  /// Persists a completed phase. Failures degrade to a warning — a run
+  /// that cannot checkpoint should still finish.
+  const auto maybe_write = [&](CheckpointPhase phase,
+                               const std::string& payload) {
+    if (!store.has_value()) return;
+    const Status written = store->Write(phase, payload);
+    if (!written.ok()) {
+      COLSCOPE_LOG(Warn) << "checkpoint write failed: "
+                         << written.ToString();
+    }
+  };
+
+  /// The crash_after_phase test hook: fail exactly where a real crash
+  /// would be nastiest — after the phase committed its checkpoint.
+  const auto maybe_crash = [&](const char* phase) -> Status {
+    if (options_.crash_after_phase == phase) {
+      return Status::Internal(
+          StrFormat("injected crash after phase %s", phase));
+    }
+    return Status::Ok();
+  };
+
+  // Phase I: signatures.
+  {
+    bool resumed = false;
+    if (std::optional<std::string> payload =
+            try_load(CheckpointPhase::kSignatures)) {
+      Result<scoping::SignatureSet> sigs =
+          scoping::DeserializeSignatureSet(*payload);
+      if (sigs.ok()) {
+        run.signatures = std::move(sigs).value();
+        mark_resumed(CheckpointPhase::kSignatures);
+        resumed = true;
+      } else {
+        COLSCOPE_LOG(Warn) << "signature checkpoint did not deserialize: "
+                           << sigs.status().ToString() << "; recomputing";
+      }
+    }
+    if (!resumed) {
+      run.signatures =
+          scoping::BuildSignatures(set, *encoder_, {}, options_.tracer);
+      maybe_write(CheckpointPhase::kSignatures,
+                  scoping::SerializeSignatureSet(run.signatures));
+    }
+  }
+  run.phases_completed.push_back("signatures");
+  COLSCOPE_RETURN_IF_ERROR(maybe_crash("signatures"));
+  if (Status stop = interrupted(); !stop.ok()) {
+    return finish_partial(std::move(stop));
+  }
 
   switch (options_.scoper) {
     case ScoperKind::kNone:
       run.keep.assign(run.signatures.size(), true);
       break;
     case ScoperKind::kCollaborativePca: {
-      Result<std::vector<bool>> keep = [&]() -> Result<std::vector<bool>> {
-        if (options_.exchange.enabled) {
-          return ScopeViaExchange(run.signatures, set.num_schemas(),
-                                  options_, run);
+      // Phase II: fit (or restore) the per-schema local models.
+      std::vector<scoping::LocalModel> models;
+      bool models_resumed = false;
+      if (std::optional<std::string> payload =
+              try_load(CheckpointPhase::kLocalModels)) {
+        Result<std::vector<scoping::LocalModel>> loaded =
+            scoping::DeserializeLocalModelSet(*payload);
+        if (loaded.ok() && loaded->size() == set.num_schemas()) {
+          models = std::move(loaded).value();
+          mark_resumed(CheckpointPhase::kLocalModels);
+          models_resumed = true;
+        } else {
+          COLSCOPE_LOG(Warn)
+              << "local-model checkpoint did not deserialize: "
+              << (loaded.ok() ? "schema count mismatch"
+                              : loaded.status().ToString())
+              << "; recomputing";
         }
-        // Fault-free phases II + III, each under its own span.
-        Result<std::vector<scoping::LocalModel>> models = [&] {
+      }
+      if (!models_resumed) {
+        Result<std::vector<scoping::LocalModel>> fitted = [&] {
           obs::ScopedSpan span(options_.tracer, "pipeline.fit_local_models");
-          span.AddArg("schemas",
-                      static_cast<long long>(set.num_schemas()));
+          span.AddArg("schemas", static_cast<long long>(set.num_schemas()));
           return scoping::FitLocalModels(run.signatures, set.num_schemas(),
                                          options_.explained_variance);
         }();
-        if (!models.ok()) return models.status();
-        obs::ScopedSpan span(options_.tracer, "pipeline.assess");
-        return scoping::AssessAll(run.signatures, set.num_schemas(),
-                                  *models);
-      }();
-      if (!keep.ok()) return keep.status();
-      run.keep = std::move(keep).value();
+        if (!fitted.ok()) return fitted.status();
+        models = std::move(fitted).value();
+        maybe_write(CheckpointPhase::kLocalModels,
+                    scoping::SerializeLocalModelSet(models));
+      }
+      run.phases_completed.push_back("local_models");
+      COLSCOPE_RETURN_IF_ERROR(maybe_crash("local_models"));
+      if (Status stop = interrupted(); !stop.ok()) {
+        return finish_partial(std::move(stop));
+      }
+
+      // Phase III: assess linkability, over the faulty transport when
+      // exchange simulation is on. The keep-mask checkpoint is only
+      // trusted for fault-free runs: an exchange run replays phase III
+      // from the (restored) models so the degradation report is
+      // regenerated rather than lost.
+      bool keep_resumed = false;
+      if (!options_.exchange.enabled) {
+        if (std::optional<std::string> payload =
+                try_load(CheckpointPhase::kKeepMask)) {
+          Result<std::vector<bool>> mask =
+              scoping::DeserializeKeepMask(*payload);
+          if (mask.ok() && mask->size() == run.signatures.size()) {
+            run.keep = std::move(mask).value();
+            mark_resumed(CheckpointPhase::kKeepMask);
+            keep_resumed = true;
+          } else {
+            COLSCOPE_LOG(Warn)
+                << "keep-mask checkpoint did not deserialize: "
+                << (mask.ok() ? "element count mismatch"
+                              : mask.status().ToString())
+                << "; recomputing";
+          }
+        }
+      }
+      if (!keep_resumed) {
+        Result<std::vector<bool>> keep =
+            [&]() -> Result<std::vector<bool>> {
+          if (options_.exchange.enabled) {
+            return ScopeViaExchange(run.signatures, set.num_schemas(),
+                                    models, options_, options_.cancel,
+                                    deadline, run);
+          }
+          obs::ScopedSpan span(options_.tracer, "pipeline.assess");
+          return scoping::AssessAll(run.signatures, set.num_schemas(),
+                                    models);
+        }();
+        if (!keep.ok()) return keep.status();
+        run.keep = std::move(keep).value();
+        maybe_write(CheckpointPhase::kKeepMask,
+                    scoping::SerializeKeepMask(run.keep));
+      }
       break;
     }
     case ScoperKind::kCollaborativeNeural: {
@@ -127,6 +314,11 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
       break;
     }
   }
+  run.phases_completed.push_back("keep_mask");
+  COLSCOPE_RETURN_IF_ERROR(maybe_crash("keep_mask"));
+  if (Status stop = interrupted(); !stop.ok()) {
+    return finish_partial(std::move(stop));
+  }
 
   {
     obs::ScopedSpan span(options_.tracer, "pipeline.streamline");
@@ -134,16 +326,19 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
         scoping::BuildStreamlinedSchemas(set, run.signatures, run.keep);
     span.AddArg("kept", static_cast<long long>(run.num_kept()));
   }
+  run.phases_completed.push_back("streamline");
   {
     obs::ScopedSpan span(options_.tracer, "pipeline.match");
     run.linkages = matcher.Match(run.signatures, run.keep);
     span.AddArg("linkages", static_cast<long long>(run.linkages.size()));
   }
+  run.phases_completed.push_back("match");
   if (truth != nullptr) {
     obs::ScopedSpan span(options_.tracer, "pipeline.evaluate");
     run.quality = eval::EvaluateMatching(
         run.linkages, *truth,
         set.TableCartesianSize() + set.AttributeCartesianSize());
+    run.phases_completed.push_back("evaluate");
   }
 
   run_span.AddArg("elements", static_cast<long long>(run.keep.size()));

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/fault_injector.h"
 #include "common/status.h"
 #include "datasets/linkage.h"
@@ -63,6 +64,38 @@ struct PipelineOptions {
   /// is snapshotted into PipelineRun::metrics.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Run-level time budget in milliseconds; non-positive means no
+  /// deadline. Checked cooperatively at phase boundaries and propagated
+  /// into the model exchange, where each fetch's effective deadline is
+  /// capped by the budget remaining. An exhausted budget ends the run
+  /// early with PipelineRun::status = kDeadlineExceeded and whatever
+  /// artifacts completed phases produced — not an error.
+  double deadline_ms = 0.0;
+  /// Clock the deadline is measured on. Borrowed; null means a
+  /// steady-clock wall timer private to the run. Inject a
+  /// SimulatedRunClock to exhaust deadlines deterministically in tests.
+  RunClock* clock = nullptr;
+  /// Cooperative cancellation: when the token trips, the run stops at
+  /// the next phase boundary (and in-flight exchange fetches abort)
+  /// with PipelineRun::status = kCancelled. Borrowed; null means not
+  /// cancellable.
+  const CancellationToken* cancel = nullptr;
+  /// When non-empty, each expensive phase's artifact (signatures, local
+  /// models, keep mask) is checkpointed to this directory as it
+  /// completes, atomically and checksummed — see pipeline/checkpoint.h.
+  std::string checkpoint_dir;
+  /// When true (and checkpoint_dir is set), valid same-fingerprint
+  /// checkpoints are loaded instead of recomputed. Corrupt, stale, or
+  /// missing checkpoints silently fall back to recomputation; resuming
+  /// is an optimization, never a correctness risk. The keep mask is
+  /// only trusted for non-exchange runs — exchange runs replay phase
+  /// III so the degradation report is regenerated faithfully.
+  bool resume = false;
+  /// Test hook: after the named phase ("signatures", "local_models",
+  /// "keep_mask") completes and its checkpoint is written, abort the
+  /// run with an Internal error — simulating a crash at the worst
+  /// moment a real one could happen.
+  std::string crash_after_phase;
 };
 
 /// Everything one pipeline run produces; intermediate artifacts are kept
@@ -80,6 +113,18 @@ struct PipelineRun {
   /// Snapshot of PipelineOptions::metrics taken at the end of Run(), so
   /// every report doubles as a profile. Absent for uninstrumented runs.
   std::optional<obs::MetricsSnapshot> metrics;
+  /// kOk for a complete run; kCancelled or kDeadlineExceeded when the
+  /// run stopped early at a phase boundary. Partial runs are still OK
+  /// Results — the artifacts of every completed phase are valid.
+  Status status;
+  /// Names of the phases that ran to completion, in order (subset of
+  /// signatures, local_models, keep_mask, streamline, match, evaluate).
+  std::vector<std::string> phases_completed;
+  /// How many phases were restored from checkpoints instead of
+  /// recomputed (surfaced in metrics as pipeline.phases_resumed, never
+  /// in the JSON report — resumed and fresh runs must stay
+  /// byte-identical).
+  size_t phases_resumed = 0;
 
   size_t num_kept() const;
   size_t num_pruned() const { return keep.size() - num_kept(); }

@@ -9,6 +9,13 @@ std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
   JsonWriter json;
   json.BeginObject();
 
+  json.Key("status").String(StatusCodeToString(run.status.code()));
+  json.Key("phases_completed").BeginArray();
+  for (const std::string& phase : run.phases_completed) {
+    json.String(phase);
+  }
+  json.EndArray();
+
   json.Key("num_elements").Int(static_cast<long long>(run.keep.size()));
   json.Key("num_kept").Int(static_cast<long long>(run.num_kept()));
   json.Key("num_pruned").Int(static_cast<long long>(run.num_pruned()));
@@ -41,6 +48,9 @@ std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
     json.Key("total_fetches").Int(static_cast<long long>(deg.total_fetches));
     json.Key("failed_fetches")
         .Int(static_cast<long long>(deg.failed_fetches));
+    json.Key("skipped_fetches")
+        .Int(static_cast<long long>(deg.skipped_fetches));
+    json.Key("aborted").String(deg.aborted);
     json.Key("total_attempts")
         .Int(static_cast<long long>(deg.total_attempts));
     json.Key("total_retries").Int(static_cast<long long>(deg.total_retries));

@@ -38,6 +38,11 @@ class Lexer {
     return {TokKind::kPunct, std::string(1, c)};
   }
 
+  /// OK unless the input contained something no token can represent
+  /// (unterminated quote, oversized identifier). Sticky: once set, the
+  /// whole parse is rejected regardless of the tokens around it.
+  const Status& status() const { return status_; }
+
  private:
   static bool IsDigit(char c) { return c >= '0' && c <= '9'; }
   static bool IsIdentStart(char c) {
@@ -75,8 +80,13 @@ class Lexer {
     while (pos_ < input_.size() && input_[pos_] != closer) {
       text.push_back(input_[pos_++]);
     }
-    if (pos_ < input_.size()) ++pos_;  // Skip the closing quote.
-    return {TokKind::kIdent, text};
+    if (pos_ >= input_.size()) {
+      Fail(StrFormat("unterminated quoted identifier (missing '%c')",
+                     closer));
+    } else {
+      ++pos_;  // Skip the closing quote.
+    }
+    return CheckedIdent(std::move(text));
   }
 
   Token LexIdent() {
@@ -84,7 +94,19 @@ class Lexer {
     while (pos_ < input_.size() && IsIdentChar(input_[pos_])) {
       text.push_back(input_[pos_++]);
     }
-    return {TokKind::kIdent, text};
+    return CheckedIdent(std::move(text));
+  }
+
+  Token CheckedIdent(std::string text) {
+    if (text.size() > kMaxDdlIdentifierBytes) {
+      Fail(StrFormat("identifier of %zu bytes exceeds the %zu-byte cap",
+                     text.size(), kMaxDdlIdentifierBytes));
+    }
+    return {TokKind::kIdent, std::move(text)};
+  }
+
+  void Fail(std::string why) {
+    if (status_.ok()) status_ = Status::InvalidArgument(std::move(why));
   }
 
   Token LexNumber() {
@@ -99,6 +121,7 @@ class Lexer {
 
   std::string_view input_;
   size_t pos_ = 0;
+  Status status_;
 };
 
 /// Token stream with lookahead and keyword matching (case-insensitive).
@@ -112,7 +135,11 @@ class TokenStream {
       tokens_.push_back(std::move(t));
       if (end) break;
     }
+    status_ = lexer.status();
   }
+
+  /// Non-OK when the underlying script failed to lex; see Lexer::status.
+  const Status& status() const { return status_; }
 
   const Token& Peek(size_t ahead = 0) const {
     const size_t i = pos_ + ahead;
@@ -149,6 +176,7 @@ class TokenStream {
  private:
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  Status status_;
 };
 
 /// Skips a balanced parenthesized group; assumes '(' already consumed.
@@ -289,8 +317,21 @@ void SkipStatement(TokenStream& ts) {
 }  // namespace
 
 Result<Schema> ParseDdl(std::string_view ddl, std::string schema_name) {
+  // Input-shape guards first: DDL arrives from files and peers, so an
+  // adversarial or truncated script must become a clean error before
+  // the lexer ever walks it.
+  if (ddl.size() > kMaxDdlInputBytes) {
+    return Status::InvalidArgument(
+        StrFormat("DDL script of %zu bytes exceeds the %zu-byte cap",
+                  ddl.size(), kMaxDdlInputBytes));
+  }
+  if (ddl.find('\0') != std::string_view::npos) {
+    return Status::InvalidArgument(StrFormat(
+        "DDL contains an embedded NUL byte at offset %zu", ddl.find('\0')));
+  }
   Schema out(std::move(schema_name));
   TokenStream ts(ddl);
+  if (!ts.status().ok()) return ts.status();
 
   while (!ts.AtEnd()) {
     if (!ts.ConsumeKeyword("create")) {
@@ -351,6 +392,11 @@ Result<Schema> ParseDdl(std::string_view ddl, std::string schema_name) {
           ts.Consume();
         }
       } else {
+        if (table.attributes.size() >= kMaxDdlColumnsPerTable) {
+          return Status::InvalidArgument(
+              StrFormat("table %s exceeds the %zu-column cap",
+                        table.name.c_str(), kMaxDdlColumnsPerTable));
+        }
         COLSCOPE_RETURN_IF_ERROR(ParseColumn(ts, table));
       }
       if (ts.ConsumePunct(',')) continue;

@@ -22,7 +22,20 @@ namespace colscope::schema {
 ///   * statements other than CREATE TABLE are skipped.
 /// Per Section 2.3, constraints are normalized to PRIMARY KEY /
 /// FOREIGN KEY only (FK reference targets are dropped).
+///
+/// DDL often arrives from files and federated peers, so malformed input
+/// is an InvalidArgument, never undefined behavior: embedded NUL bytes,
+/// unterminated quoted identifiers, identifiers longer than
+/// kMaxDdlIdentifierBytes, more than kMaxDdlColumnsPerTable columns in
+/// one table, and scripts larger than kMaxDdlInputBytes are all
+/// rejected with a descriptive error.
 Result<Schema> ParseDdl(std::string_view ddl, std::string schema_name);
+
+/// Hard caps enforced by ParseDdl (exposed for tests and callers that
+/// want to pre-validate).
+inline constexpr size_t kMaxDdlInputBytes = size_t{1} << 24;     // 16 MiB
+inline constexpr size_t kMaxDdlIdentifierBytes = 8192;
+inline constexpr size_t kMaxDdlColumnsPerTable = 4096;
 
 }  // namespace colscope::schema
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "linalg/pca.h"
 #include "scoping/signatures.h"
@@ -125,9 +126,12 @@ Result<std::vector<LocalModel>> FitLocalModels(const SignatureSet& signatures,
 /// order and content are identical to FitLocalModels.
 /// When `metrics` is non-null the worker pool reports queue-depth and
 /// task-latency under "scoping.fit_pool.*" (see obs::ThreadPoolMetrics).
+/// A non-null `cancel` token makes the fit cooperative: once it trips no
+/// new per-schema fits start and the call returns Cancelled.
 Result<std::vector<LocalModel>> FitLocalModelsParallel(
     const SignatureSet& signatures, size_t num_schemas, double v,
-    size_t num_threads = 0, obs::MetricsRegistry* metrics = nullptr);
+    size_t num_threads = 0, obs::MetricsRegistry* metrics = nullptr,
+    const CancellationToken* cancel = nullptr);
 
 /// Phase III given prefitted models.
 std::vector<bool> AssessAll(const SignatureSet& signatures,

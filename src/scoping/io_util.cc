@@ -1,0 +1,54 @@
+#include "scoping/io_util.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace colscope::scoping::io {
+
+bool ParseFiniteDouble(const std::string& token, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0' &&
+         end != token.c_str() && std::isfinite(out);
+}
+
+bool ParseSize(const std::string& token, size_t& out) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') return false;
+  out = static_cast<size_t>(value);
+  return static_cast<unsigned long long>(out) == value;
+}
+
+Status ParseVectorLine(const std::string& line, size_t count,
+                       linalg::Vector& out) {
+  const std::vector<std::string> tokens = SplitString(line, " \t");
+  if (tokens.size() != count) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu values, found %zu", count, tokens.size()));
+  }
+  out.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!ParseFiniteDouble(tokens[i], out[i])) {
+      return Status::InvalidArgument("malformed number: " + tokens[i]);
+    }
+  }
+  return Status::Ok();
+}
+
+void AppendVector(std::string& out, const linalg::Vector& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += StrFormat("%.17g", v[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace colscope::scoping::io

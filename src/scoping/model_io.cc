@@ -2,17 +2,23 @@
 
 #include <cerrno>
 #include <climits>
-#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
 #include "common/strings.h"
+#include "scoping/io_util.h"
 
 namespace colscope::scoping {
 
 namespace {
 
+using io::AppendVector;
+using io::ParseFiniteDouble;
+using io::ParseSize;
+using io::ParseVectorLine;
+
 constexpr char kHeader[] = "colscope-local-model v1";
+constexpr char kSetHeader[] = "colscope-model-set v1";
 
 // A deserialized model is exchanged over an untrusted transport, so its
 // declared shape bounds what we are willing to allocate: dims and
@@ -21,29 +27,9 @@ constexpr char kHeader[] = "colscope-local-model v1";
 constexpr size_t kMaxDims = size_t{1} << 20;
 constexpr size_t kMaxComponents = size_t{1} << 16;
 constexpr size_t kMaxTotalValues = size_t{1} << 24;
-
-/// Parses one double strictly; false on trailing garbage, range error,
-/// or non-finite value (NaN/Inf never appear in a valid model and would
-/// poison every downstream reconstruction error).
-bool ParseDouble(const std::string& token, double& out) {
-  errno = 0;
-  char* end = nullptr;
-  out = std::strtod(token.c_str(), &end);
-  return errno == 0 && end != nullptr && *end == '\0' &&
-         end != token.c_str() && std::isfinite(out);
-}
-
-/// Parses a strictly non-negative decimal integer; false on sign,
-/// trailing garbage, or overflow.
-bool ParseSize(const std::string& token, size_t& out) {
-  if (token.empty() || token[0] == '-' || token[0] == '+') return false;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
-  if (errno != 0 || end == token.c_str() || *end != '\0') return false;
-  out = static_cast<size_t>(value);
-  return static_cast<unsigned long long>(out) == value;
-}
+// Sanity cap on the number of models one set may declare (one model per
+// participating schema; far beyond any realistic federation).
+constexpr size_t kMaxModelsPerSet = size_t{1} << 16;
 
 /// Parses a decimal int in [-1, INT_MAX] (−1 is the "anonymous peer"
 /// schema index); false on garbage or out-of-range values.
@@ -56,31 +42,6 @@ bool ParseSchemaIndex(const std::string& token, int& out) {
   if (value < -1 || value > INT_MAX) return false;
   out = static_cast<int>(value);
   return true;
-}
-
-/// Parses a line of `count` doubles into `out`.
-Status ParseVectorLine(const std::string& line, size_t count,
-                       linalg::Vector& out) {
-  const std::vector<std::string> tokens = SplitString(line, " \t");
-  if (tokens.size() != count) {
-    return Status::InvalidArgument(
-        StrFormat("expected %zu values, found %zu", count, tokens.size()));
-  }
-  out.resize(count);
-  for (size_t i = 0; i < count; ++i) {
-    if (!ParseDouble(tokens[i], out[i])) {
-      return Status::InvalidArgument("malformed number: " + tokens[i]);
-    }
-  }
-  return Status::Ok();
-}
-
-void AppendVector(std::string& out, const linalg::Vector& v) {
-  for (size_t i = 0; i < v.size(); ++i) {
-    if (i > 0) out += ' ';
-    out += StrFormat("%.17g", v[i]);
-  }
-  out += '\n';
 }
 
 }  // namespace
@@ -162,7 +123,7 @@ Result<LocalModel> DeserializeLocalModel(const std::string& text) {
       pcs = linalg::Matrix(components, dims);
     } else if (key == "range") {
       if (seen_range) return Status::InvalidArgument("duplicate range line");
-      if (!ParseDouble(value, range) || range < 0.0) {
+      if (!ParseFiniteDouble(value, range) || range < 0.0) {
         return Status::InvalidArgument("malformed range: " + value);
       }
       seen_range = true;
@@ -199,6 +160,71 @@ Result<LocalModel> DeserializeLocalModel(const std::string& text) {
       linalg::PcaModel::FromParts(std::move(mean), std::move(pcs));
   if (!pca.ok()) return pca.status();
   return LocalModel::FromParts(std::move(pca).value(), range, schema_index);
+}
+
+std::string SerializeLocalModelSet(const std::vector<LocalModel>& models) {
+  std::string out;
+  out += kSetHeader;
+  out += '\n';
+  out += StrFormat("models %zu\n", models.size());
+  for (const LocalModel& model : models) {
+    out += SerializeLocalModel(model);
+  }
+  return out;
+}
+
+Result<std::vector<LocalModel>> DeserializeLocalModelSet(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || StripAsciiWhitespace(line) != kSetHeader) {
+    return Status::InvalidArgument("missing or unsupported model-set header");
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing models count");
+  }
+  const std::vector<std::string> tokens =
+      SplitString(StripAsciiWhitespace(line), " \t");
+  size_t declared = 0;
+  if (tokens.size() != 2 || tokens[0] != "models" ||
+      !ParseSize(tokens[1], declared) || declared > kMaxModelsPerSet) {
+    return Status::InvalidArgument("malformed models count line");
+  }
+
+  // Split the remainder on per-model header lines; each block is handed
+  // to the (hardened) single-model parser.
+  std::vector<std::string> blocks;
+  std::string current;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (StripAsciiWhitespace(line) == kHeader) {
+      if (in_block) blocks.push_back(std::move(current));
+      current.clear();
+      in_block = true;
+    } else if (!in_block && !StripAsciiWhitespace(line).empty()) {
+      return Status::InvalidArgument(
+          "garbage between models count and first model header");
+    }
+    if (in_block) {
+      current += line;
+      current += '\n';
+    }
+  }
+  if (in_block) blocks.push_back(std::move(current));
+
+  if (blocks.size() != declared) {
+    return Status::InvalidArgument(
+        StrFormat("model set declares %zu models, found %zu", declared,
+                  blocks.size()));
+  }
+  std::vector<LocalModel> models;
+  models.reserve(blocks.size());
+  for (const std::string& block : blocks) {
+    Result<LocalModel> model = DeserializeLocalModel(block);
+    if (!model.ok()) return model.status();
+    models.push_back(std::move(model).value());
+  }
+  return models;
 }
 
 }  // namespace colscope::scoping

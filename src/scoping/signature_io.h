@@ -1,0 +1,42 @@
+#ifndef COLSCOPE_SCOPING_SIGNATURE_IO_H_
+#define COLSCOPE_SCOPING_SIGNATURE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scoping/signatures.h"
+
+namespace colscope::scoping {
+
+/// Serializes a phase-I SignatureSet (refs, serialized texts, and the
+/// signature matrix) to the checkpointable text format:
+///   colscope-signature-set v1
+///   elements <n>
+///   dims <d>
+///   ref <schema> <table> <attribute>     (n lines)
+///   text <escaped serialized text>       (n lines; \n, \r, \\ escaped)
+///   row <d doubles>                      (n lines, %.17g round-trip exact)
+/// Doubles round-trip exactly, so a resumed run computes on bit-identical
+/// signatures — the property the byte-identical-report guarantee needs.
+std::string SerializeSignatureSet(const SignatureSet& set);
+
+/// Parses a signature set with the same hardened discipline as the model
+/// deserializer: finite-only numbers, overflow-checked allocation caps on
+/// the declared shape, duplicate/trailing-garbage rejection.
+Result<SignatureSet> DeserializeSignatureSet(const std::string& text);
+
+/// Serializes a phase-III keep mask (linkability verdicts in signature
+/// row order):
+///   colscope-keep-mask v1
+///   elements <n>
+///   mask <n characters, each '0' or '1'>
+std::string SerializeKeepMask(const std::vector<bool>& keep);
+
+/// Parses a keep mask; fails on shape mismatch or any character outside
+/// {'0','1'}.
+Result<std::vector<bool>> DeserializeKeepMask(const std::string& text);
+
+}  // namespace colscope::scoping
+
+#endif  // COLSCOPE_SCOPING_SIGNATURE_IO_H_

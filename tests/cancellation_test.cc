@@ -1,0 +1,121 @@
+#include "common/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace colscope {
+namespace {
+
+TEST(CancellationTokenTest, StartsClearAndTripsPermanently) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // Idempotent.
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, ChildSeesParentCancellation) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(parent.cancelled());
+}
+
+TEST(CancellationTokenTest, ChildCancellationDoesNotPropagateUp) {
+  CancellationToken parent;
+  CancellationToken child(&parent);
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancellationTokenTest, GrandchildSeesRootCancellation) {
+  CancellationToken root;
+  CancellationToken mid(&root);
+  CancellationToken leaf(&mid);
+  root.Cancel();
+  EXPECT_TRUE(leaf.cancelled());
+}
+
+TEST(CancellationTokenTest, ConcurrentCancelAndPollIsSafe) {
+  CancellationToken token;
+  std::vector<std::thread> pollers;
+  std::atomic<bool> seen{false};
+  for (int t = 0; t < 4; ++t) {
+    pollers.emplace_back([&] {
+      while (!token.cancelled()) {
+      }
+      seen.store(true);
+    });
+  }
+  token.Cancel();
+  for (std::thread& t : pollers) t.join();
+  EXPECT_TRUE(seen.load());
+}
+
+TEST(SimulatedRunClockTest, AdvancesOnlyWhenAsked) {
+  SimulatedRunClock clock;
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 0.0);
+  clock.Advance(12.5);
+  EXPECT_DOUBLE_EQ(clock.NowMs(), 12.5);
+}
+
+TEST(SimulatedRunClockTest, TickAdvancesPerObservation) {
+  SimulatedRunClock clock(/*tick_ms=*/1.0);
+  const double first = clock.NowMs();
+  const double second = clock.NowMs();
+  EXPECT_DOUBLE_EQ(second - first, 1.0);
+}
+
+TEST(SystemRunClockTest, IsMonotonicAndStartsNearZero) {
+  SystemRunClock clock;
+  const double a = clock.NowMs();
+  const double b = clock.NowMs();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remaining_ms()));
+}
+
+TEST(DeadlineTest, ExpiresWhenSimulatedTimePasses) {
+  SimulatedRunClock clock;
+  Deadline deadline = Deadline::After(&clock, 10.0);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.remaining_ms(), 10.0);
+  clock.Advance(4.0);
+  EXPECT_DOUBLE_EQ(deadline.remaining_ms(), 6.0);
+  clock.Advance(100.0);
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  SimulatedRunClock clock;
+  EXPECT_TRUE(Deadline::After(&clock, 0.0).expired());
+  EXPECT_TRUE(Deadline::After(&clock, -5.0).expired());
+}
+
+TEST(DeadlineTest, CopiesShareTheClock) {
+  SimulatedRunClock clock;
+  Deadline a = Deadline::After(&clock, 10.0);
+  Deadline b = a;
+  clock.Advance(15.0);
+  EXPECT_TRUE(a.expired());
+  EXPECT_TRUE(b.expired());
+}
+
+}  // namespace
+}  // namespace colscope

@@ -1,0 +1,190 @@
+#include "pipeline/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "datasets/toy.h"
+#include "obs/metrics.h"
+#include "pipeline/pipeline.h"
+#include "scoping/signature_io.h"
+
+namespace colscope::pipeline {
+namespace {
+
+/// Fresh per-test scratch directory under the system temp dir, removed
+/// on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("colscope_ckpt_" + name))
+                  .string()) {
+    std::filesystem::remove_all(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string CkptPath(const ScratchDir& dir, CheckpointPhase phase) {
+  return dir.path() + "/" + CheckpointPhaseToString(phase) + ".ckpt";
+}
+
+TEST(CheckpointPhaseTest, NamesAreStable) {
+  EXPECT_STREQ(CheckpointPhaseToString(CheckpointPhase::kSignatures),
+               "signatures");
+  EXPECT_STREQ(CheckpointPhaseToString(CheckpointPhase::kLocalModels),
+               "local_models");
+  EXPECT_STREQ(CheckpointPhaseToString(CheckpointPhase::kKeepMask),
+               "keep_mask");
+}
+
+TEST(CheckpointStoreTest, RoundTripsPayloadBytes) {
+  ScratchDir dir("roundtrip");
+  CheckpointStore store(dir.path(), /*fingerprint=*/42);
+  const std::string payload = "line one\nline two\nbinary \x01\x02 ok\n";
+  ASSERT_TRUE(store.Write(CheckpointPhase::kSignatures, payload).ok());
+  Result<std::string> loaded = store.Load(CheckpointPhase::kSignatures);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, payload);
+}
+
+TEST(CheckpointStoreTest, MissingCheckpointIsNotFound) {
+  ScratchDir dir("missing");
+  CheckpointStore store(dir.path(), 1);
+  Result<std::string> loaded = store.Load(CheckpointPhase::kKeepMask);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointStoreTest, OverwriteReplacesPreviousPayload) {
+  ScratchDir dir("overwrite");
+  CheckpointStore store(dir.path(), 7);
+  ASSERT_TRUE(store.Write(CheckpointPhase::kKeepMask, "old").ok());
+  ASSERT_TRUE(store.Write(CheckpointPhase::kKeepMask, "new").ok());
+  Result<std::string> loaded = store.Load(CheckpointPhase::kKeepMask);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, "new");
+}
+
+TEST(CheckpointStoreTest, BitFlippedPayloadFailsChecksum) {
+  ScratchDir dir("bitflip");
+  obs::MetricsRegistry metrics;
+  CheckpointStore store(dir.path(), 9, &metrics);
+  ASSERT_TRUE(
+      store.Write(CheckpointPhase::kSignatures, "payload payload").ok());
+  const std::string path = CkptPath(dir, CheckpointPhase::kSignatures);
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  contents[contents.size() - 3] ^= 0x20;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+  Result<std::string> loaded = store.Load(CheckpointPhase::kSignatures);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(metrics.GetCounter("checkpoint.corrupt").value(), 1u);
+}
+
+TEST(CheckpointStoreTest, TruncatedFileIsCorrupt) {
+  ScratchDir dir("truncate");
+  CheckpointStore store(dir.path(), 9);
+  ASSERT_TRUE(store.Write(CheckpointPhase::kLocalModels,
+                          std::string(256, 'x'))
+                  .ok());
+  const std::string path = CkptPath(dir, CheckpointPhase::kLocalModels);
+  std::filesystem::resize_file(path, 60);
+  Result<std::string> loaded = store.Load(CheckpointPhase::kLocalModels);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointStoreTest, GarbageFileIsCorruptNotACrash) {
+  ScratchDir dir("garbage");
+  CheckpointStore store(dir.path(), 9);
+  std::filesystem::create_directories(dir.path());
+  {
+    std::ofstream out(CkptPath(dir, CheckpointPhase::kSignatures),
+                      std::ios::binary);
+    out << "not a checkpoint at all\n\x7f\x00\x01";
+  }
+  Result<std::string> loaded = store.Load(CheckpointPhase::kSignatures);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointStoreTest, WrongFingerprintIsFailedPrecondition) {
+  ScratchDir dir("fingerprint");
+  CheckpointStore writer(dir.path(), 1111);
+  ASSERT_TRUE(writer.Write(CheckpointPhase::kKeepMask, "mask").ok());
+  CheckpointStore reader(dir.path(), 2222);
+  Result<std::string> loaded = reader.Load(CheckpointPhase::kKeepMask);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointStoreTest, WrongPhaseFileIsRejected) {
+  ScratchDir dir("phase");
+  CheckpointStore store(dir.path(), 5);
+  ASSERT_TRUE(store.Write(CheckpointPhase::kSignatures, "sig").ok());
+  // Pretend the signatures file is the keep mask.
+  std::filesystem::copy_file(CkptPath(dir, CheckpointPhase::kSignatures),
+                             CkptPath(dir, CheckpointPhase::kKeepMask));
+  Result<std::string> loaded = store.Load(CheckpointPhase::kKeepMask);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointStoreTest, EmitsWriteAndLoadCounters) {
+  ScratchDir dir("counters");
+  obs::MetricsRegistry metrics;
+  CheckpointStore store(dir.path(), 3, &metrics);
+  ASSERT_TRUE(store.Write(CheckpointPhase::kSignatures, "a").ok());
+  ASSERT_TRUE(store.Load(CheckpointPhase::kSignatures).ok());
+  ASSERT_FALSE(store.Load(CheckpointPhase::kKeepMask).ok());
+  EXPECT_EQ(metrics.GetCounter("checkpoint.write").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("checkpoint.load").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("checkpoint.miss").value(), 1u);
+}
+
+TEST(RunFingerprintTest, SensitiveToOptionsAndData) {
+  const auto scenario = datasets::BuildToyScenario();
+  PipelineOptions base;
+  const uint64_t fp = ComputeRunFingerprint(scenario.set, base);
+  EXPECT_EQ(fp, ComputeRunFingerprint(scenario.set, base));
+
+  PipelineOptions different_v = base;
+  different_v.explained_variance = 0.99;
+  EXPECT_NE(fp, ComputeRunFingerprint(scenario.set, different_v));
+
+  PipelineOptions with_exchange = base;
+  with_exchange.exchange.enabled = true;
+  EXPECT_NE(fp, ComputeRunFingerprint(scenario.set, with_exchange));
+
+  schema::SchemaSet smaller(
+      {scenario.set.schema(0), scenario.set.schema(1)});
+  EXPECT_NE(fp, ComputeRunFingerprint(smaller, base));
+}
+
+TEST(RunFingerprintTest, IgnoresObservabilityHooks) {
+  const auto scenario = datasets::BuildToyScenario();
+  PipelineOptions base;
+  obs::MetricsRegistry metrics;
+  PipelineOptions observed = base;
+  observed.metrics = &metrics;
+  EXPECT_EQ(ComputeRunFingerprint(scenario.set, base),
+            ComputeRunFingerprint(scenario.set, observed));
+}
+
+}  // namespace
+}  // namespace colscope::pipeline

@@ -1,0 +1,167 @@
+// Corpus-style tests feeding deliberately broken DDL and CSV at the
+// parsers: every input must produce a descriptive InvalidArgument (or
+// parse to something sane), never a crash, hang, or silent truncation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datasets/csv_loader.h"
+#include "schema/ddl_parser.h"
+
+namespace colscope {
+namespace {
+
+using datasets::LoadCsvSchema;
+using datasets::SplitCsvLine;
+using schema::ParseDdl;
+
+// ---------------------------------------------------------------- DDL
+
+TEST(MalformedDdlTest, CorpusOfBrokenScriptsAllFailCleanly) {
+  const char* corpus[] = {
+      // Unterminated statements.
+      "CREATE TABLE t (",
+      "CREATE TABLE t (a INT",
+      "CREATE TABLE t (a INT,",
+      "CREATE TABLE t (a INT, b",
+      "CREATE TABLE",
+      // Unbalanced parens.
+      "CREATE TABLE t (a DECIMAL(10, b INT)",
+      "CREATE TABLE t ()",
+      // Unterminated quoted identifiers (every quote style).
+      "CREATE TABLE \"t (a INT);",
+      "CREATE TABLE `t (a INT);",
+      "CREATE TABLE [t (a INT);",
+      "CREATE TABLE t (\"a INT);",
+      // Missing pieces.
+      "CREATE TABLE t (PRIMARY KEY)",
+      "CREATE TABLE t (FOREIGN KEY a)",
+      "CREATE TABLE (a INT);",
+      "CREATE TABLE t.;",
+  };
+  for (const char* ddl : corpus) {
+    const auto parsed = ParseDdl(ddl, "s");
+    ASSERT_FALSE(parsed.ok()) << "accepted: " << ddl;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << "wrong code for: " << ddl;
+    EXPECT_FALSE(parsed.status().message().empty());
+  }
+}
+
+TEST(MalformedDdlTest, EmbeddedNulByteIsRejected) {
+  std::string ddl = "CREATE TABLE t (a INT);";
+  ddl.insert(10, 1, '\0');
+  const auto parsed = ParseDdl(ddl, "s");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(MalformedDdlTest, OversizedIdentifierIsRejected) {
+  const std::string big(schema::kMaxDdlIdentifierBytes + 1, 'x');
+  const auto parsed =
+      ParseDdl("CREATE TABLE " + big + " (a INT);", "s");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // A quoted identifier gets no exemption.
+  const auto quoted =
+      ParseDdl("CREATE TABLE \"" + big + "\" (a INT);", "s");
+  EXPECT_FALSE(quoted.ok());
+}
+
+TEST(MalformedDdlTest, IdentifierAtTheCapIsAccepted) {
+  const std::string big(schema::kMaxDdlIdentifierBytes, 'x');
+  const auto parsed =
+      ParseDdl("CREATE TABLE " + big + " (a INT);", "s");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(MalformedDdlTest, TooManyColumnsIsRejected) {
+  std::string ddl = "CREATE TABLE wide (";
+  for (size_t i = 0; i <= schema::kMaxDdlColumnsPerTable; ++i) {
+    if (i > 0) ddl += ", ";
+    ddl += "c" + std::to_string(i) + " INT";
+  }
+  ddl += ");";
+  const auto parsed = ParseDdl(ddl, "s");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("column cap"),
+            std::string::npos);
+}
+
+TEST(MalformedDdlTest, OversizedScriptIsRejected) {
+  std::string ddl(schema::kMaxDdlInputBytes + 1, ' ');
+  const auto parsed = ParseDdl(ddl, "s");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MalformedDdlTest, UnterminatedBlockCommentStillTerminates) {
+  // The lexer must not read past the end of input.
+  const auto parsed = ParseDdl("CREATE TABLE t (a INT); /* trailing", "s");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->tables().size(), 1u);
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(MalformedCsvTest, RaggedRowReportsOneBasedLineAndColumnCounts) {
+  const auto loaded = LoadCsvSchema("a,b,c\n1,2,3\n4,5\n", "s");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // Physical line 3 (header is line 1), 2 columns vs 3.
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("2 columns"),
+            std::string::npos);
+  EXPECT_NE(loaded.status().message().find("3 columns"),
+            std::string::npos);
+}
+
+TEST(MalformedCsvTest, UnterminatedQuoteInDataRowIsRejected) {
+  const auto loaded = LoadCsvSchema("a,b\n\"open,2\n", "s");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(MalformedCsvTest, UnterminatedQuoteInHeaderIsRejected) {
+  const auto loaded = LoadCsvSchema("\"a,b\n1,2\n", "s");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(MalformedCsvTest, EmptyColumnNameReportsPosition) {
+  const auto loaded = LoadCsvSchema("a,,c\n1,2,3\n", "s");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("column 2"),
+            std::string::npos);
+}
+
+TEST(MalformedCsvTest, CrlfLineEndingsParseCleanly) {
+  const auto loaded = LoadCsvSchema("a,b\r\n1,2\r\n3,4\r\n", "s");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->tables().size(), 1u);
+  EXPECT_EQ(loaded->tables()[0].attributes.size(), 2u);
+}
+
+TEST(MalformedCsvTest, QuotedFieldWithEmbeddedDelimiterAndNewlineEscape) {
+  bool unterminated = true;
+  const auto fields =
+      SplitCsvLine("\"x,y\",\"he said \"\"hi\"\"\"", ',', &unterminated);
+  EXPECT_FALSE(unterminated);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "he said \"hi\"");
+}
+
+TEST(MalformedCsvTest, SplitReportsOpenQuote) {
+  bool unterminated = false;
+  (void)SplitCsvLine("\"never closed", ',', &unterminated);
+  EXPECT_TRUE(unterminated);
+}
+
+}  // namespace
+}  // namespace colscope

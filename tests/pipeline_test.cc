@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "common/cancellation.h"
 #include "datasets/toy.h"
 #include "embed/hashed_encoder.h"
 #include "matching/sim.h"
+#include "obs/metrics.h"
 #include "outlier/pca_oda.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/report.h"
 
 namespace colscope::pipeline {
 namespace {
@@ -88,6 +93,147 @@ TEST_F(PipelineApiTest, RejectsSingleSchemaSet) {
   auto run = pipeline.Run(single, matcher_);
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PipelineApiTest, CompletedRunReportsAllPhases) {
+  PipelineOptions options;
+  options.scoper = ScoperKind::kCollaborativePca;
+  options.explained_variance = 0.5;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_, &scenario_.truth);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->status.ok());
+  EXPECT_EQ(run->phases_completed,
+            (std::vector<std::string>{"signatures", "local_models",
+                                      "keep_mask", "streamline", "match",
+                                      "evaluate"}));
+  EXPECT_EQ(run->phases_resumed, 0u);
+}
+
+TEST_F(PipelineApiTest, PreCancelledRunStopsAfterSignatures) {
+  CancellationToken cancel;
+  cancel.Cancel();
+  obs::MetricsRegistry metrics;
+  PipelineOptions options;
+  options.cancel = &cancel;
+  options.metrics = &metrics;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(run->phases_completed,
+            std::vector<std::string>{"signatures"});
+  EXPECT_TRUE(run->keep.empty());
+  EXPECT_EQ(metrics.GetCounter("pipeline.cancelled").value(), 1u);
+  // The partial run still snapshots metrics and renders as a report.
+  ASSERT_TRUE(run->metrics.has_value());
+  const std::string json = RunToJson(*run, scenario_.set);
+  EXPECT_NE(json.find("\"status\":\"cancelled\""), std::string::npos);
+}
+
+TEST_F(PipelineApiTest, ExhaustedDeadlineStopsRunCleanly) {
+  SimulatedRunClock clock(/*tick_ms=*/1.0);
+  obs::MetricsRegistry metrics;
+  PipelineOptions options;
+  options.deadline_ms = 0.5;  // Expired after the first clock tick.
+  options.clock = &clock;
+  options.metrics = &metrics;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(run->phases_completed,
+            std::vector<std::string>{"signatures"});
+  EXPECT_EQ(metrics.GetCounter("pipeline.deadline_exceeded").value(), 1u);
+}
+
+TEST_F(PipelineApiTest, GenerousDeadlineDoesNotInterfere) {
+  PipelineOptions options;
+  options.deadline_ms = 1e9;
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->status.ok());
+}
+
+TEST_F(PipelineApiTest, CrashAfterPhaseHookFailsTheRun) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "colscope_crash_hook")
+          .string();
+  std::filesystem::remove_all(dir);
+  PipelineOptions options;
+  options.checkpoint_dir = dir;
+  options.crash_after_phase = "local_models";
+  Pipeline pipeline(&encoder_, options);
+  auto run = pipeline.Run(scenario_.set, matcher_);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  // The crash fired after the checkpoint committed.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/signatures.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/local_models.ckpt"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/keep_mask.ckpt"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PipelineApiTest, ResumeAfterCrashMatchesUninterruptedRun) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "colscope_resume")
+          .string();
+  std::filesystem::remove_all(dir);
+  PipelineOptions options;
+  options.scoper = ScoperKind::kCollaborativePca;
+  options.explained_variance = 0.5;
+
+  auto gold = Pipeline(&encoder_, options)
+                  .Run(scenario_.set, matcher_, &scenario_.truth);
+  ASSERT_TRUE(gold.ok());
+
+  PipelineOptions crash = options;
+  crash.checkpoint_dir = dir;
+  crash.crash_after_phase = "local_models";
+  ASSERT_FALSE(
+      Pipeline(&encoder_, crash).Run(scenario_.set, matcher_).ok());
+
+  obs::MetricsRegistry metrics;
+  PipelineOptions resume = options;
+  resume.checkpoint_dir = dir;
+  resume.resume = true;
+  resume.metrics = &metrics;
+  auto resumed = Pipeline(&encoder_, resume)
+                     .Run(scenario_.set, matcher_, &scenario_.truth);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->phases_resumed, 2u);
+  EXPECT_EQ(metrics.GetCounter("pipeline.phases_resumed").value(), 2u);
+  EXPECT_EQ(resumed->keep, gold->keep);
+  EXPECT_EQ(resumed->linkages, gold->linkages);
+  // The signatures restored from disk are bit-identical to recomputed.
+  for (size_t i = 0; i < gold->signatures.size(); ++i) {
+    EXPECT_EQ(resumed->signatures.signatures.Row(i),
+              gold->signatures.signatures.Row(i));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PipelineApiTest, ResumeIgnoresCheckpointsFromDifferentConfig) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "colscope_stale_cfg")
+          .string();
+  std::filesystem::remove_all(dir);
+  PipelineOptions first;
+  first.explained_variance = 0.5;
+  first.checkpoint_dir = dir;
+  ASSERT_TRUE(
+      Pipeline(&encoder_, first).Run(scenario_.set, matcher_).ok());
+
+  // Same directory, different explained variance: the fingerprint
+  // differs, so nothing must be resumed.
+  PipelineOptions second = first;
+  second.explained_variance = 0.9;
+  second.resume = true;
+  auto run = Pipeline(&encoder_, second).Run(scenario_.set, matcher_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->phases_resumed, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(PipelineApiTest, ScopingImprovesOrMaintainsReductionRatio) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "datasets/toy.h"
 #include "embed/hashed_encoder.h"
@@ -30,8 +32,83 @@ TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
 TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(64);
-  pool.ParallelFor(64, [&](size_t i) { hits[i].fetch_add(1); });
+  const Status status =
+      pool.ParallelFor(64, [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_TRUE(status.ok());
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSurfacesThrownExceptionAsStatus) {
+  ThreadPool pool(4);
+  // Without the catch in ParallelFor, an exception escaping a worker
+  // thread would std::terminate the whole process.
+  const Status status = pool.ParallelFor(128, [&](size_t i) {
+    if (i == 17) throw std::runtime_error("task 17 exploded");
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("task 17 exploded"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionCancelsRemainingWork) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  const Status status = pool.ParallelFor(10000, [&](size_t i) {
+    executed.fetch_add(1);
+    if (i == 0) throw std::runtime_error("early failure");
+  });
+  ASSERT_FALSE(status.ok());
+  // The failure cancels scheduling/execution of most of the remaining
+  // indices; without propagation all 10000 would have run.
+  EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(ThreadPoolTest, ParallelForNonStdExceptionIsInternal) {
+  ThreadPool pool(2);
+  const Status status =
+      pool.ParallelFor(4, [&](size_t i) {
+        if (i == 1) throw 42;  // NOLINT(hicpp-exception-baseclass)
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, ParallelForPoolSurvivesAfterException) {
+  ThreadPool pool(2);
+  (void)pool.ParallelFor(8, [&](size_t i) {
+    if (i % 2 == 0) throw std::runtime_error("boom");
+  });
+  // The pool must remain fully usable for subsequent batches.
+  std::atomic<int> counter{0};
+  const Status status =
+      pool.ParallelFor(32, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForPreCancelledTokenSkipsAllWork) {
+  ThreadPool pool(2);
+  CancellationToken cancel;
+  cancel.Cancel();
+  std::atomic<int> executed{0};
+  const Status status = pool.ParallelFor(
+      64, [&](size_t) { executed.fetch_add(1); }, &cancel);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCancelMidFlightStopsEarly) {
+  ThreadPool pool(2);
+  CancellationToken cancel;
+  std::atomic<int> executed{0};
+  const Status status = pool.ParallelFor(100000, [&](size_t i) {
+    executed.fetch_add(1);
+    if (i == 10) cancel.Cancel();
+  }, &cancel);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_LT(executed.load(), 100000);
 }
 
 TEST(ThreadPoolTest, DestructionDrainsQueue) {

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Crash/resume determinism check for the colscope CLI.
+#
+# Usage: check_resume_deterministic.sh CLI_BINARY TESTDATA_DIR SCRATCH_DIR
+#
+# 1. A gold run with no checkpointing produces reference JSON.
+# 2. A checkpointed run with --crash-after local_models must exit
+#    non-zero, leaving signatures + local_models checkpoints behind.
+# 3. A --resume run over those checkpoints must produce JSON that is
+#    byte-identical to the gold run.
+# 4. After corrupting a checkpoint in place, --resume must fall back to
+#    recomputation and still produce byte-identical JSON.
+set -eu
+
+cli=$1
+testdata=$2
+scratch=$3
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+ckpt="$scratch/ckpt"
+
+run() {
+  # $1 = output file; remaining args are appended to the base command.
+  out=$1
+  shift
+  "$cli" match \
+    --ddl "$testdata/crm.sql" --ddl "$testdata/erp.sql" \
+    --v 0.6 --log-level error --json "$@" > "$out"
+}
+
+run "$scratch/gold.json"
+
+if run "$scratch/crash.json" --checkpoint-dir "$ckpt" \
+    --crash-after local_models 2> /dev/null; then
+  echo "FAIL: --crash-after local_models exited zero" >&2
+  exit 1
+fi
+for f in signatures local_models; do
+  if [ ! -f "$ckpt/$f.ckpt" ]; then
+    echo "FAIL: expected checkpoint $f.ckpt after the crash" >&2
+    exit 1
+  fi
+done
+if [ -f "$ckpt/keep_mask.ckpt" ]; then
+  echo "FAIL: keep_mask.ckpt must not exist after crashing earlier" >&2
+  exit 1
+fi
+
+run "$scratch/resumed.json" --checkpoint-dir "$ckpt" --resume
+cmp "$scratch/gold.json" "$scratch/resumed.json" || {
+  echo "FAIL: resumed run differs from the gold run" >&2
+  exit 1
+}
+
+# Flip one payload byte (the last byte of the file) in a checkpoint; the
+# resume must detect the checksum mismatch, recompute, and still match.
+size=$(wc -c < "$ckpt/local_models.ckpt")
+head -c $((size - 2)) "$ckpt/local_models.ckpt" > "$ckpt/tmp" &&
+  printf 'Z' >> "$ckpt/tmp" &&
+  tail -c 1 "$ckpt/local_models.ckpt" >> "$ckpt/tmp" &&
+  mv "$ckpt/tmp" "$ckpt/local_models.ckpt"
+
+run "$scratch/recovered.json" --checkpoint-dir "$ckpt" --resume
+cmp "$scratch/gold.json" "$scratch/recovered.json" || {
+  echo "FAIL: run resumed over a corrupt checkpoint differs from gold" >&2
+  exit 1
+}
+
+rm -rf "$scratch"
+echo "resume determinism OK"

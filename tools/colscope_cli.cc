@@ -74,6 +74,11 @@ struct CliArgs {
   std::string metrics_out;      // --metrics-out metrics.json
   std::string trace_out;        // --trace-out trace.json (Chrome format)
   std::string trace_clock = "real";  // --trace-clock real|sim
+  double deadline_ms = 0.0;     // --deadline-ms 5000 (<= 0: none)
+  std::string run_clock = "real";    // --run-clock real|sim
+  std::string checkpoint_dir;   // --checkpoint-dir DIR
+  bool resume = false;          // --resume (with --checkpoint-dir)
+  std::string crash_after;      // --crash-after signatures|local_models|...
   bool explain = false;
   bool json = false;
 };
@@ -90,7 +95,10 @@ int Usage() {
                "  [--exchange-policy fail-closed|keep-all|quorum[:N]]\n"
                "  [--log-level debug|info|warn|error|off]\n"
                "  [--metrics-out FILE.json] [--trace-out FILE.json]\n"
-               "  [--trace-clock real|sim]\n");
+               "  [--trace-clock real|sim]\n"
+               "  [--deadline-ms MS] [--run-clock real|sim]\n"
+               "  [--checkpoint-dir DIR] [--resume]\n"
+               "  [--crash-after signatures|local_models|keep_mask]\n");
   return 2;
 }
 
@@ -172,6 +180,24 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       const char* value = next();
       if (value == nullptr) return false;
       args.trace_clock = value;
+    } else if (flag == "--deadline-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.deadline_ms = std::atof(value);
+    } else if (flag == "--run-clock") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.run_clock = value;
+    } else if (flag == "--checkpoint-dir") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.checkpoint_dir = value;
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--crash-after") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.crash_after = value;
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -376,6 +402,28 @@ int RunPipeline(const CliArgs& args) {
   }
   options.explained_variance = args.v;
   options.keep_portion = args.keep_portion;
+
+  // Robustness controls: deadline on the chosen run clock, checkpoint
+  // directory, resume, and the crash-injection test hook. The simulated
+  // run clock advances 1ms per observation, so deadline exhaustion (and
+  // therefore the partial report) is byte-reproducible in tests.
+  if (args.run_clock != "real" && args.run_clock != "sim") {
+    std::fprintf(stderr, "unknown run clock (want real|sim): %s\n",
+                 args.run_clock.c_str());
+    return 2;
+  }
+  SystemRunClock real_run_clock;
+  SimulatedRunClock sim_run_clock(/*tick_ms=*/1.0);
+  if (args.run_clock == "sim") options.clock = &sim_run_clock;
+  else options.clock = &real_run_clock;
+  options.deadline_ms = args.deadline_ms;
+  options.checkpoint_dir = args.checkpoint_dir;
+  options.resume = args.resume;
+  options.crash_after_phase = args.crash_after;
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
   if (args.scoper == "pca") {
     options.scoper = pipeline::ScoperKind::kCollaborativePca;
   } else if (args.scoper == "neural") {
@@ -438,6 +486,23 @@ int RunPipeline(const CliArgs& args) {
   if (!args.trace_out.empty() &&
       !WriteTextFile(args.trace_out, tracer.ToChromeJson())) {
     return 1;
+  }
+
+  if (!run->status.ok()) {
+    // Deadline/cancellation stopped the run at a phase boundary. The
+    // partial artifacts are still valid, so emit the report (its
+    // "status" field says why it is incomplete) and exit cleanly.
+    if (args.json) {
+      std::printf("%s\n", pipeline::RunToJson(*run, *set).c_str());
+      return 0;
+    }
+    std::printf("# run stopped early (%s) after phases:",
+                StatusCodeToString(run->status.code()));
+    for (const std::string& phase : run->phases_completed) {
+      std::printf(" %s", phase.c_str());
+    }
+    std::printf("\n");
+    return 0;
   }
 
   if (args.command == "scope") {

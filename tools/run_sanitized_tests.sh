@@ -1,15 +1,29 @@
 #!/bin/sh
-# Builds the robustness-focused tests under ASan and UBSan and runs them.
-# Usage: run_sanitized_tests.sh [BUILD_DIR]   (default: <repo>/build-sanitized)
+# Builds the robustness-focused tests under three sanitizer configs and
+# runs them:
+#   1. ASan + UBSan over the deserialization/exchange robustness tests
+#      (memory safety of the untrusted-input paths);
+#   2. TSan over the concurrency-facing tests (thread pool, metrics
+#      registry, cancellation tokens) — races, not leaks.
+# Usage: run_sanitized_tests.sh [BUILD_DIR_PREFIX]
+#   (default: <repo>/build-sanitized; TSan uses <prefix>-tsan)
 set -e
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build-sanitized}"
-tests='exchange_test|model_corruption_test|model_io_test|robustness_test'
+
+asan_tests='exchange_test|model_corruption_test|model_io_test|robustness_test'
+tsan_tests='thread_pool_test|obs_test|cancellation_test'
 
 cmake -B "$build" -S "$root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
 cmake --build "$build" -j \
   --target exchange_test model_corruption_test model_io_test robustness_test
-cd "$build"
-ctest --output-on-failure -R "^($tests)\$"
+(cd "$build" && ctest --output-on-failure -R "^($asan_tests)\$")
+
+cmake -B "$build-tsan" -S "$root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOLSCOPE_TSAN=ON
+cmake --build "$build-tsan" -j \
+  --target thread_pool_test obs_test cancellation_test
+(cd "$build-tsan" && ctest --output-on-failure -R "^($tsan_tests)\$")
