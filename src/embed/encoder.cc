@@ -1,5 +1,7 @@
 #include "embed/encoder.h"
 
+#include "common/thread_pool.h"
+
 namespace colscope::embed {
 
 linalg::Matrix SentenceEncoder::EncodeAll(
@@ -8,6 +10,27 @@ linalg::Matrix SentenceEncoder::EncodeAll(
   for (size_t i = 0; i < texts.size(); ++i) {
     out.SetRow(i, Encode(texts[i]));
   }
+  return out;
+}
+
+linalg::Matrix SentenceEncoder::EncodeAll(
+    const std::vector<std::string>& texts, ThreadPool* pool,
+    const CancellationToken* cancel) const {
+  linalg::Matrix out(texts.size(), dims());
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < texts.size(); ++i) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      out.SetRow(i, Encode(texts[i]));
+    }
+    return out;
+  }
+  // Rows are disjoint memory, so no synchronization is needed and the
+  // result matches the serial loop bit for bit. A Cancelled status means
+  // unscheduled rows were skipped (left zero); the caller's token check
+  // decides whether the matrix is used.
+  (void)pool->ParallelFor(
+      texts.size(), [&](size_t i) { out.SetRow(i, Encode(texts[i])); },
+      cancel);
   return out;
 }
 

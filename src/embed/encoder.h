@@ -7,6 +7,11 @@
 
 #include "linalg/matrix.h"
 
+namespace colscope {
+class CancellationToken;
+class ThreadPool;
+}  // namespace colscope
+
 namespace colscope::embed {
 
 /// Encoder-based language model E of Section 2.3: transforms a serialized
@@ -24,6 +29,15 @@ class SentenceEncoder {
 
   /// Encodes a batch of sequences into a (n x dims) signature matrix.
   linalg::Matrix EncodeAll(const std::vector<std::string>& texts) const;
+
+  /// Same, but spread across `pool` (serial when null or single-threaded).
+  /// Every task writes only its own row, so the result is byte-identical
+  /// to the serial overload at any thread count. When the optional
+  /// `cancel` token trips mid-batch, the remaining rows stay zero —
+  /// callers observing the token must discard the partial matrix.
+  linalg::Matrix EncodeAll(const std::vector<std::string>& texts,
+                           ThreadPool* pool,
+                           const CancellationToken* cancel = nullptr) const;
 };
 
 }  // namespace colscope::embed

@@ -1,6 +1,7 @@
 #include "embed/hashed_encoder.h"
 
 #include <cmath>
+#include <mutex>
 
 #include "common/rng.h"
 #include "linalg/stats.h"
@@ -18,14 +19,23 @@ HashedLexiconEncoder::HashedLexiconEncoder(HashedEncoderOptions options,
 
 const linalg::Vector& HashedLexiconEncoder::BasisVector(
     const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = basis_cache_.find(label);
-  if (it != basis_cache_.end()) return it->second;
+  // Hit path: shared lock only. Returning a reference is safe because
+  // unordered_map insertion never invalidates references to existing
+  // elements and entries are never erased.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = basis_cache_.find(label);
+    if (it != basis_cache_.end()) return it->second;
+  }
 
+  // Miss: derive the vector outside any lock (it depends only on the
+  // label), then insert under the writer lock. A concurrent thread may
+  // have inserted the same label meanwhile; emplace keeps the first.
   Rng rng(text::HashCombine(text::Hash64(label), options_.seed));
   linalg::Vector v(options_.dims);
   for (double& x : v) x = rng.NextGaussian();
   linalg::NormalizeInPlace(v);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [inserted, _] = basis_cache_.emplace(label, std::move(v));
   return inserted->second;
 }

@@ -2,7 +2,7 @@
 #define COLSCOPE_EMBED_HASHED_ENCODER_H_
 
 #include <cstdint>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -48,7 +48,9 @@ struct HashedEncoderOptions {
 /// directions derived from a hash of the label, so any two distinct
 /// labels are nearly orthogonal in 768 dimensions.
 ///
-/// Thread-safe; an internal basis-vector cache is mutex-guarded.
+/// Thread-safe; the internal basis-vector cache takes a shared (reader)
+/// lock on the hit path, so concurrent EncodeAll workers only serialize
+/// on the rare miss that actually inserts a new basis vector.
 class HashedLexiconEncoder : public SentenceEncoder {
  public:
   /// Uses text::DefaultSchemaLexicon().
@@ -67,7 +69,7 @@ class HashedLexiconEncoder : public SentenceEncoder {
 
   HashedEncoderOptions options_;
   text::Lexicon lexicon_;
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   mutable std::unordered_map<std::string, linalg::Vector> basis_cache_;
 };
 

@@ -1,10 +1,27 @@
 #include "eval/sweep.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "scoping/collaborative.h"
 #include "scoping/scoping.h"
 
 namespace colscope::eval {
+
+namespace {
+
+/// Runs `point(i)` for every grid index — across `pool` when it has
+/// workers to offer, serially otherwise. Each index owns its output
+/// slot, so both paths produce identical sweeps.
+void ForEachGridPoint(size_t count, ThreadPool* pool,
+                      const std::function<void(size_t)>& point) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < count; ++i) point(i);
+    return;
+  }
+  (void)pool->ParallelFor(count, point);
+}
+
+}  // namespace
 
 std::vector<double> ParameterGrid(double step, double max) {
   COLSCOPE_CHECK(step > 0.0 && step < 1.0);
@@ -19,36 +36,44 @@ std::vector<double> ParameterGrid(double step, double max) {
 
 std::vector<SweepPoint> ScopingSweepFromScores(
     const std::vector<double>& scores, const std::vector<bool>& labels,
-    const std::vector<double>& grid) {
+    const std::vector<double>& grid, ThreadPool* pool) {
   COLSCOPE_CHECK(scores.size() == labels.size());
-  std::vector<SweepPoint> sweep;
-  sweep.reserve(grid.size());
-  for (double p : grid) {
-    const std::vector<bool> keep = scoping::ScopeByScores(scores, p);
-    sweep.push_back({p, Evaluate(labels, keep)});
-  }
+  std::vector<SweepPoint> sweep(grid.size());
+  ForEachGridPoint(grid.size(), pool, [&](size_t i) {
+    const std::vector<bool> keep = scoping::ScopeByScores(scores, grid[i]);
+    sweep[i] = {grid[i], Evaluate(labels, keep)};
+  });
   return sweep;
 }
 
 std::vector<SweepPoint> ScopingSweep(const scoping::SignatureSet& signatures,
                                      const std::vector<bool>& labels,
                                      const outlier::OutlierDetector& detector,
-                                     const std::vector<double>& grid) {
+                                     const std::vector<double>& grid,
+                                     ThreadPool* pool) {
   return ScopingSweepFromScores(detector.Scores(signatures.signatures),
-                                labels, grid);
+                                labels, grid, pool);
 }
 
 std::vector<SweepPoint> CollaborativeSweep(
     const scoping::SignatureSet& signatures, size_t num_schemas,
-    const std::vector<bool>& labels, const std::vector<double>& grid) {
+    const std::vector<bool>& labels, const std::vector<double>& grid,
+    ThreadPool* pool) {
   COLSCOPE_CHECK(signatures.size() == labels.size());
+  // The expensive refit+assess per grid point runs in parallel into
+  // per-index slots; status checks and the (cheap) confusion counts
+  // happen serially afterwards so a failed fit aborts deterministically.
+  std::vector<Result<std::vector<bool>>> keeps(
+      grid.size(), Result<std::vector<bool>>(std::vector<bool>{}));
+  ForEachGridPoint(grid.size(), pool, [&](size_t i) {
+    keeps[i] =
+        scoping::CollaborativeScoping(signatures, num_schemas, grid[i]);
+  });
   std::vector<SweepPoint> sweep;
   sweep.reserve(grid.size());
-  for (double v : grid) {
-    Result<std::vector<bool>> keep =
-        scoping::CollaborativeScoping(signatures, num_schemas, v);
-    COLSCOPE_CHECK_MSG(keep.ok(), keep.status().ToString().c_str());
-    sweep.push_back({v, Evaluate(labels, *keep)});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    COLSCOPE_CHECK_MSG(keeps[i].ok(), keeps[i].status().ToString().c_str());
+    sweep.push_back({grid[i], Evaluate(labels, *keeps[i])});
   }
   return sweep;
 }

@@ -7,6 +7,10 @@
 #include "outlier/oda.h"
 #include "scoping/signatures.h"
 
+namespace colscope {
+class ThreadPool;
+}  // namespace colscope
+
 namespace colscope::eval {
 
 /// Uniform hyperparameter grid over (0, 1): {step, 2*step, ..., <= max}.
@@ -16,23 +20,28 @@ namespace colscope::eval {
 std::vector<double> ParameterGrid(double step = 0.01, double max = 0.99);
 
 /// Scoping sweep: computes ODA scores once on the unified signature set
-/// and evaluates the keep-p-portion rule at every grid value.
+/// and evaluates the keep-p-portion rule at every grid value. A non-null
+/// `pool` evaluates grid points in parallel; every point writes its own
+/// slot, so the sweep is identical at any thread count.
 std::vector<SweepPoint> ScopingSweep(const scoping::SignatureSet& signatures,
                                      const std::vector<bool>& labels,
                                      const outlier::OutlierDetector& detector,
-                                     const std::vector<double>& grid);
+                                     const std::vector<double>& grid,
+                                     ThreadPool* pool = nullptr);
 
 /// Same, but from precomputed outlier scores (lets callers reuse one
 /// expensive scoring run, e.g. the autoencoder ensemble).
 std::vector<SweepPoint> ScopingSweepFromScores(
     const std::vector<double>& scores, const std::vector<bool>& labels,
-    const std::vector<double>& grid);
+    const std::vector<double>& grid, ThreadPool* pool = nullptr);
 
 /// Collaborative-scoping sweep: refits the local models and reruns the
-/// distributed assessment at every explained-variance value v in `grid`.
+/// distributed assessment at every explained-variance value v in `grid`
+/// (in parallel across grid points when `pool` is non-null).
 std::vector<SweepPoint> CollaborativeSweep(
     const scoping::SignatureSet& signatures, size_t num_schemas,
-    const std::vector<bool>& labels, const std::vector<double>& grid);
+    const std::vector<bool>& labels, const std::vector<double>& grid,
+    ThreadPool* pool = nullptr);
 
 /// The four AUC summary scores of Table 4 (reported in percent).
 struct AucReport {

@@ -15,19 +15,32 @@ EigenDecomposition JacobiEigenSymmetric(const Matrix& a, double tolerance,
   Matrix v(n, n, 0.0);    // Accumulated rotations (columns = eigenvectors).
   for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
-  auto off_diagonal_norm = [&]() {
+  auto exact_off2 = [&]() {
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i)
       for (size_t j = i + 1; j < n; ++j) sum += m(i, j) * m(i, j);
-    return std::sqrt(sum);
+    return sum;
   };
 
+  // Squared upper-triangle off-diagonal norm, maintained incrementally:
+  // a Jacobi rotation annihilates m(p, q) and preserves the Frobenius
+  // norm, so the (upper-triangle) off-diagonal sum of squares drops by
+  // exactly apq^2 in exact arithmetic. This replaces the O(n^2) rescan
+  // per sweep; roundoff drift is bounded by re-deriving the exact sum
+  // before trusting a convergence verdict.
+  double off2 = exact_off2();
+  const double tol2 = tolerance * tolerance;
+
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    if (off_diagonal_norm() <= tolerance) break;
+    if (off2 <= tol2) {
+      off2 = exact_off2();  // Confirm: the running value may have drifted.
+      if (off2 <= tol2) break;
+    }
     for (size_t p = 0; p + 1 < n; ++p) {
       for (size_t q = p + 1; q < n; ++q) {
         const double apq = m(p, q);
         if (std::fabs(apq) < 1e-300) continue;
+        off2 = std::max(0.0, off2 - apq * apq);
         const double app = m(p, p);
         const double aqq = m(q, q);
         const double tau = (aqq - app) / (2.0 * apq);

@@ -16,7 +16,9 @@ struct EigenDecomposition {
 /// Eigendecomposition of a symmetric matrix via the cyclic Jacobi
 /// rotation method. Deterministic, O(n^3) per sweep; converges in a
 /// handful of sweeps for the matrix sizes this library handles
-/// (n <= a few hundred). `a` must be square and symmetric.
+/// (n <= a few hundred). The off-diagonal convergence norm is maintained
+/// incrementally (one exact rescan only to confirm a stop), so sweeps
+/// cost rotations alone. `a` must be square and symmetric.
 EigenDecomposition JacobiEigenSymmetric(const Matrix& a,
                                         double tolerance = 1e-12,
                                         int max_sweeps = 64);

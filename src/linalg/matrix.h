@@ -2,6 +2,7 @@
 #define COLSCOPE_LINALG_MATRIX_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -38,17 +39,31 @@ class Matrix {
   double* RowPtr(size_t r) { return data_.data() + r * cols_; }
   const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
 
+  /// Zero-copy view of row `r` — the hot-loop alternative to Row(),
+  /// which copies. Valid until the matrix is resized or destroyed.
+  std::span<const double> RowSpan(size_t r) const {
+    COLSCOPE_CHECK(r < rows_);
+    return {RowPtr(r), cols_};
+  }
+
   /// Copies row `r` out into a Vector.
   Vector Row(size_t r) const;
 
   /// Overwrites row `r` with `v` (sizes must match).
   void SetRow(size_t r, const Vector& v);
 
-  /// Transposed copy.
+  /// Transposed copy (cache-blocked).
   Matrix Transposed() const;
 
-  /// this (m x k) * other (k x n) -> (m x n).
+  /// this (m x k) * other (k x n) -> (m x n). Cache-blocked; for every
+  /// output cell the k-accumulation order matches the naive i-k-j loop,
+  /// so results are bit-identical to the unblocked kernel.
   Matrix Multiply(const Matrix& other) const;
+
+  /// this (m x k) * other^T for other (n x k) -> (m x n): row-by-row dot
+  /// products, so callers never materialize the transpose. Bit-identical
+  /// to Multiply(other.Transposed()).
+  Matrix MultiplyTransposedB(const Matrix& other) const;
 
   /// this (m x k) * v (k) -> (m).
   Vector MultiplyVector(const Vector& v) const;

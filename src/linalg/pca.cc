@@ -8,19 +8,21 @@
 namespace colscope::linalg {
 
 Result<PcaModel> PcaModel::FitWithVariance(const Matrix& x,
-                                           double variance_target) {
+                                           double variance_target,
+                                           PcaFitPath path) {
   if (variance_target <= 0.0 || variance_target > 1.0) {
     return Status::InvalidArgument("variance target must be in (0, 1]");
   }
-  return Fit(x, variance_target, 0);
+  return Fit(x, variance_target, 0, path);
 }
 
 Result<PcaModel> PcaModel::FitWithComponents(const Matrix& x,
-                                             size_t n_components) {
+                                             size_t n_components,
+                                             PcaFitPath path) {
   if (n_components == 0) {
     return Status::InvalidArgument("n_components must be >= 1");
   }
-  return Fit(x, -1.0, n_components);
+  return Fit(x, -1.0, n_components, path);
 }
 
 Result<PcaModel> PcaModel::FromParts(Vector mean, Matrix components) {
@@ -38,14 +40,17 @@ Result<PcaModel> PcaModel::FromParts(Vector mean, Matrix components) {
 }
 
 Result<PcaModel> PcaModel::Fit(const Matrix& x, double variance_target,
-                               size_t fixed_components) {
+                               size_t fixed_components, PcaFitPath path) {
   if (x.rows() == 0 || x.cols() == 0) {
     return Status::InvalidArgument("PCA requires a non-empty matrix");
   }
   PcaModel model;
   model.mean_ = ColumnMean(x);
   const Matrix centered = CenterRows(x, model.mean_);
-  SvdResult svd = ThinSvd(centered);
+  const GramSide side = path == PcaFitPath::kGram         ? GramSide::kRows
+                        : path == PcaFitPath::kCovariance ? GramSide::kCols
+                                                          : GramSide::kAuto;
+  SvdResult svd = ThinSvd(centered, /*rank_tolerance=*/1e-10, side);
   const Vector ev = ExplainedVarianceRatios(svd.singular_values);
 
   size_t keep = 0;
@@ -69,7 +74,7 @@ Result<PcaModel> PcaModel::Fit(const Matrix& x, double variance_target,
 Matrix PcaModel::Encode(const Matrix& x) const {
   COLSCOPE_CHECK(x.cols() == dims());
   const Matrix centered = CenterRows(x, mean_);
-  return centered.Multiply(components_.Transposed());
+  return centered.MultiplyTransposedB(components_);
 }
 
 Matrix PcaModel::Decode(const Matrix& z) const {

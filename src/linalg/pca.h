@@ -6,6 +6,17 @@
 
 namespace colscope::linalg {
 
+/// Which eigendecomposition route a PCA fit takes. Signature blocks are
+/// short and wide (a schema has tens of elements, signatures have ~768
+/// dimensions), so the Gram trick — eigendecomposing the n x n row Gram
+/// matrix instead of the d x d covariance — cuts the cubic Jacobi cost
+/// by (d/n)^3, two to three orders of magnitude at paper scale.
+enum class PcaFitPath {
+  kAuto,        ///< Gram side picked by shape (rows when n <= d).
+  kGram,        ///< Force the n x n row-Gram eigendecomposition.
+  kCovariance,  ///< Force the d x d covariance path (reference baseline).
+};
+
 /// A fitted PCA encoder-decoder: the local mean, the selected principal
 /// components (rows of `components`, each of length d), and bookkeeping
 /// about how much variance they explain. This is the reusable
@@ -14,14 +25,19 @@ class PcaModel {
  public:
   /// Fits PCA on the rows of `x`, keeping the smallest number of leading
   /// components whose cumulative explained variance reaches
-  /// `variance_target` in (0, 1]. Requires at least one row.
-  static Result<PcaModel> FitWithVariance(const Matrix& x,
-                                          double variance_target);
+  /// `variance_target` in (0, 1]. Requires at least one row. The fit
+  /// path defaults to kAuto (the Gram trick whenever rows <= dims);
+  /// kCovariance exists as the slow reference the equivalence tests and
+  /// benches compare against.
+  static Result<PcaModel> FitWithVariance(
+      const Matrix& x, double variance_target,
+      PcaFitPath path = PcaFitPath::kAuto);
 
   /// Fits PCA keeping exactly `n_components` components (clamped to the
   /// rank of the centered data).
-  static Result<PcaModel> FitWithComponents(const Matrix& x,
-                                            size_t n_components);
+  static Result<PcaModel> FitWithComponents(
+      const Matrix& x, size_t n_components,
+      PcaFitPath path = PcaFitPath::kAuto);
 
   /// Reassembles a model from its parts (e.g. after deserialization).
   /// `components` rows must have length mean.size(); the explained-
@@ -57,7 +73,7 @@ class PcaModel {
  private:
   PcaModel() = default;
   static Result<PcaModel> Fit(const Matrix& x, double variance_target,
-                              size_t fixed_components);
+                              size_t fixed_components, PcaFitPath path);
 
   Vector mean_;
   Matrix components_;  // n_components x d, orthonormal rows.

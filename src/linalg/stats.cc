@@ -52,16 +52,17 @@ Matrix UncenterRows(const Matrix& m, const Vector& mean) {
   return out;
 }
 
-double Dot(const Vector& a, const Vector& b) {
+double Dot(std::span<const double> a, std::span<const double> b) {
   COLSCOPE_CHECK(a.size() == b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
   return sum;
 }
 
-double Norm(const Vector& a) { return std::sqrt(Dot(a, a)); }
+double Norm(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
 
-double SquaredL2Distance(const Vector& a, const Vector& b) {
+double SquaredL2Distance(std::span<const double> a,
+                         std::span<const double> b) {
   COLSCOPE_CHECK(a.size() == b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -71,18 +72,20 @@ double SquaredL2Distance(const Vector& a, const Vector& b) {
   return sum;
 }
 
-double L2Distance(const Vector& a, const Vector& b) {
+double L2Distance(std::span<const double> a, std::span<const double> b) {
   return std::sqrt(SquaredL2Distance(a, b));
 }
 
-double CosineSimilarity(const Vector& a, const Vector& b) {
+double CosineSimilarity(std::span<const double> a,
+                        std::span<const double> b) {
   const double na = Norm(a);
   const double nb = Norm(b);
   if (na == 0.0 || nb == 0.0) return 0.0;
   return Dot(a, b) / (na * nb);
 }
 
-double MeanSquaredError(const Vector& a, const Vector& b) {
+double MeanSquaredError(std::span<const double> a,
+                        std::span<const double> b) {
   COLSCOPE_CHECK(!a.empty());
   return SquaredL2Distance(a, b) / static_cast<double>(a.size());
 }

@@ -17,18 +17,22 @@ Matrix CenterRows(const Matrix& m, const Vector& mean);
 /// Returns `m` with `mean` added to every row (reverse of CenterRows).
 Matrix UncenterRows(const Matrix& m, const Vector& mean);
 
-/// Dot product, Euclidean norm, and L2 distance.
-double Dot(const Vector& a, const Vector& b);
-double Norm(const Vector& a);
-double L2Distance(const Vector& a, const Vector& b);
-double SquaredL2Distance(const Vector& a, const Vector& b);
+/// Dot product, Euclidean norm, and L2 distance. The span overloads are
+/// the zero-copy spelling for matrix rows (Matrix::RowSpan) — a Vector
+/// converts to std::span<const double> implicitly, so either form
+/// accepts either argument.
+double Dot(std::span<const double> a, std::span<const double> b);
+double Norm(std::span<const double> a);
+double L2Distance(std::span<const double> a, std::span<const double> b);
+double SquaredL2Distance(std::span<const double> a,
+                         std::span<const double> b);
 
 /// Cosine similarity in [-1, 1]; zero vectors yield 0.
-double CosineSimilarity(const Vector& a, const Vector& b);
+double CosineSimilarity(std::span<const double> a, std::span<const double> b);
 
 /// Mean squared error between two equally-sized vectors — the
 /// reconstruction score used throughout the paper (Alg. 1 line 14).
-double MeanSquaredError(const Vector& a, const Vector& b);
+double MeanSquaredError(std::span<const double> a, std::span<const double> b);
 
 /// Per-row MSE between two equally-shaped matrices.
 Vector RowwiseMse(const Matrix& a, const Matrix& b);

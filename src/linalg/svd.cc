@@ -6,14 +6,15 @@
 
 namespace colscope::linalg {
 
-SvdResult ThinSvd(const Matrix& x, double rank_tolerance) {
+SvdResult ThinSvd(const Matrix& x, double rank_tolerance, GramSide side) {
   const size_t n = x.rows();
   const size_t d = x.cols();
   SvdResult out;
   if (n == 0 || d == 0) return out;
 
-  const bool rows_smaller = n <= d;
-  // Gram matrix of the smaller side: G = X X^T (n x n) or X^T X (d x d).
+  const bool rows_smaller =
+      side == GramSide::kAuto ? n <= d : side == GramSide::kRows;
+  // Gram matrix of the chosen side: G = X X^T (n x n) or X^T X (d x d).
   const size_t g = rows_smaller ? n : d;
   Matrix gram(g, g);
   if (rows_smaller) {
@@ -32,7 +33,6 @@ SvdResult ThinSvd(const Matrix& x, double rank_tolerance) {
       const double* row = x.RowPtr(r);
       for (size_t i = 0; i < d; ++i) {
         const double xi = row[i];
-        if (xi == 0.0) continue;
         for (size_t j = i; j < d; ++j) gram(i, j) += xi * row[j];
       }
     }

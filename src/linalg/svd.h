@@ -15,12 +15,23 @@ struct SvdResult {
   Matrix vt;               ///< r x d right singular vectors (rows).
 };
 
-/// Computes the thin SVD via a symmetric eigendecomposition of the
-/// smaller Gram matrix (X X^T if n <= d, else X^T X). Exact for the
-/// matrix sizes this library targets (hundreds of rows, ~768 columns);
+/// Which Gram matrix ThinSvd eigendecomposes. The Jacobi sweep is cubic
+/// in the Gram size, so the side choice dominates the cost: a 50 x 768
+/// signature block costs O(50^3) on the row side versus O(768^3) on the
+/// column side (~3000x more flops) for the same decomposition.
+enum class GramSide {
+  kAuto,  ///< Smaller side by shape: rows when n <= d, else columns.
+  kRows,  ///< Force X X^T (n x n) — the Gram trick for wide matrices.
+  kCols,  ///< Force X^T X (d x d) — the covariance/scatter path.
+};
+
+/// Computes the thin SVD via a symmetric eigendecomposition of a Gram
+/// matrix (X X^T or X^T X, chosen by `side`). Exact for the matrix
+/// sizes this library targets (hundreds of rows, ~768 columns);
 /// singular values below `rank_tolerance` * s_max are dropped to avoid
 /// amplifying noise when recovering the paired singular vectors.
-SvdResult ThinSvd(const Matrix& x, double rank_tolerance = 1e-10);
+SvdResult ThinSvd(const Matrix& x, double rank_tolerance = 1e-10,
+                  GramSide side = GramSide::kAuto);
 
 /// Explained-variance ratios ev_i = s_i^2 / sum_j s_j^2 (Alg. 1 lines
 /// 6-7). Returns an empty vector when all singular values are zero.

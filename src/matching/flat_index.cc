@@ -19,7 +19,7 @@ std::vector<size_t> FlatL2Index::Search(const linalg::Vector& query,
   std::iota(order.begin(), order.end(), 0);
   std::vector<double> dist(n);
   for (size_t i = 0; i < n; ++i) {
-    dist[i] = linalg::SquaredL2Distance(vectors_.Row(i), query);
+    dist[i] = linalg::SquaredL2Distance(vectors_.RowSpan(i), query);
   }
   const size_t keep = std::min(k, n);
   std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
@@ -85,7 +85,7 @@ std::vector<size_t> RandomHyperplaneLsh::Search(const linalg::Vector& query,
   std::vector<size_t> ids(candidates.begin(), candidates.end());
   std::vector<double> dist(ids.size());
   for (size_t i = 0; i < ids.size(); ++i) {
-    dist[i] = linalg::SquaredL2Distance(vectors_.Row(ids[i]), query);
+    dist[i] = linalg::SquaredL2Distance(vectors_.RowSpan(ids[i]), query);
   }
   std::vector<size_t> order(ids.size());
   std::iota(order.begin(), order.end(), 0);

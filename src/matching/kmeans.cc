@@ -26,7 +26,7 @@ std::vector<size_t> KMeansCluster(const linalg::Matrix& points,
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const double dist =
-          linalg::SquaredL2Distance(points.Row(i), centroids.back());
+          linalg::SquaredL2Distance(points.RowSpan(i), centroids.back());
       min_dist[i] = std::min(min_dist[i], dist);
       total += min_dist[i];
     }
@@ -55,7 +55,7 @@ std::vector<size_t> KMeansCluster(const linalg::Matrix& points,
       double best_dist = std::numeric_limits<double>::max();
       for (size_t c = 0; c < k; ++c) {
         const double dist =
-            linalg::SquaredL2Distance(points.Row(i), centroids[c]);
+            linalg::SquaredL2Distance(points.RowSpan(i), centroids[c]);
         if (dist < best_dist) {
           best_dist = dist;
           best = c;

@@ -28,7 +28,7 @@ double MeanSilhouette(const linalg::Matrix& points,
     for (size_t j = 0; j < n; ++j) {
       if (j == i) continue;
       mean_dist[assignment[j]] +=
-          linalg::L2Distance(points.Row(i), points.Row(j));
+          linalg::L2Distance(points.RowSpan(i), points.RowSpan(j));
     }
     const size_t own = assignment[i];
     if (cluster_size[own] <= 1) continue;  // Singleton contributes 0.

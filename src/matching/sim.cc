@@ -1,6 +1,7 @@
 #include "matching/sim.h"
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "linalg/stats.h"
 
 namespace colscope::matching {
@@ -12,18 +13,30 @@ std::string SimMatcher::name() const {
 std::set<ElementPair> SimMatcher::Match(
     const scoping::SignatureSet& signatures,
     const std::vector<bool>& active) const {
-  std::set<ElementPair> out;
   const size_t n = signatures.size();
-  for (size_t i = 0; i < n; ++i) {
+  const auto row_matches = [&](size_t i, std::vector<ElementPair>& hits) {
     for (size_t j = i + 1; j < n; ++j) {
       if (!IsCandidate(signatures, active, i, j)) continue;
-      const double sim = linalg::CosineSimilarity(signatures.signatures.Row(i),
-                                                  signatures.signatures.Row(j));
+      const double sim =
+          linalg::CosineSimilarity(signatures.signatures.RowSpan(i),
+                                   signatures.signatures.RowSpan(j));
       if (sim >= threshold_) {
-        out.insert(MakePair(signatures.refs[i], signatures.refs[j]));
+        hits.push_back(MakePair(signatures.refs[i], signatures.refs[j]));
       }
     }
+  };
+  std::set<ElementPair> out;
+  if (pool_ == nullptr || pool_->num_threads() <= 1 || n < 2) {
+    std::vector<ElementPair> hits;
+    for (size_t i = 0; i < n; ++i) row_matches(i, hits);
+    out.insert(hits.begin(), hits.end());
+    return out;
   }
+  // Per-row slots merged in index order: the set content is identical
+  // to the serial loop at any thread count.
+  std::vector<std::vector<ElementPair>> slots(n);
+  (void)pool_->ParallelFor(n, [&](size_t i) { row_matches(i, slots[i]); });
+  for (const auto& slot : slots) out.insert(slot.begin(), slot.end());
   return out;
 }
 

@@ -3,6 +3,10 @@
 
 #include "matching/matcher.h"
 
+namespace colscope {
+class ThreadPool;
+}  // namespace colscope
+
 namespace colscope::matching {
 
 /// SIM "semantic blocking" (Meduri et al.): enumerates the full
@@ -11,7 +15,11 @@ namespace colscope::matching {
 /// t_SIM in {0.4, 0.6, 0.8}.
 class SimMatcher : public Matcher {
  public:
-  explicit SimMatcher(double threshold) : threshold_(threshold) {}
+  /// A non-null `pool` (borrowed; must outlive the matcher) scores
+  /// anchor rows in parallel; the linkage set is identical at any
+  /// thread count because per-row results are merged in index order.
+  explicit SimMatcher(double threshold, ThreadPool* pool = nullptr)
+      : threshold_(threshold), pool_(pool) {}
 
   std::string name() const override;
   std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
@@ -29,6 +37,7 @@ class SimMatcher : public Matcher {
 
  private:
   double threshold_;
+  ThreadPool* pool_;
 };
 
 }  // namespace colscope::matching

@@ -1,9 +1,11 @@
 #include "matching/similarity_matrix.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "linalg/stats.h"
 #include "text/string_similarity.h"
 #include "text/tokenize.h"
@@ -106,7 +108,7 @@ std::set<ElementPair> SimilarityMatrix::SelectGreedyOneToOne(
 double CosineScorer::Score(const scoping::SignatureSet& signatures, size_t i,
                            size_t j) const {
   const double cosine = linalg::CosineSimilarity(
-      signatures.signatures.Row(i), signatures.signatures.Row(j));
+      signatures.signatures.RowSpan(i), signatures.signatures.RowSpan(j));
   return std::clamp(cosine, 0.0, 1.0);
 }
 
@@ -155,15 +157,33 @@ double InstanceScorer::Score(const scoping::SignatureSet& signatures,
 
 SimilarityMatrix BuildSimilarityMatrix(
     const scoping::SignatureSet& signatures, const std::vector<bool>& active,
-    const PairScorer& scorer) {
+    const PairScorer& scorer, ThreadPool* pool) {
   SimilarityMatrix out;
   const size_t n = signatures.size();
-  for (size_t i = 0; i < n; ++i) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!IsCandidate(signatures, active, i, j)) continue;
+        out.Set(MakePair(signatures.refs[i], signatures.refs[j]),
+                scorer.Score(signatures, i, j));
+      }
+    }
+    return out;
+  }
+  // One task per anchor row i scores its pairs (i, j > i) into a private
+  // slot; slots are merged in index order afterwards, so the matrix
+  // content is independent of scheduling.
+  std::vector<std::vector<std::pair<ElementPair, double>>> slots(n);
+  (void)pool->ParallelFor(n, [&](size_t i) {
+    auto& slot = slots[i];
     for (size_t j = i + 1; j < n; ++j) {
       if (!IsCandidate(signatures, active, i, j)) continue;
-      out.Set(MakePair(signatures.refs[i], signatures.refs[j]),
-              scorer.Score(signatures, i, j));
+      slot.emplace_back(MakePair(signatures.refs[i], signatures.refs[j]),
+                        scorer.Score(signatures, i, j));
     }
+  });
+  for (const auto& slot : slots) {
+    for (const auto& [pair, score] : slot) out.Set(pair, score);
   }
   return out;
 }
@@ -232,7 +252,8 @@ SimilarityMatrix CompositeMatcher::BuildMatrix(
   std::vector<SimilarityMatrix> matrices;
   matrices.reserve(scorers_.size());
   for (const PairScorer* scorer : scorers_) {
-    matrices.push_back(BuildSimilarityMatrix(signatures, active, *scorer));
+    matrices.push_back(
+        BuildSimilarityMatrix(signatures, active, *scorer, options_.pool));
   }
   std::vector<const SimilarityMatrix*> pointers;
   pointers.reserve(matrices.size());

@@ -8,6 +8,10 @@
 
 #include "matching/matcher.h"
 
+namespace colscope {
+class ThreadPool;
+}  // namespace colscope
+
 namespace colscope::matching {
 
 /// Sparse cross-schema similarity matrix: candidate element pairs with
@@ -100,10 +104,13 @@ enum class Aggregation {
 };
 
 /// Builds the full candidate similarity matrix for `signatures` under
-/// the active mask, scoring every same-kind cross-schema pair.
+/// the active mask, scoring every same-kind cross-schema pair. A
+/// non-null `pool` scores anchor rows in parallel; per-row results are
+/// merged in index order afterwards, so the matrix is identical at any
+/// thread count.
 SimilarityMatrix BuildSimilarityMatrix(
     const scoping::SignatureSet& signatures, const std::vector<bool>& active,
-    const PairScorer& scorer);
+    const PairScorer& scorer, ThreadPool* pool = nullptr);
 
 /// Aggregates several matrices over the union of their pairs.
 /// `weights` is required (and must match matrices.size()) only for
@@ -124,6 +131,9 @@ class CompositeMatcher : public Matcher {
     Selection selection = Selection::kThreshold;
     double threshold = 0.6;  ///< For kThreshold / kOneToOne min score.
     size_t top_k = 1;        ///< For kTopK.
+    /// Borrowed worker pool for scoring; must outlive the matcher.
+    /// Null keeps matrix construction on the calling thread.
+    ThreadPool* pool = nullptr;
   };
 
   /// `scorers` are borrowed and must outlive the matcher.

@@ -56,7 +56,7 @@ std::set<ElementPair> TokenBlockedSimMatcher::Match(
   std::set<ElementPair> out;
   for (const auto& [i, j] : BuildCandidates(signatures, active)) {
     const double sim = linalg::CosineSimilarity(
-        signatures.signatures.Row(i), signatures.signatures.Row(j));
+        signatures.signatures.RowSpan(i), signatures.signatures.RowSpan(j));
     if (sim >= threshold_) {
       out.insert(MakePair(signatures.refs[i], signatures.refs[j]));
     }

@@ -24,7 +24,7 @@ linalg::Vector KnnDetector::Scores(const linalg::Matrix& signatures) const {
     for (size_t j = 0; j < n; ++j) {
       if (j == i) continue;
       dist.push_back(
-          linalg::L2Distance(signatures.Row(i), signatures.Row(j)));
+          linalg::L2Distance(signatures.RowSpan(i), signatures.RowSpan(j)));
     }
     std::nth_element(dist.begin(), dist.begin() + static_cast<long>(k - 1),
                      dist.end());

@@ -24,8 +24,8 @@ linalg::Vector LofDetector::Scores(const linalg::Matrix& signatures) const {
   linalg::Matrix dist(n, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      const double d = linalg::L2Distance(signatures.Row(i),
-                                          signatures.Row(j));
+      const double d = linalg::L2Distance(signatures.RowSpan(i),
+                                          signatures.RowSpan(j));
       dist(i, j) = d;
       dist(j, i) = d;
     }

@@ -1,5 +1,6 @@
 #include "pipeline/pipeline.h"
 
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -17,6 +18,45 @@
 namespace colscope::pipeline {
 
 namespace {
+
+/// RAII phase stopwatch: records the enclosing scope's duration into a
+/// "pipeline.<phase>_ms" histogram. Measures on the tracer's clock when
+/// one is present — a SimulatedTraceClock then makes the recorded
+/// values (and therefore the metrics file) byte-deterministic — and on
+/// std::chrono::steady_clock otherwise. Inert when `metrics` is null.
+class PhaseTimer {
+ public:
+  PhaseTimer(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+             const char* phase)
+      : metrics_(metrics), tracer_(tracer), phase_(phase) {
+    if (metrics_ == nullptr) return;
+    start_us_ = NowUs();
+  }
+
+  ~PhaseTimer() {
+    if (metrics_ == nullptr) return;
+    metrics_
+        ->GetHistogram(StrFormat("pipeline.%s_ms", phase_),
+                       obs::ExponentialBuckets(0.1, 4.0, 10))
+        .Observe((NowUs() - start_us_) / 1000.0);
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double NowUs() {
+    if (tracer_ != nullptr) return tracer_->clock().NowUs();
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
+  const char* phase_;
+  double start_us_ = 0.0;
+};
 
 /// Phase III over the simulated faulty transport: publish every fitted
 /// model, fetch peers' models with retry under the run's deadline and
@@ -78,6 +118,16 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
   PipelineRun run;
   obs::ScopedSpan run_span(options_.tracer, "pipeline.run");
   run_span.AddArg("schemas", static_cast<long long>(set.num_schemas()));
+
+  // Worker pool for the parallel phases: borrowed when the caller shared
+  // one, private otherwise — and absent entirely in the default serial
+  // configuration, which pays no thread start-up at all.
+  std::optional<ThreadPool> private_pool;
+  ThreadPool* pool = options_.pool;
+  if (pool == nullptr && options_.num_threads != 1) {
+    private_pool.emplace(options_.num_threads);
+    pool = &*private_pool;
+  }
 
   // Deadline and cancellation plumbing. The fallback clock lives on this
   // stack frame, so the derived Deadline (which borrows it) must not
@@ -178,8 +228,11 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
     return Status::Ok();
   };
 
-  // Phase I: signatures.
+  // Phase I: signatures. Cancellation stays a phase-boundary affair
+  // here: the encode runs to completion (its pool tasks write disjoint
+  // rows), so the checkpoint below never sees a partial matrix.
   {
+    PhaseTimer timer(options_.metrics, options_.tracer, "signatures");
     bool resumed = false;
     if (std::optional<std::string> payload =
             try_load(CheckpointPhase::kSignatures)) {
@@ -196,7 +249,7 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
     }
     if (!resumed) {
       run.signatures =
-          scoping::BuildSignatures(set, *encoder_, {}, options_.tracer);
+          scoping::BuildSignatures(set, *encoder_, {}, options_.tracer, pool);
       maybe_write(CheckpointPhase::kSignatures,
                   scoping::SerializeSignatureSet(run.signatures));
     }
@@ -214,35 +267,54 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
     case ScoperKind::kCollaborativePca: {
       // Phase II: fit (or restore) the per-schema local models.
       std::vector<scoping::LocalModel> models;
-      bool models_resumed = false;
-      if (std::optional<std::string> payload =
-              try_load(CheckpointPhase::kLocalModels)) {
-        Result<std::vector<scoping::LocalModel>> loaded =
-            scoping::DeserializeLocalModelSet(*payload);
-        if (loaded.ok() && loaded->size() == set.num_schemas()) {
-          models = std::move(loaded).value();
-          mark_resumed(CheckpointPhase::kLocalModels);
-          models_resumed = true;
-        } else {
-          COLSCOPE_LOG(Warn)
-              << "local-model checkpoint did not deserialize: "
-              << (loaded.ok() ? "schema count mismatch"
-                              : loaded.status().ToString())
-              << "; recomputing";
+      {
+        PhaseTimer fit_timer(options_.metrics, options_.tracer,
+                             "local_models");
+        bool models_resumed = false;
+        if (std::optional<std::string> payload =
+                try_load(CheckpointPhase::kLocalModels)) {
+          Result<std::vector<scoping::LocalModel>> loaded =
+              scoping::DeserializeLocalModelSet(*payload);
+          if (loaded.ok() && loaded->size() == set.num_schemas()) {
+            models = std::move(loaded).value();
+            mark_resumed(CheckpointPhase::kLocalModels);
+            models_resumed = true;
+          } else {
+            COLSCOPE_LOG(Warn)
+                << "local-model checkpoint did not deserialize: "
+                << (loaded.ok() ? "schema count mismatch"
+                                : loaded.status().ToString())
+                << "; recomputing";
+          }
         }
-      }
-      if (!models_resumed) {
-        Result<std::vector<scoping::LocalModel>> fitted = [&] {
-          obs::ScopedSpan span(options_.tracer, "pipeline.fit_local_models");
-          span.AddArg("schemas", static_cast<long long>(set.num_schemas()));
-          return scoping::FitLocalModels(run.signatures, set.num_schemas(),
-                                         options_.explained_variance);
-        }();
-        if (!fitted.ok()) return fitted.status();
-        models = std::move(fitted).value();
-        maybe_write(CheckpointPhase::kLocalModels,
-                    scoping::SerializeLocalModelSet(models));
-      }
+        if (!models_resumed) {
+          Result<std::vector<scoping::LocalModel>> fitted = [&] {
+            obs::ScopedSpan span(options_.tracer, "pipeline.fit_local_models");
+            span.AddArg("schemas", static_cast<long long>(set.num_schemas()));
+            if (pool != nullptr) {
+              // One fit task per schema on the shared pool. A cancel that
+              // trips mid-fit surfaces as a Cancelled status handled below.
+              return scoping::FitLocalModelsOnPool(
+                  run.signatures, set.num_schemas(),
+                  options_.explained_variance, *pool, options_.cancel);
+            }
+            return scoping::FitLocalModels(run.signatures, set.num_schemas(),
+                                           options_.explained_variance);
+          }();
+          if (!fitted.ok()) {
+            if (fitted.status().code() == StatusCode::kCancelled) {
+              if (options_.metrics != nullptr) {
+                options_.metrics->GetCounter("pipeline.cancelled").Increment();
+              }
+              return finish_partial(fitted.status());
+            }
+            return fitted.status();
+          }
+          models = std::move(fitted).value();
+          maybe_write(CheckpointPhase::kLocalModels,
+                      scoping::SerializeLocalModelSet(models));
+        }
+      }  // fit_timer scope
       run.phases_completed.push_back("local_models");
       COLSCOPE_RETURN_IF_ERROR(maybe_crash("local_models"));
       if (Status stop = interrupted(); !stop.ok()) {
@@ -254,6 +326,8 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
       // trusted for fault-free runs: an exchange run replays phase III
       // from the (restored) models so the degradation report is
       // regenerated rather than lost.
+      PhaseTimer assess_timer(options_.metrics, options_.tracer,
+                              "keep_mask");
       bool keep_resumed = false;
       if (!options_.exchange.enabled) {
         if (std::optional<std::string> payload =
@@ -293,6 +367,8 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
       break;
     }
     case ScoperKind::kCollaborativeNeural: {
+      PhaseTimer assess_timer(options_.metrics, options_.tracer,
+                              "keep_mask");
       obs::ScopedSpan span(options_.tracer, "pipeline.assess");
       Result<std::vector<bool>> keep = scoping::CollaborativeScopingNeural(
           run.signatures, set.num_schemas(), options_.neural);
@@ -308,6 +384,8 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
       if (options_.keep_portion < 0.0 || options_.keep_portion > 1.0) {
         return Status::InvalidArgument("keep portion must be in [0, 1]");
       }
+      PhaseTimer assess_timer(options_.metrics, options_.tracer,
+                              "keep_mask");
       obs::ScopedSpan span(options_.tracer, "pipeline.assess");
       run.keep = scoping::GlobalScoping(run.signatures, *options_.detector,
                                         options_.keep_portion);
@@ -321,6 +399,7 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
   }
 
   {
+    PhaseTimer timer(options_.metrics, options_.tracer, "streamline");
     obs::ScopedSpan span(options_.tracer, "pipeline.streamline");
     run.streamlined =
         scoping::BuildStreamlinedSchemas(set, run.signatures, run.keep);
@@ -328,12 +407,14 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
   }
   run.phases_completed.push_back("streamline");
   {
+    PhaseTimer timer(options_.metrics, options_.tracer, "match");
     obs::ScopedSpan span(options_.tracer, "pipeline.match");
     run.linkages = matcher.Match(run.signatures, run.keep);
     span.AddArg("linkages", static_cast<long long>(run.linkages.size()));
   }
   run.phases_completed.push_back("match");
   if (truth != nullptr) {
+    PhaseTimer timer(options_.metrics, options_.tracer, "evaluate");
     obs::ScopedSpan span(options_.tracer, "pipeline.evaluate");
     run.quality = eval::EvaluateMatching(
         run.linkages, *truth,

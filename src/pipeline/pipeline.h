@@ -8,6 +8,7 @@
 #include "common/cancellation.h"
 #include "common/fault_injector.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "datasets/linkage.h"
 #include "embed/encoder.h"
 #include "eval/matching_metrics.h"
@@ -60,8 +61,12 @@ struct PipelineOptions {
   /// non-null tracer records one span per phase (pipeline.serialize,
   /// .embed, .fit_local_models, .exchange, .assess, .streamline, .match,
   /// .evaluate under a pipeline.run root); a non-null registry collects
-  /// element-count gauges plus the exchange.* / scoping.* counters and
-  /// is snapshotted into PipelineRun::metrics.
+  /// element-count gauges, the exchange.* / scoping.* counters, and
+  /// per-phase "pipeline.<phase>_ms" latency histograms, and is
+  /// snapshotted into PipelineRun::metrics. Phase latencies are measured
+  /// on the tracer's clock when a tracer is present (so simulated-clock
+  /// runs produce deterministic histograms) and on a steady wall clock
+  /// otherwise.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   /// Run-level time budget in milliseconds; non-positive means no
@@ -96,6 +101,17 @@ struct PipelineOptions {
   /// run with an Internal error — simulating a crash at the worst
   /// moment a real one could happen.
   std::string crash_after_phase;
+  /// Worker threads for the parallel phases (signature encoding and
+  /// local-model fitting). 1 — the default — keeps every phase on the
+  /// calling thread and starts no pool at all; 0 picks the hardware
+  /// concurrency. Reports and artifacts are byte-identical at any
+  /// setting: parallel phases write per-index slots that are merged in
+  /// index order.
+  size_t num_threads = 1;
+  /// Borrowed worker pool shared with the caller (e.g. the CLI shares
+  /// one pool between the pipeline and a pool-aware matcher). Overrides
+  /// num_threads when non-null; must outlive Run().
+  ThreadPool* pool = nullptr;
 };
 
 /// Everything one pipeline run produces; intermediate artifacts are kept

@@ -160,32 +160,24 @@ Result<std::vector<LocalModel>> FitLocalModels(const SignatureSet& signatures,
   return models;
 }
 
-Result<std::vector<LocalModel>> FitLocalModelsParallel(
+Result<std::vector<LocalModel>> FitLocalModelsOnPool(
     const SignatureSet& signatures, size_t num_schemas, double v,
-    size_t num_threads, obs::MetricsRegistry* metrics,
-    const CancellationToken* cancel) {
+    ThreadPool& pool, const CancellationToken* cancel) {
   std::vector<std::optional<LocalModel>> slots(num_schemas);
   std::vector<Status> statuses(num_schemas);
-  Status pool_status;
-  {
-    std::optional<obs::ThreadPoolMetrics> pool_metrics;
-    if (metrics != nullptr) pool_metrics.emplace(metrics, "scoping.fit_pool");
-    ThreadPool pool(num_threads,
-                    pool_metrics ? &*pool_metrics : nullptr);
-    pool_status = pool.ParallelFor(
-        num_schemas,
-        [&](size_t s) {
-          Result<LocalModel> model = LocalModel::Fit(
-              signatures.SchemaSignatures(static_cast<int>(s)), v,
-              static_cast<int>(s));
-          if (model.ok()) {
-            slots[s] = std::move(model).value();
-          } else {
-            statuses[s] = model.status();
-          }
-        },
-        cancel);
-  }
+  const Status pool_status = pool.ParallelFor(
+      num_schemas,
+      [&](size_t s) {
+        Result<LocalModel> model = LocalModel::Fit(
+            signatures.SchemaSignatures(static_cast<int>(s)), v,
+            static_cast<int>(s));
+        if (model.ok()) {
+          slots[s] = std::move(model).value();
+        } else {
+          statuses[s] = model.status();
+        }
+      },
+      cancel);
   if (!pool_status.ok()) return pool_status;
   for (const Status& status : statuses) {
     if (!status.ok()) return status;
@@ -194,6 +186,16 @@ Result<std::vector<LocalModel>> FitLocalModelsParallel(
   models.reserve(num_schemas);
   for (auto& slot : slots) models.push_back(std::move(*slot));
   return models;
+}
+
+Result<std::vector<LocalModel>> FitLocalModelsParallel(
+    const SignatureSet& signatures, size_t num_schemas, double v,
+    size_t num_threads, obs::MetricsRegistry* metrics,
+    const CancellationToken* cancel) {
+  std::optional<obs::ThreadPoolMetrics> pool_metrics;
+  if (metrics != nullptr) pool_metrics.emplace(metrics, "scoping.fit_pool");
+  ThreadPool pool(num_threads, pool_metrics ? &*pool_metrics : nullptr);
+  return FitLocalModelsOnPool(signatures, num_schemas, v, pool, cancel);
 }
 
 std::vector<bool> AssessAll(const SignatureSet& signatures,

@@ -9,6 +9,10 @@
 #include "linalg/pca.h"
 #include "scoping/signatures.h"
 
+namespace colscope {
+class ThreadPool;
+}  // namespace colscope
+
 namespace colscope::obs {
 class MetricsRegistry;
 }  // namespace colscope::obs
@@ -132,6 +136,13 @@ Result<std::vector<LocalModel>> FitLocalModelsParallel(
     const SignatureSet& signatures, size_t num_schemas, double v,
     size_t num_threads = 0, obs::MetricsRegistry* metrics = nullptr,
     const CancellationToken* cancel = nullptr);
+
+/// Phase II on a caller-supplied pool (e.g. the pipeline's run-wide
+/// pool, shared with the encode and match phases); otherwise identical
+/// to FitLocalModelsParallel.
+Result<std::vector<LocalModel>> FitLocalModelsOnPool(
+    const SignatureSet& signatures, size_t num_schemas, double v,
+    ThreadPool& pool, const CancellationToken* cancel = nullptr);
 
 /// Phase III given prefitted models.
 std::vector<bool> AssessAll(const SignatureSet& signatures,

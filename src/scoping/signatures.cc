@@ -26,7 +26,7 @@ SignatureSet BuildSignatures(const schema::SchemaSet& set,
                              const embed::SentenceEncoder& encoder,
                              const schema::SerializeOptions&
                                  serialize_options,
-                             obs::Tracer* tracer) {
+                             obs::Tracer* tracer, ThreadPool* pool) {
   SignatureSet out;
   {
     obs::ScopedSpan span(tracer, "pipeline.serialize");
@@ -43,7 +43,7 @@ SignatureSet BuildSignatures(const schema::SchemaSet& set,
   }
   {
     obs::ScopedSpan span(tracer, "pipeline.embed");
-    out.signatures = encoder.EncodeAll(out.texts);
+    out.signatures = encoder.EncodeAll(out.texts, pool);
     span.AddArg("elements", static_cast<long long>(out.refs.size()));
     span.AddArg("dims", static_cast<long long>(out.signatures.cols()));
   }

@@ -9,6 +9,10 @@
 #include "schema/schema_set.h"
 #include "schema/serialize.h"
 
+namespace colscope {
+class ThreadPool;
+}  // namespace colscope
+
 namespace colscope::obs {
 class Tracer;
 }  // namespace colscope::obs
@@ -40,12 +44,16 @@ struct SignatureSet {
 /// `serialize_options` controls instance-sample inclusion (off by
 /// default, per the paper's metadata-only setting). A non-null `tracer`
 /// wraps the two sub-stages in "pipeline.serialize" / "pipeline.embed"
-/// spans annotated with element counts.
+/// spans annotated with element counts. A non-null `pool` encodes the
+/// serialized elements in parallel; the signature matrix is
+/// byte-identical to a serial build at any thread count (each worker
+/// writes only its own row).
 SignatureSet BuildSignatures(const schema::SchemaSet& set,
                              const embed::SentenceEncoder& encoder,
                              const schema::SerializeOptions&
                                  serialize_options = {},
-                             obs::Tracer* tracer = nullptr);
+                             obs::Tracer* tracer = nullptr,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace colscope::scoping
 

@@ -1,0 +1,174 @@
+// Equivalence tests for the optimized linalg kernels: the cache-blocked
+// Multiply against a straightforward triple loop, the fused
+// MultiplyTransposedB against materializing the transpose, RowSpan
+// aliasing, and the Gram-trick PCA fit against the covariance-path
+// reference (identical up to component sign and floating-point eps).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/pca.h"
+
+namespace colscope::linalg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    double* row = m.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) row[c] = rng.NextGaussian();
+  }
+  return m;
+}
+
+/// Straightforward i-k-j product — the semantics the blocked kernel
+/// must reproduce bit for bit (same per-cell accumulation order).
+Matrix ReferenceMultiply(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double x = a.RowPtr(i)[k];
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out.RowPtr(i)[j] += x * b.RowPtr(k)[j];
+      }
+    }
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a.RowPtr(r)[c], b.RowPtr(r)[c])
+          << "mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(BlockedMultiplyTest, BitIdenticalToReferenceAcrossShapes) {
+  // Sizes straddle the 64-wide tile: below, at, and past boundaries,
+  // including non-multiples so edge tiles are exercised.
+  const size_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 2}, {63, 64, 65}, {64, 64, 64}, {70, 130, 90}};
+  for (const auto& [m, k, n] : shapes) {
+    const Matrix a = RandomMatrix(m, k, 17 * m + n);
+    const Matrix b = RandomMatrix(k, n, 31 * k + m);
+    ExpectBitIdentical(a.Multiply(b), ReferenceMultiply(a, b));
+  }
+}
+
+TEST(BlockedMultiplyTest, ZerosInInputDoNotChangeResult) {
+  // The old kernel skipped k-steps where a[i][k] == 0; the blocked one
+  // must not need that branch to stay exact (x * row adds 0.0 exactly).
+  Matrix a = RandomMatrix(20, 33, 7);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); k += 3) a.RowPtr(i)[k] = 0.0;
+  }
+  const Matrix b = RandomMatrix(33, 21, 8);
+  ExpectBitIdentical(a.Multiply(b), ReferenceMultiply(a, b));
+}
+
+TEST(MultiplyTransposedBTest, BitIdenticalToTransposePath) {
+  // 300 shared dims exercises the wide-d branch (delegation past the
+  // internal crossover); the rest exercise the fused dot kernel.
+  const size_t shapes[][3] = {
+      {2, 9, 5}, {57, 91, 63}, {64, 64, 64}, {30, 300, 7}};
+  for (const auto& [m, d, n] : shapes) {
+    const Matrix a = RandomMatrix(m, d, 100 + m);
+    const Matrix b = RandomMatrix(n, d, 200 + n);  // n x d; result m x n.
+    ExpectBitIdentical(a.MultiplyTransposedB(b), a.Multiply(b.Transposed()));
+  }
+}
+
+TEST(TransposedTest, RoundTripsAndSwapsShape) {
+  const Matrix a = RandomMatrix(37, 81, 42);
+  const Matrix t = a.Transposed();
+  ASSERT_EQ(t.rows(), a.cols());
+  ASSERT_EQ(t.cols(), a.rows());
+  ExpectBitIdentical(t.Transposed(), a);
+}
+
+TEST(RowSpanTest, AliasesRowStorageWithoutCopying) {
+  const Matrix a = RandomMatrix(5, 12, 3);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const auto span = a.RowSpan(r);
+    EXPECT_EQ(span.data(), a.RowPtr(r));
+    EXPECT_EQ(span.size(), a.cols());
+  }
+}
+
+/// The Gram and covariance paths diagonalize different matrices, so
+/// components may differ by sign and ~1e-9 noise; everything observable
+/// (subspace, explained variance, reconstructions) must agree.
+void ExpectEquivalentFits(const PcaModel& gram, const PcaModel& cov,
+                          const Matrix& x) {
+  ASSERT_EQ(gram.n_components(), cov.n_components());
+  ASSERT_EQ(gram.dims(), cov.dims());
+  const double eps = 1e-6;
+  for (size_t d = 0; d < gram.dims(); ++d) {
+    EXPECT_NEAR(gram.mean()[d], cov.mean()[d], eps);
+  }
+  for (size_t c = 0; c < gram.n_components(); ++c) {
+    EXPECT_NEAR(gram.explained_variance()[c], cov.explained_variance()[c],
+                eps);
+    // Per-component sign is arbitrary: align on the largest-magnitude
+    // coordinate, then compare element-wise.
+    const double* g = gram.components().RowPtr(c);
+    const double* v = cov.components().RowPtr(c);
+    size_t pivot = 0;
+    for (size_t d = 1; d < gram.dims(); ++d) {
+      if (std::abs(g[d]) > std::abs(g[pivot])) pivot = d;
+    }
+    const double sign = (g[pivot] * v[pivot] >= 0.0) ? 1.0 : -1.0;
+    for (size_t d = 0; d < gram.dims(); ++d) {
+      EXPECT_NEAR(g[d], sign * v[d], eps) << "component " << c;
+    }
+  }
+  // Reconstruction errors are sign-invariant — the strongest observable.
+  const Vector gram_errors = gram.ReconstructionErrors(x);
+  const Vector cov_errors = cov.ReconstructionErrors(x);
+  ASSERT_EQ(gram_errors.size(), cov_errors.size());
+  for (size_t i = 0; i < gram_errors.size(); ++i) {
+    EXPECT_NEAR(gram_errors[i], cov_errors[i], eps);
+  }
+}
+
+TEST(PcaFitPathTest, GramMatchesCovarianceAtVarianceTarget) {
+  const Matrix x = RandomMatrix(12, 40, 0x5eed);
+  const auto gram = PcaModel::FitWithVariance(x, 0.8, PcaFitPath::kGram);
+  const auto cov = PcaModel::FitWithVariance(x, 0.8, PcaFitPath::kCovariance);
+  ASSERT_TRUE(gram.ok()) << gram.status().ToString();
+  ASSERT_TRUE(cov.ok()) << cov.status().ToString();
+  ExpectEquivalentFits(*gram, *cov, x);
+}
+
+TEST(PcaFitPathTest, GramMatchesCovarianceAtFixedComponents) {
+  const Matrix x = RandomMatrix(9, 25, 0xfeed);
+  const auto gram = PcaModel::FitWithComponents(x, 4, PcaFitPath::kGram);
+  const auto cov = PcaModel::FitWithComponents(x, 4, PcaFitPath::kCovariance);
+  ASSERT_TRUE(gram.ok()) << gram.status().ToString();
+  ASSERT_TRUE(cov.ok()) << cov.status().ToString();
+  ExpectEquivalentFits(*gram, *cov, x);
+}
+
+TEST(PcaFitPathTest, AutoPicksTheShortWideFastPathConsistently) {
+  // Short-and-wide (rows << dims) is every real schema's shape; kAuto
+  // must produce exactly what an explicit kGram fit produces.
+  const Matrix x = RandomMatrix(8, 64, 0xabcd);
+  const auto auto_fit = PcaModel::FitWithVariance(x, 0.9, PcaFitPath::kAuto);
+  const auto gram_fit = PcaModel::FitWithVariance(x, 0.9, PcaFitPath::kGram);
+  ASSERT_TRUE(auto_fit.ok());
+  ASSERT_TRUE(gram_fit.ok());
+  ASSERT_EQ(auto_fit->n_components(), gram_fit->n_components());
+  ExpectBitIdentical(auto_fit->components(), gram_fit->components());
+}
+
+}  // namespace
+}  // namespace colscope::linalg

@@ -82,16 +82,17 @@ TEST(StatsTest, ColumnStdDev) {
 }
 
 TEST(StatsTest, CosineSimilarityProperties) {
-  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0);
-  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
-  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0);
-  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);  // Zero vector.
+  EXPECT_DOUBLE_EQ(CosineSimilarity(Vector{1, 0}, Vector{1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(Vector{1, 0}, Vector{0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(Vector{1, 0}, Vector{-1, 0}), -1.0);
+  // Zero vector.
+  EXPECT_DOUBLE_EQ(CosineSimilarity(Vector{0, 0}, Vector{1, 0}), 0.0);
 }
 
 TEST(StatsTest, MseAndDistances) {
-  EXPECT_DOUBLE_EQ(MeanSquaredError({0, 0}, {3, 4}), 12.5);
-  EXPECT_DOUBLE_EQ(L2Distance({0, 0}, {3, 4}), 5.0);
-  EXPECT_DOUBLE_EQ(SquaredL2Distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError(Vector{0, 0}, Vector{3, 4}), 12.5);
+  EXPECT_DOUBLE_EQ(L2Distance(Vector{0, 0}, Vector{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredL2Distance(Vector{0, 0}, Vector{3, 4}), 25.0);
 }
 
 TEST(StatsTest, RowwiseMse) {

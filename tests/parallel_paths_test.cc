@@ -1,0 +1,237 @@
+// Determinism tests for every pool-aware stage: signature encoding,
+// similarity-matrix construction, SIM matching, threshold sweeps, and
+// local-model fitting must produce byte-identical results with a pool
+// of any size as they do serially. This binary is also part of the
+// TSan suite (tools/run_sanitized_tests.sh), so the same cases double
+// as data-race checks on the parallel paths.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/thread_pool.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "eval/sweep.h"
+#include "linalg/matrix.h"
+#include "matching/sim.h"
+#include "matching/similarity_matrix.h"
+#include "scoping/collaborative.h"
+#include "scoping/signatures.h"
+
+namespace colscope {
+namespace {
+
+void ExpectBitIdentical(const linalg::Matrix& a, const linalg::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a.RowPtr(r)[c], b.RowPtr(r)[c])
+          << "mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+std::vector<std::string> ToyTexts() {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  return scoping::BuildSignatures(scenario.set, encoder).texts;
+}
+
+TEST(ParallelEncodeTest, EncodeAllMatchesSerialAtAnyThreadCount) {
+  const std::vector<std::string> texts = ToyTexts();
+  embed::HashedLexiconEncoder encoder;
+  const linalg::Matrix serial = encoder.EncodeAll(texts);
+  for (size_t threads : {2u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    ExpectBitIdentical(encoder.EncodeAll(texts, &pool), serial);
+  }
+}
+
+TEST(ParallelEncodeTest, NullOrSingleThreadPoolFallsBackToSerial) {
+  const std::vector<std::string> texts = ToyTexts();
+  embed::HashedLexiconEncoder encoder;
+  const linalg::Matrix serial = encoder.EncodeAll(texts);
+  ExpectBitIdentical(encoder.EncodeAll(texts, nullptr), serial);
+  ThreadPool single(1);
+  ExpectBitIdentical(encoder.EncodeAll(texts, &single), serial);
+}
+
+TEST(ParallelEncodeTest, PreCancelledBatchLeavesRowsZero) {
+  const std::vector<std::string> texts = ToyTexts();
+  embed::HashedLexiconEncoder encoder;
+  ThreadPool pool(3);
+  CancellationToken cancel;
+  cancel.Cancel();
+  const linalg::Matrix out = encoder.EncodeAll(texts, &pool, &cancel);
+  ASSERT_EQ(out.rows(), texts.size());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_EQ(out.RowPtr(r)[c], 0.0);
+    }
+  }
+}
+
+TEST(ParallelSignaturesTest, BuildSignaturesMatchesSerial) {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto serial = scoping::BuildSignatures(scenario.set, encoder);
+  ThreadPool pool(4);
+  const auto parallel = scoping::BuildSignatures(
+      scenario.set, encoder, /*serialize_options=*/{}, /*tracer=*/nullptr,
+      &pool);
+  ASSERT_EQ(parallel.refs, serial.refs);
+  ASSERT_EQ(parallel.texts, serial.texts);
+  ExpectBitIdentical(parallel.signatures, serial.signatures);
+}
+
+TEST(ParallelSimilarityMatrixTest, PoolBuildIsIdenticalToSerial) {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  const std::vector<bool> active(signatures.size(), true);
+  const matching::CosineScorer scorer;
+  const auto serial =
+      matching::BuildSimilarityMatrix(signatures, active, scorer);
+  for (size_t threads : {2u, 7u}) {
+    ThreadPool pool(threads);
+    const auto parallel =
+        matching::BuildSimilarityMatrix(signatures, active, scorer, &pool);
+    // Map equality covers both the pair set and every score bit.
+    EXPECT_EQ(parallel.scores(), serial.scores());
+  }
+}
+
+TEST(ParallelSimilarityMatrixTest, PartialMaskStillIdentical) {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  std::vector<bool> active(signatures.size(), true);
+  for (size_t i = 0; i < active.size(); i += 3) active[i] = false;
+  const matching::NameScorer scorer;
+  const auto serial =
+      matching::BuildSimilarityMatrix(signatures, active, scorer);
+  ThreadPool pool(4);
+  const auto parallel =
+      matching::BuildSimilarityMatrix(signatures, active, scorer, &pool);
+  EXPECT_EQ(parallel.scores(), serial.scores());
+}
+
+TEST(ParallelSimMatcherTest, LinkageSetIdenticalToSerial) {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  const std::vector<bool> active(signatures.size(), true);
+  const matching::SimMatcher serial(0.6);
+  const auto expected = serial.Match(signatures, active);
+  EXPECT_FALSE(expected.empty());
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const matching::SimMatcher parallel(0.6, &pool);
+    EXPECT_EQ(parallel.Match(signatures, active), expected);
+  }
+}
+
+void ExpectSameSweep(const std::vector<eval::SweepPoint>& a,
+                     const std::vector<eval::SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].parameter, b[i].parameter);
+    EXPECT_EQ(a[i].confusion.true_positive, b[i].confusion.true_positive);
+    EXPECT_EQ(a[i].confusion.false_positive, b[i].confusion.false_positive);
+    EXPECT_EQ(a[i].confusion.true_negative, b[i].confusion.true_negative);
+    EXPECT_EQ(a[i].confusion.false_negative, b[i].confusion.false_negative);
+  }
+}
+
+TEST(ParallelSweepTest, ScopingSweepFromScoresMatchesSerial) {
+  const auto scenario = datasets::BuildToyScenario();
+  const std::vector<bool> labels =
+      scenario.truth.LinkabilityLabels(scenario.set);
+  std::vector<double> scores(labels.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<double>((i * 7919) % 100) / 100.0;
+  }
+  const auto grid = eval::ParameterGrid(0.05);
+  const auto serial = eval::ScopingSweepFromScores(scores, labels, grid);
+  ThreadPool pool(4);
+  const auto parallel =
+      eval::ScopingSweepFromScores(scores, labels, grid, &pool);
+  ExpectSameSweep(parallel, serial);
+}
+
+TEST(ParallelSweepTest, CollaborativeSweepMatchesSerial) {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  const std::vector<bool> labels =
+      scenario.truth.LinkabilityLabels(scenario.set);
+  // A coarse grid keeps the per-point refits cheap; correctness is
+  // about slot placement, not grid resolution.
+  const std::vector<double> grid = {0.3, 0.5, 0.7, 0.9};
+  const auto serial =
+      eval::CollaborativeSweep(signatures, 4, labels, grid);
+  ThreadPool pool(3);
+  const auto parallel =
+      eval::CollaborativeSweep(signatures, 4, labels, grid, &pool);
+  ExpectSameSweep(parallel, serial);
+}
+
+TEST(ParallelFitOnPoolTest, SharedPoolMatchesSequentialFit) {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  const auto sequential = scoping::FitLocalModels(signatures, 4, 0.7);
+  ASSERT_TRUE(sequential.ok());
+  ThreadPool pool(4);
+  // Reusing one pool across calls is the pipeline's usage pattern.
+  for (int round = 0; round < 2; ++round) {
+    const auto parallel =
+        scoping::FitLocalModelsOnPool(signatures, 4, 0.7, pool);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->size(), sequential->size());
+    for (size_t s = 0; s < sequential->size(); ++s) {
+      const auto local = signatures.SchemaSignatures(static_cast<int>(s));
+      EXPECT_EQ((*sequential)[s].ReconstructionErrors(local),
+                (*parallel)[s].ReconstructionErrors(local));
+    }
+  }
+}
+
+TEST(ParallelFitOnPoolTest, PreCancelledFitReturnsCancelled) {
+  const auto scenario = datasets::BuildToyScenario();
+  embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(scenario.set, encoder);
+  ThreadPool pool(2);
+  CancellationToken cancel;
+  cancel.Cancel();
+  const auto result =
+      scoping::FitLocalModelsOnPool(signatures, 4, 0.7, pool, &cancel);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// Concurrent reads of one shared encoder exercise the shared_mutex
+// basis cache from many threads at once — the TSan target.
+TEST(SharedEncoderTest, ConcurrentEncodeAllCallsAgree) {
+  const std::vector<std::string> texts = ToyTexts();
+  embed::HashedLexiconEncoder encoder;
+  const linalg::Matrix expected = encoder.EncodeAll(texts);
+  ThreadPool outer(4);
+  std::vector<linalg::Matrix> results(8);
+  ASSERT_TRUE(outer
+                  .ParallelFor(results.size(),
+                               [&](size_t i) {
+                                 ThreadPool inner(2);
+                                 results[i] =
+                                     encoder.EncodeAll(texts, &inner);
+                               })
+                  .ok());
+  for (const linalg::Matrix& m : results) ExpectBitIdentical(m, expected);
+}
+
+}  // namespace
+}  // namespace colscope

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Only *dimensionless* cells are gated, so the check is portable across
+machines of different absolute speed:
+
+  * cells ending in ``_speedup`` — a kernel's measured advantage over its
+    reference implementation. The current run must retain at least
+    ``(1 - tolerance)`` of the baseline ratio (improvements always pass).
+  * cells named ``ok`` — bit-identity flags. These must be exactly 1.
+
+Absolute wall-ms / throughput cells are informational and never gated.
+
+Exit status: 0 when every gated cell passes, 1 otherwise (including a
+missing row or cell, which usually means the bench and baseline drifted
+apart — regenerate with tools/run_benches.sh).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Returns {(table, label): {cell: value}} for one BENCH json."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[(row["table"], row["label"])] = row["cells"]
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json to compare against")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative drop in speedup ratios "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    failures = []
+    checked = 0
+    for key, base_cells in sorted(baseline.items()):
+        table, label = key
+        cur_cells = current.get(key)
+        if cur_cells is None:
+            failures.append(f"{table}/{label}: row missing from current run")
+            continue
+        for cell, base_value in base_cells.items():
+            gated = cell.endswith("_speedup") or cell == "ok"
+            if not gated:
+                continue
+            if cell not in cur_cells:
+                failures.append(f"{table}/{label}: cell '{cell}' missing")
+                continue
+            cur_value = cur_cells[cell]
+            checked += 1
+            if cell == "ok":
+                if cur_value != 1:
+                    failures.append(
+                        f"{table}/{label}: kernel no longer bit-identical "
+                        f"to its reference (ok={cur_value})")
+                continue
+            floor = base_value * (1.0 - args.tolerance)
+            status = "ok" if cur_value >= floor else "REGRESSED"
+            print(f"{table}/{label} {cell}: baseline {base_value:.2f}x, "
+                  f"current {cur_value:.2f}x, floor {floor:.2f}x -> {status}")
+            if cur_value < floor:
+                failures.append(
+                    f"{table}/{label}: {cell} fell to {cur_value:.2f}x "
+                    f"(baseline {base_value:.2f}x, floor {floor:.2f}x)")
+
+    if checked == 0:
+        failures.append("no gated cells found — baseline file is empty or "
+                        "has no *_speedup / ok cells")
+    if failures:
+        print(f"\n{len(failures)} regression check(s) FAILED:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"all {checked} gated cells within tolerance "
+          f"({args.tolerance:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

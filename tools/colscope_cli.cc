@@ -28,12 +28,14 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/fault_injector.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "embed/hashed_encoder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -79,6 +81,7 @@ struct CliArgs {
   std::string checkpoint_dir;   // --checkpoint-dir DIR
   bool resume = false;          // --resume (with --checkpoint-dir)
   std::string crash_after;      // --crash-after signatures|local_models|...
+  size_t threads = 1;           // --threads N (1 = serial, 0 = hardware)
   bool explain = false;
   bool json = false;
 };
@@ -98,7 +101,9 @@ int Usage() {
                "  [--trace-clock real|sim]\n"
                "  [--deadline-ms MS] [--run-clock real|sim]\n"
                "  [--checkpoint-dir DIR] [--resume]\n"
-               "  [--crash-after signatures|local_models|keep_mask]\n");
+               "  [--crash-after signatures|local_models|keep_mask]\n"
+               "  [--threads N]  (1 = serial, 0 = hardware concurrency; "
+               "output is identical at any N)\n");
   return 2;
 }
 
@@ -198,6 +203,12 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       const char* value = next();
       if (value == nullptr) return false;
       args.crash_after = value;
+    } else if (flag == "--threads") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 0) return false;
+      args.threads = static_cast<size_t>(n);
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -255,10 +266,11 @@ Result<schema::SchemaSet> LoadSchemas(const CliArgs& args) {
   return schema::SchemaSet(std::move(schemas));
 }
 
-std::unique_ptr<matching::Matcher> MakeMatcher(const CliArgs& args) {
+std::unique_ptr<matching::Matcher> MakeMatcher(const CliArgs& args,
+                                               ThreadPool* pool) {
   if (args.matcher == "sim") {
     return std::make_unique<matching::SimMatcher>(
-        args.param >= 0 ? args.param : 0.6);
+        args.param >= 0 ? args.param : 0.6, pool);
   }
   if (args.matcher == "cluster") {
     return std::make_unique<matching::ClusterMatcher>(
@@ -395,11 +407,21 @@ int RunPipeline(const CliArgs& args) {
 
   const embed::HashedLexiconEncoder encoder;
   const outlier::PcaDetector detector(0.5);
+
+  // One worker pool shared by the pipeline's parallel phases and the
+  // matcher; absent in the default --threads 1 configuration. Output is
+  // byte-identical at any thread count (parallel stages merge per-index
+  // slots in index order), so --threads is purely a speed knob.
+  std::optional<ThreadPool> pool;
+  if (args.threads != 1) pool.emplace(args.threads);
+
   pipeline::PipelineOptions options;
   if (observe) {
     options.metrics = &registry;
     options.tracer = &tracer;
   }
+  options.num_threads = args.threads;
+  if (pool.has_value()) options.pool = &*pool;
   options.explained_variance = args.v;
   options.keep_portion = args.keep_portion;
 
@@ -461,7 +483,8 @@ int RunPipeline(const CliArgs& args) {
     }
   }
 
-  std::unique_ptr<matching::Matcher> matcher = MakeMatcher(args);
+  std::unique_ptr<matching::Matcher> matcher =
+      MakeMatcher(args, pool.has_value() ? &*pool : nullptr);
   if (matcher == nullptr) {
     std::fprintf(stderr, "unknown matcher: %s\n", args.matcher.c_str());
     return 2;

@@ -12,7 +12,7 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build-sanitized}"
 
 asan_tests='exchange_test|model_corruption_test|model_io_test|robustness_test'
-tsan_tests='thread_pool_test|obs_test|cancellation_test'
+tsan_tests='thread_pool_test|obs_test|cancellation_test|parallel_paths_test'
 
 cmake -B "$build" -S "$root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -25,5 +25,5 @@ cmake -B "$build-tsan" -S "$root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOLSCOPE_TSAN=ON
 cmake --build "$build-tsan" -j \
-  --target thread_pool_test obs_test cancellation_test
+  --target thread_pool_test obs_test cancellation_test parallel_paths_test
 (cd "$build-tsan" && ctest --output-on-failure -R "^($tsan_tests)\$")
