@@ -1,0 +1,153 @@
+// Warm-vs-cold benchmark for the content-addressed artifact cache
+// (src/cache/): runs the full scope+match pipeline over each scenario
+// twice against the same cache directory and reports how much of the
+// cold run's cost the warm run recovers. Every comparison also verifies
+// the warm run is *artifact-identical* to the cold run and served
+// entirely from cache (the "ok" cell), so a speedup can never hide a
+// staleness or determinism bug.
+//
+// Output: a human table on stdout plus BENCH_cache_warm_vs_cold.json
+// with the warm_speedup ratio cells the regression gate checks.
+//
+// Flags:
+//   --smoke     toy scenario only, for the ctest gate (sub-second)
+//   --out DIR   directory for the BENCH json (default ".")
+//   --reps N    best-of-N repetitions per measurement (default 3)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "datasets/linkage.h"
+#include "datasets/oc3.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "matching/sim.h"
+#include "obs/metrics.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace colscope;
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const std::string& default_value) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return default_value;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One pipeline run against `cache_dir`; returns wall ms and fills
+/// `out` / `metrics`.
+double TimedRun(const datasets::MatchingScenario& scenario,
+                const std::string& cache_dir, obs::MetricsRegistry* metrics,
+                pipeline::PipelineRun* out) {
+  embed::HashedLexiconEncoder encoder;
+  matching::SimMatcher matcher(0.6);
+  pipeline::PipelineOptions options;
+  options.cache_dir = cache_dir;
+  options.metrics = metrics;
+  pipeline::Pipeline pipe(&encoder, options);
+  const double start = NowMs();
+  Result<pipeline::PipelineRun> run =
+      pipe.Run(scenario.set, matcher, &scenario.truth);
+  const double elapsed = NowMs() - start;
+  COLSCOPE_CHECK_MSG(run.ok(), "pipeline run failed");
+  *out = std::move(run).value();
+  return elapsed;
+}
+
+bool SameArtifacts(const pipeline::PipelineRun& a,
+                   const pipeline::PipelineRun& b) {
+  return a.signatures.signatures.data() == b.signatures.signatures.data() &&
+         a.keep == b.keep && a.linkages == b.linkages;
+}
+
+struct Measurement {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  bool ok = true;
+  uint64_t warm_hits = 0;
+};
+
+/// Best-of-`reps` cold (fresh cache each time) and warm (reusing the
+/// last cold run's cache) timings, with the identity check on every
+/// warm rep.
+Measurement Measure(const datasets::MatchingScenario& scenario, int reps) {
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() /
+      ("colscope_bench_cache_" + scenario.name);
+  Measurement m;
+  m.cold_ms = 1e300;
+  m.warm_ms = 1e300;
+  pipeline::PipelineRun cold_run;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::filesystem::remove_all(scratch);
+    obs::MetricsRegistry metrics;
+    m.cold_ms =
+        std::min(m.cold_ms, TimedRun(scenario, scratch.string(), &metrics,
+                                     &cold_run));
+    if (metrics.GetCounter("cache.hits").value() != 0) m.ok = false;
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::MetricsRegistry metrics;
+    pipeline::PipelineRun warm_run;
+    m.warm_ms = std::min(
+        m.warm_ms, TimedRun(scenario, scratch.string(), &metrics, &warm_run));
+    if (metrics.GetCounter("cache.misses").value() != 0) m.ok = false;
+    if (!SameArtifacts(cold_run, warm_run)) m.ok = false;
+    m.warm_hits = metrics.GetCounter("cache.hits").value();
+  }
+  std::filesystem::remove_all(scratch);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::HasFlag(argc, argv, "--smoke");
+  const std::string out_dir = StringFlag(argc, argv, "--out", ".");
+  const int reps =
+      static_cast<int>(bench::FlagValue(argc, argv, "--reps", 3));
+
+  std::vector<datasets::MatchingScenario> scenarios;
+  scenarios.push_back(datasets::BuildToyScenario());
+  if (!smoke) {
+    scenarios.push_back(datasets::BuildOc3Scenario());
+    scenarios.push_back(datasets::BuildOc3FoScenario());
+  }
+
+  bench::BenchReport report("cache_warm_vs_cold");
+  report.metrics().GetGauge("bench.smoke").Set(smoke ? 1.0 : 0.0);
+
+  std::printf("%-16s %10s %10s %12s %10s %4s\n", "scenario", "cold_ms",
+              "warm_ms", "warm_speedup", "warm_hits", "ok");
+  for (const datasets::MatchingScenario& scenario : scenarios) {
+    const Measurement m = Measure(scenario, reps);
+    const double speedup = m.cold_ms / m.warm_ms;
+    std::printf("%-16s %10.2f %10.2f %11.2fx %10llu %4s\n",
+                scenario.name.c_str(), m.cold_ms, m.warm_ms, speedup,
+                static_cast<unsigned long long>(m.warm_hits),
+                m.ok ? "yes" : "NO");
+    report.AddRow("cache_warm_vs_cold", scenario.name,
+                  {{"cold_ms", m.cold_ms},
+                   {"warm_ms", m.warm_ms},
+                   {"warm_speedup", speedup},
+                   {"warm_hits", static_cast<double>(m.warm_hits)},
+                   {"ok", m.ok ? 1.0 : 0.0}});
+  }
+  return report.Write(out_dir) ? 0 : 1;
+}

@@ -1,8 +1,13 @@
 #include "embed/encoder.h"
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 
 namespace colscope::embed {
+
+std::string SentenceEncoder::CacheIdentity() const {
+  return StrFormat("encoder:dims=%zu", dims());
+}
 
 linalg::Matrix SentenceEncoder::EncodeAll(
     const std::vector<std::string>& texts) const {

@@ -27,6 +27,14 @@ class SentenceEncoder {
   /// Signature dimensionality |v|.
   virtual size_t dims() const = 0;
 
+  /// Stable textual identity of this encoder's configuration, mixed into
+  /// content-addressed cache keys (see cache/): two encoders with the
+  /// same CacheIdentity MUST produce bit-identical signatures for the
+  /// same text. The default covers only the dimensionality; encoders
+  /// with more configuration (seeds, weights, lexicons) must override it
+  /// so a config change can never serve a stale cached signature.
+  virtual std::string CacheIdentity() const;
+
   /// Encodes a batch of sequences into a (n x dims) signature matrix.
   linalg::Matrix EncodeAll(const std::vector<std::string>& texts) const;
 

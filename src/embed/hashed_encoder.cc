@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/rng.h"
+#include "common/strings.h"
 #include "linalg/stats.h"
 #include "text/hashing.h"
 #include "text/tokenize.h"
@@ -16,6 +17,19 @@ HashedLexiconEncoder::HashedLexiconEncoder(HashedEncoderOptions options)
 HashedLexiconEncoder::HashedLexiconEncoder(HashedEncoderOptions options,
                                            text::Lexicon lexicon)
     : options_(options), lexicon_(std::move(lexicon)) {}
+
+std::string HashedLexiconEncoder::CacheIdentity() const {
+  // %.17g keeps the rendering bijective with the double values, so two
+  // configs differing in any weight cannot share a cache identity.
+  return StrFormat(
+      "hashed-lexicon:dims=%zu,concept=%.17g,category=%.17g,trigram=%.17g,"
+      "leading=%.17g,common=%.17g,idio=%.17g,seed=%llu,lexicon=%llx",
+      options_.dims, options_.concept_weight, options_.category_weight,
+      options_.trigram_weight, options_.leading_token_weight,
+      options_.common_weight, options_.idiosyncrasy_weight,
+      static_cast<unsigned long long>(options_.seed),
+      static_cast<unsigned long long>(lexicon_.Fingerprint()));
+}
 
 const linalg::Vector& HashedLexiconEncoder::BasisVector(
     const std::string& label) const {

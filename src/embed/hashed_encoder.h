@@ -60,6 +60,9 @@ class HashedLexiconEncoder : public SentenceEncoder {
 
   linalg::Vector Encode(std::string_view text) const override;
   size_t dims() const override { return options_.dims; }
+  /// Covers every option that changes an embedding (weights, seed, dims)
+  /// so cached signatures are invalidated by any encoder retuning.
+  std::string CacheIdentity() const override;
 
   const HashedEncoderOptions& options() const { return options_; }
 

@@ -2,6 +2,16 @@
 
 namespace colscope::matching {
 
+std::set<ElementPair> Matcher::MatchBlock(
+    const scoping::SignatureSet& signatures, const std::vector<bool>& active,
+    int schema_a, int schema_b) const {
+  (void)signatures;
+  (void)active;
+  (void)schema_a;
+  (void)schema_b;
+  return {};
+}
+
 ElementPair MakePair(schema::ElementRef a, schema::ElementRef b) {
   if (b < a) std::swap(a, b);
   return {a, b};

@@ -32,6 +32,22 @@ class Matcher {
   virtual std::set<ElementPair> Match(
       const scoping::SignatureSet& signatures,
       const std::vector<bool>& active) const = 0;
+
+  /// Identity of this matcher's block decomposition for content-addressed
+  /// caching (see cache/pipeline_cache.h): a canonical string covering
+  /// every parameter that changes MatchBlock output. Empty — the default
+  /// — means the matcher does not decompose into independent per-source-
+  /// pair blocks and must run via Match().
+  virtual std::string BlockCacheId() const { return ""; }
+
+  /// Candidate linkages restricted to pairs with one element in
+  /// `schema_a` and the other in `schema_b`. Matchers with a non-empty
+  /// BlockCacheId must guarantee that the union of MatchBlock over all
+  /// unordered schema pairs equals Match() for the same inputs; the
+  /// default returns the empty set (unsupported).
+  virtual std::set<ElementPair> MatchBlock(
+      const scoping::SignatureSet& signatures,
+      const std::vector<bool>& active, int schema_a, int schema_b) const;
 };
 
 /// True if rows i and j may form a candidate: both active, different

@@ -40,6 +40,33 @@ std::set<ElementPair> SimMatcher::Match(
   return out;
 }
 
+std::string SimMatcher::BlockCacheId() const {
+  return StrFormat("sim:t=%.17g", threshold_);
+}
+
+std::set<ElementPair> SimMatcher::MatchBlock(
+    const scoping::SignatureSet& signatures, const std::vector<bool>& active,
+    int schema_a, int schema_b) const {
+  // The cross-schema candidate predicate plus the per-pair score are the
+  // same as Match(); restricting i to schema_a and j to schema_b covers
+  // exactly the pairs Match() produces between these two sources.
+  std::set<ElementPair> out;
+  const std::vector<size_t> rows_a = signatures.RowsOfSchema(schema_a);
+  const std::vector<size_t> rows_b = signatures.RowsOfSchema(schema_b);
+  for (size_t i : rows_a) {
+    for (size_t j : rows_b) {
+      if (!IsCandidate(signatures, active, i, j)) continue;
+      const double sim =
+          linalg::CosineSimilarity(signatures.signatures.RowSpan(i),
+                                   signatures.signatures.RowSpan(j));
+      if (sim >= threshold_) {
+        out.insert(MakePair(signatures.refs[i], signatures.refs[j]));
+      }
+    }
+  }
+  return out;
+}
+
 size_t SimMatcher::ComparisonCount(const scoping::SignatureSet& signatures,
                                    const std::vector<bool>& active) {
   size_t count = 0;

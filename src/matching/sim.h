@@ -25,6 +25,15 @@ class SimMatcher : public Matcher {
   std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
                               const std::vector<bool>& active) const override;
 
+  /// SIM scores every candidate pair independently, so it decomposes
+  /// exactly into per-source-pair blocks: the union of MatchBlock over
+  /// all unordered schema pairs equals Match().
+  std::string BlockCacheId() const override;
+  std::set<ElementPair> MatchBlock(const scoping::SignatureSet& signatures,
+                                   const std::vector<bool>& active,
+                                   int schema_a,
+                                   int schema_b) const override;
+
   double threshold() const { return threshold_; }
 
   /// Number of element-wise comparisons the last Match call would

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 
@@ -136,6 +137,27 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace {
+
+double SteadyNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ScopedHistogramTimer::ScopedHistogramTimer(Histogram* histogram)
+    : histogram_(histogram) {
+  if (histogram_ != nullptr) start_us_ = SteadyNowUs();
+}
+
+ScopedHistogramTimer::~ScopedHistogramTimer() {
+  if (histogram_ != nullptr) {
+    histogram_->Observe((SteadyNowUs() - start_us_) / 1000.0);
+  }
 }
 
 void SnapshotToJson(const MetricsSnapshot& snapshot, JsonWriter& json) {

@@ -122,6 +122,28 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// RAII latency sampler: records the enclosing scope's wall-clock
+/// duration (std::chrono::steady_clock, in milliseconds) into `histogram`
+/// on destruction. Inert when constructed with nullptr, so call sites can
+/// keep one unconditional declaration:
+///
+///   obs::ScopedHistogramTimer timer(
+///       metrics == nullptr ? nullptr
+///                          : &metrics->GetHistogram("cache_lookup_ms",
+///                                ExponentialBuckets(0.01, 4.0, 10)));
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* histogram);
+  ~ScopedHistogramTimer();
+
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  double start_us_ = 0.0;
+};
+
 /// Writes `snapshot` as one JSON object value into `json` (callers place
 /// it after a Key or inside an array): {"counters":{...},"gauges":{...},
 /// "histograms":{name:{bounds,counts,sum,count}}}.

@@ -95,6 +95,10 @@ uint64_t ComputeRunFingerprint(const schema::SchemaSet& set,
       h = Fnv1a64(element.text, h);
     }
   }
+  return Fnv1a64(SemanticOptionsString(options), h);
+}
+
+std::string SemanticOptionsString(const PipelineOptions& options) {
   std::string opts = StrFormat(
       "scoper=%d ev=%.17g keep=%.17g exchange=%d", static_cast<int>(options.scoper),
       options.explained_variance, options.keep_portion,
@@ -115,7 +119,7 @@ uint64_t ComputeRunFingerprint(const schema::SchemaSet& set,
         static_cast<int>(options.exchange.degraded.policy),
         options.exchange.degraded.quorum);
   }
-  return Fnv1a64(opts, h);
+  return opts;
 }
 
 CheckpointStore::CheckpointStore(std::string dir, uint64_t fingerprint,

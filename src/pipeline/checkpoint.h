@@ -34,6 +34,14 @@ const char* CheckpointPhaseToString(CheckpointPhase phase);
 uint64_t ComputeRunFingerprint(const schema::SchemaSet& set,
                                const PipelineOptions& options);
 
+/// Canonical rendering of every option that changes a phase artifact —
+/// the options half of ComputeRunFingerprint, shared with the artifact
+/// cache's keep-mask keys (see cache/pipeline_cache.h). Observability
+/// hooks, thread counts, and cache/checkpoint paths are deliberately
+/// excluded: they change what gets recorded or reused, never what gets
+/// computed.
+std::string SemanticOptionsString(const PipelineOptions& options);
+
 /// Crash-safe on-disk store of one run's phase artifacts. Each artifact
 /// is a single file `<dir>/<phase>.ckpt` in a versioned, checksummed
 /// envelope:

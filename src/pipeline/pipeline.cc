@@ -4,7 +4,10 @@
 #include <optional>
 #include <utility>
 
+#include "cache/artifact_cache.h"
+#include "cache/pipeline_cache.h"
 #include "common/check.h"
+#include "common/checksum.h"
 #include "common/strings.h"
 #include "exchange/transport.h"
 #include "obs/log.h"
@@ -146,6 +149,29 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
                   ComputeRunFingerprint(set, options_), options_.metrics);
   }
 
+  // Content-addressed artifact cache: opened per run (the deadline and
+  // cancel token are run-scoped), disabled with a warning on failure.
+  std::optional<cache::ArtifactCache> artifacts;
+  std::optional<cache::PipelineCache> memo;
+  if (!options_.cache_dir.empty()) {
+    cache::ArtifactCacheOptions copts;
+    copts.dir = options_.cache_dir;
+    copts.max_bytes = options_.cache_max_bytes;
+    copts.metrics = options_.metrics;
+    copts.cancel = options_.cancel;
+    copts.deadline = deadline;
+    Result<cache::ArtifactCache> opened =
+        cache::ArtifactCache::Open(std::move(copts));
+    if (opened.ok()) {
+      artifacts.emplace(std::move(opened).value());
+      memo.emplace(&*artifacts, encoder_, set,
+                   Fnv1a64(SemanticOptionsString(options_)));
+    } else {
+      COLSCOPE_LOG(Warn) << "artifact cache disabled: "
+                         << opened.status().ToString();
+    }
+  }
+
   /// Non-OK when the run should stop at this phase boundary.
   const auto interrupted = [&]() -> Status {
     if (options_.cancel != nullptr && options_.cancel->cancelled()) {
@@ -248,8 +274,27 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
       }
     }
     if (!resumed) {
-      run.signatures =
-          scoping::BuildSignatures(set, *encoder_, {}, options_.tracer, pool);
+      bool built = false;
+      if (memo.has_value()) {
+        Result<scoping::SignatureSet> sigs =
+            memo->BuildSignatures(options_.tracer, pool);
+        if (sigs.ok()) {
+          run.signatures = std::move(sigs).value();
+          built = true;
+        } else {
+          // Cancelled/DeadlineExceeded mid-lookup stops the run cleanly;
+          // anything else falls through to the uncached build.
+          if (Status stop = interrupted(); !stop.ok()) {
+            return finish_partial(std::move(stop));
+          }
+          COLSCOPE_LOG(Warn) << "cached signature build failed: "
+                             << sigs.status().ToString() << "; recomputing";
+        }
+      }
+      if (!built) {
+        run.signatures = scoping::BuildSignatures(set, *encoder_, {},
+                                                  options_.tracer, pool);
+      }
       maybe_write(CheckpointPhase::kSignatures,
                   scoping::SerializeSignatureSet(run.signatures));
     }
@@ -288,9 +333,15 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
           }
         }
         if (!models_resumed) {
-          Result<std::vector<scoping::LocalModel>> fitted = [&] {
+          Result<std::vector<scoping::LocalModel>> fitted =
+              [&]() -> Result<std::vector<scoping::LocalModel>> {
             obs::ScopedSpan span(options_.tracer, "pipeline.fit_local_models");
             span.AddArg("schemas", static_cast<long long>(set.num_schemas()));
+            if (memo.has_value()) {
+              return memo->FitLocalModels(run.signatures,
+                                          options_.explained_variance, pool,
+                                          options_.cancel);
+            }
             if (pool != nullptr) {
               // One fit task per schema on the shared pool. A cancel that
               // trips mid-fit surfaces as a Cancelled status handled below.
@@ -305,6 +356,13 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
             if (fitted.status().code() == StatusCode::kCancelled) {
               if (options_.metrics != nullptr) {
                 options_.metrics->GetCounter("pipeline.cancelled").Increment();
+              }
+              return finish_partial(fitted.status());
+            }
+            if (fitted.status().code() == StatusCode::kDeadlineExceeded) {
+              if (options_.metrics != nullptr) {
+                options_.metrics->GetCounter("pipeline.deadline_exceeded")
+                    .Increment();
               }
               return finish_partial(fitted.status());
             }
@@ -351,15 +409,37 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
         Result<std::vector<bool>> keep =
             [&]() -> Result<std::vector<bool>> {
           if (options_.exchange.enabled) {
+            // Exchange runs never cache the keep mask — phase III must
+            // replay over the faulty transport so the degradation report
+            // reflects this run, mirroring the checkpoint policy above.
             return ScopeViaExchange(run.signatures, set.num_schemas(),
                                     models, options_, options_.cancel,
                                     deadline, run);
           }
           obs::ScopedSpan span(options_.tracer, "pipeline.assess");
+          if (memo.has_value()) {
+            return memo->AssessAll(run.signatures, models);
+          }
           return scoping::AssessAll(run.signatures, set.num_schemas(),
                                     models);
         }();
-        if (!keep.ok()) return keep.status();
+        if (!keep.ok()) {
+          // Only the cached lookup path stops cooperatively here; the
+          // exchange path keeps its own error semantics untouched.
+          if (!options_.exchange.enabled &&
+              (keep.status().code() == StatusCode::kCancelled ||
+               keep.status().code() == StatusCode::kDeadlineExceeded)) {
+            if (options_.metrics != nullptr) {
+              options_.metrics
+                  ->GetCounter(keep.status().code() == StatusCode::kCancelled
+                                   ? "pipeline.cancelled"
+                                   : "pipeline.deadline_exceeded")
+                  .Increment();
+            }
+            return finish_partial(keep.status());
+          }
+          return keep.status();
+        }
         run.keep = std::move(keep).value();
         maybe_write(CheckpointPhase::kKeepMask,
                     scoping::SerializeKeepMask(run.keep));
@@ -409,7 +489,26 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
   {
     PhaseTimer timer(options_.metrics, options_.tracer, "match");
     obs::ScopedSpan span(options_.tracer, "pipeline.match");
-    run.linkages = matcher.Match(run.signatures, run.keep);
+    bool matched = false;
+    if (memo.has_value() && !matcher.BlockCacheId().empty()) {
+      // Per-source-pair similarity blocks: only blocks touching a dirty
+      // source (or a changed keep slice) recompute on a warm run.
+      Result<std::set<matching::ElementPair>> linked =
+          memo->Match(run.signatures, run.keep, matcher);
+      if (linked.ok()) {
+        run.linkages = std::move(linked).value();
+        matched = true;
+      } else {
+        if (Status stop = interrupted(); !stop.ok()) {
+          return finish_partial(std::move(stop));
+        }
+        COLSCOPE_LOG(Warn) << "cached match failed: "
+                           << linked.status().ToString() << "; rematching";
+      }
+    }
+    if (!matched) {
+      run.linkages = matcher.Match(run.signatures, run.keep);
+    }
     span.AddArg("linkages", static_cast<long long>(run.linkages.size()));
   }
   run.phases_completed.push_back("match");

@@ -101,6 +101,20 @@ struct PipelineOptions {
   /// run with an Internal error — simulating a crash at the worst
   /// moment a real one could happen.
   std::string crash_after_phase;
+  /// When non-empty, a content-addressed artifact cache at this
+  /// directory memoizes per-source signatures, local models, keep-mask
+  /// slices, and per-source-pair similarity blocks (see
+  /// cache/pipeline_cache.h). A warm re-run after editing one source
+  /// recomputes only that source's artifacts plus the similarity blocks
+  /// that touch it, and produces a byte-identical report. Unlike
+  /// checkpoints (which fingerprint the whole run), cache entries are
+  /// keyed per source, so the cache survives — and exploits — partial
+  /// schema deltas. A cache that cannot be opened disables itself with a
+  /// warning; it is never a correctness risk.
+  std::string cache_dir;
+  /// Soft size cap for cache_dir in bytes; 0 means unbounded. Exceeding
+  /// it evicts least-recently-used entries.
+  uint64_t cache_max_bytes = 0;
   /// Worker threads for the parallel phases (signature encoding and
   /// local-model fitting). 1 — the default — keeps every phase on the
   /// calling thread and starts no pool at all; 0 picks the hardware

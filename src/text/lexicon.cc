@@ -1,5 +1,8 @@
 #include "text/lexicon.h"
 
+#include <algorithm>
+
+#include "common/checksum.h"
 #include "common/strings.h"
 
 namespace colscope::text {
@@ -42,6 +45,27 @@ TokenSense Lexicon::Lookup(std::string_view token) const {
 
 bool Lexicon::Contains(std::string_view token) const {
   return senses_.find(colscope::ToLowerAscii(token)) != senses_.end();
+}
+
+uint64_t Lexicon::Fingerprint() const {
+  // unordered_map has no stable order; sort keys so the fingerprint is a
+  // pure function of the dictionary's content.
+  std::vector<const std::string*> keys;
+  keys.reserve(senses_.size());
+  for (const auto& [token, sense] : senses_) keys.push_back(&token);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  uint64_t h = Fnv1a64("colscope-lexicon-fingerprint v1");
+  for (const std::string* key : keys) {
+    const TokenSense& sense = senses_.at(*key);
+    h = Fnv1a64(*key, h);
+    h = Fnv1a64("\x1f", h);
+    h = Fnv1a64(sense.concept_name, h);
+    h = Fnv1a64("\x1f", h);
+    h = Fnv1a64(sense.category, h);
+    h = Fnv1a64("\x1e", h);
+  }
+  return h;
 }
 
 namespace {

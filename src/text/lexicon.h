@@ -1,6 +1,7 @@
 #ifndef COLSCOPE_TEXT_LEXICON_H_
 #define COLSCOPE_TEXT_LEXICON_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,6 +44,12 @@ class Lexicon {
   bool Contains(std::string_view token) const;
 
   size_t size() const { return senses_.size(); }
+
+  /// Order-independent stable content fingerprint (FNV-1a over the
+  /// sorted token->sense entries). Mixed into encoder cache identities
+  /// so an edited dictionary invalidates cached signatures; identical
+  /// dictionaries built in any registration order fingerprint the same.
+  uint64_t Fingerprint() const;
 
  private:
   std::unordered_map<std::string, TokenSense> senses_;

@@ -1,0 +1,96 @@
+#!/bin/sh
+# Artifact-cache determinism and invalidation check for the colscope CLI.
+#
+# Usage: check_cache_deterministic.sh CLI_BINARY TESTDATA_DIR SCRATCH_DIR
+#
+# 1. A gold run with no cache produces reference JSON.
+# 2. A cold cached run must write every artifact (misses > 0, hits = 0)
+#    and still produce byte-identical JSON.
+# 3. Warm runs at --threads 1 and --threads 8 must both be all-hit and
+#    byte-identical to gold.
+# 4. Renaming a source file (identical content) must stay all-hit.
+# 5. Editing one source must recompute only that source's artifacts:
+#    with two schemas that is exactly 2 hits (the clean source's
+#    signature block and model) and 5 misses (the dirty signature block
+#    and model, both keep slices, and the similarity block).
+#
+# Byte-identity runs deliberately omit --metrics-out: the embedded
+# metrics snapshot includes cache counters, which legitimately differ
+# between cold and warm runs. Counters are asserted from separate
+# --metrics-out files instead.
+set -eu
+
+cli=$1
+testdata=$2
+scratch=$3
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+cache="$scratch/cache"
+
+run() {
+  # $1 = output file; remaining args are appended to the base command.
+  out=$1
+  shift
+  "$cli" match \
+    --ddl "$testdata/crm.sql" --ddl "$testdata/erp.sql" \
+    --v 0.6 --log-level error --json "$@" > "$out"
+}
+
+# expect_counter FILE NAME VALUE: the metrics snapshot must report the
+# counter at exactly that value ("absent" means the key must not appear,
+# i.e. the counter stayed zero).
+expect_counter() {
+  if [ "$3" = absent ]; then
+    if grep -q "\"$2\"" "$1"; then
+      echo "FAIL: expected no $2 counter in $1" >&2
+      exit 1
+    fi
+  elif ! grep -q "\"$2\":$3" "$1"; then
+    echo "FAIL: expected $2=$3 in $1, got:" >&2
+    grep -o '"cache[^,}]*' "$1" >&2 || echo "  (no cache counters)" >&2
+    exit 1
+  fi
+}
+
+run "$scratch/gold.json"
+
+run "$scratch/cold.json" --cache-dir "$cache"
+cmp "$scratch/gold.json" "$scratch/cold.json" || {
+  echo "FAIL: cold cached run differs from the uncached gold run" >&2
+  exit 1
+}
+
+for threads in 1 8; do
+  run "$scratch/warm$threads.json" --cache-dir "$cache" --threads "$threads"
+  cmp "$scratch/gold.json" "$scratch/warm$threads.json" || {
+    echo "FAIL: warm run at --threads $threads differs from gold" >&2
+    exit 1
+  }
+done
+
+run /dev/null --cache-dir "$cache" --metrics-out "$scratch/warm_m.json"
+expect_counter "$scratch/warm_m.json" cache.misses absent
+expect_counter "$scratch/warm_m.json" cache.hits 7
+
+# A renamed-but-identical source file must still be all-hit: cache keys
+# fingerprint serialized content, and no serialized text mentions the
+# schema (file) name.
+cp "$testdata/erp.sql" "$scratch/renamed_copy.sql"
+"$cli" match --ddl "$testdata/crm.sql" --ddl "$scratch/renamed_copy.sql" \
+  --v 0.6 --log-level error --json --cache-dir "$cache" \
+  --metrics-out "$scratch/rename_m.json" > /dev/null
+expect_counter "$scratch/rename_m.json" cache.misses absent
+expect_counter "$scratch/rename_m.json" cache.hits 7
+
+# Editing one source must invalidate only its own artifacts plus the
+# shared ones derived from it.
+sed 's/fax/telefax/' "$testdata/crm.sql" > "$scratch/crm_edited.sql"
+"$cli" match --ddl "$scratch/crm_edited.sql" --ddl "$testdata/erp.sql" \
+  --v 0.6 --log-level error --json --cache-dir "$cache" \
+  --metrics-out "$scratch/delta_m.json" > /dev/null
+expect_counter "$scratch/delta_m.json" cache.hits 2
+expect_counter "$scratch/delta_m.json" cache.misses 5
+
+rm -rf "$scratch"
+echo "cache determinism OK"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Check-only clang-format gate over the repo's C++ sources.
+#
+# Usage: check_format.sh REPO_ROOT
+#
+# Exits non-zero listing every file that clang-format would rewrite;
+# never modifies anything. When clang-format is not installed (the CI
+# lint job has it; minimal local containers may not), the check is
+# skipped with a notice rather than failing the build.
+set -eu
+
+root=${1:-.}
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping format check"
+  exit 0
+fi
+
+bad=0
+for f in $(find "$root/src" "$root/tests" "$root/bench" "$root/tools" \
+    -name '*.cc' -o -name '*.h' 2> /dev/null | LC_ALL=C sort); do
+  if ! clang-format --style=file --dry-run --Werror "$f" > /dev/null 2>&1; then
+    echo "needs formatting: $f" >&2
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "check_format: run clang-format -i on the files above" >&2
+  exit 1
+fi
+echo "format OK"

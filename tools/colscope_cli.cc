@@ -80,6 +80,8 @@ struct CliArgs {
   std::string run_clock = "real";    // --run-clock real|sim
   std::string checkpoint_dir;   // --checkpoint-dir DIR
   bool resume = false;          // --resume (with --checkpoint-dir)
+  std::string cache_dir;        // --cache-dir DIR
+  uint64_t cache_max_bytes = 0;  // --cache-max-bytes N (0 = unbounded)
   std::string crash_after;      // --crash-after signatures|local_models|...
   size_t threads = 1;           // --threads N (1 = serial, 0 = hardware)
   bool explain = false;
@@ -101,6 +103,7 @@ int Usage() {
                "  [--trace-clock real|sim]\n"
                "  [--deadline-ms MS] [--run-clock real|sim]\n"
                "  [--checkpoint-dir DIR] [--resume]\n"
+               "  [--cache-dir DIR] [--cache-max-bytes N]\n"
                "  [--crash-after signatures|local_models|keep_mask]\n"
                "  [--threads N]  (1 = serial, 0 = hardware concurrency; "
                "output is identical at any N)\n");
@@ -199,6 +202,16 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       args.checkpoint_dir = value;
     } else if (flag == "--resume") {
       args.resume = true;
+    } else if (flag == "--cache-dir") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.cache_dir = value;
+    } else if (flag == "--cache-max-bytes") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 0) return false;
+      args.cache_max_bytes = static_cast<uint64_t>(n);
     } else if (flag == "--crash-after") {
       const char* value = next();
       if (value == nullptr) return false;
@@ -444,6 +457,12 @@ int RunPipeline(const CliArgs& args) {
   options.crash_after_phase = args.crash_after;
   if (args.resume && args.checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
+  options.cache_dir = args.cache_dir;
+  options.cache_max_bytes = args.cache_max_bytes;
+  if (args.cache_max_bytes != 0 && args.cache_dir.empty()) {
+    std::fprintf(stderr, "--cache-max-bytes requires --cache-dir\n");
     return 2;
   }
   if (args.scoper == "pca") {

@@ -38,13 +38,17 @@ mkdir -p "$OUT"
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
 fi
-cmake --build "$BUILD_DIR" --target linalg_kernels -j "$(nproc)" >/dev/null
+cmake --build "$BUILD_DIR" --target linalg_kernels cache_warm_vs_cold \
+  -j "$(nproc)" >/dev/null
 
 SMOKE_FLAG=()
 if [[ "$SMOKE" -eq 1 ]]; then SMOKE_FLAG=(--smoke); fi
 "$BUILD_DIR/bench/linalg_kernels" "${SMOKE_FLAG[@]}" --out "$OUT"
+"$BUILD_DIR/bench/cache_warm_vs_cold" "${SMOKE_FLAG[@]}" --out "$OUT"
 
-# Gate against the committed baseline unless this run just rewrote it.
+# Gate against the committed baselines unless this run just rewrote
+# them. The cache gate runs looser than the kernel gate: whole-pipeline
+# timings are noisier than kernel microbenchmarks.
 BASELINE_DIR=bench/baselines
 if [[ "$SMOKE" -eq 1 ]]; then BASELINE_DIR=bench/baselines/smoke; fi
 BASELINE="$BASELINE_DIR/BENCH_linalg_kernels.json"
@@ -52,6 +56,12 @@ CURRENT="$OUT/BENCH_linalg_kernels.json"
 if [[ -f "$BASELINE" && "$BASELINE" != "$CURRENT" ]]; then
   python3 tools/check_bench_regression.py \
     --baseline "$BASELINE" --current "$CURRENT"
+fi
+BASELINE="$BASELINE_DIR/BENCH_cache_warm_vs_cold.json"
+CURRENT="$OUT/BENCH_cache_warm_vs_cold.json"
+if [[ -f "$BASELINE" && "$BASELINE" != "$CURRENT" ]]; then
+  python3 tools/check_bench_regression.py \
+    --baseline "$BASELINE" --current "$CURRENT" --tolerance 0.6
 fi
 
 if [[ "$RUN_ALL" -eq 1 ]]; then

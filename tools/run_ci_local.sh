@@ -1,0 +1,83 @@
+#!/bin/sh
+# Replays every .github/workflows/ci.yml job locally, in order:
+#
+#   1. build-test matrix: {gcc, clang} x {Debug, Release} + ctest
+#   2. sanitizers:        tools/run_sanitized_tests.sh
+#   3. bench-smoke:       tools/run_benches.sh --smoke + regression gates
+#   4. lint:              header / build-artifact / format checks
+#
+# Toolchains the machine lacks (clang, ccache, clang-format) are
+# detected and skipped with a notice instead of failing, so the script
+# is useful both on full dev boxes and minimal containers. Any check
+# that *runs* and fails fails the script.
+#
+# Usage: tools/run_ci_local.sh [--skip-sanitizers] [--skip-bench]
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+skip_sanitizers=0
+skip_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) skip_sanitizers=1 ;;
+    --skip-bench) skip_bench=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+note() { printf '\n== %s ==\n' "$1"; }
+
+launcher_flags=""
+if command -v ccache > /dev/null 2>&1; then
+  launcher_flags="-DCMAKE_C_COMPILER_LAUNCHER=ccache \
+    -DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+else
+  note "ccache not found; building without a compiler launcher"
+fi
+
+# Job 1: build-test matrix.
+for compiler in gcc clang; do
+  case "$compiler" in
+    gcc) cc=gcc cxx=g++ ;;
+    clang) cc=clang cxx=clang++ ;;
+  esac
+  if ! command -v "$cxx" > /dev/null 2>&1; then
+    note "build-test[$compiler]: $cxx not found; skipping"
+    continue
+  fi
+  for build_type in Debug Release; do
+    note "build-test[$compiler/$build_type]"
+    build="build-ci-$compiler-$(echo "$build_type" | tr '[:upper:]' '[:lower:]')"
+    # shellcheck disable=SC2086  # launcher_flags is intentionally split
+    CC=$cc CXX=$cxx cmake -B "$build" -S . \
+      -DCMAKE_BUILD_TYPE="$build_type" $launcher_flags > /dev/null
+    cmake --build "$build" -j "$(nproc)" > /dev/null
+    (cd "$build" && ctest --output-on-failure -j "$(nproc)")
+  done
+done
+
+# Job 2: sanitizers.
+if [ "$skip_sanitizers" -eq 1 ]; then
+  note "sanitizers: skipped (--skip-sanitizers)"
+else
+  note "sanitizers"
+  tools/run_sanitized_tests.sh
+fi
+
+# Job 3: bench smoke + regression gates.
+if [ "$skip_bench" -eq 1 ]; then
+  note "bench-smoke: skipped (--skip-bench)"
+else
+  note "bench-smoke"
+  tools/run_benches.sh --smoke --out bench-results
+fi
+
+# Job 4: lint.
+note "lint"
+tools/check_headers.sh src "${CXX:-c++}" bench
+tools/check_no_build_artifacts.sh .
+tools/check_format.sh .
+
+note "all local CI jobs passed"
