@@ -88,6 +88,12 @@ Result<FaultProfile> ParseFaultSpec(const std::string& spec) {
       if (!ParseUint64(value, profile.seed)) {
         return Status::InvalidArgument("malformed fault seed: " + value);
       }
+    } else if (key == "drop-from") {
+      uint64_t index = 0;
+      if (!ParseUint64(value, index) || index > 0x7fffffffULL) {
+        return Status::InvalidArgument("malformed drop-from index: " + value);
+      }
+      profile.drop_from = static_cast<int>(index);
     } else if (key == "base-latency") {
       if (!ParseFiniteDouble(value, profile.base_latency_ms) ||
           profile.base_latency_ms < 0.0) {
@@ -121,6 +127,12 @@ FaultInjector::Decision FaultInjector::Decide(uint64_t publisher,
 
   Decision decision;
   decision.latency_ms = profile_.base_latency_ms * (0.5 + rng.NextDouble());
+
+  if (profile_.drop_from >= 0 &&
+      publisher == static_cast<uint64_t>(profile_.drop_from)) {
+    decision.kind = FaultKind::kDrop;
+    return decision;
+  }
 
   const double u = rng.NextDouble();
   double threshold = profile_.drop_probability;

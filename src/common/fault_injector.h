@@ -44,18 +44,24 @@ struct FaultProfile {
   /// Seed of the deterministic fault stream; identical seeds reproduce
   /// identical fault sequences regardless of fetch interleaving.
   uint64_t seed = 0;
+  /// When >= 0, every fetch whose publisher equals this schema index is
+  /// dropped, regardless of the probabilities above — the in-memory
+  /// stand-in for a crashed worker whose published models became
+  /// unreachable (see net/ and docs/DISTRIBUTED.md).
+  int drop_from = -1;
 
   /// True when any fault probability is positive.
   bool any() const {
     return drop_probability > 0.0 || delay_probability > 0.0 ||
            truncate_probability > 0.0 || corrupt_probability > 0.0 ||
-           stale_probability > 0.0;
+           stale_probability > 0.0 || drop_from >= 0;
   }
 };
 
 /// Parses a CLI-style fault spec: comma-separated key=value pairs with
 /// keys drop, delay, truncate, corrupt, stale (probabilities in [0, 1]),
-/// seed (uint64), base-latency and delay-latency (milliseconds).
+/// seed (uint64), base-latency and delay-latency (milliseconds), and
+/// drop-from (schema index whose fetches always drop).
 /// Example: "drop=0.3,corrupt=0.1,seed=42".
 Result<FaultProfile> ParseFaultSpec(const std::string& spec);
 

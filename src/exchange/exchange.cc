@@ -238,12 +238,26 @@ Result<ExchangeResult> ExchangeLocalModels(
 DegradationReport BuildDegradationReport(const ExchangeResult& result,
                                          std::string policy_name,
                                          size_t num_schemas) {
+  std::vector<size_t> arrived_per_schema;
+  arrived_per_schema.reserve(result.arrived.size());
+  for (const auto& models : result.arrived) {
+    arrived_per_schema.push_back(models.size());
+  }
+  return BuildDegradationReport(result.fetches, arrived_per_schema,
+                                std::move(policy_name), num_schemas,
+                                result.aborted);
+}
+
+DegradationReport BuildDegradationReport(
+    const std::vector<PeerFetchRecord>& fetches,
+    const std::vector<size_t>& arrived_per_schema, std::string policy_name,
+    size_t num_schemas, std::string aborted) {
   DegradationReport report;
   report.policy = std::move(policy_name);
   report.num_schemas = num_schemas;
-  report.total_fetches = result.fetches.size();
-  report.aborted = result.aborted;
-  for (const PeerFetchRecord& fetch : result.fetches) {
+  report.total_fetches = fetches.size();
+  report.aborted = std::move(aborted);
+  for (const PeerFetchRecord& fetch : fetches) {
     if (fetch.skipped) ++report.skipped_fetches;
     report.total_attempts += static_cast<size_t>(fetch.attempts);
     if (fetch.attempts > 1) {
@@ -258,10 +272,7 @@ DegradationReport BuildDegradationReport(const ExchangeResult& result,
       report.peers_lost.emplace_back(fetch.consumer, fetch.publisher);
     }
   }
-  report.arrived_per_schema.reserve(result.arrived.size());
-  for (const auto& models : result.arrived) {
-    report.arrived_per_schema.push_back(models.size());
-  }
+  report.arrived_per_schema = arrived_per_schema;
   return report;
 }
 

@@ -111,6 +111,24 @@ Result<ExchangeResult> ExchangeLocalModels(
     const CancellationToken* cancel = nullptr,
     Deadline run_deadline = Deadline());
 
+/// The full effective exchange + transport configuration of one run —
+/// fault-injector seed included — echoed into the JSON report so any
+/// degraded run can be reproduced from the report alone: the profile,
+/// retry discipline, policy, and (for distributed runs) the schema ->
+/// worker ownership map are everything the fault stream is a function
+/// of.
+struct ExchangeConfigEcho {
+  /// "in_memory" or "tcp".
+  std::string transport;
+  FaultProfile faults;
+  RetryPolicy retry;
+  std::string policy;
+  size_t quorum = 0;
+  /// Distributed runs: schema index -> owning worker "host:port", in
+  /// schema order. Empty for in-memory runs.
+  std::vector<std::pair<int, std::string>> owners;
+};
+
 /// Observability record of one degraded run: what the exchange lost,
 /// how hard it retried, which faults it survived, and which policy
 /// decided the outcome. Threaded into PipelineRun and the JSON report.
@@ -141,6 +159,14 @@ struct DegradationReport {
 DegradationReport BuildDegradationReport(const ExchangeResult& result,
                                          std::string policy_name,
                                          size_t num_schemas);
+
+/// Same summary over a bare record set — the form a distributed
+/// coordinator holds after merging workers' partial reductions, where no
+/// ExchangeResult (with its materialized model lists) ever exists.
+DegradationReport BuildDegradationReport(
+    const std::vector<PeerFetchRecord>& fetches,
+    const std::vector<size_t>& arrived_per_schema, std::string policy_name,
+    size_t num_schemas, std::string aborted = "");
 
 /// One-line human-readable summary ("policy=keep_all fetches=12 ...").
 /// Byte-stable for identical reports.

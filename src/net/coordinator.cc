@@ -1,0 +1,208 @@
+#include "net/coordinator.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/strings.h"
+#include "net/tcp_transport.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace colscope::net {
+
+namespace {
+
+/// One request/response round trip on a fresh connection. A kError reply
+/// is unwrapped into its carried status.
+Result<Frame> Call(const Endpoint& endpoint, FrameType type,
+                   const std::string& payload, const NetOptions& net) {
+  Result<Socket> socket = Socket::Connect(endpoint, net);
+  if (!socket.ok()) return socket.status();
+  Status sent = socket->SendFrame(type, payload, net);
+  if (!sent.ok()) return sent;
+  Result<Frame> reply = socket->RecvFrame(net);
+  if (reply.ok() && reply->type == FrameType::kError) {
+    return DecodeErrorPayload(reply->payload);
+  }
+  return reply;
+}
+
+}  // namespace
+
+Result<DistributedScopeResult> DistributedScope(
+    const scoping::SignatureSet& signatures, size_t num_schemas,
+    const CoordinatorOptions& options, obs::MetricsRegistry* metrics) {
+  if (options.workers.empty()) {
+    return Status::InvalidArgument("distributed run needs >= 1 worker");
+  }
+  if (num_schemas < 2) {
+    return Status::InvalidArgument(
+        "collaborative scoping needs >= 2 schemas");
+  }
+
+  const size_t num_workers = options.workers.size();
+  AssignConfig base;
+  base.num_schemas = num_schemas;
+  base.v = options.v;
+  base.degraded = options.degraded;
+  base.retry = options.retry;
+  base.faults = options.faults;
+  std::vector<std::vector<int>> shards(num_workers);
+  for (size_t schema = 0; schema < num_schemas; ++schema) {
+    base.owners[static_cast<int>(schema)] =
+        options.workers[schema % num_workers];
+    shards[schema % num_workers].push_back(static_cast<int>(schema));
+  }
+
+  DistributedScopeResult result;
+  result.assign = base;
+  for (size_t schema = 0; schema < num_schemas; ++schema) {
+    result.assign.shard.push_back(static_cast<int>(schema));
+  }
+
+  // Round 1: ship every worker its assignment; it fits and publishes its
+  // shard's models before acking. A worker that cannot be assigned is
+  // lost — its schemas degrade exactly like a mid-run death.
+  std::vector<bool> lost(num_workers, false);
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (shards[w].empty()) continue;
+    AssignConfig config = base;
+    config.shard = shards[w];
+    Result<Frame> ack = Call(options.workers[w], FrameType::kAssign,
+                             EncodeAssign(config), options.net);
+    if (!ack.ok() || ack->type != FrameType::kAssignAck) {
+      lost[w] = true;
+      COLSCOPE_LOG(Warn) << "coordinator: worker " << w << " ("
+                         << options.workers[w].ToString()
+                         << ") lost at assignment: "
+                         << (ack.ok() ? "unexpected reply frame"
+                                      : ack.status().ToString());
+    }
+  }
+
+  // Round 2: collect each surviving worker's combiner-style partial
+  // reduction. Sequential on purpose: workers serve sibling kGetModel
+  // requests on their own connection threads, so no cross-worker
+  // dependency can deadlock, and the merged result stays deterministic.
+  std::vector<std::optional<ConsumerPartial>> partials(num_schemas);
+  std::vector<exchange::PeerFetchRecord> records;
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (lost[w] || shards[w].empty()) continue;
+    Result<Frame> reply =
+        Call(options.workers[w], FrameType::kAssess, "", options.net);
+    if (!reply.ok() || reply->type != FrameType::kPartial) {
+      lost[w] = true;
+      COLSCOPE_LOG(Warn) << "coordinator: worker " << w << " ("
+                         << options.workers[w].ToString()
+                         << ") lost mid-exchange: "
+                         << (reply.ok() ? "unexpected reply frame"
+                                        : reply.status().ToString());
+      continue;
+    }
+    Result<PartialResult> partial = DecodePartial(reply->payload);
+    if (!partial.ok()) {
+      return Status::Internal(StrFormat(
+          "worker %zu sent a malformed partial: %s", w,
+          partial.status().ToString().c_str()));
+    }
+    for (ConsumerPartial& consumer : partial->consumers) {
+      const size_t index = static_cast<size_t>(consumer.consumer);
+      if (index >= num_schemas ||
+          std::find(shards[w].begin(), shards[w].end(),
+                    consumer.consumer) == shards[w].end()) {
+        return Status::Internal(StrFormat(
+            "worker %zu answered for schema %d it does not own", w,
+            consumer.consumer));
+      }
+      partials[index] = std::move(consumer);
+    }
+    for (exchange::PeerFetchRecord& record : partial->fetches) {
+      records.push_back(std::move(record));
+    }
+  }
+
+  // Lost shards: re-execute their consumers' assessments here, fetching
+  // from the survivors. A dead worker's publishers refuse connections,
+  // so those fetches drop — the same arrival sets (and therefore the
+  // same keep bits) as an in-memory exchange with a drop-from fault on
+  // the dead worker's schemas.
+  std::vector<int> lost_schemas;
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (!lost[w]) continue;
+    result.lost_workers.push_back(w);
+    lost_schemas.insert(lost_schemas.end(), shards[w].begin(),
+                        shards[w].end());
+  }
+  std::sort(lost_schemas.begin(), lost_schemas.end());
+  if (!lost_schemas.empty()) {
+    TcpTransport transport(base.owners, FaultInjector{options.faults},
+                           options.net);
+    for (int consumer : lost_schemas) {
+      partials[static_cast<size_t>(consumer)] = AssessConsumerOverTransport(
+          signatures, consumer, num_schemas, transport, options.retry,
+          options.faults.seed, options.degraded, records, metrics,
+          options.net.cancel);
+    }
+  }
+
+  // Merge, schema-ascending like AssessAllSparse: the first consumer the
+  // degradation policy refused fails the whole run with its error.
+  result.keep.assign(signatures.size(), false);
+  std::vector<size_t> arrived_per_schema(num_schemas, 0);
+  for (size_t s = 0; s < num_schemas; ++s) {
+    if (!partials[s].has_value()) {
+      return Status::Internal(
+          StrFormat("no partial result for schema %zu", s));
+    }
+    const ConsumerPartial& partial = *partials[s];
+    if (!partial.ok) {
+      return Status::Unavailable(partial.error);
+    }
+    arrived_per_schema[s] = partial.arrived;
+    const std::vector<size_t> rows =
+        signatures.RowsOfSchema(static_cast<int>(s));
+    if (partial.bits.size() != rows.size()) {
+      return Status::Internal(StrFormat(
+          "schema %zu partial has %zu bits for %zu rows", s,
+          partial.bits.size(), rows.size()));
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      result.keep[rows[i]] = partial.bits[i];
+    }
+  }
+  if (metrics != nullptr) {
+    const char* policy = scoping::DegradedPolicyToString(
+        options.degraded.policy);
+    size_t kept = 0;
+    for (bool keep : result.keep) kept += keep;
+    metrics->GetCounter(StrFormat("scoping.kept.%s", policy))
+        .Increment(kept);
+    metrics->GetCounter(StrFormat("scoping.pruned.%s", policy))
+        .Increment(result.keep.size() - kept);
+  }
+
+  // Deterministic record order regardless of which worker answered
+  // first: the consumer-major order ExchangeLocalModels produces.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const exchange::PeerFetchRecord& a,
+                      const exchange::PeerFetchRecord& b) {
+                     if (a.consumer != b.consumer) {
+                       return a.consumer < b.consumer;
+                     }
+                     return a.publisher < b.publisher;
+                   });
+  result.degradation = exchange::BuildDegradationReport(
+      records, arrived_per_schema,
+      scoping::DegradedPolicyToString(options.degraded.policy), num_schemas);
+  return result;
+}
+
+void ShutdownWorkers(const std::vector<Endpoint>& workers,
+                     const NetOptions& net) {
+  for (const Endpoint& worker : workers) {
+    (void)Call(worker, FrameType::kShutdown, "", net);
+  }
+}
+
+}  // namespace colscope::net

@@ -1,0 +1,73 @@
+#ifndef COLSCOPE_NET_COORDINATOR_H_
+#define COLSCOPE_NET_COORDINATOR_H_
+
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "exchange/exchange.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "scoping/collaborative.h"
+#include "scoping/signatures.h"
+
+namespace colscope::net {
+
+struct CoordinatorOptions {
+  /// One endpoint per live-launched worker process. Schemas are sharded
+  /// round-robin: schema i belongs to workers[i % workers.size()].
+  std::vector<Endpoint> workers;
+  /// Explained-variance target v of Algorithm 1.
+  double v = 0.8;
+  scoping::DegradedOptions degraded;
+  exchange::RetryPolicy retry;
+  /// Socket-level fault injection applied by serving workers; the seed
+  /// also drives the deterministic retry backoff.
+  FaultProfile faults;
+  NetOptions net;
+};
+
+/// Outcome of one distributed scoping run.
+struct DistributedScopeResult {
+  /// Keep-mask in signature row order, merged from the workers' partial
+  /// reductions (and local re-executions of lost shards).
+  std::vector<bool> keep;
+  exchange::DegradationReport degradation;
+  /// Worker list indices that failed assignment or died before
+  /// delivering their partial result.
+  std::vector<size_t> lost_workers;
+  /// The effective assignment every worker received (shard map, owners,
+  /// retry/fault/degradation config) — echoed into the JSON report so a
+  /// degraded run is reproducible from the report alone.
+  AssignConfig assign;
+};
+
+/// Phase II + III across worker processes: shards the schemas
+/// round-robin over `options.workers`, ships each worker its assignment
+/// (kAssign), then asks each for its combiner-style partial reduction
+/// (kAssess -> kPartial) — per-consumer keep bits instead of the
+/// |rows| x |models| verdict matrix.
+///
+/// Workers that refuse assignment or die before answering are *lost*:
+/// their consumers' assessments are re-executed at the coordinator
+/// against the surviving workers' published models, so a lost peer
+/// degrades the run exactly like an in-memory exchange whose fetches
+/// from that peer all drop — the equivalence the quorum ctest pins,
+/// byte for byte, against the `drop-from` fault profile.
+///
+/// Fails (like AssessAllSparse) when any consumer's degradation policy
+/// refuses its arrivals — quorum unmet surfaces as Unavailable.
+Result<DistributedScopeResult> DistributedScope(
+    const scoping::SignatureSet& signatures, size_t num_schemas,
+    const CoordinatorOptions& options,
+    obs::MetricsRegistry* metrics = nullptr);
+
+/// Best-effort kShutdown to every worker; errors are ignored (a dead
+/// worker cannot be shut down twice).
+void ShutdownWorkers(const std::vector<Endpoint>& workers,
+                     const NetOptions& net);
+
+}  // namespace colscope::net
+
+#endif  // COLSCOPE_NET_COORDINATOR_H_

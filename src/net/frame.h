@@ -1,0 +1,74 @@
+#ifndef COLSCOPE_NET_FRAME_H_
+#define COLSCOPE_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace colscope::net {
+
+/// Message kinds of the coordinator/worker protocol (docs/DISTRIBUTED.md).
+/// Values are part of the wire format — append, never renumber.
+enum class FrameType : uint8_t {
+  kAssign = 1,       ///< coordinator -> worker: shard + exchange config.
+  kAssignAck = 2,    ///< worker -> coordinator: models fitted + published.
+  kGetModel = 3,     ///< any -> worker: fetch one published model.
+  kModel = 4,        ///< worker -> caller: a serialized LocalModel.
+  kError = 5,        ///< worker -> caller: "<status_code> <message>".
+  kAssess = 6,       ///< coordinator -> worker: run phase III on the shard.
+  kPartial = 7,      ///< worker -> coordinator: partial keep-mask + records.
+  kShutdown = 8,     ///< coordinator -> worker: exit after acking.
+  kShutdownAck = 9,  ///< worker -> coordinator: goodbye.
+};
+
+/// True for values that map onto a FrameType member.
+bool IsKnownFrameType(uint8_t value);
+
+/// The version this build speaks. A frame with any other version is
+/// rejected before its payload is read (stale-binary skew fails fast).
+inline constexpr uint16_t kFrameVersion = 1;
+
+/// Fixed frame header size in bytes: magic(4) + version(2) + type(1) +
+/// flags(1) + payload_len(4) + fnv1a64(payload)(8).
+inline constexpr size_t kFrameHeaderSize = 20;
+
+/// Hard cap on one frame's payload. Anything larger is rejected from the
+/// header alone — a hostile or corrupt length field never triggers the
+/// allocation. Serialized model sets are tens of KB; 16 MiB is generous.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+/// One decoded protocol message.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Validated header of a frame whose payload has not been read yet.
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  uint32_t payload_len = 0;
+  uint64_t checksum = 0;
+};
+
+/// Encodes `payload` into a wire frame: header (little-endian fixed
+/// layout, FNV-1a 64 checksum of the payload) followed by the payload
+/// bytes. Byte-deterministic for identical inputs.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Parses and validates exactly kFrameHeaderSize header bytes: magic,
+/// version, known type, and payload_len <= kMaxFramePayload. Rejecting
+/// happens before any payload allocation.
+Result<FrameHeader> ParseFrameHeader(std::string_view header);
+
+/// Decodes one complete frame from `bytes`: header validation, exact
+/// length match (no truncation, no trailing garbage), checksum match.
+/// The error message names what was wrong; no outcome allocates more
+/// than `bytes.size()` bytes.
+Result<Frame> DecodeFrame(std::string_view bytes);
+
+}  // namespace colscope::net
+
+#endif  // COLSCOPE_NET_FRAME_H_

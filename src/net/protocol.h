@@ -1,0 +1,85 @@
+#ifndef COLSCOPE_NET_PROTOCOL_H_
+#define COLSCOPE_NET_PROTOCOL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/status.h"
+#include "exchange/exchange.h"
+#include "net/socket.h"
+#include "scoping/collaborative.h"
+
+namespace colscope::net {
+
+/// Everything a worker needs to act in one distributed run, shipped in
+/// the kAssign frame: which schemas it owns (and must fit + publish),
+/// where every other schema's owner listens, and the exchange discipline
+/// (retry, degradation policy, socket-level fault injection) the whole
+/// run agreed on. Text encoded, line oriented, hardened like
+/// scoping/model_io.h.
+struct AssignConfig {
+  size_t num_schemas = 0;
+  /// Explained-variance target v of Algorithm 1.
+  double v = 0.8;
+  scoping::DegradedOptions degraded;
+  exchange::RetryPolicy retry;
+  /// Socket-level fault injection profile applied by *serving* workers
+  /// (see TcpTransport); seed included so runs reproduce.
+  FaultProfile faults;
+  /// Schema indices this worker owns (fits, publishes, assesses).
+  std::vector<int> shard;
+  /// Owning worker endpoint of every schema index.
+  std::map<int, Endpoint> owners;
+};
+
+std::string EncodeAssign(const AssignConfig& config);
+Result<AssignConfig> DecodeAssign(const std::string& payload);
+
+/// kGetModel payload: which publisher's model, on behalf of which
+/// consumer, on which (0-based) retry attempt — the triple the
+/// deterministic fault injector keys on.
+struct GetModelRequest {
+  int publisher = 0;
+  int consumer = 0;
+  int attempt = 0;
+};
+
+std::string EncodeGetModel(const GetModelRequest& request);
+Result<GetModelRequest> DecodeGetModel(const std::string& payload);
+
+/// kError payload: "<status_code_name> <message>". Decoding an unknown
+/// code yields kUnavailable (fail towards retry, not towards crash).
+std::string EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(const std::string& payload);
+
+/// One schema's combiner-style partial reduction: the |rows| keep bits
+/// (already OR-reduced over every foreign model verdict at the worker)
+/// instead of the |rows| x |models| verdict matrix — the memory-bounded
+/// aggregation shape of Mimir-style MapReduce combiners.
+struct ConsumerPartial {
+  int consumer = 0;
+  /// False when the degradation policy refused this schema (e.g. quorum
+  /// unmet); `error` then carries the policy's message and `bits` is
+  /// empty.
+  bool ok = false;
+  std::string error;
+  /// Foreign models this consumer obtained.
+  size_t arrived = 0;
+  std::vector<bool> bits;
+};
+
+/// kPartial payload: per-consumer reduced masks plus the fetch
+/// accounting records the coordinator folds into the DegradationReport.
+struct PartialResult {
+  std::vector<ConsumerPartial> consumers;
+  std::vector<exchange::PeerFetchRecord> fetches;
+};
+
+std::string EncodePartial(const PartialResult& partial);
+Result<PartialResult> DecodePartial(const std::string& payload);
+
+}  // namespace colscope::net
+
+#endif  // COLSCOPE_NET_PROTOCOL_H_

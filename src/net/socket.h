@@ -1,0 +1,120 @@
+#ifndef COLSCOPE_NET_SOCKET_H_
+#define COLSCOPE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace colscope::obs {
+class MetricsRegistry;
+}  // namespace colscope::obs
+
+namespace colscope::net {
+
+/// A TCP peer address. Workers listen on one; the coordinator and
+/// TcpTransport dial them.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+/// Parses "host:port" ("127.0.0.1:0", port 0 = ephemeral bind).
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+/// Timeouts, deadline, cancellation, and metrics shared by every socket
+/// operation. Effective wait of one operation is the smaller of its
+/// timeout and the run deadline's remaining budget; a non-null cancel
+/// token is polled every few milliseconds, so cancellation unblocks I/O
+/// promptly instead of waiting out the timeout. A non-null registry
+/// collects the net.* counters (bytes/frames sent and received, connects,
+/// connect failures, timeouts, frames rejected).
+struct NetOptions {
+  double connect_timeout_ms = 5000.0;
+  /// Budget for one whole frame read or write.
+  double io_timeout_ms = 30000.0;
+  Deadline deadline;
+  const CancellationToken* cancel = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// RAII non-blocking TCP connection. Movable, closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Dials `endpoint` within the connect timeout. A refused, unreachable,
+  /// or timed-out connect is Unavailable; a tripped cancel token is
+  /// Cancelled; an exhausted deadline is DeadlineExceeded.
+  static Result<Socket> Connect(const Endpoint& endpoint,
+                                const NetOptions& options);
+
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Writes all of `data`, waiting for socket writability under the
+  /// io timeout / deadline / cancel discipline of `options`.
+  Status SendAll(std::string_view data, const NetOptions& options);
+
+  /// Reads exactly `len` bytes into `out` (appended). A peer that closes
+  /// mid-read yields Unavailable ("connection closed after N of M
+  /// bytes"); timeouts are DeadlineExceeded.
+  Status RecvExact(std::string& out, size_t len, const NetOptions& options);
+
+  /// Sends one protocol frame.
+  Status SendFrame(FrameType type, std::string_view payload,
+                   const NetOptions& options);
+
+  /// Receives one protocol frame: reads and validates the fixed header
+  /// first (so a hostile length is rejected before any payload
+  /// allocation), then the payload, then verifies the checksum.
+  /// Validation failures are InvalidArgument and count as
+  /// net.frames_rejected.
+  Result<Frame> RecvFrame(const NetOptions& options);
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII listening socket bound to 127.0.0.1-style host:port. Port 0
+/// binds an ephemeral port; port() reports the one the kernel chose —
+/// the harness plumbing that keeps multi-process tests collision-free.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static Result<Listener> Bind(const Endpoint& endpoint);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection, waiting up to `wait_ms` (cancel-aware via
+  /// `options`). NotFound when the wait elapsed with no connection —
+  /// callers poll in a loop so shutdown flags get checked between waits.
+  Result<Socket> Accept(double wait_ms, const NetOptions& options);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace colscope::net
+
+#endif  // COLSCOPE_NET_SOCKET_H_

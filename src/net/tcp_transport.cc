@@ -1,0 +1,154 @@
+#include "net/tcp_transport.h"
+
+#include "common/strings.h"
+
+namespace colscope::net {
+
+using exchange::FetchResponse;
+
+Status TcpTransport::Publish(int publisher, std::string payload) {
+  local_publishers_[publisher] = true;
+  return local_.Publish(publisher, std::move(payload));
+}
+
+FetchResponse TcpTransport::Fetch(int publisher, int consumer,
+                                  int attempt) const {
+  if (local_publishers_.count(publisher) > 0) {
+    return local_.Fetch(publisher, consumer, attempt);
+  }
+
+  FetchResponse response;
+  const auto owner = owners_.find(publisher);
+  if (owner == owners_.end()) {
+    // No process claims this schema: permanent, like an unpublished
+    // in-memory model.
+    response.status = Status::NotFound(
+        StrFormat("no worker owns schema %d", publisher));
+    return response;
+  }
+
+  Result<Socket> socket = Socket::Connect(owner->second, options_);
+  if (!socket.ok()) {
+    // Refused / unreachable / reset reads as a dropped payload; cancel
+    // and run-deadline outcomes keep their codes so the retry loop stops
+    // instead of burning attempts.
+    response.status = socket.status();
+    if (socket.status().code() == StatusCode::kUnavailable) {
+      response.fault = FaultKind::kDrop;
+    }
+    return response;
+  }
+
+  GetModelRequest request;
+  request.publisher = publisher;
+  request.consumer = consumer;
+  request.attempt = attempt;
+  Status sent = socket->SendFrame(FrameType::kGetModel,
+                                  EncodeGetModel(request), options_);
+  if (!sent.ok()) {
+    response.status = std::move(sent);
+    if (response.status.code() == StatusCode::kUnavailable) {
+      response.fault = FaultKind::kDrop;
+    }
+    return response;
+  }
+
+  Result<Frame> frame = socket->RecvFrame(options_);
+  if (!frame.ok()) {
+    response.status = frame.status();
+    switch (frame.status().code()) {
+      case StatusCode::kUnavailable: {
+        // Peer closed the connection. Nothing arrived at all -> the
+        // response was dropped; some frame bytes arrived -> the frame
+        // was truncated mid-wire.
+        const std::string& message = frame.status().message();
+        const bool nothing_arrived =
+            message.find(StrFormat("connection closed after 0 of %zu",
+                                   kFrameHeaderSize)) != std::string::npos;
+        response.fault =
+            nothing_arrived ? FaultKind::kDrop : FaultKind::kTruncate;
+        break;
+      }
+      case StatusCode::kInvalidArgument:
+        // Header parsed but the payload failed validation: a corrupt
+        // frame if the checksum disagreed, a truncated one otherwise.
+        response.fault =
+            frame.status().message().find("checksum") != std::string::npos
+                ? FaultKind::kCorrupt
+                : FaultKind::kTruncate;
+        break;
+      default:
+        break;  // Cancelled / DeadlineExceeded carry no fault kind.
+    }
+    return response;
+  }
+
+  if (frame->type == FrameType::kError) {
+    response.status = DecodeErrorPayload(frame->payload);
+    if (response.status.code() == StatusCode::kUnavailable) {
+      response.fault = FaultKind::kDrop;
+    }
+    return response;
+  }
+  if (frame->type != FrameType::kModel) {
+    response.status = Status::InvalidArgument(
+        StrFormat("expected a model frame, got type %u",
+                  static_cast<unsigned>(frame->type)));
+    return response;
+  }
+
+  // An intact frame may still carry a server-injected truncated, corrupt,
+  // or stale payload — deliberately not failed here, matching
+  // InMemoryTransport: the receiver detects it by parsing.
+  response.status = Status::Ok();
+  response.payload = std::move(frame->payload);
+  return response;
+}
+
+ConsumerPartial AssessConsumerOverTransport(
+    const scoping::SignatureSet& signatures, int consumer,
+    size_t num_schemas, const exchange::ModelTransport& transport,
+    const exchange::RetryPolicy& retry, uint64_t backoff_seed,
+    const scoping::DegradedOptions& degraded,
+    std::vector<exchange::PeerFetchRecord>& fetches,
+    obs::MetricsRegistry* metrics, const CancellationToken* cancel) {
+  std::vector<scoping::LocalModel> arrived;
+  for (size_t p = 0; p < num_schemas; ++p) {
+    const int publisher = static_cast<int>(p);
+    if (publisher == consumer) continue;
+    exchange::FetchOutcome outcome = exchange::FetchModelWithRetry(
+        transport, publisher, consumer, retry, backoff_seed, metrics,
+        cancel);
+    exchange::PeerFetchRecord record;
+    record.publisher = publisher;
+    record.consumer = consumer;
+    record.attempts = outcome.attempts;
+    record.elapsed_ms = outcome.elapsed_ms;
+    record.ok = outcome.status.ok();
+    record.faults = std::move(outcome.faults);
+    if (record.ok) {
+      arrived.push_back(std::move(*outcome.model));
+    } else {
+      record.error = outcome.status.ToString();
+    }
+    fetches.push_back(std::move(record));
+  }
+
+  ConsumerPartial reduced;
+  reduced.consumer = consumer;
+  reduced.arrived = arrived.size();
+  const size_t expected_peers = num_schemas > 0 ? num_schemas - 1 : 0;
+  Result<std::vector<bool>> bits = scoping::AssessLinkabilityDegraded(
+      signatures.SchemaSignatures(consumer), consumer, arrived,
+      expected_peers, degraded);
+  if (bits.ok()) {
+    reduced.ok = true;
+    reduced.bits = std::move(bits).value();
+  } else {
+    reduced.ok = false;
+    reduced.error = bits.status().ToString();
+  }
+  return reduced;
+}
+
+}  // namespace colscope::net

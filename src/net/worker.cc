@@ -1,0 +1,308 @@
+#include "net/worker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "exchange/exchange.h"
+#include "net/tcp_transport.h"
+#include "obs/log.h"
+#include "scoping/collaborative.h"
+#include "scoping/model_io.h"
+
+namespace colscope::net {
+
+struct WorkerServer::State {
+  const scoping::SignatureSet* signatures = nullptr;
+  WorkerOptions options;
+  Listener listener;
+  std::atomic<bool> stop{false};
+
+  std::mutex mu;
+  /// Set by kAssign (guarded by mu).
+  std::optional<AssignConfig> config;
+  /// publisher -> published serialized versions, oldest first (guarded
+  /// by mu). kStale serves versions.front(), healthy fetches the back.
+  std::map<int, std::vector<std::string>> models;
+};
+
+namespace {
+
+using State = WorkerServer::State;
+
+/// Writes `port` to `path` atomically (tmp + rename) so a polling test
+/// harness never observes a half-written number.
+Status WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open port file: " + tmp);
+    }
+    out << port << "\n";
+    if (!out.flush()) {
+      return Status::Internal("cannot write port file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename port file into place: " + path);
+  }
+  return Status::Ok();
+}
+
+void SendError(Socket& socket, const Status& status,
+               const NetOptions& options) {
+  // Best effort: the requester also handles an abrupt close.
+  (void)socket.SendFrame(FrameType::kError, EncodeErrorPayload(status),
+                         options);
+}
+
+void HandleAssign(State& state, Socket& socket, const Frame& frame) {
+  Result<AssignConfig> config = DecodeAssign(frame.payload);
+  if (!config.ok()) {
+    SendError(socket, config.status(), state.options.net);
+    return;
+  }
+  std::map<int, std::vector<std::string>> fitted;
+  for (int schema : config->shard) {
+    Result<scoping::LocalModel> model = scoping::LocalModel::Fit(
+        state.signatures->SchemaSignatures(schema), config->v, schema);
+    if (!model.ok()) {
+      SendError(socket, model.status(), state.options.net);
+      return;
+    }
+    fitted[schema].push_back(scoping::SerializeLocalModel(*model));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.config = std::move(config).value();
+    for (auto& [schema, versions] : fitted) {
+      auto& store = state.models[schema];
+      for (std::string& payload : versions) {
+        store.push_back(std::move(payload));
+      }
+    }
+  }
+  (void)socket.SendFrame(FrameType::kAssignAck,
+                         StrFormat("ok %zu", fitted.size()),
+                         state.options.net);
+  if (state.options.crash_after_assign) {
+    // The deterministic mid-exchange death of the quorum ctest: the ack
+    // is on the wire, the models are published, and the process dies
+    // before any peer can fetch them.
+    raise(SIGKILL);
+  }
+}
+
+void HandleGetModel(State& state, Socket& socket, const Frame& frame) {
+  Result<GetModelRequest> request = DecodeGetModel(frame.payload);
+  if (!request.ok()) {
+    SendError(socket, request.status(), state.options.net);
+    return;
+  }
+  FaultProfile faults;
+  std::string fresh;
+  std::string oldest;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.config.has_value()) {
+      SendError(socket,
+                Status::FailedPrecondition("worker has no assignment yet"),
+                state.options.net);
+      return;
+    }
+    const auto versions = state.models.find(request->publisher);
+    if (versions == state.models.end() || versions->second.empty()) {
+      // Permanent, exactly like fetching an unpublished in-memory model:
+      // the retry loop treats NotFound as not worth retrying.
+      SendError(socket,
+                Status::NotFound(StrFormat("schema %d model not published "
+                                           "on this worker",
+                                           request->publisher)),
+                state.options.net);
+      return;
+    }
+    faults = state.config->faults;
+    fresh = versions->second.back();
+    oldest = versions->second.front();
+  }
+
+  // Server-side fault injection: the same deterministic
+  // (publisher, consumer, attempt) stream as the in-memory transport,
+  // realized at the socket layer.
+  const FaultInjector injector{faults};
+  const FaultInjector::Decision decision =
+      injector.Decide(static_cast<uint64_t>(request->publisher),
+                      static_cast<uint64_t>(request->consumer),
+                      static_cast<uint64_t>(request->attempt), fresh.size());
+  switch (decision.kind) {
+    case FaultKind::kDrop:
+      // Close without responding; the fetcher sees EOF before any frame
+      // byte and classifies a drop.
+      return;
+    case FaultKind::kDelay: {
+      const auto wait =
+          std::chrono::duration<double, std::milli>(decision.latency_ms);
+      std::this_thread::sleep_for(wait);
+      (void)socket.SendFrame(FrameType::kModel, fresh, state.options.net);
+      return;
+    }
+    case FaultKind::kTruncate: {
+      // Mid-frame wire truncation: a strict prefix of the encoded frame,
+      // then EOF. The fetcher's RecvFrame dies inside the payload.
+      const std::string encoded = EncodeFrame(FrameType::kModel, fresh);
+      const size_t cut =
+          std::min(encoded.size(), kFrameHeaderSize + decision.truncate_at);
+      (void)socket.SendAll(std::string_view(encoded).substr(0, cut),
+                           state.options.net);
+      return;
+    }
+    case FaultKind::kCorrupt: {
+      // Flip one payload byte *before* framing, so the checksum honestly
+      // covers the corrupted bytes and the frame arrives intact — like
+      // the in-memory transport, the defect is only detectable by
+      // parsing the payload, which is what the fetch retry loop does.
+      std::string corrupted = fresh;
+      if (!corrupted.empty()) {
+        corrupted[decision.corrupt_pos % corrupted.size()] ^=
+            static_cast<char>(decision.corrupt_mask);
+      }
+      (void)socket.SendFrame(FrameType::kModel, corrupted,
+                             state.options.net);
+      return;
+    }
+    case FaultKind::kStale:
+      (void)socket.SendFrame(FrameType::kModel, oldest, state.options.net);
+      return;
+    case FaultKind::kNone:
+      (void)socket.SendFrame(FrameType::kModel, fresh, state.options.net);
+      return;
+  }
+}
+
+void HandleAssess(State& state, Socket& socket) {
+  AssignConfig config;
+  std::map<int, std::vector<std::string>> models;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.config.has_value()) {
+      SendError(socket,
+                Status::FailedPrecondition("worker has no assignment yet"),
+                state.options.net);
+      return;
+    }
+    config = *state.config;
+    models = state.models;
+  }
+
+  // Foreign models come over the wire; the worker's own shard is served
+  // through the transport's embedded in-memory path so local fetches see
+  // the same deterministic fault stream as a single-process run.
+  TcpTransport transport(config.owners, FaultInjector{config.faults},
+                         state.options.net);
+  for (const auto& [publisher, versions] : models) {
+    for (const std::string& payload : versions) {
+      (void)transport.Publish(publisher, payload);
+    }
+  }
+
+  std::vector<int> consumers = config.shard;
+  std::sort(consumers.begin(), consumers.end());
+
+  PartialResult partial;
+  for (int consumer : consumers) {
+    partial.consumers.push_back(AssessConsumerOverTransport(
+        *state.signatures, consumer, config.num_schemas, transport,
+        config.retry, config.faults.seed, config.degraded, partial.fetches,
+        state.options.net.metrics, state.options.net.cancel));
+  }
+
+  (void)socket.SendFrame(FrameType::kPartial, EncodePartial(partial),
+                         state.options.net);
+}
+
+void HandleConnection(std::shared_ptr<State> state, Socket socket) {
+  Result<Frame> frame = socket.RecvFrame(state->options.net);
+  if (!frame.ok()) {
+    COLSCOPE_LOG(Debug) << "worker: dropping connection: "
+                        << frame.status().ToString();
+    return;
+  }
+  switch (frame->type) {
+    case FrameType::kAssign:
+      HandleAssign(*state, socket, *frame);
+      return;
+    case FrameType::kGetModel:
+      HandleGetModel(*state, socket, *frame);
+      return;
+    case FrameType::kAssess:
+      HandleAssess(*state, socket);
+      return;
+    case FrameType::kShutdown:
+      state->stop.store(true);
+      (void)socket.SendFrame(FrameType::kShutdownAck, "",
+                             state->options.net);
+      return;
+    default:
+      SendError(socket,
+                Status::InvalidArgument(StrFormat(
+                    "worker cannot serve frame type %u",
+                    static_cast<unsigned>(frame->type))),
+                state->options.net);
+      return;
+  }
+}
+
+}  // namespace
+
+uint16_t WorkerServer::port() const { return state_->listener.port(); }
+
+void WorkerServer::RequestStop() { state_->stop.store(true); }
+
+Result<WorkerServer> WorkerServer::Create(
+    const scoping::SignatureSet* signatures, WorkerOptions options) {
+  if (signatures == nullptr) {
+    return Status::InvalidArgument("worker needs a signature set");
+  }
+  Result<Listener> listener = Listener::Bind(options.listen);
+  if (!listener.ok()) return listener.status();
+
+  WorkerServer server;
+  server.state_ = std::make_shared<State>();
+  server.state_->signatures = signatures;
+  server.state_->listener = std::move(listener).value();
+  server.state_->options = std::move(options);
+  if (!server.state_->options.port_file.empty()) {
+    COLSCOPE_RETURN_IF_ERROR(WritePortFile(server.state_->options.port_file,
+                                           server.state_->listener.port()));
+  }
+  COLSCOPE_LOG(Info) << "worker listening on port "
+                     << server.state_->listener.port();
+  return server;
+}
+
+Status WorkerServer::Serve() {
+  std::vector<std::thread> threads;
+  while (!state_->stop.load()) {
+    Result<Socket> socket =
+        state_->listener.Accept(100.0, state_->options.net);
+    if (!socket.ok()) {
+      if (socket.status().code() == StatusCode::kNotFound) continue;
+      if (socket.status().code() == StatusCode::kCancelled) break;
+      for (std::thread& thread : threads) thread.join();
+      return socket.status();
+    }
+    threads.emplace_back(HandleConnection, state_,
+                         std::move(socket).value());
+  }
+  for (std::thread& thread : threads) thread.join();
+  return Status::Ok();
+}
+
+}  // namespace colscope::net

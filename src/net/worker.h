@@ -1,0 +1,79 @@
+#ifndef COLSCOPE_NET_WORKER_H_
+#define COLSCOPE_NET_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "scoping/signatures.h"
+
+namespace colscope::net {
+
+struct WorkerOptions {
+  /// Address to listen on; port 0 binds an ephemeral port (the
+  /// collision-free choice for tests) — port() reports the real one.
+  Endpoint listen;
+  /// When nonempty, the chosen port is written here (tmp file + rename,
+  /// so a polling harness never reads a half-written value).
+  std::string port_file;
+  /// Test hook: raise(SIGKILL) immediately after acknowledging kAssign —
+  /// the deterministic "worker dies mid-exchange" scenario the quorum
+  /// ctest drives.
+  bool crash_after_assign = false;
+  /// Socket discipline for every serving and fetching operation.
+  NetOptions net;
+};
+
+/// One worker process of a distributed scoping run. Serves, in a
+/// thread-per-connection accept loop (so sibling workers' model fetches
+/// proceed while an assessment is in flight):
+///   kAssign   -> fit + publish the assigned shard's models, ack
+///   kGetModel -> serve a published model, subject to the run's
+///                socket-level FaultInjector (drop = close without
+///                responding, truncate = send a strict prefix of the
+///                encoded frame, corrupt = flip a payload byte under an
+///                honest checksum, delay = sleep before responding,
+///                stale = serve the oldest published version)
+///   kAssess   -> fetch foreign models for each owned consumer via
+///                TcpTransport + FetchModelWithRetry, reduce to per-
+///                consumer keep bits, reply kPartial
+///   kShutdown -> ack and stop serving
+/// Every signature row stays local: only fitted models and reduced keep
+/// bits cross the wire, mirroring the paper's collaboration contract.
+class WorkerServer {
+ public:
+  /// Opaque shared worker state; public only so the connection threads
+  /// in worker.cc can name it.
+  struct State;
+
+  /// Binds the listener (and writes the port file). `signatures` must
+  /// outlive the server; the worker fits and assesses only the schemas
+  /// later assigned to it.
+  static Result<WorkerServer> Create(const scoping::SignatureSet* signatures,
+                                     WorkerOptions options);
+
+  WorkerServer(WorkerServer&&) = default;
+  WorkerServer& operator=(WorkerServer&&) = default;
+
+  uint16_t port() const;
+
+  /// Accept loop; returns after a kShutdown frame (or a fatal listener
+  /// error), once every in-flight connection thread has been joined.
+  Status Serve();
+
+  /// Makes Serve() return from another thread; pending connections
+  /// finish first.
+  void RequestStop();
+
+ private:
+  WorkerServer() = default;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace colscope::net
+
+#endif  // COLSCOPE_NET_WORKER_H_

@@ -87,6 +87,14 @@ Result<std::vector<bool>> ScopeViaExchange(
       *exchanged,
       scoping::DegradedPolicyToString(options.exchange.degraded.policy),
       num_schemas);
+  exchange::ExchangeConfigEcho echo;
+  echo.transport = "in_memory";
+  echo.faults = options.exchange.faults;
+  echo.retry = options.exchange.retry;
+  echo.policy =
+      scoping::DegradedPolicyToString(options.exchange.degraded.policy);
+  echo.quorum = options.exchange.degraded.quorum;
+  run.exchange_config = std::move(echo);
   obs::ScopedSpan span(options.tracer, "pipeline.assess");
   return scoping::AssessAllSparse(sigs, num_schemas, exchanged->arrived,
                                   options.exchange.degraded,

@@ -140,6 +140,10 @@ struct PipelineRun {
   /// Filled when the run went through the simulated model exchange:
   /// peers lost, retries, faults survived, and the policy applied.
   std::optional<exchange::DegradationReport> degradation;
+  /// The effective exchange + transport configuration (fault seed,
+  /// retry, policy, worker ownership) of exchange runs, echoed into the
+  /// JSON report so degraded runs reproduce from the report alone.
+  std::optional<exchange::ExchangeConfigEcho> exchange_config;
   /// Snapshot of PipelineOptions::metrics taken at the end of Run(), so
   /// every report doubles as a profile. Absent for uninstrumented runs.
   std::optional<obs::MetricsSnapshot> metrics;

@@ -79,6 +79,44 @@ std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
     json.Key("degradation").Null();
   }
 
+  if (run.exchange_config.has_value()) {
+    const exchange::ExchangeConfigEcho& echo = *run.exchange_config;
+    json.Key("exchange_config").BeginObject();
+    json.Key("transport").String(echo.transport);
+    json.Key("policy").String(echo.policy);
+    json.Key("quorum").Int(static_cast<long long>(echo.quorum));
+    json.Key("faults").BeginObject();
+    json.Key("drop").Number(echo.faults.drop_probability);
+    json.Key("delay").Number(echo.faults.delay_probability);
+    json.Key("truncate").Number(echo.faults.truncate_probability);
+    json.Key("corrupt").Number(echo.faults.corrupt_probability);
+    json.Key("stale").Number(echo.faults.stale_probability);
+    json.Key("base_latency_ms").Number(echo.faults.base_latency_ms);
+    json.Key("delay_latency_ms").Number(echo.faults.delay_latency_ms);
+    json.Key("seed").Int(static_cast<long long>(echo.faults.seed));
+    json.Key("drop_from").Int(echo.faults.drop_from);
+    json.EndObject();
+    json.Key("retry").BeginObject();
+    json.Key("max_attempts").Int(echo.retry.max_attempts);
+    json.Key("initial_backoff_ms").Number(echo.retry.initial_backoff_ms);
+    json.Key("backoff_multiplier").Number(echo.retry.backoff_multiplier);
+    json.Key("max_backoff_ms").Number(echo.retry.max_backoff_ms);
+    json.Key("jitter").Number(echo.retry.jitter);
+    json.Key("deadline_ms").Number(echo.retry.deadline_ms);
+    json.EndObject();
+    json.Key("owners").BeginArray();
+    for (const auto& [schema, worker] : echo.owners) {
+      json.BeginObject();
+      json.Key("schema").Int(schema);
+      json.Key("worker").String(worker);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  } else {
+    json.Key("exchange_config").Null();
+  }
+
   if (run.metrics.has_value()) {
     json.Key("metrics");
     obs::SnapshotToJson(*run.metrics, json);

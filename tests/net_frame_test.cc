@@ -1,0 +1,282 @@
+// Wire-framing tests: the length-prefixed, versioned, checksummed frame
+// codec must reject truncated, oversized, corrupt, and version-skewed
+// frames — before any payload allocation for header-level defects — and
+// round-trip payloads byte for byte. Plus the line-oriented protocol
+// payload codecs (assign / get-model / error / partial).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/checksum.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace colscope::net {
+namespace {
+
+// --- Frame encode / decode ---------------------------------------------------
+
+TEST(FrameTest, RoundTripByteIdentical) {
+  const std::string payload = "colscope-local-model v1\nmean 3 1 2 3\n";
+  const std::string wire = EncodeFrame(FrameType::kModel, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());
+
+  auto frame = DecodeFrame(wire);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kModel);
+  EXPECT_EQ(frame->payload, payload);
+
+  // Encoding is deterministic: same input, same bytes.
+  EXPECT_EQ(wire, EncodeFrame(FrameType::kModel, payload));
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  const std::string wire = EncodeFrame(FrameType::kShutdown, "");
+  ASSERT_EQ(wire.size(), kFrameHeaderSize);
+  auto frame = DecodeFrame(wire);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kShutdown);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(FrameTest, BinaryPayloadSurvives) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  auto frame = DecodeFrame(EncodeFrame(FrameType::kPartial, payload));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(FrameTest, TruncatedHeaderRejected) {
+  const std::string wire = EncodeFrame(FrameType::kModel, "payload");
+  for (size_t len = 0; len < kFrameHeaderSize; ++len) {
+    EXPECT_FALSE(DecodeFrame(wire.substr(0, len)).ok()) << len;
+  }
+}
+
+TEST(FrameTest, TruncatedPayloadRejected) {
+  const std::string wire = EncodeFrame(FrameType::kModel, "some payload");
+  for (size_t cut = kFrameHeaderSize; cut < wire.size(); ++cut) {
+    auto frame = DecodeFrame(wire.substr(0, cut));
+    EXPECT_FALSE(frame.ok()) << cut;
+  }
+}
+
+TEST(FrameTest, TrailingGarbageRejected) {
+  std::string wire = EncodeFrame(FrameType::kModel, "some payload");
+  wire += "x";
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  std::string wire = EncodeFrame(FrameType::kModel, "payload");
+  wire[0] = 'X';
+  auto frame = DecodeFrame(wire);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("magic"), std::string::npos);
+}
+
+TEST(FrameTest, VersionSkewRejected) {
+  std::string wire = EncodeFrame(FrameType::kModel, "payload");
+  wire[4] = static_cast<char>(kFrameVersion + 1);  // little-endian lo byte
+  auto frame = DecodeFrame(wire);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("version"), std::string::npos);
+}
+
+TEST(FrameTest, UnknownTypeRejected) {
+  std::string wire = EncodeFrame(FrameType::kModel, "payload");
+  wire[6] = 0;  // type byte; 0 is not a FrameType
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+  wire[6] = 99;
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+  EXPECT_FALSE(IsKnownFrameType(0));
+  EXPECT_FALSE(IsKnownFrameType(99));
+  EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(FrameType::kModel)));
+}
+
+TEST(FrameTest, OversizedLengthRejectedFromHeaderAlone) {
+  // A hostile length field must be rejected by ParseFrameHeader — i.e.
+  // before anyone allocates payload_len bytes. Build a header claiming a
+  // payload just over the cap.
+  std::string wire = EncodeFrame(FrameType::kModel, "tiny");
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(&wire[8], &huge, sizeof(huge));
+  auto header = ParseFrameHeader(std::string_view(wire).substr(
+      0, kFrameHeaderSize));
+  EXPECT_FALSE(header.ok());
+  EXPECT_NE(header.status().message().find("payload"), std::string::npos);
+
+  // At the cap is still structurally acceptable header-wise.
+  const uint32_t at_cap = kMaxFramePayload;
+  std::memcpy(&wire[8], &at_cap, sizeof(at_cap));
+  EXPECT_TRUE(
+      ParseFrameHeader(std::string_view(wire).substr(0, kFrameHeaderSize))
+          .ok());
+}
+
+TEST(FrameTest, ChecksumMismatchRejected) {
+  std::string wire = EncodeFrame(FrameType::kModel, "some payload");
+  wire[kFrameHeaderSize + 3] ^= 0x40;  // flip one payload bit
+  auto frame = DecodeFrame(wire);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(FrameTest, EveryHeaderByteFlipDetected) {
+  // Flipping any single header byte must never yield a *different*
+  // successfully-decoded frame: either the decode fails, or (for the
+  // flags/reserved byte) it may be tolerated only if the decode result
+  // is unchanged. This is the allocation-safety net for line noise.
+  const std::string payload = "abcdefgh";
+  const std::string wire = EncodeFrame(FrameType::kAssign, payload);
+  for (size_t i = 0; i < kFrameHeaderSize; ++i) {
+    std::string bent = wire;
+    bent[i] ^= 0x01;
+    auto frame = DecodeFrame(bent);
+    if (frame.ok()) {
+      EXPECT_EQ(frame->type, FrameType::kAssign) << "byte " << i;
+      EXPECT_EQ(frame->payload, payload) << "byte " << i;
+    }
+  }
+}
+
+// --- Protocol payload codecs -------------------------------------------------
+
+TEST(ProtocolTest, AssignRoundTrip) {
+  AssignConfig config;
+  config.num_schemas = 4;
+  config.v = 0.65;
+  config.degraded.policy = scoping::DegradedPolicy::kQuorum;
+  config.degraded.quorum = 2;
+  config.retry.max_attempts = 3;
+  config.retry.deadline_ms = 1234.5;
+  config.faults.drop_probability = 0.25;
+  config.faults.seed = 99;
+  config.faults.drop_from = 2;
+  config.shard = {1, 3};
+  config.owners[0] = {"127.0.0.1", 7001};
+  config.owners[1] = {"127.0.0.1", 7002};
+  config.owners[2] = {"127.0.0.1", 7001};
+  config.owners[3] = {"127.0.0.1", 7002};
+
+  auto decoded = DecodeAssign(EncodeAssign(config));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_schemas, 4u);
+  EXPECT_DOUBLE_EQ(decoded->v, 0.65);
+  EXPECT_EQ(decoded->degraded.policy, scoping::DegradedPolicy::kQuorum);
+  EXPECT_EQ(decoded->degraded.quorum, 2u);
+  EXPECT_EQ(decoded->retry.max_attempts, 3);
+  EXPECT_DOUBLE_EQ(decoded->retry.deadline_ms, 1234.5);
+  EXPECT_DOUBLE_EQ(decoded->faults.drop_probability, 0.25);
+  EXPECT_EQ(decoded->faults.seed, 99u);
+  EXPECT_EQ(decoded->faults.drop_from, 2);
+  EXPECT_EQ(decoded->shard, (std::vector<int>{1, 3}));
+  ASSERT_EQ(decoded->owners.size(), 4u);
+  EXPECT_EQ(decoded->owners[1].port, 7002);
+
+  // Encoding is deterministic.
+  EXPECT_EQ(EncodeAssign(config), EncodeAssign(config));
+}
+
+TEST(ProtocolTest, AssignRejectsGarbage) {
+  EXPECT_FALSE(DecodeAssign("").ok());
+  EXPECT_FALSE(DecodeAssign("not-an-assign v1\n").ok());
+  EXPECT_FALSE(DecodeAssign("colscope-assign v2\n").ok());
+  // Truncations of a valid encoding must never decode.
+  AssignConfig config;
+  config.num_schemas = 2;
+  config.shard = {0};
+  config.owners[0] = {"127.0.0.1", 7001};
+  config.owners[1] = {"127.0.0.1", 7002};
+  const std::string wire = EncodeAssign(config);
+  for (size_t cut = 0; cut < wire.size(); cut += 7) {
+    EXPECT_FALSE(DecodeAssign(wire.substr(0, cut)).ok()) << cut;
+  }
+}
+
+TEST(ProtocolTest, GetModelRoundTrip) {
+  GetModelRequest request{3, 1, 4};
+  auto decoded = DecodeGetModel(EncodeGetModel(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->publisher, 3);
+  EXPECT_EQ(decoded->consumer, 1);
+  EXPECT_EQ(decoded->attempt, 4);
+  EXPECT_FALSE(DecodeGetModel("bogus").ok());
+  EXPECT_FALSE(DecodeGetModel("").ok());
+}
+
+TEST(ProtocolTest, ErrorPayloadRoundTrip) {
+  const Status status = Status::NotFound("model 3 not published");
+  const Status decoded = DecodeErrorPayload(EncodeErrorPayload(status));
+  EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
+  EXPECT_EQ(decoded.message(), "model 3 not published");
+  // Unknown code decodes towards retry, not crash.
+  EXPECT_EQ(DecodeErrorPayload("WAT broken").code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ProtocolTest, PartialRoundTrip) {
+  PartialResult partial;
+  ConsumerPartial good;
+  good.consumer = 1;
+  good.ok = true;
+  good.arrived = 2;
+  good.bits = {true, false, true};
+  ConsumerPartial bad;
+  bad.consumer = 3;
+  bad.ok = false;
+  bad.arrived = 0;
+  bad.error = "quorum unmet: 0 < 2";
+  partial.consumers = {good, bad};
+  exchange::PeerFetchRecord record;
+  record.publisher = 0;
+  record.consumer = 1;
+  record.attempts = 2;
+  record.elapsed_ms = 12.5;
+  record.ok = true;
+  record.faults = {FaultKind::kDrop, FaultKind::kNone};
+  partial.fetches = {record};
+
+  auto decoded = DecodePartial(EncodePartial(partial));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->consumers.size(), 2u);
+  EXPECT_TRUE(decoded->consumers[0].ok);
+  EXPECT_EQ(decoded->consumers[0].arrived, 2u);
+  EXPECT_EQ(decoded->consumers[0].bits,
+            (std::vector<bool>{true, false, true}));
+  EXPECT_FALSE(decoded->consumers[1].ok);
+  EXPECT_EQ(decoded->consumers[1].error, "quorum unmet: 0 < 2");
+  ASSERT_EQ(decoded->fetches.size(), 1u);
+  EXPECT_EQ(decoded->fetches[0].attempts, 2);
+  EXPECT_DOUBLE_EQ(decoded->fetches[0].elapsed_ms, 12.5);
+  EXPECT_EQ(decoded->fetches[0].faults,
+            (std::vector<FaultKind>{FaultKind::kDrop, FaultKind::kNone}));
+
+  // Framed round trip is byte-identical to the in-memory payload.
+  const std::string payload = EncodePartial(partial);
+  auto frame = DecodeFrame(EncodeFrame(FrameType::kPartial, payload));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(ProtocolTest, PartialRejectsTruncationAndCountLies) {
+  PartialResult partial;
+  ConsumerPartial one;
+  one.consumer = 0;
+  one.ok = true;
+  one.arrived = 1;
+  one.bits = {true};
+  partial.consumers = {one};
+  const std::string wire = EncodePartial(partial);
+  for (size_t cut = 0; cut < wire.size(); cut += 5) {
+    EXPECT_FALSE(DecodePartial(wire.substr(0, cut)).ok()) << cut;
+  }
+  EXPECT_FALSE(DecodePartial("colscope-partial v1\nconsumers 9999999999\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace colscope::net

@@ -1,0 +1,331 @@
+// Socket-level tests of the distributed exchange: TcpTransport against a
+// live WorkerServer in this process — byte-identical model round trips,
+// the socket fault taxonomy (refused connect, mid-frame truncation,
+// corruption under an honest checksum, staleness), ephemeral-port
+// binding with the port file, and cancellation of blocked I/O.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/fault_injector.h"
+#include "datasets/toy.h"
+#include "embed/hashed_encoder.h"
+#include "exchange/exchange.h"
+#include "net/coordinator.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "net/tcp_transport.h"
+#include "net/worker.h"
+#include "scoping/model_io.h"
+#include "scoping/signatures.h"
+
+namespace colscope::net {
+namespace {
+
+using exchange::FetchModelWithRetry;
+using exchange::RetryPolicy;
+
+// One in-process worker serving the toy scenario's schemas, plus the
+// plumbing to assign it a shard and point a TcpTransport at it.
+class TcpTransportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = datasets::BuildToyScenario();
+    signatures_ = scoping::BuildSignatures(scenario_.set, encoder_);
+    num_schemas_ = scenario_.set.num_schemas();
+  }
+
+  void TearDown() override {
+    for (auto& worker : workers_) {
+      worker.server.RequestStop();
+    }
+    for (auto& worker : workers_) {
+      if (worker.thread.joinable()) worker.thread.join();
+    }
+  }
+
+  struct LiveWorker {
+    WorkerServer server;
+    std::thread thread;
+    Endpoint endpoint;
+  };
+
+  // Starts a worker on an ephemeral port and begins serving.
+  LiveWorker& StartWorker(WorkerOptions options = {}) {
+    options.listen = Endpoint{"127.0.0.1", 0};
+    auto server = WorkerServer::Create(&signatures_, options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    workers_.push_back(LiveWorker{std::move(server).value(), {}, {}});
+    LiveWorker& worker = workers_.back();
+    worker.endpoint = Endpoint{"127.0.0.1", worker.server.port()};
+    worker.thread = std::thread([&worker] { (void)worker.server.Serve(); });
+    return worker;
+  }
+
+  // Ships `worker` an assignment covering every schema, with the given
+  // fault profile applied server-side to kGetModel.
+  void Assign(const LiveWorker& worker, const FaultProfile& faults) {
+    AssignConfig config;
+    config.num_schemas = num_schemas_;
+    config.v = 0.8;
+    config.faults = faults;
+    for (size_t i = 0; i < num_schemas_; ++i) {
+      config.shard.push_back(static_cast<int>(i));
+      config.owners[static_cast<int>(i)] = worker.endpoint;
+    }
+    NetOptions net;
+    auto socket = Socket::Connect(worker.endpoint, net);
+    ASSERT_TRUE(socket.ok()) << socket.status().ToString();
+    ASSERT_TRUE(socket->SendFrame(FrameType::kAssign, EncodeAssign(config),
+                                  net)
+                    .ok());
+    auto ack = socket->RecvFrame(net);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    ASSERT_EQ(ack->type, FrameType::kAssignAck);
+  }
+
+  // A transport whose every schema is owned by `worker` (nothing local).
+  TcpTransport RemoteTransport(const LiveWorker& worker,
+                               const FaultProfile& faults = {},
+                               NetOptions net = {}) {
+    std::map<int, Endpoint> owners;
+    for (size_t i = 0; i < num_schemas_; ++i) {
+      owners[static_cast<int>(i)] = worker.endpoint;
+    }
+    return TcpTransport(std::move(owners), FaultInjector(faults), net);
+  }
+
+  std::string ExpectedModel(int schema) {
+    auto model = scoping::LocalModel::Fit(
+        signatures_.SchemaSignatures(static_cast<size_t>(schema)), 0.8,
+        schema);
+    EXPECT_TRUE(model.ok());
+    return scoping::SerializeLocalModel(*model);
+  }
+
+  embed::HashedLexiconEncoder encoder_;
+  datasets::MatchingScenario scenario_;
+  scoping::SignatureSet signatures_;
+  size_t num_schemas_ = 0;
+  std::vector<LiveWorker> workers_;
+};
+
+TEST_F(TcpTransportTest, EphemeralPortAndPortFile) {
+  const std::string port_file =
+      ::testing::TempDir() + "/tcp_transport_test.port";
+  WorkerOptions options;
+  options.port_file = port_file;
+  LiveWorker& worker = StartWorker(options);
+  EXPECT_NE(worker.server.port(), 0);
+
+  // The harness plumbing: the real port is readable from the file.
+  std::ifstream in(port_file);
+  ASSERT_TRUE(in.good());
+  int port = 0;
+  in >> port;
+  EXPECT_EQ(port, worker.server.port());
+}
+
+TEST_F(TcpTransportTest, RemoteFetchByteIdenticalToInMemoryPayload) {
+  LiveWorker& worker = StartWorker();
+  Assign(worker, FaultProfile{});
+  TcpTransport transport = RemoteTransport(worker);
+
+  for (size_t schema = 0; schema < num_schemas_; ++schema) {
+    const auto response = transport.Fetch(static_cast<int>(schema), 0, 0);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.fault, FaultKind::kNone);
+    // The wire payload is byte-identical to what the in-memory transport
+    // would deliver: the hardened serialization of the fitted model.
+    EXPECT_EQ(response.payload, ExpectedModel(static_cast<int>(schema)));
+    // And it deserializes cleanly at the receiver.
+    EXPECT_TRUE(scoping::DeserializeLocalModel(response.payload).ok());
+  }
+}
+
+TEST_F(TcpTransportTest, LocalPublishersNeverCrossTheSocket) {
+  // No worker at this endpoint: any remote fetch would drop. Published
+  // (local) schemas must still be served, through the embedded in-memory
+  // transport.
+  std::map<int, Endpoint> owners;
+  for (size_t i = 0; i < num_schemas_; ++i) {
+    owners[static_cast<int>(i)] = Endpoint{"127.0.0.1", 1};
+  }
+  TcpTransport transport(owners, FaultInjector(FaultProfile{}), NetOptions{});
+  const std::string model = ExpectedModel(0);
+  ASSERT_TRUE(transport.Publish(0, model).ok());
+
+  const auto local = transport.Fetch(0, 1, 0);
+  ASSERT_TRUE(local.status.ok());
+  EXPECT_EQ(local.payload, model);
+
+  const auto remote = transport.Fetch(1, 0, 0);
+  EXPECT_FALSE(remote.status.ok());
+  EXPECT_EQ(remote.fault, FaultKind::kDrop);
+}
+
+TEST_F(TcpTransportTest, UnownedSchemaIsNotFound) {
+  TcpTransport transport({}, FaultInjector(FaultProfile{}), NetOptions{});
+  const auto response = transport.Fetch(7, 0, 0);
+  EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(TcpTransportTest, RefusedConnectClassifiedAsDrop) {
+  LiveWorker& worker = StartWorker();
+  Assign(worker, FaultProfile{});
+  // Point the transport at a port nobody listens on.
+  std::map<int, Endpoint> owners;
+  owners[0] = Endpoint{"127.0.0.1", 1};
+  NetOptions net;
+  net.connect_timeout_ms = 500.0;
+  TcpTransport transport(owners, FaultInjector(FaultProfile{}), net);
+  const auto response = transport.Fetch(0, 1, 0);
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(response.fault, FaultKind::kDrop);
+}
+
+TEST_F(TcpTransportTest, ServerSideDropFault) {
+  LiveWorker& worker = StartWorker();
+  FaultProfile faults;
+  faults.drop_probability = 1.0;
+  Assign(worker, faults);
+  TcpTransport transport = RemoteTransport(worker);
+
+  const auto response = transport.Fetch(0, 1, 0);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.fault, FaultKind::kDrop);
+}
+
+TEST_F(TcpTransportTest, ServerSideTruncationFault) {
+  LiveWorker& worker = StartWorker();
+  FaultProfile faults;
+  faults.truncate_probability = 1.0;
+  Assign(worker, faults);
+  TcpTransport transport = RemoteTransport(worker);
+
+  // The worker sends a strict prefix of the encoded frame, then closes:
+  // the transport sees a mid-frame EOF and classifies it kTruncate. No
+  // allocation blowup — the header's length field was validated first.
+  const auto response = transport.Fetch(0, 1, 0);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_TRUE(response.fault == FaultKind::kTruncate ||
+              response.fault == FaultKind::kDrop)
+      << FaultKindToString(response.fault);
+}
+
+TEST_F(TcpTransportTest, ServerSideCorruptionSurvivesTheWireButNotParsing) {
+  LiveWorker& worker = StartWorker();
+  FaultProfile faults;
+  faults.corrupt_probability = 1.0;
+  Assign(worker, faults);
+  TcpTransport transport = RemoteTransport(worker);
+
+  // Corruption under an honest checksum: the frame layer accepts it (the
+  // checksum covers the corrupted bytes), exactly like the in-memory
+  // transport, and the receiver detects it by parsing.
+  const auto response = transport.Fetch(0, 1, 0);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_NE(response.payload, ExpectedModel(0));
+  EXPECT_FALSE(scoping::DeserializeLocalModel(response.payload).ok());
+}
+
+TEST_F(TcpTransportTest, RetryLoopRecoversOverTcpLikeInMemory) {
+  LiveWorker& worker = StartWorker();
+  FaultProfile faults;
+  faults.drop_probability = 0.5;
+  faults.seed = 11;
+  Assign(worker, faults);
+  TcpTransport transport = RemoteTransport(worker, faults);
+
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  const auto outcome = FetchModelWithRetry(transport, 0, 1, policy, 11);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(scoping::SerializeLocalModel(*outcome.model), ExpectedModel(0));
+}
+
+TEST_F(TcpTransportTest, CancelledTokenAbortsFetch) {
+  LiveWorker& worker = StartWorker();
+  Assign(worker, FaultProfile{});
+  CancellationToken cancel;
+  cancel.Cancel();
+  NetOptions net;
+  net.cancel = &cancel;
+  TcpTransport transport = RemoteTransport(worker, FaultProfile{}, net);
+  const auto response = transport.Fetch(0, 1, 0);
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+}
+
+TEST_F(TcpTransportTest, ExpiredDeadlineAbortsFetch) {
+  LiveWorker& worker = StartWorker();
+  Assign(worker, FaultProfile{});
+  SystemRunClock clock;
+  NetOptions net;
+  net.deadline = Deadline::After(&clock, 0.0);
+  TcpTransport transport = RemoteTransport(worker, FaultProfile{}, net);
+  const auto response = transport.Fetch(0, 1, 0);
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(TcpTransportTest, AssessConsumerMatchesSingleProcessRun) {
+  LiveWorker& worker = StartWorker();
+  FaultProfile faults;
+  faults.drop_probability = 0.3;
+  faults.seed = 42;
+  Assign(worker, faults);
+  TcpTransport tcp = RemoteTransport(worker, faults);
+
+  // The same consumer assessed over the in-memory transport with the
+  // same fault stream must produce identical keep bits and identical
+  // per-fetch fault sequences — the equivalence the distributed report
+  // guarantee rests on.
+  exchange::InMemoryTransport memory{FaultInjector(faults)};
+  for (size_t i = 0; i < num_schemas_; ++i) {
+    ASSERT_TRUE(
+        memory
+            .Publish(static_cast<int>(i), ExpectedModel(static_cast<int>(i)))
+            .ok());
+  }
+
+  RetryPolicy retry;
+  scoping::DegradedOptions degraded;
+  degraded.policy = scoping::DegradedPolicy::kKeepAll;
+  std::vector<exchange::PeerFetchRecord> tcp_fetches, memory_fetches;
+  const ConsumerPartial over_tcp = AssessConsumerOverTransport(
+      signatures_, /*consumer=*/1, num_schemas_, tcp, retry, faults.seed,
+      degraded, tcp_fetches);
+  const ConsumerPartial over_memory = AssessConsumerOverTransport(
+      signatures_, /*consumer=*/1, num_schemas_, memory, retry, faults.seed,
+      degraded, memory_fetches);
+
+  EXPECT_EQ(over_tcp.ok, over_memory.ok);
+  EXPECT_EQ(over_tcp.arrived, over_memory.arrived);
+  EXPECT_EQ(over_tcp.bits, over_memory.bits);
+  ASSERT_EQ(tcp_fetches.size(), memory_fetches.size());
+  for (size_t i = 0; i < tcp_fetches.size(); ++i) {
+    EXPECT_EQ(tcp_fetches[i].ok, memory_fetches[i].ok) << i;
+    EXPECT_EQ(tcp_fetches[i].attempts, memory_fetches[i].attempts) << i;
+    EXPECT_EQ(tcp_fetches[i].faults, memory_fetches[i].faults) << i;
+  }
+}
+
+TEST_F(TcpTransportTest, ShutdownStopsServeLoop) {
+  LiveWorker& worker = StartWorker();
+  NetOptions net;
+  auto socket = Socket::Connect(worker.endpoint, net);
+  ASSERT_TRUE(socket.ok());
+  ASSERT_TRUE(socket->SendFrame(FrameType::kShutdown, "", net).ok());
+  auto ack = socket->RecvFrame(net);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, FrameType::kShutdownAck);
+  worker.thread.join();  // Serve() must return on its own.
+}
+
+}  // namespace
+}  // namespace colscope::net

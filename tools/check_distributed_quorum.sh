@@ -1,0 +1,145 @@
+#!/bin/sh
+# Distributed quorum degradation check for the colscope CLI.
+#
+# Usage: check_distributed_quorum.sh CLI_BINARY TESTDATA_DIR SCRATCH_DIR
+#
+# Topology: 4 schemas (crm, erp, hr, shop) sharded round-robin over 3
+# worker processes — w0 owns {0, 3}, w1 owns {1}, w2 owns {2}. Worker w2
+# is started with --crash-after-assign: it fits and publishes its shard,
+# acks the assignment, then raise(SIGKILL)s itself — dying mid-exchange,
+# after the run has committed to its ownership map but before any of its
+# models can be fetched.
+#
+# Under --exchange-policy quorum:2 the coordinator must:
+#   1. exit 0 (a lost peer degrades the run, it does not fail it),
+#   2. report worker 2's schema as the lost peer in the degradation
+#      block (every surviving consumer lost exactly publisher 2),
+#   3. produce elements/linkages JSON blocks byte-identical to the
+#      single-process in-memory run with the same peer dropped
+#      (--faults drop-from=2) — the transport-independence guarantee.
+set -eu
+
+cli=$1
+testdata=$2
+scratch=$3
+
+rm -rf "$scratch"
+mkdir -p "$scratch"
+
+ddls="--ddl $testdata/crm.sql --ddl $testdata/erp.sql \
+  --ddl $testdata/hr.sql --ddl $testdata/shop.sql"
+
+cleanup() {
+  kill "$w0_pid" "$w1_pid" "$w2_pid" 2> /dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+# shellcheck disable=SC2086
+"$cli" match --role worker $ddls --listen 127.0.0.1:0 \
+  --port-file "$scratch/w0.port" --log-level error 2> /dev/null &
+w0_pid=$!
+# shellcheck disable=SC2086
+"$cli" match --role worker $ddls --listen 127.0.0.1:0 \
+  --port-file "$scratch/w1.port" --log-level error 2> /dev/null &
+w1_pid=$!
+# shellcheck disable=SC2086
+"$cli" match --role worker $ddls --listen 127.0.0.1:0 \
+  --port-file "$scratch/w2.port" --crash-after-assign \
+  --log-level error 2> /dev/null &
+w2_pid=$!
+
+# Ephemeral ports: each worker bound port 0 and wrote the kernel's pick
+# to its port file (atomically, tmp + rename), so this poll never reads
+# a half-written value and the test never collides on a fixed port.
+for f in w0.port w1.port w2.port; do
+  tries=0
+  while [ ! -s "$scratch/$f" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "FAIL: worker never wrote $f" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+p0=$(cat "$scratch/w0.port")
+p1=$(cat "$scratch/w1.port")
+p2=$(cat "$scratch/w2.port")
+
+# shellcheck disable=SC2086
+"$cli" match --role coordinator $ddls \
+  --workers "127.0.0.1:$p0" --workers "127.0.0.1:$p1" \
+  --workers "127.0.0.1:$p2" \
+  --v 0.6 --exchange-policy quorum:2 --log-level error --json \
+  > "$scratch/dist.json" || {
+  echo "FAIL: quorum-scoped coordinator exited non-zero" >&2
+  exit 1
+}
+
+# The in-memory twin: same schemas, same v, same policy, with every
+# fetch from publisher 2 dropped — exactly what killing w2 looks like.
+# shellcheck disable=SC2086
+"$cli" match $ddls \
+  --v 0.6 --faults drop-from=2 --exchange-policy quorum:2 \
+  --log-level error --json > "$scratch/mem.json"
+
+python3 - "$scratch/dist.json" "$scratch/mem.json" "$scratch" << 'EOF'
+import json
+import sys
+
+dist = json.load(open(sys.argv[1]))
+mem = json.load(open(sys.argv[2]))
+scratch = sys.argv[3]
+
+assert dist["status"] == "ok", dist["status"]
+
+# The degradation report must name the lost peer: every surviving
+# consumer (0, 1, 3) lost exactly publisher 2, and consumer 2 — whose
+# owner died — was re-executed at the coordinator and lost nobody.
+deg = dist["degradation"]
+lost = sorted((p["consumer"], p["publisher"]) for p in deg["peers_lost"])
+assert lost == [(0, 2), (1, 2), (3, 2)], lost
+assert deg["policy"] == "quorum", deg["policy"]
+assert deg["failed_fetches"] == 3, deg["failed_fetches"]
+
+# The run must echo the full effective exchange + transport config,
+# fault seed and ownership map included.
+echo = dist["exchange_config"]
+assert echo["transport"] == "tcp", echo["transport"]
+assert echo["quorum"] == 2, echo["quorum"]
+assert "seed" in echo["faults"]
+assert [o["schema"] for o in echo["owners"]] == [0, 1, 2, 3]
+mem_echo = mem["exchange_config"]
+assert mem_echo["transport"] == "in_memory", mem_echo["transport"]
+assert mem_echo["faults"]["drop_from"] == 2
+
+# Transport independence, byte for byte: the surviving assessment set
+# (elements block) and the correspondences generated from it (linkages
+# block) must be identical across the two transports.
+for name, run in (("dist", dist), ("mem", mem)):
+    blocks = {"elements": run["elements"], "linkages": run["linkages"]}
+    with open(f"{scratch}/{name}.blocks", "w") as out:
+        json.dump(blocks, out, sort_keys=True)
+EOF
+
+cmp "$scratch/dist.blocks" "$scratch/mem.blocks" || {
+  echo "FAIL: distributed and in-memory elements/linkages differ" >&2
+  exit 1
+}
+
+# The coordinator shut the surviving workers down; the crashed one is
+# long gone. Nothing should still be running.
+for pid in "$w0_pid" "$w1_pid" "$w2_pid"; do
+  tries=0
+  while kill -0 "$pid" 2> /dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 50 ]; then
+      echo "FAIL: worker $pid still alive after shutdown" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+
+rm -rf "$scratch"
+echo "distributed quorum degradation OK"

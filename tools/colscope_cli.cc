@@ -46,6 +46,8 @@
 #include "matching/lsh_matcher.h"
 #include "matching/sim.h"
 #include "matching/string_matcher.h"
+#include "net/coordinator.h"
+#include "net/worker.h"
 #include "outlier/pca_oda.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
@@ -54,6 +56,7 @@
 #include "schema/ddl_writer.h"
 #include "scoping/explain.h"
 #include "scoping/model_io.h"
+#include "scoping/streamline.h"
 
 namespace {
 
@@ -86,6 +89,12 @@ struct CliArgs {
   size_t threads = 1;           // --threads N (1 = serial, 0 = hardware)
   bool explain = false;
   bool json = false;
+  // Distributed multi-process mode (see docs/DISTRIBUTED.md).
+  std::string role;             // --role worker|coordinator
+  std::string listen = "127.0.0.1:0";  // --listen HOST:PORT (worker)
+  std::string port_file;        // --port-file FILE (worker; ephemeral port)
+  std::vector<std::string> workers;    // --workers HOST:PORT (coordinator)
+  bool crash_after_assign = false;     // --crash-after-assign (test hook)
 };
 
 int Usage() {
@@ -106,7 +115,15 @@ int Usage() {
                "  [--cache-dir DIR] [--cache-max-bytes N]\n"
                "  [--crash-after signatures|local_models|keep_mask]\n"
                "  [--threads N]  (1 = serial, 0 = hardware concurrency; "
-               "output is identical at any N)\n");
+               "output is identical at any N)\n"
+               "\n"
+               "distributed mode (docs/DISTRIBUTED.md):\n"
+               "  colscope scope --role worker --ddl ... [--listen H:P]\n"
+               "      [--port-file FILE] [--crash-after-assign]\n"
+               "  colscope scope|match --role coordinator --ddl ...\n"
+               "      --workers H:P [--workers H:P ...] [--v 0.8]\n"
+               "      [--faults SPEC] [--exchange-policy POLICY] "
+               "[--deadline-ms MS]\n");
   return 2;
 }
 
@@ -222,6 +239,24 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       const long long n = std::atoll(value);
       if (n < 0) return false;
       args.threads = static_cast<size_t>(n);
+    } else if (flag == "--role") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.role = value;
+    } else if (flag == "--listen") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.listen = value;
+    } else if (flag == "--port-file") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.port_file = value;
+    } else if (flag == "--workers") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.workers.push_back(value);
+    } else if (flag == "--crash-after-assign") {
+      args.crash_after_assign = true;
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -392,6 +427,179 @@ int RunAssess(const CliArgs& args) {
   }
   std::printf("# kept %zu / %zu elements against %zu peer model(s)\n", kept,
               rows.size(), models.size());
+  return 0;
+}
+
+/// `--role worker`: one worker process of a distributed run. Loads its
+/// schemas, builds signatures, and serves kAssign / kGetModel / kAssess
+/// until a coordinator sends kShutdown. Raw signature rows never leave
+/// the process — only fitted models and reduced keep bits do.
+int RunWorker(const CliArgs& args) {
+  Result<schema::SchemaSet> set = LoadSchemas(args);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  const embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(*set, encoder);
+
+  Result<net::Endpoint> listen = net::ParseEndpoint(args.listen);
+  if (!listen.ok()) {
+    std::fprintf(stderr, "--listen: %s\n",
+                 listen.status().ToString().c_str());
+    return 2;
+  }
+  net::WorkerOptions options;
+  options.listen = *listen;
+  options.port_file = args.port_file;
+  options.crash_after_assign = args.crash_after_assign;
+  Result<net::WorkerServer> server =
+      net::WorkerServer::Create(&signatures, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# worker listening on %s:%u\n",
+               listen->host.c_str(), server->port());
+  Status served = server->Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// `--role coordinator`: shards the schemas over worker processes, runs
+/// the distributed scope (phase II + III), then finishes streamline +
+/// match locally and emits the same report shape as the in-memory
+/// pipeline — a quorum-degraded distributed run and the equivalent
+/// in-memory `--faults drop-from=K` run print byte-identical
+/// elements/linkages blocks.
+int RunCoordinator(const CliArgs& args) {
+  if (args.workers.empty()) {
+    std::fprintf(stderr, "coordinator requires at least one --workers\n");
+    return 2;
+  }
+  Result<schema::SchemaSet> set = LoadSchemas(args);
+  if (!set.ok()) {
+    std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
+    return 1;
+  }
+  obs::MetricsRegistry registry;
+  const embed::HashedLexiconEncoder encoder;
+  const auto signatures = scoping::BuildSignatures(*set, encoder);
+
+  net::CoordinatorOptions options;
+  for (const std::string& spec : args.workers) {
+    Result<net::Endpoint> endpoint = net::ParseEndpoint(spec);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "--workers: %s\n",
+                   endpoint.status().ToString().c_str());
+      return 2;
+    }
+    options.workers.push_back(*endpoint);
+  }
+  options.v = args.v;
+  if (!args.faults.empty()) {
+    Result<FaultProfile> profile = ParseFaultSpec(args.faults);
+    if (!profile.ok()) {
+      std::fprintf(stderr, "--faults: %s\n",
+                   profile.status().ToString().c_str());
+      return 2;
+    }
+    options.faults = *profile;
+  }
+  if (!args.exchange_policy.empty()) {
+    Result<scoping::DegradedOptions> degraded =
+        scoping::ParseDegradedPolicy(args.exchange_policy);
+    if (!degraded.ok()) {
+      std::fprintf(stderr, "--exchange-policy: %s\n",
+                   degraded.status().ToString().c_str());
+      return 2;
+    }
+    options.degraded = *degraded;
+  }
+  SystemRunClock run_clock;
+  if (args.deadline_ms > 0) {
+    options.net.deadline = Deadline::After(&run_clock, args.deadline_ms);
+  }
+  options.net.metrics = &registry;
+
+  Result<net::DistributedScopeResult> scoped = net::DistributedScope(
+      signatures, set->num_schemas(), options, &registry);
+  // Live workers are shut down either way; a dead one cannot object.
+  net::ShutdownWorkers(options.workers, options.net);
+  if (!scoped.ok()) {
+    std::fprintf(stderr, "%s\n", scoped.status().ToString().c_str());
+    return 1;
+  }
+
+  std::optional<ThreadPool> pool;
+  if (args.threads != 1) pool.emplace(args.threads);
+  std::unique_ptr<matching::Matcher> matcher =
+      MakeMatcher(args, pool.has_value() ? &*pool : nullptr);
+  if (matcher == nullptr) {
+    std::fprintf(stderr, "unknown matcher: %s\n", args.matcher.c_str());
+    return 2;
+  }
+
+  // Assemble a PipelineRun so distributed runs reuse the in-memory
+  // report writer verbatim.
+  pipeline::PipelineRun run;
+  run.signatures = signatures;
+  run.keep = scoped->keep;
+  run.streamlined =
+      scoping::BuildStreamlinedSchemas(*set, run.signatures, run.keep);
+  run.linkages = matcher->Match(run.signatures, run.keep);
+  run.degradation = scoped->degradation;
+  exchange::ExchangeConfigEcho echo;
+  echo.transport = "tcp";
+  echo.faults = options.faults;
+  echo.retry = options.retry;
+  echo.policy = scoping::DegradedPolicyToString(options.degraded.policy);
+  echo.quorum = options.degraded.quorum;
+  for (const auto& [schema_index, endpoint] : scoped->assign.owners) {
+    echo.owners.emplace_back(schema_index, endpoint.ToString());
+  }
+  run.exchange_config = std::move(echo);
+  run.metrics = registry.Snapshot();
+  run.phases_completed = {"signatures", "local_models", "keep_mask",
+                          "streamline", "match"};
+
+  if (!args.metrics_out.empty() &&
+      !WriteTextFile(args.metrics_out,
+                     obs::SnapshotToJsonString(registry.Snapshot()))) {
+    return 1;
+  }
+  if (args.json) {
+    std::printf("%s\n", pipeline::RunToJson(run, *set).c_str());
+    return 0;
+  }
+  std::printf("# exchange: %s\n",
+              exchange::FormatDegradationReport(*run.degradation).c_str());
+  if (!scoped->lost_workers.empty()) {
+    std::printf("# lost workers:");
+    for (size_t worker : scoped->lost_workers) {
+      std::printf(" %zu (%s)", worker,
+                  options.workers[worker].ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (args.command == "match") {
+    std::printf("# %zu correspondences from %s on streamlined schemas\n",
+                run.linkages.size(), matcher->name().c_str());
+    for (const auto& [a, b] : run.linkages) {
+      std::printf("%s <-> %s\n", set->QualifiedName(a).c_str(),
+                  set->QualifiedName(b).c_str());
+    }
+    return 0;
+  }
+  for (size_t i = 0; i < run.keep.size(); ++i) {
+    std::printf("%-9s %s\n", run.keep[i] ? "linkable" : "pruned",
+                set->QualifiedName(run.signatures.refs[i]).c_str());
+  }
+  std::printf("# kept %zu / %zu elements\n", run.num_kept(),
+              run.keep.size());
   return 0;
 }
 
@@ -613,6 +821,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     obs::Logger::Global().set_level(*level);
+  }
+  if (!args.role.empty()) {
+    if (args.role == "worker") return RunWorker(args);
+    if (args.role == "coordinator") {
+      if (args.command != "scope" && args.command != "match") return Usage();
+      return RunCoordinator(args);
+    }
+    std::fprintf(stderr, "unknown role (want worker|coordinator): %s\n",
+                 args.role.c_str());
+    return 2;
   }
   if (args.command == "fit") return RunFit(args);
   if (args.command == "assess") return RunAssess(args);

@@ -3,8 +3,10 @@
 #
 #   1. build-test matrix: {gcc, clang} x {Debug, Release} + ctest
 #   2. sanitizers:        tools/run_sanitized_tests.sh
-#   3. bench-smoke:       tools/run_benches.sh --smoke + regression gates
-#   4. lint:              header / build-artifact / format checks
+#   3. distributed-smoke: tools/run_distributed_smoke.sh (multi-process
+#                         coordinator/worker quorum test under ASan/UBSan)
+#   4. bench-smoke:       tools/run_benches.sh --smoke + regression gates
+#   5. lint:              header / build-artifact / format checks
 #
 # Toolchains the machine lacks (clang, ccache, clang-format) are
 # detected and skipped with a notice instead of failing, so the script
@@ -66,7 +68,16 @@ else
   tools/run_sanitized_tests.sh
 fi
 
-# Job 3: bench smoke + regression gates.
+# Job 3: distributed multi-process smoke under sanitizers. Shares the
+# --skip-sanitizers flag: both jobs exist to run instrumented builds.
+if [ "$skip_sanitizers" -eq 1 ]; then
+  note "distributed-smoke: skipped (--skip-sanitizers)"
+else
+  note "distributed-smoke"
+  tools/run_distributed_smoke.sh
+fi
+
+# Job 4: bench smoke + regression gates.
 if [ "$skip_bench" -eq 1 ]; then
   note "bench-smoke: skipped (--skip-bench)"
 else
@@ -74,7 +85,7 @@ else
   tools/run_benches.sh --smoke --out bench-results
 fi
 
-# Job 4: lint.
+# Job 5: lint.
 note "lint"
 tools/check_headers.sh src "${CXX:-c++}" bench
 tools/check_no_build_artifacts.sh .

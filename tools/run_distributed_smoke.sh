@@ -1,0 +1,21 @@
+#!/bin/sh
+# Builds the distributed-exchange code under ASan + UBSan and runs the
+# multi-process smoke: the wire-framing and socket-transport unit tests,
+# then the cli_distributed_quorum ctest — 1 coordinator + 3 worker
+# processes over the TCP transport, one worker SIGKILLed mid-exchange,
+# byte-compared against the in-memory run with the same peer dropped.
+#
+# Usage: run_distributed_smoke.sh [BUILD_DIR]
+#   (default: <repo>/build-distributed-asan)
+set -e
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build-distributed-asan}"
+
+smoke_tests='net_frame_test|tcp_transport_test|cli_distributed_quorum'
+
+cmake -B "$build" -S "$root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
+cmake --build "$build" -j \
+  --target net_frame_test tcp_transport_test colscope_cli
+(cd "$build" && ctest --output-on-failure -R "^($smoke_tests)\$")

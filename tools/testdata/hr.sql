@@ -1,0 +1,7 @@
+-- test schema: HR
+CREATE TABLE employees (
+  employee_id INT PRIMARY KEY,
+  full_name VARCHAR(40),
+  city VARCHAR(40),
+  badge_color VARCHAR(10)
+);

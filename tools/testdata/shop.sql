@@ -1,0 +1,7 @@
+-- test schema: SHOP
+CREATE TABLE shoppers (
+  shopper_id INT PRIMARY KEY,
+  shopper_name VARCHAR(40),
+  home_town VARCHAR(40),
+  cart_theme VARCHAR(10)
+);
