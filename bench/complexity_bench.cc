@@ -16,6 +16,7 @@
 #include "linalg/truncated_svd.h"
 #include "matching/lsh_matcher.h"
 #include "matching/sim.h"
+#include "obs/flight_recorder.h"
 #include "outlier/lof.h"
 #include "outlier/pca_oda.h"
 #include "outlier/zscore.h"
@@ -203,6 +204,34 @@ void BM_LshMatcher_Approximate(benchmark::State& state) {
 }
 BENCHMARK(BM_LshMatcher_Approximate)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// --- Observability hot-path costs --------------------------------------------
+
+// The flight recorder sits on every RPC/fetch/retry path, so one Record
+// must stay in the tens-of-nanoseconds range: a ticket fetch_add plus
+// two bounded memcpys, no locks, no allocation.
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder(256);
+  int i = 0;
+  for (auto _ : state) {
+    recorder.Record("rpc",
+                    (i++ & 1) ? "assign worker=0 ok"
+                              : "get_model publisher=1 consumer=0 ok");
+  }
+  benchmark::DoNotOptimize(recorder.total_recorded());
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
+void BM_FlightRecorderSnapshot(benchmark::State& state) {
+  obs::FlightRecorder recorder(256);
+  for (int i = 0; i < 512; ++i) {
+    recorder.Record("rpc", "assign worker=0 ok");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recorder.Snapshot());
+  }
+}
+BENCHMARK(BM_FlightRecorderSnapshot);
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "scoping/model_io.h"
@@ -142,6 +143,13 @@ FetchOutcome FetchModelWithRetry(const ModelTransport& transport,
         return finish();
       }
       outcome.elapsed_ms += backoff;
+      // Indices, attempt ordinal, and fault kind only — no times or
+      // endpoints — so repeat runs dump identical flight bytes.
+      obs::FlightRecorder::Global().Record(
+          "retry",
+          StrFormat("publisher=%d consumer=%d attempt=%d fault=%s",
+                    publisher, consumer, attempt + 1,
+                    FaultKindToString(outcome.faults.back())));
       COLSCOPE_LOG(Debug) << "exchange retry: consumer=" << consumer
                           << " publisher=" << publisher << " attempt="
                           << attempt + 1 << "/" << max_attempts

@@ -6,26 +6,46 @@
 
 #include "common/strings.h"
 #include "net/tcp_transport.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace colscope::net {
 
 namespace {
 
-/// One request/response round trip on a fresh connection. A kError reply
-/// is unwrapped into its carried status.
+/// One request/response round trip on a fresh connection, observed into
+/// net.rpc_ms.<type> (connect through reply, failures included). A
+/// kError reply is unwrapped into its carried status.
 Result<Frame> Call(const Endpoint& endpoint, FrameType type,
                    const std::string& payload, const NetOptions& net) {
-  Result<Socket> socket = Socket::Connect(endpoint, net);
-  if (!socket.ok()) return socket.status();
-  Status sent = socket->SendFrame(type, payload, net);
-  if (!sent.ok()) return sent;
-  Result<Frame> reply = socket->RecvFrame(net);
+  const double start_ms = NetNowMs(net);
+  Result<Frame> reply = [&]() -> Result<Frame> {
+    Result<Socket> socket = Socket::Connect(endpoint, net);
+    if (!socket.ok()) return socket.status();
+    Status sent = socket->SendFrame(type, payload, net);
+    if (!sent.ok()) return sent;
+    return socket->RecvFrame(net);
+  }();
+  ObserveRpcLatency(net, type, NetNowMs(net) - start_ms);
   if (reply.ok() && reply->type == FrameType::kError) {
     return DecodeErrorPayload(reply->payload);
   }
   return reply;
+}
+
+/// Flight-recorder label of one RPC round outcome: "ok", the status code
+/// name, or "unexpected_reply" — never messages (they can embed ports).
+const char* RpcOutcome(const Result<Frame>& reply, FrameType want) {
+  if (!reply.ok()) return StatusCodeToString(reply.status().code());
+  return reply->type == want ? "ok" : "unexpected_reply";
+}
+
+void RecordRpcFlight(const char* what, size_t worker,
+                     const char* outcome) {
+  obs::FlightRecorder::Global().Record(
+      "rpc", StrFormat("%s worker=%zu %s", what, worker, outcome));
 }
 
 }  // namespace
@@ -61,16 +81,29 @@ Result<DistributedScopeResult> DistributedScope(
     result.assign.shard.push_back(static_cast<int>(schema));
   }
 
+  obs::Tracer* tracer = options.net.tracer;
+  const uint64_t trace_id = tracer != nullptr ? tracer->trace_id() : 0;
+
   // Round 1: ship every worker its assignment; it fits and publishes its
   // shard's models before acking. A worker that cannot be assigned is
-  // lost — its schemas degrade exactly like a mid-run death.
+  // lost — its schemas degrade exactly like a mid-run death. Each RPC
+  // records an rpc.assign span whose id rides the payload, so the
+  // worker's fitting span parents under it in the merged trace.
   std::vector<bool> lost(num_workers, false);
   for (size_t w = 0; w < num_workers; ++w) {
     if (shards[w].empty()) continue;
     AssignConfig config = base;
     config.shard = shards[w];
-    Result<Frame> ack = Call(options.workers[w], FrameType::kAssign,
-                             EncodeAssign(config), options.net);
+    Result<Frame> ack = Status::Internal("rpc not attempted");
+    {
+      obs::ScopedSpan span(tracer, "rpc.assign");
+      span.AddArg("worker", static_cast<long long>(w));
+      config.trace.trace_id = trace_id;
+      config.trace.parent_span = span.id();
+      ack = Call(options.workers[w], FrameType::kAssign,
+                 EncodeAssign(config), options.net);
+    }
+    RecordRpcFlight("assign", w, RpcOutcome(ack, FrameType::kAssignAck));
     if (!ack.ok() || ack->type != FrameType::kAssignAck) {
       lost[w] = true;
       COLSCOPE_LOG(Warn) << "coordinator: worker " << w << " ("
@@ -89,8 +122,17 @@ Result<DistributedScopeResult> DistributedScope(
   std::vector<exchange::PeerFetchRecord> records;
   for (size_t w = 0; w < num_workers; ++w) {
     if (lost[w] || shards[w].empty()) continue;
-    Result<Frame> reply =
-        Call(options.workers[w], FrameType::kAssess, "", options.net);
+    Result<Frame> reply = Status::Internal("rpc not attempted");
+    {
+      obs::ScopedSpan span(tracer, "rpc.assess");
+      span.AddArg("worker", static_cast<long long>(w));
+      AssessRequest request;
+      request.trace.trace_id = trace_id;
+      request.trace.parent_span = span.id();
+      reply = Call(options.workers[w], FrameType::kAssess,
+                   EncodeAssess(request), options.net);
+    }
+    RecordRpcFlight("assess", w, RpcOutcome(reply, FrameType::kPartial));
     if (!reply.ok() || reply->type != FrameType::kPartial) {
       lost[w] = true;
       COLSCOPE_LOG(Warn) << "coordinator: worker " << w << " ("
@@ -139,11 +181,48 @@ Result<DistributedScopeResult> DistributedScope(
     TcpTransport transport(base.owners, FaultInjector{options.faults},
                            options.net);
     for (int consumer : lost_schemas) {
+      obs::FlightRecorder::Global().Record(
+          "reexec", StrFormat("consumer=%d", consumer));
+      obs::ScopedSpan span(tracer, "coordinator.reexec");
+      span.AddArg("consumer", consumer);
       partials[static_cast<size_t>(consumer)] = AssessConsumerOverTransport(
           signatures, consumer, num_schemas, transport, options.retry,
           options.faults.seed, options.degraded, records, metrics,
           options.net.cancel);
     }
+  }
+
+  // Telemetry harvest: ask every surviving worker for its metrics
+  // snapshot + trace buffer before any shutdown. Losing a worker's
+  // telemetry (dead, unresponsive, or malformed reply) leaves a hole,
+  // never an error — the run already survived worse.
+  result.telemetry.assign(num_workers, std::nullopt);
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (lost[w]) {
+      RecordRpcFlight("stats", w, "hole");
+      continue;
+    }
+    Result<Frame> reply = Status::Internal("rpc not attempted");
+    {
+      obs::ScopedSpan span(tracer, "rpc.stats");
+      span.AddArg("worker", static_cast<long long>(w));
+      reply = Call(options.workers[w], FrameType::kStatsRequest, "",
+                   options.net);
+    }
+    if (!reply.ok() || reply->type != FrameType::kStats) {
+      RecordRpcFlight("stats", w, RpcOutcome(reply, FrameType::kStats));
+      COLSCOPE_LOG(Warn) << "coordinator: no telemetry from worker " << w;
+      continue;
+    }
+    Result<WorkerTelemetry> telemetry = DecodeStats(reply->payload);
+    if (!telemetry.ok()) {
+      RecordRpcFlight("stats", w, "malformed");
+      COLSCOPE_LOG(Warn) << "coordinator: malformed telemetry from worker "
+                         << w << ": " << telemetry.status().ToString();
+      continue;
+    }
+    RecordRpcFlight("stats", w, "ok");
+    result.telemetry[static_cast<size_t>(w)] = std::move(telemetry).value();
   }
 
   // Merge, schema-ascending like AssessAllSparse: the first consumer the
@@ -200,8 +279,11 @@ Result<DistributedScopeResult> DistributedScope(
 
 void ShutdownWorkers(const std::vector<Endpoint>& workers,
                      const NetOptions& net) {
-  for (const Endpoint& worker : workers) {
-    (void)Call(worker, FrameType::kShutdown, "", net);
+  for (size_t w = 0; w < workers.size(); ++w) {
+    obs::ScopedSpan span(net.tracer, "rpc.shutdown");
+    span.AddArg("worker", static_cast<long long>(w));
+    Result<Frame> reply = Call(workers[w], FrameType::kShutdown, "", net);
+    RecordRpcFlight("shutdown", w, RpcOutcome(reply, FrameType::kShutdownAck));
   }
 }
 

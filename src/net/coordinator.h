@@ -1,6 +1,7 @@
 #ifndef COLSCOPE_NET_COORDINATOR_H_
 #define COLSCOPE_NET_COORDINATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -9,6 +10,7 @@
 #include "exchange/exchange.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "net/telemetry.h"
 #include "scoping/collaborative.h"
 #include "scoping/signatures.h"
 
@@ -41,6 +43,12 @@ struct DistributedScopeResult {
   /// retry/fault/degradation config) — echoed into the JSON report so a
   /// degraded run is reproducible from the report alone.
   AssignConfig assign;
+  /// Telemetry harvested (kStatsRequest -> kStats) from each worker
+  /// after assessment, indexed like `options.workers`. A dead or
+  /// unresponsive worker is a hole (nullopt), never an error: losing a
+  /// worker's telemetry must not fail a run that already survived
+  /// losing the worker itself.
+  std::vector<std::optional<WorkerTelemetry>> telemetry;
 };
 
 /// Phase II + III across worker processes: shards the schemas
@@ -58,6 +66,13 @@ struct DistributedScopeResult {
 ///
 /// Fails (like AssessAllSparse) when any consumer's degradation policy
 /// refuses its arrivals — quorum unmet surfaces as Unavailable.
+///
+/// With a tracer in `options.net` every RPC round records an
+/// rpc.assign/rpc.assess/rpc.stats span whose id rides the request
+/// payload as the worker's parent span, client-side round trips feed
+/// the net.rpc_ms.<type> histograms, and each round leaves one
+/// flight-recorder event per worker (indices and status code names
+/// only — reproducible bytes).
 Result<DistributedScopeResult> DistributedScope(
     const scoping::SignatureSet& signatures, size_t num_schemas,
     const CoordinatorOptions& options,

@@ -51,7 +51,35 @@ uint64_t GetU64(std::string_view bytes, size_t at) {
 
 bool IsKnownFrameType(uint8_t value) {
   return value >= static_cast<uint8_t>(FrameType::kAssign) &&
-         value <= static_cast<uint8_t>(FrameType::kShutdownAck);
+         value <= static_cast<uint8_t>(FrameType::kStats);
+}
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kAssign:
+      return "assign";
+    case FrameType::kAssignAck:
+      return "assign_ack";
+    case FrameType::kGetModel:
+      return "get_model";
+    case FrameType::kModel:
+      return "model";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kAssess:
+      return "assess";
+    case FrameType::kPartial:
+      return "partial";
+    case FrameType::kShutdown:
+      return "shutdown";
+    case FrameType::kShutdownAck:
+      return "shutdown_ack";
+    case FrameType::kStatsRequest:
+      return "stats_request";
+    case FrameType::kStats:
+      return "stats";
+  }
+  return "unknown";
 }
 
 std::string EncodeFrame(FrameType type, std::string_view payload) {
@@ -78,9 +106,10 @@ Result<FrameHeader> ParseFrameHeader(std::string_view header) {
     return Status::InvalidArgument("bad frame magic");
   }
   const uint16_t version = GetU16(header, 4);
-  if (version != kFrameVersion) {
+  if (version < kMinFrameVersion || version > kFrameVersion) {
     return Status::InvalidArgument(StrFormat(
-        "frame version %u, this build speaks %u", version, kFrameVersion));
+        "frame version %u, this build speaks %u..%u (version-skewed peer?)",
+        version, kMinFrameVersion, kFrameVersion));
   }
   const uint8_t type = static_cast<uint8_t>(header[6]);
   if (!IsKnownFrameType(type)) {
@@ -91,6 +120,7 @@ Result<FrameHeader> ParseFrameHeader(std::string_view header) {
   }
   FrameHeader parsed;
   parsed.type = static_cast<FrameType>(type);
+  parsed.version = version;
   parsed.payload_len = GetU32(header, 8);
   if (parsed.payload_len > kMaxFramePayload) {
     return Status::InvalidArgument(

@@ -20,16 +20,33 @@ enum class FrameType : uint8_t {
   kError = 5,        ///< worker -> caller: "<status_code> <message>".
   kAssess = 6,       ///< coordinator -> worker: run phase III on the shard.
   kPartial = 7,      ///< worker -> coordinator: partial keep-mask + records.
-  kShutdown = 8,     ///< coordinator -> worker: exit after acking.
-  kShutdownAck = 9,  ///< worker -> coordinator: goodbye.
+  kShutdown = 8,      ///< coordinator -> worker: exit after acking.
+  kShutdownAck = 9,   ///< worker -> coordinator: goodbye.
+  kStatsRequest = 10, ///< coordinator -> worker: hand over your telemetry.
+  kStats = 11,        ///< worker -> coordinator: serialized WorkerTelemetry.
 };
 
 /// True for values that map onto a FrameType member.
 bool IsKnownFrameType(uint8_t value);
 
-/// The version this build speaks. A frame with any other version is
-/// rejected before its payload is read (stale-binary skew fails fast).
-inline constexpr uint16_t kFrameVersion = 1;
+/// Stable lowercase label for metric names and flight-recorder lines
+/// ("assign", "get_model", "stats", ...); "unknown" for values outside
+/// the enum.
+const char* FrameTypeToString(FrameType type);
+
+/// The version this build emits. Version 2 (PR 7) added the optional
+/// trace-context fields to the assign/get-model/assess payload codecs
+/// and the kStatsRequest/kStats telemetry frames.
+inline constexpr uint16_t kFrameVersion = 2;
+
+/// Oldest version this build still accepts. Version-1 peers simply
+/// never send trace context or stats frames, and every v2 payload codec
+/// treats the trace fields as optional — so a mid-upgrade fleet (stale
+/// worker binary behind a new coordinator, or vice versa) degrades to
+/// untraced RPCs instead of failing. Frames outside
+/// [kMinFrameVersion, kFrameVersion] are rejected before their payload
+/// is read.
+inline constexpr uint16_t kMinFrameVersion = 1;
 
 /// Fixed frame header size in bytes: magic(4) + version(2) + type(1) +
 /// flags(1) + payload_len(4) + fnv1a64(payload)(8).
@@ -49,6 +66,10 @@ struct Frame {
 /// Validated header of a frame whose payload has not been read yet.
 struct FrameHeader {
   FrameType type = FrameType::kError;
+  /// Wire version the peer spoke, within [kMinFrameVersion,
+  /// kFrameVersion]. Codecs use it only for diagnostics — optional
+  /// fields make v1 payloads decode as-is.
+  uint16_t version = kFrameVersion;
   uint32_t payload_len = 0;
   uint64_t checksum = 0;
 };

@@ -86,6 +86,11 @@ std::string EncodeAssign(const AssignConfig& config) {
   out += "shard";
   for (int index : config.shard) out += StrFormat(" %d", index);
   out += '\n';
+  if (config.trace.trace_id != 0) {
+    out += StrFormat("trace %llu %llu\n",
+                     static_cast<unsigned long long>(config.trace.trace_id),
+                     static_cast<unsigned long long>(config.trace.parent_span));
+  }
   for (const auto& [index, endpoint] : config.owners) {
     out += StrFormat("owner %d %s\n", index, endpoint.ToString().c_str());
   }
@@ -166,6 +171,11 @@ Result<AssignConfig> DecodeAssign(const std::string& payload) {
         config.shard.push_back(static_cast<int>(n));
       }
       if (config.shard.size() > kMaxSchemas) return Malformed("shard", line);
+    } else if (tokens[0] == "trace" && tokens.size() == 3) {
+      if (!ParseUint64(tokens[1], config.trace.trace_id) ||
+          !ParseUint64(tokens[2], config.trace.parent_span)) {
+        return Malformed("trace", line);
+      }
     } else if (tokens[0] == "owner" && tokens.size() == 3) {
       if (!ParseInt(tokens[1], 0, static_cast<long long>(kMaxSchemas), n)) {
         return Malformed("owner", line);
@@ -201,14 +211,20 @@ Result<AssignConfig> DecodeAssign(const std::string& payload) {
 }
 
 std::string EncodeGetModel(const GetModelRequest& request) {
-  return StrFormat("get %d %d %d", request.publisher, request.consumer,
-                   request.attempt);
+  std::string out = StrFormat("get %d %d %d", request.publisher,
+                              request.consumer, request.attempt);
+  if (request.trace.trace_id != 0) {
+    out += StrFormat(" %llu %llu",
+                     static_cast<unsigned long long>(request.trace.trace_id),
+                     static_cast<unsigned long long>(request.trace.parent_span));
+  }
+  return out;
 }
 
 Result<GetModelRequest> DecodeGetModel(const std::string& payload) {
   const std::vector<std::string> tokens = Tokens(payload);
   long long publisher = 0, consumer = 0, attempt = 0;
-  if (tokens.size() != 4 || tokens[0] != "get" ||
+  if ((tokens.size() != 4 && tokens.size() != 6) || tokens[0] != "get" ||
       !ParseInt(tokens[1], 0, static_cast<long long>(kMaxSchemas),
                 publisher) ||
       !ParseInt(tokens[2], 0, static_cast<long long>(kMaxSchemas),
@@ -220,6 +236,31 @@ Result<GetModelRequest> DecodeGetModel(const std::string& payload) {
   request.publisher = static_cast<int>(publisher);
   request.consumer = static_cast<int>(consumer);
   request.attempt = static_cast<int>(attempt);
+  if (tokens.size() == 6) {
+    if (!ParseUint64(tokens[4], request.trace.trace_id) ||
+        !ParseUint64(tokens[5], request.trace.parent_span)) {
+      return Malformed("get-model trace", payload);
+    }
+  }
+  return request;
+}
+
+std::string EncodeAssess(const AssessRequest& request) {
+  if (request.trace.trace_id == 0) return std::string();
+  return StrFormat("assess %llu %llu",
+                   static_cast<unsigned long long>(request.trace.trace_id),
+                   static_cast<unsigned long long>(request.trace.parent_span));
+}
+
+Result<AssessRequest> DecodeAssess(const std::string& payload) {
+  AssessRequest request;
+  if (payload.empty()) return request;  // v1 assess frames: no payload.
+  const std::vector<std::string> tokens = Tokens(payload);
+  if (tokens.size() != 3 || tokens[0] != "assess" ||
+      !ParseUint64(tokens[1], request.trace.trace_id) ||
+      !ParseUint64(tokens[2], request.trace.parent_span)) {
+    return Malformed("assess", payload);
+  }
   return request;
 }
 

@@ -13,6 +13,16 @@
 
 namespace colscope::net {
 
+/// Distributed trace context carried on request frames (frame version
+/// 2): the run-level trace id every process of one run shares, plus the
+/// caller's span id so the callee's spans parent under the RPC span
+/// that caused them. All-zero means "untraced" — the codec treats the
+/// fields as optional, so version-1 peers interoperate.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+};
+
 /// Everything a worker needs to act in one distributed run, shipped in
 /// the kAssign frame: which schemas it owns (and must fit + publish),
 /// where every other schema's owner listens, and the exchange discipline
@@ -32,6 +42,9 @@ struct AssignConfig {
   std::vector<int> shard;
   /// Owning worker endpoint of every schema index.
   std::map<int, Endpoint> owners;
+  /// Trace context of the coordinator's rpc.assign span (optional
+  /// "trace" line; absent from v1 payloads).
+  TraceContext trace;
 };
 
 std::string EncodeAssign(const AssignConfig& config);
@@ -44,10 +57,24 @@ struct GetModelRequest {
   int publisher = 0;
   int consumer = 0;
   int attempt = 0;
+  /// Trace context of the caller's rpc.get_model span. Encoded as two
+  /// trailing tokens only when the trace id is nonzero, so v1 payloads
+  /// (4 tokens) decode unchanged.
+  TraceContext trace;
 };
 
 std::string EncodeGetModel(const GetModelRequest& request);
 Result<GetModelRequest> DecodeGetModel(const std::string& payload);
+
+/// kAssess payload. The assessment round carried an empty payload
+/// before frame version 2; an empty payload still decodes (to an
+/// untraced request), which is the version-skew path.
+struct AssessRequest {
+  TraceContext trace;
+};
+
+std::string EncodeAssess(const AssessRequest& request);
+Result<AssessRequest> DecodeAssess(const std::string& payload);
 
 /// kError payload: "<status_code_name> <message>". Decoding an unknown
 /// code yields kUnavailable (fail towards retry, not towards crash).

@@ -10,12 +10,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "common/checksum.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace colscope::net {
 
@@ -102,7 +104,34 @@ Result<struct sockaddr_in> ResolveV4(const Endpoint& endpoint) {
   return addr;
 }
 
+/// Bumps the per-frame-type byte counter (satellite of the aggregate
+/// net.bytes_sent/net.bytes_received kept by SendAll/RecvExact).
+void CountFrameBytes(obs::MetricsRegistry* metrics, const char* direction,
+                     FrameType type, uint64_t bytes) {
+  if (metrics == nullptr) return;
+  metrics
+      ->GetCounter(StrFormat("net.bytes_%s.%s", direction,
+                             FrameTypeToString(type)))
+      .Increment(bytes);
+}
+
 }  // namespace
+
+double NetNowMs(const NetOptions& options) {
+  if (options.clock != nullptr) return options.clock->NowUs() / 1000.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ObserveRpcLatency(const NetOptions& options, FrameType type,
+                       double elapsed_ms) {
+  if (options.metrics == nullptr) return;
+  options.metrics
+      ->GetHistogram(StrFormat("net.rpc_ms.%s", FrameTypeToString(type)),
+                     obs::ExponentialBuckets(0.001, 8.0, 8))
+      .Observe(elapsed_ms);
+}
 
 std::string Endpoint::ToString() const {
   return StrFormat("%s:%u", host.c_str(), port);
@@ -198,7 +227,8 @@ Result<Socket> Socket::Connect(const Endpoint& endpoint,
   return socket;
 }
 
-Status Socket::SendAll(std::string_view data, const NetOptions& options) {
+Status Socket::SendAll(std::string_view data, const NetOptions& options,
+                       bool count_bytes) {
   if (!valid()) return Status::Internal("send on a closed socket");
   size_t sent = 0;
   while (sent < data.size()) {
@@ -215,7 +245,9 @@ Status Socket::SendAll(std::string_view data, const NetOptions& options) {
                     data.size(), std::strerror(errno)));
     }
     sent += static_cast<size_t>(n);
-    Count(options.metrics, "net.bytes_sent", static_cast<uint64_t>(n));
+    if (count_bytes) {
+      Count(options.metrics, "net.bytes_sent", static_cast<uint64_t>(n));
+    }
   }
   return Status::Ok();
 }
@@ -252,9 +284,15 @@ Status Socket::RecvExact(std::string& out, size_t len,
 
 Status Socket::SendFrame(FrameType type, std::string_view payload,
                          const NetOptions& options) {
-  COLSCOPE_RETURN_IF_ERROR(SendAll(EncodeFrame(type, payload), options));
+  const std::string encoded = EncodeFrame(type, payload);
+  // Accounting first, wire second (see the header contract): once the
+  // peer holds this frame it may harvest a telemetry snapshot, and that
+  // snapshot must already include this frame's counts.
   Count(options.metrics, "net.frames_sent");
-  return Status::Ok();
+  Count(options.metrics, "net.bytes_sent",
+        static_cast<uint64_t>(encoded.size()));
+  CountFrameBytes(options.metrics, "sent", type, encoded.size());
+  return SendAll(encoded, options, /*count_bytes=*/false);
 }
 
 Result<Frame> Socket::RecvFrame(const NetOptions& options) {
@@ -281,6 +319,8 @@ Result<Frame> Socket::RecvFrame(const NetOptions& options) {
     return Status::InvalidArgument("frame payload checksum mismatch");
   }
   Count(options.metrics, "net.frames_received");
+  CountFrameBytes(options.metrics, "received", parsed->type,
+                  kFrameHeaderSize + parsed->payload_len);
   return frame;
 }
 
@@ -345,6 +385,10 @@ Result<Socket> Listener::Accept(double wait_ms, const NetOptions& options) {
   if (!valid()) return Status::Internal("accept on a closed listener");
   NetOptions accept_options = options;
   accept_options.io_timeout_ms = wait_ms;
+  // An empty accept slice is the serve loop's normal idle tick, not an
+  // I/O failure — keep it out of net.timeouts (whose value must not
+  // depend on how fast peers happen to connect).
+  accept_options.metrics = nullptr;
   const Status ready =
       WaitReady(fd_, POLLIN, wait_ms, accept_options, "accept");
   if (!ready.ok()) {

@@ -10,6 +10,8 @@
 
 namespace colscope::obs {
 class MetricsRegistry;
+class TraceClock;
+class Tracer;
 }  // namespace colscope::obs
 
 namespace colscope::net {
@@ -40,7 +42,27 @@ struct NetOptions {
   Deadline deadline;
   const CancellationToken* cancel = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Span collector for distributed tracing: request sites (coordinator
+  /// RPC rounds, TcpTransport fetches, worker handlers) record spans
+  /// here. Null leaves every span a no-op.
+  obs::Tracer* tracer = nullptr;
+  /// Latency source for the net.rpc_ms.<frame_type> histograms. When a
+  /// SimulatedTraceClock is wired (the tracer's clock in --trace-clock
+  /// sim runs) the observed values are deterministic; null falls back to
+  /// the steady wall clock.
+  obs::TraceClock* clock = nullptr;
 };
+
+/// Current time in milliseconds on the options' latency clock (see
+/// NetOptions::clock).
+double NetNowMs(const NetOptions& options);
+
+/// Records one client-side RPC round trip (connect/send/receive) into
+/// the per-frame-type latency histogram net.rpc_ms.<type>. Only request
+/// sites call this: serving-side durations would depend on arrival
+/// interleaving and poison byte-reproducibility of harvested snapshots.
+void ObserveRpcLatency(const NetOptions& options, FrameType type,
+                       double elapsed_ms);
 
 /// RAII non-blocking TCP connection. Movable, closes on destruction.
 class Socket {
@@ -63,15 +85,24 @@ class Socket {
   void Close();
 
   /// Writes all of `data`, waiting for socket writability under the
-  /// io timeout / deadline / cancel discipline of `options`.
-  Status SendAll(std::string_view data, const NetOptions& options);
+  /// io timeout / deadline / cancel discipline of `options`. When
+  /// `count_bytes` is false the caller has already accounted for the
+  /// bytes (SendFrame pre-counts whole frames).
+  Status SendAll(std::string_view data, const NetOptions& options,
+                 bool count_bytes = true);
 
   /// Reads exactly `len` bytes into `out` (appended). A peer that closes
   /// mid-read yields Unavailable ("connection closed after N of M
   /// bytes"); timeouts are DeadlineExceeded.
   Status RecvExact(std::string& out, size_t len, const NetOptions& options);
 
-  /// Sends one protocol frame.
+  /// Sends one protocol frame. The frame's metrics (net.frames_sent,
+  /// net.bytes_sent and its per-type satellite) are committed *before*
+  /// the bytes hit the wire: a peer that holds this frame may
+  /// immediately ask for a telemetry snapshot, and the snapshot must
+  /// already include the reply that triggered the ask. Consequently the
+  /// counters mean "handed to the transport" — a send that fails
+  /// mid-frame still counts.
   Status SendFrame(FrameType type, std::string_view payload,
                    const NetOptions& options);
 

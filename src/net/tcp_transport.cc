@@ -1,10 +1,28 @@
 #include "net/tcp_transport.h"
 
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 namespace colscope::net {
 
 using exchange::FetchResponse;
+
+namespace {
+
+/// One flight-recorder line per remote fetch outcome. Details carry
+/// schema indices and status code names only (never endpoints or
+/// durations) so deterministic runs dump identical bytes.
+void RecordFetchFlight(int publisher, int consumer, int attempt,
+                       const Status& status) {
+  obs::FlightRecorder::Global().Record(
+      "fetch", StrFormat("get_model publisher=%d consumer=%d attempt=%d %s",
+                         publisher, consumer, attempt,
+                         status.ok() ? "ok"
+                                     : StatusCodeToString(status.code())));
+}
+
+}  // namespace
 
 Status TcpTransport::Publish(int publisher, std::string payload) {
   local_publishers_[publisher] = true;
@@ -17,17 +35,34 @@ FetchResponse TcpTransport::Fetch(int publisher, int consumer,
     return local_.Fetch(publisher, consumer, attempt);
   }
 
-  FetchResponse response;
   const auto owner = owners_.find(publisher);
   if (owner == owners_.end()) {
     // No process claims this schema: permanent, like an unpublished
-    // in-memory model.
+    // in-memory model. Not an RPC, so no span or flight event.
+    FetchResponse response;
     response.status = Status::NotFound(
         StrFormat("no worker owns schema %d", publisher));
     return response;
   }
 
-  Result<Socket> socket = Socket::Connect(owner->second, options_);
+  obs::ScopedSpan span(options_.tracer, "rpc.get_model");
+  span.AddArg("publisher", publisher);
+  span.AddArg("consumer", consumer);
+  span.AddArg("attempt", attempt);
+  const double start_ms = NetNowMs(options_);
+  FetchResponse response =
+      FetchRemote(owner->second, publisher, consumer, attempt, span.id());
+  ObserveRpcLatency(options_, FrameType::kGetModel,
+                    NetNowMs(options_) - start_ms);
+  RecordFetchFlight(publisher, consumer, attempt, response.status);
+  return response;
+}
+
+FetchResponse TcpTransport::FetchRemote(const Endpoint& owner, int publisher,
+                                        int consumer, int attempt,
+                                        uint64_t parent_span) const {
+  FetchResponse response;
+  Result<Socket> socket = Socket::Connect(owner, options_);
   if (!socket.ok()) {
     // Refused / unreachable / reset reads as a dropped payload; cancel
     // and run-deadline outcomes keep their codes so the retry loop stops
@@ -43,6 +78,10 @@ FetchResponse TcpTransport::Fetch(int publisher, int consumer,
   request.publisher = publisher;
   request.consumer = consumer;
   request.attempt = attempt;
+  if (options_.tracer != nullptr) {
+    request.trace.trace_id = options_.tracer->trace_id();
+    request.trace.parent_span = parent_span;
+  }
   Status sent = socket->SendFrame(FrameType::kGetModel,
                                   EncodeGetModel(request), options_);
   if (!sent.ok()) {

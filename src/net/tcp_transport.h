@@ -49,10 +49,20 @@ class TcpTransport : public exchange::ModelTransport {
   /// `publisher` are served locally (its bytes never cross a socket).
   Status Publish(int publisher, std::string payload) override;
 
+  /// Remote fetches additionally record an "rpc.get_model" span on the
+  /// options' tracer (carrying the run trace context on the wire so the
+  /// serving worker can parent under it), observe net.rpc_ms.get_model,
+  /// and leave one flight-recorder "fetch" event per attempt.
   exchange::FetchResponse Fetch(int publisher, int consumer,
                                 int attempt) const override;
 
  private:
+  /// The socket round trip of one remote fetch; `parent_span` rides the
+  /// kGetModel payload as this side's trace context.
+  exchange::FetchResponse FetchRemote(const Endpoint& owner, int publisher,
+                                      int consumer, int attempt,
+                                      uint64_t parent_span) const;
+
   std::map<int, Endpoint> owners_;
   std::map<int, bool> local_publishers_;
   exchange::InMemoryTransport local_;

@@ -1,0 +1,44 @@
+#ifndef COLSCOPE_NET_TELEMETRY_H_
+#define COLSCOPE_NET_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace colscope::net {
+
+/// Everything one worker hands back on a kStatsRequest: its full
+/// MetricsSnapshot, its trace buffer (events in registration order, the
+/// same order Tracer::Events() yields), the thread labels for the
+/// merged Chrome trace, and the run trace id it was assigned. The
+/// coordinator merges these into one trace (worker i under pid i+1) and
+/// one `worker.<i>.*`-prefixed metrics block.
+struct WorkerTelemetry {
+  uint64_t trace_id = 0;
+  obs::MetricsSnapshot metrics;
+  std::vector<std::string> thread_names;
+  std::vector<obs::TraceEvent> events;
+};
+
+/// kStats payload codec: line oriented and hardened like the other
+/// protocol codecs ("colscope-stats v1" header, per-section caps, "end"
+/// marker, no allocation sized by a hostile count). Metric, thread, span
+/// and arg names are percent-encoded into single whitespace-free tokens,
+/// so arbitrary bytes (spaces, newlines, quotes) survive the line
+/// framing.
+std::string EncodeStats(const WorkerTelemetry& telemetry);
+Result<WorkerTelemetry> DecodeStats(const std::string& payload);
+
+/// Token escaping used by the stats codec, exposed for tests: escapes
+/// '%', bytes <= 0x20, and 0x7f as %XX; the empty string encodes as the
+/// bare sentinel "%".
+std::string EncodeStatsToken(const std::string& raw);
+Result<std::string> DecodeStatsToken(const std::string& token);
+
+}  // namespace colscope::net
+
+#endif  // COLSCOPE_NET_TELEMETRY_H_

@@ -12,7 +12,10 @@
 #include "common/strings.h"
 #include "exchange/exchange.h"
 #include "net/tcp_transport.h"
+#include "net/telemetry.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
+#include "obs/trace.h"
 #include "scoping/collaborative.h"
 #include "scoping/model_io.h"
 
@@ -69,16 +72,40 @@ void HandleAssign(State& state, Socket& socket, const Frame& frame) {
     SendError(socket, config.status(), state.options.net);
     return;
   }
-  std::map<int, std::vector<std::string>> fitted;
-  for (int schema : config->shard) {
-    Result<scoping::LocalModel> model = scoping::LocalModel::Fit(
-        state.signatures->SchemaSignatures(schema), config->v, schema);
-    if (!model.ok()) {
-      SendError(socket, model.status(), state.options.net);
-      return;
+  // Adopt the run's trace context: every span this worker records from
+  // here on shares the coordinator's trace id, and the assign span
+  // parents under the coordinator's rpc.assign span. The assign and
+  // assess handlers are the only worker paths that touch the tracer (and
+  // through it the trace clock) — the coordinator drives them strictly
+  // sequentially, which is what keeps harvested traces byte-reproducible
+  // under SimulatedTraceClock.
+  obs::Tracer* tracer = state.options.net.tracer;
+  if (tracer != nullptr) {
+    if (config->trace.trace_id != 0) {
+      tracer->set_trace_id(config->trace.trace_id);
     }
-    fitted[schema].push_back(scoping::SerializeLocalModel(*model));
+    tracer->NameThisThread("assign");
   }
+  std::map<int, std::vector<std::string>> fitted;
+  {
+    obs::ScopedSpan span(tracer, "worker.assign");
+    span.set_parent(config->trace.parent_span);
+    span.AddArg("schemas", static_cast<long long>(config->shard.size()));
+    for (int schema : config->shard) {
+      Result<scoping::LocalModel> model = scoping::LocalModel::Fit(
+          state.signatures->SchemaSignatures(schema), config->v, schema);
+      if (!model.ok()) {
+        obs::FlightRecorder::Global().Record(
+            "serve", StrFormat("assign %s",
+                               StatusCodeToString(model.status().code())));
+        SendError(socket, model.status(), state.options.net);
+        return;
+      }
+      fitted[schema].push_back(scoping::SerializeLocalModel(*model));
+    }
+  }
+  obs::FlightRecorder::Global().Record(
+      "serve", StrFormat("assign schemas=%zu ok", config->shard.size()));
   {
     std::lock_guard<std::mutex> lock(state.mu);
     state.config = std::move(config).value();
@@ -141,6 +168,13 @@ void HandleGetModel(State& state, Socket& socket, const Frame& frame) {
       injector.Decide(static_cast<uint64_t>(request->publisher),
                       static_cast<uint64_t>(request->consumer),
                       static_cast<uint64_t>(request->attempt), fresh.size());
+  // Flight-recorded (counters only — this handler runs concurrently with
+  // assessments, so it must never touch the tracer or its clock).
+  obs::FlightRecorder::Global().Record(
+      "serve",
+      StrFormat("get_model publisher=%d consumer=%d attempt=%d fault=%s",
+                request->publisher, request->consumer, request->attempt,
+                FaultKindToString(decision.kind)));
   switch (decision.kind) {
     case FaultKind::kDrop:
       // Close without responding; the fetcher sees EOF before any frame
@@ -186,7 +220,12 @@ void HandleGetModel(State& state, Socket& socket, const Frame& frame) {
   }
 }
 
-void HandleAssess(State& state, Socket& socket) {
+void HandleAssess(State& state, Socket& socket, const Frame& frame) {
+  Result<AssessRequest> request = DecodeAssess(frame.payload);
+  if (!request.ok()) {
+    SendError(socket, request.status(), state.options.net);
+    return;
+  }
   AssignConfig config;
   std::map<int, std::vector<std::string>> models;
   {
@@ -200,30 +239,74 @@ void HandleAssess(State& state, Socket& socket) {
     config = *state.config;
     models = state.models;
   }
-
-  // Foreign models come over the wire; the worker's own shard is served
-  // through the transport's embedded in-memory path so local fetches see
-  // the same deterministic fault stream as a single-process run.
-  TcpTransport transport(config.owners, FaultInjector{config.faults},
-                         state.options.net);
-  for (const auto& [publisher, versions] : models) {
-    for (const std::string& payload : versions) {
-      (void)transport.Publish(publisher, payload);
+  obs::Tracer* tracer = state.options.net.tracer;
+  if (tracer != nullptr) {
+    if (request->trace.trace_id != 0) {
+      tracer->set_trace_id(request->trace.trace_id);
     }
+    tracer->NameThisThread("assess");
   }
-
-  std::vector<int> consumers = config.shard;
-  std::sort(consumers.begin(), consumers.end());
-
+  // All assessment telemetry — spans included — is committed before the
+  // kPartial reply goes out: the moment the coordinator holds the reply
+  // it may harvest (kStatsRequest, served on another thread), and the
+  // stats snapshot must already reflect this round.
   PartialResult partial;
-  for (int consumer : consumers) {
-    partial.consumers.push_back(AssessConsumerOverTransport(
-        *state.signatures, consumer, config.num_schemas, transport,
-        config.retry, config.faults.seed, config.degraded, partial.fetches,
-        state.options.net.metrics, state.options.net.cancel));
+  {
+    obs::ScopedSpan span(tracer, "worker.assess");
+    span.set_parent(request->trace.parent_span);
+    span.AddArg("consumers", static_cast<long long>(config.shard.size()));
+
+    // Foreign models come over the wire; the worker's own shard is
+    // served through the transport's embedded in-memory path so local
+    // fetches see the same deterministic fault stream as a
+    // single-process run.
+    TcpTransport transport(config.owners, FaultInjector{config.faults},
+                           state.options.net);
+    for (const auto& [publisher, versions] : models) {
+      for (const std::string& payload : versions) {
+        (void)transport.Publish(publisher, payload);
+      }
+    }
+
+    std::vector<int> consumers = config.shard;
+    std::sort(consumers.begin(), consumers.end());
+
+    for (int consumer : consumers) {
+      obs::ScopedSpan consumer_span(tracer, "worker.assess.consumer");
+      consumer_span.AddArg("consumer", consumer);
+      partial.consumers.push_back(AssessConsumerOverTransport(
+          *state.signatures, consumer, config.num_schemas, transport,
+          config.retry, config.faults.seed, config.degraded,
+          partial.fetches, state.options.net.metrics,
+          state.options.net.cancel));
+    }
+    obs::FlightRecorder::Global().Record(
+        "serve",
+        StrFormat("assess consumers=%zu ok", partial.consumers.size()));
   }
 
   (void)socket.SendFrame(FrameType::kPartial, EncodePartial(partial),
+                         state.options.net);
+}
+
+/// Answers kStatsRequest with this worker's full telemetry. Deliberately
+/// span-free and clock-free: the harvest reply must report the telemetry,
+/// not perturb it — and this handler runs outside the deterministic
+/// assign/assess sequence, so touching a SimulatedTraceClock here would
+/// break the byte-identical merged-trace guarantee.
+void HandleStats(State& state, Socket& socket) {
+  WorkerTelemetry telemetry;
+  obs::Tracer* tracer = state.options.net.tracer;
+  if (tracer != nullptr) {
+    telemetry.trace_id = tracer->trace_id();
+    telemetry.thread_names = tracer->ThreadNames();
+    telemetry.events = tracer->Events();
+  }
+  if (state.options.net.metrics != nullptr) {
+    telemetry.metrics = state.options.net.metrics->Snapshot();
+  }
+  obs::FlightRecorder::Global().Record("serve", "stats ok");
+  (void)socket.SendFrame(FrameType::kStats, EncodeStats(telemetry),
                          state.options.net);
 }
 
@@ -242,10 +325,14 @@ void HandleConnection(std::shared_ptr<State> state, Socket socket) {
       HandleGetModel(*state, socket, *frame);
       return;
     case FrameType::kAssess:
-      HandleAssess(*state, socket);
+      HandleAssess(*state, socket, *frame);
+      return;
+    case FrameType::kStatsRequest:
+      HandleStats(*state, socket);
       return;
     case FrameType::kShutdown:
       state->stop.store(true);
+      obs::FlightRecorder::Global().Record("serve", "shutdown ok");
       (void)socket.SendFrame(FrameType::kShutdownAck, "",
                              state->options.net);
       return;

@@ -40,7 +40,15 @@ struct WorkerOptions {
 ///   kAssess   -> fetch foreign models for each owned consumer via
 ///                TcpTransport + FetchModelWithRetry, reduce to per-
 ///                consumer keep bits, reply kPartial
+///   kStatsRequest -> reply kStats with the serialized MetricsSnapshot,
+///                trace buffer, and thread names (the coordinator's
+///                pre-shutdown telemetry harvest; see net/telemetry.h)
 ///   kShutdown -> ack and stop serving
+/// Wiring a tracer into WorkerOptions::net makes the assign/assess
+/// handlers record spans parented (via the frame trace context) under
+/// the coordinator's RPC spans; the get-model/stats/shutdown handlers
+/// never touch the tracer so concurrent fetches cannot perturb the
+/// deterministic trace.
 /// Every signature row stays local: only fitted models and reduced keep
 /// bits cross the wire, mirroring the paper's collaboration contract.
 class WorkerServer {

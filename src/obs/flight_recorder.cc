@@ -1,0 +1,70 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace colscope::obs {
+
+namespace {
+
+void CopyTruncated(char* dst, size_t dst_cap, std::string_view src) {
+  const size_t n = std::min(src.size(), dst_cap);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+FlightRecorder::~FlightRecorder() { delete[] slots_; }
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Record(std::string_view kind, std::string_view detail) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(ticket - 1) % capacity_];
+  // Invalidate first so a concurrent Snapshot never pairs the new bytes
+  // with the old ticket (or vice versa): any reader that saw the slot
+  // committed must re-check after copying and discard on mismatch.
+  slot.committed.store(0, std::memory_order_release);
+  CopyTruncated(slot.kind, kMaxKindBytes, kind);
+  CopyTruncated(slot.detail, kMaxDetailBytes, detail);
+  slot.committed.store(ticket, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  const uint64_t high = next_.load(std::memory_order_acquire);
+  const uint64_t low = high > capacity_ ? high - capacity_ + 1 : 1;
+  std::vector<FlightEvent> events;
+  events.reserve(high >= low ? static_cast<size_t>(high - low + 1) : 0);
+  for (uint64_t ticket = low; ticket <= high; ++ticket) {
+    const Slot& slot = slots_[(ticket - 1) % capacity_];
+    if (slot.committed.load(std::memory_order_acquire) != ticket) continue;
+    FlightEvent event;
+    event.seq = ticket;
+    event.kind = slot.kind;
+    event.detail = slot.detail;
+    // A writer may have lapped us mid-copy; only keep the event if the
+    // slot still holds this ticket, i.e. the bytes we read were stable.
+    if (slot.committed.load(std::memory_order_acquire) != ticket) continue;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+void FlightRecorder::Clear() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    slots_[i].committed.store(0, std::memory_order_relaxed);
+    slots_[i].kind[0] = '\0';
+    slots_[i].detail[0] = '\0';
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+}  // namespace colscope::obs

@@ -85,6 +85,28 @@ std::vector<double> ExponentialBuckets(double start, double factor,
   return bounds;
 }
 
+void MergePrefixed(MetricsSnapshot& dst, const std::string& prefix,
+                   const MetricsSnapshot& src) {
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  dst.counters.reserve(dst.counters.size() + src.counters.size());
+  for (const auto& [name, value] : src.counters) {
+    dst.counters.emplace_back(prefix + name, value);
+  }
+  std::sort(dst.counters.begin(), dst.counters.end(), by_name);
+  dst.gauges.reserve(dst.gauges.size() + src.gauges.size());
+  for (const auto& [name, value] : src.gauges) {
+    dst.gauges.emplace_back(prefix + name, value);
+  }
+  std::sort(dst.gauges.begin(), dst.gauges.end(), by_name);
+  dst.histograms.reserve(dst.histograms.size() + src.histograms.size());
+  for (const auto& [name, hist] : src.histograms) {
+    dst.histograms.emplace_back(prefix + name, hist);
+  }
+  std::sort(dst.histograms.begin(), dst.histograms.end(), by_name);
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // Leaked.
   return *registry;

@@ -91,6 +91,13 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
 };
 
+/// Folds `src` into `dst` with every name prefixed (e.g. "worker.2."),
+/// then re-sorts each section so the result serializes byte-stably —
+/// how a coordinator embeds harvested worker snapshots next to its own
+/// metrics in one report.
+void MergePrefixed(MetricsSnapshot& dst, const std::string& prefix,
+                   const MetricsSnapshot& src);
+
 /// Named instrument registry. Registration (Get*) takes a mutex once per
 /// name; the returned references are stable for the registry's lifetime,
 /// so hot paths hold onto them and update lock-free. Instantiable for

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/json_writer.h"
+#include "common/strings.h"
 
 namespace colscope::obs {
 
@@ -21,6 +22,53 @@ std::atomic<uint64_t> next_tracer_id{1};
 /// Per-thread buffer cache keyed by tracer id. Ids are never reused, so
 /// entries for destroyed tracers simply go stale and are skipped.
 thread_local std::unordered_map<uint64_t, void*> tls_buffers;
+
+std::string DefaultThreadName(int tid) {
+  return tid == 0 ? std::string("main") : StrFormat("thread-%d", tid);
+}
+
+/// Chrome "M"-phase metadata event with a single string arg named
+/// "name" — the documented shape for process_name/thread_name.
+void WriteMetadataEvent(JsonWriter& json, const char* meta, int pid, int tid,
+                        const std::string& value) {
+  json.BeginObject();
+  json.Key("name").String(meta);
+  json.Key("ph").String("M");
+  json.Key("pid").Int(pid);
+  json.Key("tid").Int(tid);
+  json.Key("args").BeginObject();
+  json.Key("name").String(value);
+  json.EndObject();
+  json.EndObject();
+}
+
+void WriteCompleteEvent(JsonWriter& json, const TraceEvent& event, int pid,
+                        bool with_span_ids) {
+  json.BeginObject();
+  json.Key("name").String(event.name);
+  json.Key("cat").String("colscope");
+  json.Key("ph").String("X");
+  json.Key("ts").Number(event.ts_us);
+  json.Key("dur").Number(event.dur_us);
+  json.Key("pid").Int(pid);
+  json.Key("tid").Int(event.tid);
+  const bool span_args = with_span_ids && event.span_id != 0;
+  if (!event.args.empty() || span_args) {
+    json.Key("args").BeginObject();
+    for (const auto& [key, value] : event.args) {
+      json.Key(key).Int(value);
+    }
+    if (span_args) {
+      json.Key("span_id").Int(static_cast<long long>(event.span_id));
+      if (event.parent_span_id != 0) {
+        json.Key("parent_span_id")
+            .Int(static_cast<long long>(event.parent_span_id));
+      }
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+}
 
 }  // namespace
 
@@ -47,6 +95,11 @@ Tracer::Tracer(TraceClock* clock)
 
 Tracer::~Tracer() = default;
 
+void Tracer::set_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_name_ = std::move(name);
+}
+
 Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
   auto it = tls_buffers.find(id_);
   if (it != tls_buffers.end()) {
@@ -59,6 +112,12 @@ Tracer::ThreadBuffer& Tracer::BufferForThisThread() {
   buffers_.push_back(std::move(buffer));
   tls_buffers[id_] = raw;
   return *raw;
+}
+
+void Tracer::NameThisThread(std::string_view name) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer.name = std::string(name);
 }
 
 void Tracer::Record(TraceEvent event) {
@@ -77,31 +136,58 @@ std::vector<TraceEvent> Tracer::Events() const {
   return events;
 }
 
+std::vector<std::string> Tracer::ThreadNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    names.push_back(buffer->name.empty() ? DefaultThreadName(buffer->tid)
+                                         : buffer->name);
+  }
+  return names;
+}
+
 std::string Tracer::ToChromeJson() const {
-  const std::vector<TraceEvent> events = Events();
+  ProcessTrace process;
+  process.pid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    process.name = process_name_;
+  }
+  process.trace_id = trace_id();
+  process.thread_names = ThreadNames();
+  process.events = Events();
+  return MergedTraceToChromeJson({std::move(process)});
+}
+
+std::string MergedTraceToChromeJson(
+    const std::vector<ProcessTrace>& processes) {
+  uint64_t run_trace_id = 0;
+  for (const ProcessTrace& process : processes) {
+    if (process.trace_id != 0) {
+      run_trace_id = process.trace_id;
+      break;
+    }
+  }
   JsonWriter json;
   json.BeginObject();
   json.Key("traceEvents").BeginArray();
-  for (const TraceEvent& event : events) {
-    json.BeginObject();
-    json.Key("name").String(event.name);
-    json.Key("cat").String("colscope");
-    json.Key("ph").String("X");
-    json.Key("ts").Number(event.ts_us);
-    json.Key("dur").Number(event.dur_us);
-    json.Key("pid").Int(0);
-    json.Key("tid").Int(event.tid);
-    if (!event.args.empty()) {
-      json.Key("args").BeginObject();
-      for (const auto& [key, value] : event.args) {
-        json.Key(key).Int(value);
-      }
-      json.EndObject();
+  for (const ProcessTrace& process : processes) {
+    WriteMetadataEvent(json, "process_name", process.pid, 0, process.name);
+    for (size_t tid = 0; tid < process.thread_names.size(); ++tid) {
+      WriteMetadataEvent(json, "thread_name", process.pid,
+                         static_cast<int>(tid), process.thread_names[tid]);
     }
-    json.EndObject();
+    for (const TraceEvent& event : process.events) {
+      WriteCompleteEvent(json, event, process.pid,
+                         /*with_span_ids=*/process.trace_id != 0);
+    }
   }
   json.EndArray();
   json.Key("displayTimeUnit").String("ms");
+  if (run_trace_id != 0) {
+    json.Key("trace_id").Int(static_cast<long long>(run_trace_id));
+  }
   json.EndObject();
   return json.str();
 }
@@ -115,6 +201,7 @@ ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name)
     : tracer_(tracer) {
   if (tracer_ == nullptr) return;
   event_.name = name;
+  event_.span_id = tracer_->NextSpanId();
   event_.ts_us = tracer_->clock().NowUs();
 }
 
@@ -127,6 +214,11 @@ ScopedSpan::~ScopedSpan() {
 void ScopedSpan::AddArg(std::string_view key, long long value) {
   if (tracer_ == nullptr) return;
   event_.args.emplace_back(std::string(key), value);
+}
+
+void ScopedSpan::set_parent(uint64_t parent_span_id) {
+  if (tracer_ == nullptr) return;
+  event_.parent_span_id = parent_span_id;
 }
 
 }  // namespace colscope::obs

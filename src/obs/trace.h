@@ -1,6 +1,7 @@
 #ifndef COLSCOPE_OBS_TRACE_H_
 #define COLSCOPE_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -53,6 +54,13 @@ struct TraceEvent {
   double ts_us = 0.0;
   double dur_us = 0.0;
   int tid = 0;
+  /// Process-local span id (nonzero once recorded through a tracer).
+  /// Serialized into distributed traces so a worker-side span can name a
+  /// coordinator-side RPC span as its parent across the process gap.
+  uint64_t span_id = 0;
+  /// Span this one parents under; 0 means "implicit" (same-thread
+  /// nesting by timestamp containment, the single-process default).
+  uint64_t parent_span_id = 0;
   std::vector<std::pair<std::string, long long>> args;
 };
 
@@ -72,15 +80,36 @@ class Tracer {
 
   TraceClock& clock() { return *clock_; }
 
+  /// Run-level trace id shared by every process of a distributed run;
+  /// 0 (the default) means "not part of a distributed trace" and keeps
+  /// span/parent ids out of the serialized output.
+  void set_trace_id(uint64_t id) { trace_id_.store(id); }
+  uint64_t trace_id() const { return trace_id_.load(); }
+
+  /// Process label emitted as the Chrome `process_name` metadata event.
+  void set_process_name(std::string name);
+
+  /// Allocates the next process-local span id (starts at 1). Sequential
+  /// call sites produce deterministic ids.
+  uint64_t NextSpanId() { return next_span_id_.fetch_add(1); }
+
+  /// Labels the calling thread's buffer for the Chrome `thread_name`
+  /// metadata events (default: "main" for tid 0, "thread-N" otherwise).
+  void NameThisThread(std::string_view name);
+
   /// Appends a finished event to the calling thread's buffer.
   void Record(TraceEvent event);
 
   /// All recorded events, buffers concatenated in registration order.
   std::vector<TraceEvent> Events() const;
 
+  /// Thread labels indexed by tid (defaults applied).
+  std::vector<std::string> ThreadNames() const;
+
   /// Chrome trace event format (chrome://tracing, Perfetto):
   /// {"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid",
-  /// "args"}...]}. Byte-stable for identical event sequences.
+  /// "args"}...]}, preceded by `M`-phase process_name/thread_name
+  /// metadata events. Byte-stable for identical event sequences.
   std::string ToChromeJson() const;
 
   void Clear();
@@ -88,6 +117,7 @@ class Tracer {
  private:
   struct ThreadBuffer {
     int tid = 0;
+    std::string name;
     std::vector<TraceEvent> events;
   };
 
@@ -97,9 +127,32 @@ class Tracer {
   /// Distinguishes this tracer in thread-local lookups even if another
   /// tracer is later allocated at the same address.
   const uint64_t id_;
+  std::atomic<uint64_t> trace_id_{0};
+  std::atomic<uint64_t> next_span_id_{1};
   mutable std::mutex mu_;
+  std::string process_name_ = "colscope";
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
+
+/// One process's contribution to a merged distributed trace: the events
+/// a coordinator harvested (or recorded itself), the pid they render
+/// under, and the labels for the Chrome metadata events.
+struct ProcessTrace {
+  int pid = 0;
+  std::string name;
+  /// Run-level trace id this process reported; nonzero ids additionally
+  /// serialize span_id/parent_span_id args on every span.
+  uint64_t trace_id = 0;
+  std::vector<std::string> thread_names;
+  std::vector<TraceEvent> events;
+};
+
+/// Merges per-process traces into one Chrome trace document: each
+/// process gets its own pid plus `M`-phase process_name/thread_name
+/// metadata events, and the document carries the run's trace id at the
+/// top level when any process reported one. Byte-stable for identical
+/// inputs — the merged-trace twin of Tracer::ToChromeJson.
+std::string MergedTraceToChromeJson(const std::vector<ProcessTrace>& processes);
 
 /// RAII span: reads the clock at construction and records a TraceEvent
 /// on destruction. A null tracer makes every member a no-op — the
@@ -114,6 +167,13 @@ class ScopedSpan {
 
   /// Attaches a named integer (element counts and the like) to the span.
   void AddArg(std::string_view key, long long value);
+
+  /// This span's process-local id — what a remote callee should name as
+  /// its parent. 0 under a null tracer.
+  uint64_t id() const { return event_.span_id; }
+
+  /// Parents this span under another (possibly remote) span id.
+  void set_parent(uint64_t parent_span_id);
 
  private:
   Tracer* tracer_;

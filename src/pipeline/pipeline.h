@@ -14,6 +14,7 @@
 #include "eval/matching_metrics.h"
 #include "exchange/exchange.h"
 #include "matching/matcher.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "outlier/oda.h"
@@ -159,6 +160,14 @@ struct PipelineRun {
   /// in the JSON report — resumed and fresh runs must stay
   /// byte-identical).
   size_t phases_resumed = 0;
+  /// Flight-recorder dump: the last RPC / fault / retry events this
+  /// process recorded, serialized into the JSON report when non-empty.
+  /// Run() never fills this — comparing two fresh runs must not see
+  /// ring state bleed between them. The CLI copies
+  /// obs::FlightRecorder::Global().Snapshot() here for runs that ended
+  /// degraded (non-OK status or lost workers), where the recent-event
+  /// ledger is the post-mortem.
+  std::vector<obs::FlightEvent> flight;
 
   size_t num_kept() const;
   size_t num_pruned() const { return keep.size() - num_kept(); }

@@ -124,6 +124,20 @@ std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
     json.Key("metrics").Null();
   }
 
+  if (!run.flight.empty()) {
+    json.Key("flight_recorder").BeginArray();
+    for (const obs::FlightEvent& event : run.flight) {
+      json.BeginObject();
+      json.Key("seq").Int(static_cast<long long>(event.seq));
+      json.Key("kind").String(event.kind);
+      json.Key("detail").String(event.detail);
+      json.EndObject();
+    }
+    json.EndArray();
+  } else {
+    json.Key("flight_recorder").Null();
+  }
+
   if (run.quality.has_value()) {
     json.Key("quality").BeginObject();
     json.Key("generated").Int(static_cast<long long>(run.quality->generated));

@@ -8,10 +8,13 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/checksum.h"
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "net/telemetry.h"
+#include "obs/metrics.h"
 
 namespace colscope::net {
 namespace {
@@ -198,7 +201,7 @@ TEST(ProtocolTest, AssignRejectsGarbage) {
 }
 
 TEST(ProtocolTest, GetModelRoundTrip) {
-  GetModelRequest request{3, 1, 4};
+  GetModelRequest request{3, 1, 4, {}};
   auto decoded = DecodeGetModel(EncodeGetModel(request));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->publisher, 3);
@@ -276,6 +279,218 @@ TEST(ProtocolTest, PartialRejectsTruncationAndCountLies) {
   }
   EXPECT_FALSE(DecodePartial("colscope-partial v1\nconsumers 9999999999\n")
                    .ok());
+}
+
+// --- Version skew and new frame types ----------------------------------------
+
+TEST(FrameTest, OlderPeerVersionAccepted) {
+  // A v1 peer (pre-telemetry build) must still interoperate: the
+  // checksum covers only the payload, so rewriting the version bytes to
+  // kMinFrameVersion yields a frame this build accepts unchanged.
+  std::string wire = EncodeFrame(FrameType::kModel, "payload");
+  wire[4] = static_cast<char>(kMinFrameVersion);
+  wire[5] = '\0';
+  auto frame = DecodeFrame(wire);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kModel);
+  EXPECT_EQ(frame->payload, "payload");
+
+  auto header =
+      ParseFrameHeader(std::string_view(wire).substr(0, kFrameHeaderSize));
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version, kMinFrameVersion);
+
+  // Below the floor (version 0) is rejected like a future version.
+  wire[4] = '\0';
+  auto rejected = DecodeFrame(wire);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("version"), std::string::npos);
+}
+
+TEST(FrameTest, TelemetryFrameTypesRoundTrip) {
+  auto request = DecodeFrame(EncodeFrame(FrameType::kStatsRequest, ""));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->type, FrameType::kStatsRequest);
+  auto stats = DecodeFrame(EncodeFrame(FrameType::kStats, "colscope-stats"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->type, FrameType::kStats);
+  EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(FrameType::kStats)));
+  EXPECT_FALSE(IsKnownFrameType(12));
+}
+
+TEST(FrameTest, FrameTypeNamesAreStable) {
+  // These labels key the net.bytes_*/net.rpc_ms.* metric names and the
+  // flight-recorder lines — renaming one silently breaks dashboards.
+  EXPECT_STREQ(FrameTypeToString(FrameType::kAssign), "assign");
+  EXPECT_STREQ(FrameTypeToString(FrameType::kGetModel), "get_model");
+  EXPECT_STREQ(FrameTypeToString(FrameType::kAssess), "assess");
+  EXPECT_STREQ(FrameTypeToString(FrameType::kStatsRequest), "stats_request");
+  EXPECT_STREQ(FrameTypeToString(FrameType::kStats), "stats");
+  EXPECT_STREQ(FrameTypeToString(static_cast<FrameType>(99)), "unknown");
+}
+
+// --- Trace context on the payload codecs -------------------------------------
+
+TEST(ProtocolTest, AssignTraceContextRoundTrip) {
+  AssignConfig config;
+  config.num_schemas = 2;
+  config.shard = {0};
+  config.owners[0] = {"127.0.0.1", 7001};
+  config.owners[1] = {"127.0.0.1", 7002};
+
+  // Untraced configs encode no trace line — byte-compatible with v1.
+  EXPECT_EQ(EncodeAssign(config).find("trace"), std::string::npos);
+  auto untraced = DecodeAssign(EncodeAssign(config));
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced->trace.trace_id, 0u);
+  EXPECT_EQ(untraced->trace.parent_span, 0u);
+
+  config.trace.trace_id = 0x7ffffffffffffffeull;
+  config.trace.parent_span = 17;
+  auto traced = DecodeAssign(EncodeAssign(config));
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_EQ(traced->trace.trace_id, 0x7ffffffffffffffeull);
+  EXPECT_EQ(traced->trace.parent_span, 17u);
+}
+
+TEST(ProtocolTest, GetModelTraceContextRoundTrip) {
+  GetModelRequest request;
+  request.publisher = 3;
+  request.consumer = 1;
+  request.attempt = 4;
+  // The v1 shape (4 tokens) still decodes with zero trace context.
+  auto untraced = DecodeGetModel(EncodeGetModel(request));
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_EQ(untraced->trace.trace_id, 0u);
+
+  request.trace.trace_id = 42;
+  request.trace.parent_span = 7;
+  auto traced = DecodeGetModel(EncodeGetModel(request));
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_EQ(traced->publisher, 3);
+  EXPECT_EQ(traced->trace.trace_id, 42u);
+  EXPECT_EQ(traced->trace.parent_span, 7u);
+  // 5 tokens (a half trace context) is malformed, not "optional".
+  EXPECT_FALSE(DecodeGetModel("get_model 3 1 4 42").ok());
+}
+
+TEST(ProtocolTest, AssessRequestRoundTrip) {
+  // The empty payload is the v1 wire shape and decodes as untraced.
+  AssessRequest untraced;
+  EXPECT_TRUE(EncodeAssess(untraced).empty());
+  auto decoded = DecodeAssess("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->trace.trace_id, 0u);
+
+  AssessRequest traced;
+  traced.trace.trace_id = 9;
+  traced.trace.parent_span = 5;
+  auto round = DecodeAssess(EncodeAssess(traced));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->trace.trace_id, 9u);
+  EXPECT_EQ(round->trace.parent_span, 5u);
+  EXPECT_FALSE(DecodeAssess("assess 9").ok());
+  EXPECT_FALSE(DecodeAssess("bogus 9 5").ok());
+}
+
+// --- Stats (telemetry) codec -------------------------------------------------
+
+TEST(TelemetryTest, StatsTokenEscaping) {
+  EXPECT_EQ(EncodeStatsToken("plain.name"), "plain.name");
+  EXPECT_EQ(EncodeStatsToken(""), "%");
+  EXPECT_EQ(EncodeStatsToken("has space"), "has%20space");
+  EXPECT_EQ(EncodeStatsToken("1%2"), "1%252");
+  for (const std::string& raw :
+       {std::string("a b\nc%d\te"), std::string("\x01\x7f"),
+        std::string("worker \"zero\"")}) {
+    auto decoded = DecodeStatsToken(EncodeStatsToken(raw));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, raw);
+    // The encoded form is line-framing safe: one whitespace-free token.
+    const std::string encoded = EncodeStatsToken(raw);
+    EXPECT_EQ(encoded.find(' '), std::string::npos);
+    EXPECT_EQ(encoded.find('\n'), std::string::npos);
+  }
+  EXPECT_FALSE(DecodeStatsToken("trailing%2").ok());
+  EXPECT_FALSE(DecodeStatsToken("bad%zz").ok());
+}
+
+TEST(TelemetryTest, StatsRoundTripPreservesEverything) {
+  WorkerTelemetry telemetry;
+  telemetry.trace_id = 0x1234567890abcdefull & 0x7fffffffffffffffull;
+  obs::MetricsRegistry registry;
+  registry.GetCounter("exchange.fetches").Increment(5);
+  registry.GetCounter("weird name\nwith\"bytes").Increment(1);
+  registry.GetGauge("queue.depth").Set(-2.5);
+  registry.GetHistogram("net.rpc_ms.get_model", {1.0, 8.0}).Observe(3.0);
+  telemetry.metrics = registry.Snapshot();
+  telemetry.thread_names = {"assign", "assess thread"};
+  obs::TraceEvent event;
+  event.name = "worker.assign";
+  event.ts_us = 12.5;
+  event.dur_us = 3.25;
+  event.tid = 0;
+  event.span_id = 4;
+  event.parent_span_id = 2;
+  event.args = {{"schemas", 2}, {"arg with space", -1}};
+  telemetry.events.push_back(event);
+
+  const std::string wire = EncodeStats(telemetry);
+  // Deterministic bytes: the harvest is part of the byte-compare surface.
+  EXPECT_EQ(wire, EncodeStats(telemetry));
+
+  auto decoded = DecodeStats(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->trace_id, telemetry.trace_id);
+  ASSERT_EQ(decoded->metrics.counters.size(), 2u);
+  EXPECT_EQ(decoded->metrics.counters[0].first, "exchange.fetches");
+  EXPECT_EQ(decoded->metrics.counters[0].second, 5u);
+  EXPECT_EQ(decoded->metrics.counters[1].first, "weird name\nwith\"bytes");
+  ASSERT_EQ(decoded->metrics.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded->metrics.gauges[0].second, -2.5);
+  ASSERT_EQ(decoded->metrics.histograms.size(), 1u);
+  const auto& histogram = decoded->metrics.histograms[0].second;
+  EXPECT_EQ(histogram.total_count, 1u);
+  EXPECT_DOUBLE_EQ(histogram.sum, 3.0);
+  ASSERT_EQ(histogram.upper_bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(histogram.upper_bounds[1], 8.0);
+  ASSERT_EQ(histogram.counts.size(), 3u);
+  EXPECT_EQ(histogram.counts[1], 1u);
+  EXPECT_EQ(decoded->thread_names,
+            (std::vector<std::string>{"assign", "assess thread"}));
+  ASSERT_EQ(decoded->events.size(), 1u);
+  EXPECT_EQ(decoded->events[0].name, "worker.assign");
+  EXPECT_DOUBLE_EQ(decoded->events[0].ts_us, 12.5);
+  EXPECT_DOUBLE_EQ(decoded->events[0].dur_us, 3.25);
+  EXPECT_EQ(decoded->events[0].span_id, 4u);
+  EXPECT_EQ(decoded->events[0].parent_span_id, 2u);
+  ASSERT_EQ(decoded->events[0].args.size(), 2u);
+  EXPECT_EQ(decoded->events[0].args[1].first, "arg with space");
+  EXPECT_EQ(decoded->events[0].args[1].second, -1);
+}
+
+TEST(TelemetryTest, StatsRejectsMalformedPayloads) {
+  EXPECT_FALSE(DecodeStats("").ok());
+  EXPECT_FALSE(DecodeStats("not-stats v1\nend\n").ok());
+  // Missing "end" marker: a truncated harvest must not half-decode.
+  EXPECT_FALSE(DecodeStats("colscope-stats v1\ntrace_id 1\n").ok());
+  // Hostile counts must be rejected, not allocated.
+  EXPECT_FALSE(
+      DecodeStats("colscope-stats v1\nhist h 1 1.0 4294967295 1.0\nend\n")
+          .ok());
+  // Thread ids must arrive densely in order.
+  EXPECT_FALSE(
+      DecodeStats("colscope-stats v1\nthread 3 late\nend\n").ok());
+  // Truncations of a valid encoding never decode.
+  WorkerTelemetry telemetry;
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a").Increment(1);
+  telemetry.metrics = registry.Snapshot();
+  telemetry.thread_names = {"main"};
+  const std::string wire = EncodeStats(telemetry);
+  for (size_t cut = 0; cut < wire.size(); cut += 3) {
+    EXPECT_FALSE(DecodeStats(wire.substr(0, cut)).ok()) << cut;
+  }
 }
 
 }  // namespace

@@ -6,11 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "exchange/exchange.h"
 #include "exchange/transport.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/thread_pool_metrics.h"
@@ -323,6 +326,244 @@ TEST(TraceTest, PerThreadBuffersCollectAllSpans) {
     pool.Wait();
   }
   EXPECT_EQ(tracer.Events().size(), 32u);
+}
+
+// --- JSON escaping -----------------------------------------------------------
+
+TEST(MetricsTest, JsonEscapesHostileMetricNames) {
+  // Metric names come from schema-derived strings in some callers, so
+  // quotes, backslashes, and control bytes must all survive
+  // serialization as valid JSON.
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"quote").Increment(1);
+  registry.GetCounter("back\\slash").Increment(2);
+  registry.GetGauge(std::string("ctl\x01" "char")).Set(3.0);
+  const std::string json = obs::SnapshotToJsonString(registry.Snapshot());
+  EXPECT_NE(json.find("\"weird\\\"quote\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"back\\\\slash\":2"), std::string::npos);
+  EXPECT_NE(json.find("ctl\\u0001char"), std::string::npos);
+  // No raw quote-breaking or control byte survives into the document.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(TraceTest, JsonEscapesHostileSpanAndArgNames) {
+  SimulatedTraceClock clock;
+  Tracer tracer(&clock);
+  tracer.set_process_name("proc \"zero\"");
+  {
+    ScopedSpan span(&tracer, "span\"with\\newline\n");
+    span.AddArg("arg\"key", 7);
+  }
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"span\\\"with\\\\newline\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"arg\\\"key\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"proc \\\"zero\\\"\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+// --- Metadata events and span ids --------------------------------------------
+
+TEST(TraceTest, MetadataEventsNameProcessAndThreads) {
+  SimulatedTraceClock clock;
+  Tracer tracer(&clock);
+  tracer.set_process_name("coordinator");
+  tracer.NameThisThread("driver");
+  { ScopedSpan span(&tracer, "phase"); }
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                      "\"tid\":0,\"args\":{\"name\":\"coordinator\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                      "\"tid\":0,\"args\":{\"name\":\"driver\"}}"),
+            std::string::npos);
+}
+
+TEST(TraceTest, UnnamedThreadsGetDefaultLabels) {
+  SimulatedTraceClock clock;
+  Tracer tracer(&clock);
+  { ScopedSpan span(&tracer, "main.work"); }
+  std::thread([&tracer] { ScopedSpan span(&tracer, "side.work"); }).join();
+  const std::vector<std::string> names = tracer.ThreadNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "main");
+  EXPECT_EQ(names[1], "thread-1");
+}
+
+TEST(TraceTest, SpanIdsSerializedOnlyForDistributedTraces) {
+  SimulatedTraceClock clock;
+  Tracer tracer(&clock);
+  { ScopedSpan span(&tracer, "solo"); }
+  // Single-process traces (trace id 0) stay free of span id noise.
+  EXPECT_EQ(tracer.ToChromeJson().find("span_id"), std::string::npos);
+
+  tracer.set_trace_id(42);
+  uint64_t parent_id = 0;
+  {
+    ScopedSpan parent(&tracer, "parent");
+    parent_id = parent.id();
+    EXPECT_NE(parent_id, 0u);
+    ScopedSpan child(&tracer, "child");
+    child.set_parent(parent_id);
+  }
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"trace_id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":"), std::string::npos);
+  EXPECT_NE(json.find(StrFormat("\"parent_span_id\":%llu",
+                                static_cast<unsigned long long>(parent_id))),
+            std::string::npos);
+}
+
+TEST(TraceTest, MergedTraceCoversEveryProcess) {
+  auto merge = [] {
+    obs::ProcessTrace coordinator;
+    coordinator.pid = 0;
+    coordinator.name = "coordinator";
+    coordinator.trace_id = 99;
+    coordinator.thread_names = {"main"};
+    obs::TraceEvent rpc;
+    rpc.name = "rpc.assign";
+    rpc.ts_us = 1.0;
+    rpc.dur_us = 4.0;
+    rpc.span_id = 1;
+    coordinator.events.push_back(rpc);
+
+    obs::ProcessTrace worker;
+    worker.pid = 1;
+    worker.name = "worker.0";
+    worker.trace_id = 99;
+    worker.thread_names = {"assign", "assess"};
+    obs::TraceEvent fit;
+    fit.name = "worker.assign";
+    fit.ts_us = 2.0;
+    fit.dur_us = 1.0;
+    fit.span_id = 1;
+    fit.parent_span_id = 1;  // The coordinator's rpc.assign span.
+    worker.events.push_back(fit);
+    return obs::MergedTraceToChromeJson({coordinator, worker});
+  };
+  const std::string json = merge();
+  // Identical inputs serialize byte-identically (the property the
+  // distributed quorum harness compares across repeat runs).
+  EXPECT_EQ(json, merge());
+  EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                      "\"tid\":0,\"args\":{\"name\":\"coordinator\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":0,\"args\":{\"name\":\"worker.0\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":1,\"args\":{\"name\":\"assess\"}}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker.assign\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":1"), std::string::npos);
+  // One run-level trace id at the top of the document.
+  EXPECT_NE(json.find("\"trace_id\":99"), std::string::npos);
+}
+
+// --- Merged metrics ----------------------------------------------------------
+
+TEST(MetricsTest, MergePrefixedNamespacesAndResorts) {
+  MetricsRegistry coordinator;
+  coordinator.GetCounter("net.bytes_sent.assign").Increment(10);
+  coordinator.GetCounter("zebra").Increment(1);
+  MetricsRegistry worker;
+  worker.GetCounter("exchange.fetches").Increment(3);
+  worker.GetGauge("queue.depth").Set(2.0);
+  worker.GetHistogram("lat", {1.0}).Observe(0.5);
+
+  obs::MetricsSnapshot merged = coordinator.Snapshot();
+  obs::MergePrefixed(merged, "worker.0.", worker.Snapshot());
+
+  ASSERT_EQ(merged.counters.size(), 3u);
+  // Re-sorted by name so serialization stays canonical.
+  EXPECT_EQ(merged.counters[0].first, "net.bytes_sent.assign");
+  EXPECT_EQ(merged.counters[1].first, "worker.0.exchange.fetches");
+  EXPECT_EQ(merged.counters[1].second, 3u);
+  EXPECT_EQ(merged.counters[2].first, "zebra");
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_EQ(merged.gauges[0].first, "worker.0.queue.depth");
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].first, "worker.0.lat");
+  EXPECT_EQ(merged.histograms[0].second.total_count, 1u);
+}
+
+// --- Flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsInSequenceOrder) {
+  obs::FlightRecorder recorder(8);
+  recorder.Record("rpc", "assign worker=0 ok");
+  recorder.Record("fetch", "get_model publisher=1 consumer=0 attempt=0 ok");
+  recorder.Record("retry", "publisher=1 consumer=0 attempt=1 fault=drop");
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].kind, "rpc");
+  EXPECT_EQ(events[0].detail, "assign worker=0 ok");
+  EXPECT_EQ(events[1].kind, "fetch");
+  EXPECT_EQ(events[2].seq, 3u);
+  EXPECT_EQ(recorder.total_recorded(), 3u);
+}
+
+TEST(FlightRecorderTest, RingKeepsOnlyTheNewestEvents) {
+  obs::FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("rpc", StrFormat("event=%d", i));
+  }
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().detail, "event=6");
+  EXPECT_EQ(events.back().detail, "event=9");
+  EXPECT_EQ(events.back().seq, 10u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+}
+
+TEST(FlightRecorderTest, TruncatesOversizedFields) {
+  obs::FlightRecorder recorder(2);
+  const std::string long_kind(100, 'k');
+  const std::string long_detail(500, 'd');
+  recorder.Record(long_kind, long_detail);
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind.size(), obs::FlightRecorder::kMaxKindBytes);
+  EXPECT_EQ(events[0].detail.size(), obs::FlightRecorder::kMaxDetailBytes);
+}
+
+TEST(FlightRecorderTest, ClearRestartsSequenceNumbers) {
+  obs::FlightRecorder recorder(4);
+  recorder.Record("rpc", "before");
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  recorder.Record("rpc", "after");
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].detail, "after");
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearASlot) {
+  obs::FlightRecorder recorder(16);
+  {
+    ThreadPool pool(4);
+    for (int writer = 0; writer < 4; ++writer) {
+      pool.Schedule([&recorder, writer] {
+        for (int i = 0; i < 1000; ++i) {
+          recorder.Record("rpc", StrFormat("writer=%d i=%d", writer, i));
+          // Interleaved reads must only ever see fully published slots.
+          for (const obs::FlightEvent& event : recorder.Snapshot()) {
+            ASSERT_EQ(event.kind, "rpc");
+            ASSERT_EQ(event.detail.rfind("writer=", 0), 0u);
+          }
+        }
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(recorder.total_recorded(), 4000u);
+  // Sequence numbers in a quiescent snapshot are strictly increasing.
+  const std::vector<obs::FlightEvent> events = recorder.Snapshot();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
 }
 
 // --- Exchange retry logging --------------------------------------------------

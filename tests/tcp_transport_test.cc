@@ -21,7 +21,11 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "net/tcp_transport.h"
+#include "net/telemetry.h"
 #include "net/worker.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scoping/model_io.h"
 #include "scoping/signatures.h"
 
@@ -313,6 +317,140 @@ TEST_F(TcpTransportTest, AssessConsumerMatchesSingleProcessRun) {
     EXPECT_EQ(tcp_fetches[i].attempts, memory_fetches[i].attempts) << i;
     EXPECT_EQ(tcp_fetches[i].faults, memory_fetches[i].faults) << i;
   }
+}
+
+// --- Distributed telemetry ---------------------------------------------------
+
+/// Finds a counter by name in a snapshot; 0 when absent.
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+bool HasHistogram(const obs::MetricsSnapshot& snapshot,
+                  const std::string& name) {
+  for (const auto& [histogram_name, unused] : snapshot.histograms) {
+    if (histogram_name == name) return true;
+  }
+  return false;
+}
+
+TEST_F(TcpTransportTest, TelemetryHarvestAndTracePropagation) {
+  // Worker side: its own registry, tracer, and simulated clock — what
+  // `--role worker --trace-clock sim` wires up.
+  obs::MetricsRegistry worker_registry;
+  obs::SimulatedTraceClock worker_clock;
+  obs::Tracer worker_tracer(&worker_clock);
+  WorkerOptions worker_options;
+  worker_options.net.metrics = &worker_registry;
+  worker_options.net.tracer = &worker_tracer;
+  worker_options.net.clock = &worker_clock;
+  LiveWorker& worker = StartWorker(worker_options);
+
+  // Coordinator side, with a nonzero run trace id.
+  obs::MetricsRegistry coord_registry;
+  obs::SimulatedTraceClock coord_clock;
+  obs::Tracer coord_tracer(&coord_clock);
+  coord_tracer.set_trace_id(777);
+  CoordinatorOptions options;
+  options.workers = {worker.endpoint};
+  options.degraded.policy = scoping::DegradedPolicy::kKeepAll;
+  options.net.metrics = &coord_registry;
+  options.net.tracer = &coord_tracer;
+  options.net.clock = &coord_clock;
+
+  auto scoped = DistributedScope(signatures_, num_schemas_, options,
+                                 &coord_registry);
+  ASSERT_TRUE(scoped.ok()) << scoped.status().ToString();
+  ShutdownWorkers(options.workers, options.net);
+  for (auto& live : workers_) {
+    if (live.thread.joinable()) live.thread.join();
+  }
+
+  // The harvest delivered one telemetry blob, carrying the run trace id
+  // the kAssign frame propagated.
+  ASSERT_EQ(scoped->telemetry.size(), 1u);
+  ASSERT_TRUE(scoped->telemetry[0].has_value());
+  const WorkerTelemetry& telemetry = *scoped->telemetry[0];
+  EXPECT_EQ(telemetry.trace_id, 777u);
+
+  // The worker's handler threads registered under their protocol names.
+  ASSERT_GE(telemetry.thread_names.size(), 2u);
+  EXPECT_EQ(telemetry.thread_names[0], "assign");
+  EXPECT_EQ(telemetry.thread_names[1], "assess");
+
+  // Worker spans parent under the coordinator's RPC spans: the
+  // worker.assign span's parent id is the rpc.assign span's id.
+  const auto coord_events = coord_tracer.Events();
+  uint64_t rpc_assign_span = 0;
+  for (const auto& event : coord_events) {
+    if (event.name == "rpc.assign") rpc_assign_span = event.span_id;
+  }
+  ASSERT_NE(rpc_assign_span, 0u);
+  bool saw_worker_assign = false, saw_worker_assess = false;
+  for (const auto& event : telemetry.events) {
+    if (event.name == "worker.assign") {
+      saw_worker_assign = true;
+      EXPECT_EQ(event.parent_span_id, rpc_assign_span);
+    }
+    if (event.name == "worker.assess") saw_worker_assess = true;
+  }
+  EXPECT_TRUE(saw_worker_assign);
+  EXPECT_TRUE(saw_worker_assess);
+
+  // Client-side RPC latency histograms and per-type byte counters landed
+  // on the coordinator...
+  const auto coord_snapshot = coord_registry.Snapshot();
+  EXPECT_TRUE(HasHistogram(coord_snapshot, "net.rpc_ms.assign"));
+  EXPECT_TRUE(HasHistogram(coord_snapshot, "net.rpc_ms.assess"));
+  EXPECT_TRUE(HasHistogram(coord_snapshot, "net.rpc_ms.stats_request"));
+  EXPECT_GT(CounterValue(coord_snapshot, "net.bytes_sent.assign"), 0u);
+  EXPECT_GT(CounterValue(coord_snapshot, "net.bytes_received.assign_ack"),
+            0u);
+  EXPECT_GT(CounterValue(coord_snapshot, "net.bytes_received.partial"), 0u);
+  // ...and the harvested worker snapshot counted its serving side.
+  EXPECT_GT(CounterValue(telemetry.metrics, "net.bytes_received.assign"),
+            0u);
+  EXPECT_GT(CounterValue(telemetry.metrics, "net.bytes_sent.partial"), 0u);
+  EXPECT_GT(CounterValue(telemetry.metrics, "exchange.fetches"), 0u);
+}
+
+TEST_F(TcpTransportTest, DeadWorkerLeavesTelemetryHoleNotError) {
+  obs::FlightRecorder::Global().Clear();
+  LiveWorker& alive = StartWorker();
+  CoordinatorOptions options;
+  // Worker 1 is an endpoint nobody listens on: lost at assignment.
+  options.workers = {alive.endpoint, Endpoint{"127.0.0.1", 1}};
+  options.degraded.policy = scoping::DegradedPolicy::kKeepAll;
+  options.net.connect_timeout_ms = 500.0;
+
+  auto scoped = DistributedScope(signatures_, num_schemas_, options);
+  ASSERT_TRUE(scoped.ok()) << scoped.status().ToString();
+  ShutdownWorkers(options.workers, options.net);
+  for (auto& live : workers_) {
+    if (live.thread.joinable()) live.thread.join();
+  }
+
+  EXPECT_EQ(scoped->lost_workers, (std::vector<size_t>{1}));
+  ASSERT_EQ(scoped->telemetry.size(), 2u);
+  EXPECT_TRUE(scoped->telemetry[0].has_value());
+  EXPECT_FALSE(scoped->telemetry[1].has_value());
+
+  // The flight recorder named the dead worker at every round it missed.
+  bool saw_lost_assign = false, saw_stats_hole = false;
+  for (const auto& event : obs::FlightRecorder::Global().Snapshot()) {
+    if (event.kind != "rpc") continue;
+    if (event.detail.rfind("assign worker=1 ", 0) == 0 &&
+        event.detail.find(" ok") == std::string::npos) {
+      saw_lost_assign = true;
+    }
+    if (event.detail == "stats worker=1 hole") saw_stats_hole = true;
+  }
+  EXPECT_TRUE(saw_lost_assign);
+  EXPECT_TRUE(saw_stats_hole);
 }
 
 TEST_F(TcpTransportTest, ShutdownStopsServeLoop) {

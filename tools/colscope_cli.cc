@@ -37,6 +37,7 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "embed/hashed_encoder.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -354,6 +355,34 @@ bool WriteTextFile(const std::string& path, const std::string& text) {
   return true;
 }
 
+/// Run-level trace id shared by every process of a distributed run:
+/// FNV-1a of the fault seed's decimal rendering, masked to 63 bits so
+/// span args survive the JSON long-long round trip, forced nonzero
+/// (0 means "untraced"). Same seed -> same id, so repeat runs produce
+/// byte-identical merged traces.
+uint64_t DeriveTraceId(uint64_t seed) {
+  const std::string key = StrFormat(
+      "colscope-run-%llu", static_cast<unsigned long long>(seed));
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  hash &= (1ull << 63) - 1;
+  return hash == 0 ? 1 : hash;
+}
+
+/// Post-mortem: the flight recorder's recent-event ledger, dumped to
+/// stderr when a run dies without producing a report.
+void DumpFlightToStderr() {
+  for (const obs::FlightEvent& event :
+       obs::FlightRecorder::Global().Snapshot()) {
+    std::fprintf(stderr, "# flight %llu %s %s\n",
+                 static_cast<unsigned long long>(event.seq),
+                 event.kind.c_str(), event.detail.c_str());
+  }
+}
+
 /// `colscope fit`: train + publish this schema's local model.
 int RunFit(const CliArgs& args) {
   Result<schema::SchemaSet> set = LoadSchemas(args);
@@ -434,6 +463,10 @@ int RunAssess(const CliArgs& args) {
 /// schemas, builds signatures, and serves kAssign / kGetModel / kAssess
 /// until a coordinator sends kShutdown. Raw signature rows never leave
 /// the process — only fitted models and reduced keep bits do.
+///
+/// Always instrumented: the per-process registry and tracer feed the
+/// coordinator's kStatsRequest harvest, so `--metrics-out`/`--trace-out`
+/// are optional local copies, not prerequisites for telemetry.
 int RunWorker(const CliArgs& args) {
   Result<schema::SchemaSet> set = LoadSchemas(args);
   if (!set.ok()) {
@@ -449,10 +482,27 @@ int RunWorker(const CliArgs& args) {
                  listen.status().ToString().c_str());
     return 2;
   }
+  if (args.trace_clock != "real" && args.trace_clock != "sim") {
+    std::fprintf(stderr, "unknown trace clock (want real|sim): %s\n",
+                 args.trace_clock.c_str());
+    return 2;
+  }
+  obs::MetricsRegistry registry;
+  obs::SystemTraceClock real_clock;
+  obs::SimulatedTraceClock sim_clock;
+  obs::TraceClock* clock = args.trace_clock == "sim"
+                               ? static_cast<obs::TraceClock*>(&sim_clock)
+                               : &real_clock;
+  obs::Tracer tracer(clock);
+  tracer.set_process_name("worker");
+
   net::WorkerOptions options;
   options.listen = *listen;
   options.port_file = args.port_file;
   options.crash_after_assign = args.crash_after_assign;
+  options.net.metrics = &registry;
+  options.net.tracer = &tracer;
+  options.net.clock = clock;
   Result<net::WorkerServer> server =
       net::WorkerServer::Create(&signatures, options);
   if (!server.ok()) {
@@ -462,8 +512,20 @@ int RunWorker(const CliArgs& args) {
   std::fprintf(stderr, "# worker listening on %s:%u\n",
                listen->host.c_str(), server->port());
   Status served = server->Serve();
+  // Local telemetry copies are written even after a failed serve loop —
+  // that is exactly when they are most interesting.
+  if (!args.metrics_out.empty() &&
+      !WriteTextFile(args.metrics_out,
+                     obs::SnapshotToJsonString(registry.Snapshot()))) {
+    return 1;
+  }
+  if (!args.trace_out.empty() &&
+      !WriteTextFile(args.trace_out, tracer.ToChromeJson())) {
+    return 1;
+  }
   if (!served.ok()) {
     std::fprintf(stderr, "%s\n", served.ToString().c_str());
+    DumpFlightToStderr();
     return 1;
   }
   return 0;
@@ -485,7 +547,20 @@ int RunCoordinator(const CliArgs& args) {
     std::fprintf(stderr, "%s\n", set.status().ToString().c_str());
     return 1;
   }
+  if (args.trace_clock != "real" && args.trace_clock != "sim") {
+    std::fprintf(stderr, "unknown trace clock (want real|sim): %s\n",
+                 args.trace_clock.c_str());
+    return 2;
+  }
   obs::MetricsRegistry registry;
+  obs::SystemTraceClock real_trace_clock;
+  obs::SimulatedTraceClock sim_trace_clock;
+  obs::TraceClock* trace_clock =
+      args.trace_clock == "sim"
+          ? static_cast<obs::TraceClock*>(&sim_trace_clock)
+          : &real_trace_clock;
+  obs::Tracer tracer(trace_clock);
+  tracer.set_process_name("coordinator");
   const embed::HashedLexiconEncoder encoder;
   const auto signatures = scoping::BuildSignatures(*set, encoder);
 
@@ -524,14 +599,64 @@ int RunCoordinator(const CliArgs& args) {
     options.net.deadline = Deadline::After(&run_clock, args.deadline_ms);
   }
   options.net.metrics = &registry;
+  options.net.tracer = &tracer;
+  options.net.clock = trace_clock;
+  // The run-level trace id every worker span carries: derived from the
+  // fault seed so the coordinator and the byte-compare harness agree on
+  // it without coordination.
+  tracer.set_trace_id(DeriveTraceId(options.faults.seed));
 
-  Result<net::DistributedScopeResult> scoped = net::DistributedScope(
-      signatures, set->num_schemas(), options, &registry);
-  // Live workers are shut down either way; a dead one cannot object.
-  net::ShutdownWorkers(options.workers, options.net);
+  Result<net::DistributedScopeResult> scoped = [&]() {
+    // Root span enclosing the distributed phases and the shutdown round;
+    // closed before any serialization so the trace buffer is complete.
+    obs::ScopedSpan span(&tracer, "coordinator.run");
+    Result<net::DistributedScopeResult> result = net::DistributedScope(
+        signatures, set->num_schemas(), options, &registry);
+    // Live workers are shut down either way; a dead one cannot object.
+    net::ShutdownWorkers(options.workers, options.net);
+    return result;
+  }();
   if (!scoped.ok()) {
     std::fprintf(stderr, "%s\n", scoped.status().ToString().c_str());
+    // No report will be written — the flight recorder's ledger of the
+    // last RPC/fault/retry events is the post-mortem.
+    DumpFlightToStderr();
     return 1;
+  }
+
+  // Merged observability artifacts: the coordinator's own telemetry
+  // plus everything harvested from surviving workers. Dead workers are
+  // holes, so the merge never blocks on a corpse.
+  obs::MetricsSnapshot merged_metrics = registry.Snapshot();
+  for (size_t w = 0; w < scoped->telemetry.size(); ++w) {
+    if (!scoped->telemetry[w].has_value()) continue;
+    obs::MergePrefixed(merged_metrics, StrFormat("worker.%zu.", w),
+                       scoped->telemetry[w]->metrics);
+  }
+  if (!args.trace_out.empty()) {
+    std::vector<obs::ProcessTrace> processes;
+    obs::ProcessTrace coord;
+    coord.pid = 0;
+    coord.name = "coordinator";
+    coord.trace_id = tracer.trace_id();
+    coord.thread_names = tracer.ThreadNames();
+    coord.events = tracer.Events();
+    processes.push_back(std::move(coord));
+    for (size_t w = 0; w < scoped->telemetry.size(); ++w) {
+      if (!scoped->telemetry[w].has_value()) continue;
+      const net::WorkerTelemetry& telemetry = *scoped->telemetry[w];
+      obs::ProcessTrace proc;
+      proc.pid = static_cast<int>(w) + 1;
+      proc.name = StrFormat("worker.%zu", w);
+      proc.trace_id = telemetry.trace_id;
+      proc.thread_names = telemetry.thread_names;
+      proc.events = telemetry.events;
+      processes.push_back(std::move(proc));
+    }
+    if (!WriteTextFile(args.trace_out,
+                       obs::MergedTraceToChromeJson(processes))) {
+      return 1;
+    }
   }
 
   std::optional<ThreadPool> pool;
@@ -562,13 +687,18 @@ int RunCoordinator(const CliArgs& args) {
     echo.owners.emplace_back(schema_index, endpoint.ToString());
   }
   run.exchange_config = std::move(echo);
-  run.metrics = registry.Snapshot();
+  run.metrics = merged_metrics;
   run.phases_completed = {"signatures", "local_models", "keep_mask",
                           "streamline", "match"};
+  if (!scoped->lost_workers.empty()) {
+    // A degraded run ships its flight-recorder ledger in the report:
+    // which worker died, at which round, and what the re-executions did.
+    run.flight = obs::FlightRecorder::Global().Snapshot();
+  }
 
   if (!args.metrics_out.empty() &&
       !WriteTextFile(args.metrics_out,
-                     obs::SnapshotToJsonString(registry.Snapshot()))) {
+                     obs::SnapshotToJsonString(merged_metrics))) {
     return 1;
   }
   if (args.json) {
@@ -741,7 +871,9 @@ int RunPipeline(const CliArgs& args) {
   if (!run->status.ok()) {
     // Deadline/cancellation stopped the run at a phase boundary. The
     // partial artifacts are still valid, so emit the report (its
-    // "status" field says why it is incomplete) and exit cleanly.
+    // "status" field says why it is incomplete) and exit cleanly, with
+    // the flight recorder's recent-event ledger as the post-mortem.
+    run->flight = obs::FlightRecorder::Global().Snapshot();
     if (args.json) {
       std::printf("%s\n", pipeline::RunToJson(*run, *set).c_str());
       return 0;

@@ -4,7 +4,8 @@
 #   1. build-test matrix: {gcc, clang} x {Debug, Release} + ctest
 #   2. sanitizers:        tools/run_sanitized_tests.sh
 #   3. distributed-smoke: tools/run_distributed_smoke.sh (multi-process
-#                         coordinator/worker quorum test under ASan/UBSan)
+#                         coordinator/worker quorum + telemetry-harvest
+#                         test under ASan/UBSan)
 #   4. bench-smoke:       tools/run_benches.sh --smoke + regression gates
 #   5. lint:              header / build-artifact / format checks
 #

@@ -1,9 +1,16 @@
 #!/bin/sh
 # Builds the distributed-exchange code under ASan + UBSan and runs the
-# multi-process smoke: the wire-framing and socket-transport unit tests,
-# then the cli_distributed_quorum ctest — 1 coordinator + 3 worker
-# processes over the TCP transport, one worker SIGKILLed mid-exchange,
-# byte-compared against the in-memory run with the same peer dropped.
+# multi-process smoke: the wire-framing, socket-transport, and
+# observability unit tests (trace merge, telemetry codec, lock-free
+# flight recorder), then the cli_distributed_quorum ctest — 1
+# coordinator + 3 worker processes over the TCP transport, one worker
+# SIGKILLed mid-exchange. The quorum script byte-compares the surviving
+# assessments against the in-memory run with the same peer dropped, and
+# additionally asserts the telemetry harvest: one merged Chrome trace
+# with spans from every surviving worker parented under the
+# coordinator's RPC spans, merged worker.<i>.* metrics, a
+# flight-recorder dump naming the killed worker, and a repeat run that
+# reproduces the trace and flight bytes exactly.
 #
 # Usage: run_distributed_smoke.sh [BUILD_DIR]
 #   (default: <repo>/build-distributed-asan)
@@ -11,11 +18,11 @@ set -e
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build-distributed-asan}"
 
-smoke_tests='net_frame_test|tcp_transport_test|cli_distributed_quorum'
+smoke_tests='net_frame_test|tcp_transport_test|obs_test|cli_distributed_quorum'
 
 cmake -B "$build" -S "$root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
 cmake --build "$build" -j \
-  --target net_frame_test tcp_transport_test colscope_cli
+  --target net_frame_test tcp_transport_test obs_test colscope_cli
 (cd "$build" && ctest --output-on-failure -R "^($smoke_tests)\$")
