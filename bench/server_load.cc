@@ -1,0 +1,305 @@
+// Load generator for the resident colscoped server (src/server/): an
+// in-process daemon with a deterministic artificial service time, driven
+// by seeded open-loop Poisson arrivals — request launch times are fixed
+// up front by the seed, never by completions, so an overloaded server
+// cannot slow the offered load down.
+//
+// Two scenarios ride the same daemon:
+//   steady    offered load well under capacity: every request must be
+//             served, byte-identical to the direct pipeline run.
+//   overload  offered load several times capacity: the admission gate
+//             must shed the excess with typed kOverloaded — and nothing
+//             else — while the admitted requests still complete.
+// A final drain row checks the shutdown RPC leaves the daemon cleanly
+// drained.
+//
+// The "ok" cells encode those invariants and are gated by
+// tools/check_bench_regression.py; the latency (p50/p99) and shed-rate
+// cells are informational (absolute timings are machine-dependent).
+//
+// Flags:
+//   --smoke     small request counts for the ctest gate (sub-second-ish)
+//   --out DIR   directory for BENCH_server_load.json (default ".")
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "common/check.h"
+#include "common/status.h"
+#include "embed/hashed_encoder.h"
+#include "matching/sim.h"
+#include "net/socket.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
+#include "schema/ddl_parser.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace colscope;
+
+constexpr char kCrmDdl[] =
+    "CREATE TABLE customers (customer_id INT, full_name TEXT, email TEXT,"
+    " phone TEXT);"
+    "CREATE TABLE invoices (invoice_id INT, customer_id INT, total REAL,"
+    " issued_on TEXT);";
+constexpr char kErpDdl[] =
+    "CREATE TABLE clients (client_id INT, client_name TEXT, mail TEXT);"
+    "CREATE TABLE orders (order_id INT, client_id INT, amount REAL);";
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const std::string& default_value) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return default_value;
+}
+
+bool BoolFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+server::ScopeRequest MakeRequest() {
+  server::ScopeRequest request;
+  server::ScopeRequestSchema crm;
+  crm.kind = "ddl";
+  crm.name = "crm.sql";
+  crm.text = kCrmDdl;
+  request.schemas.push_back(crm);
+  server::ScopeRequestSchema erp;
+  erp.kind = "ddl";
+  erp.name = "erp.sql";
+  erp.text = kErpDdl;
+  request.schemas.push_back(erp);
+  return request;
+}
+
+/// The report the cold pipeline produces for MakeRequest() — the bytes
+/// every served request must match.
+std::string ExpectedReport() {
+  std::vector<schema::Schema> schemas;
+  for (const auto& [text, name] :
+       {std::pair<const char*, const char*>{kCrmDdl, "crm.sql"},
+        std::pair<const char*, const char*>{kErpDdl, "erp.sql"}}) {
+    auto parsed = schema::ParseDdl(text, name);
+    COLSCOPE_CHECK_MSG(parsed.ok(), "bench DDL must parse");
+    schemas.push_back(std::move(parsed).value());
+  }
+  schema::SchemaSet set(std::move(schemas));
+  embed::HashedLexiconEncoder encoder;
+  matching::SimMatcher matcher(0.6, nullptr);
+  pipeline::Pipeline pipe(&encoder, pipeline::PipelineOptions{});
+  auto run = pipe.Run(set, matcher);
+  COLSCOPE_CHECK_MSG(run.ok() && run->status.ok(), "direct run must succeed");
+  return pipeline::RunToJson(*run, set);
+}
+
+enum class OutcomeKind { kServed, kShed, kDeadline, kWrong };
+
+struct Outcome {
+  double latency_ms = 0.0;
+  OutcomeKind kind = OutcomeKind::kWrong;
+};
+
+/// Fires `n` requests at the daemon on a seeded open-loop schedule
+/// (exponential interarrivals with the given mean). Launch times are
+/// fixed before the first request; a saturated server only grows
+/// latencies and shed counts, never the offered rate.
+std::vector<Outcome> RunOpenLoop(const net::Endpoint& endpoint,
+                                 const std::string& expected, int n,
+                                 double mean_interarrival_ms, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(1.0 / mean_interarrival_ms);
+  std::vector<double> arrival_ms(static_cast<size_t>(n));
+  double t = 0.0;
+  for (double& at : arrival_ms) {
+    t += gap(rng);
+    at = t;
+  }
+
+  std::vector<Outcome> outcomes(static_cast<size_t>(n));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    clients.emplace_back([&, i] {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          arrival_ms[static_cast<size_t>(i)])));
+      const auto sent = std::chrono::steady_clock::now();
+      net::NetOptions net;
+      auto report = server::RequestScope(endpoint, MakeRequest(), net);
+      Outcome& out = outcomes[static_cast<size_t>(i)];
+      out.latency_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - sent)
+                           .count();
+      if (report.ok()) {
+        out.kind = *report == expected ? OutcomeKind::kServed
+                                       : OutcomeKind::kWrong;
+      } else if (report.status().code() == StatusCode::kOverloaded) {
+        out.kind = OutcomeKind::kShed;
+      } else if (report.status().code() == StatusCode::kDeadlineExceeded) {
+        out.kind = OutcomeKind::kDeadline;
+      } else {
+        out.kind = OutcomeKind::kWrong;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  return outcomes;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+struct ScenarioRow {
+  int served = 0, shed = 0, deadline = 0, wrong = 0;
+  double p50 = 0.0, p99 = 0.0;
+};
+
+ScenarioRow Summarize(const std::vector<Outcome>& outcomes) {
+  ScenarioRow row;
+  std::vector<double> served_latencies;
+  for (const Outcome& out : outcomes) {
+    switch (out.kind) {
+      case OutcomeKind::kServed:
+        ++row.served;
+        served_latencies.push_back(out.latency_ms);
+        break;
+      case OutcomeKind::kShed:
+        ++row.shed;
+        break;
+      case OutcomeKind::kDeadline:
+        ++row.deadline;
+        break;
+      case OutcomeKind::kWrong:
+        ++row.wrong;
+        break;
+    }
+  }
+  row.p50 = Percentile(served_latencies, 0.50);
+  row.p99 = Percentile(served_latencies, 0.99);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = BoolFlag(argc, argv, "--smoke");
+  const std::string out_dir = StringFlag(argc, argv, "--out", ".");
+
+  bench::BenchReport report("server_load");
+
+  // One execution slot per scenario keeps capacity exactly
+  // 1000/serve_delay requests per second, so "steady" vs "overload" is a
+  // property of the seeded schedule, not of the machine.
+  const double serve_delay_ms = smoke ? 40.0 : 25.0;
+  const size_t max_queue = 2;
+  const int steady_n = smoke ? 10 : 40;
+  const double steady_gap_ms = serve_delay_ms * 5.0;
+  const int overload_n = smoke ? 24 : 96;
+  const double overload_gap_ms = serve_delay_ms / 5.0;
+
+  server::ScopeServerOptions options;
+  options.listen = net::Endpoint{"127.0.0.1", 0};
+  options.max_inflight = 1;
+  options.max_queue = max_queue;
+  options.serve_delay_ms = serve_delay_ms;
+  options.request_deadline_ms = 60000.0;
+  options.metrics = &report.metrics();
+  auto created = server::ScopeServer::Create(options);
+  COLSCOPE_CHECK_MSG(created.ok(), "daemon must bind an ephemeral port");
+  server::ScopeServer daemon = std::move(created).value();
+  const net::Endpoint endpoint{"127.0.0.1", daemon.port()};
+  Status serve_status = Status::Ok();
+  std::thread serving([&] { serve_status = daemon.Serve(); });
+
+  const std::string expected = ExpectedReport();
+
+  std::printf("# colscoped load: service=%.0fms slot=1 queue=%zu\n",
+              serve_delay_ms, max_queue);
+  std::printf("%-10s %6s %6s %6s %9s %9s %9s\n", "scenario", "n", "served",
+              "shed", "shed_rate", "p50_ms", "p99_ms");
+
+  struct Scenario {
+    const char* label;
+    int n;
+    double gap_ms;
+    uint64_t seed;
+    bool expect_shedding;
+  };
+  const Scenario scenarios[] = {
+      {"steady", steady_n, steady_gap_ms, 17, false},
+      {"overload", overload_n, overload_gap_ms, 23, true},
+  };
+  bool all_ok = true;
+  for (const Scenario& scenario : scenarios) {
+    const std::vector<Outcome> outcomes = RunOpenLoop(
+        endpoint, expected, scenario.n, scenario.gap_ms, scenario.seed);
+    const ScenarioRow row = Summarize(outcomes);
+    const double shed_rate =
+        static_cast<double>(row.shed) / static_cast<double>(scenario.n);
+    // Invariants: no wrong answers and no unexplained failures, ever.
+    // Steady load must not shed; overload must shed *and* still serve.
+    bool ok = row.wrong == 0 && row.served > 0;
+    if (scenario.expect_shedding) {
+      ok = ok && row.shed > 0;
+    } else {
+      ok = ok && row.shed == 0 && row.deadline == 0 &&
+           row.served == scenario.n;
+    }
+    all_ok = all_ok && ok;
+    std::printf("%-10s %6d %6d %6d %9.2f %9.2f %9.2f%s\n", scenario.label,
+                scenario.n, row.served, row.shed, shed_rate, row.p50,
+                row.p99, ok ? "" : "  FAILED");
+    report.AddRow("server_load", scenario.label,
+                  {{"requests", static_cast<double>(scenario.n)},
+                   {"served", static_cast<double>(row.served)},
+                   {"shed", static_cast<double>(row.shed)},
+                   {"deadline", static_cast<double>(row.deadline)},
+                   {"shed_rate", shed_rate},
+                   {"p50_ms", row.p50},
+                   {"p99_ms", row.p99},
+                   {"ok", ok ? 1.0 : 0.0}});
+  }
+
+  // Drain via the shutdown RPC: Serve() must return Ok with nothing in
+  // flight and the lifecycle state parked at "draining".
+  net::NetOptions net;
+  const Status shutdown = server::RequestShutdown(endpoint, net);
+  serving.join();
+  const server::HealthInfo health = daemon.Health();
+  const bool drain_ok = shutdown.ok() && serve_status.ok() &&
+                        health.state == "draining" && health.inflight == 0 &&
+                        health.queue_depth == 0;
+  all_ok = all_ok && drain_ok;
+  std::printf("%-10s drained: completed=%llu shed=%llu%s\n", "drain",
+              static_cast<unsigned long long>(health.completed),
+              static_cast<unsigned long long>(health.shed),
+              drain_ok ? "" : "  FAILED");
+  report.AddRow("server_load", "drain",
+                {{"completed", static_cast<double>(health.completed)},
+                 {"shed", static_cast<double>(health.shed)},
+                 {"ok", drain_ok ? 1.0 : 0.0}});
+
+  if (!report.Write(out_dir)) return 1;
+  return all_ok ? 0 : 1;
+}

@@ -55,6 +55,8 @@ const char* FaultKindToString(FaultKind kind) {
       return "corrupt";
     case FaultKind::kStale:
       return "stale";
+    case FaultKind::kPartition:
+      return "partition";
   }
   return "unknown";
 }
@@ -94,6 +96,13 @@ Result<FaultProfile> ParseFaultSpec(const std::string& spec) {
         return Status::InvalidArgument("malformed drop-from index: " + value);
       }
       profile.drop_from = static_cast<int>(index);
+    } else if (key == "partition-from") {
+      uint64_t index = 0;
+      if (!ParseUint64(value, index) || index > 0x7fffffffULL) {
+        return Status::InvalidArgument("malformed partition-from index: " +
+                                       value);
+      }
+      profile.partition_from = static_cast<int>(index);
     } else if (key == "base-latency") {
       if (!ParseFiniteDouble(value, profile.base_latency_ms) ||
           profile.base_latency_ms < 0.0) {

@@ -18,10 +18,11 @@ enum class FaultKind {
   kTruncate,   ///< A strict prefix of the payload arrives.
   kCorrupt,    ///< One byte of the payload is bit-flipped.
   kStale,      ///< The oldest published version arrives, not the newest.
+  kPartition,  ///< Connection accepted, then reads stall until deadline.
 };
 
 /// Number of distinct FaultKind values (including kNone).
-inline constexpr size_t kNumFaultKinds = 6;
+inline constexpr size_t kNumFaultKinds = 7;
 
 /// Canonical lower-snake name of `kind` ("none", "drop", ...). Stable;
 /// used in reports and JSON, so safe to test against.
@@ -49,19 +50,27 @@ struct FaultProfile {
   /// stand-in for a crashed worker whose published models became
   /// unreachable (see net/ and docs/DISTRIBUTED.md).
   int drop_from = -1;
+  /// When >= 0, the worker serving this schema index accepts fetch
+  /// connections but never answers them: the socket stays open and the
+  /// bytes stall until the client's io timeout / deadline fires. This is
+  /// the network-partition stand-in, distinct from drop_from (whose
+  /// refusal is immediate). Only the TCP worker path honors it; the
+  /// in-memory injector never emits kPartition.
+  int partition_from = -1;
 
   /// True when any fault probability is positive.
   bool any() const {
     return drop_probability > 0.0 || delay_probability > 0.0 ||
            truncate_probability > 0.0 || corrupt_probability > 0.0 ||
-           stale_probability > 0.0 || drop_from >= 0;
+           stale_probability > 0.0 || drop_from >= 0 || partition_from >= 0;
   }
 };
 
 /// Parses a CLI-style fault spec: comma-separated key=value pairs with
 /// keys drop, delay, truncate, corrupt, stale (probabilities in [0, 1]),
-/// seed (uint64), base-latency and delay-latency (milliseconds), and
-/// drop-from (schema index whose fetches always drop).
+/// seed (uint64), base-latency and delay-latency (milliseconds),
+/// drop-from (schema index whose fetches always drop), and
+/// partition-from (schema index whose worker stalls instead of replying).
 /// Example: "drop=0.3,corrupt=0.1,seed=42".
 Result<FaultProfile> ParseFaultSpec(const std::string& spec);
 

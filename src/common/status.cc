@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "deadline_exceeded";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

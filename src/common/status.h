@@ -23,6 +23,10 @@ enum class StatusCode {
   kUnavailable,
   kDeadlineExceeded,
   kCancelled,
+  /// The receiver is alive but refusing work: admission queue full,
+  /// estimated cost over budget, or a draining server. Retrying later
+  /// (or elsewhere) may succeed; retrying immediately will not.
+  kOverloaded,
 };
 
 /// Returns the canonical lower-snake name of `code` ("ok",
@@ -69,6 +73,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -51,7 +51,7 @@ uint64_t GetU64(std::string_view bytes, size_t at) {
 
 bool IsKnownFrameType(uint8_t value) {
   return value >= static_cast<uint8_t>(FrameType::kAssign) &&
-         value <= static_cast<uint8_t>(FrameType::kStats);
+         value <= static_cast<uint8_t>(FrameType::kHealth);
 }
 
 const char* FrameTypeToString(FrameType type) {
@@ -78,6 +78,12 @@ const char* FrameTypeToString(FrameType type) {
       return "stats_request";
     case FrameType::kStats:
       return "stats";
+    case FrameType::kScopeRequest:
+      return "scope_request";
+    case FrameType::kScopeResponse:
+      return "scope_response";
+    case FrameType::kHealth:
+      return "health";
   }
   return "unknown";
 }

@@ -24,6 +24,9 @@ enum class FrameType : uint8_t {
   kShutdownAck = 9,   ///< worker -> coordinator: goodbye.
   kStatsRequest = 10, ///< coordinator -> worker: hand over your telemetry.
   kStats = 11,        ///< worker -> coordinator: serialized WorkerTelemetry.
+  kScopeRequest = 12, ///< client -> colscoped: run a scoping/matching job.
+  kScopeResponse = 13,///< colscoped -> client: the pipeline's JSON report.
+  kHealth = 14,       ///< both ways: empty = probe, non-empty = health info.
 };
 
 /// True for values that map onto a FrameType member.

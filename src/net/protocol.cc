@@ -83,6 +83,13 @@ std::string EncodeAssign(const AssignConfig& config) {
       config.faults.delay_latency_ms,
       static_cast<unsigned long long>(config.faults.seed),
       config.faults.drop_from);
+  // Optional line, like "trace" below: the fixed-width "faults" line
+  // predates partitions, and v2 decoders require its exact token count,
+  // so the new field rides its own line (omitted when unset) instead of
+  // widening the existing one.
+  if (config.faults.partition_from >= 0) {
+    out += StrFormat("partition_from %d\n", config.faults.partition_from);
+  }
   out += "shard";
   for (int index : config.shard) out += StrFormat(" %d", index);
   out += '\n';
@@ -163,6 +170,11 @@ Result<AssignConfig> DecodeAssign(const std::string& payload) {
         return Malformed("faults drop-from", line);
       }
       config.faults.drop_from = static_cast<int>(n);
+    } else if (tokens[0] == "partition_from" && tokens.size() == 2) {
+      if (!ParseInt(tokens[1], -1, static_cast<long long>(kMaxSchemas), n)) {
+        return Malformed("partition_from", line);
+      }
+      config.faults.partition_from = static_cast<int>(n);
     } else if (tokens[0] == "shard") {
       for (size_t i = 1; i < tokens.size(); ++i) {
         if (!ParseInt(tokens[i], 0, static_cast<long long>(kMaxSchemas), n)) {
@@ -275,7 +287,7 @@ Status DecodeErrorPayload(const std::string& payload) {
       space == std::string::npos ? payload : payload.substr(0, space);
   const std::string message =
       space == std::string::npos ? "" : payload.substr(space + 1);
-  for (int code = 1; code <= static_cast<int>(StatusCode::kCancelled);
+  for (int code = 1; code <= static_cast<int>(StatusCode::kOverloaded);
        ++code) {
     if (code_name == StatusCodeToString(static_cast<StatusCode>(code))) {
       return Status(static_cast<StatusCode>(code), message);

@@ -195,7 +195,9 @@ Result<Socket> Socket::Connect(const Endpoint& endpoint,
       StrFormat("connect to %s", endpoint.ToString().c_str());
   if (::connect(fd, reinterpret_cast<struct sockaddr*>(&*addr),
                 sizeof(*addr)) < 0) {
-    if (errno != EINPROGRESS) {
+    // POSIX: a connect interrupted by a signal completes asynchronously,
+    // exactly like EINPROGRESS — the POLLOUT wait below picks it up.
+    if (errno != EINPROGRESS && errno != EINTR) {
       Count(options.metrics, "net.connect_failures");
       return Status::Unavailable(
           StrFormat("%s: %s", what.c_str(), std::strerror(errno)));
@@ -397,8 +399,19 @@ Result<Socket> Listener::Accept(double wait_ms, const NetOptions& options) {
     }
     return ready;
   }
-  const int fd = ::accept(fd_, nullptr, nullptr);
+  int fd = -1;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+    // A signal (the daemon's SIGTERM handler, a debugger attach) can
+    // interrupt accept after poll said a connection is pending; the
+    // connection is still there, so retry instead of surfacing a
+    // spurious Unavailable. EAGAIN means the peer vanished between poll
+    // and accept — an idle tick, not a failure.
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::NotFound("no connection within the accept wait");
+    }
     return Status::Unavailable(StrFormat("accept: %s",
                                          std::strerror(errno)));
   }

@@ -116,8 +116,23 @@ FetchResponse TcpTransport::FetchRemote(const Endpoint& owner, int publisher,
                 ? FaultKind::kCorrupt
                 : FaultKind::kTruncate;
         break;
+      case StatusCode::kDeadlineExceeded:
+        // The connection was accepted and the request sent, but no reply
+        // byte arrived inside the io timeout — the partition signature.
+        // When the *run* deadline is the one that fired, keep
+        // DeadlineExceeded so the retry loop stops; a per-frame stall
+        // with run budget left is remapped to Unavailable, which the
+        // retry loop treats as transient (and quorum can absorb).
+        if (options_.deadline.infinite() || !options_.deadline.expired()) {
+          response.fault = FaultKind::kPartition;
+          response.status = Status::Unavailable(
+              StrFormat("no reply from the schema %d owner: %s (partitioned "
+                        "peer?)",
+                        publisher, frame.status().message().c_str()));
+        }
+        break;
       default:
-        break;  // Cancelled / DeadlineExceeded carry no fault kind.
+        break;  // Cancelled carries no fault kind.
     }
     return response;
   }

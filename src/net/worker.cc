@@ -160,6 +160,29 @@ void HandleGetModel(State& state, Socket& socket, const Frame& frame) {
     oldest = versions->second.front();
   }
 
+  // Network partition: the connection is accepted and the request read,
+  // but no reply byte ever comes — the fetcher stalls until its io
+  // timeout or run deadline fires. Distinct from kDrop, whose EOF is
+  // immediate. The stall polls the stop flag and is capped by this
+  // worker's own io timeout so Serve() can still join the thread.
+  if (faults.partition_from >= 0 &&
+      request->publisher == faults.partition_from) {
+    obs::FlightRecorder::Global().Record(
+        "serve",
+        StrFormat("get_model publisher=%d consumer=%d attempt=%d "
+                  "fault=partition",
+                  request->publisher, request->consumer, request->attempt));
+    constexpr double kStallTickMs = 10.0;
+    double stalled_ms = 0.0;
+    while (!state.stop.load() &&
+           stalled_ms < state.options.net.io_timeout_ms) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(kStallTickMs));
+      stalled_ms += kStallTickMs;
+    }
+    return;
+  }
+
   // Server-side fault injection: the same deterministic
   // (publisher, consumer, attempt) stream as the in-memory transport,
   // realized at the socket layer.

@@ -157,11 +157,14 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
                   ComputeRunFingerprint(set, options_), options_.metrics);
   }
 
-  // Content-addressed artifact cache: opened per run (the deadline and
-  // cancel token are run-scoped), disabled with a warning on failure.
+  // Content-addressed artifact cache: either borrowed from the caller
+  // (the resident server shares one across requests) or opened per run
+  // (the deadline and cancel token are run-scoped), disabled with a
+  // warning on failure.
   std::optional<cache::ArtifactCache> artifacts;
   std::optional<cache::PipelineCache> memo;
-  if (!options_.cache_dir.empty()) {
+  cache::ArtifactCache* active_cache = options_.cache;
+  if (active_cache == nullptr && !options_.cache_dir.empty()) {
     cache::ArtifactCacheOptions copts;
     copts.dir = options_.cache_dir;
     copts.max_bytes = options_.cache_max_bytes;
@@ -172,12 +175,15 @@ Result<PipelineRun> Pipeline::Run(const schema::SchemaSet& set,
         cache::ArtifactCache::Open(std::move(copts));
     if (opened.ok()) {
       artifacts.emplace(std::move(opened).value());
-      memo.emplace(&*artifacts, encoder_, set,
-                   Fnv1a64(SemanticOptionsString(options_)));
+      active_cache = &*artifacts;
     } else {
       COLSCOPE_LOG(Warn) << "artifact cache disabled: "
                          << opened.status().ToString();
     }
+  }
+  if (active_cache != nullptr) {
+    memo.emplace(active_cache, encoder_, set,
+                 Fnv1a64(SemanticOptionsString(options_)));
   }
 
   /// Non-OK when the run should stop at this phase boundary.

@@ -22,6 +22,10 @@
 #include "scoping/neural_collaborative.h"
 #include "scoping/signatures.h"
 
+namespace colscope::cache {
+class ArtifactCache;
+}  // namespace colscope::cache
+
 namespace colscope::pipeline {
 
 /// Which pre-processing scoper the pipeline applies before matching.
@@ -116,6 +120,13 @@ struct PipelineOptions {
   /// Soft size cap for cache_dir in bytes; 0 means unbounded. Exceeding
   /// it evicts least-recently-used entries.
   uint64_t cache_max_bytes = 0;
+  /// Borrowed, already-open artifact cache shared across runs (the
+  /// resident server keeps one alive so every request hits warm
+  /// entries). Overrides cache_dir/cache_max_bytes when non-null; must
+  /// outlive Run(). ArtifactCache::Get is lock-free for concurrent
+  /// readers and Put serializes internally, so one cache may back many
+  /// concurrent runs.
+  cache::ArtifactCache* cache = nullptr;
   /// Worker threads for the parallel phases (signature encoding and
   /// local-model fitting). 1 — the default — keeps every phase on the
   /// calling thread and starts no pool at all; 0 picks the hardware

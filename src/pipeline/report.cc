@@ -95,6 +95,10 @@ std::string RunToJson(const PipelineRun& run, const schema::SchemaSet& set) {
     json.Key("delay_latency_ms").Number(echo.faults.delay_latency_ms);
     json.Key("seed").Int(static_cast<long long>(echo.faults.seed));
     json.Key("drop_from").Int(echo.faults.drop_from);
+    // Emitted only when set, so pre-partition reports stay byte-stable.
+    if (echo.faults.partition_from >= 0) {
+      json.Key("partition_from").Int(echo.faults.partition_from);
+    }
     json.EndObject();
     json.Key("retry").BeginObject();
     json.Key("max_attempts").Int(echo.retry.max_attempts);

@@ -1,0 +1,76 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace colscope::server {
+
+namespace {
+
+/// One request/reply round trip on a fresh connection (the daemon
+/// serves one request per connection, like the worker protocol).
+Result<net::Frame> RoundTrip(const net::Endpoint& server,
+                             net::FrameType type, const std::string& payload,
+                             const net::NetOptions& options) {
+  Result<net::Socket> socket = net::Socket::Connect(server, options);
+  if (!socket.ok()) return socket.status();
+  COLSCOPE_RETURN_IF_ERROR(socket->SendFrame(type, payload, options));
+  return socket->RecvFrame(options);
+}
+
+}  // namespace
+
+Result<std::string> RequestScope(const net::Endpoint& server,
+                                 const ScopeRequest& request,
+                                 const net::NetOptions& options) {
+  Result<net::Frame> reply =
+      RoundTrip(server, net::FrameType::kScopeRequest,
+                EncodeScopeRequest(request), options);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == net::FrameType::kError) {
+    return net::DecodeErrorPayload(reply->payload);
+  }
+  if (reply->type != net::FrameType::kScopeResponse) {
+    return Status::InvalidArgument(
+        StrFormat("expected a scope response, got frame type %u",
+                  static_cast<unsigned>(reply->type)));
+  }
+  return std::move(reply->payload);
+}
+
+Result<HealthInfo> RequestHealth(const net::Endpoint& server,
+                                 const net::NetOptions& options) {
+  Result<net::Frame> reply =
+      RoundTrip(server, net::FrameType::kHealth, "", options);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == net::FrameType::kError) {
+    return net::DecodeErrorPayload(reply->payload);
+  }
+  if (reply->type != net::FrameType::kHealth) {
+    return Status::InvalidArgument(
+        StrFormat("expected a health reply, got frame type %u",
+                  static_cast<unsigned>(reply->type)));
+  }
+  return DecodeHealthInfo(reply->payload);
+}
+
+Status RequestShutdown(const net::Endpoint& server,
+                       const net::NetOptions& options) {
+  Result<net::Frame> reply =
+      RoundTrip(server, net::FrameType::kShutdown, "", options);
+  if (!reply.ok()) return reply.status();
+  if (reply->type == net::FrameType::kError) {
+    return net::DecodeErrorPayload(reply->payload);
+  }
+  if (reply->type != net::FrameType::kShutdownAck) {
+    return Status::InvalidArgument(
+        StrFormat("expected a shutdown ack, got frame type %u",
+                  static_cast<unsigned>(reply->type)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace colscope::server

@@ -1,0 +1,231 @@
+#include "server/protocol.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/strings.h"
+#include "net/telemetry.h"
+
+namespace colscope::server {
+
+namespace {
+
+/// Whitespace-split tokens of one line.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Status Malformed(const char* what, const std::string& line) {
+  return Status::InvalidArgument(
+      StrFormat("malformed %s line: %s", what, line.c_str()));
+}
+
+bool ParseFiniteDouble(const std::string& token, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return errno == 0 && end != nullptr && *end == '\0' &&
+         end != token.c_str() && std::isfinite(out);
+}
+
+bool ParseUint64(const std::string& token, uint64_t& out) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(token.c_str(), &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+/// A bare identifier token: non-empty, no whitespace or '%' games — the
+/// scoper/matcher/kind vocabulary. Validated so a decoded request can be
+/// logged verbatim.
+bool IsIdentToken(const std::string& token) {
+  if (token.empty() || token.size() > 64) return false;
+  for (char c : token) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeScopeRequest(const ScopeRequest& request) {
+  std::string out = "colscope-scope v1\n";
+  out += StrFormat("config %s %s %.17g %.17g %.17g %.17g\n",
+                   request.scoper.c_str(), request.matcher.c_str(),
+                   request.param, request.v, request.keep_portion,
+                   request.deadline_ms);
+  if (request.trace.trace_id != 0) {
+    out += StrFormat(
+        "trace %llu %llu\n",
+        static_cast<unsigned long long>(request.trace.trace_id),
+        static_cast<unsigned long long>(request.trace.parent_span));
+  }
+  for (const ScopeRequestSchema& schema : request.schemas) {
+    out += StrFormat("schema %s %s %s\n", schema.kind.c_str(),
+                     net::EncodeStatsToken(schema.name).c_str(),
+                     net::EncodeStatsToken(schema.text).c_str());
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<ScopeRequest> DecodeScopeRequest(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != "colscope-scope v1") {
+    return Status::InvalidArgument("bad scope request header: " + line);
+  }
+  ScopeRequest request;
+  bool saw_end = false;
+  bool saw_config = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty()) return Malformed("scope request", line);
+    if (tokens[0] == "config" && tokens.size() == 7) {
+      if (!IsIdentToken(tokens[1]) || !IsIdentToken(tokens[2])) {
+        return Malformed("config", line);
+      }
+      request.scoper = tokens[1];
+      request.matcher = tokens[2];
+      if (!ParseFiniteDouble(tokens[3], request.param) ||
+          !ParseFiniteDouble(tokens[4], request.v) ||
+          !ParseFiniteDouble(tokens[5], request.keep_portion) ||
+          !ParseFiniteDouble(tokens[6], request.deadline_ms)) {
+        return Malformed("config", line);
+      }
+      if (request.v <= 0.0 || request.v > 1.0) {
+        return Malformed("config v", line);
+      }
+      saw_config = true;
+    } else if (tokens[0] == "trace" && tokens.size() == 3) {
+      if (!ParseUint64(tokens[1], request.trace.trace_id) ||
+          !ParseUint64(tokens[2], request.trace.parent_span)) {
+        return Malformed("trace", line);
+      }
+    } else if (tokens[0] == "schema" && tokens.size() == 4) {
+      if (request.schemas.size() >= kMaxRequestSchemas) {
+        return Status::InvalidArgument(
+            StrFormat("scope request exceeds the %zu schema cap",
+                      kMaxRequestSchemas));
+      }
+      if (tokens[1] != "ddl" && tokens[1] != "csv") {
+        return Malformed("schema kind", line);
+      }
+      Result<std::string> name = net::DecodeStatsToken(tokens[2]);
+      if (!name.ok()) return Malformed("schema name", line);
+      Result<std::string> text = net::DecodeStatsToken(tokens[3]);
+      if (!text.ok()) return Malformed("schema text", line);
+      ScopeRequestSchema schema;
+      schema.kind = tokens[1];
+      schema.name = std::move(name).value();
+      schema.text = std::move(text).value();
+      request.schemas.push_back(std::move(schema));
+    } else {
+      return Malformed("scope request", line);
+    }
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument("scope request missing end marker");
+  }
+  if (!saw_config) {
+    return Status::InvalidArgument("scope request missing config line");
+  }
+  if (request.schemas.empty()) {
+    return Status::InvalidArgument("scope request carries no schemas");
+  }
+  return request;
+}
+
+std::string EncodeHealthInfo(const HealthInfo& info) {
+  std::string out = "colscope-health v1\n";
+  out += StrFormat("state %s\n", info.state.c_str());
+  out += StrFormat("queue_depth %zu\n", info.queue_depth);
+  out += StrFormat("inflight %zu\n", info.inflight);
+  out += StrFormat("admitted %llu\n",
+                   static_cast<unsigned long long>(info.admitted));
+  out += StrFormat("shed %llu\n", static_cast<unsigned long long>(info.shed));
+  out += StrFormat(
+      "deadline_exceeded %llu\n",
+      static_cast<unsigned long long>(info.deadline_exceeded));
+  out += StrFormat("completed %llu\n",
+                   static_cast<unsigned long long>(info.completed));
+  out += StrFormat("failed %llu\n",
+                   static_cast<unsigned long long>(info.failed));
+  out += "end\n";
+  return out;
+}
+
+Result<HealthInfo> DecodeHealthInfo(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != "colscope-health v1") {
+    return Status::InvalidArgument("bad health header: " + line);
+  }
+  HealthInfo info;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const std::vector<std::string> tokens = Tokens(line);
+    if (tokens.size() != 2) return Malformed("health", line);
+    uint64_t n = 0;
+    if (tokens[0] == "state") {
+      if (tokens[1] != "serving" && tokens[1] != "draining") {
+        return Malformed("health state", line);
+      }
+      info.state = tokens[1];
+    } else if (tokens[0] == "queue_depth") {
+      if (!ParseUint64(tokens[1], n)) return Malformed("health", line);
+      info.queue_depth = static_cast<size_t>(n);
+    } else if (tokens[0] == "inflight") {
+      if (!ParseUint64(tokens[1], n)) return Malformed("health", line);
+      info.inflight = static_cast<size_t>(n);
+    } else if (tokens[0] == "admitted") {
+      if (!ParseUint64(tokens[1], info.admitted)) {
+        return Malformed("health", line);
+      }
+    } else if (tokens[0] == "shed") {
+      if (!ParseUint64(tokens[1], info.shed)) return Malformed("health", line);
+    } else if (tokens[0] == "deadline_exceeded") {
+      if (!ParseUint64(tokens[1], info.deadline_exceeded)) {
+        return Malformed("health", line);
+      }
+    } else if (tokens[0] == "completed") {
+      if (!ParseUint64(tokens[1], info.completed)) {
+        return Malformed("health", line);
+      }
+    } else if (tokens[0] == "failed") {
+      if (!ParseUint64(tokens[1], info.failed)) {
+        return Malformed("health", line);
+      }
+    } else {
+      return Malformed("health", line);
+    }
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument("health payload missing end marker");
+  }
+  if (info.state.empty()) {
+    return Status::InvalidArgument("health payload missing state");
+  }
+  return info;
+}
+
+}  // namespace colscope::server

@@ -1,0 +1,580 @@
+#include "server/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cache/artifact_cache.h"
+#include "common/cancellation.h"
+#include "common/strings.h"
+#include "datasets/csv_loader.h"
+#include "embed/hashed_encoder.h"
+#include "matching/cluster_matcher.h"
+#include "matching/lsh_matcher.h"
+#include "matching/sim.h"
+#include "matching/string_matcher.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "outlier/pca_oda.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
+#include "schema/ddl_parser.h"
+#include "server/admission.h"
+
+namespace colscope::server {
+
+namespace {
+
+/// Accept-loop tick: how often the serve loop re-checks the drain flag.
+constexpr double kAcceptTickMs = 100.0;
+/// Drain / reap poll tick.
+constexpr auto kDrainTick = std::chrono::milliseconds(10);
+
+/// Set by the SIGTERM/SIGINT handlers; polled by the serve loop. One
+/// daemon per process (the CLI's serve role), so process-wide state is
+/// the honest scope — and the only kind a signal handler may touch.
+volatile std::sig_atomic_t g_drain_signal = 0;
+
+void DrainSignalHandler(int /*signum*/) { g_drain_signal = 1; }
+
+/// Writes `port` atomically (tmp + rename) so a polling harness never
+/// observes a half-written number. Mirrors the worker's port file.
+Status WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Internal("cannot open port file: " + tmp);
+    out << port << "\n";
+    if (!out.flush()) {
+      return Status::Internal("cannot write port file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename port file into place: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+struct ScopeServer::State {
+  ScopeServerOptions options;
+  net::Listener listener;
+  /// Resident per-process state the daemon exists to keep warm.
+  embed::HashedLexiconEncoder encoder;
+  outlier::PcaDetector detector{0.5};
+  std::optional<cache::ArtifactCache> cache;
+  SystemRunClock clock;
+  AdmissionController admission;
+  /// Tripped when the drain grace expires: queued admissions and
+  /// in-flight pipeline runs stop at their next check.
+  CancellationToken hard_stop;
+  std::atomic<bool> drain_requested{false};
+
+  /// Request accounting (also exported as server.* counters; the
+  /// atomics additionally back the kHealth reply, which must not touch
+  /// the registry from a signal-adjacent path).
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> failed{0};
+
+  std::atomic<size_t> active_connections{0};
+  std::mutex threads_mu;
+  std::map<std::thread::id, std::thread> threads;
+  std::vector<std::thread::id> finished;
+
+  explicit State(ScopeServerOptions opts, AdmissionOptions admission_opts)
+      : options(std::move(opts)), admission(admission_opts) {}
+};
+
+namespace {
+
+using State = ScopeServer::State;
+
+void Count(State& state, const char* name) {
+  if (state.options.metrics != nullptr) {
+    state.options.metrics->GetCounter(name).Increment();
+  }
+}
+
+void SendError(State& state, net::Socket& socket, const Status& status,
+               const net::NetOptions& net) {
+  // Best effort: the client also handles an abrupt close.
+  (void)socket.SendFrame(net::FrameType::kError,
+                         net::EncodeErrorPayload(status), net);
+}
+
+HealthInfo SnapshotHealth(const State& state) {
+  HealthInfo info;
+  info.state = state.admission.draining() ? "draining" : "serving";
+  info.queue_depth = state.admission.queue_depth();
+  info.inflight = state.admission.inflight();
+  info.admitted = state.admitted.load();
+  info.shed = state.shed.load();
+  info.deadline_exceeded = state.deadline_exceeded.load();
+  info.completed = state.completed.load();
+  info.failed = state.failed.load();
+  return info;
+}
+
+/// Builds the request's SchemaSet exactly like the CLI's LoadSchemas
+/// does from files — same parsers, same name derivation (the client ships
+/// the basename) — so warm reports are byte-identical to cold runs.
+Result<schema::SchemaSet> BuildSchemaSet(const ScopeRequest& request) {
+  std::vector<schema::Schema> schemas;
+  for (const ScopeRequestSchema& entry : request.schemas) {
+    if (entry.kind == "ddl") {
+      Result<schema::Schema> parsed = schema::ParseDdl(entry.text, entry.name);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(entry.name + ": " +
+                                       parsed.status().message());
+      }
+      schemas.push_back(std::move(parsed).value());
+    } else {
+      datasets::CsvLoadOptions options;
+      options.table_name = entry.name;
+      Result<schema::Schema> loaded =
+          datasets::LoadCsvSchema(entry.text, entry.name, options);
+      if (!loaded.ok()) {
+        return Status::InvalidArgument(entry.name + ": " +
+                                       loaded.status().message());
+      }
+      schemas.push_back(std::move(loaded).value());
+    }
+  }
+  return schema::SchemaSet(std::move(schemas));
+}
+
+/// Matcher factory with the CLI's parameter defaults.
+std::unique_ptr<matching::Matcher> MakeMatcher(const ScopeRequest& request) {
+  if (request.matcher == "sim") {
+    return std::make_unique<matching::SimMatcher>(
+        request.param >= 0 ? request.param : 0.6, nullptr);
+  }
+  if (request.matcher == "cluster") {
+    return std::make_unique<matching::ClusterMatcher>(
+        request.param >= 0 ? static_cast<size_t>(request.param) : 5);
+  }
+  if (request.matcher == "lsh") {
+    return std::make_unique<matching::LshMatcher>(
+        request.param >= 0 ? static_cast<size_t>(request.param) : 1);
+  }
+  if (request.matcher == "str") {
+    return std::make_unique<matching::StringSimilarityMatcher>(
+        matching::StringSimilarityMatcher::Measure::kJaroWinkler,
+        request.param >= 0 ? request.param : 0.9);
+  }
+  return nullptr;
+}
+
+/// Executes one admitted request and returns the reply payload or the
+/// typed error to send. The admission slot is held by the caller.
+Result<std::string> ExecuteScope(State& state, const ScopeRequest& request,
+                                 const Deadline& deadline) {
+  if (state.options.serve_delay_ms > 0.0) {
+    // Deterministic-overload test hook: occupy the execution slot
+    // without burning CPU, checking the hard stop so drain still works.
+    double slept = 0.0;
+    while (slept < state.options.serve_delay_ms &&
+           !state.hard_stop.cancelled()) {
+      std::this_thread::sleep_for(kDrainTick);
+      slept += 10.0;
+    }
+  }
+  // The slot wait (and the test-hook delay above) may have consumed the
+  // whole budget; catch it here so an expired deadline can never read as
+  // "no deadline" below (the pipeline treats a non-positive budget as
+  // infinite).
+  if (!deadline.infinite() && deadline.expired()) {
+    return Status::DeadlineExceeded(
+        "request deadline expired before execution started");
+  }
+
+  Result<schema::SchemaSet> set = BuildSchemaSet(request);
+  if (!set.ok()) return set.status();
+
+  std::unique_ptr<matching::Matcher> matcher = MakeMatcher(request);
+  if (matcher == nullptr) {
+    return Status::InvalidArgument("unknown matcher: " + request.matcher);
+  }
+
+  pipeline::PipelineOptions options;
+  options.explained_variance = request.v;
+  options.keep_portion = request.keep_portion;
+  options.num_threads = state.options.threads;
+  if (request.scoper == "pca") {
+    options.scoper = pipeline::ScoperKind::kCollaborativePca;
+  } else if (request.scoper == "neural") {
+    options.scoper = pipeline::ScoperKind::kCollaborativeNeural;
+  } else if (request.scoper == "global") {
+    options.scoper = pipeline::ScoperKind::kGlobalScoping;
+    options.detector = &state.detector;
+  } else if (request.scoper == "none") {
+    options.scoper = pipeline::ScoperKind::kNone;
+  } else {
+    return Status::InvalidArgument("unknown scoper: " + request.scoper);
+  }
+  // The resident cache, shared across requests; the run must not open
+  // its own.
+  if (state.cache.has_value()) options.cache = &*state.cache;
+  // Remaining (post-queue) budget; the run opens its own Deadline on the
+  // server clock. No tracer and no metrics: the cold CLI's --json run is
+  // uninstrumented too, and instrumented reports embed a metrics block —
+  // byte-identity demands the same shape here.
+  options.clock = &state.clock;
+  if (!deadline.infinite()) options.deadline_ms = deadline.remaining_ms();
+  options.cancel = &state.hard_stop;
+
+  pipeline::Pipeline pipe(&state.encoder, options);
+  Result<pipeline::PipelineRun> run = pipe.Run(*set, *matcher);
+  if (!run.ok()) return run.status();
+  if (!run->status.ok()) {
+    // The run stopped early at a phase boundary (request deadline or
+    // drain hard stop). The daemon replies with the typed status rather
+    // than a partial report: a caller that wanted partial artifacts
+    // would have run the CLI; a server client needs an unambiguous
+    // retry signal.
+    return run->status;
+  }
+  return pipeline::RunToJson(*run, *set);
+}
+
+void HandleScope(State& state, net::Socket& socket, const net::Frame& frame,
+                 const net::NetOptions& net) {
+  Result<ScopeRequest> request = DecodeScopeRequest(frame.payload);
+  if (!request.ok()) {
+    state.failed.fetch_add(1);
+    Count(state, "server.requests_failed");
+    SendError(state, socket, request.status(), net);
+    return;
+  }
+
+  // The deadline starts at admission: a request that waits out its
+  // budget in the queue is answered kDeadlineExceeded without ever
+  // holding an execution slot.
+  const double budget_ms = request->deadline_ms > 0.0
+                               ? request->deadline_ms
+                               : state.options.request_deadline_ms;
+  const Deadline deadline =
+      budget_ms > 0.0 ? Deadline::After(&state.clock, budget_ms)
+                      : Deadline::Infinite();
+
+  const uint64_t cost = frame.payload.size();
+  const Status admitted =
+      state.admission.Admit(cost, deadline, &state.hard_stop);
+  if (!admitted.ok()) {
+    switch (admitted.code()) {
+      case StatusCode::kOverloaded:
+        state.shed.fetch_add(1);
+        Count(state, "server.requests_shed");
+        obs::FlightRecorder::Global().Record(
+            "server", StrFormat("shed schemas=%zu overloaded",
+                                request->schemas.size()));
+        break;
+      case StatusCode::kDeadlineExceeded:
+        state.deadline_exceeded.fetch_add(1);
+        Count(state, "server.requests_deadline_exceeded");
+        obs::FlightRecorder::Global().Record(
+            "server", StrFormat("timeout schemas=%zu queued",
+                                request->schemas.size()));
+        break;
+      default:
+        state.failed.fetch_add(1);
+        Count(state, "server.requests_failed");
+        break;
+    }
+    SendError(state, socket, admitted, net);
+    return;
+  }
+
+  state.admitted.fetch_add(1);
+  Count(state, "server.requests_admitted");
+  const auto started = std::chrono::steady_clock::now();
+  Result<std::string> reply = ExecuteScope(state, *request, deadline);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  if (state.options.metrics != nullptr) {
+    state.options.metrics
+        ->GetHistogram("server.request_ms",
+                       obs::ExponentialBuckets(0.1, 2.0, 16))
+        .Observe(elapsed_ms);
+  }
+  state.admission.Release(cost);
+
+  if (reply.ok()) {
+    state.completed.fetch_add(1);
+    Count(state, "server.requests_completed");
+    (void)socket.SendFrame(net::FrameType::kScopeResponse, *reply, net);
+    return;
+  }
+  if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+    state.deadline_exceeded.fetch_add(1);
+    Count(state, "server.requests_deadline_exceeded");
+    obs::FlightRecorder::Global().Record(
+        "server",
+        StrFormat("timeout schemas=%zu executing", request->schemas.size()));
+  } else {
+    state.failed.fetch_add(1);
+    Count(state, "server.requests_failed");
+  }
+  SendError(state, socket, reply.status(), net);
+}
+
+void HandleConnection(std::shared_ptr<State> state, net::Socket socket) {
+  // Every socket operation of this connection honors the drain hard
+  // stop, so a stuck peer cannot outlive the grace period.
+  net::NetOptions net = state->options.net;
+  net.cancel = &state->hard_stop;
+
+  // Idle timeout on the first (only) request frame.
+  net::NetOptions first = net;
+  first.io_timeout_ms = state->options.idle_timeout_ms;
+  Result<net::Frame> frame = socket.RecvFrame(first);
+  if (!frame.ok()) {
+    if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+      Count(*state, "server.idle_timeouts");
+      obs::FlightRecorder::Global().Record("server", "idle timeout");
+    }
+    return;
+  }
+  switch (frame->type) {
+    case net::FrameType::kScopeRequest:
+      HandleScope(*state, socket, *frame, net);
+      return;
+    case net::FrameType::kHealth:
+      // Probes bypass admission: health must answer even (especially)
+      // when the server is saturated or draining.
+      (void)socket.SendFrame(net::FrameType::kHealth,
+                             EncodeHealthInfo(SnapshotHealth(*state)), net);
+      return;
+    case net::FrameType::kShutdown:
+      // The programmatic drain trigger, for tests and orchestrators
+      // that cannot deliver signals.
+      state->drain_requested.store(true);
+      obs::FlightRecorder::Global().Record("server", "drain requested rpc");
+      (void)socket.SendFrame(net::FrameType::kShutdownAck, "", net);
+      return;
+    default:
+      SendError(*state, socket,
+                Status::InvalidArgument(
+                    StrFormat("colscoped cannot serve frame type %u",
+                              static_cast<unsigned>(frame->type))),
+                net);
+      return;
+  }
+}
+
+/// Joins connection threads that have announced completion. Called from
+/// the accept loop so a long-lived daemon's thread handles (and stacks)
+/// are reclaimed continuously instead of at drain.
+void ReapFinished(State& state) {
+  std::vector<std::thread::id> done;
+  {
+    std::lock_guard<std::mutex> lock(state.threads_mu);
+    done.swap(state.finished);
+  }
+  for (const std::thread::id id : done) {
+    std::thread victim;
+    {
+      std::lock_guard<std::mutex> lock(state.threads_mu);
+      auto it = state.threads.find(id);
+      if (it == state.threads.end()) continue;
+      victim = std::move(it->second);
+      state.threads.erase(it);
+    }
+    if (victim.joinable()) victim.join();
+  }
+}
+
+void SpawnConnection(std::shared_ptr<State> state, net::Socket socket) {
+  state->active_connections.fetch_add(1);
+  auto shared = std::make_shared<net::Socket>(std::move(socket));
+  std::thread thread([state, shared]() {
+    HandleConnection(state, std::move(*shared));
+    std::lock_guard<std::mutex> lock(state->threads_mu);
+    state->finished.push_back(std::this_thread::get_id());
+    state->active_connections.fetch_sub(1);
+  });
+  std::lock_guard<std::mutex> lock(state->threads_mu);
+  const std::thread::id id = thread.get_id();
+  state->threads.emplace(id, std::move(thread));
+}
+
+}  // namespace
+
+uint16_t ScopeServer::port() const { return state_->listener.port(); }
+
+void ScopeServer::RequestDrain() { state_->drain_requested.store(true); }
+
+void ScopeServer::InstallSignalHandlers() {
+  g_drain_signal = 0;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = DrainSignalHandler;
+  sigemptyset(&action.sa_mask);
+  // Deliberately no SA_RESTART: interrupted syscalls surface EINTR,
+  // which the socket layer retries — the path the daemon must survive.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+HealthInfo ScopeServer::Health() const { return SnapshotHealth(*state_); }
+
+Result<ScopeServer> ScopeServer::Create(ScopeServerOptions options) {
+  Result<net::Listener> listener = net::Listener::Bind(options.listen);
+  if (!listener.ok()) return listener.status();
+
+  AdmissionOptions admission;
+  admission.max_queue = options.max_queue;
+  admission.max_inflight = options.max_inflight > 0 ? options.max_inflight : 1;
+  admission.max_cost_bytes = options.max_cost_bytes;
+  admission.metrics = options.metrics;
+
+  ScopeServer server;
+  server.state_ = std::make_shared<State>(std::move(options), admission);
+  State& state = *server.state_;
+  state.listener = std::move(listener).value();
+
+  if (state.options.metrics != nullptr) {
+    // Pre-register the headline instruments so an idle snapshot still
+    // exports the keys (as zeroes).
+    for (const char* name :
+         {"server.requests_admitted", "server.requests_shed",
+          "server.requests_deadline_exceeded", "server.requests_completed",
+          "server.requests_failed", "server.connections_rejected",
+          "server.idle_timeouts"}) {
+      state.options.metrics->GetCounter(name);
+    }
+  }
+
+  if (!state.options.cache_dir.empty()) {
+    cache::ArtifactCacheOptions copts;
+    copts.dir = state.options.cache_dir;
+    copts.max_bytes = state.options.cache_max_bytes;
+    copts.metrics = state.options.metrics;
+    Result<cache::ArtifactCache> cache =
+        cache::ArtifactCache::Open(std::move(copts));
+    if (cache.ok()) {
+      state.cache.emplace(std::move(cache).value());
+    } else {
+      // Same posture as the pipeline: a cache is never a correctness
+      // risk, so a broken one disables itself loudly.
+      COLSCOPE_LOG(Warn) << "resident artifact cache disabled: "
+                         << cache.status().ToString();
+    }
+  }
+
+  if (!state.options.port_file.empty()) {
+    COLSCOPE_RETURN_IF_ERROR(
+        WritePortFile(state.options.port_file, state.listener.port()));
+  }
+  COLSCOPE_LOG(Info) << "colscoped listening on port "
+                     << state.listener.port();
+  return server;
+}
+
+Status ScopeServer::Serve() {
+  State& state = *state_;
+  while (!state.drain_requested.load()) {
+    if (g_drain_signal != 0) {
+      obs::FlightRecorder::Global().Record("server", "drain requested signal");
+      state.drain_requested.store(true);
+      break;
+    }
+    Result<net::Socket> socket =
+        state.listener.Accept(kAcceptTickMs, state.options.net);
+    ReapFinished(state);
+    if (!socket.ok()) {
+      if (socket.status().code() == StatusCode::kNotFound) continue;
+      if (socket.status().code() == StatusCode::kCancelled) break;
+      break;
+    }
+    if (state.active_connections.load() >= state.options.max_connections) {
+      // Per-connection limit: refuse before spawning anything. The
+      // typed error frame tells well-behaved clients to back off.
+      Count(state, "server.connections_rejected");
+      obs::FlightRecorder::Global().Record("server", "connection rejected");
+      net::Socket excess = std::move(socket).value();
+      SendError(state, excess,
+                Status::Overloaded(StrFormat(
+                    "connection limit reached (%zu)",
+                    state.options.max_connections)),
+                state.options.net);
+      continue;
+    }
+    SpawnConnection(state_, std::move(socket).value());
+  }
+
+  // ---- Graceful drain ----------------------------------------------
+  obs::FlightRecorder::Global().Record(
+      "server", StrFormat("drain begin inflight=%zu queued=%zu",
+                          state.admission.inflight(),
+                          state.admission.queue_depth()));
+  // Stop accepting: new connections are refused at the TCP level, and
+  // requests still arriving on accepted connections are rejected with
+  // kOverloaded by the admission gate.
+  state.admission.BeginDrain();
+  state.listener.Close();
+
+  // In-flight (and already-queued) work gets the grace period to finish
+  // or deadline out on its own.
+  double waited_ms = 0.0;
+  while (state.active_connections.load() > 0 &&
+         waited_ms < state.options.drain_grace_ms) {
+    std::this_thread::sleep_for(kDrainTick);
+    waited_ms += 10.0;
+    ReapFinished(state);
+  }
+  if (state.active_connections.load() > 0) {
+    // Grace expired: hard-stop the stragglers. Queued admissions return
+    // kCancelled, pipeline runs stop at the next phase boundary, socket
+    // waits abort — every affected request still gets a typed error.
+    obs::FlightRecorder::Global().Record(
+        "server", StrFormat("drain grace expired inflight=%zu",
+                            state.admission.inflight()));
+    state.hard_stop.Cancel();
+  }
+
+  // Join everything; handlers are deadline/cancel-aware, so this
+  // terminates.
+  for (;;) {
+    std::map<std::thread::id, std::thread> remaining;
+    {
+      std::lock_guard<std::mutex> lock(state.threads_mu);
+      remaining.swap(state.threads);
+      state.finished.clear();
+    }
+    if (remaining.empty()) break;
+    for (auto& [id, thread] : remaining) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  obs::FlightRecorder::Global().Record(
+      "server",
+      StrFormat("drain complete completed=%llu shed=%llu timeouts=%llu",
+                static_cast<unsigned long long>(state.completed.load()),
+                static_cast<unsigned long long>(state.shed.load()),
+                static_cast<unsigned long long>(
+                    state.deadline_exceeded.load())));
+  return Status::Ok();
+}
+
+}  // namespace colscope::server

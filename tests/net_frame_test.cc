@@ -315,7 +315,20 @@ TEST(FrameTest, TelemetryFrameTypesRoundTrip) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->type, FrameType::kStats);
   EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(FrameType::kStats)));
-  EXPECT_FALSE(IsKnownFrameType(12));
+  EXPECT_FALSE(IsKnownFrameType(15));
+}
+
+TEST(FrameTest, ServerFrameTypesRoundTrip) {
+  auto request = DecodeFrame(EncodeFrame(FrameType::kScopeRequest, "req"));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->type, FrameType::kScopeRequest);
+  auto response = DecodeFrame(EncodeFrame(FrameType::kScopeResponse, "{}"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->type, FrameType::kScopeResponse);
+  auto health = DecodeFrame(EncodeFrame(FrameType::kHealth, ""));
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->type, FrameType::kHealth);
+  EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(FrameType::kHealth)));
 }
 
 TEST(FrameTest, FrameTypeNamesAreStable) {
@@ -326,6 +339,10 @@ TEST(FrameTest, FrameTypeNamesAreStable) {
   EXPECT_STREQ(FrameTypeToString(FrameType::kAssess), "assess");
   EXPECT_STREQ(FrameTypeToString(FrameType::kStatsRequest), "stats_request");
   EXPECT_STREQ(FrameTypeToString(FrameType::kStats), "stats");
+  EXPECT_STREQ(FrameTypeToString(FrameType::kScopeRequest), "scope_request");
+  EXPECT_STREQ(FrameTypeToString(FrameType::kScopeResponse),
+               "scope_response");
+  EXPECT_STREQ(FrameTypeToString(FrameType::kHealth), "health");
   EXPECT_STREQ(FrameTypeToString(static_cast<FrameType>(99)), "unknown");
 }
 

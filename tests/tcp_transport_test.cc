@@ -319,6 +319,108 @@ TEST_F(TcpTransportTest, AssessConsumerMatchesSingleProcessRun) {
   }
 }
 
+// --- Partition fault injection -----------------------------------------------
+
+TEST_F(TcpTransportTest, PartitionedPublisherClassifiedAsPartition) {
+  // Bound the worker-side stall so the handler thread self-terminates.
+  WorkerOptions options;
+  options.net.io_timeout_ms = 2000.0;
+  LiveWorker& worker = StartWorker(options);
+  FaultProfile faults;
+  faults.partition_from = 0;
+  Assign(worker, faults);
+  NetOptions net;
+  net.io_timeout_ms = 300.0;
+  TcpTransport transport = RemoteTransport(worker, FaultProfile{}, net);
+
+  // The connection is accepted and the request sent; the reply never
+  // comes. Distinct from a crash (refused connect) and from a drop
+  // (clean close): with the run deadline intact, the io timeout
+  // classifies as a partitioned peer — kUnavailable (so the retry loop
+  // treats it as transient) tagged kPartition.
+  const auto response = transport.Fetch(0, 1, 0);
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(response.fault, FaultKind::kPartition)
+      << FaultKindToString(response.fault);
+
+  // The partition is per-publisher: the same worker still serves its
+  // other schemas on fresh connections.
+  const auto healthy = transport.Fetch(1, 0, 0);
+  ASSERT_TRUE(healthy.status.ok()) << healthy.status.ToString();
+  EXPECT_EQ(healthy.payload, ExpectedModel(1));
+}
+
+TEST_F(TcpTransportTest, PartitionStallUnderRunDeadlineStaysDeadline) {
+  WorkerOptions options;
+  options.net.io_timeout_ms = 2000.0;
+  LiveWorker& worker = StartWorker(options);
+  FaultProfile faults;
+  faults.partition_from = 0;
+  Assign(worker, faults);
+  SystemRunClock clock;
+  NetOptions net;
+  net.io_timeout_ms = 5000.0;
+  net.deadline = Deadline::After(&clock, 150.0);
+  TcpTransport transport = RemoteTransport(worker, FaultProfile{}, net);
+
+  // When the *run's* budget (not the per-frame io timeout) expires during
+  // the stall, the verdict must stay kDeadlineExceeded — retrying a
+  // fetch whose run is out of time would be lying to the retry loop.
+  const auto response = transport.Fetch(0, 1, 0);
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(response.fault, FaultKind::kPartition);
+}
+
+TEST_F(TcpTransportTest, QuorumSurvivesPartitionedPublisher) {
+  WorkerOptions options;
+  options.net.io_timeout_ms = 2000.0;
+  LiveWorker& worker = StartWorker(options);
+  FaultProfile faults;
+  faults.partition_from = 0;
+  Assign(worker, faults);
+  NetOptions net;
+  net.io_timeout_ms = 250.0;
+  TcpTransport transport = RemoteTransport(worker, FaultProfile{}, net);
+
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  scoping::DegradedOptions degraded;
+  degraded.policy = scoping::DegradedPolicy::kQuorum;
+  degraded.quorum = 1;
+  std::vector<exchange::PeerFetchRecord> fetches;
+  const ConsumerPartial partial = AssessConsumerOverTransport(
+      signatures_, /*consumer=*/1, num_schemas_, transport, retry,
+      /*seed=*/0, degraded, fetches);
+
+  // Every publisher except the partitioned one arrived, so quorum:1 is
+  // met and the consumer assesses against the models it did get.
+  EXPECT_TRUE(partial.ok) << partial.error;
+  EXPECT_EQ(partial.arrived, num_schemas_ - 2);  // minus self, minus 0.
+  size_t consumer_elements = 0;
+  for (const schema::ElementRef& ref : signatures_.refs) {
+    if (ref.schema == 1) ++consumer_elements;
+  }
+  EXPECT_EQ(partial.bits.size(), consumer_elements);
+
+  // The fetch record for the partitioned publisher shows the retries and
+  // names the fault kind the report's degradation block will echo.
+  bool saw_partitioned_fetch = false;
+  for (const auto& record : fetches) {
+    if (record.publisher != 0) {
+      EXPECT_TRUE(record.ok) << record.error;
+      continue;
+    }
+    saw_partitioned_fetch = true;
+    EXPECT_FALSE(record.ok);
+    EXPECT_EQ(record.attempts, retry.max_attempts);
+    ASSERT_FALSE(record.faults.empty());
+    for (const FaultKind kind : record.faults) {
+      EXPECT_EQ(kind, FaultKind::kPartition) << FaultKindToString(kind);
+    }
+  }
+  EXPECT_TRUE(saw_partitioned_fetch);
+}
+
 // --- Distributed telemetry ---------------------------------------------------
 
 /// Finds a counter by name in a snapshot; 0 when absent.

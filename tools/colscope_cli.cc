@@ -49,6 +49,8 @@
 #include "matching/string_matcher.h"
 #include "net/coordinator.h"
 #include "net/worker.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "outlier/pca_oda.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
@@ -96,6 +98,16 @@ struct CliArgs {
   std::string port_file;        // --port-file FILE (worker; ephemeral port)
   std::vector<std::string> workers;    // --workers HOST:PORT (coordinator)
   bool crash_after_assign = false;     // --crash-after-assign (test hook)
+  // Resident server mode (--role serve, docs/SERVER.md) and its client
+  // (--connect).
+  std::string connect;                 // --connect HOST:PORT (client mode)
+  size_t max_queue = 16;               // --max-queue N
+  size_t max_inflight = 2;             // --max-inflight N
+  size_t max_connections = 32;         // --max-connections N
+  double request_deadline_ms = 30000;  // --request-deadline-ms MS
+  double drain_grace_ms = 5000;        // --drain-grace-ms MS
+  double idle_timeout_ms = 10000;      // --idle-timeout-ms MS
+  double serve_delay_ms = 0.0;         // --serve-delay-ms MS (test hook)
 };
 
 int Usage() {
@@ -117,6 +129,18 @@ int Usage() {
                "  [--crash-after signatures|local_models|keep_mask]\n"
                "  [--threads N]  (1 = serial, 0 = hardware concurrency; "
                "output is identical at any N)\n"
+               "\n"
+               "resident server mode (docs/SERVER.md):\n"
+               "  colscope serve [--listen H:P] [--port-file FILE]\n"
+               "      [--max-queue N] [--max-inflight N] "
+               "[--max-connections N]\n"
+               "      [--request-deadline-ms MS] [--drain-grace-ms MS]\n"
+               "      [--idle-timeout-ms MS] [--cache-dir DIR] "
+               "[--metrics-out FILE]\n"
+               "  colscope scope|match --connect H:P --json --ddl ... "
+               "[--deadline-ms MS]\n"
+               "  colscope health --connect H:P\n"
+               "  colscope shutdown --connect H:P\n"
                "\n"
                "distributed mode (docs/DISTRIBUTED.md):\n"
                "  colscope scope --role worker --ddl ... [--listen H:P]\n"
@@ -258,6 +282,44 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       args.workers.push_back(value);
     } else if (flag == "--crash-after-assign") {
       args.crash_after_assign = true;
+    } else if (flag == "--connect") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.connect = value;
+    } else if (flag == "--max-queue") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 1) return false;
+      args.max_queue = static_cast<size_t>(n);
+    } else if (flag == "--max-inflight") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 1) return false;
+      args.max_inflight = static_cast<size_t>(n);
+    } else if (flag == "--max-connections") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 1) return false;
+      args.max_connections = static_cast<size_t>(n);
+    } else if (flag == "--request-deadline-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.request_deadline_ms = std::atof(value);
+    } else if (flag == "--drain-grace-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.drain_grace_ms = std::atof(value);
+    } else if (flag == "--idle-timeout-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.idle_timeout_ms = std::atof(value);
+    } else if (flag == "--serve-delay-ms") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.serve_delay_ms = std::atof(value);
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -266,6 +328,12 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
+  }
+  // The serve role and the health/shutdown probes carry no schemas;
+  // everything else still requires at least one --ddl/--csv.
+  if (args.role == "serve" || args.command == "serve" ||
+      args.command == "health" || args.command == "shutdown") {
+    return true;
   }
   return !args.ddl_paths.empty() || !args.csv_paths.empty();
 }
@@ -733,6 +801,191 @@ int RunCoordinator(const CliArgs& args) {
   return 0;
 }
 
+/// `colscope serve` / `--role serve`: the resident colscoped daemon
+/// (docs/SERVER.md). Keeps encoder + artifact cache warm and serves
+/// scope requests until SIGTERM (or a kShutdown frame) drains it.
+int RunServe(const CliArgs& args) {
+  Result<net::Endpoint> listen = net::ParseEndpoint(args.listen);
+  if (!listen.ok()) {
+    std::fprintf(stderr, "--listen: %s\n",
+                 listen.status().ToString().c_str());
+    return 2;
+  }
+  obs::MetricsRegistry registry;
+  server::ScopeServerOptions options;
+  options.listen = *listen;
+  options.port_file = args.port_file;
+  options.max_queue = args.max_queue;
+  options.max_inflight = args.max_inflight;
+  options.max_connections = args.max_connections;
+  options.request_deadline_ms = args.request_deadline_ms;
+  options.drain_grace_ms = args.drain_grace_ms;
+  options.idle_timeout_ms = args.idle_timeout_ms;
+  options.serve_delay_ms = args.serve_delay_ms;
+  options.cache_dir = args.cache_dir;
+  options.cache_max_bytes = args.cache_max_bytes;
+  options.threads = args.threads;
+  options.metrics = &registry;
+  options.net.metrics = &registry;
+
+  Result<server::ScopeServer> daemon =
+      server::ScopeServer::Create(std::move(options));
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "%s\n", daemon.status().ToString().c_str());
+    return 1;
+  }
+  daemon->InstallSignalHandlers();
+  std::fprintf(stderr, "# colscoped listening on %s:%u\n",
+               listen->host.c_str(), daemon->port());
+  const Status served = daemon->Serve();
+  // Flush telemetry after the drain — the snapshot is part of the
+  // graceful-exit contract even (especially) when serving failed.
+  if (!args.metrics_out.empty() &&
+      !WriteTextFile(args.metrics_out,
+                     obs::SnapshotToJsonString(registry.Snapshot()))) {
+    return 1;
+  }
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s\n", served.ToString().c_str());
+    DumpFlightToStderr();
+    return 1;
+  }
+  const server::HealthInfo health = daemon->Health();
+  std::fprintf(stderr,
+               "# colscoped drained: completed=%llu shed=%llu "
+               "deadline_exceeded=%llu failed=%llu\n",
+               static_cast<unsigned long long>(health.completed),
+               static_cast<unsigned long long>(health.shed),
+               static_cast<unsigned long long>(health.deadline_exceeded),
+               static_cast<unsigned long long>(health.failed));
+  return 0;
+}
+
+/// Client-side NetOptions for one server round trip: the io timeout must
+/// cover the server's whole execution (queue wait + pipeline), so it
+/// follows the request deadline with headroom rather than the 30s
+/// per-frame default.
+net::NetOptions ClientNetOptions(const CliArgs& args) {
+  net::NetOptions net;
+  const double deadline =
+      args.deadline_ms > 0 ? args.deadline_ms : args.request_deadline_ms;
+  net.io_timeout_ms = deadline > 0 ? deadline + 5000.0 : 600000.0;
+  return net;
+}
+
+/// `colscope scope|match --connect H:P --json`: ships the schemas to a
+/// resident daemon and prints the JSON report it returns — byte-identical
+/// to the same cold `--json` invocation.
+int RunScopeClient(const CliArgs& args) {
+  if (!args.json) {
+    std::fprintf(stderr, "--connect requires --json\n");
+    return 2;
+  }
+  Result<net::Endpoint> endpoint = net::ParseEndpoint(args.connect);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "--connect: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  server::ScopeRequest request;
+  request.scoper = args.scoper;
+  request.matcher = args.matcher;
+  request.param = args.param;
+  request.v = args.v;
+  request.keep_portion = args.keep_portion;
+  request.deadline_ms = args.deadline_ms;
+  // Same order as LoadSchemas: every --ddl, then every --csv — the
+  // schema-set order the report depends on.
+  for (const std::string& path : args.ddl_paths) {
+    Result<std::string> text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    server::ScopeRequestSchema schema;
+    schema.kind = "ddl";
+    schema.name = Basename(path);
+    schema.text = std::move(text).value();
+    request.schemas.push_back(std::move(schema));
+  }
+  for (const std::string& path : args.csv_paths) {
+    Result<std::string> text = ReadFile(path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    server::ScopeRequestSchema schema;
+    schema.kind = "csv";
+    schema.name = Basename(path);
+    schema.text = std::move(text).value();
+    request.schemas.push_back(std::move(schema));
+  }
+  Result<std::string> report =
+      server::RequestScope(*endpoint, request, ClientNetOptions(args));
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    // Typed rejections exit distinctly so harnesses can tell a shed
+    // request (3) from a hard failure (1).
+    return report.status().code() == StatusCode::kOverloaded ? 3 : 1;
+  }
+  std::printf("%s\n", report->c_str());
+  return 0;
+}
+
+/// `colscope health --connect H:P`: lifecycle + accounting probe.
+int RunHealthClient(const CliArgs& args) {
+  if (args.connect.empty()) {
+    std::fprintf(stderr, "health requires --connect HOST:PORT\n");
+    return 2;
+  }
+  Result<net::Endpoint> endpoint = net::ParseEndpoint(args.connect);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "--connect: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  net::NetOptions net;
+  Result<server::HealthInfo> health = server::RequestHealth(*endpoint, net);
+  if (!health.ok()) {
+    std::fprintf(stderr, "%s\n", health.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("state %s\n", health->state.c_str());
+  std::printf("queue_depth %zu\n", health->queue_depth);
+  std::printf("inflight %zu\n", health->inflight);
+  std::printf("admitted %llu\n",
+              static_cast<unsigned long long>(health->admitted));
+  std::printf("shed %llu\n", static_cast<unsigned long long>(health->shed));
+  std::printf("deadline_exceeded %llu\n",
+              static_cast<unsigned long long>(health->deadline_exceeded));
+  std::printf("completed %llu\n",
+              static_cast<unsigned long long>(health->completed));
+  std::printf("failed %llu\n",
+              static_cast<unsigned long long>(health->failed));
+  return 0;
+}
+
+/// `colscope shutdown --connect H:P`: programmatic drain trigger.
+int RunShutdownClient(const CliArgs& args) {
+  if (args.connect.empty()) {
+    std::fprintf(stderr, "shutdown requires --connect HOST:PORT\n");
+    return 2;
+  }
+  Result<net::Endpoint> endpoint = net::ParseEndpoint(args.connect);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "--connect: %s\n",
+                 endpoint.status().ToString().c_str());
+    return 2;
+  }
+  net::NetOptions net;
+  const Status status = server::RequestShutdown(*endpoint, net);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int RunPipeline(const CliArgs& args) {
   Result<schema::SchemaSet> set = LoadSchemas(args);
   if (!set.ok()) {
@@ -960,15 +1213,26 @@ int main(int argc, char** argv) {
       if (args.command != "scope" && args.command != "match") return Usage();
       return RunCoordinator(args);
     }
-    std::fprintf(stderr, "unknown role (want worker|coordinator): %s\n",
+    if (args.role == "serve") return RunServe(args);
+    std::fprintf(stderr, "unknown role (want worker|coordinator|serve): %s\n",
                  args.role.c_str());
     return 2;
   }
+  if (args.command == "serve") return RunServe(args);
+  if (args.command == "health") return RunHealthClient(args);
+  if (args.command == "shutdown") return RunShutdownClient(args);
   if (args.command == "fit") return RunFit(args);
   if (args.command == "assess") return RunAssess(args);
   if (args.command != "scope" && args.command != "match" &&
       args.command != "export") {
     return Usage();
+  }
+  if (!args.connect.empty()) {
+    if (args.command != "scope" && args.command != "match") {
+      std::fprintf(stderr, "--connect only supports scope|match\n");
+      return 2;
+    }
+    return RunScopeClient(args);
   }
   return RunPipeline(args);
 }

@@ -39,12 +39,13 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
 fi
 cmake --build "$BUILD_DIR" --target linalg_kernels cache_warm_vs_cold \
-  -j "$(nproc)" >/dev/null
+  server_load -j "$(nproc)" >/dev/null
 
 SMOKE_FLAG=()
 if [[ "$SMOKE" -eq 1 ]]; then SMOKE_FLAG=(--smoke); fi
 "$BUILD_DIR/bench/linalg_kernels" "${SMOKE_FLAG[@]}" --out "$OUT"
 "$BUILD_DIR/bench/cache_warm_vs_cold" "${SMOKE_FLAG[@]}" --out "$OUT"
+"$BUILD_DIR/bench/server_load" "${SMOKE_FLAG[@]}" --out "$OUT"
 
 # Gate against the committed baselines unless this run just rewrote
 # them. The cache gate runs looser than the kernel gate: whole-pipeline
@@ -62,6 +63,14 @@ CURRENT="$OUT/BENCH_cache_warm_vs_cold.json"
 if [[ -f "$BASELINE" && "$BASELINE" != "$CURRENT" ]]; then
   python3 tools/check_bench_regression.py \
     --baseline "$BASELINE" --current "$CURRENT" --tolerance 0.6
+fi
+# The server-load gate only checks the dimensionless "ok" invariant
+# cells (served/shed/drain behavior); latencies are informational.
+BASELINE="$BASELINE_DIR/BENCH_server_load.json"
+CURRENT="$OUT/BENCH_server_load.json"
+if [[ -f "$BASELINE" && "$BASELINE" != "$CURRENT" ]]; then
+  python3 tools/check_bench_regression.py \
+    --baseline "$BASELINE" --current "$CURRENT"
 fi
 
 if [[ "$RUN_ALL" -eq 1 ]]; then

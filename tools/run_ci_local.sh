@@ -6,8 +6,11 @@
 #   3. distributed-smoke: tools/run_distributed_smoke.sh (multi-process
 #                         coordinator/worker quorum + telemetry-harvest
 #                         test under ASan/UBSan)
-#   4. bench-smoke:       tools/run_benches.sh --smoke + regression gates
-#   5. lint:              header / build-artifact / format checks
+#   4. server-smoke:      tools/run_server_smoke.sh (resident colscoped
+#                         daemon: drain, overload shedding, crash-restart
+#                         byte-identity, under ASan/UBSan)
+#   5. bench-smoke:       tools/run_benches.sh --smoke + regression gates
+#   6. lint:              header / build-artifact / format checks
 #
 # Toolchains the machine lacks (clang, ccache, clang-format) are
 # detected and skipped with a notice instead of failing, so the script
@@ -78,7 +81,16 @@ else
   tools/run_distributed_smoke.sh
 fi
 
-# Job 4: bench smoke + regression gates.
+# Job 4: resident-server smoke under sanitizers. Shares the
+# --skip-sanitizers flag for the same reason as job 3.
+if [ "$skip_sanitizers" -eq 1 ]; then
+  note "server-smoke: skipped (--skip-sanitizers)"
+else
+  note "server-smoke"
+  tools/run_server_smoke.sh
+fi
+
+# Job 5: bench smoke + regression gates.
 if [ "$skip_bench" -eq 1 ]; then
   note "bench-smoke: skipped (--skip-bench)"
 else
@@ -86,7 +98,7 @@ else
   tools/run_benches.sh --smoke --out bench-results
 fi
 
-# Job 5: lint.
+# Job 6: lint.
 note "lint"
 tools/check_headers.sh src "${CXX:-c++}" bench
 tools/check_no_build_artifacts.sh .

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Builds the resident-server code under ASan + UBSan and runs the
+# server smoke: the admission/codec/daemon unit tests (server_test),
+# then the cli_server_drain ctest — a real colscoped daemon process
+# serving CLI clients over TCP. The drain script byte-compares warm
+# server answers against the cold CLI (including across a kill -9
+# restart over the same cache directory), provokes overload shedding
+# with concurrent clients, and delivers SIGTERM mid-request: the
+# in-flight work must complete, new connections must be refused, and
+# the daemon must exit 0 with its metrics snapshot flushed.
+#
+# Usage: run_server_smoke.sh [BUILD_DIR]
+#   (default: <repo>/build-server-asan)
+set -e
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build-server-asan}"
+
+smoke_tests='server_test|cli_server_drain'
+
+cmake -B "$build" -S "$root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
+cmake --build "$build" -j --target server_test colscope_cli
+(cd "$build" && ctest --output-on-failure -R "^($smoke_tests)\$")
