@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/strings.h"
@@ -14,6 +15,7 @@
 #include "linalg/pca.h"
 #include "linalg/svd.h"
 #include "linalg/truncated_svd.h"
+#include "matching/flat_index.h"
 #include "matching/lsh_matcher.h"
 #include "matching/sim.h"
 #include "obs/flight_recorder.h"
@@ -203,6 +205,64 @@ void BM_LshMatcher_Approximate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LshMatcher_Approximate)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Quantized flat-index recall-vs-speed sweep ------------------------------
+
+// The exact/quantized pair below sweeps the same corpus sizes so their
+// per-size timings line up into a recall-vs-speed curve: the quantized
+// run reports its recall@10 against the exact top-10 as a counter, and
+// the wall-time ratio at each Arg is the speed side of the tradeoff.
+
+std::vector<linalg::Vector> AllRowQueries(const scoping::SignatureSet& sig) {
+  std::vector<linalg::Vector> queries;
+  queries.reserve(sig.size());
+  for (size_t r = 0; r < sig.size(); ++r) {
+    const double* row = sig.signatures.RowPtr(r);
+    queries.emplace_back(row, row + sig.signatures.cols());
+  }
+  return queries;
+}
+
+void BM_FlatIndexExact(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(3, state.range(0));
+  const matching::FlatL2Index index(sig.signatures);
+  const auto queries = AllRowQueries(sig);
+  for (auto _ : state) {
+    for (const auto& q : queries) {
+      benchmark::DoNotOptimize(index.Search(q, 10));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_FlatIndexExact)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FlatIndexQuantized(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(3, state.range(0));
+  const matching::FlatL2Index exact(sig.signatures);
+  const matching::FlatL2Index quant(
+      sig.signatures, matching::FlatL2Index::Options{.quantized = true});
+  const auto queries = AllRowQueries(sig);
+  for (auto _ : state) {
+    for (const auto& q : queries) {
+      benchmark::DoNotOptimize(quant.Search(q, 10));
+    }
+  }
+  size_t hits = 0, total = 0;
+  for (const auto& q : queries) {
+    const auto want = exact.Search(q, 10);
+    const auto got = quant.Search(q, 10);
+    for (size_t id : want) {
+      if (std::find(got.begin(), got.end(), id) != got.end()) ++hits;
+    }
+    total += want.size();
+  }
+  state.counters["recall_at_10"] =
+      total == 0 ? 1.0 : static_cast<double>(hits) / total;
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_FlatIndexQuantized)->Arg(32)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
 // --- Observability hot-path costs --------------------------------------------

@@ -1,0 +1,53 @@
+#ifndef COLSCOPE_COMMON_ALIGNED_H_
+#define COLSCOPE_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace colscope {
+
+/// Minimal std::allocator replacement whose allocations start on an
+/// `Alignment`-byte boundary (default: one cache line). Lets hot
+/// numeric buffers — signature matrices, quantized signature rows — be
+/// stored in a plain std::vector while guaranteeing SIMD loads never
+/// straddle a cache line at the buffer start.
+template <typename T, size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "Alignment below type alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const size_t bytes = (n * sizeof(T) + Alignment - 1) & ~(Alignment - 1);
+    void* p = std::aligned_alloc(Alignment, bytes == 0 ? Alignment : bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace colscope
+
+#endif  // COLSCOPE_COMMON_ALIGNED_H_

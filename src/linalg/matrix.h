@@ -2,15 +2,24 @@
 #define COLSCOPE_LINALG_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 
 namespace colscope::linalg {
 
 /// A vector of doubles; signatures and rows are plain Vectors.
 using Vector = std::vector<double>;
+
+/// Matrix backing storage: a contiguous row-major buffer whose first
+/// element sits on a cache-line boundary, so the SIMD span kernels read
+/// rows without the buffer start ever straddling a line. Interoperates
+/// with Vector via iterators/spans (the allocator only changes where
+/// the bytes live, not what they are).
+using AlignedBuffer = std::vector<double, AlignedAllocator<double, 64>>;
 
 /// Dense row-major matrix of doubles. Rows are data points (signatures),
 /// columns are dimensions — the orientation every algorithm in this
@@ -19,7 +28,10 @@ class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(size_t rows, size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    COLSCOPE_DCHECK(data_.empty() ||
+                    reinterpret_cast<std::uintptr_t>(data_.data()) % 64 == 0);
+  }
 
   /// Builds a matrix whose rows are the given equally-sized vectors.
   static Matrix FromRows(const std::vector<Vector>& rows);
@@ -55,27 +67,30 @@ class Matrix {
   /// Transposed copy (cache-blocked).
   Matrix Transposed() const;
 
-  /// this (m x k) * other (k x n) -> (m x n). Cache-blocked; for every
-  /// output cell the k-accumulation order matches the naive i-k-j loop,
-  /// so results are bit-identical to the unblocked kernel.
+  /// this (m x k) * other (k x n) -> (m x n). Every output cell is one
+  /// dispatched span-kernel dot (see linalg/simd/kernels.h), so the
+  /// result is bit-identical across SIMD ISAs, `--kernels` settings,
+  /// and thread counts — and bit-identical to MultiplyTransposedB of
+  /// the transposed operand, which it is implemented as.
   Matrix Multiply(const Matrix& other) const;
 
   /// this (m x k) * other^T for other (n x k) -> (m x n): row-by-row dot
-  /// products, so callers never materialize the transpose. Bit-identical
-  /// to Multiply(other.Transposed()).
+  /// products through the dispatched span kernels, so callers never
+  /// materialize the transpose. Bit-identical to
+  /// Multiply(other.Transposed()).
   Matrix MultiplyTransposedB(const Matrix& other) const;
 
   /// this (m x k) * v (k) -> (m).
   Vector MultiplyVector(const Vector& v) const;
 
-  /// Raw storage (row-major), for tight loops.
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  /// Raw storage (row-major, 64-byte-aligned base), for tight loops.
+  const AlignedBuffer& data() const { return data_; }
+  AlignedBuffer& data() { return data_; }
 
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  AlignedBuffer data_;
 };
 
 }  // namespace colscope::linalg

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/simd/kernels.h"
+
 namespace colscope::linalg {
 
 Vector ColumnMean(const Matrix& m) {
@@ -54,9 +56,7 @@ Matrix UncenterRows(const Matrix& m, const Vector& mean) {
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   COLSCOPE_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Active().dot(a.data(), b.data(), a.size());
 }
 
 double Norm(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
@@ -64,12 +64,7 @@ double Norm(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
 double SquaredL2Distance(std::span<const double> a,
                          std::span<const double> b) {
   COLSCOPE_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::Active().squared_l2(a.data(), b.data(), a.size());
 }
 
 double L2Distance(std::span<const double> a, std::span<const double> b) {
@@ -78,10 +73,14 @@ double L2Distance(std::span<const double> a, std::span<const double> b) {
 
 double CosineSimilarity(std::span<const double> a,
                         std::span<const double> b) {
-  const double na = Norm(a);
-  const double nb = Norm(b);
+  COLSCOPE_CHECK(a.size() == b.size());
+  double dot_ab = 0.0, norm2_a = 0.0, norm2_b = 0.0;
+  simd::Active().cosine_terms(a.data(), b.data(), a.size(), &dot_ab, &norm2_a,
+                              &norm2_b);
+  const double na = std::sqrt(norm2_a);
+  const double nb = std::sqrt(norm2_b);
   if (na == 0.0 || nb == 0.0) return 0.0;
-  return Dot(a, b) / (na * nb);
+  return dot_ab / (na * nb);
 }
 
 double MeanSquaredError(std::span<const double> a,
@@ -94,15 +93,10 @@ Vector RowwiseMse(const Matrix& a, const Matrix& b) {
   COLSCOPE_CHECK(a.rows() == b.rows());
   COLSCOPE_CHECK(a.cols() == b.cols());
   Vector out(a.rows(), 0.0);
+  const auto& kernels = simd::Active();
   for (size_t r = 0; r < a.rows(); ++r) {
-    const double* ra = a.RowPtr(r);
-    const double* rb = b.RowPtr(r);
-    double sum = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) {
-      const double d = ra[c] - rb[c];
-      sum += d * d;
-    }
-    out[r] = sum / static_cast<double>(a.cols());
+    out[r] = kernels.squared_l2(a.RowPtr(r), b.RowPtr(r), a.cols()) /
+             static_cast<double>(a.cols());
   }
   return out;
 }

@@ -10,25 +10,61 @@
 namespace colscope::matching {
 
 FlatL2Index::FlatL2Index(linalg::Matrix vectors)
-    : vectors_(std::move(vectors)) {}
+    : FlatL2Index(std::move(vectors), Options()) {}
+
+FlatL2Index::FlatL2Index(linalg::Matrix vectors, Options options)
+    : vectors_(std::move(vectors)), options_(options) {
+  if (options_.quantized) {
+    store_ = std::make_unique<embed::QuantizedSignatureStore>(vectors_);
+  }
+}
 
 std::vector<size_t> FlatL2Index::Search(const linalg::Vector& query,
                                         size_t k) const {
   const size_t n = vectors_.rows();
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::vector<double> dist(n);
-  for (size_t i = 0; i < n; ++i) {
-    dist[i] = linalg::SquaredL2Distance(vectors_.RowSpan(i), query);
-  }
   const size_t keep = std::min(k, n);
+
+  // Candidate pool: everything in exact mode; the approximate top
+  // k * rescore_factor in quantized mode. Either way the *final* order
+  // comes from exact double-precision distances with the same
+  // (distance, id) tie-break, so quantization can only affect which
+  // candidates reach the exact rescoring, never how they are ranked.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  if (store_ != nullptr && keep < n) {
+    std::vector<int8_t> qcodes;
+    double qnorm2 = 0.0;
+    const double qscale = store_->QuantizeQuery(query, &qcodes, &qnorm2);
+    std::vector<double> approx(n);
+    for (size_t i = 0; i < n; ++i) {
+      approx[i] = store_->ApproxSquaredL2(i, qcodes.data(), qscale, qnorm2);
+    }
+    const size_t pool_size =
+        std::min(n, std::max(keep, keep * std::max<size_t>(
+                                        options_.rescore_factor, 1)));
+    std::partial_sort(pool.begin(), pool.begin() + static_cast<long>(pool_size),
+                      pool.end(), [&](size_t a, size_t b) {
+                        if (approx[a] != approx[b]) return approx[a] < approx[b];
+                        return a < b;
+                      });
+    pool.resize(pool_size);
+  }
+
+  std::vector<double> dist(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    dist[i] = linalg::SquaredL2Distance(vectors_.RowSpan(pool[i]), query);
+  }
+  std::vector<size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), 0);
   std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
                     order.end(), [&](size_t a, size_t b) {
                       if (dist[a] != dist[b]) return dist[a] < dist[b];
-                      return a < b;
+                      return pool[a] < pool[b];
                     });
-  order.resize(keep);
-  return order;
+  std::vector<size_t> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(pool[order[i]]);
+  return out;
 }
 
 RandomHyperplaneLsh::RandomHyperplaneLsh(linalg::Matrix vectors,

@@ -2,8 +2,10 @@
 #define COLSCOPE_MATCHING_FLAT_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "embed/quantized_store.h"
 #include "linalg/matrix.h"
 
 namespace colscope::matching {
@@ -11,19 +13,39 @@ namespace colscope::matching {
 /// Exact L2 nearest-neighbour index over a fixed set of vectors — the
 /// equivalent of FAISS IndexFlatL2 that the paper's "LSH" matcher builds
 /// per schema (Section 4.1). Brute-force search; exact by construction.
+///
+/// With `Options::quantized` the scan runs over an int8
+/// QuantizedSignatureStore instead of the double matrix: candidates are
+/// ranked by approximate distance, the top `k * rescore_factor` are
+/// rescored with the exact double kernels, and the final top-k order is
+/// decided purely by those exact distances. Opt-in (`--quantized`); the
+/// default remains byte-for-byte the exact scan.
 class FlatL2Index {
  public:
-  /// Indexes the rows of `vectors` (copied).
+  struct Options {
+    /// Rank with int8 approximate distances, rescore exactly.
+    bool quantized = false;
+    /// Oversampling factor for the rescoring pool: the approximate pass
+    /// keeps k * rescore_factor candidates before exact rescoring.
+    size_t rescore_factor = 4;
+  };
+
+  /// Indexes the rows of `vectors` (copied); exact scan by default.
   explicit FlatL2Index(linalg::Matrix vectors);
+  FlatL2Index(linalg::Matrix vectors, Options options);
 
   /// Ids (row indices) of the `k` nearest vectors to `query`, closest
   /// first; fewer if the index holds fewer than k vectors.
   std::vector<size_t> Search(const linalg::Vector& query, size_t k) const;
 
   size_t size() const { return vectors_.rows(); }
+  bool quantized() const { return store_ != nullptr; }
 
  private:
   linalg::Matrix vectors_;
+  Options options_;
+  /// Present only in quantized mode.
+  std::unique_ptr<embed::QuantizedSignatureStore> store_;
 };
 
 /// A genuine locality-sensitive-hashing index using random-hyperplane

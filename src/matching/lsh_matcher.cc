@@ -35,7 +35,8 @@ std::set<ElementPair> LshMatcher::Match(
     for (size_t i = 0; i < target_rows.size(); ++i) {
       target_vectors.SetRow(i, signatures.signatures.Row(target_rows[i]));
     }
-    const FlatL2Index flat(target_vectors);
+    const FlatL2Index flat(target_vectors,
+                           FlatL2Index::Options{.quantized = quantized_});
     std::unique_ptr<RandomHyperplaneLsh> lsh;
     if (approximate_) {
       lsh = std::make_unique<RandomHyperplaneLsh>(

@@ -12,11 +12,15 @@ namespace colscope::matching {
 /// candidate set. The paper evaluates top-k in {1, 5, 20}.
 ///
 /// Set `approximate` to true to use the genuine random-hyperplane LSH
-/// index instead of the exact flat search (library extension).
+/// index instead of the exact flat search (library extension). Set
+/// `quantized` to rank flat-search candidates with the int8 signature
+/// store before exact rescoring (`--quantized`; ignored in approximate
+/// mode, which has its own candidate generation).
 class LshMatcher : public Matcher {
  public:
-  explicit LshMatcher(size_t top_k, bool approximate = false)
-      : top_k_(top_k), approximate_(approximate) {}
+  explicit LshMatcher(size_t top_k, bool approximate = false,
+                      bool quantized = false)
+      : top_k_(top_k), approximate_(approximate), quantized_(quantized) {}
 
   std::string name() const override;
   std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
@@ -27,6 +31,7 @@ class LshMatcher : public Matcher {
  private:
   size_t top_k_;
   bool approximate_;
+  bool quantized_;
 };
 
 }  // namespace colscope::matching

@@ -1,10 +1,13 @@
 #include "matching/token_blocking.h"
 
+#include <cmath>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/strings.h"
+#include "embed/quantized_store.h"
 #include "linalg/stats.h"
 #include "text/tokenize.h"
 
@@ -53,8 +56,29 @@ std::string TokenBlockedSimMatcher::name() const {
 std::set<ElementPair> TokenBlockedSimMatcher::Match(
     const scoping::SignatureSet& signatures,
     const std::vector<bool>& active) const {
+  const auto candidates = BuildCandidates(signatures, active);
+  std::unique_ptr<embed::QuantizedSignatureStore> store;
+  if (quantized_ && !candidates.empty()) {
+    store = std::make_unique<embed::QuantizedSignatureStore>(
+        signatures.signatures);
+  }
   std::set<ElementPair> out;
-  for (const auto& [i, j] : BuildCandidates(signatures, active)) {
+  for (const auto& [i, j] : candidates) {
+    if (store != nullptr) {
+      const double ni = std::sqrt(store->RowNorm2(i));
+      const double nj = std::sqrt(store->RowNorm2(j));
+      if (ni > 0.0 && nj > 0.0) {
+        // approx_cos + bound/(|a||b|) >= exact cosine, so dropping below
+        // the threshold can never drop a true match. Zero-norm rows fall
+        // through to the (cheap) exact path rather than special-casing
+        // its sign conventions here.
+        const double inv = 1.0 / (ni * nj);
+        const double approx_cos = store->ApproxDot(i, j) * inv;
+        const double margin =
+            store->DotErrorBound(i, store->RowScale(j), store->RowL1(j)) * inv;
+        if (approx_cos + margin < threshold_) continue;
+      }
+    }
     const double sim = linalg::CosineSimilarity(
         signatures.signatures.RowSpan(i), signatures.signatures.RowSpan(j));
     if (sim >= threshold_) {

@@ -11,10 +11,18 @@ namespace colscope::matching {
 /// full Cartesian enumeration SIM performs. The shared-token candidates
 /// are then verified with the cosine threshold, so the result is a
 /// subset of SIM(threshold) restricted to lexically overlapping pairs.
+///
+/// With `quantized` the cosine verification runs a cheap int8 prescan
+/// first: a candidate is dropped without touching the double kernels
+/// when its approximate cosine plus the store's conservative
+/// dequantization error bound stays below the threshold. The bound
+/// guarantees the surviving set contains every pair the exact check
+/// accepts, so the returned matches are IDENTICAL to the unquantized
+/// matcher — quantization here only saves work, never changes output.
 class TokenBlockedSimMatcher : public Matcher {
  public:
-  explicit TokenBlockedSimMatcher(double threshold)
-      : threshold_(threshold) {}
+  explicit TokenBlockedSimMatcher(double threshold, bool quantized = false)
+      : threshold_(threshold), quantized_(quantized) {}
 
   std::string name() const override;
   std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
@@ -28,6 +36,7 @@ class TokenBlockedSimMatcher : public Matcher {
 
  private:
   double threshold_;
+  bool quantized_;
 };
 
 }  // namespace colscope::matching

@@ -1,8 +1,10 @@
-// Equivalence tests for the optimized linalg kernels: the cache-blocked
-// Multiply against a straightforward triple loop, the fused
-// MultiplyTransposedB against materializing the transpose, RowSpan
-// aliasing, and the Gram-trick PCA fit against the covariance-path
-// reference (identical up to component sign and floating-point eps).
+// Equivalence tests for the optimized linalg kernels: Multiply against
+// a per-cell scalar-reference-dot product (the canonical reduction tree
+// of linalg/simd/kernels.h, which the dispatched kernels must match bit
+// for bit), the fused MultiplyTransposedB against materializing the
+// transpose, RowSpan aliasing, and the Gram-trick PCA fit against the
+// covariance-path reference (identical up to component sign and
+// floating-point eps).
 
 #include <gtest/gtest.h>
 
@@ -12,6 +14,7 @@
 #include "common/rng.h"
 #include "linalg/matrix.h"
 #include "linalg/pca.h"
+#include "linalg/simd/kernels.h"
 
 namespace colscope::linalg {
 namespace {
@@ -26,16 +29,17 @@ Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
   return m;
 }
 
-/// Straightforward i-k-j product — the semantics the blocked kernel
-/// must reproduce bit for bit (same per-cell accumulation order).
+/// One scalar-reference dot per output cell over the transposed right
+/// operand — the semantics Multiply must reproduce bit for bit
+/// regardless of which SIMD table dispatch selected (the canonical
+/// reduction tree is ISA-invariant by contract).
 Matrix ReferenceMultiply(const Matrix& a, const Matrix& b) {
+  const Matrix bt = b.Transposed();
   Matrix out(a.rows(), b.cols());
+  const auto& scalar = simd::ScalarKernels();
   for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double x = a.RowPtr(i)[k];
-      for (size_t j = 0; j < b.cols(); ++j) {
-        out.RowPtr(i)[j] += x * b.RowPtr(k)[j];
-      }
+    for (size_t j = 0; j < b.cols(); ++j) {
+      out.RowPtr(i)[j] = scalar.dot(a.RowPtr(i), bt.RowPtr(j), a.cols());
     }
   }
   return out;
@@ -53,8 +57,9 @@ void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
 }
 
 TEST(BlockedMultiplyTest, BitIdenticalToReferenceAcrossShapes) {
-  // Sizes straddle the 64-wide tile: below, at, and past boundaries,
-  // including non-multiples so edge tiles are exercised.
+  // Sizes straddle the 64-wide j-tile and the kernels' 8-lane body:
+  // below, at, and past boundaries, including non-multiples so edge
+  // tiles and reduction tails are exercised.
   const size_t shapes[][3] = {
       {1, 1, 1}, {3, 5, 2}, {63, 64, 65}, {64, 64, 64}, {70, 130, 90}};
   for (const auto& [m, k, n] : shapes) {
@@ -65,8 +70,8 @@ TEST(BlockedMultiplyTest, BitIdenticalToReferenceAcrossShapes) {
 }
 
 TEST(BlockedMultiplyTest, ZerosInInputDoNotChangeResult) {
-  // The old kernel skipped k-steps where a[i][k] == 0; the blocked one
-  // must not need that branch to stay exact (x * row adds 0.0 exactly).
+  // An ancient kernel skipped k-steps where a[i][k] == 0; the dot-based
+  // one must not need that branch to stay exact (x * 0.0 adds exactly).
   Matrix a = RandomMatrix(20, 33, 7);
   for (size_t i = 0; i < a.rows(); ++i) {
     for (size_t k = 0; k < a.cols(); k += 3) a.RowPtr(i)[k] = 0.0;
@@ -76,8 +81,9 @@ TEST(BlockedMultiplyTest, ZerosInInputDoNotChangeResult) {
 }
 
 TEST(MultiplyTransposedBTest, BitIdenticalToTransposePath) {
-  // 300 shared dims exercises the wide-d branch (delegation past the
-  // internal crossover); the rest exercise the fused dot kernel.
+  // Multiply is implemented as MultiplyTransposedB over the transpose,
+  // so this checks the two public spellings stay exact mirrors across
+  // narrow and wide shared dimensions.
   const size_t shapes[][3] = {
       {2, 9, 5}, {57, 91, 63}, {64, 64, 64}, {30, 300, 7}};
   for (const auto& [m, d, n] : shapes) {

@@ -7,9 +7,19 @@ machines of different absolute speed:
   * cells ending in ``_speedup`` — a kernel's measured advantage over its
     reference implementation. The current run must retain at least
     ``(1 - tolerance)`` of the baseline ratio (improvements always pass).
-  * cells named ``ok`` — bit-identity flags. These must be exactly 1.
+  * cells named ``ok`` or ending in ``_ok`` — invariant flags
+    (bit-identity, error bounds, recall floors). These must be exactly 1
+    on every machine.
 
-Absolute wall-ms / throughput cells are informational and never gated.
+Rows may carry a ``simd_active`` cell recording whether runtime dispatch
+selected a SIMD kernel table. When the baseline was recorded with
+``simd_active`` = 1 but the current machine fell back to scalar (= 0),
+that row's ``*_speedup`` cells are skipped — the ratio measures the SIMD
+advantage, which a scalar-only host cannot reproduce. The ``*_ok``
+invariants are still enforced there.
+
+Absolute wall-ms / throughput / max-ulp cells are informational and
+never gated.
 
 Exit status: 0 when every gated cell passes, 1 otherwise (including a
 missing row or cell, which usually means the bench and baseline drifted
@@ -53,20 +63,27 @@ def main():
         if cur_cells is None:
             failures.append(f"{table}/{label}: row missing from current run")
             continue
+        simd_skipped = (base_cells.get("simd_active") == 1
+                        and cur_cells.get("simd_active") == 0)
         for cell, base_value in base_cells.items():
-            gated = cell.endswith("_speedup") or cell == "ok"
+            is_ok = cell == "ok" or cell.endswith("_ok")
+            gated = cell.endswith("_speedup") or is_ok
             if not gated:
                 continue
             if cell not in cur_cells:
                 failures.append(f"{table}/{label}: cell '{cell}' missing")
                 continue
             cur_value = cur_cells[cell]
+            if cell.endswith("_speedup") and simd_skipped:
+                print(f"{table}/{label} {cell}: skipped (baseline had SIMD "
+                      f"dispatch active, this host fell back to scalar)")
+                continue
             checked += 1
-            if cell == "ok":
+            if is_ok:
                 if cur_value != 1:
                     failures.append(
-                        f"{table}/{label}: kernel no longer bit-identical "
-                        f"to its reference (ok={cur_value})")
+                        f"{table}/{label}: invariant cell '{cell}' no "
+                        f"longer holds ({cell}={cur_value})")
                 continue
             floor = base_value * (1.0 - args.tolerance)
             status = "ok" if cur_value >= floor else "REGRESSED"

@@ -6,7 +6,7 @@
 //       Prints the per-element linkability assessment and a summary.
 //
 //   colscope match  --ddl a.sql --ddl b.sql [...] [--v 0.8]
-//       [--matcher sim|cluster|lsh|str] [--param X]
+//       [--matcher sim|cluster|lsh|tbsim|str] [--param X]
 //       Runs the full pipeline and prints the generated correspondences
 //       with cosine scores.
 //
@@ -42,11 +42,13 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "exchange/exchange.h"
+#include "linalg/simd/kernels.h"
 #include "linalg/stats.h"
 #include "matching/cluster_matcher.h"
 #include "matching/lsh_matcher.h"
 #include "matching/sim.h"
 #include "matching/string_matcher.h"
+#include "matching/token_blocking.h"
 #include "net/coordinator.h"
 #include "net/worker.h"
 #include "server/client.h"
@@ -90,6 +92,8 @@ struct CliArgs {
   uint64_t cache_max_bytes = 0;  // --cache-max-bytes N (0 = unbounded)
   std::string crash_after;      // --crash-after signatures|local_models|...
   size_t threads = 1;           // --threads N (1 = serial, 0 = hardware)
+  std::string kernels;          // --kernels scalar|native ("" = auto)
+  bool quantized = false;       // --quantized (int8 prefilter for lsh/tbsim)
   bool explain = false;
   bool json = false;
   // Distributed multi-process mode (see docs/DISTRIBUTED.md).
@@ -115,7 +119,7 @@ int Usage() {
                "usage: colscope <scope|match|export> --ddl FILE [--ddl FILE "
                "...]\n"
                "  [--v 0.8] [--scoper pca|neural|global|none]\n"
-               "  [--keep-portion 0.5] [--matcher sim|cluster|lsh|str] "
+               "  [--keep-portion 0.5] [--matcher sim|cluster|lsh|tbsim|str] "
                "[--param X]\n"
                "  [--faults drop=P,delay=P,truncate=P,corrupt=P,stale=P,"
                "seed=N]\n"
@@ -129,6 +133,10 @@ int Usage() {
                "  [--crash-after signatures|local_models|keep_mask]\n"
                "  [--threads N]  (1 = serial, 0 = hardware concurrency; "
                "output is identical at any N)\n"
+               "  [--kernels scalar|native]  (span-kernel dispatch; output "
+               "is identical either way)\n"
+               "  [--quantized]  (int8 prefilter for lsh/tbsim candidate "
+               "generation)\n"
                "\n"
                "resident server mode (docs/SERVER.md):\n"
                "  colscope serve [--listen H:P] [--port-file FILE]\n"
@@ -320,6 +328,12 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       const char* value = next();
       if (value == nullptr) return false;
       args.serve_delay_ms = std::atof(value);
+    } else if (flag == "--kernels") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.kernels = value;
+    } else if (flag == "--quantized") {
+      args.quantized = true;
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -395,7 +409,12 @@ std::unique_ptr<matching::Matcher> MakeMatcher(const CliArgs& args,
   }
   if (args.matcher == "lsh") {
     return std::make_unique<matching::LshMatcher>(
-        args.param >= 0 ? static_cast<size_t>(args.param) : 1);
+        args.param >= 0 ? static_cast<size_t>(args.param) : 1,
+        /*approximate=*/false, args.quantized);
+  }
+  if (args.matcher == "tbsim") {
+    return std::make_unique<matching::TokenBlockedSimMatcher>(
+        args.param >= 0 ? args.param : 0.6, args.quantized);
   }
   if (args.matcher == "str") {
     return std::make_unique<matching::StringSimilarityMatcher>(
@@ -1198,6 +1217,13 @@ int RunPipeline(const CliArgs& args) {
 int main(int argc, char** argv) {
   CliArgs args;
   if (!ParseArgs(argc, argv, args)) return Usage();
+  if (!args.kernels.empty()) {
+    const Status forced = linalg::simd::ForceMode(args.kernels);
+    if (!forced.ok()) {
+      std::fprintf(stderr, "--kernels: %s\n", forced.ToString().c_str());
+      return 2;
+    }
+  }
   if (!args.log_level.empty()) {
     Result<obs::LogLevel> level = obs::ParseLogLevel(args.log_level);
     if (!level.ok()) {

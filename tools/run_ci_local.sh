@@ -9,8 +9,10 @@
 #   4. server-smoke:      tools/run_server_smoke.sh (resident colscoped
 #                         daemon: drain, overload shedding, crash-restart
 #                         byte-identity, under ASan/UBSan)
-#   5. bench-smoke:       tools/run_benches.sh --smoke + regression gates
-#   6. lint:              header / build-artifact / format checks
+#   5. kernels-matrix:    kernel equivalence tests under native dispatch
+#                         and with COLSCOPE_FORCE_SCALAR=1
+#   6. bench-smoke:       tools/run_benches.sh --smoke + regression gates
+#   7. lint:              header / build-artifact / format checks
 #
 # Toolchains the machine lacks (clang, ccache, clang-format) are
 # detected and skipped with a notice instead of failing, so the script
@@ -90,7 +92,24 @@ else
   tools/run_server_smoke.sh
 fi
 
-# Job 5: bench smoke + regression gates.
+# Job 5: kernel dispatch matrix. The equivalence battery must pass with
+# whatever SIMD table the runtime dispatcher picked AND with the
+# COLSCOPE_FORCE_SCALAR escape hatch pinning the scalar reference.
+note "kernels-matrix"
+kernels_build="build-ci-kernels"
+# shellcheck disable=SC2086  # launcher_flags is intentionally split
+cmake -B "$kernels_build" -S . -DCMAKE_BUILD_TYPE=Release \
+  $launcher_flags > /dev/null
+cmake --build "$kernels_build" -j "$(nproc)" \
+  --target simd_kernels_test linalg_kernels_test > /dev/null
+note "kernels-matrix[native]"
+(cd "$kernels_build" && \
+  ctest --output-on-failure -R '^(simd_kernels_test|linalg_kernels_test)$')
+note "kernels-matrix[scalar]"
+(cd "$kernels_build" && COLSCOPE_FORCE_SCALAR=1 \
+  ctest --output-on-failure -R '^(simd_kernels_test|linalg_kernels_test)$')
+
+# Job 6: bench smoke + regression gates.
 if [ "$skip_bench" -eq 1 ]; then
   note "bench-smoke: skipped (--skip-bench)"
 else
@@ -98,7 +117,7 @@ else
   tools/run_benches.sh --smoke --out bench-results
 fi
 
-# Job 6: lint.
+# Job 7: lint.
 note "lint"
 tools/check_headers.sh src "${CXX:-c++}" bench
 tools/check_no_build_artifacts.sh .
