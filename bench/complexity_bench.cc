@@ -16,6 +16,7 @@
 #include "linalg/svd.h"
 #include "linalg/truncated_svd.h"
 #include "matching/flat_index.h"
+#include "matching/ivf_index.h"
 #include "matching/lsh_matcher.h"
 #include "matching/sim.h"
 #include "obs/flight_recorder.h"
@@ -264,6 +265,53 @@ void BM_FlatIndexQuantized(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatIndexQuantized)->Arg(32)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
+
+// --- IVF sub-linear search ----------------------------------------------------
+
+// Same corpus sizes as the flat pair above, so the three curves overlay
+// directly: the IVF run reports its recall@10 against the exact flat
+// top-10 plus the mean probed fraction as counters, and its per-Arg
+// wall time shows where sub-linear probing overtakes brute force.
+
+void BM_IvfIndexSearch(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(3, state.range(0));
+  const matching::FlatL2Index exact(sig.signatures);
+  const matching::IvfIndex ivf(sig.signatures);  // auto sqrt(n), nprobe 8.
+  const auto queries = AllRowQueries(sig);
+  for (auto _ : state) {
+    for (const auto& q : queries) {
+      benchmark::DoNotOptimize(ivf.Search(q, 10));
+    }
+  }
+  size_t hits = 0, total = 0, probed = 0;
+  for (const auto& q : queries) {
+    const auto want = exact.Search(q, 10);
+    const auto got = ivf.Search(q, 10);
+    for (size_t id : want) {
+      if (std::find(got.begin(), got.end(), id) != got.end()) ++hits;
+    }
+    total += want.size();
+    probed += ivf.ProbedRows(q, 10, ivf.nprobe());
+  }
+  state.counters["recall_at_10"] =
+      total == 0 ? 1.0 : static_cast<double>(hits) / total;
+  state.counters["probe_fraction"] =
+      static_cast<double>(probed) /
+      (static_cast<double>(queries.size()) * ivf.size());
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_IvfIndexSearch)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IvfMatcher(benchmark::State& state) {
+  const auto sig = SyntheticSignatures(3, state.range(0));
+  const matching::IvfMatcher matcher({});
+  const std::vector<bool> all(sig.size(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(sig, all));
+  }
+}
+BENCHMARK(BM_IvfMatcher)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // --- Observability hot-path costs --------------------------------------------
 

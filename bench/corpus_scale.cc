@@ -1,0 +1,239 @@
+// Corpus-scale sweep for sub-linear IVF matching: generates synthetic
+// corpora of growing size (src/datasets/synthetic_corpus.h) and runs
+// three matcher arms over each — exact flat search, int8-quantized flat
+// search, and the IVF index at its documented nprobe — charting
+// wall-time against PQ/PC/F1 so the flat-vs-IVF crossover point lands
+// in a committed BENCH_corpus_scale.json.
+//
+// Gated cells are machine-portable because every arm is deterministic:
+//   recall_ok     IVF recall@10 vs exact flat >= 0.95 at nprobe = 8
+//   f1_ok         IVF end-to-end F1 within 0.05 of the exact-flat F1
+//   sublinear_ok  mean probed fraction < 0.7 at the largest size
+// Wall-ms cells are informational; the full (nightly) baseline also
+// carries the timing-ratio cell ivf_speedup, which the smoke baseline
+// deliberately names ivf_advantage so PR machines are never gated on
+// absolute speed.
+//
+// Flags:
+//   --smoke     small sizes only, for the ctest gate (sub-second)
+//   --out DIR   directory for the BENCH json (default ".")
+//   --reps N    best-of-N repetitions per timing (default 3)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "datasets/synthetic_corpus.h"
+#include "embed/hashed_encoder.h"
+#include "eval/matching_metrics.h"
+#include "matching/flat_index.h"
+#include "matching/ivf_index.h"
+#include "scoping/signatures.h"
+
+namespace {
+
+using namespace colscope;
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const std::string& default_value) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return default_value;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of one full Match pass, plus the result of
+/// the last run (all runs are identical — the matchers are
+/// deterministic).
+double TimedMatch(const matching::Matcher& matcher,
+                  const scoping::SignatureSet& signatures,
+                  const std::vector<bool>& active, int reps,
+                  std::set<matching::ElementPair>* out) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double start = NowMs();
+    *out = matcher.Match(signatures, active);
+    const double elapsed = NowMs() - start;
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct SizeResult {
+  size_t elements = 0;
+  double flat_ms = 0.0;
+  double ivf_ms = 0.0;
+  double probe_fraction = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::HasFlag(argc, argv, "--smoke");
+  const std::string out_dir = StringFlag(argc, argv, "--out", ".");
+  const int reps =
+      static_cast<int>(bench::FlagValue(argc, argv, "--reps", 3));
+
+  // Corpus sizes are driven by schema count; tables/attrs stay fixed so
+  // the element count (and thus the flat cost) scales linearly in the
+  // swept axis while the IVF cost grows ~ nprobe * n / sqrt(n).
+  const std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{4, 8} : std::vector<size_t>{8, 16, 32};
+
+  bench::BenchReport report("corpus_scale");
+  bench::PrintHeader(
+      "Corpus-scale sweep: exact flat vs int8 flat vs IVF (nprobe=8)");
+  std::printf("%10s %9s %9s %9s %9s %8s %8s %10s %7s\n", "schemas",
+              "elements", "flat_ms", "qflat_ms", "ivf_ms", "flat_f1",
+              "ivf_f1", "recall@10", "probe%");
+
+  const embed::HashedLexiconEncoder encoder;
+  SizeResult smallest, largest;
+  bool all_recall_ok = true;
+  bool all_f1_ok = true;
+  for (size_t num_schemas : sizes) {
+    datasets::CorpusOptions options;
+    options.num_schemas = num_schemas;
+    options.tables_per_schema = 4;
+    options.attrs_per_table = 8;
+    options.seed = 0xC0905;
+    const datasets::MatchingScenario scenario =
+        datasets::BuildCorpusScenario(options);
+    const scoping::SignatureSet signatures =
+        scoping::BuildSignatures(scenario.set, encoder);
+    const size_t n = signatures.size();
+    const std::vector<bool> active(n, true);
+    const size_t cartesian = scenario.set.TableCartesianSize() +
+                             scenario.set.AttributeCartesianSize();
+
+    // Arm 1: exact flat — IvfMatcher with a single list degenerates to
+    // brute-force search, so all three arms share one code path.
+    matching::IvfMatcher::Options flat_options;
+    flat_options.num_lists = 1;
+    std::set<matching::ElementPair> flat_matches;
+    const double flat_ms =
+        TimedMatch(matching::IvfMatcher(flat_options), signatures, active,
+                   reps, &flat_matches);
+
+    // Arm 2: int8-quantized flat (prefilter + exact rescore).
+    matching::IvfMatcher::Options qflat_options = flat_options;
+    qflat_options.quantized = true;
+    std::set<matching::ElementPair> qflat_matches;
+    const double qflat_ms =
+        TimedMatch(matching::IvfMatcher(qflat_options), signatures, active,
+                   reps, &qflat_matches);
+
+    // Arm 3: IVF at the documented operating point (auto sqrt(n) lists,
+    // nprobe = 8).
+    matching::IvfMatcher::Options ivf_options;
+    std::set<matching::ElementPair> ivf_matches;
+    const double ivf_ms =
+        TimedMatch(matching::IvfMatcher(ivf_options), signatures, active,
+                   reps, &ivf_matches);
+
+    const eval::MatchingQuality flat_quality =
+        eval::EvaluateMatching(flat_matches, scenario.truth, cartesian);
+    const eval::MatchingQuality ivf_quality =
+        eval::EvaluateMatching(ivf_matches, scenario.truth, cartesian);
+
+    // Recall@10 and probed fraction of the raw index at the same
+    // operating point, measured over every signature row.
+    const matching::FlatL2Index exact_index(signatures.signatures);
+    const matching::IvfIndex ivf_index(signatures.signatures);
+    size_t hits = 0;
+    size_t wanted = 0;
+    size_t probed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const linalg::Vector query = signatures.signatures.Row(i);
+      const auto want = exact_index.Search(query, 10);
+      const auto got = ivf_index.Search(query, 10);
+      const std::set<size_t> got_set(got.begin(), got.end());
+      wanted += want.size();
+      for (size_t id : want) hits += got_set.count(id);
+      probed += ivf_index.ProbedRows(signatures.signatures.RowSpan(i), 10,
+                                     ivf_index.nprobe());
+    }
+    const double recall =
+        wanted == 0 ? 1.0 : static_cast<double>(hits) / wanted;
+    const double probe_fraction =
+        static_cast<double>(probed) / (static_cast<double>(n) * n);
+    const bool recall_ok = recall >= 0.95;
+    const bool f1_ok = ivf_quality.F1() >= flat_quality.F1() - 0.05;
+    all_recall_ok = all_recall_ok && recall_ok;
+    all_f1_ok = all_f1_ok && f1_ok;
+
+    std::printf("%10zu %9zu %9.2f %9.2f %9.2f %8.3f %8.3f %10.3f %6.1f%%\n",
+                num_schemas, n, flat_ms, qflat_ms, ivf_ms,
+                flat_quality.F1(), ivf_quality.F1(), recall,
+                100.0 * probe_fraction);
+
+    report.AddRow("corpus_scale",
+                  StrFormat("schemas=%zu", num_schemas),
+                  {{"elements", static_cast<double>(n)},
+                   {"flat_ms", flat_ms},
+                   {"qflat_ms", qflat_ms},
+                   {"ivf_ms", ivf_ms},
+                   {"flat_f1", flat_quality.F1()},
+                   {"ivf_f1", ivf_quality.F1()},
+                   {"flat_pq", flat_quality.PairQuality()},
+                   {"flat_pc", flat_quality.PairCompleteness()},
+                   {"ivf_pq", ivf_quality.PairQuality()},
+                   {"ivf_pc", ivf_quality.PairCompleteness()},
+                   {"ivf_recall_at_10", recall},
+                   {"probe_fraction", probe_fraction},
+                   {"recall_ok", recall_ok ? 1.0 : 0.0},
+                   {"f1_ok", f1_ok ? 1.0 : 0.0}});
+
+    const SizeResult result{n, flat_ms, ivf_ms, probe_fraction};
+    if (num_schemas == sizes.front()) smallest = result;
+    largest = result;
+  }
+
+  // Crossover summary: as the corpus grows `growth`-fold in elements,
+  // exact flat cost should grow super-linearly in wall time while IVF
+  // tracks the probed fraction. The timing ratio cell is gated
+  // (ivf_speedup) only in the full nightly baseline; the smoke run
+  // names it ivf_advantage so PR lanes never gate on wall time.
+  const double element_growth = smallest.elements == 0
+                                    ? 0.0
+                                    : static_cast<double>(largest.elements) /
+                                          static_cast<double>(smallest.elements);
+  const double flat_growth =
+      smallest.flat_ms <= 0.0 ? 0.0 : largest.flat_ms / smallest.flat_ms;
+  const double ivf_growth =
+      smallest.ivf_ms <= 0.0 ? 0.0 : largest.ivf_ms / smallest.ivf_ms;
+  const double advantage =
+      largest.ivf_ms <= 0.0 ? 0.0 : largest.flat_ms / largest.ivf_ms;
+  const bool sublinear_ok = largest.probe_fraction < 0.7;
+
+  bench::PrintHeader("Crossover summary (largest vs smallest size)");
+  std::printf("element growth %.1fx | flat time %.1fx | ivf time %.1fx | "
+              "flat/ivf at largest %.2fx | probed %.1f%%\n",
+              element_growth, flat_growth, ivf_growth, advantage,
+              100.0 * largest.probe_fraction);
+
+  report.AddRow("corpus_scale", "summary",
+                {{"element_growth", element_growth},
+                 {"flat_time_growth", flat_growth},
+                 {"ivf_time_growth", ivf_growth},
+                 {smoke ? "ivf_advantage" : "ivf_speedup", advantage},
+                 {"largest_probe_fraction", largest.probe_fraction},
+                 {"sublinear_ok", sublinear_ok ? 1.0 : 0.0},
+                 {"recall_ok", all_recall_ok ? 1.0 : 0.0},
+                 {"f1_ok", all_f1_ok ? 1.0 : 0.0}});
+
+  const bool wrote = report.Write(out_dir);
+  return (wrote && all_recall_ok && all_f1_ok && sublinear_ok) ? 0 : 1;
+}

@@ -1,0 +1,446 @@
+#include "datasets/synthetic_corpus.h"
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "schema/ddl_writer.h"
+#include "schema/schema.h"
+
+namespace colscope::datasets {
+
+namespace {
+
+/// What a field's instance values look like in the emitted CSVs.
+enum class ValueKind {
+  kSequence,
+  kName,
+  kCode,
+  kEmail,
+  kPhone,
+  kStreet,
+  kCity,
+  kCountry,
+  kPostal,
+  kDate,
+  kDateTime,
+  kStatus,
+  kMoney,
+  kCount,
+  kRate,
+  kText,
+};
+
+/// One attribute-level concept: synonym spellings (index 0 = canonical,
+/// drawn from the lexicon's synonym groups so renamed columns stay close
+/// in signature space), canonical vendor type, and value shape.
+struct FieldSpec {
+  std::array<const char*, 3> aliases;
+  const char* type;
+  ValueKind kind;
+};
+
+/// Table-level concepts with synonym spellings.
+struct EntitySpec {
+  std::array<const char*, 3> aliases;
+};
+
+constexpr EntitySpec kEntities[] = {
+    {{"customers", "clients", "partners"}},
+    {{"orders", "purchases", "salesorders"}},
+    {{"products", "items", "articles"}},
+    {{"shipments", "deliveries", "dispatches"}},
+    {{"payments", "invoices", "settlements"}},
+    {{"employees", "staff", "personnel"}},
+    {{"vendors", "suppliers", "merchants"}},
+    {{"stores", "shops", "outlets"}},
+};
+
+constexpr FieldSpec kFields[] = {
+    {{"id", "identifier", "record_key"}, "INT", ValueKind::kSequence},
+    {{"name", "title", "label"}, "VARCHAR", ValueKind::kName},
+    {{"code", "reference_code", "short_code"}, "VARCHAR", ValueKind::kCode},
+    {{"email", "mail", "email_address"}, "VARCHAR", ValueKind::kEmail},
+    {{"phone", "telephone", "contact_number"}, "VARCHAR", ValueKind::kPhone},
+    {{"street", "address_line", "road"}, "VARCHAR", ValueKind::kStreet},
+    {{"city", "town", "locality"}, "VARCHAR", ValueKind::kCity},
+    {{"country", "nation", "country_name"}, "VARCHAR", ValueKind::kCountry},
+    {{"postal_code", "zip", "postcode"}, "VARCHAR", ValueKind::kPostal},
+    {{"created_date", "creation_day", "created_on"}, "DATE", ValueKind::kDate},
+    {{"updated_at", "modified_at", "update_timestamp"}, "DATETIME",
+     ValueKind::kDateTime},
+    {{"status", "state", "stage"}, "VARCHAR", ValueKind::kStatus},
+    {{"amount", "total", "gross_value"}, "DECIMAL", ValueKind::kMoney},
+    {{"quantity", "qty", "unit_count"}, "INT", ValueKind::kCount},
+    {{"rate", "percentage", "ratio"}, "DECIMAL", ValueKind::kRate},
+    {{"notes", "description", "comment_text"}, "TEXT", ValueKind::kText},
+};
+
+/// Disjoint out-of-vocabulary pools for the private (dropped-concept)
+/// attributes; each schema cycles through its own domain so private
+/// elements do not accidentally align across schemas.
+constexpr const char* kPrivatePools[][8] = {
+    {"halyard", "spinnaker", "bowline", "mizzen", "gunwale", "keelson",
+     "capstan", "forestay"},
+    {"cirrus", "stratus", "derecho", "haboob", "graupel", "virga",
+     "mistral", "foehn"},
+    {"jacquard", "selvage", "warp_beam", "heddle", "bobbin", "shuttle",
+     "treadle", "reed_hook"},
+    {"braise", "julienne", "sousvide", "roux", "mirepoix", "confit",
+     "veloute", "chiffonade"},
+    {"perihelion", "syzygy", "apogee", "libration", "occultation",
+     "analemma", "zenith", "nadir"},
+    {"feldspar", "olivine", "zircon", "garnet", "biotite", "epidote",
+     "apatite", "kyanite"},
+};
+constexpr size_t kNumPrivatePools = std::size(kPrivatePools);
+
+/// Sibling vendor types a canonical type can drift to across schemas.
+const char* DriftedType(const char* canonical, Rng& rng) {
+  struct DriftRule {
+    const char* from;
+    std::array<const char*, 2> to;
+  };
+  static constexpr DriftRule kRules[] = {
+      {"INT", {"BIGINT", "SMALLINT"}},
+      {"VARCHAR", {"TEXT", "NVARCHAR"}},
+      {"DATE", {"DATETIME", "TIMESTAMP"}},
+      {"DATETIME", {"TIMESTAMP", "DATE"}},
+      {"DECIMAL", {"NUMERIC", "FLOAT"}},
+      {"TEXT", {"VARCHAR", "CLOB"}},
+  };
+  for (const DriftRule& rule : kRules) {
+    if (std::string_view(rule.from) == canonical) {
+      return rule.to[rng.NextBounded(2)];
+    }
+  }
+  return canonical;
+}
+
+/// One planned attribute slot: either a shared concept (field index into
+/// kFields + rendered spelling) or a private unlinkable attribute.
+struct AttrPlan {
+  bool shared = false;
+  size_t field = 0;  // kFields index; meaningful only when shared.
+  std::string name;
+  std::string raw_type;
+  schema::Constraint constraint = schema::Constraint::kNone;
+};
+
+struct TablePlan {
+  std::string name;
+  std::vector<AttrPlan> attrs;
+};
+
+/// The structural plan: every name, type, and dropout decision, plus
+/// the scenario built from it. Drawn from Rng(seed) in one fixed
+/// sequential pass — instance values use an independent stream, so the
+/// plan is identical whether or not files get rendered.
+struct CorpusPlan {
+  std::vector<std::vector<TablePlan>> tables;  // [schema][table]
+  MatchingScenario scenario;
+};
+
+std::string VariantName(const char* alias, size_t variant) {
+  return variant == 0 ? std::string(alias)
+                      : StrFormat("%s_%zu", alias, variant);
+}
+
+CorpusPlan BuildPlan(const CorpusOptions& options) {
+  COLSCOPE_CHECK(options.num_schemas >= 2);
+  COLSCOPE_CHECK(options.tables_per_schema >= 1);
+  COLSCOPE_CHECK(options.attrs_per_table >= 1);
+  Rng rng(options.seed);
+
+  CorpusPlan plan;
+  plan.tables.resize(options.num_schemas);
+  for (size_t s = 0; s < options.num_schemas; ++s) {
+    const char* const* pool = kPrivatePools[s % kNumPrivatePools];
+    auto& tables = plan.tables[s];
+    tables.resize(options.tables_per_schema);
+    for (size_t t = 0; t < options.tables_per_schema; ++t) {
+      const EntitySpec& entity = kEntities[t % std::size(kEntities)];
+      const size_t table_variant = t / std::size(kEntities);
+      const int table_alias =
+          (rng.NextDouble() < options.rename_probability)
+              ? 1 + static_cast<int>(rng.NextBounded(2))
+              : 0;
+      tables[t].name = VariantName(entity.aliases[table_alias], table_variant);
+      tables[t].attrs.resize(options.attrs_per_table);
+      for (size_t a = 0; a < options.attrs_per_table; ++a) {
+        AttrPlan& attr = tables[t].attrs[a];
+        if (rng.NextDouble() < options.dropout_probability) {
+          // Dropped: a private attribute keeps the table shape but is
+          // unlinkable — the corpus' unlinkable-overhead axis.
+          attr.shared = false;
+          attr.name = StrFormat("%s_%s_%zu", pool[rng.NextBounded(8)],
+                                pool[rng.NextBounded(8)], a);
+          attr.raw_type = (a % 2 == 0) ? "VARCHAR" : "DECIMAL";
+          continue;
+        }
+        const size_t field = a % std::size(kFields);
+        const size_t attr_variant = a / std::size(kFields);
+        const FieldSpec& spec = kFields[field];
+        const int alias = (rng.NextDouble() < options.rename_probability)
+                              ? 1 + static_cast<int>(rng.NextBounded(2))
+                              : 0;
+        attr.shared = true;
+        attr.field = field;
+        attr.name = VariantName(spec.aliases[alias], attr_variant);
+        attr.raw_type =
+            (rng.NextDouble() < options.type_drift_probability)
+                ? DriftedType(spec.type, rng)
+                : spec.type;
+        if (a == 0 && spec.kind == ValueKind::kSequence) {
+          attr.constraint = schema::Constraint::kPrimaryKey;
+        }
+      }
+    }
+  }
+
+  // Materialize the schema set.
+  std::vector<schema::Schema> schemas;
+  schemas.reserve(options.num_schemas);
+  for (size_t s = 0; s < options.num_schemas; ++s) {
+    schema::Schema out(StrFormat("SYN%03zu", s));
+    for (const TablePlan& table_plan : plan.tables[s]) {
+      schema::Table table;
+      table.name = table_plan.name;
+      for (const AttrPlan& attr_plan : table_plan.attrs) {
+        schema::Attribute attr;
+        attr.name = attr_plan.name;
+        attr.table_name = table.name;
+        attr.raw_type = attr_plan.raw_type;
+        attr.type = schema::ParseDataType(attr.raw_type);
+        attr.constraint = attr_plan.constraint;
+        table.attributes.push_back(std::move(attr));
+      }
+      COLSCOPE_CHECK(out.AddTable(std::move(table)).ok());
+    }
+    schemas.push_back(std::move(out));
+  }
+  plan.scenario.name = StrFormat(
+      "Corpus(k=%zu,t=%zu,a=%zu,seed=%llu)", options.num_schemas,
+      options.tables_per_schema, options.attrs_per_table,
+      static_cast<unsigned long long>(options.seed));
+  plan.scenario.set = schema::SchemaSet(std::move(schemas));
+
+  // Ground truth. The plan layout is positional — table t / slot a name
+  // the same concept in every schema — so refs are direct and the
+  // pairwise closure needs no name resolution: a slot shared in both
+  // schemas is a linkage (II when spelled identically, IS otherwise),
+  // and two tables link when they share at least one linked slot.
+  for (size_t sa = 0; sa < options.num_schemas; ++sa) {
+    for (size_t sb = sa + 1; sb < options.num_schemas; ++sb) {
+      for (size_t t = 0; t < options.tables_per_schema; ++t) {
+        const TablePlan& ta = plan.tables[sa][t];
+        const TablePlan& tb = plan.tables[sb][t];
+        bool any_linked = false;
+        for (size_t a = 0; a < options.attrs_per_table; ++a) {
+          if (!ta.attrs[a].shared || !tb.attrs[a].shared) continue;
+          const LinkType type = (ta.attrs[a].name == tb.attrs[a].name)
+                                    ? LinkType::kInterIdentical
+                                    : LinkType::kInterSubTyped;
+          COLSCOPE_CHECK(
+              plan.scenario.truth
+                  .Add(type,
+                       schema::AttributeRef(static_cast<int>(sa),
+                                            static_cast<int>(t),
+                                            static_cast<int>(a)),
+                       schema::AttributeRef(static_cast<int>(sb),
+                                            static_cast<int>(t),
+                                            static_cast<int>(a)))
+                  .ok());
+          any_linked = true;
+        }
+        if (!any_linked) continue;
+        const LinkType type = (ta.name == tb.name)
+                                  ? LinkType::kInterIdentical
+                                  : LinkType::kInterSubTyped;
+        COLSCOPE_CHECK(plan.scenario.truth
+                           .Add(type,
+                                schema::TableRef(static_cast<int>(sa),
+                                                 static_cast<int>(t)),
+                                schema::TableRef(static_cast<int>(sb),
+                                                 static_cast<int>(t)))
+                           .ok());
+      }
+    }
+  }
+  return plan;
+}
+
+const char* Pick(Rng& rng, const std::vector<const char*>& pool) {
+  return pool[rng.NextBounded(pool.size())];
+}
+
+std::string MakeValue(ValueKind kind, size_t table_index, size_t row,
+                      Rng& rng) {
+  static const std::vector<const char*> kNames = {
+      "alice", "bruno", "carla", "dmitri", "elena", "farid", "greta", "hiro",
+      "ines", "jonas", "keiko", "liam", "mara", "nadia", "otto", "priya"};
+  static const std::vector<const char*> kCities = {
+      "lisbon", "oslo", "kyoto", "quito", "perth", "tunis", "leipzig",
+      "galway", "varna", "cusco", "bergen", "matera"};
+  static const std::vector<const char*> kCountries = {
+      "portugal", "norway", "japan", "ecuador", "australia", "tunisia",
+      "germany", "ireland", "bulgaria", "peru"};
+  static const std::vector<const char*> kStreets = {
+      "elm street", "oak avenue", "birch lane", "cedar road", "maple way",
+      "willow court"};
+  static const std::vector<const char*> kStatuses = {
+      "open", "closed", "pending", "shipped", "cancelled", "paid"};
+  static const std::vector<const char*> kWords = {
+      "ledger", "ration", "cobalt", "meridian", "quartz", "harbor",
+      "lantern", "velvet", "orchid", "timber", "saffron", "granite"};
+  static const std::vector<const char*> kDomains = {
+      "example.org", "mail.test", "corp.example", "data.test"};
+  switch (kind) {
+    case ValueKind::kSequence:
+      return StrFormat("%zu", 1000 * (table_index + 1) + row + 1);
+    case ValueKind::kName:
+      return Pick(rng, kNames);
+    case ValueKind::kCode:
+      return StrFormat("%c%c-%04llu",
+                       static_cast<char>('A' + rng.NextBounded(26)),
+                       static_cast<char>('A' + rng.NextBounded(26)),
+                       static_cast<unsigned long long>(rng.NextBounded(10000)));
+    case ValueKind::kEmail:
+      return StrFormat("%s@%s", Pick(rng, kNames), Pick(rng, kDomains));
+    case ValueKind::kPhone:
+      return StrFormat("+%llu-%03llu-%04llu",
+                       static_cast<unsigned long long>(1 + rng.NextBounded(89)),
+                       static_cast<unsigned long long>(rng.NextBounded(1000)),
+                       static_cast<unsigned long long>(rng.NextBounded(10000)));
+    case ValueKind::kStreet:
+      return StrFormat("%llu %s",
+                       static_cast<unsigned long long>(1 + rng.NextBounded(99)),
+                       Pick(rng, kStreets));
+    case ValueKind::kCity:
+      return Pick(rng, kCities);
+    case ValueKind::kCountry:
+      return Pick(rng, kCountries);
+    case ValueKind::kPostal:
+      return StrFormat("%05llu",
+                       static_cast<unsigned long long>(rng.NextBounded(100000)));
+    case ValueKind::kDate:
+      return StrFormat("20%02llu-%02llu-%02llu",
+                       static_cast<unsigned long long>(rng.NextBounded(30)),
+                       static_cast<unsigned long long>(1 + rng.NextBounded(12)),
+                       static_cast<unsigned long long>(1 + rng.NextBounded(28)));
+    case ValueKind::kDateTime:
+      return StrFormat("20%02llu-%02llu-%02llu %02llu:%02llu:%02llu",
+                       static_cast<unsigned long long>(rng.NextBounded(30)),
+                       static_cast<unsigned long long>(1 + rng.NextBounded(12)),
+                       static_cast<unsigned long long>(1 + rng.NextBounded(28)),
+                       static_cast<unsigned long long>(rng.NextBounded(24)),
+                       static_cast<unsigned long long>(rng.NextBounded(60)),
+                       static_cast<unsigned long long>(rng.NextBounded(60)));
+    case ValueKind::kStatus:
+      return Pick(rng, kStatuses);
+    case ValueKind::kMoney:
+      return StrFormat("%llu.%02llu",
+                       static_cast<unsigned long long>(rng.NextBounded(10000)),
+                       static_cast<unsigned long long>(rng.NextBounded(100)));
+    case ValueKind::kCount:
+      return StrFormat("%llu",
+                       static_cast<unsigned long long>(rng.NextBounded(500)));
+    case ValueKind::kRate:
+      return StrFormat("0.%02llu",
+                       static_cast<unsigned long long>(rng.NextBounded(100)));
+    case ValueKind::kText:
+      return StrFormat("%s %s", Pick(rng, kWords), Pick(rng, kWords));
+  }
+  return "";
+}
+
+/// Typo injection: duplicates or deletes one character. Values contain
+/// no delimiters or quotes, and mutations introduce none, so the CSVs
+/// stay well-formed.
+std::string ApplyNoise(std::string value, Rng& rng) {
+  if (value.empty()) return value;
+  const size_t pos = rng.NextBounded(value.size());
+  if (rng.NextBounded(2) == 0) {
+    value.insert(value.begin() + static_cast<long>(pos), value[pos]);
+  } else if (value.size() > 1) {
+    value.erase(value.begin() + static_cast<long>(pos));
+  }
+  return value;
+}
+
+}  // namespace
+
+size_t CorpusEntityVocabularySize() { return std::size(kEntities); }
+size_t CorpusFieldVocabularySize() { return std::size(kFields); }
+
+MatchingScenario BuildCorpusScenario(const CorpusOptions& options) {
+  return BuildPlan(options).scenario;
+}
+
+SyntheticCorpus BuildSyntheticCorpus(const CorpusOptions& options) {
+  CorpusPlan plan = BuildPlan(options);
+  SyntheticCorpus corpus;
+
+  // Instance values draw from their own stream so skipping the
+  // rendering (BuildCorpusScenario) cannot shift the structure.
+  Rng value_rng(options.seed ^ 0x9E3779B97F4A7C15ull);
+  for (size_t s = 0; s < options.num_schemas; ++s) {
+    const schema::Schema& sch = plan.scenario.set.schema(static_cast<int>(s));
+    corpus.files.push_back(
+        {StrFormat("%s.sql", sch.name().c_str()), schema::WriteDdl(sch)});
+    for (size_t t = 0; t < plan.tables[s].size(); ++t) {
+      const TablePlan& table = plan.tables[s][t];
+      std::string csv;
+      for (size_t a = 0; a < table.attrs.size(); ++a) {
+        if (a > 0) csv += ',';
+        csv += table.attrs[a].name;
+      }
+      csv += '\n';
+      for (size_t row = 0; row < options.rows_per_table; ++row) {
+        for (size_t a = 0; a < table.attrs.size(); ++a) {
+          const AttrPlan& attr = table.attrs[a];
+          const ValueKind kind =
+              attr.shared ? kFields[attr.field].kind : ValueKind::kText;
+          std::string value = MakeValue(kind, t, row, value_rng);
+          if (value_rng.NextDouble() < options.value_noise_probability) {
+            value = ApplyNoise(std::move(value), value_rng);
+          }
+          if (a > 0) csv += ',';
+          csv += value;
+        }
+        csv += '\n';
+      }
+      corpus.files.push_back(
+          {StrFormat("%s__%s.csv", sch.name().c_str(), table.name.c_str()),
+           std::move(csv)});
+    }
+  }
+
+  std::string labels;
+  labels += "# colscope gen-corpus v1\n";
+  labels += StrFormat(
+      "# schemas=%zu tables_per_schema=%zu attrs_per_table=%zu "
+      "rows_per_table=%zu\n",
+      options.num_schemas, options.tables_per_schema, options.attrs_per_table,
+      options.rows_per_table);
+  labels += StrFormat(
+      "# rename=%g drift=%g dropout=%g noise=%g seed=%llu\n",
+      options.rename_probability, options.type_drift_probability,
+      options.dropout_probability, options.value_noise_probability,
+      static_cast<unsigned long long>(options.seed));
+  labels += "# type\telement_a\telement_b\n";
+  for (const Linkage& linkage : plan.scenario.truth.linkages()) {
+    labels += StrFormat("%s\t%s\t%s\n", LinkTypeToString(linkage.type),
+                        plan.scenario.set.QualifiedName(linkage.a).c_str(),
+                        plan.scenario.set.QualifiedName(linkage.b).c_str());
+  }
+  corpus.labels_tsv = std::move(labels);
+  corpus.scenario = std::move(plan.scenario);
+  return corpus;
+}
+
+}  // namespace colscope::datasets

@@ -1,0 +1,79 @@
+#ifndef COLSCOPE_DATASETS_SYNTHETIC_CORPUS_H_
+#define COLSCOPE_DATASETS_SYNTHETIC_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/linkage.h"
+
+namespace colscope::datasets {
+
+/// Parameters of the scalable corpus generator (`colscope gen-corpus`).
+/// Unlike SyntheticOptions — capped at one fixed vocabulary — the corpus
+/// generator tiles an (entity x field) concept grid with numbered
+/// variants, so schemas, tables, and attributes all scale to arbitrary
+/// counts while renames keep drawing from the lexicon's synonym groups
+/// (renamed columns stay close in signature space, like Valentine's
+/// fabricated pairs). Everything — structure, names, instance values,
+/// ground truth — is a pure function of these options; the same seed
+/// reproduces the corpus byte for byte at any thread count.
+struct CorpusOptions {
+  size_t num_schemas = 6;
+  size_t tables_per_schema = 4;
+  /// Attributes per table (every table has exactly this many: dropped
+  /// shared concepts are replaced by private, unlinkable attributes).
+  size_t attrs_per_table = 8;
+  /// Instance rows emitted per table CSV.
+  size_t rows_per_table = 8;
+  /// Probability a schema spells a concept with a synonym alias instead
+  /// of the canonical name (controlled column renames -> IS linkages).
+  double rename_probability = 0.4;
+  /// Probability an attribute's vendor type drifts to a sibling type
+  /// (INT -> BIGINT, VARCHAR -> TEXT, ...).
+  double type_drift_probability = 0.2;
+  /// Probability a schema replaces a shared concept with a private
+  /// attribute (unlinkable overhead, like real multi-source sets).
+  double dropout_probability = 0.1;
+  /// Probability an emitted CSV value carries a typo (noisy instances).
+  double value_noise_probability = 0.1;
+  uint64_t seed = 0xC0905;
+};
+
+/// One rendered corpus artifact (a DDL script or a table CSV).
+struct CorpusFile {
+  std::string name;
+  std::string contents;
+};
+
+/// A fully rendered corpus: the in-memory matching scenario (schema set
+/// + ground truth), the DDL/CSV files, and the ground-truth label file.
+struct SyntheticCorpus {
+  MatchingScenario scenario;
+  /// Per schema: `<SCHEMA>.sql`, then one `<SCHEMA>__<table>.csv` per
+  /// table, in flattened schema order.
+  std::vector<CorpusFile> files;
+  /// Tab-separated ground truth ("type  SCHEMA.path  SCHEMA.path"), one
+  /// linkage per line, preceded by `#` header lines echoing the options.
+  std::string labels_tsv;
+};
+
+/// Entity (table-concept) and field (attribute-concept) vocabulary
+/// sizes; table/attribute counts beyond them reuse concepts with
+/// numbered variants.
+size_t CorpusEntityVocabularySize();
+size_t CorpusFieldVocabularySize();
+
+/// Generates the full corpus (scenario + rendered files + labels).
+SyntheticCorpus BuildSyntheticCorpus(const CorpusOptions& options);
+
+/// Generates only the matching scenario — identical to
+/// `BuildSyntheticCorpus(options).scenario` (structure and instance
+/// values draw from independent seeded streams, so skipping the file
+/// rendering cannot shift the structure). Benches use this to sweep
+/// corpus size without paying for CSV rendering.
+MatchingScenario BuildCorpusScenario(const CorpusOptions& options);
+
+}  // namespace colscope::datasets
+
+#endif  // COLSCOPE_DATASETS_SYNTHETIC_CORPUS_H_

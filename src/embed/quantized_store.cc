@@ -102,6 +102,13 @@ double QuantizedSignatureStore::ApproxSquaredL2(size_t r,
   return d2 > 0.0 ? d2 : 0.0;
 }
 
+QuantizedQuery QuantizedSignatureStore::Quantize(
+    std::span<const double> query) const {
+  QuantizedQuery q;
+  q.scale = QuantizeQuery(query, &q.codes, &q.norm2, &q.l1);
+  return q;
+}
+
 double QuantizedSignatureStore::ApproxCosine(size_t r,
                                              const int8_t* query_codes,
                                              double query_scale,

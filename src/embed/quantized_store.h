@@ -31,6 +31,18 @@ namespace colscope::embed {
 /// it, then rescore survivors with the double-precision kernels. The
 /// int8 kernels are exact integer arithmetic, so quantized rankings are
 /// bit-identical across scalar and SIMD tables.
+/// A query vector quantized against a store's geometry: the int8 codes
+/// (padded to the store's stride, padding zeroed), the scale, and the
+/// exact norms the approximate kernels and the error bound take.
+/// Bundles QuantizeQuery's out-parameters so search loops (flat_index,
+/// ivf_index) can thread one value instead of four.
+struct QuantizedQuery {
+  std::vector<int8_t> codes;
+  double scale = 0.0;
+  double norm2 = 0.0;  ///< Exact squared L2 norm of the original query.
+  double l1 = 0.0;     ///< Exact L1 norm of the original query.
+};
+
 class QuantizedSignatureStore {
  public:
   QuantizedSignatureStore() = default;
@@ -63,6 +75,9 @@ class QuantizedSignatureStore {
                        std::vector<int8_t>* codes,
                        double* exact_norm2 = nullptr,
                        double* exact_l1 = nullptr) const;
+
+  /// QuantizeQuery with the outputs bundled into one QuantizedQuery.
+  QuantizedQuery Quantize(std::span<const double> query) const;
 
   /// Approximate dot product between stored rows `r` and `s`.
   double ApproxDot(size_t r, size_t s) const;

@@ -32,12 +32,10 @@ std::vector<size_t> FlatL2Index::Search(const linalg::Vector& query,
   std::vector<size_t> pool(n);
   std::iota(pool.begin(), pool.end(), 0);
   if (store_ != nullptr && keep < n) {
-    std::vector<int8_t> qcodes;
-    double qnorm2 = 0.0;
-    const double qscale = store_->QuantizeQuery(query, &qcodes, &qnorm2);
+    const embed::QuantizedQuery q = store_->Quantize(query);
     std::vector<double> approx(n);
     for (size_t i = 0; i < n; ++i) {
-      approx[i] = store_->ApproxSquaredL2(i, qcodes.data(), qscale, qnorm2);
+      approx[i] = store_->ApproxSquaredL2(i, q.codes.data(), q.scale, q.norm2);
     }
     const size_t pool_size =
         std::min(n, std::max(keep, keep * std::max<size_t>(

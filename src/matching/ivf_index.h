@@ -1,0 +1,147 @@
+#ifndef COLSCOPE_MATCHING_IVF_INDEX_H_
+#define COLSCOPE_MATCHING_IVF_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "embed/quantized_store.h"
+#include "linalg/matrix.h"
+#include "matching/matcher.h"
+
+namespace colscope {
+class ThreadPool;
+}  // namespace colscope
+
+namespace colscope::matching {
+
+/// Inverted-file (IVF) nearest-neighbour index: the rows are partitioned
+/// into `num_lists` cells by k-Means (the coarse quantizer, reusing
+/// matching/kmeans), and a query only scans the `nprobe` cells whose
+/// centroids are closest — the classic FAISS IndexIVFFlat layout, and
+/// the repo's first genuinely sub-linear search path. With
+/// num_lists ~ sqrt(n) and a constant nprobe a query touches O(sqrt(n))
+/// rows instead of n.
+///
+/// `nprobe` is the recall knob: nprobe >= num_lists degenerates to the
+/// exact flat scan, smaller values trade recall for speed. Probing
+/// continues past nprobe (in centroid-distance order) only when the
+/// probed cells hold fewer than k rows, so Search never silently
+/// returns short results on skewed partitions.
+///
+/// With `Options::quantized` each probed cell is prescanned with the
+/// int8 QuantizedSignatureStore: candidates are ranked by approximate
+/// distance, the top k * rescore_factor survivors are rescored exactly,
+/// and the final order is decided purely by exact double-precision
+/// distances with the (distance, id) tie-break — quantization affects
+/// which rows reach the rescoring, never how they rank.
+///
+/// Deterministic: k-Means seeding, the centroid recomputation, every
+/// distance, and every tie-break are fixed by (vectors, Options), so
+/// Search results are bit-identical across runs, machines, and SIMD
+/// dispatch tables.
+class IvfIndex {
+ public:
+  struct Options {
+    /// Number of k-Means cells; 0 picks round(sqrt(n)) (at least 1).
+    size_t num_lists = 0;
+    /// Cells scanned per query, in centroid-distance order.
+    size_t nprobe = 8;
+    /// Prescan probed cells with the int8 store, rescore exactly.
+    bool quantized = false;
+    /// Oversampling factor for the quantized rescoring pool.
+    size_t rescore_factor = 4;
+    /// Lloyd iterations for the coarse quantizer.
+    int kmeans_iterations = 25;
+    uint64_t seed = 0x1f5eed;
+  };
+
+  /// Indexes the rows of `vectors` (copied); default options.
+  explicit IvfIndex(linalg::Matrix vectors);
+  IvfIndex(linalg::Matrix vectors, const Options& options);
+
+  /// Ids (row indices) of the `k` approximate nearest vectors to
+  /// `query`, closest first, scanning Options::nprobe cells.
+  std::vector<size_t> Search(std::span<const double> query, size_t k) const;
+
+  /// Same with an explicit nprobe override.
+  std::vector<size_t> Search(std::span<const double> query, size_t k,
+                             size_t nprobe) const;
+
+  /// Rows a Search for `k` neighbours would scan at `nprobe` — the
+  /// sub-linearity measure benches chart against size().
+  size_t ProbedRows(std::span<const double> query, size_t k,
+                    size_t nprobe) const;
+
+  size_t size() const { return vectors_.rows(); }
+  size_t num_lists() const { return lists_.size(); }
+  size_t nprobe() const { return options_.nprobe; }
+  bool quantized() const { return store_ != nullptr; }
+
+ private:
+  /// Cell ids ordered by (centroid distance, id).
+  std::vector<size_t> CellOrder(std::span<const double> query) const;
+  /// Candidate rows from probing: at least `nprobe` cells, more only
+  /// while fewer than `k` rows were collected.
+  std::vector<size_t> Probe(std::span<const double> query, size_t k,
+                            size_t nprobe) const;
+
+  linalg::Matrix vectors_;
+  Options options_;
+  /// One row per non-empty cell, recomputed as the mean of its members.
+  linalg::Matrix centroids_;
+  /// lists_[c] = ascending row ids assigned to cell c.
+  std::vector<std::vector<size_t>> lists_;
+  /// Present only in quantized mode.
+  std::unique_ptr<embed::QuantizedSignatureStore> store_;
+};
+
+/// Matcher over one global IVF index: all active elements are indexed
+/// together (unlike LshMatcher's per-schema flat indexes, whose cells
+/// would be too small to amortize the coarse quantizer) and every
+/// element retrieves an oversampled neighbour pool from which the
+/// top_k valid candidates — different schema, same element kind, both
+/// active (IsCandidate) — are kept. `num_lists` = 1 degenerates to the
+/// exact flat scan, which doubles as the "exact flat" baseline arm in
+/// bench/corpus_scale.cc; with auto num_lists and nprobe << num_lists
+/// the scan is sub-linear per query.
+///
+/// `token_prefilter` composes token blocking (matching/token_blocking)
+/// in front of the pool: only retrieved neighbours that also share a
+/// name token with the query survive — the ER-style cheap-candidate
+/// stage feeding expensive refinement.
+///
+/// Deterministic at any thread count: per-query results depend only on
+/// (signatures, active, Options), and the per-query result slots are
+/// merged in index order, never in completion order.
+class IvfMatcher : public Matcher {
+ public:
+  struct Options {
+    /// Valid candidates kept per element.
+    size_t top_k = 5;
+    /// IvfIndex cells; 0 = auto sqrt, 1 = exact flat scan.
+    size_t num_lists = 0;
+    size_t nprobe = 8;
+    bool quantized = false;
+    bool token_prefilter = false;
+    uint64_t seed = 0x1f5eed;
+  };
+
+  explicit IvfMatcher(const Options& options, ThreadPool* pool = nullptr)
+      : options_(options), pool_(pool) {}
+
+  std::string name() const override;
+  std::set<ElementPair> Match(const scoping::SignatureSet& signatures,
+                              const std::vector<bool>& active) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  ThreadPool* pool_;
+};
+
+}  // namespace colscope::matching
+
+#endif  // COLSCOPE_MATCHING_IVF_INDEX_H_

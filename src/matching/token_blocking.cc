@@ -21,9 +21,11 @@ std::string LeadingName(const std::string& serialized) {
                                     : serialized.substr(0, space);
 }
 
+}  // namespace
+
 /// Inverted index token -> active rows whose NAME contains it, and the
 /// deduplicated candidate pair set it induces.
-std::set<std::pair<size_t, size_t>> BuildCandidates(
+std::set<std::pair<size_t, size_t>> TokenBlockingCandidates(
     const scoping::SignatureSet& signatures,
     const std::vector<bool>& active) {
   std::map<std::string, std::vector<size_t>> index;
@@ -47,8 +49,6 @@ std::set<std::pair<size_t, size_t>> BuildCandidates(
   return candidates;
 }
 
-}  // namespace
-
 std::string TokenBlockedSimMatcher::name() const {
   return StrFormat("TBSIM(%.1f)", threshold_);
 }
@@ -56,7 +56,7 @@ std::string TokenBlockedSimMatcher::name() const {
 std::set<ElementPair> TokenBlockedSimMatcher::Match(
     const scoping::SignatureSet& signatures,
     const std::vector<bool>& active) const {
-  const auto candidates = BuildCandidates(signatures, active);
+  const auto candidates = TokenBlockingCandidates(signatures, active);
   std::unique_ptr<embed::QuantizedSignatureStore> store;
   if (quantized_ && !candidates.empty()) {
     store = std::make_unique<embed::QuantizedSignatureStore>(
@@ -91,7 +91,7 @@ std::set<ElementPair> TokenBlockedSimMatcher::Match(
 size_t TokenBlockedSimMatcher::CandidateCount(
     const scoping::SignatureSet& signatures,
     const std::vector<bool>& active) {
-  return BuildCandidates(signatures, active).size();
+  return TokenBlockingCandidates(signatures, active).size();
 }
 
 }  // namespace colscope::matching

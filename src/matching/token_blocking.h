@@ -5,6 +5,15 @@
 
 namespace colscope::matching {
 
+/// The shared-token candidate-pair set over the active rows: pairs of
+/// global row ids (smaller first) whose element NAMES share at least
+/// one identifier token, restricted to valid candidates (IsCandidate).
+/// This is exactly the blocking set TokenBlockedSimMatcher verifies,
+/// exposed so other matchers can compose token blocking as a prefilter
+/// (IvfMatcher's `token_prefilter`).
+std::set<std::pair<size_t, size_t>> TokenBlockingCandidates(
+    const scoping::SignatureSet& signatures, const std::vector<bool>& active);
+
 /// Token blocking (Papadakis et al., the ER blocking family of
 /// Section 2.2): candidate pairs are element pairs whose names share at
 /// least one token, collected through an inverted index — avoiding the

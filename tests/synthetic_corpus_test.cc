@@ -1,0 +1,185 @@
+// Tests for the scalable synthetic corpus generator (gen-corpus):
+// byte-determinism, label consistency, round-trippable artifacts, and
+// the scaling/heterogeneity knobs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datasets/csv_loader.h"
+#include "datasets/synthetic_corpus.h"
+#include "schema/ddl_parser.h"
+
+namespace colscope::datasets {
+namespace {
+
+CorpusOptions SmallOptions() {
+  CorpusOptions options;
+  options.num_schemas = 3;
+  options.tables_per_schema = 3;
+  options.attrs_per_table = 6;
+  options.rows_per_table = 4;
+  options.seed = 42;
+  return options;
+}
+
+TEST(SyntheticCorpusTest, SameSeedIsByteIdentical) {
+  const SyntheticCorpus a = BuildSyntheticCorpus(SmallOptions());
+  const SyntheticCorpus b = BuildSyntheticCorpus(SmallOptions());
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].name, b.files[i].name);
+    EXPECT_EQ(a.files[i].contents, b.files[i].contents);
+  }
+  EXPECT_EQ(a.labels_tsv, b.labels_tsv);
+}
+
+TEST(SyntheticCorpusTest, DifferentSeedDiffers) {
+  CorpusOptions other = SmallOptions();
+  other.seed = 43;
+  const SyntheticCorpus a = BuildSyntheticCorpus(SmallOptions());
+  const SyntheticCorpus b = BuildSyntheticCorpus(other);
+  bool any_difference = a.labels_tsv != b.labels_tsv;
+  for (size_t i = 0; !any_difference && i < a.files.size(); ++i) {
+    any_difference = a.files[i].contents != b.files[i].contents;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SyntheticCorpusTest, ScenarioOnlyBuildMatchesFullBuild) {
+  const SyntheticCorpus corpus = BuildSyntheticCorpus(SmallOptions());
+  const MatchingScenario scenario = BuildCorpusScenario(SmallOptions());
+  EXPECT_EQ(scenario.name, corpus.scenario.name);
+  ASSERT_EQ(scenario.set.num_elements(), corpus.scenario.set.num_elements());
+  ASSERT_EQ(scenario.truth.size(), corpus.scenario.truth.size());
+  for (size_t i = 0; i < scenario.truth.size(); ++i) {
+    EXPECT_TRUE(scenario.truth.linkages()[i] ==
+                corpus.scenario.truth.linkages()[i]);
+  }
+  for (size_t i = 0; i < scenario.set.num_elements(); ++i) {
+    EXPECT_EQ(scenario.set.QualifiedName(scenario.set.elements()[i]),
+              corpus.scenario.set.QualifiedName(
+                  corpus.scenario.set.elements()[i]));
+  }
+}
+
+TEST(SyntheticCorpusTest, LabelsAreConsistent) {
+  const SyntheticCorpus corpus = BuildSyntheticCorpus(SmallOptions());
+  const auto& set = corpus.scenario.set;
+  EXPECT_GT(corpus.scenario.truth.size(), 0u);
+  for (const Linkage& linkage : corpus.scenario.truth.linkages()) {
+    // Every labeled element exists, pairs are cross-schema and same-kind.
+    EXPECT_GE(set.IndexOf(linkage.a), 0);
+    EXPECT_GE(set.IndexOf(linkage.b), 0);
+    EXPECT_NE(linkage.a.schema, linkage.b.schema);
+    EXPECT_EQ(linkage.a.is_table(), linkage.b.is_table());
+  }
+  // One label line per linkage after the four '#' header lines.
+  size_t label_lines = 0;
+  size_t header_lines = 0;
+  for (size_t pos = 0; pos < corpus.labels_tsv.size();) {
+    const size_t end = corpus.labels_tsv.find('\n', pos);
+    if (end == std::string::npos) break;
+    if (corpus.labels_tsv[pos] == '#') {
+      ++header_lines;
+    } else {
+      ++label_lines;
+    }
+    pos = end + 1;
+  }
+  EXPECT_EQ(header_lines, 4u);
+  EXPECT_EQ(label_lines, corpus.scenario.truth.size());
+}
+
+TEST(SyntheticCorpusTest, DdlFilesRoundTripAndCsvFilesParse) {
+  const SyntheticCorpus corpus = BuildSyntheticCorpus(SmallOptions());
+  size_t ddl_files = 0;
+  size_t csv_files = 0;
+  for (const CorpusFile& file : corpus.files) {
+    if (file.name.size() > 4 &&
+        file.name.substr(file.name.size() - 4) == ".sql") {
+      const std::string name = file.name.substr(0, file.name.size() - 4);
+      auto parsed = schema::ParseDdl(file.contents, name);
+      ASSERT_TRUE(parsed.ok()) << file.name;
+      bool found = false;
+      for (const schema::Schema& s : corpus.scenario.set.schemas()) {
+        if (s.name() != name) continue;
+        found = true;
+        EXPECT_EQ(parsed->num_elements(), s.num_elements()) << file.name;
+      }
+      EXPECT_TRUE(found) << file.name;
+      ++ddl_files;
+    } else {
+      auto loaded = LoadCsvSchema(file.contents, "csv");
+      ASSERT_TRUE(loaded.ok()) << file.name << ": "
+                               << loaded.status().message();
+      ASSERT_EQ(loaded->num_tables(), 1u);
+      EXPECT_EQ(loaded->tables()[0].attributes.size(),
+                SmallOptions().attrs_per_table)
+          << file.name;
+      ++csv_files;
+    }
+  }
+  EXPECT_EQ(ddl_files, SmallOptions().num_schemas);
+  EXPECT_EQ(csv_files,
+            SmallOptions().num_schemas * SmallOptions().tables_per_schema);
+}
+
+TEST(SyntheticCorpusTest, ShapeKnobsScaleElementCounts) {
+  CorpusOptions options = SmallOptions();
+  options.num_schemas = 4;
+  options.tables_per_schema = 5;
+  options.attrs_per_table = 7;
+  const MatchingScenario scenario = BuildCorpusScenario(options);
+  // Every table keeps its full width (dropped concepts become private
+  // attributes), so the element count is exact.
+  EXPECT_EQ(scenario.set.num_elements(),
+            options.num_schemas * options.tables_per_schema *
+                (1 + options.attrs_per_table));
+}
+
+TEST(SyntheticCorpusTest, NoRenamesNoDropoutYieldsFullIdenticalClosure) {
+  CorpusOptions options = SmallOptions();
+  options.rename_probability = 0.0;
+  options.type_drift_probability = 0.0;
+  options.dropout_probability = 0.0;
+  const MatchingScenario scenario = BuildCorpusScenario(options);
+  // Every slot links in every schema pair, all spelled identically.
+  const size_t pairs = options.num_schemas * (options.num_schemas - 1) / 2;
+  EXPECT_EQ(scenario.truth.size(),
+            pairs * options.tables_per_schema *
+                (options.attrs_per_table + 1));
+  EXPECT_EQ(scenario.truth.TotalCounts().inter_sub_typed, 0u);
+  EXPECT_DOUBLE_EQ(scenario.UnlinkableOverhead(), 0.0);
+}
+
+TEST(SyntheticCorpusTest, RenamesCreateSubTypedLinkages) {
+  CorpusOptions options = SmallOptions();
+  options.rename_probability = 1.0;
+  options.dropout_probability = 0.0;
+  const MatchingScenario scenario = BuildCorpusScenario(options);
+  EXPECT_GT(scenario.truth.TotalCounts().inter_sub_typed, 0u);
+}
+
+TEST(SyntheticCorpusTest, DropoutCreatesUnlinkableOverhead) {
+  CorpusOptions options = SmallOptions();
+  options.dropout_probability = 0.5;
+  const MatchingScenario scenario = BuildCorpusScenario(options);
+  EXPECT_GT(scenario.UnlinkableOverhead(), 0.0);
+}
+
+TEST(SyntheticCorpusTest, VocabularyTilesBeyondItsSize) {
+  CorpusOptions options = SmallOptions();
+  options.tables_per_schema = CorpusEntityVocabularySize() + 2;
+  options.attrs_per_table = CorpusFieldVocabularySize() + 3;
+  const MatchingScenario scenario = BuildCorpusScenario(options);
+  EXPECT_EQ(scenario.set.num_elements(),
+            options.num_schemas * options.tables_per_schema *
+                (1 + options.attrs_per_table));
+  // Variant-suffixed names must stay unique inside each table/schema
+  // (AddTable rejects duplicates behind a COLSCOPE_CHECK).
+  EXPECT_GT(scenario.truth.size(), 0u);
+}
+
+}  // namespace
+}  // namespace colscope::datasets

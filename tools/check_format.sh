@@ -16,16 +16,18 @@ if ! command -v clang-format > /dev/null 2>&1; then
   exit 0
 fi
 
-bad=0
-for f in $(find "$root/src" "$root/tests" "$root/bench" "$root/tools" \
-    -name '*.cc' -o -name '*.h' 2> /dev/null | LC_ALL=C sort); do
-  if ! clang-format --style=file --dry-run --Werror "$f" > /dev/null 2>&1; then
-    echo "needs formatting: $f" >&2
-    bad=1
-  fi
-done
+# while-read instead of `for f in $(find ...)` (SC2044); the bad-files
+# list carries failures out of the pipeline's subshell.
+bad=$(find "$root/src" "$root/tests" "$root/bench" "$root/tools" \
+    \( -name '*.cc' -o -name '*.h' \) -print 2> /dev/null | LC_ALL=C sort |
+  while IFS= read -r f; do
+    if ! clang-format --style=file --dry-run --Werror "$f" > /dev/null 2>&1; then
+      printf '%s\n' "$f"
+    fi
+  done)
 
-if [ "$bad" -ne 0 ]; then
+if [ -n "$bad" ]; then
+  printf 'needs formatting: %s\n' "$bad" >&2
   echo "check_format: run clang-format -i on the files above" >&2
   exit 1
 fi

@@ -8,15 +8,23 @@ set -e
 src="$1"
 cxx="${2:-c++}"
 if [ "$#" -ge 2 ]; then shift 2; else shift 1; fi
-status=0
+# The while-read (rather than `for f in $(find ...)`, SC2044) keeps
+# unusual filenames intact; the status file carries failures out of the
+# pipeline's subshell.
+status_file=$(mktemp)
 for dir in "$src" "$@"; do
-  for header in $(find "$dir" -name '*.h' | sort); do
+  find "$dir" -name '*.h' -print | sort | while IFS= read -r header; do
     if ! "$cxx" -std=c++20 -fsyntax-only -I "$src" -I "$dir" -x c++ \
         "$header" 2>/tmp/hdr_err; then
       echo "NOT SELF-CONTAINED: $header"
       cat /tmp/hdr_err
-      status=1
+      echo fail >> "$status_file"
     fi
   done
 done
-exit $status
+if [ -s "$status_file" ]; then
+  rm -f "$status_file"
+  exit 1
+fi
+rm -f "$status_file"
+exit 0

@@ -2,7 +2,7 @@
 # Fails when build artifacts (build trees, object files, CMake caches)
 # are tracked by git. Usage: check_no_build_artifacts.sh [REPO_DIR]
 repo="${1:-.}"
-cd "$repo"
+cd "$repo" || exit 1
 if ! git -C . rev-parse --is-inside-work-tree >/dev/null 2>&1; then
   echo "not a git checkout; skipping build-artifact check"
   exit 0

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Shellcheck gate over the repo's shell scripts (tools/*.sh).
+#
+# Usage: check_shellcheck.sh REPO_ROOT
+#
+# Exits non-zero when shellcheck reports findings; never modifies
+# anything. When shellcheck is not installed (the CI lint job has it;
+# minimal local containers may not), the check is skipped with a notice
+# rather than failing the build.
+set -eu
+
+root=${1:-.}
+
+if ! command -v shellcheck > /dev/null 2>&1; then
+  echo "check_shellcheck: shellcheck not found; skipping shell lint"
+  exit 0
+fi
+
+bad=0
+for f in "$root"/tools/*.sh; do
+  if ! shellcheck "$f"; then
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "check_shellcheck: fix the findings above" >&2
+  exit 1
+fi
+echo "shellcheck OK"

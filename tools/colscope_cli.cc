@@ -22,10 +22,18 @@
 //       Assesses this schema's elements against peers' published models
 //       (Algorithm 2) without ever seeing their schemas.
 //
+//   colscope gen-corpus --out DIR [--seed N] [--schemas K] [--tables T]
+//       [--attrs A] [--rows R] [--rename-prob P] [--drift-prob P]
+//       [--dropout-prob P] [--noise-prob P]
+//       Renders a seeded synthetic schema corpus (DDL + CSV per schema,
+//       labels.tsv ground truth) into DIR — byte-identical for a fixed
+//       seed (docs/SCALING.md).
+//
 // Schema names default to the DDL file's basename.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -57,6 +65,8 @@
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
 #include "datasets/csv_loader.h"
+#include "datasets/synthetic_corpus.h"
+#include "matching/ivf_index.h"
 #include "schema/ddl_parser.h"
 #include "schema/ddl_writer.h"
 #include "scoping/explain.h"
@@ -94,6 +104,20 @@ struct CliArgs {
   size_t threads = 1;           // --threads N (1 = serial, 0 = hardware)
   std::string kernels;          // --kernels scalar|native ("" = auto)
   bool quantized = false;       // --quantized (int8 prefilter for lsh/tbsim)
+  // IVF matcher knobs (--matcher ivf, docs/SCALING.md).
+  size_t nprobe = 8;            // --nprobe N (cells probed per query)
+  size_t num_lists = 0;         // --num-lists N (0 = sqrt(n), 1 = flat)
+  bool token_prefilter = false;  // --token-prefilter (compose blocking)
+  // gen-corpus knobs (docs/SCALING.md).
+  uint64_t seed = 0xC0905;      // --seed N
+  size_t corpus_schemas = 6;    // --schemas K
+  size_t corpus_tables = 4;     // --tables T
+  size_t corpus_attrs = 8;      // --attrs A
+  size_t corpus_rows = 8;       // --rows R
+  double rename_prob = 0.4;     // --rename-prob P
+  double drift_prob = 0.2;      // --drift-prob P
+  double dropout_prob = 0.1;    // --dropout-prob P
+  double noise_prob = 0.1;      // --noise-prob P
   bool explain = false;
   bool json = false;
   // Distributed multi-process mode (see docs/DISTRIBUTED.md).
@@ -119,8 +143,10 @@ int Usage() {
                "usage: colscope <scope|match|export> --ddl FILE [--ddl FILE "
                "...]\n"
                "  [--v 0.8] [--scoper pca|neural|global|none]\n"
-               "  [--keep-portion 0.5] [--matcher sim|cluster|lsh|tbsim|str] "
-               "[--param X]\n"
+               "  [--keep-portion 0.5] "
+               "[--matcher sim|cluster|lsh|tbsim|str|ivf] [--param X]\n"
+               "  [--nprobe N] [--num-lists N] [--token-prefilter]  "
+               "(ivf knobs, docs/SCALING.md)\n"
                "  [--faults drop=P,delay=P,truncate=P,corrupt=P,stale=P,"
                "seed=N]\n"
                "  [--exchange-policy fail-closed|keep-all|quorum[:N]]\n"
@@ -137,6 +163,11 @@ int Usage() {
                "is identical either way)\n"
                "  [--quantized]  (int8 prefilter for lsh/tbsim candidate "
                "generation)\n"
+               "\n"
+               "synthetic corpus generation (docs/SCALING.md):\n"
+               "  colscope gen-corpus --out DIR [--seed N] [--schemas K]\n"
+               "      [--tables T] [--attrs A] [--rows R] [--rename-prob P]\n"
+               "      [--drift-prob P] [--dropout-prob P] [--noise-prob P]\n"
                "\n"
                "resident server mode (docs/SERVER.md):\n"
                "  colscope serve [--listen H:P] [--port-file FILE]\n"
@@ -334,6 +365,66 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       args.kernels = value;
     } else if (flag == "--quantized") {
       args.quantized = true;
+    } else if (flag == "--nprobe") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 1) return false;
+      args.nprobe = static_cast<size_t>(n);
+    } else if (flag == "--num-lists") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 0) return false;
+      args.num_lists = static_cast<size_t>(n);
+    } else if (flag == "--token-prefilter") {
+      args.token_prefilter = true;
+    } else if (flag == "--seed") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 0) return false;
+      args.seed = static_cast<uint64_t>(n);
+    } else if (flag == "--schemas") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 2) return false;
+      args.corpus_schemas = static_cast<size_t>(n);
+    } else if (flag == "--tables") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 1) return false;
+      args.corpus_tables = static_cast<size_t>(n);
+    } else if (flag == "--attrs") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 1) return false;
+      args.corpus_attrs = static_cast<size_t>(n);
+    } else if (flag == "--rows") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      const long long n = std::atoll(value);
+      if (n < 0) return false;
+      args.corpus_rows = static_cast<size_t>(n);
+    } else if (flag == "--rename-prob") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.rename_prob = std::atof(value);
+    } else if (flag == "--drift-prob") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.drift_prob = std::atof(value);
+    } else if (flag == "--dropout-prob") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.dropout_prob = std::atof(value);
+    } else if (flag == "--noise-prob") {
+      const char* value = next();
+      if (value == nullptr) return false;
+      args.noise_prob = std::atof(value);
     } else if (flag == "--explain") {
       args.explain = true;
     } else if (flag == "--json") {
@@ -343,10 +434,12 @@ bool ParseArgs(int argc, char** argv, CliArgs& args) {
       return false;
     }
   }
-  // The serve role and the health/shutdown probes carry no schemas;
-  // everything else still requires at least one --ddl/--csv.
+  // The serve role, the health/shutdown probes, and the corpus
+  // generator carry no schemas; everything else still requires at least
+  // one --ddl/--csv.
   if (args.role == "serve" || args.command == "serve" ||
-      args.command == "health" || args.command == "shutdown") {
+      args.command == "health" || args.command == "shutdown" ||
+      args.command == "gen-corpus") {
     return true;
   }
   return !args.ddl_paths.empty() || !args.csv_paths.empty();
@@ -421,6 +514,15 @@ std::unique_ptr<matching::Matcher> MakeMatcher(const CliArgs& args,
         matching::StringSimilarityMatcher::Measure::kJaroWinkler,
         args.param >= 0 ? args.param : 0.9);
   }
+  if (args.matcher == "ivf") {
+    matching::IvfMatcher::Options options;
+    options.top_k = args.param >= 0 ? static_cast<size_t>(args.param) : 5;
+    options.num_lists = args.num_lists;
+    options.nprobe = args.nprobe;
+    options.quantized = args.quantized;
+    options.token_prefilter = args.token_prefilter;
+    return std::make_unique<matching::IvfMatcher>(options, pool);
+  }
   return nullptr;
 }
 
@@ -468,6 +570,59 @@ void DumpFlightToStderr() {
                  static_cast<unsigned long long>(event.seq),
                  event.kind.c_str(), event.detail.c_str());
   }
+}
+
+/// `colscope gen-corpus`: render a seeded synthetic schema corpus
+/// (per-schema DDL, per-table CSV, labels.tsv) into --out. Generation is
+/// a pure function of the seed and the shape knobs, so repeated runs —
+/// at any --threads setting — produce byte-identical directories.
+int RunGenCorpus(const CliArgs& args) {
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "gen-corpus requires --out DIR\n");
+    return 2;
+  }
+  datasets::CorpusOptions options;
+  options.num_schemas = args.corpus_schemas;
+  options.tables_per_schema = args.corpus_tables;
+  options.attrs_per_table = args.corpus_attrs;
+  options.rows_per_table = args.corpus_rows;
+  options.rename_probability = args.rename_prob;
+  options.type_drift_probability = args.drift_prob;
+  options.dropout_probability = args.dropout_prob;
+  options.value_noise_probability = args.noise_prob;
+  options.seed = args.seed;
+  const datasets::SyntheticCorpus corpus =
+      datasets::BuildSyntheticCorpus(options);
+
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_path, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", args.out_path.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  auto write_raw = [&](const std::string& name,
+                       const std::string& contents) {
+    const std::string path = args.out_path + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    if (!out || !(out << contents)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  };
+  for (const datasets::CorpusFile& file : corpus.files) {
+    if (!write_raw(file.name, file.contents)) return 1;
+  }
+  if (!write_raw("labels.tsv", corpus.labels_tsv)) return 1;
+  std::printf(
+      "# gen-corpus seed=%llu: %zu schemas, %zu elements, %zu linkages, "
+      "%zu files -> %s\n",
+      static_cast<unsigned long long>(options.seed),
+      corpus.scenario.set.num_schemas(), corpus.scenario.set.num_elements(),
+      corpus.scenario.truth.size(), corpus.files.size() + 1,
+      args.out_path.c_str());
+  return 0;
 }
 
 /// `colscope fit`: train + publish this schema's local model.
@@ -1247,6 +1402,7 @@ int main(int argc, char** argv) {
   if (args.command == "serve") return RunServe(args);
   if (args.command == "health") return RunHealthClient(args);
   if (args.command == "shutdown") return RunShutdownClient(args);
+  if (args.command == "gen-corpus") return RunGenCorpus(args);
   if (args.command == "fit") return RunFit(args);
   if (args.command == "assess") return RunAssess(args);
   if (args.command != "scope" && args.command != "match" &&

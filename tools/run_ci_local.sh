@@ -12,14 +12,18 @@
 #   5. kernels-matrix:    kernel equivalence tests under native dispatch
 #                         and with COLSCOPE_FORCE_SCALAR=1
 #   6. bench-smoke:       tools/run_benches.sh --smoke + regression gates
-#   7. lint:              header / build-artifact / format checks
+#   7. lint:              header / build-artifact / format / shell checks
 #
-# Toolchains the machine lacks (clang, ccache, clang-format) are
-# detected and skipped with a notice instead of failing, so the script
-# is useful both on full dev boxes and minimal containers. Any check
-# that *runs* and fails fails the script.
+# With --nightly the bench job mirrors the CI nightly-bench lane
+# instead (tools/run_benches.sh --all at full sizes, results in
+# bench-results-full/ — the lane CI keeps as 90-day artifacts).
 #
-# Usage: tools/run_ci_local.sh [--skip-sanitizers] [--skip-bench]
+# Toolchains the machine lacks (clang, ccache, clang-format,
+# shellcheck) are detected and skipped with a notice instead of
+# failing, so the script is useful both on full dev boxes and minimal
+# containers. Any check that *runs* and fails fails the script.
+#
+# Usage: tools/run_ci_local.sh [--skip-sanitizers] [--skip-bench] [--nightly]
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,10 +31,12 @@ cd "$root"
 
 skip_sanitizers=0
 skip_bench=0
+nightly=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitizers) skip_sanitizers=1 ;;
     --skip-bench) skip_bench=1 ;;
+    --nightly) nightly=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -109,9 +115,14 @@ note "kernels-matrix[scalar]"
 (cd "$kernels_build" && COLSCOPE_FORCE_SCALAR=1 \
   ctest --output-on-failure -R '^(simd_kernels_test|linalg_kernels_test)$')
 
-# Job 6: bench smoke + regression gates.
+# Job 6: bench smoke + regression gates. With --nightly this mirrors
+# the CI nightly-bench lane: every bench at full (non-smoke) sizes,
+# gated against the committed full baselines.
 if [ "$skip_bench" -eq 1 ]; then
-  note "bench-smoke: skipped (--skip-bench)"
+  note "bench: skipped (--skip-bench)"
+elif [ "$nightly" -eq 1 ]; then
+  note "nightly-bench (full sizes, --all)"
+  tools/run_benches.sh --all --out bench-results-full
 else
   note "bench-smoke"
   tools/run_benches.sh --smoke --out bench-results
@@ -122,5 +133,6 @@ note "lint"
 tools/check_headers.sh src "${CXX:-c++}" bench
 tools/check_no_build_artifacts.sh .
 tools/check_format.sh .
+tools/check_shellcheck.sh .
 
 note "all local CI jobs passed"

@@ -20,7 +20,15 @@ build="${1:-$root/build-distributed-asan}"
 
 smoke_tests='net_frame_test|tcp_transport_test|obs_test|cli_distributed_quorum'
 
-cmake -B "$build" -S "$root" \
+# Compile through ccache when it is installed (the CI job restores a
+# per-job cache); plain compilation otherwise.
+launcher_flags=""
+if command -v ccache > /dev/null 2>&1; then
+  launcher_flags="-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
+
+# shellcheck disable=SC2086  # launcher_flags is two separate cmake args
+cmake -B "$build" -S "$root" $launcher_flags \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
 cmake --build "$build" -j \

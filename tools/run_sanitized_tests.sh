@@ -16,7 +16,15 @@ build="${1:-$root/build-sanitized}"
 asan_tests='exchange_test|model_corruption_test|model_io_test|robustness_test|simd_kernels_test'
 tsan_tests='thread_pool_test|obs_test|cancellation_test|parallel_paths_test'
 
-cmake -B "$build" -S "$root" \
+# Compile through ccache when it is installed (the CI jobs restore a
+# per-job cache); plain compilation otherwise.
+launcher_flags=""
+if command -v ccache > /dev/null 2>&1; then
+  launcher_flags="-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
+
+# shellcheck disable=SC2086  # launcher_flags is two separate cmake args
+cmake -B "$build" -S "$root" $launcher_flags \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
 cmake --build "$build" -j \
@@ -24,7 +32,8 @@ cmake --build "$build" -j \
   simd_kernels_test
 (cd "$build" && ctest --output-on-failure -R "^($asan_tests)\$")
 
-cmake -B "$build-tsan" -S "$root" \
+# shellcheck disable=SC2086
+cmake -B "$build-tsan" -S "$root" $launcher_flags \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOLSCOPE_TSAN=ON
 cmake --build "$build-tsan" -j \

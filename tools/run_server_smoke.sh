@@ -17,7 +17,15 @@ build="${1:-$root/build-server-asan}"
 
 smoke_tests='server_test|cli_server_drain'
 
-cmake -B "$build" -S "$root" \
+# Compile through ccache when it is installed (the CI job restores a
+# per-job cache); plain compilation otherwise.
+launcher_flags=""
+if command -v ccache > /dev/null 2>&1; then
+  launcher_flags="-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
+
+# shellcheck disable=SC2086  # launcher_flags is two separate cmake args
+cmake -B "$build" -S "$root" $launcher_flags \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCOLSCOPE_ASAN=ON -DCOLSCOPE_UBSAN=ON
 cmake --build "$build" -j --target server_test colscope_cli
